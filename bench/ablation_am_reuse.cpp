@@ -1,0 +1,92 @@
+/// Ablation: Application-Master re-use — the optimization the paper
+/// names as future work ("we will optimize this process by re-using the
+/// YARN application master and containers, which will reduce the startup
+/// time significantly"). Compares the paper's one-AM-per-unit default
+/// against our pooled-AM extension, on Compute-Unit startup and on a full
+/// Fig. 6 column. Times are simulated seconds.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace hoh;
+  using namespace hoh::analytics;
+
+  benchutil::print_header(
+      "Ablation: YARN Application Master re-use (paper SS-V future work)",
+      "AM re-use should cut CU startup significantly");
+
+  // --- CU startup with and without re-use ---
+  auto measure_cu_startup = [](bool reuse) {
+    pilot::Session session;
+    session.register_machine(cluster::stampede_profile(),
+                             hpc::SchedulerKind::kSlurm, 4);
+    pilot::PilotDescription pd;
+    pd.resource = "slurm://stampede/";
+    pd.nodes = 1;
+    pd.runtime = 24 * 3600.0;
+    pd.backend = pilot::AgentBackend::kYarnModeI;
+    pilot::AgentConfig agent;
+    agent.reuse_yarn_app = reuse;
+    pilot::PilotManager pm(session);
+    pilot::UnitManager um(session);
+    auto p = pm.submit_pilot(pd, agent);
+    um.add_pilot(p);
+    // Warm the pilot (and, for re-use, the shared AM + wrapper caches).
+    pilot::ComputeUnitDescription cud;
+    cud.duration = 1.0;
+    cud.memory_mb = 1024;
+    um.submit(cud);
+    while (!um.all_done() && session.engine().now() < 7200.0) {
+      session.engine().run_until(session.engine().now() + 2.0);
+    }
+    // Measure 16 sequential probes.
+    common::RunningStats stats;
+    for (int i = 0; i < 16; ++i) {
+      auto u = um.submit(cud);
+      while (!um.all_done() && session.engine().now() < 72000.0) {
+        session.engine().run_until(session.engine().now() + 1.0);
+      }
+      for (const auto& s : session.trace().find_spans("unit", "startup")) {
+        if (s.key == u->id()) stats.add(s.duration());
+      }
+    }
+    return stats.mean();
+  };
+
+  const double without = measure_cu_startup(false);
+  const double with = measure_cu_startup(true);
+  std::printf("%-36s %14s\n", "configuration", "CU startup (s)");
+  std::printf("%-36s %14.1f\n", "one AM per unit (paper default)", without);
+  std::printf("%-36s %14.1f\n", "pooled AM (extension)", with);
+  std::printf("startup reduction: %.0f%%\n",
+              100.0 * (without - with) / without);
+
+  // --- effect on a Fig. 6 column (Stampede, 1M points) ---
+  std::printf("\n%-10s %6s %18s %18s\n", "machine", "tasks",
+              "per-unit AM (s)", "pooled AM (s)");
+  for (const auto& [nodes, tasks] :
+       {std::pair{1, 8}, std::pair{2, 16}, std::pair{3, 32}}) {
+    double cell[2];
+    for (bool reuse : {false, true}) {
+      KmeansExperimentConfig cfg;
+      cfg.machine = cluster::stampede_profile();
+      cfg.scenario = scenario_1m_points();
+      cfg.nodes = nodes;
+      cfg.tasks = tasks;
+      cfg.yarn_stack = true;
+      cfg.reuse_yarn_app = reuse;
+      const auto r = run_kmeans_experiment(cfg);
+      if (!r.ok) {
+        std::fprintf(stderr, "FAILED cell tasks=%d reuse=%d\n", tasks,
+                     reuse);
+        return 1;
+      }
+      cell[reuse ? 1 : 0] = r.time_to_completion;
+    }
+    std::printf("%-10s %6d %18.1f %18.1f\n", "stampede", tasks, cell[0],
+                cell[1]);
+  }
+  return 0;
+}

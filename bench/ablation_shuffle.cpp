@@ -1,0 +1,60 @@
+/// Ablation: shuffle-volume scaling (paper SS-IV-B: "The amount of I/O
+/// between the map and reduce phase depends on the number of points in
+/// the scenario. With increased I/O typically a decline of the speedup
+/// can be observed"). Sweeps the point count at the paper's constant
+/// compute (points x clusters = 5e7) and reports shuffle share and
+/// speedup on both machines. Times are simulated seconds.
+
+#include <cstdio>
+
+#include "analytics/kmeans_cost.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace hoh;
+  using namespace hoh::analytics;
+
+  benchutil::print_header(
+      "Ablation: shuffle I/O growth with point count",
+      "speedup declines with points on Stampede, stays flat on Wrangler");
+
+  const std::vector<std::pair<std::int64_t, std::int64_t>> sweep = {
+      {10'000, 5'000},  {50'000, 1'000},   {100'000, 500},
+      {500'000, 100},   {1'000'000, 50},   {5'000'000, 10},
+  };
+
+  for (const auto& [profile, name] :
+       {std::pair{cluster::stampede_profile(), "stampede (Lustre)"},
+        std::pair{cluster::wrangler_profile(), "wrangler (flash)"}}) {
+    std::printf("\n--- %s ---\n", name);
+    std::printf("%12s %12s %16s %16s %10s\n", "points", "clusters",
+                "shuffle/iter (s)", "iter @32 (s)", "speedup");
+    for (const auto& [points, clusters] : sweep) {
+      KmeansScenario s;
+      s.label = "sweep";
+      s.points = points;
+      s.clusters = clusters;
+
+      KmeansRunConfig c8;
+      c8.machine = &profile;
+      c8.nodes = 1;
+      c8.tasks = 8;
+      KmeansRunConfig c32 = c8;
+      c32.nodes = 3;
+      c32.tasks = 32;
+
+      const auto d8 = kmeans_phase_durations(s, c8);
+      const auto d32 = kmeans_phase_durations(s, c32);
+      const double shuffle32 =
+          d32.map_cost.shuffle + d32.reduce_cost.shuffle;
+      std::printf("%12lld %12lld %16.1f %16.1f %10.2f\n",
+                  static_cast<long long>(points),
+                  static_cast<long long>(clusters), shuffle32,
+                  d32.iteration_seconds(),
+                  d8.iteration_seconds() / d32.iteration_seconds());
+    }
+  }
+  std::printf("\n(Constant compute: points x clusters = 5e7 everywhere; "
+              "only the shuffle volume grows.)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "analytics/kmeans_experiment.h"
+#include "common/statistics.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+
+/// \file bench_util.h
+/// Shared helpers for the figure-reproduction harnesses. These benches
+/// report *simulated* (virtual-clock) durations — the quantities the
+/// paper's figures plot — not host wall time; the binaries themselves run
+/// in milliseconds.
+
+namespace hoh::benchutil {
+
+/// Measures the paper's "agent startup time": RADICAL-Pilot-Agent start
+/// to first Compute-Unit executing, for the given backend on \p machine.
+/// The workload is one trivial unit (as in the Fig. 5 measurement).
+struct StartupSample {
+  double agent_startup = -1.0;     // seconds, virtual
+  double mean_unit_startup = -1.0; // unit submit -> executing, on an
+                                   // already-active pilot
+};
+
+inline StartupSample measure_startup(const cluster::MachineProfile& machine,
+                                     hpc::SchedulerKind scheduler,
+                                     pilot::AgentBackend backend,
+                                     int nodes = 1, int probe_units = 8) {
+  pilot::Session session;
+  session.register_machine(machine, scheduler, nodes + 4);
+  if (backend == pilot::AgentBackend::kYarnModeII) {
+    session.create_dedicated_hadoop(machine.name, nodes);
+  }
+
+  pilot::PilotDescription pd;
+  pd.resource = hpc::to_string(scheduler) + "://" + machine.name + "/";
+  pd.nodes = nodes;
+  pd.runtime = 24 * 3600.0;
+  pd.backend = backend;
+
+  pilot::PilotManager pm(session);
+  pilot::UnitManager um(session);
+  auto pilot_handle = pm.submit_pilot(pd);
+  um.add_pilot(pilot_handle);
+
+  pilot::ComputeUnitDescription cud;
+  cud.duration = 1.0;
+  cud.memory_mb = 1024;
+  auto first = um.submit(cud);
+  while (!um.all_done() && session.engine().now() < 36000.0) {
+    session.engine().run_until(session.engine().now() + 2.0);
+  }
+  StartupSample out;
+  for (const auto& s :
+       session.trace().find_spans("pilot", "agent_startup")) {
+    if (s.key == pilot_handle->id()) out.agent_startup = s.duration();
+  }
+
+  // Unit-startup probe on the now-active pilot (Fig. 5 inset metric:
+  // submission to startup, without pilot bootstrap in the span).
+  std::vector<pilot::ComputeUnitDescription> probes(
+      static_cast<std::size_t>(probe_units), cud);
+  auto units = um.submit(probes);
+  while (!um.all_done() && session.engine().now() < 72000.0) {
+    session.engine().run_until(session.engine().now() + 2.0);
+  }
+  common::RunningStats stats;
+  for (const auto& s : session.trace().find_spans("unit", "startup")) {
+    if (s.key != first->id()) stats.add(s.duration());
+  }
+  out.mean_unit_startup = stats.mean();
+  return out;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_reference) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper: %s\n", paper_reference.c_str());
+}
+
+}  // namespace hoh::benchutil

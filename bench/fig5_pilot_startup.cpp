@@ -1,0 +1,88 @@
+/// Reproduces Fig. 5 (main panel): pilot/agent startup time for plain
+/// RADICAL-Pilot vs RADICAL-Pilot-YARN Mode I (Hadoop on HPC) on Stampede
+/// and Wrangler, plus Mode II (HPC on Hadoop) on Wrangler's dedicated
+/// Hadoop environment. Startup is defined as in the paper: "the time
+/// between RADICAL-Pilot-Agent start and the processing of the first
+/// Compute-Unit". Times are simulated seconds on the virtual clock.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace hoh;
+  using pilot::AgentBackend;
+
+  benchutil::print_header(
+      "Figure 5: Pilot startup time (seconds, simulated)",
+      "RP ~40-50s; Mode I adds 50-85s bootstrap depending on resource; "
+      "Mode II on Wrangler comparable to plain RP");
+
+  struct Row {
+    const char* machine;
+    const char* config;
+    double seconds;
+  };
+  std::vector<Row> rows;
+
+  const auto stampede = cluster::stampede_profile();
+  const auto wrangler = cluster::wrangler_profile();
+
+  rows.push_back({"stampede", "RADICAL-Pilot",
+                  benchutil::measure_startup(stampede,
+                                             hpc::SchedulerKind::kSlurm,
+                                             AgentBackend::kPlain)
+                      .agent_startup});
+  rows.push_back({"stampede", "RADICAL-Pilot-YARN (Mode I)",
+                  benchutil::measure_startup(stampede,
+                                             hpc::SchedulerKind::kSlurm,
+                                             AgentBackend::kYarnModeI)
+                      .agent_startup});
+  rows.push_back({"wrangler", "RADICAL-Pilot",
+                  benchutil::measure_startup(wrangler,
+                                             hpc::SchedulerKind::kSge,
+                                             AgentBackend::kPlain)
+                      .agent_startup});
+  rows.push_back({"wrangler", "RADICAL-Pilot-YARN (Mode I)",
+                  benchutil::measure_startup(wrangler,
+                                             hpc::SchedulerKind::kSge,
+                                             AgentBackend::kYarnModeI)
+                      .agent_startup});
+  rows.push_back({"wrangler", "RADICAL-Pilot-YARN (Mode II)",
+                  benchutil::measure_startup(wrangler,
+                                             hpc::SchedulerKind::kSge,
+                                             AgentBackend::kYarnModeII)
+                      .agent_startup});
+  // Extension beyond the figure: the Spark standalone bootstrap path.
+  rows.push_back({"stampede", "RADICAL-Pilot-Spark (Mode I)",
+                  benchutil::measure_startup(stampede,
+                                             hpc::SchedulerKind::kSlurm,
+                                             AgentBackend::kSparkModeI)
+                      .agent_startup});
+
+  std::printf("%-10s %-32s %12s\n", "machine", "configuration",
+              "startup (s)");
+  for (const auto& r : rows) {
+    std::printf("%-10s %-32s %12.1f\n", r.machine, r.config, r.seconds);
+  }
+
+  // Derived checks against the paper's claims.
+  const double rp_s = rows[0].seconds;
+  const double yarn_s = rows[1].seconds;
+  const double rp_w = rows[2].seconds;
+  const double yarn_w = rows[3].seconds;
+  const double mode2_w = rows[4].seconds;
+  std::printf("\nMode I overhead over plain RP (bootstrap + first-unit "
+              "YARN dispatch): stampede %+.1fs, wrangler %+.1fs\n",
+              yarn_s - rp_s, yarn_w - rp_w);
+  std::printf("  of which cluster bootstrap alone (paper: 50-85s "
+              "'depending upon the resource selected'): stampede %.1fs, "
+              "wrangler %.1fs\n",
+              cluster::stampede_profile().bootstrap.yarn_bootstrap_time(1),
+              cluster::wrangler_profile().bootstrap.yarn_bootstrap_time(1));
+  std::printf("Mode II overhead over plain RP: wrangler %+.1fs, all of it "
+              "per-unit YARN dispatch — no cluster to spawn (paper: "
+              "comparable to plain RP startup)\n",
+              mode2_w - rp_w);
+  return 0;
+}

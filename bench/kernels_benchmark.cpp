@@ -1,0 +1,148 @@
+/// google-benchmark microbenchmarks of the *real* execution engines: the
+/// four K-Means backends, the threaded MapReduce engine and the mini-RDD
+/// engine. These measure host wall time (the engines do real work), in
+/// contrast to the figure harnesses which report simulated seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "analytics/graph.h"
+#include "analytics/kmeans.h"
+#include "analytics/trajectory.h"
+#include "mapreduce/mr_engine.h"
+#include "spark/rdd.h"
+
+namespace {
+
+using namespace hoh;
+using namespace hoh::analytics;
+
+const std::vector<Point3>& bench_points() {
+  static const auto points = gaussian_blobs(20'000, 16, 7);
+  return points;
+}
+
+void BM_KmeansSerial(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kmeans_serial(bench_points(), 16, 2));
+  }
+}
+BENCHMARK(BM_KmeansSerial);
+
+void BM_KmeansThreaded(benchmark::State& state) {
+  common::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kmeans_threaded(pool, bench_points(), 16, 2));
+  }
+}
+BENCHMARK(BM_KmeansThreaded)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_KmeansMapReduce(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kmeans_mapreduce(pool, bench_points(), 16, 2,
+                         static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KmeansMapReduce)->Arg(4)->Arg(16);
+
+void BM_KmeansRdd(benchmark::State& state) {
+  spark::SparkEnv env(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kmeans_rdd(env, bench_points(), 16, 2,
+                   static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_KmeansRdd)->Arg(4)->Arg(16);
+
+void BM_MapReduceWordCount(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 5000; ++i) {
+    lines.push_back("alpha beta gamma delta w" + std::to_string(i % 97));
+  }
+  mapreduce::MrJob<std::string, std::string, int,
+                   std::pair<std::string, int>>
+      job;
+  job.mapper = [](const std::string& line,
+                  mapreduce::Emitter<std::string, int>& out) {
+    std::string cur;
+    for (char c : line) {
+      if (c == ' ') {
+        if (!cur.empty()) out.emit(cur, 1);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) out.emit(cur, 1);
+  };
+  job.reducer = [](const std::string& k, const std::vector<int>& vs) {
+    int sum = 0;
+    for (int v : vs) sum += v;
+    return std::pair<std::string, int>(k, sum);
+  };
+  job.map_tasks = 8;
+  job.reduce_tasks = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapreduce::run_mr(pool, lines, job));
+  }
+}
+BENCHMARK(BM_MapReduceWordCount);
+
+void BM_RddPipeline(benchmark::State& state) {
+  spark::SparkEnv env(4);
+  std::vector<int> data(100'000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<int>(i);
+  }
+  for (auto _ : state) {
+    auto rdd = spark::Rdd<int>::parallelize(env, data, 16)
+                   .map([](const int& x) { return x * 3; })
+                   .filter([](const int& x) { return x % 2 == 0; });
+    benchmark::DoNotOptimize(rdd.fold(0, [](int a, int b) { return a + b; }));
+  }
+}
+BENCHMARK(BM_RddPipeline);
+
+void BM_TriangleCounting(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  const auto graph = preferential_attachment_graph(5'000, 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_triangles(pool, graph));
+  }
+}
+BENCHMARK(BM_TriangleCounting);
+
+void BM_PageRankThreaded(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  const auto graph = preferential_attachment_graph(5'000, 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank(pool, graph, 10));
+  }
+}
+BENCHMARK(BM_PageRankThreaded);
+
+void BM_PageRankRdd(benchmark::State& state) {
+  spark::SparkEnv env(4);
+  const auto graph = preferential_attachment_graph(1'000, 4, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pagerank_rdd(env, graph, 5));
+  }
+}
+BENCHMARK(BM_PageRankRdd);
+
+void BM_TrajectoryRgSeries(benchmark::State& state) {
+  common::ThreadPool pool(4);
+  const auto traj = generate_trajectory(500, 200, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rg_series(pool, traj));
+  }
+}
+BENCHMARK(BM_TrajectoryRgSeries);
+
+}  // namespace
+
+BENCHMARK_MAIN();

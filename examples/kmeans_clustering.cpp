@@ -1,0 +1,90 @@
+/// K-Means four ways: runs the *real* K-Means implementations (serial,
+/// thread-parallel, MapReduce engine, mini-RDD engine) on the same
+/// synthetic dataset, verifies they agree, and reports host wall time —
+/// the in-process analogue of the paper's benchmark workload. Then runs
+/// one Fig. 6 cell end-to-end through the simulated middleware and
+/// reports the simulated time-to-completion.
+///
+///   $ ./examples/kmeans_clustering
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "analytics/kmeans.h"
+#include "analytics/kmeans_experiment.h"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hoh;
+  using namespace hoh::analytics;
+
+  // --- real computation, four backends ---
+  const std::size_t n = 50'000;
+  const std::size_t k = 20;
+  const int iterations = 3;
+  std::printf("dataset: %zu 3-D points, k=%zu, %d iterations\n", n, k,
+              iterations);
+  const auto points = gaussian_blobs(n, k, 42);
+
+  common::ThreadPool pool(4);
+  spark::SparkEnv spark_env(4);
+
+  KMeansResult serial;
+  KMeansResult threaded;
+  KMeansResult mr;
+  KMeansResult rdd;
+  const double t_serial = wall_seconds(
+      [&] { serial = kmeans_serial(points, k, iterations); });
+  const double t_threaded = wall_seconds(
+      [&] { threaded = kmeans_threaded(pool, points, k, iterations); });
+  const double t_mr = wall_seconds(
+      [&] { mr = kmeans_mapreduce(pool, points, k, iterations, 16, 8); });
+  const double t_rdd = wall_seconds(
+      [&] { rdd = kmeans_rdd(spark_env, points, k, iterations, 16); });
+
+  std::printf("%-22s %12s %14s\n", "backend", "wall (ms)", "inertia");
+  std::printf("%-22s %12.1f %14.1f\n", "serial", t_serial * 1e3,
+              serial.inertia);
+  std::printf("%-22s %12.1f %14.1f\n", "threaded", t_threaded * 1e3,
+              threaded.inertia);
+  std::printf("%-22s %12.1f %14.1f\n", "mapreduce engine", t_mr * 1e3,
+              mr.inertia);
+  std::printf("%-22s %12.1f %14.1f\n", "mini-RDD engine", t_rdd * 1e3,
+              rdd.inertia);
+
+  const bool agree =
+      std::abs(serial.inertia - threaded.inertia) < 1e-3 &&
+      std::abs(serial.inertia - mr.inertia) < 1e-3 &&
+      std::abs(serial.inertia - rdd.inertia) < 1e-3;
+  std::printf("all backends agree: %s\n", agree ? "yes" : "NO");
+
+  // --- one Fig. 6 cell through the full middleware ---
+  std::printf("\nFig. 6 cell: 1M points / 50 clusters, 32 tasks on 3 "
+              "Stampede nodes\n");
+  for (bool yarn : {false, true}) {
+    KmeansExperimentConfig cfg;
+    cfg.machine = cluster::stampede_profile();
+    cfg.scenario = scenario_1m_points();
+    cfg.nodes = 3;
+    cfg.tasks = 32;
+    cfg.yarn_stack = yarn;
+    const auto r = run_kmeans_experiment(cfg);
+    std::printf("  %-22s ttc=%8.1f simulated-s  (agent startup %.1fs, "
+                "mean CU startup %.1fs)\n",
+                yarn ? "RADICAL-Pilot-YARN" : "RADICAL-Pilot",
+                r.time_to_completion, r.agent_startup,
+                r.mean_unit_startup);
+  }
+  return agree ? 0 : 1;
+}

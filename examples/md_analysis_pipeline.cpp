@@ -1,0 +1,160 @@
+/// The paper's motivating use case (SS-I): a bio-molecular pipeline that
+/// couples an HPC *simulation* stage with a Hadoop-side *analytics*
+/// stage under one resource-management layer.
+///
+/// Stage 1 (HPC): an ensemble of MPI "MD simulation" Compute-Units runs
+/// on a plain pilot; each writes a trajectory to the shared filesystem
+/// (sizes from the trajectory model; staging goes through the simulated
+/// Lustre).
+///
+/// Stage 2 (Hadoop on HPC): a second pilot bootstraps YARN on its own
+/// allocation (Mode I) and runs per-trajectory analysis units against
+/// HDFS-resident data.
+///
+/// Alongside the simulated pipeline, the *real* analysis kernels run on
+/// an in-process trajectory so the example produces actual science-like
+/// numbers (radius of gyration, RMSD drift, PCA eigenvalues).
+///
+///   $ ./examples/md_analysis_pipeline
+
+#include <cstdio>
+
+#include "analytics/trajectory.h"
+#include "common/string_util.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+
+int main() {
+  using namespace hoh;
+  using namespace hoh::analytics;
+
+  pilot::Session session;
+  session.register_machine(cluster::stampede_profile(),
+                           hpc::SchedulerKind::kSlurm, 8);
+  pilot::PilotManager pm(session);
+
+  const int ensemble = 8;
+  const std::size_t atoms = 20'000;
+  const std::size_t frames = 1'000;
+  const common::Bytes traj_bytes = trajectory_bytes(atoms, frames);
+  std::printf("ensemble of %d replicas, %zu atoms x %zu frames "
+              "(%s per trajectory)\n",
+              ensemble, atoms, frames,
+              common::format_bytes(traj_bytes).c_str());
+
+  // --- stage 1: MD simulations on a plain HPC pilot ---
+  pilot::PilotDescription sim_pd;
+  sim_pd.resource = "slurm://stampede/";
+  sim_pd.nodes = 4;
+  sim_pd.runtime = 24 * 3600.0;
+  auto sim_pilot = pm.submit_pilot(sim_pd);
+
+  pilot::UnitManager sim_um(session);
+  sim_um.add_pilot(sim_pilot);
+  std::vector<pilot::ComputeUnitDescription> sims;
+  for (int r = 0; r < ensemble; ++r) {
+    pilot::ComputeUnitDescription cud;
+    cud.name = "md-replica-" + std::to_string(r);
+    cud.executable = "gromacs";
+    cud.is_mpi = true;
+    cud.cores = 8;
+    cud.memory_mb = 8 * 1024;
+    cud.duration = 1800.0;  // 30 simulated minutes of MD
+    cud.output_staging = {{saga::Url("file://stampede/scratch/traj-" +
+                                     std::to_string(r) + ".dcd"),
+                           traj_bytes}};
+    sims.push_back(cud);
+  }
+  sim_um.submit(sims);
+  while (!sim_um.all_done() && session.engine().now() < 7 * 24 * 3600.0) {
+    session.engine().run_until(session.engine().now() + 30.0);
+  }
+  std::printf("[%8.1fs] simulation stage done (%zu/%d trajectories)\n",
+              session.engine().now(), sim_um.done_count(), ensemble);
+
+  // --- stage 2: Hadoop-on-HPC analytics pilot (Mode I) ---
+  pilot::PilotDescription ana_pd;
+  ana_pd.resource = "slurm://stampede/";
+  ana_pd.nodes = 3;
+  ana_pd.runtime = 24 * 3600.0;
+  ana_pd.backend = pilot::AgentBackend::kYarnModeI;
+  pilot::AgentConfig ana_cfg;
+  ana_cfg.data_aware_scheduling = true;
+  auto ana_pilot = pm.submit_pilot(ana_pd, ana_cfg);
+  while (ana_pilot->state() != pilot::PilotState::kActive &&
+         session.engine().now() < 14 * 24 * 3600.0) {
+    session.engine().run_until(session.engine().now() + 10.0);
+  }
+
+  // Ingest the trajectories into the pilot's HDFS (writer = agent node),
+  // then run one analysis unit per trajectory with data-aware placement.
+  auto* yarn = ana_pilot->agent()->yarn_cluster();
+  const auto dn = yarn->hdfs().datanodes();
+  for (int r = 0; r < ensemble; ++r) {
+    yarn->hdfs().create_file("/traj/traj-" + std::to_string(r) + ".dcd",
+                             traj_bytes, dn[static_cast<std::size_t>(r) % dn.size()], 2);
+  }
+  std::printf("[%8.1fs] HDFS ingest done: %s across %zu DataNodes\n",
+              session.engine().now(),
+              common::format_bytes(yarn->hdfs().used_bytes()).c_str(),
+              dn.size());
+
+  pilot::UnitManager ana_um(session);
+  ana_um.add_pilot(ana_pilot);
+  std::vector<pilot::ComputeUnitDescription> analyses;
+  for (int r = 0; r < ensemble; ++r) {
+    pilot::ComputeUnitDescription cud;
+    cud.name = "analyze-" + std::to_string(r);
+    cud.executable = "mdanalysis";
+    cud.cores = 4;
+    cud.memory_mb = 4 * 1024;
+    cud.duration = 240.0;
+    cud.input_staging = {{saga::Url("hdfs://stampede/traj/traj-" +
+                                    std::to_string(r) + ".dcd"),
+                          traj_bytes}};
+    analyses.push_back(cud);
+  }
+  ana_um.submit(analyses);
+  while (!ana_um.all_done() && session.engine().now() < 14 * 24 * 3600.0) {
+    session.engine().run_until(session.engine().now() + 30.0);
+  }
+  std::printf("[%8.1fs] analytics stage done (%zu/%d units)\n",
+              session.engine().now(), ana_um.done_count(), ensemble);
+
+  // Locality achieved by the data-aware scheduler: count analysis units
+  // whose container landed on a node holding their trajectory's blocks.
+  int local = 0;
+  int placed_total = 0;
+  for (const auto& e : session.trace().find("unit", "placed")) {
+    const auto& node = e.attrs.at("node");
+    if (node.empty()) continue;
+    ++placed_total;
+    for (int r = 0; r < ensemble; ++r) {
+      const std::string path = "/traj/traj-" + std::to_string(r) + ".dcd";
+      if (yarn->hdfs().exists(path) &&
+          yarn->hdfs().locality(path, node) > 0.0) {
+        ++local;
+        break;
+      }
+    }
+  }
+  std::printf("data-aware placement: %d/%d containers on block-holding "
+              "nodes\n", local, placed_total);
+
+  // --- real analysis kernels on an in-process trajectory ---
+  common::ThreadPool pool(4);
+  const auto traj = generate_trajectory(2'000, 400, 7, 0.08);
+  const auto rg = rg_series(pool, traj);
+  const auto drift = rmsd_series(pool, traj);
+  const auto eig = com_pca_eigenvalues(traj);
+  std::printf("\nreal kernels on a %zu-atom x %zu-frame trajectory:\n",
+              traj.atoms, traj.frame_count());
+  std::printf("  radius of gyration: first %.3f -> last %.3f\n", rg.front(),
+              rg.back());
+  std::printf("  RMSD drift vs frame 0: %.3f\n", drift.back());
+  std::printf("  COM PCA eigenvalues: %.4f %.4f %.4f\n", eig[0], eig[1],
+              eig[2]);
+  sim_pilot->cancel();
+  ana_pilot->cancel();
+  return 0;
+}

@@ -1,0 +1,84 @@
+/// SAGA-Hadoop walkthrough (paper SS-III-A / Fig. 2): spawn a YARN
+/// cluster and a Spark cluster inside HPC allocations, submit framework
+/// applications, read cluster status, and tear everything down — the
+/// four interactions of the paper's Fig. 2.
+///
+///   $ ./examples/saga_hadoop_demo
+
+#include <cstdio>
+
+#include "pilot/saga_hadoop.h"
+#include "yarn/application_master.h"
+
+int main() {
+  using namespace hoh;
+  using pilot::HadoopFramework;
+
+  pilot::Session session;
+  session.register_machine(cluster::stampede_profile(),
+                           hpc::SchedulerKind::kSlurm, 8);
+  pilot::SagaHadoop tool(session);
+
+  // 1. Start a 3-node YARN cluster on Stampede.
+  const auto yarn_id = tool.start_cluster(
+      "slurm://stampede/", 3, HadoopFramework::kYarn, 3600.0, [&] {
+        std::printf("[%7.1fs] YARN cluster running\n",
+                    session.engine().now());
+      });
+  std::printf("[%7.1fs] requested YARN cluster %s (state %s)\n",
+              session.engine().now(), yarn_id.c_str(),
+              pilot::to_string(tool.state(yarn_id)).c_str());
+  session.engine().run_until(300.0);
+
+  // 2. Submit a YARN application: an AM that fans out 4 task containers.
+  int tasks_done = 0;
+  yarn::AppDescriptor app;
+  app.name = "wordcount";
+  app.on_am_start = [&](yarn::ApplicationMaster& am) {
+    yarn::ContainerRequest req;
+    req.resource = {2048, 1};
+    am.request_containers(4, req, [&](const yarn::Container& c) {
+      am.launch(c.id, [&, id = c.id] {
+        session.engine().schedule(60.0, [&, id] {
+          am.complete_container(id);
+          if (++tasks_done == 4) am.unregister(true);
+        });
+      });
+    });
+  };
+  const auto app_id = tool.submit_yarn_app(yarn_id, std::move(app));
+  std::printf("[%7.1fs] submitted %s\n", session.engine().now(),
+              app_id.c_str());
+  session.engine().run_until(600.0);
+
+  // 3. Cluster status via the REST-style metrics.
+  auto* yarn = tool.yarn(yarn_id);
+  std::printf("[%7.1fs] app %s state: %s\n", session.engine().now(),
+              app_id.c_str(),
+              yarn::to_string(
+                  yarn->resource_manager().application(app_id).state)
+                  .c_str());
+  std::printf("cluster metrics: %s\n",
+              yarn->resource_manager().cluster_metrics().dump(2).c_str());
+
+  // 4. Stop the YARN cluster; spin up Spark instead.
+  tool.stop_cluster(yarn_id);
+  std::printf("[%7.1fs] YARN cluster stopped\n", session.engine().now());
+
+  const auto spark_id = tool.start_cluster("slurm://stampede/", 2,
+                                           HadoopFramework::kSpark);
+  session.engine().run_until(session.engine().now() + 200.0);
+  spark::SparkAppDescriptor sapp;
+  sapp.name = "pyspark-shell";
+  sapp.executor_cores = 8;
+  const auto spark_app = tool.submit_spark_app(spark_id, sapp);
+  session.engine().run_until(session.engine().now() + 60.0);
+  auto* spark = tool.spark(spark_id);
+  std::printf("[%7.1fs] spark app %s: %d task slots, master status:\n%s\n",
+              session.engine().now(), spark_app.c_str(),
+              spark->task_slots(spark_app),
+              spark->status().dump(2).c_str());
+  tool.stop_cluster(spark_id);
+  std::printf("[%7.1fs] done\n", session.engine().now());
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "analytics/dataset.h"
+
+namespace hoh::analytics {
+
+Point3 operator+(const Point3& a, const Point3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+
+Point3 operator-(const Point3& a, const Point3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+Point3 operator*(const Point3& a, double s) {
+  return {a[0] * s, a[1] * s, a[2] * s};
+}
+
+double distance2(const Point3& a, const Point3& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
+
+std::vector<Point3> gaussian_blobs(std::size_t n, std::size_t k,
+                                   std::uint64_t seed, double range,
+                                   double stddev,
+                                   std::vector<Point3>* true_centers) {
+  common::Rng rng(seed);
+  std::vector<Point3> centers;
+  centers.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    centers.push_back({rng.uniform(-range, range), rng.uniform(-range, range),
+                       rng.uniform(-range, range)});
+  }
+  std::vector<Point3> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point3& c = centers[i % k];
+    points.push_back({rng.normal(c[0], stddev), rng.normal(c[1], stddev),
+                      rng.normal(c[2], stddev)});
+  }
+  if (true_centers != nullptr) *true_centers = std::move(centers);
+  return points;
+}
+
+std::vector<Point3> uniform_points(std::size_t n, std::uint64_t seed,
+                                   double range) {
+  common::Rng rng(seed);
+  std::vector<Point3> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back({rng.uniform(-range, range), rng.uniform(-range, range),
+                      rng.uniform(-range, range)});
+  }
+  return points;
+}
+
+}  // namespace hoh::analytics

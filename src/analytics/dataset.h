@@ -1,0 +1,47 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+/// \file dataset.h
+/// Point types and synthetic dataset generators for the K-Means workload
+/// (paper SS-IV-B: 3-dimensional points).
+
+namespace hoh::analytics {
+
+/// A point in R^3 — the space the paper's benchmark uses.
+using Point3 = std::array<double, 3>;
+
+Point3 operator+(const Point3& a, const Point3& b);
+Point3 operator-(const Point3& a, const Point3& b);
+Point3 operator*(const Point3& a, double s);
+
+/// Squared Euclidean distance.
+double distance2(const Point3& a, const Point3& b);
+
+/// Draws \p n points from \p k Gaussian blobs with centers uniform in
+/// [-range, range]^3 and the given per-axis standard deviation.
+/// Deterministic for a fixed seed. Returns points; \p true_centers (when
+/// non-null) receives the blob centers in generation order.
+std::vector<Point3> gaussian_blobs(std::size_t n, std::size_t k,
+                                   std::uint64_t seed, double range = 100.0,
+                                   double stddev = 2.0,
+                                   std::vector<Point3>* true_centers =
+                                       nullptr);
+
+/// Uniform points in [-range, range]^3.
+std::vector<Point3> uniform_points(std::size_t n, std::uint64_t seed,
+                                   double range = 100.0);
+
+/// Approximate serialized size of a point in the paper's text format
+/// (three ~15-char decimals + separators), used by the cost model.
+inline constexpr std::int64_t kPointRecordBytes = 50;
+
+/// Bytes of one shuffled (cluster id, point) pair in the MR formulation
+/// (verbose text key-value encoding, as the paper-era tooling produced).
+inline constexpr std::int64_t kEmitRecordBytes = 120;
+
+}  // namespace hoh::analytics

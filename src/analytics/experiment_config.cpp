@@ -1,0 +1,123 @@
+#include "analytics/experiment_config.h"
+
+#include "common/error.h"
+
+namespace hoh::analytics {
+namespace {
+
+cluster::MachineProfile machine_by_name(const std::string& name) {
+  if (name == "stampede") return cluster::stampede_profile();
+  if (name == "wrangler") return cluster::wrangler_profile();
+  if (name == "generic") return cluster::generic_profile();
+  throw common::ConfigError("unknown machine: " + name);
+}
+
+hpc::SchedulerKind scheduler_for(const std::string& machine) {
+  // Stampede ran SLURM, Wrangler's reservations go through SGE.
+  return machine == "wrangler" ? hpc::SchedulerKind::kSge
+                               : hpc::SchedulerKind::kSlurm;
+}
+
+KmeansScenario scenario_from(const common::Json& value) {
+  if (value.is_string()) {
+    const std::string& name = value.as_string();
+    if (name == "10k") return scenario_10k_points();
+    if (name == "100k") return scenario_100k_points();
+    if (name == "1m" || name == "1M") return scenario_1m_points();
+    throw common::ConfigError("unknown scenario: " + name);
+  }
+  if (value.is_object()) {
+    KmeansScenario s;
+    s.points = value.at("points").as_int();
+    s.clusters = value.at("clusters").as_int();
+    if (value.contains("iterations")) {
+      s.iterations = static_cast<int>(value.at("iterations").as_int());
+    }
+    if (s.points < 1 || s.clusters < 1 || s.iterations < 1) {
+      throw common::ConfigError("scenario fields must be >= 1");
+    }
+    s.label = std::to_string(s.points) + " pts / " +
+              std::to_string(s.clusters) + " clusters";
+    return s;
+  }
+  throw common::ConfigError("scenario must be a string or an object");
+}
+
+}  // namespace
+
+KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
+  if (!doc.is_object()) {
+    throw common::ConfigError("experiment must be a JSON object");
+  }
+  KmeansExperimentConfig cfg;
+  const std::string machine =
+      doc.contains("machine") ? doc.at("machine").as_string() : "stampede";
+  cfg.machine = machine_by_name(machine);
+  cfg.scheduler = scheduler_for(machine);
+  cfg.scenario = doc.contains("scenario")
+                     ? scenario_from(doc.at("scenario"))
+                     : scenario_1m_points();
+  if (doc.contains("nodes")) {
+    cfg.nodes = static_cast<int>(doc.at("nodes").as_int());
+  }
+  if (doc.contains("tasks")) {
+    cfg.tasks = static_cast<int>(doc.at("tasks").as_int());
+  }
+  if (cfg.nodes < 1 || cfg.tasks < 1) {
+    throw common::ConfigError("nodes and tasks must be >= 1");
+  }
+  if (doc.contains("stack")) {
+    const std::string& stack = doc.at("stack").as_string();
+    if (stack == "rp") {
+      cfg.yarn_stack = false;
+    } else if (stack == "rp-yarn" || stack == "yarn") {
+      cfg.yarn_stack = true;
+    } else {
+      throw common::ConfigError("unknown stack: " + stack);
+    }
+  }
+  if (doc.contains("op_cost")) {
+    cfg.op_cost = doc.at("op_cost").as_number();
+  }
+  if (doc.contains("shuffle_amplification")) {
+    cfg.shuffle_amplification = doc.at("shuffle_amplification").as_number();
+  }
+  if (doc.contains("reuse_yarn_app")) {
+    cfg.reuse_yarn_app = doc.at("reuse_yarn_app").as_bool();
+  }
+  return cfg;
+}
+
+std::vector<KmeansExperimentConfig> experiment_plan_from_json(
+    const common::Json& doc) {
+  if (!doc.contains("experiments") || !doc.at("experiments").is_array()) {
+    throw common::ConfigError(
+        "experiment plan needs an \"experiments\" array");
+  }
+  std::vector<KmeansExperimentConfig> plan;
+  for (const auto& entry : doc.at("experiments").as_array()) {
+    plan.push_back(kmeans_config_from_json(entry));
+  }
+  if (plan.empty()) {
+    throw common::ConfigError("experiment plan is empty");
+  }
+  return plan;
+}
+
+common::Json result_to_json(const KmeansExperimentConfig& config,
+                            const KmeansExperimentResult& result) {
+  common::Json j;
+  j["machine"] = config.machine.name;
+  j["scenario"] = config.scenario.label;
+  j["nodes"] = static_cast<std::int64_t>(config.nodes);
+  j["tasks"] = static_cast<std::int64_t>(config.tasks);
+  j["stack"] = config.yarn_stack ? "rp-yarn" : "rp";
+  j["ok"] = result.ok;
+  j["time_to_completion_s"] = result.time_to_completion;
+  j["agent_startup_s"] = result.agent_startup;
+  j["mean_unit_startup_s"] = result.mean_unit_startup;
+  j["units_completed"] = static_cast<std::int64_t>(result.units_completed);
+  return j;
+}
+
+}  // namespace hoh::analytics

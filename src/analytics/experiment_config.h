@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "analytics/kmeans_experiment.h"
+#include "common/json.h"
+
+/// \file experiment_config.h
+/// JSON (de)serialization for K-Means experiment plans, so experiments
+/// can be described in files and driven by the `hohsim` CLI:
+///
+/// {
+///   "experiments": [
+///     {"machine": "stampede", "nodes": 3, "tasks": 32,
+///      "stack": "rp-yarn", "scenario": "1m"},
+///     {"machine": "wrangler", "nodes": 1, "tasks": 8,
+///      "stack": "rp", "scenario": {"points": 250000, "clusters": 200}}
+///   ]
+/// }
+
+namespace hoh::analytics {
+
+/// Parses one experiment object. Recognized fields: machine
+/// ("stampede" | "wrangler" | "generic"), nodes, tasks, stack ("rp" |
+/// "rp-yarn"), scenario ("10k" | "100k" | "1m" or an object with points/
+/// clusters and optional iterations), op_cost, shuffle_amplification,
+/// reuse_yarn_app. Missing fields keep defaults; unknown machine/stack/
+/// scenario values throw ConfigError.
+KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc);
+
+/// Parses {"experiments": [...]} into a plan.
+std::vector<KmeansExperimentConfig> experiment_plan_from_json(
+    const common::Json& doc);
+
+/// Serializes a finished cell for machine-readable output.
+common::Json result_to_json(const KmeansExperimentConfig& config,
+                            const KmeansExperimentResult& result);
+
+}  // namespace hoh::analytics

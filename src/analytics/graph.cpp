@@ -1,0 +1,232 @@
+#include "analytics/graph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace hoh::analytics {
+
+std::size_t Graph::edge_count() const {
+  std::size_t degree_sum = 0;
+  for (const auto& nbrs : adjacency) degree_sum += nbrs.size();
+  return degree_sum / 2;
+}
+
+Graph graph_from_edges(
+    std::size_t vertices,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  Graph g;
+  g.adjacency.resize(vertices);
+  for (const auto& [u, v] : edges) {
+    if (u == v) continue;  // no self-loops
+    if (u >= vertices || v >= vertices) {
+      throw common::ConfigError("edge endpoint out of range");
+    }
+    g.adjacency[u].push_back(v);
+    g.adjacency[v].push_back(u);
+  }
+  for (auto& nbrs : g.adjacency) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = u + 1; v < n; ++v) edges.emplace_back(u, v);
+  }
+  return graph_from_edges(n, edges);
+}
+
+Graph preferential_attachment_graph(std::size_t vertices, int attach,
+                                    std::uint64_t seed) {
+  if (vertices < static_cast<std::size_t>(attach) + 1 || attach < 1) {
+    throw common::ConfigError(
+        "preferential attachment needs vertices > attach >= 1");
+  }
+  common::Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  // Repeated-endpoint list: picking a uniform element is
+  // degree-proportional sampling.
+  std::vector<std::uint32_t> endpoints;
+  // Seed clique over the first attach+1 vertices.
+  for (std::uint32_t u = 0; u <= static_cast<std::uint32_t>(attach); ++u) {
+    for (std::uint32_t v = u + 1; v <= static_cast<std::uint32_t>(attach);
+         ++v) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (std::uint32_t v = static_cast<std::uint32_t>(attach) + 1;
+       v < vertices; ++v) {
+    std::vector<std::uint32_t> chosen;
+    while (static_cast<int>(chosen.size()) < attach) {
+      const auto pick = endpoints[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoints.size()) - 1))];
+      if (std::find(chosen.begin(), chosen.end(), pick) == chosen.end()) {
+        chosen.push_back(pick);
+      }
+    }
+    for (const auto u : chosen) {
+      edges.emplace_back(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  return graph_from_edges(vertices, edges);
+}
+
+Graph random_graph(std::size_t vertices, double edge_probability,
+                   std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t u = 0; u < vertices; ++u) {
+    for (std::uint32_t v = u + 1; v < vertices; ++v) {
+      if (rng.bernoulli(edge_probability)) edges.emplace_back(u, v);
+    }
+  }
+  return graph_from_edges(vertices, edges);
+}
+
+std::uint64_t count_triangles(common::ThreadPool& pool, const Graph& graph) {
+  // Node-iterator with ordering: count each triangle at its smallest
+  // vertex by intersecting higher-numbered neighbor lists.
+  std::atomic<std::uint64_t> total{0};
+  pool.parallel_for(graph.vertex_count(), [&](std::size_t u) {
+    const auto& nbrs = graph.adjacency[u];
+    std::uint64_t local = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const auto v = nbrs[i];
+      if (v <= u) continue;
+      const auto& v_nbrs = graph.adjacency[v];
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const auto w = nbrs[j];
+        if (w <= v) continue;
+        if (std::binary_search(v_nbrs.begin(), v_nbrs.end(), w)) ++local;
+      }
+    }
+    total.fetch_add(local, std::memory_order_relaxed);
+  });
+  return total.load();
+}
+
+double clustering_coefficient(common::ThreadPool& pool, const Graph& graph) {
+  const auto triangles = count_triangles(pool, graph);
+  std::uint64_t wedges = 0;
+  for (const auto& nbrs : graph.adjacency) {
+    const std::uint64_t d = nbrs.size();
+    wedges += d * (d - 1) / 2;
+  }
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) /
+         static_cast<double>(wedges);
+}
+
+std::vector<double> pagerank(common::ThreadPool& pool, const Graph& graph,
+                             int iterations, double damping) {
+  const std::size_t n = graph.vertex_count();
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    // Contributions: our adjacency is undirected, so each edge carries
+    // rank both ways (rank[u]/deg(u) to each neighbor).
+    for (std::size_t u = 0; u < n; ++u) {
+      if (graph.adjacency[u].empty()) {
+        dangling += rank[u];
+        continue;
+      }
+      const double share =
+          rank[u] / static_cast<double>(graph.adjacency[u].size());
+      for (const auto v : graph.adjacency[u]) next[v] += share;
+    }
+    const double teleport =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    pool.parallel_for(n, [&](std::size_t v) {
+      next[v] = teleport + damping * next[v];
+    });
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<double> pagerank_rdd(spark::SparkEnv& env, const Graph& graph,
+                                 int iterations, double damping) {
+  using VertexRank = std::pair<std::uint32_t, double>;
+  const std::size_t n = graph.vertex_count();
+  if (n == 0) return {};
+
+  // Adjacency as an RDD of (vertex, neighbors), cached across iterations
+  // — the canonical Spark PageRank structure.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> adj;
+  adj.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    adj.emplace_back(v, graph.adjacency[v]);
+  }
+  auto links = spark::Rdd<std::pair<std::uint32_t,
+                                    std::vector<std::uint32_t>>>::
+                   parallelize(env, adj, 8)
+                       .cache();
+
+  std::vector<VertexRank> rank_pairs;
+  rank_pairs.reserve(n);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    rank_pairs.emplace_back(v, 1.0 / static_cast<double>(n));
+  }
+  auto ranks = spark::Rdd<VertexRank>::parallelize(env, rank_pairs, 8);
+
+  for (int it = 0; it < iterations; ++it) {
+    // Dangling mass handled exactly as in the threaded version.
+    const double dangling =
+        ranks
+            .filter([&graph](const VertexRank& vr) {
+              return graph.adjacency[vr.first].empty();
+            })
+            .map([](const VertexRank& vr) { return vr.second; })
+            .fold(0.0, [](double a, double b) { return a + b; });
+    auto contributions =
+        spark::join(links, ranks)
+            .flat_map([](const std::pair<
+                          std::uint32_t,
+                          std::pair<std::vector<std::uint32_t>, double>>&
+                             row) {
+              std::vector<VertexRank> out;
+              const auto& nbrs = row.second.first;
+              if (nbrs.empty()) return out;
+              const double share =
+                  row.second.second / static_cast<double>(nbrs.size());
+              out.reserve(nbrs.size());
+              for (const auto v : nbrs) out.emplace_back(v, share);
+              return out;
+            });
+    const double teleport =
+        (1.0 - damping) / static_cast<double>(n) +
+        damping * dangling / static_cast<double>(n);
+    auto summed = spark::reduce_by_key(
+        contributions, [](double a, double b) { return a + b; }, 8);
+    // Vertices with no incoming contribution still get the teleport term:
+    // materialize into a dense vector.
+    std::vector<double> dense(n, 0.0);
+    for (const auto& [v, c] : summed.collect()) dense[v] = c;
+    std::vector<VertexRank> next;
+    next.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      next.emplace_back(v, teleport + damping * dense[v]);
+    }
+    ranks = spark::Rdd<VertexRank>::parallelize(env, next, 8);
+  }
+  std::vector<double> out(n, 0.0);
+  for (const auto& [v, r] : ranks.collect()) out[v] = r;
+  return out;
+}
+
+}  // namespace hoh::analytics

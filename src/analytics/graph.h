@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "spark/rdd.h"
+
+/// \file graph.h
+/// Graph analytics workloads from the paper's motivating domains
+/// ("epidemiology models [12]" — Arifuzzaman et al.'s triangle counting —
+/// and "graph-based algorithms [9]"): a synthetic contact-network
+/// generator, exact triangle counting (node-iterator, thread-parallel),
+/// and PageRank in two real implementations (threaded and RDD
+/// join-based).
+
+namespace hoh::analytics {
+
+/// Undirected simple graph in adjacency-list form; neighbor lists are
+/// sorted and deduplicated.
+struct Graph {
+  std::vector<std::vector<std::uint32_t>> adjacency;
+
+  std::size_t vertex_count() const { return adjacency.size(); }
+  std::size_t edge_count() const;
+};
+
+/// Builds a graph from an edge list (self-loops and duplicates dropped).
+Graph graph_from_edges(
+    std::size_t vertices,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+/// Complete graph K_n (ground truth: C(n,3) triangles).
+Graph complete_graph(std::size_t n);
+
+/// Preferential-attachment contact network: each new vertex attaches to
+/// \p attach existing vertices chosen proportionally to degree
+/// (Barabási–Albert flavour). Deterministic for a fixed seed.
+Graph preferential_attachment_graph(std::size_t vertices, int attach,
+                                    std::uint64_t seed);
+
+/// Erdős–Rényi G(n, p). Deterministic for a fixed seed.
+Graph random_graph(std::size_t vertices, double edge_probability,
+                   std::uint64_t seed);
+
+/// Exact triangle count via the node-iterator algorithm, parallel over
+/// vertices. Each triangle counted once.
+std::uint64_t count_triangles(common::ThreadPool& pool, const Graph& graph);
+
+/// Global clustering coefficient: 3 x triangles / open+closed wedges
+/// (0 when the graph has no wedge).
+double clustering_coefficient(common::ThreadPool& pool, const Graph& graph);
+
+/// PageRank with damping \p d, uniform teleport, \p iterations rounds.
+/// Dangling mass is redistributed uniformly. Returns one score per
+/// vertex (sums to ~1).
+std::vector<double> pagerank(common::ThreadPool& pool, const Graph& graph,
+                             int iterations = 20, double damping = 0.85);
+
+/// The same PageRank expressed on the mini-RDD engine: contributions are
+/// a flat_map over (vertex, rank) joined against the adjacency RDD and
+/// reduced by key — the canonical Spark formulation.
+std::vector<double> pagerank_rdd(spark::SparkEnv& env, const Graph& graph,
+                                 int iterations = 20, double damping = 0.85);
+
+}  // namespace hoh::analytics

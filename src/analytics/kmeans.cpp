@@ -1,0 +1,191 @@
+#include "analytics/kmeans.h"
+
+#include <limits>
+#include <mutex>
+
+#include "common/error.h"
+#include "mapreduce/mr_engine.h"
+
+namespace hoh::analytics {
+namespace {
+
+/// Running sum + count per cluster for centroid updates.
+struct ClusterAccum {
+  Point3 sum{0.0, 0.0, 0.0};
+  std::size_t count = 0;
+
+  void add(const Point3& p) {
+    sum = sum + p;
+    ++count;
+  }
+  void merge(const ClusterAccum& other) {
+    sum = sum + other.sum;
+    count += other.count;
+  }
+};
+
+/// New centroids from per-cluster accumulators; empty clusters keep the
+/// previous centroid (the convention all four backends share).
+std::vector<Point3> update_centroids(const std::vector<Point3>& previous,
+                                     const std::vector<ClusterAccum>& acc) {
+  std::vector<Point3> next = previous;
+  for (std::size_t c = 0; c < previous.size(); ++c) {
+    if (acc[c].count > 0) {
+      next[c] = acc[c].sum * (1.0 / static_cast<double>(acc[c].count));
+    }
+  }
+  return next;
+}
+
+double compute_inertia(const std::vector<Point3>& points,
+                       const std::vector<Point3>& centroids) {
+  double total = 0.0;
+  for (const auto& p : points) {
+    total += distance2(p, centroids[nearest_centroid(p, centroids)]);
+  }
+  return total;
+}
+
+void validate(const std::vector<Point3>& points, std::size_t k,
+              int iterations) {
+  if (k == 0) throw common::ConfigError("kmeans: k must be >= 1");
+  if (points.size() < k) {
+    throw common::ConfigError("kmeans: need at least k points");
+  }
+  if (iterations < 1) {
+    throw common::ConfigError("kmeans: iterations must be >= 1");
+  }
+}
+
+}  // namespace
+
+std::vector<Point3> kmeans_init(const std::vector<Point3>& points,
+                                std::size_t k) {
+  std::vector<Point3> centroids;
+  centroids.reserve(k);
+  const std::size_t stride = points.size() / k;
+  for (std::size_t c = 0; c < k; ++c) centroids.push_back(points[c * stride]);
+  return centroids;
+}
+
+std::size_t nearest_centroid(const Point3& p,
+                             const std::vector<Point3>& centroids) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = distance2(p, centroids[c]);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans_serial(const std::vector<Point3>& points, std::size_t k,
+                           int iterations) {
+  validate(points, k, iterations);
+  std::vector<Point3> centroids = kmeans_init(points, k);
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<ClusterAccum> acc(k);
+    for (const auto& p : points) {
+      acc[nearest_centroid(p, centroids)].add(p);
+    }
+    centroids = update_centroids(centroids, acc);
+  }
+  return {centroids, compute_inertia(points, centroids), iterations};
+}
+
+KMeansResult kmeans_threaded(common::ThreadPool& pool,
+                             const std::vector<Point3>& points,
+                             std::size_t k, int iterations) {
+  validate(points, k, iterations);
+  std::vector<Point3> centroids = kmeans_init(points, k);
+  const std::size_t shards = pool.size();
+  const std::size_t chunk = (points.size() + shards - 1) / shards;
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<std::vector<ClusterAccum>> partials(
+        shards, std::vector<ClusterAccum>(k));
+    pool.parallel_for(shards, [&](std::size_t s) {
+      const std::size_t lo = s * chunk;
+      const std::size_t hi = std::min(points.size(), lo + chunk);
+      for (std::size_t i = lo; i < hi; ++i) {
+        partials[s][nearest_centroid(points[i], centroids)].add(points[i]);
+      }
+    });
+    std::vector<ClusterAccum> acc(k);
+    for (const auto& partial : partials) {
+      for (std::size_t c = 0; c < k; ++c) acc[c].merge(partial[c]);
+    }
+    centroids = update_centroids(centroids, acc);
+  }
+  return {centroids, compute_inertia(points, centroids), iterations};
+}
+
+KMeansResult kmeans_mapreduce(common::ThreadPool& pool,
+                              const std::vector<Point3>& points,
+                              std::size_t k, int iterations,
+                              std::size_t map_tasks,
+                              std::size_t reduce_tasks) {
+  validate(points, k, iterations);
+  std::vector<Point3> centroids = kmeans_init(points, k);
+
+  using Pair = std::pair<std::size_t, ClusterAccum>;
+  for (int it = 0; it < iterations; ++it) {
+    mapreduce::MrJob<Point3, std::size_t, ClusterAccum, Pair> job;
+    job.map_tasks = map_tasks;
+    job.reduce_tasks = reduce_tasks;
+    job.pair_bytes = static_cast<std::size_t>(kEmitRecordBytes);
+    job.mapper = [&centroids](const Point3& p,
+                              mapreduce::Emitter<std::size_t, ClusterAccum>&
+                                  out) {
+      ClusterAccum acc;
+      acc.add(p);
+      out.emit(nearest_centroid(p, centroids), acc);
+    };
+    job.combiner = [](const std::size_t&,
+                      const std::vector<ClusterAccum>& vs) {
+      ClusterAccum merged;
+      for (const auto& v : vs) merged.merge(v);
+      return merged;
+    };
+    job.reducer = [](const std::size_t& c,
+                     const std::vector<ClusterAccum>& vs) {
+      ClusterAccum merged;
+      for (const auto& v : vs) merged.merge(v);
+      return Pair{c, merged};
+    };
+    const auto reduced = mapreduce::run_mr(pool, points, job);
+    std::vector<ClusterAccum> acc(k);
+    for (const auto& [c, a] : reduced) acc[c] = a;
+    centroids = update_centroids(centroids, acc);
+  }
+  return {centroids, compute_inertia(points, centroids), iterations};
+}
+
+KMeansResult kmeans_rdd(spark::SparkEnv& env,
+                        const std::vector<Point3>& points, std::size_t k,
+                        int iterations, std::size_t partitions) {
+  validate(points, k, iterations);
+  std::vector<Point3> centroids = kmeans_init(points, k);
+  auto rdd = spark::Rdd<Point3>::parallelize(env, points, partitions).cache();
+  for (int it = 0; it < iterations; ++it) {
+    auto assigned = rdd.map([centroids](const Point3& p) {
+      ClusterAccum acc;
+      acc.add(p);
+      return std::pair<std::size_t, ClusterAccum>(
+          nearest_centroid(p, centroids), acc);
+    });
+    auto merged = spark::reduce_by_key(
+        assigned, [](ClusterAccum a, const ClusterAccum& b) {
+          a.merge(b);
+          return a;
+        });
+    std::vector<ClusterAccum> acc(k);
+    for (const auto& [c, a] : merged.collect()) acc[c] = a;
+    centroids = update_centroids(centroids, acc);
+  }
+  return {centroids, compute_inertia(points, centroids), iterations};
+}
+
+}  // namespace hoh::analytics

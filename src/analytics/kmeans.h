@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "analytics/dataset.h"
+#include "common/thread_pool.h"
+#include "spark/rdd.h"
+
+/// \file kmeans.h
+/// Four real implementations of Lloyd's K-Means over 3-D points:
+/// serial, thread-parallel, MapReduce-formulated (through the real MR
+/// engine) and RDD-formulated (through the mini-Spark engine). All four
+/// produce identical centroids for the same input and initialization, so
+/// the parallel formulations are verified against the serial one.
+
+namespace hoh::analytics {
+
+struct KMeansResult {
+  std::vector<Point3> centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+  int iterations = 0;
+};
+
+/// Deterministic initialization: k points evenly strided through the
+/// input (the formulation every backend shares).
+std::vector<Point3> kmeans_init(const std::vector<Point3>& points,
+                                std::size_t k);
+
+/// Index of the centroid nearest to \p p (ties: lowest index).
+std::size_t nearest_centroid(const Point3& p,
+                             const std::vector<Point3>& centroids);
+
+/// Classic serial Lloyd iterations.
+KMeansResult kmeans_serial(const std::vector<Point3>& points, std::size_t k,
+                           int iterations);
+
+/// Thread-parallel assignment + reduction over a pool.
+KMeansResult kmeans_threaded(common::ThreadPool& pool,
+                             const std::vector<Point3>& points,
+                             std::size_t k, int iterations);
+
+/// MapReduce formulation: map = assign point to centroid and emit
+/// (cluster, (point, 1)); reduce = average. One MR job per iteration —
+/// exactly the structure the paper's benchmark runs per iteration.
+KMeansResult kmeans_mapreduce(common::ThreadPool& pool,
+                              const std::vector<Point3>& points,
+                              std::size_t k, int iterations,
+                              std::size_t map_tasks = 0,
+                              std::size_t reduce_tasks = 0);
+
+/// RDD formulation: map + reduceByKey per iteration on a cached input
+/// RDD (the Spark variant of the same benchmark).
+KMeansResult kmeans_rdd(spark::SparkEnv& env,
+                        const std::vector<Point3>& points, std::size_t k,
+                        int iterations, std::size_t partitions = 0);
+
+}  // namespace hoh::analytics

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/dataset.h"
+#include "mapreduce/sim_cost.h"
+
+/// \file kmeans_cost.h
+/// Cost model for the paper's K-Means benchmark (Fig. 6): per-iteration
+/// map/reduce phase times for a (machine, nodes, tasks, stack)
+/// configuration. The Fig. 6 bench uses these as Compute-Unit durations
+/// when driving the real pilot middleware; the launch-path overheads
+/// (environment loading, YARN wrapper, bootstrap) come from the
+/// middleware itself, not from this model.
+
+namespace hoh::analytics {
+
+/// One of the paper's three scenarios. points x clusters is constant
+/// (5e7), so compute is constant while shuffle volume grows with points.
+struct KmeansScenario {
+  std::string label;
+  std::int64_t points = 0;
+  std::int64_t clusters = 0;
+  int dim = 3;
+  int iterations = 2;  // "we run 2 iterations of K-Means"
+};
+
+KmeansScenario scenario_10k_points();    // 10,000 pts / 5,000 clusters
+KmeansScenario scenario_100k_points();   // 100,000 pts / 500 clusters
+KmeansScenario scenario_1m_points();     // 1,000,000 pts / 50 clusters
+std::vector<KmeansScenario> paper_scenarios();
+
+/// Execution stack + placement for one Fig. 6 cell.
+struct KmeansRunConfig {
+  const cluster::MachineProfile* machine = nullptr;
+  int nodes = 1;
+  int tasks = 8;
+
+  /// true = RP-YARN: data on node-local disks (HDFS), environment
+  /// localized per node. false = plain RP: everything through the shared
+  /// parallel filesystem, environment loaded per task.
+  bool yarn_stack = false;
+
+  /// Seconds of compute per (point x cluster x dim) unit on a
+  /// compute_rate-1.0 core. Calibrated so the 8-task Stampede runs land
+  /// in the paper's hundreds-to-~2000 s range (interpreted-language task
+  /// code).
+  double op_cost = 4.0e-5;
+
+  /// Memory per task: YARN containers carry JVM overhead on top of the
+  /// task heap.
+  common::MemoryMb memory_per_task_mb = 0;  // 0 = stack default
+
+  /// Write amplification of the shuffle path (spill + merge + text
+  /// re-encoding): effective shuffle volume is
+  /// points x kEmitRecordBytes x amplification, moved twice (write+read)
+  /// through the backend's *small-file* channel.
+  double shuffle_amplification = 4.0;
+};
+
+/// Per-iteration durations for one configuration.
+struct KmeansPhaseDurations {
+  mapreduce::PhaseCost map_cost;
+  mapreduce::PhaseCost reduce_cost;
+
+  /// Duration of one map / reduce Compute-Unit (tasks run concurrently,
+  /// so per-task time equals phase time).
+  double map_task_seconds = 0.0;
+  double reduce_task_seconds = 0.0;
+
+  /// Launch-path parameters for the agent config: per-task environment
+  /// load on the plain path, per-node localization on the YARN path.
+  double env_load_per_task = 0.0;
+  double wrapper_per_node = 0.0;
+
+  double iteration_seconds() const {
+    return map_task_seconds + reduce_task_seconds;
+  }
+};
+
+KmeansPhaseDurations kmeans_phase_durations(const KmeansScenario& scenario,
+                                            const KmeansRunConfig& config);
+
+}  // namespace hoh::analytics

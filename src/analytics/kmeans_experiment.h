@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+
+#include "analytics/kmeans_cost.h"
+#include "hpc/frontends.h"
+#include "pilot/descriptions.h"
+
+/// \file kmeans_experiment.h
+/// Turn-key driver for one cell of the paper's Fig. 6: runs the K-Means
+/// benchmark end-to-end through the *real simulated middleware* — batch
+/// scheduler, pilot agent, (for the YARN stack) Mode-I bootstrap, YARN
+/// AM/container allocation per Compute-Unit — with per-task durations
+/// from the workload cost model. Each iteration submits one wave of map
+/// units and one wave of reduce units, barrier-synchronized the way the
+/// paper's benchmark ran.
+
+namespace hoh::analytics {
+
+struct KmeansExperimentConfig {
+  cluster::MachineProfile machine;
+  hpc::SchedulerKind scheduler = hpc::SchedulerKind::kSlurm;
+  KmeansScenario scenario;
+  int nodes = 1;
+  int tasks = 8;
+
+  /// true = RP-YARN (Mode I: bootstrap YARN/HDFS on the allocation, CUs
+  /// as YARN applications, local-disk I/O); false = plain RADICAL-Pilot
+  /// (fork launch method, shared-filesystem I/O).
+  bool yarn_stack = false;
+
+  /// Workload cost-model knobs (see KmeansRunConfig).
+  double op_cost = 4.0e-5;
+  double shuffle_amplification = 4.0;
+
+  /// Agent calibration (paper-era RADICAL-Pilot defaults).
+  common::Seconds spawn_latency = 1.2;    // serialized Task Spawner
+  common::Seconds yarn_submit_latency = 0.3;
+
+  /// Extension toggle: reuse one Application Master for all units.
+  bool reuse_yarn_app = false;
+
+  /// Container memory for YARN-path units.
+  common::MemoryMb unit_memory_mb = 0;  // 0 = stack default
+};
+
+struct KmeansExperimentResult {
+  /// Agent start (placeholder job running) to last unit done — the
+  /// paper's time-to-completion, which for RP-YARN "include[s] the time
+  /// required to download and start the YARN cluster".
+  double time_to_completion = 0.0;
+
+  /// Agent start to first unit executing (Fig. 5 metric).
+  double agent_startup = 0.0;
+
+  /// Mean unit-startup span across all units (Fig. 5 inset metric).
+  double mean_unit_startup = 0.0;
+
+  std::size_t units_completed = 0;
+  bool ok = false;
+};
+
+KmeansExperimentResult run_kmeans_experiment(
+    const KmeansExperimentConfig& config);
+
+}  // namespace hoh::analytics

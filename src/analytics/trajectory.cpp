@@ -1,0 +1,148 @@
+#include "analytics/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace hoh::analytics {
+
+Trajectory generate_trajectory(std::size_t atoms, std::size_t frames,
+                               std::uint64_t seed, double step) {
+  if (atoms == 0 || frames == 0) {
+    throw common::ConfigError("trajectory needs atoms >= 1 and frames >= 1");
+  }
+  common::Rng rng(seed);
+  Trajectory traj;
+  traj.atoms = atoms;
+  traj.frames.reserve(frames);
+
+  // Initial structure: atoms in a dense ball of radius ~ atoms^(1/3).
+  const double radius = std::cbrt(static_cast<double>(atoms));
+  std::vector<Point3> current;
+  current.reserve(atoms);
+  for (std::size_t a = 0; a < atoms; ++a) {
+    current.push_back({rng.normal(0.0, radius), rng.normal(0.0, radius),
+                       rng.normal(0.0, radius)});
+  }
+  traj.frames.push_back(current);
+  for (std::size_t f = 1; f < frames; ++f) {
+    for (auto& p : current) {
+      p[0] += rng.normal(0.0, step);
+      p[1] += rng.normal(0.0, step);
+      p[2] += rng.normal(0.0, step);
+    }
+    traj.frames.push_back(current);
+  }
+  return traj;
+}
+
+common::Bytes trajectory_bytes(std::size_t atoms, std::size_t frames) {
+  // 3 x float32 per atom per frame + ~100 B frame header (DCD-like).
+  return static_cast<common::Bytes>(frames) *
+         (static_cast<common::Bytes>(atoms) * 12 + 100);
+}
+
+Point3 center_of_mass(const std::vector<Point3>& frame) {
+  Point3 com{0.0, 0.0, 0.0};
+  for (const auto& p : frame) com = com + p;
+  return com * (1.0 / static_cast<double>(frame.size()));
+}
+
+double radius_of_gyration(const std::vector<Point3>& frame) {
+  const Point3 com = center_of_mass(frame);
+  double sum = 0.0;
+  for (const auto& p : frame) sum += distance2(p, com);
+  return std::sqrt(sum / static_cast<double>(frame.size()));
+}
+
+double rmsd(const std::vector<Point3>& a, const std::vector<Point3>& b) {
+  if (a.size() != b.size()) {
+    throw common::ConfigError("rmsd: frames differ in atom count");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += distance2(a[i], b[i]);
+  return std::sqrt(sum / static_cast<double>(a.size()));
+}
+
+std::vector<double> rg_series(common::ThreadPool& pool,
+                              const Trajectory& trajectory) {
+  std::vector<double> out(trajectory.frame_count());
+  pool.parallel_for(out.size(), [&](std::size_t f) {
+    out[f] = radius_of_gyration(trajectory.frames[f]);
+  });
+  return out;
+}
+
+std::vector<double> rmsd_series(common::ThreadPool& pool,
+                                const Trajectory& trajectory) {
+  std::vector<double> out(trajectory.frame_count());
+  const auto& reference = trajectory.frames.front();
+  pool.parallel_for(out.size(), [&](std::size_t f) {
+    out[f] = rmsd(trajectory.frames[f], reference);
+  });
+  return out;
+}
+
+namespace {
+
+/// One Jacobi rotation zeroing element (p, q) of a symmetric 3x3.
+void jacobi_rotate(std::array<std::array<double, 3>, 3>& m, int p, int q) {
+  if (std::abs(m[p][q]) < 1e-15) return;
+  const double theta = (m[q][q] - m[p][p]) / (2.0 * m[p][q]);
+  const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+  const double c = 1.0 / std::sqrt(t * t + 1.0);
+  const double s = t * c;
+  std::array<std::array<double, 3>, 3> r = m;
+  for (int i = 0; i < 3; ++i) {
+    r[p][i] = c * m[p][i] - s * m[q][i];
+    r[q][i] = s * m[p][i] + c * m[q][i];
+  }
+  std::array<std::array<double, 3>, 3> out = r;
+  for (int i = 0; i < 3; ++i) {
+    out[i][p] = c * r[i][p] - s * r[i][q];
+    out[i][q] = s * r[i][p] + c * r[i][q];
+  }
+  m = out;
+}
+
+}  // namespace
+
+std::array<double, 3> com_pca_eigenvalues(const Trajectory& trajectory) {
+  // Covariance of the COM trace.
+  std::vector<Point3> coms;
+  coms.reserve(trajectory.frame_count());
+  for (const auto& f : trajectory.frames) coms.push_back(center_of_mass(f));
+  Point3 mean{0.0, 0.0, 0.0};
+  for (const auto& c : coms) mean = mean + c;
+  mean = mean * (1.0 / static_cast<double>(coms.size()));
+
+  std::array<std::array<double, 3>, 3> cov{};
+  for (const auto& c : coms) {
+    const Point3 d = c - mean;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        cov[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            d[static_cast<std::size_t>(i)] * d[static_cast<std::size_t>(j)];
+      }
+    }
+  }
+  const double n = static_cast<double>(coms.size());
+  for (auto& row : cov) {
+    for (auto& v : row) v /= n;
+  }
+
+  // Jacobi sweeps (3x3 symmetric converges in a few).
+  for (int sweep = 0; sweep < 16; ++sweep) {
+    jacobi_rotate(cov, 0, 1);
+    jacobi_rotate(cov, 0, 2);
+    jacobi_rotate(cov, 1, 2);
+  }
+  std::array<double, 3> eig{cov[0][0], cov[1][1], cov[2][2]};
+  std::sort(eig.begin(), eig.end(), std::greater<>());
+  return eig;
+}
+
+}  // namespace hoh::analytics

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analytics/dataset.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+/// \file trajectory.h
+/// Synthetic molecular-dynamics trajectory data and the analysis kernels
+/// the paper motivates ("trajectory data that is time-ordered set of
+/// coordinates", analysis "from computing the higher order moments, to
+/// principal components"). Substitutes for real MD output (unavailable
+/// here) while exercising the same compute/data shape: frames x atoms of
+/// 3-D coordinates, reduced per frame and across frames.
+
+namespace hoh::analytics {
+
+/// A trajectory: frames[f][a] is atom a's position in frame f.
+struct Trajectory {
+  std::size_t atoms = 0;
+  std::vector<std::vector<Point3>> frames;
+
+  std::size_t frame_count() const { return frames.size(); }
+};
+
+/// Generates a random-walk trajectory around a compact initial
+/// structure. Deterministic for a fixed seed.
+Trajectory generate_trajectory(std::size_t atoms, std::size_t frames,
+                               std::uint64_t seed, double step = 0.05);
+
+/// Serialized size of a trajectory in a binary DCD-like format.
+common::Bytes trajectory_bytes(std::size_t atoms, std::size_t frames);
+
+/// Center of mass of one frame (unit masses).
+Point3 center_of_mass(const std::vector<Point3>& frame);
+
+/// Radius of gyration of one frame.
+double radius_of_gyration(const std::vector<Point3>& frame);
+
+/// Root-mean-square deviation between two frames (no alignment).
+double rmsd(const std::vector<Point3>& a, const std::vector<Point3>& b);
+
+/// Per-frame radius-of-gyration series, computed frame-parallel.
+std::vector<double> rg_series(common::ThreadPool& pool,
+                              const Trajectory& trajectory);
+
+/// Per-frame RMSD against frame 0, computed frame-parallel.
+std::vector<double> rmsd_series(common::ThreadPool& pool,
+                                const Trajectory& trajectory);
+
+/// Eigenvalues (descending) of the 3x3 covariance of the center-of-mass
+/// trace — the "principal component based analysis" of the trajectory's
+/// global motion. Uses a closed-loop Jacobi sweep on the symmetric 3x3.
+std::array<double, 3> com_pca_eigenvalues(const Trajectory& trajectory);
+
+}  // namespace hoh::analytics

@@ -1,0 +1,72 @@
+#include "analytics/workload_gen.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/random.h"
+
+namespace hoh::analytics {
+
+std::string to_string(DurationDistribution dist) {
+  switch (dist) {
+    case DurationDistribution::kConstant:
+      return "constant";
+    case DurationDistribution::kUniform:
+      return "uniform";
+    case DurationDistribution::kBimodal:
+      return "bimodal";
+    case DurationDistribution::kHeavyTail:
+      return "heavy-tail";
+  }
+  return "?";
+}
+
+std::vector<pilot::ComputeUnitDescription> generate_workload(
+    const WorkloadSpec& spec) {
+  if (spec.units < 1 || spec.mean_seconds <= 0.0) {
+    throw common::ConfigError(
+        "WorkloadSpec: units >= 1 and mean_seconds > 0 required");
+  }
+  common::Rng rng(spec.seed);
+  std::vector<pilot::ComputeUnitDescription> out;
+  out.reserve(static_cast<std::size_t>(spec.units));
+  for (int i = 0; i < spec.units; ++i) {
+    pilot::ComputeUnitDescription cud;
+    cud.name = spec.executable + "-" + std::to_string(i);
+    cud.executable = spec.executable;
+    cud.cores = spec.cores;
+    cud.memory_mb = spec.memory_mb;
+    switch (spec.distribution) {
+      case DurationDistribution::kConstant:
+        cud.duration = spec.mean_seconds;
+        break;
+      case DurationDistribution::kUniform:
+        cud.duration = rng.uniform(0.5, 1.5) * spec.mean_seconds;
+        break;
+      case DurationDistribution::kBimodal:
+        cud.duration = rng.bernoulli(0.9) ? 0.25 * spec.mean_seconds
+                                          : 7.75 * spec.mean_seconds;
+        break;
+      case DurationDistribution::kHeavyTail: {
+        // Log-normal: mean = median * exp(sigma^2 / 2); pick the median
+        // so the distribution mean equals mean_seconds with sigma = 1.
+        const double sigma = 1.0;
+        const double median =
+            spec.mean_seconds / std::exp(sigma * sigma / 2.0);
+        cud.duration = rng.lognormal(median, sigma);
+        break;
+      }
+    }
+    out.push_back(std::move(cud));
+  }
+  return out;
+}
+
+double total_work_seconds(
+    const std::vector<pilot::ComputeUnitDescription>& units) {
+  double total = 0.0;
+  for (const auto& u : units) total += u.duration;
+  return total;
+}
+
+}  // namespace hoh::analytics

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pilot/descriptions.h"
+
+/// \file workload_gen.h
+/// Synthetic Compute-Unit workload generators for throughput and
+/// scheduling studies. Distributions reflect the workload classes the
+/// paper's SS-II contrasts: fine-grained data-parallel tasks vs
+/// long-running HPC jobs, plus heavy-tailed mixes where stragglers
+/// dominate.
+
+namespace hoh::analytics {
+
+enum class DurationDistribution {
+  kConstant,   // every unit the same
+  kUniform,    // [0.5, 1.5] x mean
+  kBimodal,    // 90% short (0.25 x mean), 10% long (7.75 x mean)
+  kHeavyTail,  // log-normal with sigma 1.0 (median chosen to hit mean)
+};
+
+std::string to_string(DurationDistribution dist);
+
+struct WorkloadSpec {
+  int units = 32;
+  DurationDistribution distribution = DurationDistribution::kConstant;
+  double mean_seconds = 60.0;
+  int cores = 1;
+  common::MemoryMb memory_mb = 2048;
+  std::string executable = "task";
+  std::uint64_t seed = 42;
+};
+
+/// Generates the unit descriptions. Deterministic for a fixed seed; the
+/// realized mean converges to mean_seconds for large unit counts.
+std::vector<pilot::ComputeUnitDescription> generate_workload(
+    const WorkloadSpec& spec);
+
+/// Sum of the generated durations (ideal serial work).
+double total_work_seconds(
+    const std::vector<pilot::ComputeUnitDescription>& units);
+
+}  // namespace hoh::analytics

@@ -1,0 +1,164 @@
+#include "cluster/machine.h"
+
+#include "common/error.h"
+
+namespace hoh::cluster {
+
+common::Seconds BootstrapCostModel::yarn_bootstrap_time(int nodes) const {
+  const common::Seconds download =
+      NetworkModel::wan_transfer_time(distribution_bytes, download_bandwidth);
+  return download + configure_time + master_daemon_start +
+         worker_daemon_start * nodes;
+}
+
+common::Seconds BootstrapCostModel::spark_bootstrap_time(int nodes) const {
+  const common::Seconds download = NetworkModel::wan_transfer_time(
+      distribution_bytes / 2, download_bandwidth);  // Spark tarball ~half
+  return download + configure_time + spark_master_start +
+         spark_worker_start * nodes;
+}
+
+common::Seconds MachineProfile::storage_transfer_time(
+    StorageBackend backend, common::Bytes bytes,
+    int concurrent_streams) const {
+  switch (backend) {
+    case StorageBackend::kLocalDisk:
+      return local_disk.transfer_time(bytes, concurrent_streams);
+    case StorageBackend::kLocalSsd:
+      if (local_ssd.bandwidth <= 0.0) {
+        throw common::ResourceError("machine '" + name + "' has no local SSD");
+      }
+      return local_ssd.transfer_time(bytes, concurrent_streams);
+    case StorageBackend::kSharedFs:
+      return shared_fs.transfer_time(bytes, concurrent_streams);
+    case StorageBackend::kMemory:
+      return memory.transfer_time(bytes);
+  }
+  throw common::ConfigError("unknown storage backend");
+}
+
+MachineProfile stampede_profile() {
+  MachineProfile m;
+  m.name = "stampede";
+  m.node.cores = 16;
+  m.node.memory_mb = 32 * 1024;
+  m.node.compute_rate = 1.0;
+  m.node.local_disk_bw = 90.0e6;   // SATA spinning disk
+  m.node.local_ssd_bw = 0.0;
+  m.node.network_bw = 7.0e9;       // FDR InfiniBand (56 Gb/s)
+  m.total_nodes = 6400;
+
+  m.shared_fs.name = "lustre-scratch";
+  m.shared_fs.aggregate_bandwidth = 1.2e9;
+  m.shared_fs.per_client_cap = 250.0e6;
+  m.shared_fs.metadata_latency = 0.04;
+  m.shared_fs.small_file_aggregate_bandwidth = 10.0e6;  // busy MDS
+  m.shared_fs.background_streams = 120;  // busy production $SCRATCH
+
+  m.local_disk.bandwidth = m.node.local_disk_bw;
+  m.local_disk.op_latency = 0.008;
+  m.local_disk.small_file_bandwidth = 20.0e6;  // SATA random I/O
+  m.local_ssd.bandwidth = 0.0;
+
+  m.network.link_bandwidth = m.node.network_bw;
+  m.network.bisection_bandwidth = 60.0e9;
+  m.network.latency = 0.0003;
+
+  m.bootstrap.download_bandwidth = 5.5e6;   // shared campus mirror
+  m.bootstrap.master_daemon_start = 10.0;
+  m.bootstrap.worker_daemon_start = 2.5;
+
+  m.scheduler_submit_latency = 1.5;
+  m.job_prolog_time = 8.0;
+  m.agent_bootstrap_time = 45.0;
+  m.has_dedicated_hadoop = false;
+  return m;
+}
+
+MachineProfile wrangler_profile() {
+  MachineProfile m;
+  m.name = "wrangler";
+  m.node.cores = 48;
+  m.node.memory_mb = 128 * 1024;
+  m.node.compute_rate = 1.5;       // Haswell vs Sandy Bridge
+  m.node.local_disk_bw = 450.0e6;  // flash-backed local storage
+  m.node.local_ssd_bw = 450.0e6;
+  m.node.network_bw = 12.0e9;      // 120 Gb/s to the flash fabric
+  m.total_nodes = 96;
+
+  m.shared_fs.name = "flash-lustre";
+  m.shared_fs.aggregate_bandwidth = 6.0e9;
+  m.shared_fs.per_client_cap = 800.0e6;
+  m.shared_fs.metadata_latency = 0.015;
+  m.shared_fs.small_file_aggregate_bandwidth = 500.0e6;  // flash-backed
+  m.shared_fs.background_streams = 15;  // small data-intensive machine
+
+  m.local_disk.bandwidth = m.node.local_disk_bw;
+  m.local_disk.op_latency = 0.002;
+  m.local_disk.small_file_bandwidth = 250.0e6;  // flash random I/O
+  m.local_ssd.bandwidth = m.node.local_ssd_bw;
+  m.local_ssd.op_latency = 0.001;
+  m.local_ssd.small_file_bandwidth = 250.0e6;
+
+  m.network.link_bandwidth = m.node.network_bw;
+  m.network.bisection_bandwidth = 120.0e9;
+  m.network.latency = 0.0002;
+
+  m.bootstrap.download_bandwidth = 10.0e6;
+  m.bootstrap.master_daemon_start = 7.0;
+  m.bootstrap.worker_daemon_start = 1.5;
+
+  m.scheduler_submit_latency = 1.0;
+  m.job_prolog_time = 5.0;
+  m.agent_bootstrap_time = 35.0;
+  m.has_dedicated_hadoop = true;  // data-portal Hadoop reservation
+  return m;
+}
+
+MachineProfile generic_profile(int nodes, int cores_per_node,
+                               common::MemoryMb memory_mb) {
+  MachineProfile m;
+  m.name = "beowulf";
+  m.node.cores = cores_per_node;
+  m.node.memory_mb = memory_mb;
+  m.node.compute_rate = 1.0;
+  m.node.local_disk_bw = 150.0e6;
+  m.node.network_bw = 1.0e9;
+  m.total_nodes = nodes;
+
+  m.shared_fs.name = "nfs";
+  m.shared_fs.aggregate_bandwidth = 0.4e9;
+  m.shared_fs.per_client_cap = 110.0e6;
+  m.shared_fs.metadata_latency = 0.02;
+
+  m.local_disk.bandwidth = m.node.local_disk_bw;
+  m.network.link_bandwidth = m.node.network_bw;
+  m.network.bisection_bandwidth = 8.0e9;
+
+  m.bootstrap.download_bandwidth = 10.0e6;
+  m.scheduler_submit_latency = 0.5;
+  m.job_prolog_time = 2.0;
+  m.agent_bootstrap_time = 10.0;
+  return m;
+}
+
+int Allocation::total_cores() const {
+  int total = 0;
+  for (const auto& n : nodes_) total += n->spec().cores;
+  return total;
+}
+
+common::MemoryMb Allocation::total_memory_mb() const {
+  common::MemoryMb total = 0;
+  for (const auto& n : nodes_) total += n->spec().memory_mb;
+  return total;
+}
+
+std::vector<std::string> Allocation::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(nodes_.size());
+  for (const auto& n : nodes_) names.push_back(n->name());
+  return names;
+}
+
+}  // namespace hoh::cluster

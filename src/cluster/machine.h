@@ -1,0 +1,110 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/network.h"
+#include "cluster/node.h"
+#include "cluster/storage.h"
+#include "common/units.h"
+
+/// \file machine.h
+/// Machine profiles for the two XSEDE systems the paper evaluates on
+/// (Stampede and Wrangler) plus a generic Beowulf profile, and the
+/// Allocation type representing a set of nodes handed to a pilot by the
+/// batch scheduler.
+
+namespace hoh::cluster {
+
+/// Latency model for the Mode-I Hadoop/Spark bootstrap the LRM performs:
+/// download the distribution, write the *-site.xml files, start the
+/// master daemons, then one round of worker daemons. Matches the steps in
+/// paper SS-III-C ("the LRM downloads Hadoop and creates the necessary
+/// configuration files ... HDFS and YARN are started").
+struct BootstrapCostModel {
+  common::Bytes distribution_bytes = 300 * common::kMiB;
+  common::BytesPerSec download_bandwidth = 5.0e6;
+  common::Seconds configure_time = 2.0;
+  common::Seconds master_daemon_start = 8.0;      // NameNode + ResourceManager
+  common::Seconds worker_daemon_start = 2.0;      // per NodeManager/DataNode
+  common::Seconds spark_master_start = 5.0;       // standalone master
+  common::Seconds spark_worker_start = 1.5;       // per worker
+  common::Seconds teardown_time = 3.0;            // stop daemons, remove data
+
+  /// Total Mode-I YARN bootstrap time for \p nodes nodes.
+  common::Seconds yarn_bootstrap_time(int nodes) const;
+
+  /// Total Mode-I Spark standalone bootstrap time for \p nodes nodes.
+  common::Seconds spark_bootstrap_time(int nodes) const;
+};
+
+/// Full description of one HPC machine.
+struct MachineProfile {
+  std::string name = "generic";
+  NodeSpec node;
+  int total_nodes = 64;
+
+  SharedFsModel shared_fs;
+  LocalStorageModel local_disk;
+  LocalStorageModel local_ssd;  // bandwidth 0 when absent
+  MemoryStorageModel memory;
+  NetworkModel network;
+  BootstrapCostModel bootstrap;
+
+  /// Batch system behaviour.
+  common::Seconds scheduler_submit_latency = 1.0;  // sbatch/qsub round trip
+  common::Seconds job_prolog_time = 5.0;           // node setup before payload
+  common::Seconds job_epilog_time = 2.0;
+
+  /// Time for the plain RADICAL-Pilot agent to come up once the batch job
+  /// starts (load environment, start agent components, connect to the
+  /// state store).
+  common::Seconds agent_bootstrap_time = 40.0;
+
+  /// True when the machine offers a dedicated, persistent Hadoop
+  /// environment (Wrangler's data-portal reservation) enabling Mode II.
+  bool has_dedicated_hadoop = false;
+
+  /// Storage model lookup for a backend on this machine.
+  common::Seconds storage_transfer_time(StorageBackend backend,
+                                        common::Bytes bytes,
+                                        int concurrent_streams) const;
+};
+
+/// TACC Stampede: 16-core Sandy Bridge nodes, 32 GB, Lustre $SCRATCH,
+/// spinning local disks, SLURM. (Paper SS-IV: "On Stampede every node has
+/// 16 cores and 32 GB of memory".)
+MachineProfile stampede_profile();
+
+/// TACC Wrangler: 48-core Haswell nodes, 128 GB, flash-based storage,
+/// dedicated Cloudera Hadoop reservation available (Mode II).
+MachineProfile wrangler_profile();
+
+/// A small generic Beowulf cluster for tests and the quickstart example.
+MachineProfile generic_profile(int nodes = 8, int cores_per_node = 8,
+                               common::MemoryMb memory_mb = 16 * 1024);
+
+/// A set of nodes granted to one batch job / pilot.
+class Allocation {
+ public:
+  Allocation() = default;
+  explicit Allocation(std::vector<std::shared_ptr<Node>> nodes)
+      : nodes_(std::move(nodes)) {}
+
+  const std::vector<std::shared_ptr<Node>>& nodes() const { return nodes_; }
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+
+  int total_cores() const;
+  common::MemoryMb total_memory_mb() const;
+
+  /// Names of the allocated nodes (the simulated $SLURM_NODELIST /
+  /// $PBS_NODEFILE contents the LRM parses).
+  std::vector<std::string> node_names() const;
+
+ private:
+  std::vector<std::shared_ptr<Node>> nodes_;
+};
+
+}  // namespace hoh::cluster

@@ -1,0 +1,21 @@
+#include "cluster/network.h"
+
+#include <algorithm>
+
+namespace hoh::cluster {
+
+common::Seconds NetworkModel::transfer_time(common::Bytes bytes,
+                                            int concurrent_flows) const {
+  const int flows = std::max(1, concurrent_flows);
+  const double share = bisection_bandwidth / static_cast<double>(flows);
+  const double effective = std::min(share, static_cast<double>(link_bandwidth));
+  return latency + static_cast<double>(bytes) / effective;
+}
+
+common::Seconds NetworkModel::wan_transfer_time(common::Bytes bytes,
+                                                common::BytesPerSec wan_bw,
+                                                common::Seconds rtt) {
+  return rtt + static_cast<double>(bytes) / wan_bw;
+}
+
+}  // namespace hoh::cluster

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "common/units.h"
+
+/// \file network.h
+/// Interconnect model. Used for MapReduce shuffle traffic between nodes,
+/// HDFS replication pipelines and wide-area staging.
+
+namespace hoh::cluster {
+
+/// Simple shared-link interconnect: a per-link bandwidth, a per-message
+/// latency, and a cluster-wide bisection cap that concurrent flows share.
+struct NetworkModel {
+  common::BytesPerSec link_bandwidth = 1.0e9;       // per NIC
+  common::BytesPerSec bisection_bandwidth = 40.0e9; // whole fabric
+  common::Seconds latency = 0.0005;                 // per message
+
+  /// Time for one flow of \p bytes when \p concurrent_flows flows share
+  /// the fabric.
+  common::Seconds transfer_time(common::Bytes bytes,
+                                int concurrent_flows = 1) const;
+
+  /// Wide-area transfer (e.g. downloading the Hadoop distribution from an
+  /// external mirror): bandwidth given explicitly.
+  static common::Seconds wan_transfer_time(common::Bytes bytes,
+                                           common::BytesPerSec wan_bw,
+                                           common::Seconds rtt = 0.05);
+};
+
+}  // namespace hoh::cluster

@@ -1,0 +1,26 @@
+#include "cluster/node.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::cluster {
+
+bool Node::allocate(const ResourceRequest& req) {
+  if (!fits(req)) return false;
+  free_cores_ -= req.cores;
+  free_memory_mb_ -= req.memory_mb;
+  return true;
+}
+
+void Node::release(const ResourceRequest& req) {
+  if (free_cores_ + req.cores > spec_.cores ||
+      free_memory_mb_ + req.memory_mb > spec_.memory_mb) {
+    throw common::StateError(common::strformat(
+        "Node %s: release(%d cores, %lld MB) exceeds capacity", name_.c_str(),
+        req.cores, static_cast<long long>(req.memory_mb)));
+  }
+  free_cores_ += req.cores;
+  free_memory_mb_ += req.memory_mb;
+}
+
+}  // namespace hoh::cluster

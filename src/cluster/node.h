@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+
+#include "cluster/resource_spec.h"
+
+/// \file node.h
+/// Mutable per-node resource ledger. Both the RADICAL-Pilot agent
+/// scheduler and the YARN NodeManagers draw (cores, memory) slots from
+/// Node objects, so double-booking across the two systems is impossible
+/// by construction.
+
+namespace hoh::cluster {
+
+/// One compute node with free/used core and memory accounting.
+class Node {
+ public:
+  Node(std::string name, NodeSpec spec)
+      : name_(std::move(name)),
+        spec_(spec),
+        free_cores_(spec.cores),
+        free_memory_mb_(spec.memory_mb) {}
+
+  const std::string& name() const { return name_; }
+  const NodeSpec& spec() const { return spec_; }
+
+  int free_cores() const { return free_cores_; }
+  common::MemoryMb free_memory_mb() const { return free_memory_mb_; }
+  int used_cores() const { return spec_.cores - free_cores_; }
+  common::MemoryMb used_memory_mb() const {
+    return spec_.memory_mb - free_memory_mb_;
+  }
+
+  /// True if the request fits in the current free capacity.
+  bool fits(const ResourceRequest& req) const {
+    return req.cores <= free_cores_ && req.memory_mb <= free_memory_mb_;
+  }
+
+  /// Claims the request; returns false (and changes nothing) if it does
+  /// not fit.
+  bool allocate(const ResourceRequest& req);
+
+  /// Returns a previous allocation. Throws StateError on over-release.
+  void release(const ResourceRequest& req);
+
+ private:
+  std::string name_;
+  NodeSpec spec_;
+  int free_cores_;
+  common::MemoryMb free_memory_mb_;
+};
+
+}  // namespace hoh::cluster

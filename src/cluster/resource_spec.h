@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+/// \file resource_spec.h
+/// Value types describing hardware capacity and resource requests.
+
+namespace hoh::cluster {
+
+/// Static description of one compute node.
+struct NodeSpec {
+  int cores = 16;
+  common::MemoryMb memory_mb = 32 * 1024;
+
+  /// Relative compute throughput of one core (1.0 = Stampede Sandy
+  /// Bridge-era baseline). Workload cost models divide abstract work units
+  /// by cores * compute_rate.
+  double compute_rate = 1.0;
+
+  /// Sequential bandwidth of the node-local disk (0 = diskless node).
+  common::BytesPerSec local_disk_bw = 100.0e6;
+
+  /// Bandwidth of a node-local SSD/flash tier (0 = none). Used by the
+  /// shuffle configuration templates (paper SS-V).
+  common::BytesPerSec local_ssd_bw = 0.0;
+
+  /// NIC bandwidth towards the cluster interconnect.
+  common::BytesPerSec network_bw = 1.0e9;
+};
+
+/// A resource request in the (cores, memory) space the paper's YARN-aware
+/// scheduler allocates in.
+struct ResourceRequest {
+  int cores = 1;
+  common::MemoryMb memory_mb = 1024;
+
+  friend bool operator==(const ResourceRequest&,
+                         const ResourceRequest&) = default;
+};
+
+}  // namespace hoh::cluster

@@ -1,0 +1,40 @@
+#include "cluster/storage.h"
+
+#include <algorithm>
+
+namespace hoh::cluster {
+
+std::string to_string(StorageBackend backend) {
+  switch (backend) {
+    case StorageBackend::kLocalDisk:
+      return "local-disk";
+    case StorageBackend::kLocalSsd:
+      return "local-ssd";
+    case StorageBackend::kSharedFs:
+      return "shared-fs";
+    case StorageBackend::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+common::Seconds LocalStorageModel::transfer_time(common::Bytes bytes,
+                                                 int streams_on_node) const {
+  const int streams = std::max(1, streams_on_node);
+  const double effective = bandwidth / static_cast<double>(streams);
+  return op_latency + static_cast<double>(bytes) / effective;
+}
+
+common::Seconds SharedFsModel::transfer_time(common::Bytes bytes,
+                                             int total_streams) const {
+  const int streams = std::max(1, total_streams) + std::max(0, background_streams);
+  const double share = aggregate_bandwidth / static_cast<double>(streams);
+  const double effective = std::min(share, per_client_cap);
+  return metadata_latency + static_cast<double>(bytes) / effective;
+}
+
+common::Seconds MemoryStorageModel::transfer_time(common::Bytes bytes) const {
+  return static_cast<double>(bytes) / bandwidth;
+}
+
+}  // namespace hoh::cluster

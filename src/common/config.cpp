@@ -1,0 +1,91 @@
+#include "common/config.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::common {
+
+void Config::set(const std::string& key, std::string value) {
+  values_[key] = std::move(value);
+}
+
+void Config::set_int(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void Config::set_double(const std::string& key, double value) {
+  values_[key] = strformat("%.10g", value);
+}
+
+void Config::set_bool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::get(const std::string& key,
+                        const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "' is not an integer: '" +
+                      it->second + "'");
+  }
+  return v;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw ConfigError("config key '" + key + "' is not a number: '" +
+                      it->second + "'");
+  }
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  if (it->second == "true" || it->second == "1") return true;
+  if (it->second == "false" || it->second == "0") return false;
+  throw ConfigError("config key '" + key + "' is not a bool: '" +
+                    it->second + "'");
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) values_[k] = v;
+}
+
+std::string Config::to_xml() const {
+  std::string out = "<?xml version=\"1.0\"?>\n<configuration>\n";
+  for (const auto& [k, v] : values_) {
+    out += "  <property>\n    <name>" + k + "</name>\n    <value>" + v +
+           "</value>\n  </property>\n";
+  }
+  out += "</configuration>\n";
+  return out;
+}
+
+std::string Config::to_properties() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    out += k + "=" + v + "\n";
+  }
+  return out;
+}
+
+}  // namespace hoh::common

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+/// \file config.h
+/// Hadoop-style key/value configuration. Mode-I bootstrap renders these
+/// into the classic *-site.xml documents (core-site.xml, hdfs-site.xml,
+/// yarn-site.xml, mapred-site.xml, spark-env.sh) that the paper's LRM
+/// writes onto the allocation.
+
+namespace hoh::common {
+
+/// Ordered string key/value configuration with typed getters.
+class Config {
+ public:
+  Config() = default;
+
+  void set(const std::string& key, std::string value);
+  void set_int(const std::string& key, std::int64_t value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return values_.size(); }
+
+  /// Typed getters; return the default when absent. Malformed numeric
+  /// values throw ConfigError.
+  std::string get(const std::string& key,
+                  const std::string& def = "") const;
+  std::int64_t get_int(const std::string& key, std::int64_t def = 0) const;
+  double get_double(const std::string& key, double def = 0.0) const;
+  bool get_bool(const std::string& key, bool def = false) const;
+
+  /// Merges \p other into this config (other wins on conflicts).
+  void merge(const Config& other);
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+  /// Renders the Hadoop *-site.xml representation of this config.
+  std::string to_xml() const;
+
+  /// Renders "key=value" lines (spark-env.sh style, sorted by key).
+  std::string to_properties() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace hoh::common

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+/// \file error.h
+/// Exception hierarchy shared by every hoh library. Components throw these
+/// for programmer errors and unrecoverable misconfiguration; recoverable
+/// runtime outcomes (a failed task, a preempted container) are modelled as
+/// states, never as exceptions.
+
+namespace hoh::common {
+
+/// Base class for all exceptions thrown by hoh libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// An operation was attempted on an entity in an incompatible lifecycle
+/// state (e.g. submitting a unit to a cancelled pilot).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// A description or configuration failed validation.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// A named entity (job, pilot, unit, file, node) was not found.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// A resource request can never be satisfied (e.g. a container larger than
+/// any node in the cluster).
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace hoh::common

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+/// \file id.h
+/// Small typed-id helpers. Every managed entity (pilot, unit, job,
+/// container, block, ...) carries a human-readable string id with a
+/// component prefix, e.g. "pilot.0003" or "container_07_000012".
+
+namespace hoh::common {
+
+/// Monotonic per-prefix id generator. Thread-safe.
+class IdGenerator {
+ public:
+  explicit IdGenerator(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  /// Returns e.g. "pilot.0000", "pilot.0001", ...
+  std::string next() {
+    const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), ".%04llu",
+                  static_cast<unsigned long long>(n));
+    return prefix_ + buf;
+  }
+
+  /// Number of ids handed out so far.
+  std::uint64_t issued() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string prefix_;
+  std::atomic<std::uint64_t> counter_{0};
+};
+
+}  // namespace hoh::common

@@ -1,0 +1,332 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace hoh::common {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = JsonObject{};
+  return as_object()[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (!is_object()) throw NotFoundError("Json::at on non-object: " + key);
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  if (it == obj.end()) throw NotFoundError("Json key not found: " + key);
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, double d) {
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", d);
+    out += buf;
+  }
+}
+
+void indent_to(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    append_number(out, as_number());
+  } else if (is_string()) {
+    append_escaped(out, as_string());
+  } else if (is_array()) {
+    const auto& arr = as_array();
+    out.push_back('[');
+    bool first = true;
+    for (const auto& v : arr) {
+      if (!first) out.push_back(',');
+      first = false;
+      indent_to(out, indent, depth + 1);
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!arr.empty()) indent_to(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const auto& obj = as_object();
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out.push_back(',');
+      first = false;
+      indent_to(out, indent, depth + 1);
+      append_escaped(out, k);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      v.dump_to(out, indent, depth + 1);
+    }
+    if (!obj.empty()) indent_to(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a string view with position.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ConfigError("JSON parse error at offset " + std::to_string(pos_) +
+                      ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[key] = parse_value();
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        char e = next();
+        switch (e) {
+          case 'n':
+            out.push_back('\n');
+            break;
+          case 't':
+            out.push_back('\t');
+            break;
+          case 'r':
+            out.push_back('\r');
+            break;
+          case '"':
+          case '\\':
+          case '/':
+            out.push_back(e);
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail("bad hex digit");
+              }
+            }
+            // Only BMP code points; encode as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("bad number: " + token);
+    return Json(d);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace hoh::common

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+/// \file json.h
+/// Minimal JSON value type with a serializer and recursive-descent parser.
+/// Used for the YARN REST-style metrics snapshots, the state-store
+/// documents, and Hadoop-style configuration file rendering. Numbers are
+/// stored as double; object keys keep insertion-independent (sorted) order
+/// via std::map so serialization is deterministic.
+
+namespace hoh::common {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// Immutable-ish JSON value (copyable, value semantics).
+class Json {
+ public:
+  using Value = std::variant<std::nullptr_t, bool, double, std::string,
+                             JsonArray, JsonObject>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(std::int64_t i) : value_(static_cast<double>(i)) {}
+  Json(std::uint64_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  /// Typed accessors; throw std::bad_variant_access on mismatch.
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  std::int64_t as_int() const { return static_cast<std::int64_t>(as_number()); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  /// Object member access; creates the member (converting this value to an
+  /// object if it was null).
+  Json& operator[](const std::string& key);
+  /// Const lookup; throws NotFoundError if absent or not an object.
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Serializes to compact JSON; \p indent > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a JSON document; throws ConfigError on malformed input.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+  Value value_;
+};
+
+}  // namespace hoh::common

@@ -1,0 +1,96 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hoh::common {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Logging::Sink& sink_storage() {
+  static Logging::Sink sink;
+  return sink;
+}
+
+Logging::TimeProvider& time_storage() {
+  static Logging::TimeProvider provider;
+  return provider;
+}
+
+void stderr_sink(LogLevel level, std::string_view tag,
+                 std::string_view message) {
+  double t = -1.0;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    if (time_storage()) t = time_storage()();
+  }
+  if (t >= 0.0) {
+    std::fprintf(stderr, "[%9.3f] %-5s %s: %.*s\n", t,
+                 std::string(log_level_name(level)).c_str(),
+                 std::string(tag).c_str(), static_cast<int>(message.size()),
+                 message.data());
+  } else {
+    std::fprintf(stderr, "%-5s %s: %.*s\n",
+                 std::string(log_level_name(level)).c_str(),
+                 std::string(tag).c_str(), static_cast<int>(message.size()),
+                 message.data());
+  }
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logging::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel Logging::level() { return g_level.load(std::memory_order_relaxed); }
+
+void Logging::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
+
+void Logging::set_time_provider(TimeProvider provider) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  time_storage() = std::move(provider);
+}
+
+void Logging::log(LogLevel level, std::string_view tag,
+                  std::string_view message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  Sink sink_copy;
+  {
+    std::lock_guard<std::mutex> lock(sink_mutex());
+    sink_copy = sink_storage();
+  }
+  if (sink_copy) {
+    sink_copy(level, tag, message);
+  } else {
+    stderr_sink(level, tag, message);
+  }
+}
+
+}  // namespace hoh::common

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+/// \file logging.h
+/// Lightweight leveled logger. Components log with a tag (their module
+/// name); the global sink decides what is emitted. The default sink writes
+/// to stderr; tests can install a capture sink. A simulation-time provider
+/// can be registered so log lines carry the virtual clock instead of wall
+/// time.
+
+namespace hoh::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns a short name ("DEBUG", "INFO", ...) for a level.
+std::string_view log_level_name(LogLevel level);
+
+/// Global logging configuration. All methods are thread-safe.
+class Logging {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view tag,
+                                  std::string_view message)>;
+  using TimeProvider = std::function<double()>;
+
+  /// Minimum level that is emitted (default: kWarn, so tests stay quiet).
+  static void set_level(LogLevel level);
+  static LogLevel level();
+
+  /// Replaces the output sink. Passing nullptr restores the stderr sink.
+  static void set_sink(Sink sink);
+
+  /// Registers a virtual-clock provider used to stamp messages; pass
+  /// nullptr to clear. Typically wired to sim::Engine::now.
+  static void set_time_provider(TimeProvider provider);
+
+  /// Emits a message if \p level passes the filter.
+  static void log(LogLevel level, std::string_view tag,
+                  std::string_view message);
+};
+
+/// Per-component logger handle; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string tag) : tag_(std::move(tag)) {}
+
+  void debug(std::string_view msg) const {
+    Logging::log(LogLevel::kDebug, tag_, msg);
+  }
+  void info(std::string_view msg) const {
+    Logging::log(LogLevel::kInfo, tag_, msg);
+  }
+  void warn(std::string_view msg) const {
+    Logging::log(LogLevel::kWarn, tag_, msg);
+  }
+  void error(std::string_view msg) const {
+    Logging::log(LogLevel::kError, tag_, msg);
+  }
+
+  const std::string& tag() const { return tag_; }
+
+ private:
+  std::string tag_;
+};
+
+}  // namespace hoh::common

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+/// \file random.h
+/// Deterministic random-number facade. Every stochastic component takes an
+/// Rng (or a seed) explicitly so whole-system simulations replay exactly.
+
+namespace hoh::common {
+
+/// Seedable RNG wrapper around mt19937_64 with the handful of
+/// distributions the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Normal truncated at \p lo (values below are clamped).
+  double normal_at_least(double mean, double stddev, double lo);
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+
+  /// Log-normal parameterized by the *resulting* median and sigma.
+  double lognormal(double median, double sigma);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Direct access for std distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hoh::common

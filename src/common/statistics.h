@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+/// \file statistics.h
+/// Small statistics helpers used by benchmarks and the trace analyzer:
+/// a streaming accumulator (Welford) and batch percentile/summary
+/// utilities.
+
+namespace hoh::common {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set using linear interpolation; \p q in [0,1].
+/// The input is copied and sorted. Empty input returns 0.
+double percentile(std::vector<double> samples, double q);
+
+/// Median convenience wrapper.
+double median(std::vector<double> samples);
+
+/// One-line human-readable summary: "n=.. mean=.. sd=.. min=.. max=..".
+std::string summarize(const RunningStats& stats);
+
+}  // namespace hoh::common

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// Fixed-size thread pool used by the *real* execution engines (the
+/// threaded MapReduce engine, the mini-RDD engine, native K-Means). The
+/// simulated components never touch it — they run on the single-threaded
+/// discrete-event engine.
+
+namespace hoh::common {
+
+/// Fixed-size FIFO thread pool. Tasks may themselves submit tasks.
+/// Destruction drains the queue (waits for all submitted work).
+class ThreadPool {
+ public:
+  /// \p num_threads 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task and returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return fut;
+  }
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// Work is split into contiguous chunks, one per worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void enqueue(std::function<void()> job);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hoh::common

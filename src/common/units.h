@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file units.h
+/// Unit conventions used across the codebase:
+///   * memory    : MiB (std::int64_t)
+///   * data size : bytes (std::int64_t), helpers for KiB/MiB/GiB
+///   * time      : seconds (double) on the simulation clock
+///   * bandwidth : bytes per second (double)
+/// Keeping scalar types with documented units (rather than heavy strong
+/// types) matches what the schedulers and cost models compute with, while
+/// the helpers below keep literals readable.
+
+namespace hoh::common {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+/// Memory expressed in MiB.
+using MemoryMb = std::int64_t;
+
+/// Data sizes expressed in bytes.
+using Bytes = std::int64_t;
+
+/// Simulation time in seconds.
+using Seconds = double;
+
+/// Bandwidth in bytes/second.
+using BytesPerSec = double;
+
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kKiB;
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kMiB;
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * kGiB;
+}
+
+/// Converts a byte count to MiB, rounding down.
+constexpr MemoryMb bytes_to_mb(Bytes b) { return b / kMiB; }
+
+/// Converts MiB to bytes.
+constexpr Bytes mb_to_bytes(MemoryMb mb) { return mb * kMiB; }
+
+}  // namespace hoh::common

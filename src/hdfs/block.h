@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+/// \file block.h
+/// HDFS metadata value types: blocks, replicas and storage policies.
+
+namespace hoh::hdfs {
+
+/// HDFS heterogeneous-storage policies (paper SS-II: "the newly added
+/// HDFS heterogeneous storage support"). The policy selects which local
+/// tier a DataNode stores replicas on.
+enum class StoragePolicy {
+  kDefault,   // local disk
+  kAllSsd,    // local SSD tier
+  kOneSsd,    // first replica SSD, rest disk
+  kCold,      // archival: all replicas to the shared filesystem
+  kLazyPersist,  // memory first, flushed to disk
+};
+
+std::string to_string(StoragePolicy policy);
+
+/// One replica of a block on a specific DataNode.
+struct Replica {
+  std::string node;
+  bool on_ssd = false;
+};
+
+/// One HDFS block with its replica set.
+struct Block {
+  std::uint64_t id = 0;
+  common::Bytes size = 0;
+  std::vector<Replica> replicas;
+};
+
+/// NameNode-side file metadata.
+struct FileMeta {
+  std::string path;
+  common::Bytes size = 0;
+  int replication = 3;
+  StoragePolicy policy = StoragePolicy::kDefault;
+  std::vector<Block> blocks;
+};
+
+}  // namespace hoh::hdfs

@@ -1,0 +1,436 @@
+#include "hdfs/hdfs_cluster.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::hdfs {
+
+std::string to_string(StoragePolicy policy) {
+  switch (policy) {
+    case StoragePolicy::kDefault:
+      return "DEFAULT";
+    case StoragePolicy::kAllSsd:
+      return "ALL_SSD";
+    case StoragePolicy::kOneSsd:
+      return "ONE_SSD";
+    case StoragePolicy::kCold:
+      return "COLD";
+    case StoragePolicy::kLazyPersist:
+      return "LAZY_PERSIST";
+  }
+  return "?";
+}
+
+HdfsCluster::HdfsCluster(sim::Engine& engine,
+                         const cluster::MachineProfile& machine,
+                         std::vector<std::string> nodes, HdfsConfig config,
+                         std::uint64_t seed)
+    : engine_(engine),
+      machine_(machine),
+      config_(config),
+      rng_(seed),
+      datanode_names_(std::move(nodes)) {
+  if (datanode_names_.empty()) {
+    throw common::ConfigError("HdfsCluster: needs at least one node");
+  }
+  namenode_ = datanode_names_.front();
+  const bool ssd = machine_.node.local_ssd_bw > 0.0;
+  const int racks = std::max(1, config_.racks);
+  for (std::size_t i = 0; i < datanode_names_.size(); ++i) {
+    datanodes_.emplace(datanode_names_[i],
+                       DataNode{datanode_names_[i],
+                                config_.datanode_capacity, 0, true, 0, ssd,
+                                static_cast<int>(i) % racks});
+  }
+}
+
+HdfsCluster::DataNode& HdfsCluster::datanode(const std::string& node) {
+  auto it = datanodes_.find(node);
+  if (it == datanodes_.end()) {
+    throw common::NotFoundError("HDFS: unknown DataNode " + node);
+  }
+  return it->second;
+}
+
+const HdfsCluster::DataNode& HdfsCluster::datanode(
+    const std::string& node) const {
+  auto it = datanodes_.find(node);
+  if (it == datanodes_.end()) {
+    throw common::NotFoundError("HDFS: unknown DataNode " + node);
+  }
+  return it->second;
+}
+
+int HdfsCluster::rack_of(const std::string& node) const {
+  return datanode(node).rack;
+}
+
+std::vector<std::string> HdfsCluster::place_replicas(
+    int count, const std::string& first) {
+  std::vector<std::string> live;
+  for (const auto& [name, dn] : datanodes_) {
+    if (dn.alive) live.push_back(name);
+  }
+  if (static_cast<int>(live.size()) < count) {
+    throw common::ResourceError(common::strformat(
+        "HDFS: cannot place %d replicas on %zu live DataNodes", count,
+        live.size()));
+  }
+  std::vector<std::string> chosen;
+  auto use = [&](const std::string& n) {
+    chosen.push_back(n);
+    live.erase(std::find(live.begin(), live.end(), n));
+  };
+  if (!first.empty() &&
+      std::find(live.begin(), live.end(), first) != live.end()) {
+    use(first);
+  }
+  // Remaining candidates: random spread, least-used bias.
+  rng_.shuffle(live);
+  std::stable_sort(live.begin(), live.end(),
+                   [this](const std::string& a, const std::string& b) {
+                     return datanodes_.at(a).used < datanodes_.at(b).used;
+                   });
+  // Classic rack policy when the cluster spans racks and we already have
+  // a first replica: prefer a *different* rack for replica 2, then the
+  // *same rack as replica 2* for replica 3.
+  if (config_.racks > 1 && !chosen.empty()) {
+    const int first_rack = datanode(chosen.front()).rack;
+    if (static_cast<int>(chosen.size()) < count) {
+      auto other = std::find_if(live.begin(), live.end(),
+                                [&](const std::string& n) {
+                                  return datanode(n).rack != first_rack;
+                                });
+      if (other != live.end()) use(*other);
+    }
+    if (static_cast<int>(chosen.size()) >= 2 &&
+        static_cast<int>(chosen.size()) < count) {
+      const int second_rack = datanode(chosen[1]).rack;
+      auto same = std::find_if(live.begin(), live.end(),
+                               [&](const std::string& n) {
+                                 return datanode(n).rack == second_rack;
+                               });
+      if (same != live.end()) use(*same);
+    }
+  }
+  for (const auto& n : live) {
+    if (static_cast<int>(chosen.size()) >= count) break;
+    chosen.push_back(n);
+  }
+  return chosen;
+}
+
+common::Seconds HdfsCluster::create_file(const std::string& path,
+                                         common::Bytes size,
+                                         const std::string& writer_node,
+                                         std::optional<int> replication,
+                                         StoragePolicy policy) {
+  if (files_.count(path) > 0) {
+    throw common::StateError("HDFS: file exists: " + path);
+  }
+  if (size < 0) throw common::ConfigError("HDFS: negative file size");
+  const int repl = std::min(
+      replication.value_or(config_.default_replication),
+      static_cast<int>(std::count_if(
+          datanodes_.begin(), datanodes_.end(),
+          [](const auto& kv) { return kv.second.alive; })));
+  if (repl < 1) throw common::ResourceError("HDFS: no live DataNodes");
+
+  FileMeta meta;
+  meta.path = path;
+  meta.size = size;
+  meta.replication = repl;
+  meta.policy = policy;
+
+  common::Bytes remaining = size;
+  do {
+    const common::Bytes block_size = std::min<common::Bytes>(
+        remaining, config_.block_size);
+    Block block;
+    block.id = next_block_id_++;
+    block.size = block_size;
+    const auto placement = place_replicas(repl, writer_node);
+    for (std::size_t i = 0; i < placement.size(); ++i) {
+      DataNode& dn = datanode(placement[i]);
+      const bool ssd =
+          dn.has_ssd && (policy == StoragePolicy::kAllSsd ||
+                         (policy == StoragePolicy::kOneSsd && i == 0));
+      dn.used += block_size;
+      dn.block_count += 1;
+      block.replicas.push_back(Replica{placement[i], ssd});
+    }
+    meta.blocks.push_back(std::move(block));
+    remaining -= block_size;
+  } while (remaining > 0);
+
+  files_.emplace(path, std::move(meta));
+
+  // Write-pipeline duration: the writer streams each block to the first
+  // replica's disk while it forwards to the next (pipelined, so cost is
+  // max of disk write and network hop per block, summed over blocks).
+  common::Seconds duration = 0.0;
+  const auto backend = policy == StoragePolicy::kAllSsd ||
+                               policy == StoragePolicy::kOneSsd
+                           ? (machine_.node.local_ssd_bw > 0.0
+                                  ? cluster::StorageBackend::kLocalSsd
+                                  : cluster::StorageBackend::kLocalDisk)
+                       : policy == StoragePolicy::kCold
+                           ? cluster::StorageBackend::kSharedFs
+                       : policy == StoragePolicy::kLazyPersist
+                           ? cluster::StorageBackend::kMemory
+                           : cluster::StorageBackend::kLocalDisk;
+  for (const auto& block : files_.at(path).blocks) {
+    const common::Seconds disk =
+        machine_.storage_transfer_time(backend, block.size, 1);
+    const common::Seconds net =
+        repl > 1 ? machine_.network.transfer_time(block.size, 1) : 0.0;
+    duration += std::max(disk, net);
+  }
+  return duration;
+}
+
+bool HdfsCluster::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+const FileMeta& HdfsCluster::stat(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw common::NotFoundError("HDFS: no such file: " + path);
+  }
+  return it->second;
+}
+
+void HdfsCluster::remove(const std::string& path) {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    throw common::NotFoundError("HDFS: no such file: " + path);
+  }
+  for (const auto& block : it->second.blocks) {
+    for (const auto& replica : block.replicas) {
+      auto dn = datanodes_.find(replica.node);
+      if (dn != datanodes_.end()) {
+        dn->second.used -= block.size;
+        dn->second.block_count -= 1;
+      }
+    }
+  }
+  files_.erase(it);
+}
+
+std::vector<std::string> HdfsCluster::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, meta] : files_) {
+    if (common::starts_with(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+common::Seconds HdfsCluster::read_time(const std::string& path,
+                                       const std::string& reader_node,
+                                       int concurrent_streams) const {
+  const FileMeta& meta = stat(path);
+  common::Seconds total = 0.0;
+  for (const auto& block : meta.blocks) {
+    bool local = false;
+    bool local_ssd = false;
+    for (const auto& replica : block.replicas) {
+      if (replica.node == reader_node &&
+          datanodes_.at(replica.node).alive) {
+        local = true;
+        local_ssd = replica.on_ssd;
+        break;
+      }
+    }
+    const auto backend = local_ssd ? cluster::StorageBackend::kLocalSsd
+                                   : cluster::StorageBackend::kLocalDisk;
+    const common::Seconds disk =
+        machine_.storage_transfer_time(backend, block.size,
+                                       concurrent_streams);
+    if (local) {
+      total += disk;
+    } else {
+      total += disk + machine_.network.transfer_time(block.size,
+                                                     concurrent_streams);
+    }
+  }
+  return total;
+}
+
+double HdfsCluster::locality(const std::string& path,
+                             const std::string& node) const {
+  const FileMeta& meta = stat(path);
+  if (meta.blocks.empty()) return 0.0;
+  std::size_t local = 0;
+  for (const auto& block : meta.blocks) {
+    for (const auto& replica : block.replicas) {
+      if (replica.node == node && datanodes_.at(replica.node).alive) {
+        ++local;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(local) /
+         static_cast<double>(meta.blocks.size());
+}
+
+std::string HdfsCluster::best_node(const std::string& path) const {
+  const FileMeta& meta = stat(path);
+  std::map<std::string, std::size_t> counts;
+  for (const auto& block : meta.blocks) {
+    for (const auto& replica : block.replicas) {
+      if (datanodes_.at(replica.node).alive) counts[replica.node] += 1;
+    }
+  }
+  std::string best;
+  std::size_t best_count = 0;
+  for (const auto& [node, count] : counts) {
+    if (count > best_count) {
+      best = node;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+void HdfsCluster::fail_datanode(const std::string& node) {
+  DataNode& dn = datanode(node);
+  if (!dn.alive) return;
+  dn.alive = false;
+  dn.used = 0;
+  dn.block_count = 0;
+  engine_.schedule(config_.replication_monitor_interval,
+                   [this] { re_replicate(); });
+}
+
+void HdfsCluster::re_replicate() {
+  for (auto& [path, meta] : files_) {
+    for (auto& block : meta.blocks) {
+      // Drop dead replicas.
+      std::vector<std::string> holders;
+      std::erase_if(block.replicas, [this](const Replica& r) {
+        return !datanodes_.at(r.node).alive;
+      });
+      for (const auto& r : block.replicas) holders.push_back(r.node);
+
+      while (static_cast<int>(block.replicas.size()) < meta.replication) {
+        // Pick a live node not already holding this block.
+        std::vector<std::string> candidates;
+        for (const auto& [name, dn] : datanodes_) {
+          if (dn.alive &&
+              std::find(holders.begin(), holders.end(), name) ==
+                  holders.end()) {
+            candidates.push_back(name);
+          }
+        }
+        if (candidates.empty()) break;  // under-replicated, nothing to do
+        rng_.shuffle(candidates);
+        const std::string target = candidates.front();
+        DataNode& dn = datanode(target);
+        dn.used += block.size;
+        dn.block_count += 1;
+        block.replicas.push_back(Replica{target, false});
+        holders.push_back(target);
+      }
+    }
+  }
+}
+
+std::vector<DataNodeReport> HdfsCluster::datanode_reports() const {
+  std::vector<DataNodeReport> out;
+  for (const auto& name : datanode_names_) {
+    const DataNode& dn = datanodes_.at(name);
+    out.push_back(
+        DataNodeReport{dn.name, dn.capacity, dn.used, dn.alive, dn.block_count});
+  }
+  return out;
+}
+
+std::size_t HdfsCluster::balance(double threshold_fraction) {
+  std::size_t moves = 0;
+  for (int round = 0; round < 10000; ++round) {
+    // Mean usage over live nodes.
+    std::vector<DataNode*> live;
+    common::Bytes total = 0;
+    for (auto& [name, dn] : datanodes_) {
+      if (dn.alive) {
+        live.push_back(&dn);
+        total += dn.used;
+      }
+    }
+    if (live.size() < 2) return moves;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(live.size());
+    const double band = threshold_fraction * mean;
+    DataNode* over = nullptr;
+    for (auto* dn : live) {
+      if (static_cast<double>(dn->used) > mean + band &&
+          (over == nullptr || dn->used > over->used)) {
+        over = dn;
+      }
+    }
+    if (over == nullptr) return moves;
+
+    // Move one replica off the most-loaded node onto the least-loaded
+    // node not already holding that block.
+    bool moved = false;
+    for (auto& [path, meta] : files_) {
+      for (auto& block : meta.blocks) {
+        auto replica_it =
+            std::find_if(block.replicas.begin(), block.replicas.end(),
+                         [&](const Replica& r) {
+                           return r.node == over->name;
+                         });
+        if (replica_it == block.replicas.end()) continue;
+        DataNode* target = nullptr;
+        for (auto* dn : live) {
+          if (dn == over) continue;
+          const bool holds = std::any_of(
+              block.replicas.begin(), block.replicas.end(),
+              [&](const Replica& r) { return r.node == dn->name; });
+          if (holds) continue;
+          if (target == nullptr || dn->used < target->used) target = dn;
+        }
+        if (target == nullptr ||
+            static_cast<double>(target->used + block.size) >
+                static_cast<double>(over->used)) {
+          continue;  // the move would not improve the spread
+        }
+        over->used -= block.size;
+        over->block_count -= 1;
+        target->used += block.size;
+        target->block_count += 1;
+        replica_it->node = target->name;
+        replica_it->on_ssd = false;
+        ++moves;
+        moved = true;
+        break;
+      }
+      if (moved) break;
+    }
+    if (!moved) return moves;  // no legal improving move
+  }
+  return moves;
+}
+
+common::Bytes HdfsCluster::used_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& [name, dn] : datanodes_) total += dn.used;
+  return total;
+}
+
+common::Json HdfsCluster::summary() const {
+  common::Json j;
+  j["namenode"] = namenode_;
+  j["files"] = static_cast<std::int64_t>(files_.size());
+  j["usedBytes"] = used_bytes();
+  std::int64_t live = 0;
+  for (const auto& [name, dn] : datanodes_) live += dn.alive ? 1 : 0;
+  j["liveDataNodes"] = live;
+  j["blockSize"] = config_.block_size;
+  return j;
+}
+
+}  // namespace hoh::hdfs

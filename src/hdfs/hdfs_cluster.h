@@ -1,0 +1,147 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/json.h"
+#include "common/random.h"
+#include "hdfs/block.h"
+#include "sim/engine.h"
+
+/// \file hdfs_cluster.h
+/// Metadata-level HDFS simulator: one NameNode, one DataNode per
+/// allocation node, block placement with replication, locality queries
+/// and heterogeneous storage policies. Data contents are never
+/// materialized — files carry sizes only; transfer times come from the
+/// machine's storage/network models. This is the filesystem the Mode-I
+/// LRM bootstraps and the YARN Application Master queries for
+/// data-locality-aware container requests.
+
+namespace hoh::hdfs {
+
+/// HDFS deployment configuration (the knobs hdfs-site.xml would carry).
+struct HdfsConfig {
+  common::Bytes block_size = 128 * common::kMiB;
+  int default_replication = 3;
+  common::Bytes datanode_capacity = 200 * common::kGiB;
+  common::Seconds replication_monitor_interval = 3.0;
+
+  /// Number of racks the nodes are spread across (round-robin by node
+  /// index). With > 1 rack, placement follows the classic HDFS policy:
+  /// replica 1 on the writer, replica 2 on a different rack, replica 3
+  /// on the same rack as replica 2.
+  int racks = 1;
+};
+
+/// Report row for one DataNode (dfsadmin -report equivalent).
+struct DataNodeReport {
+  std::string node;
+  common::Bytes capacity = 0;
+  common::Bytes used = 0;
+  bool alive = true;
+  std::size_t block_count = 0;
+};
+
+/// One NameNode + DataNode ensemble over an allocation.
+class HdfsCluster {
+ public:
+  /// \p nodes: names of the allocation's nodes (the first one also hosts
+  /// the NameNode, as the paper's LRM does with the agent node).
+  HdfsCluster(sim::Engine& engine, const cluster::MachineProfile& machine,
+              std::vector<std::string> nodes, HdfsConfig config = {},
+              std::uint64_t seed = 42);
+
+  const HdfsConfig& config() const { return config_; }
+  const std::string& namenode() const { return namenode_; }
+  const std::vector<std::string>& datanodes() const { return datanode_names_; }
+
+  /// Rack id of a DataNode in [0, config().racks).
+  int rack_of(const std::string& node) const;
+
+  /// Creates a file of \p size bytes. Blocks are placed with the classic
+  /// HDFS policy: replica 1 on \p writer_node (if it hosts a DataNode),
+  /// replicas 2..n spread over distinct other nodes. Returns the write
+  /// pipeline duration (caller may schedule it; metadata is immediate, as
+  /// callers in simulation treat writes as atomic at call time).
+  common::Seconds create_file(const std::string& path, common::Bytes size,
+                              const std::string& writer_node = "",
+                              std::optional<int> replication = std::nullopt,
+                              StoragePolicy policy = StoragePolicy::kDefault);
+
+  bool exists(const std::string& path) const;
+  const FileMeta& stat(const std::string& path) const;
+  void remove(const std::string& path);
+  std::vector<std::string> list(const std::string& prefix = "") const;
+
+  /// Estimated time to read the whole file from \p reader_node with
+  /// \p concurrent_streams other readers active: local replicas stream
+  /// from the local disk tier, remote ones add a network hop.
+  common::Seconds read_time(const std::string& path,
+                            const std::string& reader_node,
+                            int concurrent_streams = 1) const;
+
+  /// Fraction of the file's blocks with a replica on \p node in [0,1].
+  /// This is what a locality-aware Application Master maximizes.
+  double locality(const std::string& path, const std::string& node) const;
+
+  /// Node hosting the most blocks of \p path (ties: lexicographically
+  /// smallest), or empty if the file has no blocks.
+  std::string best_node(const std::string& path) const;
+
+  /// Marks a DataNode dead; its replicas are re-replicated onto the
+  /// remaining DataNodes after the replication-monitor interval (failure
+  /// injection for tests).
+  void fail_datanode(const std::string& node);
+
+  std::vector<DataNodeReport> datanode_reports() const;
+
+  /// dfs balancer: moves replicas from over-utilized to under-utilized
+  /// live DataNodes until every node's usage is within
+  /// \p threshold_fraction of the mean (or no legal move remains —
+  /// replicas of one block stay on distinct nodes). Returns the number
+  /// of block moves performed.
+  std::size_t balance(double threshold_fraction = 0.1);
+
+  /// Total bytes stored (all replicas).
+  common::Bytes used_bytes() const;
+
+  /// dfsadmin-style JSON summary.
+  common::Json summary() const;
+
+ private:
+  struct DataNode {
+    std::string name;
+    common::Bytes capacity = 0;
+    common::Bytes used = 0;
+    bool alive = true;
+    std::size_t block_count = 0;
+    bool has_ssd = false;
+    int rack = 0;
+  };
+
+  DataNode& datanode(const std::string& node);
+  const DataNode& datanode(const std::string& node) const;
+
+  /// Picks a placement of \p count distinct live DataNodes, preferring
+  /// \p first if valid. Throws ResourceError when fewer live nodes exist.
+  std::vector<std::string> place_replicas(int count, const std::string& first);
+
+  void re_replicate();
+
+  sim::Engine& engine_;
+  const cluster::MachineProfile& machine_;
+  HdfsConfig config_;
+  common::Rng rng_;
+
+  std::string namenode_;
+  std::vector<std::string> datanode_names_;
+  std::map<std::string, DataNode> datanodes_;
+  std::map<std::string, FileMeta> files_;
+  std::uint64_t next_block_id_ = 1;
+};
+
+}  // namespace hoh::hdfs

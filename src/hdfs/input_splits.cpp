@@ -1,0 +1,54 @@
+#include "hdfs/input_splits.h"
+
+namespace hoh::hdfs {
+
+std::vector<InputSplit> compute_input_splits(const HdfsCluster& fs,
+                                             const std::string& path,
+                                             int target_splits) {
+  const FileMeta& meta = fs.stat(path);
+  std::vector<InputSplit> per_block;
+  common::Bytes offset = 0;
+  for (const auto& block : meta.blocks) {
+    InputSplit split;
+    split.path = path;
+    split.offset = offset;
+    split.length = block.size;
+    for (const auto& replica : block.replicas) {
+      split.hosts.push_back(replica.node);
+    }
+    per_block.push_back(std::move(split));
+    offset += block.size;
+  }
+  if (target_splits <= 0 ||
+      per_block.size() <= static_cast<std::size_t>(target_splits)) {
+    return per_block;
+  }
+  // Merge adjacent blocks into at most target_splits splits; a merged
+  // split keeps the host list of its first block (where the map task
+  // starts reading).
+  std::vector<InputSplit> merged;
+  const std::size_t per_split =
+      (per_block.size() + static_cast<std::size_t>(target_splits) - 1) /
+      static_cast<std::size_t>(target_splits);
+  for (std::size_t i = 0; i < per_block.size(); i += per_split) {
+    InputSplit split = per_block[i];
+    for (std::size_t j = i + 1;
+         j < std::min(per_block.size(), i + per_split); ++j) {
+      split.length += per_block[j].length;
+    }
+    merged.push_back(std::move(split));
+  }
+  return merged;
+}
+
+std::vector<std::string> preferred_hosts(
+    const std::vector<InputSplit>& splits) {
+  std::vector<std::string> out;
+  out.reserve(splits.size());
+  for (const auto& split : splits) {
+    out.push_back(split.hosts.empty() ? "" : split.hosts.front());
+  }
+  return out;
+}
+
+}  // namespace hoh::hdfs

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hdfs/hdfs_cluster.h"
+
+/// \file input_splits.h
+/// Hadoop-style input splits: block-aligned chunks of an HDFS file with
+/// the hosts holding each chunk's replicas. This is what a MapReduce
+/// ApplicationMaster feeds into locality-aware container requests — the
+/// bridge between HDFS block placement and the data-locality scheduling
+/// the paper's SS-II discusses ("Data locality, e.g. between HDFS blocks
+/// and container locations, need to [be] managed by the Application
+/// Master by requesting containers on specific nodes").
+
+namespace hoh::hdfs {
+
+/// One input split (one map task's input).
+struct InputSplit {
+  std::string path;
+  common::Bytes offset = 0;
+  common::Bytes length = 0;
+  /// Nodes holding a live replica, most-preferred first.
+  std::vector<std::string> hosts;
+};
+
+/// Computes block-aligned splits for \p path. \p target_splits > 0 merges
+/// adjacent blocks so at most that many splits result (a split's hosts
+/// are then the first block's); 0 = one split per block.
+std::vector<InputSplit> compute_input_splits(const HdfsCluster& fs,
+                                             const std::string& path,
+                                             int target_splits = 0);
+
+/// Convenience for YarnMrJobSpec::split_locations: the first live host
+/// of each split (empty string when a split has none).
+std::vector<std::string> preferred_hosts(
+    const std::vector<InputSplit>& splits);
+
+}  // namespace hoh::hdfs

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+/// \file batch_job.h
+/// Value types for jobs submitted to the simulated HPC batch systems.
+
+namespace hoh::hpc {
+
+/// Lifecycle of a batch job. kCompleted is reached when the payload calls
+/// complete(); kTimedOut when the walltime expires first.
+enum class BatchJobState {
+  kPending,
+  kRunning,
+  kCompleted,
+  kCancelled,
+  kFailed,
+  kTimedOut,
+};
+
+std::string to_string(BatchJobState state);
+
+/// True for states a job can never leave.
+constexpr bool is_final(BatchJobState s) {
+  return s == BatchJobState::kCompleted || s == BatchJobState::kCancelled ||
+         s == BatchJobState::kFailed || s == BatchJobState::kTimedOut;
+}
+
+/// What the user asks the batch system for. Whole-node allocation, the
+/// HPC convention both XSEDE machines use.
+struct BatchJobRequest {
+  std::string name = "job";
+  int nodes = 1;
+  common::Seconds walltime = 3600.0;
+  std::string queue = "normal";
+  std::string project;
+
+  /// Scheduling priority (higher runs first); ties break FIFO.
+  int priority = 0;
+};
+
+}  // namespace hoh::hpc

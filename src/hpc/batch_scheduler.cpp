@@ -1,0 +1,326 @@
+#include "hpc/batch_scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::hpc {
+
+std::string to_string(BatchJobState state) {
+  switch (state) {
+    case BatchJobState::kPending:
+      return "PENDING";
+    case BatchJobState::kRunning:
+      return "RUNNING";
+    case BatchJobState::kCompleted:
+      return "COMPLETED";
+    case BatchJobState::kCancelled:
+      return "CANCELLED";
+    case BatchJobState::kFailed:
+      return "FAILED";
+    case BatchJobState::kTimedOut:
+      return "TIMEOUT";
+  }
+  return "?";
+}
+
+BatchScheduler::BatchScheduler(sim::Engine& engine,
+                               cluster::MachineProfile profile,
+                               int managed_nodes)
+    : engine_(engine), profile_(std::move(profile)) {
+  int count = managed_nodes > 0 ? managed_nodes : profile_.total_nodes;
+  if (count <= 0) {
+    throw common::ConfigError("BatchScheduler: node pool must be non-empty");
+  }
+  pool_.reserve(static_cast<std::size_t>(count));
+  node_busy_.assign(static_cast<std::size_t>(count), false);
+  node_dead_.assign(static_cast<std::size_t>(count), false);
+  for (int i = 0; i < count; ++i) {
+    auto name = common::strformat("%s-n%04d", profile_.name.c_str(), i);
+    node_index_[name] = pool_.size();
+    pool_.push_back(std::make_shared<cluster::Node>(name, profile_.node));
+  }
+}
+
+std::string BatchScheduler::submit(const BatchJobRequest& request,
+                                   JobStartCallback on_start,
+                                   JobEndCallback on_end) {
+  if (request.nodes <= 0) {
+    throw common::ConfigError("BatchScheduler: job must request >= 1 node");
+  }
+  if (request.nodes > pool_size()) {
+    throw common::ResourceError(common::strformat(
+        "BatchScheduler: job requests %d nodes, pool has %d", request.nodes,
+        pool_size()));
+  }
+  const std::string job_id =
+      common::strformat("%s.%llu", profile_.name.c_str(),
+                        static_cast<unsigned long long>(next_job_number_++));
+  JobRecord job;
+  job.request = request;
+  job.submit_time = engine_.now();
+  job.eligible_time =
+      engine_.now() + profile_.scheduler_submit_latency + base_queue_wait_;
+  job.on_start = std::move(on_start);
+  job.on_end = std::move(on_end);
+  jobs_.emplace(job_id, std::move(job));
+  queue_.push_back(job_id);
+
+  engine_.schedule(profile_.scheduler_submit_latency + base_queue_wait_,
+                   [this, job_id] {
+                     auto it = jobs_.find(job_id);
+                     if (it == jobs_.end()) return;
+                     it->second.eligible = true;
+                     try_schedule();
+                   });
+  return job_id;
+}
+
+BatchScheduler::JobRecord& BatchScheduler::find(const std::string& job_id) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    throw common::NotFoundError("BatchScheduler: unknown job " + job_id);
+  }
+  return it->second;
+}
+
+const BatchScheduler::JobRecord& BatchScheduler::find(
+    const std::string& job_id) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    throw common::NotFoundError("BatchScheduler: unknown job " + job_id);
+  }
+  return it->second;
+}
+
+BatchJobState BatchScheduler::state(const std::string& job_id) const {
+  return find(job_id).state;
+}
+
+common::Seconds BatchScheduler::queue_wait(const std::string& job_id) const {
+  const JobRecord& job = find(job_id);
+  if (job.state == BatchJobState::kPending) {
+    return engine_.now() - job.submit_time;
+  }
+  return job.start_time - job.submit_time;
+}
+
+std::size_t BatchScheduler::pending_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == BatchJobState::kPending) ++n;
+  }
+  return n;
+}
+
+std::size_t BatchScheduler::running_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == BatchJobState::kRunning) ++n;
+  }
+  return n;
+}
+
+int BatchScheduler::free_nodes() const {
+  int n = 0;
+  for (std::size_t i = 0; i < pool_.size(); ++i) {
+    if (!node_busy_[i] && !node_dead_[i]) ++n;
+  }
+  return n;
+}
+
+int BatchScheduler::live_node_count() const {
+  return static_cast<int>(
+      std::count(node_dead_.begin(), node_dead_.end(), false));
+}
+
+void BatchScheduler::fail_node(const std::string& node) {
+  auto it = node_index_.find(node);
+  if (it == node_index_.end()) {
+    throw common::NotFoundError("BatchScheduler: unknown node " + node);
+  }
+  if (node_dead_[it->second]) return;
+  node_dead_[it->second] = true;
+  // A running job holding the node dies with it.
+  std::string victim;
+  for (auto& [id, job] : jobs_) {
+    if (job.state != BatchJobState::kRunning) continue;
+    for (const auto& n : job.allocation.nodes()) {
+      if (n->name() == node) {
+        victim = id;
+        break;
+      }
+    }
+    if (!victim.empty()) break;
+  }
+  if (!victim.empty()) {
+    finish_job(victim, jobs_.at(victim), BatchJobState::kFailed);
+  }
+}
+
+void BatchScheduler::repair_node(const std::string& node) {
+  auto it = node_index_.find(node);
+  if (it == node_index_.end()) {
+    throw common::NotFoundError("BatchScheduler: unknown node " + node);
+  }
+  if (!node_dead_[it->second]) return;
+  node_dead_[it->second] = false;
+  try_schedule();
+}
+
+std::vector<std::shared_ptr<cluster::Node>> BatchScheduler::take_nodes(
+    int count) {
+  std::vector<std::shared_ptr<cluster::Node>> taken;
+  taken.reserve(static_cast<std::size_t>(count));
+  for (std::size_t i = 0; i < pool_.size() && static_cast<int>(taken.size()) < count;
+       ++i) {
+    if (!node_busy_[i] && !node_dead_[i]) {
+      node_busy_[i] = true;
+      taken.push_back(pool_[i]);
+    }
+  }
+  if (static_cast<int>(taken.size()) != count) {
+    throw common::StateError("BatchScheduler: take_nodes underflow");
+  }
+  return taken;
+}
+
+void BatchScheduler::return_nodes(const cluster::Allocation& allocation) {
+  for (const auto& node : allocation.nodes()) {
+    auto it = node_index_.find(node->name());
+    if (it != node_index_.end()) node_busy_[it->second] = false;
+  }
+}
+
+common::Seconds BatchScheduler::earliest_free_time(int nodes) const {
+  int free = free_nodes();
+  if (free >= nodes) return engine_.now();
+  // Collect (end_time, nodes) of running jobs ordered by walltime expiry.
+  std::vector<std::pair<common::Seconds, int>> ends;
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == BatchJobState::kRunning) {
+      ends.emplace_back(job.start_time + job.request.walltime,
+                        job.request.nodes);
+    }
+  }
+  std::sort(ends.begin(), ends.end());
+  for (const auto& [t, n] : ends) {
+    free += n;
+    if (free >= nodes) return t;
+  }
+  return engine_.now();  // unreachable if request validated against pool
+}
+
+void BatchScheduler::try_schedule() {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Head of line = highest priority among eligible pending jobs; ties
+    // break in submission (queue) order.
+    std::string head_id;
+    int head_priority = 0;
+    for (const auto& id : queue_) {
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      const JobRecord& job = it->second;
+      if (job.state != BatchJobState::kPending || !job.eligible) continue;
+      if (head_id.empty() || job.request.priority > head_priority) {
+        head_id = id;
+        head_priority = job.request.priority;
+      }
+    }
+    if (head_id.empty()) return;
+
+    JobRecord& head = jobs_.at(head_id);
+    if (head.request.nodes <= free_nodes()) {
+      start_job(head_id, head);
+      progressed = true;
+      continue;
+    }
+    if (policy_ == Policy::kFifo) return;
+
+    // Conservative backfill: a later job may start now only if it finishes
+    // (by walltime) before the head job's reservation time, or does not
+    // use nodes the head job needs (i.e. still leaves the head's start
+    // feasible at its reservation).
+    const common::Seconds reservation =
+        earliest_free_time(head.request.nodes);
+    for (const auto& id : queue_) {
+      if (id == head_id) continue;
+      auto it = jobs_.find(id);
+      if (it == jobs_.end()) continue;
+      JobRecord& job = it->second;
+      if (job.state != BatchJobState::kPending || !job.eligible) continue;
+      if (job.request.nodes > free_nodes()) continue;
+      const bool finishes_before_reservation =
+          engine_.now() + job.request.walltime <= reservation;
+      const bool leaves_head_feasible =
+          free_nodes() - job.request.nodes >= head.request.nodes;
+      if (finishes_before_reservation || leaves_head_feasible) {
+        start_job(id, job);
+        progressed = true;
+        break;
+      }
+    }
+  }
+}
+
+void BatchScheduler::start_job(const std::string& job_id, JobRecord& job) {
+  job.state = BatchJobState::kRunning;
+  job.start_time = engine_.now();
+  job.allocation = cluster::Allocation(take_nodes(job.request.nodes));
+  queue_.erase(std::find(queue_.begin(), queue_.end(), job_id));
+
+  // Walltime enforcement.
+  job.walltime_event =
+      engine_.schedule(job.request.walltime, [this, job_id] {
+        auto it = jobs_.find(job_id);
+        if (it == jobs_.end() || it->second.state != BatchJobState::kRunning) {
+          return;
+        }
+        finish_job(job_id, it->second, BatchJobState::kTimedOut);
+      });
+
+  // Payload starts after the prolog.
+  engine_.schedule(profile_.job_prolog_time, [this, job_id] {
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end() || it->second.state != BatchJobState::kRunning) {
+      return;
+    }
+    if (it->second.on_start) it->second.on_start(job_id, it->second.allocation);
+  });
+}
+
+void BatchScheduler::finish_job(const std::string& job_id, JobRecord& job,
+                                BatchJobState final_state) {
+  engine_.cancel(job.walltime_event);
+  job.state = final_state;
+  job.end_time = engine_.now();
+  return_nodes(job.allocation);
+  job.allocation = cluster::Allocation{};
+  if (job.on_end) job.on_end(job_id, final_state);
+  // Freed nodes may unblock queued jobs after the epilog.
+  engine_.schedule(profile_.job_epilog_time, [this] { try_schedule(); });
+}
+
+void BatchScheduler::complete(const std::string& job_id) {
+  JobRecord& job = find(job_id);
+  if (job.state != BatchJobState::kRunning) return;
+  finish_job(job_id, job, BatchJobState::kCompleted);
+}
+
+void BatchScheduler::cancel(const std::string& job_id) {
+  JobRecord& job = find(job_id);
+  if (is_final(job.state)) return;
+  if (job.state == BatchJobState::kPending) {
+    job.state = BatchJobState::kCancelled;
+    job.end_time = engine_.now();
+    queue_.erase(std::find(queue_.begin(), queue_.end(), job_id));
+    if (job.on_end) job.on_end(job_id, BatchJobState::kCancelled);
+    return;
+  }
+  finish_job(job_id, job, BatchJobState::kCancelled);
+}
+
+}  // namespace hoh::hpc

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "hpc/batch_job.h"
+#include "sim/engine.h"
+
+/// \file batch_scheduler.h
+/// Event-driven HPC batch scheduler (the system-level scheduler in the
+/// paper's Fig. 1). Manages a pool of whole nodes; jobs wait in a queue,
+/// start after a prolog delay, and are killed at their walltime. Supports
+/// FIFO and conservative backfill. The SLURM/PBS/SGE front-ends
+/// (frontends.h) wrap one of these with scheduler-specific id formats and
+/// environment-variable conventions.
+
+namespace hoh::hpc {
+
+/// Callback fired when a job transitions to kRunning; receives the node
+/// allocation the payload (e.g. a pilot agent) runs on.
+using JobStartCallback =
+    std::function<void(const std::string& job_id,
+                       const cluster::Allocation& allocation)>;
+
+/// Callback fired when a job reaches a final state.
+using JobEndCallback =
+    std::function<void(const std::string& job_id, BatchJobState final_state)>;
+
+/// Discrete-event batch scheduler over a node pool.
+class BatchScheduler {
+ public:
+  enum class Policy { kFifo, kBackfill };
+
+  /// \p managed_nodes limits the pool actually simulated (profiles
+  /// describe thousands of nodes; benches only need a few). 0 means
+  /// profile.total_nodes.
+  BatchScheduler(sim::Engine& engine, cluster::MachineProfile profile,
+                 int managed_nodes = 0);
+
+  const cluster::MachineProfile& profile() const { return profile_; }
+
+  void set_policy(Policy policy) { policy_ = policy; }
+  Policy policy() const { return policy_; }
+
+  /// Extra queue wait applied to every job before it becomes eligible,
+  /// modelling machine load (default 0: dedicated benchmarking
+  /// reservation, matching the paper's setup).
+  void set_base_queue_wait(common::Seconds wait) { base_queue_wait_ = wait; }
+
+  /// Submits a job. Returns its id after the submission round trip has
+  /// been accounted (the id is available immediately; the job becomes
+  /// eligible after submit latency + base queue wait).
+  std::string submit(const BatchJobRequest& request, JobStartCallback on_start,
+                     JobEndCallback on_end = {});
+
+  /// Payload signals completion (pilot agent done). No-op unless running.
+  void complete(const std::string& job_id);
+
+  /// User cancels the job in any non-final state.
+  void cancel(const std::string& job_id);
+
+  BatchJobState state(const std::string& job_id) const;
+
+  /// Time the job spent pending (valid once running/final).
+  common::Seconds queue_wait(const std::string& job_id) const;
+
+  std::size_t pending_count() const;
+  std::size_t running_count() const;
+  int free_nodes() const;
+  int pool_size() const { return static_cast<int>(pool_.size()); }
+  int live_node_count() const;
+
+  /// Simulates a node crash: running jobs holding the node fail, the
+  /// node leaves the pool until repair() is called.
+  void fail_node(const std::string& node);
+
+  /// Returns a failed node to service.
+  void repair_node(const std::string& node);
+
+ private:
+  struct JobRecord {
+    BatchJobRequest request;
+    BatchJobState state = BatchJobState::kPending;
+    common::Seconds submit_time = 0.0;
+    common::Seconds eligible_time = 0.0;
+    common::Seconds start_time = 0.0;
+    common::Seconds end_time = 0.0;
+    cluster::Allocation allocation;
+    JobStartCallback on_start;
+    JobEndCallback on_end;
+    sim::EventHandle walltime_event;
+    bool eligible = false;
+  };
+
+  JobRecord& find(const std::string& job_id);
+  const JobRecord& find(const std::string& job_id) const;
+
+  void try_schedule();
+  bool try_start(const std::string& job_id, JobRecord& job);
+  void start_job(const std::string& job_id, JobRecord& job);
+  void finish_job(const std::string& job_id, JobRecord& job,
+                  BatchJobState final_state);
+
+  /// Earliest time at which \p nodes nodes will be free, assuming all
+  /// running jobs run to their walltime (conservative backfill bound).
+  common::Seconds earliest_free_time(int nodes) const;
+
+  std::vector<std::shared_ptr<cluster::Node>> take_nodes(int count);
+  void return_nodes(const cluster::Allocation& allocation);
+
+  sim::Engine& engine_;
+  cluster::MachineProfile profile_;
+  Policy policy_ = Policy::kFifo;
+  common::Seconds base_queue_wait_ = 0.0;
+
+  std::vector<std::shared_ptr<cluster::Node>> pool_;
+  std::vector<bool> node_busy_;
+  std::vector<bool> node_dead_;
+  std::map<std::string, std::size_t> node_index_;
+
+  std::deque<std::string> queue_;  // pending job ids, submission order
+  std::map<std::string, JobRecord> jobs_;
+  std::uint64_t next_job_number_ = 1;
+};
+
+}  // namespace hoh::hpc

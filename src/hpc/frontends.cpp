@@ -1,0 +1,152 @@
+#include "hpc/frontends.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::hpc {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kSlurm:
+      return "slurm";
+    case SchedulerKind::kPbs:
+      return "pbs";
+    case SchedulerKind::kSge:
+      return "sge";
+  }
+  return "?";
+}
+
+std::string SchedulerFrontend::submit(const BatchJobRequest& request,
+                                      JobStartCallback on_start,
+                                      JobEndCallback on_end) {
+  // Wrap the start callback so the front-end can render the environment
+  // of a running job later.
+  std::string frontend_id;  // filled below; captured by reference-to-copy
+  auto shared_id = std::make_shared<std::string>();
+  auto wrapped_start = [this, shared_id, user_start = std::move(on_start)](
+                           const std::string& /*backend_id*/,
+                           const cluster::Allocation& allocation) {
+    allocations_[*shared_id] = allocation;
+    if (user_start) user_start(*shared_id, allocation);
+  };
+  auto wrapped_end = [this, shared_id, user_end = std::move(on_end)](
+                         const std::string& /*backend_id*/,
+                         BatchJobState final_state) {
+    allocations_.erase(*shared_id);
+    if (user_end) user_end(*shared_id, final_state);
+  };
+  const std::string bid =
+      scheduler_.submit(request, wrapped_start, wrapped_end);
+  frontend_id = make_frontend_id(bid);
+  *shared_id = frontend_id;
+  frontend_to_backend_[frontend_id] = bid;
+  return frontend_id;
+}
+
+std::string SchedulerFrontend::backend_id(
+    const std::string& frontend_id) const {
+  auto it = frontend_to_backend_.find(frontend_id);
+  if (it == frontend_to_backend_.end()) {
+    throw common::NotFoundError("unknown job id: " + frontend_id);
+  }
+  return it->second;
+}
+
+void SchedulerFrontend::cancel(const std::string& frontend_id) {
+  scheduler_.cancel(backend_id(frontend_id));
+}
+
+BatchJobState SchedulerFrontend::state(const std::string& frontend_id) const {
+  return scheduler_.state(backend_id(frontend_id));
+}
+
+void SchedulerFrontend::complete(const std::string& frontend_id) {
+  scheduler_.complete(backend_id(frontend_id));
+}
+
+const cluster::Allocation& SchedulerFrontend::running_allocation(
+    const std::string& frontend_id) const {
+  auto it = allocations_.find(frontend_id);
+  if (it == allocations_.end()) {
+    throw common::StateError("job " + frontend_id +
+                             " is not running; no environment available");
+  }
+  return it->second;
+}
+
+std::string SlurmFrontend::make_frontend_id(const std::string&) {
+  return std::to_string(++counter_);
+}
+
+std::map<std::string, std::string> SlurmFrontend::environment(
+    const std::string& frontend_id) const {
+  const auto& alloc = running_allocation(frontend_id);
+  std::map<std::string, std::string> env;
+  env["SLURM_JOB_ID"] = frontend_id;
+  env["SLURM_NNODES"] = std::to_string(alloc.size());
+  env["SLURM_JOB_NODELIST"] = common::join(alloc.node_names(), ",");
+  env["SLURM_CPUS_ON_NODE"] =
+      std::to_string(alloc.nodes().empty() ? 0 : alloc.nodes()[0]->spec().cores);
+  env["SLURM_MEM_PER_NODE"] = std::to_string(
+      alloc.nodes().empty() ? 0 : alloc.nodes()[0]->spec().memory_mb);
+  return env;
+}
+
+std::string PbsFrontend::make_frontend_id(const std::string&) {
+  return common::strformat("%llu.%s-pbs-server",
+                           static_cast<unsigned long long>(++counter_),
+                           scheduler_.profile().name.c_str());
+}
+
+std::map<std::string, std::string> PbsFrontend::environment(
+    const std::string& frontend_id) const {
+  const auto& alloc = running_allocation(frontend_id);
+  std::map<std::string, std::string> env;
+  env["PBS_JOBID"] = frontend_id;
+  env["PBS_NUM_NODES"] = std::to_string(alloc.size());
+  // Real PBS exports a path; the simulated LRM reads the contents
+  // directly. One line per (node, core) pair as in a real nodefile.
+  std::vector<std::string> lines;
+  for (const auto& node : alloc.nodes()) {
+    for (int c = 0; c < node->spec().cores; ++c) lines.push_back(node->name());
+  }
+  env["PBS_NODEFILE_CONTENTS"] = common::join(lines, "\n");
+  env["PBS_NP"] = std::to_string(alloc.total_cores());
+  return env;
+}
+
+std::string SgeFrontend::make_frontend_id(const std::string&) {
+  return std::to_string(++counter_);
+}
+
+std::map<std::string, std::string> SgeFrontend::environment(
+    const std::string& frontend_id) const {
+  const auto& alloc = running_allocation(frontend_id);
+  std::map<std::string, std::string> env;
+  env["JOB_ID"] = frontend_id;
+  env["NSLOTS"] = std::to_string(alloc.total_cores());
+  env["NHOSTS"] = std::to_string(alloc.size());
+  std::vector<std::string> lines;
+  for (const auto& node : alloc.nodes()) {
+    lines.push_back(common::strformat("%s %d", node->name().c_str(),
+                                      node->spec().cores));
+  }
+  env["PE_HOSTFILE_CONTENTS"] = common::join(lines, "\n");
+  return env;
+}
+
+std::unique_ptr<SchedulerFrontend> make_frontend(SchedulerKind kind,
+                                                 BatchScheduler& scheduler) {
+  switch (kind) {
+    case SchedulerKind::kSlurm:
+      return std::make_unique<SlurmFrontend>(scheduler);
+    case SchedulerKind::kPbs:
+      return std::make_unique<PbsFrontend>(scheduler);
+    case SchedulerKind::kSge:
+      return std::make_unique<SgeFrontend>(scheduler);
+  }
+  throw common::ConfigError("unknown scheduler kind");
+}
+
+}  // namespace hoh::hpc

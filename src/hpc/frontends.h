@@ -1,0 +1,111 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hpc/batch_scheduler.h"
+
+/// \file frontends.h
+/// Scheduler front-ends reproducing the user-visible conventions of
+/// SLURM, PBS/Torque and SGE: command-style submission, scheduler-local
+/// job ids, and the environment variables a payload (the RADICAL-Pilot
+/// agent's Local Resource Manager) inspects to discover its allocation.
+/// The SAGA adaptors (saga/) sit on top of these.
+
+namespace hoh::hpc {
+
+enum class SchedulerKind { kSlurm, kPbs, kSge };
+
+std::string to_string(SchedulerKind kind);
+
+/// Abstract front-end. One front-end wraps one BatchScheduler.
+class SchedulerFrontend {
+ public:
+  explicit SchedulerFrontend(BatchScheduler& scheduler)
+      : scheduler_(scheduler) {}
+  virtual ~SchedulerFrontend() = default;
+
+  SchedulerFrontend(const SchedulerFrontend&) = delete;
+  SchedulerFrontend& operator=(const SchedulerFrontend&) = delete;
+
+  virtual SchedulerKind kind() const = 0;
+
+  /// Submits a job (sbatch / qsub). Returns the scheduler-local id.
+  std::string submit(const BatchJobRequest& request, JobStartCallback on_start,
+                     JobEndCallback on_end = {});
+
+  /// scancel / qdel.
+  void cancel(const std::string& frontend_id);
+
+  /// squeue / qstat for one job.
+  BatchJobState state(const std::string& frontend_id) const;
+
+  /// Payload signals completion.
+  void complete(const std::string& frontend_id);
+
+  /// The environment the batch system exports into a *running* job —
+  /// SLURM_JOB_NODELIST, PBS_NODEFILE-equivalent, etc. Throws StateError
+  /// for jobs that are not running.
+  virtual std::map<std::string, std::string> environment(
+      const std::string& frontend_id) const = 0;
+
+  BatchScheduler& scheduler() { return scheduler_; }
+  const BatchScheduler& scheduler() const { return scheduler_; }
+
+ protected:
+  /// Front-end id <-> backend id mapping.
+  std::string backend_id(const std::string& frontend_id) const;
+  virtual std::string make_frontend_id(const std::string& backend_id) = 0;
+
+  /// Allocation for a running job (for environment rendering).
+  const cluster::Allocation& running_allocation(
+      const std::string& frontend_id) const;
+
+  BatchScheduler& scheduler_;
+  std::map<std::string, std::string> frontend_to_backend_;
+  std::map<std::string, cluster::Allocation> allocations_;
+  std::uint64_t counter_ = 1000;
+};
+
+/// SLURM: numeric ids, SLURM_* environment.
+class SlurmFrontend : public SchedulerFrontend {
+ public:
+  using SchedulerFrontend::SchedulerFrontend;
+  SchedulerKind kind() const override { return SchedulerKind::kSlurm; }
+  std::map<std::string, std::string> environment(
+      const std::string& frontend_id) const override;
+
+ protected:
+  std::string make_frontend_id(const std::string& backend_id) override;
+};
+
+/// PBS/Torque: "<num>.<server>" ids, PBS_* environment with a nodefile.
+class PbsFrontend : public SchedulerFrontend {
+ public:
+  using SchedulerFrontend::SchedulerFrontend;
+  SchedulerKind kind() const override { return SchedulerKind::kPbs; }
+  std::map<std::string, std::string> environment(
+      const std::string& frontend_id) const override;
+
+ protected:
+  std::string make_frontend_id(const std::string& backend_id) override;
+};
+
+/// SGE: numeric ids, SGE_/NSLOTS environment with a PE hostfile.
+class SgeFrontend : public SchedulerFrontend {
+ public:
+  using SchedulerFrontend::SchedulerFrontend;
+  SchedulerKind kind() const override { return SchedulerKind::kSge; }
+  std::map<std::string, std::string> environment(
+      const std::string& frontend_id) const override;
+
+ protected:
+  std::string make_frontend_id(const std::string& backend_id) override;
+};
+
+/// Factory for the front-end matching \p kind.
+std::unique_ptr<SchedulerFrontend> make_frontend(SchedulerKind kind,
+                                                 BatchScheduler& scheduler);
+
+}  // namespace hoh::hpc

@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/error.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+
+/// \file mr_engine.h
+/// A real, in-process MapReduce engine: typed map / combine / partition /
+/// shuffle / reduce over a thread pool. Used by the K-Means workload and
+/// the examples to run genuine computation; the cluster-scale analogue is
+/// the analytic cost model in sim_cost.h.
+
+namespace hoh::mapreduce {
+
+/// Counters a job run reports (the subset of Hadoop's that the paper's
+/// analysis cares about: record counts and shuffle volume).
+struct MrStats {
+  std::size_t map_input_records = 0;
+  std::size_t map_output_records = 0;
+  std::size_t combine_output_records = 0;
+  std::size_t reduce_input_groups = 0;
+  std::size_t reduce_output_records = 0;
+  common::Bytes shuffle_bytes = 0;
+};
+
+/// Collects (key, value) pairs emitted by one map task.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void emit(K key, V value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+};
+
+/// Typed MapReduce job description.
+///   Mapper  : (input record, emitter) -> emits (K, V)
+///   Combiner: optional (K, values) -> V           (map-side pre-reduce)
+///   Reducer : (K, values) -> output record
+template <typename InputT, typename K, typename V, typename OutputT>
+struct MrJob {
+  std::function<void(const InputT&, Emitter<K, V>&)> mapper;
+  std::function<V(const K&, const std::vector<V>&)> combiner;  // optional
+  std::function<OutputT(const K&, const std::vector<V>&)> reducer;
+  std::size_t map_tasks = 0;     // 0 = pool size
+  std::size_t reduce_tasks = 0;  // 0 = map task count
+  /// Bytes per shuffled (K, V) pair for the shuffle_bytes counter.
+  std::size_t pair_bytes = sizeof(K) + sizeof(V);
+};
+
+/// Runs \p job over \p input on \p pool. Output order follows reducer
+/// partition, then key order within each partition (deterministic).
+template <typename InputT, typename K, typename V, typename OutputT>
+std::vector<OutputT> run_mr(common::ThreadPool& pool,
+                            const std::vector<InputT>& input,
+                            const MrJob<InputT, K, V, OutputT>& job,
+                            MrStats* stats = nullptr) {
+  if (!job.mapper || !job.reducer) {
+    throw common::ConfigError("MrJob: mapper and reducer are required");
+  }
+  const std::size_t m =
+      job.map_tasks > 0 ? job.map_tasks : std::max<std::size_t>(1, pool.size());
+  const std::size_t r = job.reduce_tasks > 0 ? job.reduce_tasks : m;
+
+  MrStats local_stats;
+  local_stats.map_input_records = input.size();
+
+  // --- map phase: split input into m contiguous splits ---
+  // buckets[map_task][reduce_task] -> key -> values
+  std::vector<std::vector<std::map<K, std::vector<V>>>> buckets(m);
+  const std::size_t chunk = (input.size() + m - 1) / std::max<std::size_t>(m, 1);
+  std::mutex stats_mu;
+  pool.parallel_for(m, [&](std::size_t t) {
+    buckets[t].resize(r);
+    const std::size_t lo = t * chunk;
+    const std::size_t hi = std::min(input.size(), lo + chunk);
+    Emitter<K, V> emitter;
+    for (std::size_t i = lo; i < hi; ++i) job.mapper(input[i], emitter);
+    std::hash<K> hasher;
+    std::size_t emitted = emitter.pairs().size();
+    for (auto& [k, v] : emitter.pairs()) {
+      buckets[t][hasher(k) % r][k].push_back(std::move(v));
+    }
+    // Optional combiner: collapse each key's values map-side.
+    std::size_t combined = 0;
+    if (job.combiner) {
+      for (auto& bucket : buckets[t]) {
+        for (auto& [k, vs] : bucket) {
+          V c = job.combiner(k, vs);
+          vs.clear();
+          vs.push_back(std::move(c));
+          ++combined;
+        }
+      }
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    local_stats.map_output_records += emitted;
+    local_stats.combine_output_records += combined;
+  });
+
+  // --- shuffle accounting ---
+  for (const auto& per_map : buckets) {
+    for (const auto& bucket : per_map) {
+      for (const auto& [k, vs] : bucket) {
+        local_stats.shuffle_bytes +=
+            static_cast<common::Bytes>(vs.size() * job.pair_bytes);
+      }
+    }
+  }
+
+  // --- reduce phase ---
+  std::vector<std::vector<OutputT>> outputs(r);
+  pool.parallel_for(r, [&](std::size_t rt) {
+    std::map<K, std::vector<V>> merged;
+    for (std::size_t mt = 0; mt < m; ++mt) {
+      for (auto& [k, vs] : buckets[mt][rt]) {
+        auto& dst = merged[k];
+        dst.insert(dst.end(), std::make_move_iterator(vs.begin()),
+                   std::make_move_iterator(vs.end()));
+      }
+    }
+    std::size_t groups = 0;
+    for (auto& [k, vs] : merged) {
+      outputs[rt].push_back(job.reducer(k, vs));
+      ++groups;
+    }
+    std::lock_guard<std::mutex> lock(stats_mu);
+    local_stats.reduce_input_groups += groups;
+    local_stats.reduce_output_records += groups;
+  });
+
+  std::vector<OutputT> out;
+  for (auto& part : outputs) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace hoh::mapreduce

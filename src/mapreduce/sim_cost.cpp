@@ -1,0 +1,151 @@
+#include "mapreduce/sim_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hoh::mapreduce {
+
+double storage_phase_time(const cluster::MachineProfile& machine,
+                          cluster::StorageBackend backend,
+                          common::Bytes bytes_per_stream, int total_streams,
+                          int nodes, int ops_per_stream) {
+  total_streams = std::max(1, total_streams);
+  nodes = std::max(1, nodes);
+  switch (backend) {
+    case cluster::StorageBackend::kSharedFs: {
+      // Every client pays the metadata RTT per op; bandwidth is shared
+      // machine-wide (including background load).
+      const auto& fs = machine.shared_fs;
+      const double meta = fs.metadata_latency * ops_per_stream;
+      const double xfer =
+          fs.transfer_time(bytes_per_stream, total_streams) -
+          fs.metadata_latency;  // transfer_time includes one op already
+      return meta + std::max(0.0, xfer);
+    }
+    case cluster::StorageBackend::kLocalDisk:
+    case cluster::StorageBackend::kLocalSsd: {
+      const auto& disk = backend == cluster::StorageBackend::kLocalSsd
+                             ? machine.local_ssd
+                             : machine.local_disk;
+      const int streams_per_node =
+          (total_streams + nodes - 1) / nodes;  // ceil
+      const double meta = disk.op_latency * ops_per_stream;
+      const double xfer =
+          disk.transfer_time(bytes_per_stream, streams_per_node) -
+          disk.op_latency;
+      return meta + std::max(0.0, xfer);
+    }
+    case cluster::StorageBackend::kMemory:
+      return machine.memory.transfer_time(bytes_per_stream);
+  }
+  throw common::ConfigError("storage_phase_time: unknown backend");
+}
+
+double memory_pressure_factor(const PhaseEnv& env) {
+  const int nodes = std::max(1, env.nodes);
+  const int tasks_per_node = (env.tasks + nodes - 1) / nodes;
+  const double demand =
+      static_cast<double>(tasks_per_node) *
+          static_cast<double>(env.memory_per_task_mb) +
+      static_cast<double>(env.framework_memory_mb);
+  const double budget = env.memory_pressure_threshold *
+                        static_cast<double>(env.machine->node.memory_mb);
+  if (demand <= budget) return 1.0;
+  // Past the threshold, slowdown grows with the over-subscription ratio
+  // (page-cache thrash / GC pressure, super-linear).
+  const double over = demand / budget;
+  return 1.0 + 0.8 * (over - 1.0) + 0.6 * (over - 1.0) * (over - 1.0);
+}
+
+double compute_time(const PhaseEnv& env, double ops) {
+  const int total_cores = env.nodes * env.machine->node.cores;
+  const int effective_tasks = std::min(env.tasks, total_cores);
+  const double rate = env.machine->node.compute_rate;
+  return ops * env.op_cost /
+         (static_cast<double>(std::max(1, effective_tasks)) * rate);
+}
+
+PhaseCost estimate_phase(const PhaseSpec& spec, const PhaseEnv& env) {
+  if (env.machine == nullptr) {
+    throw common::ConfigError("PhaseEnv.machine must be set");
+  }
+  if (env.tasks <= 0 || env.nodes <= 0) {
+    throw common::ConfigError("PhaseEnv: tasks and nodes must be >= 1");
+  }
+  PhaseCost cost;
+  const int tasks = env.tasks;
+  const int nodes = env.nodes;
+
+  // --- runtime-environment load ---
+  if (env.env_bytes > 0 || env.env_file_ops > 0) {
+    if (env.env_cached_per_node) {
+      // One localization per node from the local tier, concurrently.
+      const auto backend = env.machine->node.local_ssd_bw > 0.0
+                               ? cluster::StorageBackend::kLocalSsd
+                               : cluster::StorageBackend::kLocalDisk;
+      cost.env_load = storage_phase_time(*env.machine, backend,
+                                         env.env_bytes, nodes, nodes,
+                                         env.env_file_ops);
+    } else {
+      // Every task loads the environment through the phase backend.
+      cost.env_load =
+          storage_phase_time(*env.machine, env.io_backend, env.env_bytes,
+                             tasks, nodes, env.env_file_ops);
+    }
+  }
+
+  // --- input ---
+  if (spec.input_bytes > 0) {
+    cost.input_read = storage_phase_time(
+        *env.machine, env.io_backend, spec.input_bytes / tasks, tasks, nodes,
+        /*ops_per_stream=*/1);
+  }
+
+  // --- compute with memory pressure ---
+  cost.memory_pressure_factor = memory_pressure_factor(env);
+  cost.compute = compute_time(env, spec.compute_ops) *
+                 cost.memory_pressure_factor;
+
+  // --- shuffle: write + read of the intermediate volume, plus the
+  // small-file metadata storm (one file per mapper x reducer pair) ---
+  double shuffle = 0.0;
+  if (spec.shuffle_write_bytes > 0 || spec.shuffle_files > 0) {
+    const int ops_per_task =
+        tasks > 0 ? (spec.shuffle_files + tasks - 1) / tasks : 0;
+    shuffle += storage_phase_time(*env.machine, env.io_backend,
+                                  spec.shuffle_write_bytes / tasks, tasks,
+                                  nodes, std::max(1, ops_per_task));
+  }
+  if (spec.shuffle_read_bytes > 0) {
+    const int ops_per_task =
+        tasks > 0 ? (spec.shuffle_files + tasks - 1) / tasks : 0;
+    shuffle += storage_phase_time(*env.machine, env.io_backend,
+                                  spec.shuffle_read_bytes / tasks, tasks,
+                                  nodes, std::max(1, ops_per_task));
+    // Local-disk shuffle still crosses the network for remote partitions.
+    if (env.io_backend == cluster::StorageBackend::kLocalDisk ||
+        env.io_backend == cluster::StorageBackend::kLocalSsd) {
+      const double remote_fraction =
+          nodes > 1 ? 1.0 - 1.0 / static_cast<double>(nodes) : 0.0;
+      const common::Bytes remote_bytes = static_cast<common::Bytes>(
+          static_cast<double>(spec.shuffle_read_bytes / tasks) *
+          remote_fraction);
+      if (remote_bytes > 0) {
+        shuffle += env.machine->network.transfer_time(remote_bytes, tasks);
+      }
+    }
+  }
+  cost.shuffle = shuffle;
+
+  // --- output ---
+  if (spec.output_bytes > 0) {
+    cost.output_write = storage_phase_time(
+        *env.machine, env.io_backend, spec.output_bytes / tasks, tasks,
+        nodes, 1);
+  }
+  return cost;
+}
+
+}  // namespace hoh::mapreduce

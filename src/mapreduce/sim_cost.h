@@ -1,0 +1,91 @@
+#pragma once
+
+#include <string>
+
+#include "cluster/machine.h"
+#include "common/units.h"
+
+/// \file sim_cost.h
+/// Analytic cost model for one MapReduce-style phase executed as a set of
+/// parallel tasks on a machine. The Fig. 6 benchmark drives the simulated
+/// middleware with task durations produced here.
+///
+/// The model captures the effects the paper's evaluation discusses:
+///  * compute ∝ work / (tasks × core speed),
+///  * per-task runtime-environment loading (interpreter + libraries) —
+///    pathological on a shared parallel filesystem, cheap and cached
+///    per-node under YARN's resource localization,
+///  * input/shuffle/output I/O through either the shared filesystem or
+///    node-local disks, with the concurrency semantics of each
+///    (machine-wide sharing vs. per-node streams),
+///  * shuffle small-file metadata cost (map_tasks × reduce_tasks files),
+///  * a memory-pressure slowdown once per-node footprint nears capacity.
+
+namespace hoh::mapreduce {
+
+/// Work and data volumes of one phase (whole-phase totals).
+struct PhaseSpec {
+  double compute_ops = 0.0;       ///< abstract op units for the whole phase
+  common::Bytes input_bytes = 0;  ///< bytes read by all tasks together
+  common::Bytes shuffle_write_bytes = 0;  ///< intermediate data written
+  common::Bytes shuffle_read_bytes = 0;   ///< intermediate data read
+  common::Bytes output_bytes = 0;         ///< final output written
+  int shuffle_files = 0;  ///< small files created/opened (M x R)
+};
+
+/// Execution environment of the phase.
+struct PhaseEnv {
+  const cluster::MachineProfile* machine = nullptr;
+  int nodes = 1;
+  int tasks = 1;
+  cluster::StorageBackend io_backend = cluster::StorageBackend::kSharedFs;
+
+  /// Seconds of compute per op unit on a compute_rate-1.0 core.
+  double op_cost = 2.0e-5;
+
+  /// Runtime-environment loading (Python interpreter + modules in the
+  /// paper's stack).
+  int env_file_ops = 300;
+  common::Bytes env_bytes = 150 * common::kMiB;
+  /// True when the environment is localized once per node and reused
+  /// (YARN distributed-cache semantics); false = every task loads it.
+  bool env_cached_per_node = false;
+
+  /// Per-task memory footprint and threshold for the pressure penalty.
+  common::MemoryMb memory_per_task_mb = 2048;
+  common::MemoryMb framework_memory_mb = 3072;  // daemons, OS, page cache
+  double memory_pressure_threshold = 0.85;
+};
+
+/// Per-phase cost breakdown, all in seconds of wall time for the phase.
+struct PhaseCost {
+  double env_load = 0.0;
+  double input_read = 0.0;
+  double compute = 0.0;
+  double shuffle = 0.0;
+  double output_write = 0.0;
+  double memory_pressure_factor = 1.0;
+
+  double total() const {
+    return env_load + input_read + compute + shuffle + output_write;
+  }
+};
+
+/// Effective per-stream transfer time for \p bytes on \p backend when
+/// \p total_streams of our tasks do I/O at once, spread over \p nodes.
+/// Exposed for tests and for the ablation benches.
+double storage_phase_time(const cluster::MachineProfile& machine,
+                          cluster::StorageBackend backend,
+                          common::Bytes bytes_per_stream, int total_streams,
+                          int nodes, int ops_per_stream = 1);
+
+/// Memory pressure slowdown factor (>= 1).
+double memory_pressure_factor(const PhaseEnv& env);
+
+/// Estimates the wall time of one phase.
+PhaseCost estimate_phase(const PhaseSpec& spec, const PhaseEnv& env);
+
+/// Convenience: whole tasks' compute share with core capping.
+double compute_time(const PhaseEnv& env, double ops);
+
+}  // namespace hoh::mapreduce

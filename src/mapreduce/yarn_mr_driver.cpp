@@ -1,0 +1,105 @@
+#include "mapreduce/yarn_mr_driver.h"
+
+#include "common/error.h"
+
+namespace hoh::mapreduce {
+
+std::string YarnMrDriver::submit(const YarnMrJobSpec& spec,
+                                 std::function<void()> on_done) {
+  if (spec.map_tasks < 1 || spec.reduce_tasks < 0) {
+    throw common::ConfigError("YarnMrJobSpec: need >= 1 map task");
+  }
+  auto shared_id = std::make_shared<std::string>();
+  yarn::AppDescriptor app;
+  app.name = spec.name;
+  app.queue = spec.queue;
+  app.on_am_start = [this, shared_id](yarn::ApplicationMaster& am) {
+    JobRec& job = jobs_.at(*shared_id);
+    const auto& spec = job.spec;
+    for (int t = 0; t < spec.map_tasks; ++t) {
+      yarn::ContainerRequest req;
+      req.resource = spec.map_resource;
+      std::string preferred;
+      if (t < static_cast<int>(spec.split_locations.size())) {
+        preferred = spec.split_locations[static_cast<std::size_t>(t)];
+        if (!preferred.empty()) req.preferred_nodes = {preferred};
+      }
+      am.request_containers(
+          1, req,
+          [this, shared_id, &am, preferred](const yarn::Container& c) {
+            JobRec& j = jobs_.at(*shared_id);
+            if (!preferred.empty() && c.node == preferred) {
+              j.maps_local += 1;
+            }
+            am.launch(c.id, [this, shared_id, &am, id = c.id] {
+              JobRec& j2 = jobs_.at(*shared_id);
+              rm_.engine().schedule(
+                  j2.spec.map_task_seconds,
+                  [this, shared_id, &am, id] {
+                    am.complete_container(id);
+                    JobRec& j3 = jobs_.at(*shared_id);
+                    j3.progress.maps_done += 1;
+                    if (j3.progress.maps_done == j3.spec.map_tasks) {
+                      j3.progress.map_locality =
+                          j3.spec.split_locations.empty()
+                              ? 0.0
+                              : static_cast<double>(j3.maps_local) /
+                                    static_cast<double>(j3.spec.map_tasks);
+                      start_reduce_phase(*shared_id, am);
+                    }
+                  });
+            });
+          });
+    }
+  };
+  const std::string app_id = rm_.submit_application(std::move(app));
+  *shared_id = app_id;
+  JobRec rec;
+  rec.spec = spec;
+  rec.on_done = std::move(on_done);
+  jobs_.emplace(app_id, std::move(rec));
+  return app_id;
+}
+
+void YarnMrDriver::start_reduce_phase(const std::string& app_id,
+                                      yarn::ApplicationMaster& am) {
+  JobRec& job = jobs_.at(app_id);
+  if (job.spec.reduce_tasks == 0) {
+    job.progress.finished = true;
+    am.unregister(true);
+    if (job.on_done) job.on_done();
+    return;
+  }
+  for (int r = 0; r < job.spec.reduce_tasks; ++r) {
+    yarn::ContainerRequest req;
+    req.resource = job.spec.reduce_resource;
+    am.request_containers(1, req, [this, app_id,
+                                   &am](const yarn::Container& c) {
+      am.launch(c.id, [this, app_id, &am, id = c.id] {
+        JobRec& j = jobs_.at(app_id);
+        rm_.engine().schedule(j.spec.reduce_task_seconds,
+                              [this, app_id, &am, id] {
+                                am.complete_container(id);
+                                JobRec& j2 = jobs_.at(app_id);
+                                j2.progress.reduces_done += 1;
+                                if (j2.progress.reduces_done ==
+                                    j2.spec.reduce_tasks) {
+                                  j2.progress.finished = true;
+                                  am.unregister(true);
+                                  if (j2.on_done) j2.on_done();
+                                }
+                              });
+      });
+    });
+  }
+}
+
+YarnMrJobStatus YarnMrDriver::status(const std::string& app_id) const {
+  auto it = jobs_.find(app_id);
+  if (it == jobs_.end()) {
+    throw common::NotFoundError("YarnMrDriver: unknown job " + app_id);
+  }
+  return it->second.progress;
+}
+
+}  // namespace hoh::mapreduce

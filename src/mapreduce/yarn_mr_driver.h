@@ -1,0 +1,76 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "yarn/application_master.h"
+#include "yarn/resource_manager.h"
+
+/// \file yarn_mr_driver.h
+/// A Hadoop-MapReduce-style YARN application: one Application Master that
+/// requests map containers (honoring split locality), barriers, then
+/// requests reduce containers — the execution structure of a real MRv2
+/// job, driven entirely through the simulated YARN protocol. Task
+/// durations come from a cost model (e.g. mapreduce::estimate_phase).
+
+namespace hoh::mapreduce {
+
+/// Description of one simulated MR job run on YARN.
+struct YarnMrJobSpec {
+  std::string name = "mr-job";
+  std::string queue = "default";
+  int map_tasks = 4;
+  int reduce_tasks = 1;
+  yarn::Resource map_resource{2048, 1};
+  yarn::Resource reduce_resource{2048, 1};
+  common::Seconds map_task_seconds = 10.0;
+  common::Seconds reduce_task_seconds = 5.0;
+
+  /// Preferred node per map task (input split location); empty or
+  /// shorter than map_tasks = no preference for the remainder.
+  std::vector<std::string> split_locations;
+};
+
+/// Progress snapshot.
+struct YarnMrJobStatus {
+  int maps_done = 0;
+  int reduces_done = 0;
+  bool finished = false;
+  /// Fraction of map containers granted on their preferred node.
+  double map_locality = 0.0;
+};
+
+/// Submits and tracks MR-style YARN applications.
+class YarnMrDriver {
+ public:
+  explicit YarnMrDriver(yarn::ResourceManager& rm) : rm_(rm) {}
+
+  YarnMrDriver(const YarnMrDriver&) = delete;
+  YarnMrDriver& operator=(const YarnMrDriver&) = delete;
+
+  /// Submits the job; \p on_done fires when the reduce phase finished
+  /// and the application unregistered. Returns the application id.
+  std::string submit(const YarnMrJobSpec& spec,
+                     std::function<void()> on_done = nullptr);
+
+  YarnMrJobStatus status(const std::string& app_id) const;
+
+ private:
+  struct JobRec {
+    YarnMrJobSpec spec;
+    YarnMrJobStatus progress;
+    int maps_local = 0;
+    std::function<void()> on_done;
+  };
+
+  void start_reduce_phase(const std::string& app_id,
+                          yarn::ApplicationMaster& am);
+
+  yarn::ResourceManager& rm_;
+  std::map<std::string, JobRec> jobs_;
+};
+
+}  // namespace hoh::mapreduce

@@ -1,0 +1,704 @@
+#include "pilot/agent/agent.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::pilot {
+
+std::string to_string(PilotState state) {
+  switch (state) {
+    case PilotState::kNew:
+      return "New";
+    case PilotState::kPendingLaunch:
+      return "PendingLaunch";
+    case PilotState::kLaunching:
+      return "Launching";
+    case PilotState::kActive:
+      return "Active";
+    case PilotState::kDone:
+      return "Done";
+    case PilotState::kCanceled:
+      return "Canceled";
+    case PilotState::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+std::string to_string(UnitState state) {
+  switch (state) {
+    case UnitState::kNew:
+      return "New";
+    case UnitState::kUmgrScheduling:
+      return "UmgrScheduling";
+    case UnitState::kPendingAgent:
+      return "PendingAgent";
+    case UnitState::kAgentScheduling:
+      return "AgentScheduling";
+    case UnitState::kStagingInput:
+      return "StagingInput";
+    case UnitState::kExecuting:
+      return "Executing";
+    case UnitState::kStagingOutput:
+      return "StagingOutput";
+    case UnitState::kDone:
+      return "Done";
+    case UnitState::kCanceled:
+      return "Canceled";
+    case UnitState::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+std::string to_string(AgentBackend backend) {
+  switch (backend) {
+    case AgentBackend::kPlain:
+      return "plain";
+    case AgentBackend::kYarnModeI:
+      return "yarn-mode1";
+    case AgentBackend::kYarnModeII:
+      return "yarn-mode2";
+    case AgentBackend::kSparkModeI:
+      return "spark-mode1";
+  }
+  return "?";
+}
+
+common::Json unit_to_json(const ComputeUnitDescription& desc) {
+  common::Json j;
+  j["name"] = desc.name;
+  j["executable"] = desc.executable;
+  common::JsonArray args;
+  for (const auto& a : desc.arguments) args.emplace_back(a);
+  j["arguments"] = std::move(args);
+  j["cores"] = static_cast<std::int64_t>(desc.cores);
+  j["memory_mb"] = desc.memory_mb;
+  j["duration"] = desc.duration;
+  j["exit_code"] = static_cast<std::int64_t>(desc.exit_code);
+  j["is_mpi"] = desc.is_mpi;
+  auto stage_list = [](const std::vector<StagedFile>& files) {
+    common::JsonArray arr;
+    for (const auto& f : files) {
+      common::Json entry;
+      entry["url"] = f.url.str();
+      entry["size"] = f.size;
+      arr.push_back(std::move(entry));
+    }
+    return arr;
+  };
+  j["input_staging"] = stage_list(desc.input_staging);
+  j["output_staging"] = stage_list(desc.output_staging);
+  common::JsonArray pref;
+  for (const auto& n : desc.preferred_nodes) pref.emplace_back(n);
+  j["preferred_nodes"] = std::move(pref);
+  common::JsonArray deps;
+  for (const auto& d : desc.depends_on) deps.emplace_back(d);
+  j["depends_on"] = std::move(deps);
+  return j;
+}
+
+ComputeUnitDescription unit_from_json(const common::Json& doc) {
+  ComputeUnitDescription desc;
+  desc.name = doc.at("name").as_string();
+  desc.executable = doc.at("executable").as_string();
+  for (const auto& a : doc.at("arguments").as_array()) {
+    desc.arguments.push_back(a.as_string());
+  }
+  desc.cores = static_cast<int>(doc.at("cores").as_int());
+  desc.memory_mb = doc.at("memory_mb").as_int();
+  desc.duration = doc.at("duration").as_number();
+  desc.exit_code = static_cast<int>(doc.at("exit_code").as_int());
+  desc.is_mpi = doc.at("is_mpi").as_bool();
+  auto parse_stage = [](const common::Json& arr) {
+    std::vector<StagedFile> out;
+    for (const auto& e : arr.as_array()) {
+      out.push_back(StagedFile{saga::Url(e.at("url").as_string()),
+                               e.at("size").as_int()});
+    }
+    return out;
+  };
+  desc.input_staging = parse_stage(doc.at("input_staging"));
+  desc.output_staging = parse_stage(doc.at("output_staging"));
+  for (const auto& n : doc.at("preferred_nodes").as_array()) {
+    desc.preferred_nodes.push_back(n.as_string());
+  }
+  if (doc.contains("depends_on")) {
+    for (const auto& d : doc.at("depends_on").as_array()) {
+      desc.depends_on.push_back(d.as_string());
+    }
+  }
+  return desc;
+}
+
+Agent::Agent(saga::SagaContext& saga, StateStore& store,
+             saga::FileTransferService& transfer, std::string pilot_id,
+             const cluster::MachineProfile& machine,
+             cluster::Allocation allocation, AgentBackend backend,
+             AgentConfig config, yarn::YarnCluster* external_yarn)
+    : saga_(saga),
+      store_(store),
+      transfer_(transfer),
+      pilot_id_(std::move(pilot_id)),
+      machine_(machine),
+      allocation_(std::move(allocation)),
+      backend_(backend),
+      config_(config),
+      external_yarn_(external_yarn) {
+  if (allocation_.empty()) {
+    throw common::ConfigError("Agent: empty allocation");
+  }
+  if (backend_ == AgentBackend::kYarnModeII && external_yarn_ == nullptr) {
+    throw common::ConfigError(
+        "Agent: Mode II requires an existing YARN cluster");
+  }
+}
+
+Agent::~Agent() { stop(); }
+
+void Agent::start(std::function<void()> on_active) {
+  saga_.trace().record(saga_.engine().now(), "pilot", "agent_started",
+                       {{"pilot", pilot_id_},
+                        {"backend", to_string(backend_)}});
+  saga_.trace().begin_span(saga_.engine().now(), "pilot", "agent_startup",
+                           pilot_id_);
+  // Agent process bootstrap (interpreter, components, store connection),
+  // then the LRM takes over.
+  saga_.engine().schedule(machine_.agent_bootstrap_time,
+                          [this, cb = std::move(on_active)] {
+    if (stopped_) return;
+    lrm_bootstrap([this, cb] {
+      if (stopped_) return;
+      active_ = true;
+      saga_.trace().record(saga_.engine().now(), "pilot", "agent_active",
+                           {{"pilot", pilot_id_}});
+      poll_event_ = saga_.engine().schedule_periodic(
+          config_.poll_interval, [this] { poll_store(); });
+      write_heartbeat();
+      heartbeat_event_ = saga_.engine().schedule_periodic(
+          config_.heartbeat_interval, [this] { write_heartbeat(); });
+      if (cb) cb();
+    });
+  });
+}
+
+void Agent::lrm_bootstrap(std::function<void()> on_done) {
+  switch (backend_) {
+    case AgentBackend::kPlain:
+      // The LRM only parses the batch environment; negligible cost.
+      on_done();
+      return;
+    case AgentBackend::kYarnModeI: {
+      const common::Seconds dt = machine_.bootstrap.yarn_bootstrap_time(
+          static_cast<int>(allocation_.size()));
+      saga_.engine().schedule(dt, [this, dt, cb = std::move(on_done)] {
+        if (stopped_) return;
+        owned_yarn_ = std::make_unique<yarn::YarnCluster>(
+            saga_.engine(), machine_, allocation_, config_.yarn);
+        saga_.trace().record(
+            saga_.engine().now(), "pilot", "yarn_bootstrapped",
+            {{"pilot", pilot_id_},
+             {"seconds", common::strformat("%.2f", dt)}});
+        cb();
+      });
+      return;
+    }
+    case AgentBackend::kYarnModeII: {
+      // Connect to the running RM and read its REST metrics once.
+      saga_.engine().schedule(2.0, [this, cb = std::move(on_done)] {
+        if (stopped_) return;
+        const auto metrics = external_yarn_->resource_manager()
+                                 .cluster_metrics();
+        saga_.trace().record(
+            saga_.engine().now(), "pilot", "yarn_connected",
+            {{"pilot", pilot_id_},
+             {"availableMB",
+              std::to_string(metrics.at("clusterMetrics")
+                                 .at("availableMB")
+                                 .as_int())}});
+        cb();
+      });
+      return;
+    }
+    case AgentBackend::kSparkModeI: {
+      const common::Seconds dt = machine_.bootstrap.spark_bootstrap_time(
+          static_cast<int>(allocation_.size()));
+      saga_.engine().schedule(dt, [this, dt, cb = std::move(on_done)] {
+        if (stopped_) return;
+        spark_ = std::make_unique<spark::SparkStandaloneCluster>(
+            saga_.engine(), machine_, allocation_, config_.spark);
+        // One long-lived Spark application per pilot holds all slots.
+        spark::SparkAppDescriptor app;
+        app.name = pilot_id_;
+        app.executor_cores = allocation_.nodes()[0]->spec().cores;
+        app.executor_memory_mb =
+            allocation_.nodes()[0]->spec().memory_mb - 2048;
+        spark_app_id_ = spark_->submit_application(app);
+        saga_.trace().record(
+            saga_.engine().now(), "pilot", "spark_bootstrapped",
+            {{"pilot", pilot_id_},
+             {"seconds", common::strformat("%.2f", dt)}});
+        cb();
+      });
+      return;
+    }
+  }
+  throw common::ConfigError("Agent: unknown backend");
+}
+
+void Agent::lrm_teardown() {
+  if (owned_yarn_ != nullptr) owned_yarn_->shutdown();
+  if (spark_ != nullptr) {
+    if (!spark_app_id_.empty()) {
+      spark_->finish_application(spark_app_id_);
+    }
+    spark_->shutdown();
+  }
+}
+
+void Agent::stop() {
+  if (stopped_) return;
+  const bool was_active = active_;
+  stopped_ = true;
+  active_ = false;
+  saga_.engine().cancel(poll_event_);
+  saga_.engine().cancel(heartbeat_event_);
+  if (was_active) write_heartbeat();  // final tombstone (alive=false)
+  // Cancel everything still queued.
+  for (auto& unit : queue_) {
+    set_unit_state(*unit, UnitState::kCanceled);
+  }
+  queue_.clear();
+  for (auto& unit : waiting_for_shared_am_) {
+    set_unit_state(*unit, UnitState::kCanceled);
+  }
+  waiting_for_shared_am_.clear();
+  lrm_teardown();
+  saga_.trace().record(saga_.engine().now(), "pilot", "agent_stopped",
+                       {{"pilot", pilot_id_}});
+}
+
+void Agent::write_heartbeat() {
+  common::Json doc;
+  doc["pilot"] = pilot_id_;
+  doc["alive"] = !stopped_;
+  doc["last_heartbeat"] = saga_.engine().now();
+  doc["units_completed"] = static_cast<std::int64_t>(units_completed_);
+  doc["units_failed"] = static_cast<std::int64_t>(units_failed_);
+  doc["units_running"] = static_cast<std::int64_t>(running_);
+  store_.put("heartbeat", pilot_id_, std::move(doc));
+}
+
+void Agent::poll_store() {
+  if (!active_) return;
+  const auto ids = store_.queue_pop_all("agent." + pilot_id_);
+  for (const auto& id : ids) {
+    auto doc = store_.get("unit", id);
+    if (!doc.has_value()) continue;
+    auto unit = std::make_shared<UnitRec>();
+    unit->id = id;
+    unit->desc = unit_from_json(doc->at("description"));
+    set_unit_state(*unit, UnitState::kAgentScheduling);
+    queue_.push_back(std::move(unit));
+  }
+  schedule_queued();
+}
+
+void Agent::set_unit_state(UnitRec& unit, UnitState state) {
+  if (is_final(unit.state)) return;
+  unit.state = state;
+  store_.update("unit", unit.id,
+                {{"state", common::Json(to_string(state))}});
+  saga_.trace().record(saga_.engine().now(), "unit", to_string(state),
+                       {{"unit", unit.id}, {"pilot", pilot_id_}});
+  if (is_final(state)) {
+    saga_.trace().end_span(saga_.engine().now(), "unit", "exec", unit.id);
+  }
+  if (state == UnitState::kExecuting) {
+    saga_.trace().begin_span(saga_.engine().now(), "unit", "exec", unit.id);
+    saga_.trace().end_span(saga_.engine().now(), "unit", "startup", unit.id);
+    if (!saw_first_unit_) {
+      saw_first_unit_ = true;
+      saga_.trace().record(saga_.engine().now(), "pilot",
+                           "first_unit_executing", {{"pilot", pilot_id_}});
+      saga_.trace().end_span(saga_.engine().now(), "pilot", "agent_startup",
+                             pilot_id_);
+    }
+  }
+}
+
+void Agent::schedule_queued() {
+  if (!active_) return;
+  std::deque<std::shared_ptr<UnitRec>> still_waiting;
+  while (!queue_.empty()) {
+    auto unit = queue_.front();
+    queue_.pop_front();
+    if (!dispatch(unit)) still_waiting.push_back(std::move(unit));
+  }
+  queue_ = std::move(still_waiting);
+}
+
+bool Agent::dispatch(const std::shared_ptr<UnitRec>& unit) {
+  switch (backend_) {
+    case AgentBackend::kPlain: {
+      // Continuous scheduler: first node with enough free cores+memory.
+      const cluster::ResourceRequest req{unit->desc.cores,
+                                         unit->desc.memory_mb};
+      for (const auto& node : allocation_.nodes()) {
+        if (node->allocate(req)) {
+          unit->node = node.get();
+          saga_.trace().record(saga_.engine().now(), "unit", "placed",
+                               {{"unit", unit->id}, {"node", node->name()}});
+          exec_plain(unit);
+          return true;
+        }
+      }
+      // MPI units gang-schedule across nodes when no single node can
+      // host them (mpiexec spans the allocation).
+      if (unit->desc.is_mpi && try_gang_allocate(*unit)) {
+        std::string nodes;
+        for (const auto& [node, piece] : unit->pieces) {
+          if (!nodes.empty()) nodes += ",";
+          nodes += node->name();
+        }
+        saga_.trace().record(saga_.engine().now(), "unit", "placed",
+                             {{"unit", unit->id}, {"node", nodes}});
+        exec_plain(unit);
+        return true;
+      }
+      return false;  // stays queued until capacity frees up
+    }
+    case AgentBackend::kYarnModeI:
+    case AgentBackend::kYarnModeII: {
+      // The YARN scheduler gates on *memory and cores* using the RM's
+      // REST metrics (paper SS-III-C), accounting for submissions whose
+      // containers are not visible in the metrics yet.
+      yarn::ResourceManager& rm = yarn_cluster()->resource_manager();
+      const yarn::YarnConfig& ycfg = rm.config();
+      const yarn::Resource cu =
+          ycfg.normalize({unit->desc.memory_mb, unit->desc.cores});
+      common::MemoryMb need = cu.memory_mb;
+      if (!config_.reuse_yarn_app || shared_am_ == nullptr) {
+        need += ycfg.normalize(config_.yarn.yarn.am_resource).memory_mb;
+      }
+      const auto metrics = rm.cluster_metrics().at("clusterMetrics");
+      if (metrics.at("availableMB").as_int() - yarn_inflight_mb_ < need) {
+        return false;
+      }
+      // Data-aware extension: steer the unit towards the node holding
+      // most HDFS blocks of its first resident input.
+      if (config_.data_aware_scheduling &&
+          unit->desc.preferred_nodes.empty()) {
+        for (const auto& f : unit->desc.input_staging) {
+          if (f.url.scheme() == "hdfs" &&
+              yarn_cluster()->hdfs().exists(f.url.path())) {
+            const auto best = yarn_cluster()->hdfs().best_node(f.url.path());
+            if (!best.empty()) unit->desc.preferred_nodes.push_back(best);
+            break;
+          }
+        }
+      }
+      unit->yarn_reserved_mb = need;
+      yarn_inflight_mb_ += need;
+      exec_yarn(unit);
+      return true;
+    }
+    case AgentBackend::kSparkModeI:
+      // The Spark scheduler's own wave queueing handles backpressure.
+      exec_spark(unit);
+      return true;
+  }
+  return false;
+}
+
+void Agent::enqueue_transfer(const saga::Url& src, const saga::Url& dst,
+                             common::Bytes bytes,
+                             std::function<void()> done) {
+  auto start = [this, src, dst, bytes, done = std::move(done)] {
+    active_staging_ += 1;
+    transfer_.transfer(src, dst, bytes, [this, done] {
+      staging_slot_released();
+      if (!stopped_ && done) done();
+    });
+  };
+  if (active_staging_ < config_.max_concurrent_staging) {
+    start();
+  } else {
+    staging_backlog_.push_back(std::move(start));
+  }
+}
+
+void Agent::staging_slot_released() {
+  active_staging_ = active_staging_ > 0 ? active_staging_ - 1 : 0;
+  if (stopped_ || staging_backlog_.empty()) return;
+  if (active_staging_ >= config_.max_concurrent_staging) return;
+  auto next = std::move(staging_backlog_.front());
+  staging_backlog_.pop_front();
+  next();
+}
+
+void Agent::stage_in(std::shared_ptr<UnitRec> unit,
+                     std::function<void()> next) {
+  // Inputs already resident in this pilot's HDFS need no movement.
+  std::vector<StagedFile> to_move;
+  for (const auto& f : unit->desc.input_staging) {
+    if (f.url.scheme() == "hdfs" && yarn_cluster() != nullptr &&
+        yarn_cluster()->hdfs().exists(f.url.path())) {
+      continue;
+    }
+    to_move.push_back(f);
+  }
+  if (to_move.empty()) {
+    next();
+    return;
+  }
+  set_unit_state(*unit, UnitState::kStagingInput);
+  auto remaining = std::make_shared<std::size_t>(to_move.size());
+  for (const auto& f : to_move) {
+    const saga::Url dst("local://" + machine_.name + "/tmp/" + unit->id);
+    enqueue_transfer(f.url, dst, f.size, [unit, remaining, next] {
+      if (--(*remaining) == 0) next();
+    });
+  }
+}
+
+void Agent::stage_out(std::shared_ptr<UnitRec> unit,
+                      std::function<void()> next) {
+  if (unit->desc.output_staging.empty()) {
+    next();
+    return;
+  }
+  set_unit_state(*unit, UnitState::kStagingOutput);
+  auto remaining =
+      std::make_shared<std::size_t>(unit->desc.output_staging.size());
+  for (const auto& f : unit->desc.output_staging) {
+    const saga::Url src("local://" + machine_.name + "/tmp/" + unit->id);
+    enqueue_transfer(src, f.url, f.size, [unit, remaining, next] {
+      if (--(*remaining) == 0) next();
+    });
+  }
+}
+
+bool Agent::try_gang_allocate(UnitRec& unit) {
+  // Greedy: walk nodes taking as many cores as each offers, memory split
+  // proportionally to the cores taken. All-or-nothing.
+  int remaining = unit.desc.cores;
+  std::vector<std::pair<cluster::Node*, cluster::ResourceRequest>> taken;
+  for (const auto& node : allocation_.nodes()) {
+    if (remaining <= 0) break;
+    const int cores = std::min(remaining, node->free_cores());
+    if (cores <= 0) continue;
+    const common::MemoryMb memory =
+        unit.desc.memory_mb * cores / unit.desc.cores;
+    const cluster::ResourceRequest piece{cores, memory};
+    if (!node->allocate(piece)) continue;
+    taken.emplace_back(node.get(), piece);
+    remaining -= cores;
+  }
+  if (remaining > 0) {
+    for (const auto& [node, piece] : taken) node->release(piece);
+    return false;
+  }
+  unit.pieces = std::move(taken);
+  return true;
+}
+
+void Agent::finish_unit(std::shared_ptr<UnitRec> unit,
+                        UnitState final_state) {
+  if (unit->node != nullptr) {
+    unit->node->release(cluster::ResourceRequest{unit->desc.cores,
+                                                 unit->desc.memory_mb});
+    unit->node = nullptr;
+  }
+  for (const auto& [node, piece] : unit->pieces) {
+    node->release(piece);
+  }
+  unit->pieces.clear();
+  if (unit->yarn_reserved_mb > 0) {
+    yarn_inflight_mb_ -= unit->yarn_reserved_mb;
+    unit->yarn_reserved_mb = 0;
+  }
+  running_ = running_ > 0 ? running_ - 1 : 0;
+  set_unit_state(*unit, final_state);
+  if (final_state == UnitState::kDone) {
+    ++units_completed_;
+  } else if (final_state == UnitState::kFailed) {
+    ++units_failed_;
+  }
+  // Capacity freed: try to dispatch more queued units.
+  if (active_) schedule_queued();
+}
+
+common::Seconds Agent::wrapper_time_for(const std::string& node) {
+  auto it = wrapper_cache_.find(node);
+  if (it != wrapper_cache_.end() && it->second) {
+    return config_.wrapper_cached_time;
+  }
+  wrapper_cache_[node] = true;
+  return config_.wrapper_setup_time;
+}
+
+void Agent::exec_plain(std::shared_ptr<UnitRec> unit) {
+  running_ += 1;
+  stage_in(unit, [this, unit] {
+    const common::Seconds launch_latency =
+        unit->desc.is_mpi ? config_.mpiexec_latency : config_.spawn_latency;
+    // The Task Spawner handles one launch at a time; later units wait
+    // for it, then load their runtime environment in parallel.
+    const common::Seconds now = saga_.engine().now();
+    const common::Seconds spawn_starts = std::max(now, spawner_free_at_);
+    spawner_free_at_ = spawn_starts + launch_latency;
+    const common::Seconds delay =
+        (spawn_starts - now) + launch_latency + config_.env_load_seconds;
+    saga_.engine().schedule(delay, [this, unit] {
+          if (stopped_) return;
+          set_unit_state(*unit, UnitState::kExecuting);
+          saga_.engine().schedule(unit->desc.duration, [this, unit] {
+            if (stopped_) return;
+            // The Task Spawner "collects the exit code" (paper SS-III-B).
+            if (unit->desc.exit_code != 0) {
+              finish_unit(unit, UnitState::kFailed);
+              return;
+            }
+            stage_out(unit, [this, unit] {
+              finish_unit(unit, UnitState::kDone);
+            });
+          });
+        });
+  });
+}
+
+void Agent::exec_yarn(std::shared_ptr<UnitRec> unit) {
+  running_ += 1;
+  yarn::ResourceManager& rm = yarn_cluster()->resource_manager();
+  saga_.trace().begin_span(saga_.engine().now(), "unit", "yarn_submit",
+                           unit->id);
+  stage_in(unit, [this, unit, &rm] {
+    // Serialized `yarn jar` CLI submission round trip.
+    const common::Seconds now = saga_.engine().now();
+    const common::Seconds submit_starts = std::max(now, spawner_free_at_);
+    spawner_free_at_ = submit_starts + config_.yarn_submit_latency;
+    saga_.engine().schedule(
+        (submit_starts - now) + config_.yarn_submit_latency,
+        [this, unit, &rm] { exec_yarn_submit(unit, rm); });
+  });
+}
+
+void Agent::exec_yarn_submit(std::shared_ptr<UnitRec> unit,
+                             yarn::ResourceManager& rm) {
+  if (stopped_) return;
+  {
+    if (config_.reuse_yarn_app) {
+      if (shared_am_ != nullptr) {
+        yarn::ContainerRequest req;
+        req.resource = {unit->desc.memory_mb, unit->desc.cores};
+        req.preferred_nodes = unit->desc.preferred_nodes;
+        shared_am_->request_containers(
+            1, req, [this, unit](const yarn::Container& c) {
+              exec_yarn_in_container(unit, *shared_am_, c, false);
+            });
+        return;
+      }
+      waiting_for_shared_am_.push_back(unit);
+      if (!shared_app_id_.empty()) return;  // AM already requested
+      yarn::AppDescriptor app;
+      app.name = "radical-pilot-shared";
+      app.am_resource = config_.yarn.yarn.am_resource;
+      app.on_am_start = [this](yarn::ApplicationMaster& am) {
+        if (stopped_) return;
+        shared_am_ = &am;
+        auto waiting = std::move(waiting_for_shared_am_);
+        waiting_for_shared_am_.clear();
+        for (auto& w : waiting) {
+          yarn::ContainerRequest req;
+          req.resource = {w->desc.memory_mb, w->desc.cores};
+          req.preferred_nodes = w->desc.preferred_nodes;
+          shared_am_->request_containers(
+              1, req, [this, w](const yarn::Container& c) {
+                exec_yarn_in_container(w, *shared_am_, c, false);
+              });
+        }
+      };
+      shared_app_id_ = rm.submit_application(std::move(app));
+      return;
+    }
+    // Paper default: one YARN application (own AM) per Compute-Unit.
+    yarn::AppDescriptor app;
+    app.name = unit->desc.name;
+    app.am_resource = config_.yarn.yarn.am_resource;
+    app.on_am_start = [this, unit](yarn::ApplicationMaster& am) {
+      if (stopped_) return;
+      yarn::ContainerRequest req;
+      req.resource = {unit->desc.memory_mb, unit->desc.cores};
+      req.preferred_nodes = unit->desc.preferred_nodes;
+      am.request_containers(1, req,
+                            [this, unit, &am](const yarn::Container& c) {
+                              exec_yarn_in_container(unit, am, c, true);
+                            });
+    };
+    rm.submit_application(std::move(app));
+  }
+}
+
+void Agent::exec_yarn_in_container(std::shared_ptr<UnitRec> unit,
+                                   yarn::ApplicationMaster& am,
+                                   const yarn::Container& container,
+                                   bool dedicated_app) {
+  const std::string container_id = container.id;
+  const std::string node = container.node;
+  saga_.trace().record(saga_.engine().now(), "unit", "placed",
+                       {{"unit", unit->id}, {"node", node}});
+  am.launch(container_id, [this, unit, &am, container_id, node,
+                           dedicated_app] {
+    if (stopped_) return;
+    // Wrapper script: sets up the RP environment inside the container
+    // (cached per node by the NM's resource localization).
+    saga_.engine().schedule(wrapper_time_for(node), [this, unit, &am,
+                                                     container_id,
+                                                     dedicated_app] {
+      if (stopped_) return;
+      set_unit_state(*unit, UnitState::kExecuting);
+      saga_.trace().end_span(saga_.engine().now(), "unit", "yarn_submit",
+                             unit->id);
+      saga_.engine().schedule(unit->desc.duration, [this, unit, &am,
+                                                    container_id,
+                                                    dedicated_app] {
+        if (stopped_) return;
+        if (unit->desc.exit_code != 0) {
+          am.kill_container(container_id);
+          if (dedicated_app) am.unregister(false);
+          finish_unit(unit, UnitState::kFailed);
+          return;
+        }
+        am.complete_container(container_id);
+        if (dedicated_app) am.unregister(true);
+        stage_out(unit, [this, unit] {
+          finish_unit(unit, UnitState::kDone);
+        });
+      });
+    });
+  });
+}
+
+void Agent::exec_spark(std::shared_ptr<UnitRec> unit) {
+  running_ += 1;
+  stage_in(unit, [this, unit] {
+    set_unit_state(*unit, UnitState::kExecuting);
+    spark_->run_stage(spark_app_id_, unit->desc.cores,
+                      [unit](int) { return unit->desc.duration; },
+                      [this, unit] {
+                        if (stopped_) return;
+                        if (unit->desc.exit_code != 0) {
+                          finish_unit(unit, UnitState::kFailed);
+                          return;
+                        }
+                        stage_out(unit, [this, unit] {
+                          finish_unit(unit, UnitState::kDone);
+                        });
+                      });
+  });
+}
+
+}  // namespace hoh::pilot

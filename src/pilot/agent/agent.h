@@ -1,0 +1,160 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/machine.h"
+#include "pilot/agent/agent_config.h"
+#include "pilot/descriptions.h"
+#include "pilot/state_store.h"
+#include "pilot/states.h"
+#include "saga/context.h"
+#include "saga/file_transfer.h"
+#include "spark/standalone.h"
+#include "yarn/application_master.h"
+#include "yarn/yarn_cluster.h"
+
+/// \file agent.h
+/// The RADICAL-Pilot agent (paper Fig. 3, right side). One agent runs on
+/// the head node of a batch allocation and consists of the components the
+/// paper names: the Local Resource Manager (environment discovery and, in
+/// Mode I, Hadoop/Spark bootstrap), the Scheduler (cores for the plain
+/// path; cores *and memory* for the YARN path), the Task Spawner and the
+/// Launch Methods (fork / mpiexec / yarn / spark), a heartbeat monitor
+/// and the stage-in/stage-out workers.
+
+namespace hoh::pilot {
+
+class Agent {
+ public:
+  /// \p external_yarn must be non-null for AgentBackend::kYarnModeII (the
+  /// pre-existing cluster, e.g. Wrangler's dedicated Hadoop reservation).
+  Agent(saga::SagaContext& saga, StateStore& store,
+        saga::FileTransferService& transfer, std::string pilot_id,
+        const cluster::MachineProfile& machine,
+        cluster::Allocation allocation, AgentBackend backend,
+        AgentConfig config, yarn::YarnCluster* external_yarn = nullptr);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// P.2: begins agent bootstrap (LRM environment discovery, Mode-I
+  /// cluster bootstrap). When finished the agent is active and polling.
+  /// \p on_active fires at that moment.
+  void start(std::function<void()> on_active = nullptr);
+
+  /// Stops the agent: tears down Mode-I clusters (the LRM "stops the
+  /// Hadoop and YARN daemons and removes the associated data files"),
+  /// cancels pending units, stops polling.
+  void stop();
+
+  bool active() const { return active_; }
+  const std::string& pilot_id() const { return pilot_id_; }
+  AgentBackend backend() const { return backend_; }
+  const cluster::Allocation& allocation() const { return allocation_; }
+  const AgentConfig& config() const { return config_; }
+
+  /// Mode-I/II backend clusters (nullptr when not applicable).
+  yarn::YarnCluster* yarn_cluster() {
+    return external_yarn_ != nullptr ? external_yarn_ : owned_yarn_.get();
+  }
+  spark::SparkStandaloneCluster* spark_cluster() { return spark_.get(); }
+
+  std::size_t units_completed() const { return units_completed_; }
+  std::size_t units_failed() const { return units_failed_; }
+  std::size_t units_queued() const { return queue_.size(); }
+  std::size_t units_running() const { return running_; }
+
+ private:
+  struct UnitRec {
+    std::string id;
+    ComputeUnitDescription desc;
+    UnitState state = UnitState::kPendingAgent;
+    cluster::Node* node = nullptr;  // plain path assignment
+    /// Gang-scheduled MPI units span nodes: each piece is one node's
+    /// share of (cores, memory), released together on completion.
+    std::vector<std::pair<cluster::Node*, cluster::ResourceRequest>> pieces;
+    common::MemoryMb yarn_reserved_mb = 0;  // in-flight YARN gate share
+  };
+
+  // --- Local Resource Manager ---
+  void lrm_bootstrap(std::function<void()> on_done);
+  void lrm_teardown();
+
+  // --- store interaction (U.3 / state write-back) ---
+  void poll_store();
+  void write_heartbeat();
+  void set_unit_state(UnitRec& unit, UnitState state);
+
+  // --- Scheduler (U.4/U.5) ---
+  void schedule_queued();
+  bool dispatch(const std::shared_ptr<UnitRec>& unit);
+  bool try_gang_allocate(UnitRec& unit);
+
+  // --- stage-in/out workers (bounded concurrency) ---
+  void stage_in(std::shared_ptr<UnitRec> unit,
+                std::function<void()> next);
+  void stage_out(std::shared_ptr<UnitRec> unit,
+                 std::function<void()> next);
+  void enqueue_transfer(const saga::Url& src, const saga::Url& dst,
+                        common::Bytes bytes, std::function<void()> done);
+  void staging_slot_released();
+
+  // --- Task Spawner + Launch Methods ---
+  void exec_plain(std::shared_ptr<UnitRec> unit);
+  void exec_yarn(std::shared_ptr<UnitRec> unit);
+  void exec_yarn_submit(std::shared_ptr<UnitRec> unit,
+                        yarn::ResourceManager& rm);
+  void exec_yarn_in_container(std::shared_ptr<UnitRec> unit,
+                              yarn::ApplicationMaster& am,
+                              const yarn::Container& container,
+                              bool dedicated_app);
+  void exec_spark(std::shared_ptr<UnitRec> unit);
+  void finish_unit(std::shared_ptr<UnitRec> unit, UnitState final_state);
+
+  common::Seconds wrapper_time_for(const std::string& node);
+
+  saga::SagaContext& saga_;
+  StateStore& store_;
+  saga::FileTransferService& transfer_;
+  std::string pilot_id_;
+  const cluster::MachineProfile& machine_;
+  cluster::Allocation allocation_;
+  AgentBackend backend_;
+  AgentConfig config_;
+
+  yarn::YarnCluster* external_yarn_ = nullptr;
+  std::unique_ptr<yarn::YarnCluster> owned_yarn_;
+  std::unique_ptr<spark::SparkStandaloneCluster> spark_;
+  std::string spark_app_id_;
+
+  // Shared-application extension state.
+  std::string shared_app_id_;
+  yarn::ApplicationMaster* shared_am_ = nullptr;
+  std::deque<std::shared_ptr<UnitRec>> waiting_for_shared_am_;
+
+  std::deque<std::shared_ptr<UnitRec>> queue_;  // agent scheduler queue
+  std::map<std::string, bool> wrapper_cache_;   // node -> env localized
+  common::MemoryMb yarn_inflight_mb_ = 0;       // dispatched, not finished
+  common::Seconds spawner_free_at_ = 0.0;       // Task Spawner serialization
+  int active_staging_ = 0;                      // stage-in/out worker slots
+  std::deque<std::function<void()>> staging_backlog_;
+  sim::EventHandle poll_event_;
+  sim::EventHandle heartbeat_event_;
+  bool active_ = false;
+  bool stopped_ = false;
+  bool saw_first_unit_ = false;
+  std::size_t units_completed_ = 0;
+  std::size_t units_failed_ = 0;
+  std::size_t running_ = 0;
+};
+
+/// Serialization of unit documents for the state store.
+common::Json unit_to_json(const ComputeUnitDescription& desc);
+ComputeUnitDescription unit_from_json(const common::Json& doc);
+
+}  // namespace hoh::pilot

@@ -1,0 +1,93 @@
+#include "pilot/config_templates.h"
+
+#include <algorithm>
+
+namespace hoh::pilot {
+namespace {
+
+bool has_flash(const cluster::MachineProfile& machine) {
+  return machine.node.local_ssd_bw > 0.0;
+}
+
+/// Scales a baseline latency by how much slower the machine's local tier
+/// is than a 400 MB/s flash reference, clamped to [0.3, 1.5] x baseline.
+common::Seconds scale_by_local_tier(const cluster::MachineProfile& machine,
+                                    common::Seconds baseline) {
+  const double best_bw =
+      std::max(machine.node.local_disk_bw, machine.node.local_ssd_bw);
+  if (best_bw <= 0.0) return baseline * 1.5;
+  const double factor = std::clamp(400.0e6 / best_bw, 0.3, 1.5);
+  return baseline * factor;
+}
+
+}  // namespace
+
+AgentConfig tuned_agent_config(const cluster::MachineProfile& machine) {
+  AgentConfig cfg;
+  // Container localization and the RP-environment wrapper are dominated
+  // by local-tier I/O.
+  cfg.wrapper_setup_time = scale_by_local_tier(machine, 18.0);
+  cfg.wrapper_cached_time = scale_by_local_tier(machine, 8.0);
+  cfg.yarn.yarn.container_launch_time = scale_by_local_tier(machine, 5.0);
+  cfg.yarn.yarn.am_launch_time = scale_by_local_tier(machine, 12.0);
+
+  // NM capacity from the node spec (Hadoop 87.5% rule).
+  cfg.yarn.yarn.nm_memory_mb = machine.node.memory_mb * 7 / 8;
+  cfg.yarn.yarn.nm_vcores = machine.node.cores;
+  cfg.yarn.yarn.maximum_allocation = {
+      std::min<common::MemoryMb>(machine.node.memory_mb / 2, 16 * 1024),
+      machine.node.cores};
+
+  // Spark workers sized to the node.
+  cfg.spark.worker_cores = machine.node.cores;
+  cfg.spark.worker_memory_mb = machine.node.memory_mb - 2048;
+  cfg.spark.executor_launch_time = scale_by_local_tier(machine, 4.0);
+  return cfg;
+}
+
+common::Config yarn_site_template(const cluster::MachineProfile& machine) {
+  common::Config c;
+  c.set_int("yarn.nodemanager.resource.memory-mb",
+            machine.node.memory_mb * 7 / 8);
+  c.set_int("yarn.nodemanager.resource.cpu-vcores", machine.node.cores);
+  c.set_int("yarn.scheduler.minimum-allocation-mb", 1024);
+  c.set_int("yarn.scheduler.maximum-allocation-mb",
+            std::min<common::MemoryMb>(machine.node.memory_mb / 2,
+                                       16 * 1024));
+  c.set("yarn.resourcemanager.scheduler.class",
+        "org.apache.hadoop.yarn.server.resourcemanager.scheduler."
+        "capacity.CapacityScheduler");
+  // The SS-V optimization: put the shuffle spill directories on the
+  // fastest node-local tier.
+  c.set("yarn.nodemanager.local-dirs",
+        has_flash(machine) ? "/flash/yarn/local" : "/tmp/yarn/local");
+  c.set_bool("yarn.nodemanager.vmem-check-enabled", false);
+  return c;
+}
+
+common::Config hdfs_site_template(const cluster::MachineProfile& machine,
+                                  int nodes) {
+  common::Config c;
+  c.set_int("dfs.blocksize", 128 * common::kMiB);
+  c.set_int("dfs.replication", std::min(3, std::max(1, nodes)));
+  if (has_flash(machine)) {
+    c.set("dfs.datanode.data.dir", "[SSD]/flash/hdfs/data");
+    c.set("dfs.storage.policy", "ALL_SSD");
+  } else {
+    c.set("dfs.datanode.data.dir", "[DISK]/tmp/hdfs/data");
+    c.set("dfs.storage.policy", "HOT");
+  }
+  return c;
+}
+
+common::Config spark_env_template(const cluster::MachineProfile& machine) {
+  common::Config c;
+  c.set_int("SPARK_WORKER_CORES", machine.node.cores);
+  c.set_int("SPARK_WORKER_MEMORY_MB", machine.node.memory_mb - 2048);
+  c.set("SPARK_LOCAL_DIRS",
+        has_flash(machine) ? "/flash/spark" : "/tmp/spark");
+  c.set_int("SPARK_WORKER_INSTANCES", 1);
+  return c;
+}
+
+}  // namespace hoh::pilot

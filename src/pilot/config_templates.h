@@ -1,0 +1,37 @@
+#pragma once
+
+#include "cluster/machine.h"
+#include "common/config.h"
+#include "pilot/agent/agent_config.h"
+
+/// \file config_templates.h
+/// Configuration templates (paper SS-V: "In the future, we will provide
+/// configuration templates so that resource specific hardware can be
+/// exploited, e.g. available SSDs can significantly enhance the shuffle
+/// performance"). Each template derives tuned Hadoop/Spark settings and
+/// agent knobs from a machine profile: SSD shuffle directories where
+/// flash exists, NodeManager capacities from the node spec, and launch
+/// latencies scaled to the local storage tier.
+
+namespace hoh::pilot {
+
+/// Agent configuration tuned for \p machine: container localization and
+/// wrapper times scale with the node-local storage speed; the YARN
+/// cluster config embeds the machine-derived NM capacities.
+AgentConfig tuned_agent_config(const cluster::MachineProfile& machine);
+
+/// yarn-site.xml contents for a deployment on \p machine
+/// (NM memory/vcores, scheduler min/max allocation, shuffle directories
+/// on the fastest local tier).
+common::Config yarn_site_template(const cluster::MachineProfile& machine);
+
+/// hdfs-site.xml contents (block size, replication capped by node count,
+/// SSD storage tagging when flash exists).
+common::Config hdfs_site_template(const cluster::MachineProfile& machine,
+                                  int nodes);
+
+/// spark-env.sh contents (worker cores/memory, SPARK_LOCAL_DIRS on the
+/// fastest tier).
+common::Config spark_env_template(const cluster::MachineProfile& machine);
+
+}  // namespace hoh::pilot

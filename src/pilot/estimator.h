@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pilot/descriptions.h"
+
+/// \file estimator.h
+/// Predictive scheduling hook (paper SS-V future work: "introducing
+/// predictive scheduling and other optimization"). An estimator predicts
+/// a unit's runtime from its description and learns from observed
+/// runtimes; the Unit-Manager's kPredictive policy uses it to bind units
+/// to the pilot with the least predicted outstanding work.
+
+namespace hoh::pilot {
+
+class RuntimeEstimator {
+ public:
+  virtual ~RuntimeEstimator() = default;
+
+  /// Predicted wall seconds for this unit once executing.
+  virtual double predict(const ComputeUnitDescription& desc) const = 0;
+
+  /// Feeds back an observed runtime.
+  virtual void observe(const ComputeUnitDescription& desc,
+                       double actual_seconds) = 0;
+};
+
+/// Exponential-moving-average estimator keyed by executable name.
+/// Cold-start predictions return \p default_prediction.
+class MovingAverageEstimator : public RuntimeEstimator {
+ public:
+  explicit MovingAverageEstimator(double alpha = 0.3,
+                                  double default_prediction = 60.0)
+      : alpha_(alpha), default_prediction_(default_prediction) {}
+
+  double predict(const ComputeUnitDescription& desc) const override {
+    auto it = averages_.find(desc.executable);
+    return it == averages_.end() ? default_prediction_ : it->second;
+  }
+
+  void observe(const ComputeUnitDescription& desc,
+               double actual_seconds) override {
+    auto it = averages_.find(desc.executable);
+    if (it == averages_.end()) {
+      averages_[desc.executable] = actual_seconds;
+    } else {
+      it->second = alpha_ * actual_seconds + (1.0 - alpha_) * it->second;
+    }
+  }
+
+  std::size_t observed_executables() const { return averages_.size(); }
+
+ private:
+  double alpha_;
+  double default_prediction_;
+  std::map<std::string, double> averages_;
+};
+
+}  // namespace hoh::pilot

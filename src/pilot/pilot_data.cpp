@@ -1,0 +1,152 @@
+#include "pilot/pilot_data.h"
+
+#include <numeric>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::pilot {
+
+std::string to_string(DataUnitState state) {
+  switch (state) {
+    case DataUnitState::kNew:
+      return "New";
+    case DataUnitState::kPending:
+      return "Pending";
+    case DataUnitState::kReplicating:
+      return "Replicating";
+    case DataUnitState::kReady:
+      return "Ready";
+    case DataUnitState::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+common::Bytes DataUnit::total_bytes() const {
+  common::Bytes total = 0;
+  for (const auto& f : files_) total += f.size;
+  return total;
+}
+
+std::shared_ptr<PilotData> DataUnitManager::create_pilot_data(
+    const PilotDataDescription& description) {
+  // Validates the machine (throws NotFoundError when unregistered).
+  session_.saga().resource(description.machine);
+  const std::string id = common::strformat(
+      "pilot-data.%03llu", static_cast<unsigned long long>(next_pd_++));
+  auto pd = std::shared_ptr<PilotData>(new PilotData(id, description));
+  pilot_datas_.emplace(id, pd);
+  session_.trace().record(session_.engine().now(), "pilot-data", "created",
+                          {{"pd", id}, {"machine", description.machine}});
+  return pd;
+}
+
+std::shared_ptr<PilotData> DataUnitManager::find_pd(
+    const std::string& id) const {
+  auto it = pilot_datas_.find(id);
+  if (it == pilot_datas_.end()) {
+    throw common::NotFoundError("unknown pilot-data: " + id);
+  }
+  return it->second;
+}
+
+std::shared_ptr<DataUnit> DataUnitManager::submit_data_unit(
+    std::vector<DataFile> files, const std::shared_ptr<PilotData>& target) {
+  if (target == nullptr) {
+    throw common::ConfigError("submit_data_unit: null pilot-data");
+  }
+  const std::string id = common::strformat(
+      "data-unit.%04llu", static_cast<unsigned long long>(next_du_++));
+  auto unit = std::shared_ptr<DataUnit>(new DataUnit(id, std::move(files)));
+  const common::Bytes bytes = unit->total_bytes();
+  if (bytes > target->free()) {
+    throw common::ResourceError("pilot-data " + target->id() +
+                                " lacks capacity for " + id);
+  }
+  target->used_ += bytes;
+  unit->state_ = DataUnitState::kPending;
+  units_.push_back(unit);
+
+  // Import from a remote source at WAN speed, then the local write.
+  const auto& machine = session_.saga().resource(
+      target->description().machine).profile;
+  const common::Seconds duration =
+      cluster::NetworkModel::wan_transfer_time(bytes, 50.0e6) +
+      machine.storage_transfer_time(target->description().backend, bytes, 1);
+  session_.engine().schedule(duration, [this, unit, target] {
+    unit->state_ = DataUnitState::kReady;
+    unit->locations_.push_back(target->id());
+    session_.trace().record(session_.engine().now(), "pilot-data", "ready",
+                            {{"du", unit->id()}, {"pd", target->id()}});
+  });
+  return unit;
+}
+
+void DataUnitManager::replicate(const std::shared_ptr<DataUnit>& unit,
+                                const std::shared_ptr<PilotData>& target) {
+  if (unit->state_ != DataUnitState::kReady) {
+    throw common::StateError("data unit " + unit->id() +
+                             " is not Ready; cannot replicate");
+  }
+  for (const auto& loc : unit->locations_) {
+    if (loc == target->id()) return;  // already there
+  }
+  const common::Bytes bytes = unit->total_bytes();
+  if (bytes > target->free()) {
+    throw common::ResourceError("pilot-data " + target->id() +
+                                " lacks capacity for replica of " +
+                                unit->id());
+  }
+  target->used_ += bytes;
+  unit->state_ = DataUnitState::kReplicating;
+
+  const auto src = find_pd(unit->locations_.front());
+  const auto& src_machine =
+      session_.saga().resource(src->description().machine).profile;
+  const auto& dst_machine =
+      session_.saga().resource(target->description().machine).profile;
+  common::Seconds duration = std::max(
+      src_machine.storage_transfer_time(src->description().backend, bytes, 1),
+      dst_machine.storage_transfer_time(target->description().backend,
+                                        bytes, 1));
+  if (src->description().machine != target->description().machine) {
+    duration += cluster::NetworkModel::wan_transfer_time(bytes, 50.0e6);
+  }
+  session_.engine().schedule(duration, [this, unit, target] {
+    unit->locations_.push_back(target->id());
+    unit->state_ = DataUnitState::kReady;
+    session_.trace().record(session_.engine().now(), "pilot-data",
+                            "replicated",
+                            {{"du", unit->id()}, {"pd", target->id()}});
+  });
+}
+
+std::string DataUnitManager::location_on(const DataUnit& unit,
+                                         const std::string& machine) const {
+  for (const auto& loc : unit.locations()) {
+    if (find_pd(loc)->description().machine == machine) return loc;
+  }
+  return "";
+}
+
+common::Seconds DataUnitManager::staging_cost(
+    const DataUnit& unit, const std::string& machine) const {
+  const common::Bytes bytes = unit.total_bytes();
+  const auto& profile = session_.saga().resource(machine).profile;
+  const std::string local = location_on(unit, machine);
+  if (!local.empty()) {
+    // On-machine: one read through the placeholder's backend.
+    return profile.storage_transfer_time(
+        find_pd(local)->description().backend, bytes, 1);
+  }
+  if (unit.locations().empty()) {
+    throw common::StateError("data unit " + unit.id() + " has no replicas");
+  }
+  // Remote: WAN pull plus local write.
+  return cluster::NetworkModel::wan_transfer_time(bytes, 50.0e6) +
+         profile.storage_transfer_time(cluster::StorageBackend::kSharedFs,
+                                       bytes, 1);
+}
+
+}  // namespace hoh::pilot

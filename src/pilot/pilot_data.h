@@ -1,0 +1,126 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/storage.h"
+#include "pilot/session.h"
+
+/// \file pilot_data.h
+/// The Pilot-Data abstraction (Luckow et al., JPDC 2014 — cited by the
+/// paper as the data-side extension of the Pilot-Abstraction and "the
+/// central component of a resource management middleware"). A PilotData
+/// is a storage placeholder on one machine/backend; a DataUnit is a named
+/// collection of files registered into one or more PilotData placeholders
+/// and replicated between them. Compute-Unit descriptions can be bound to
+/// DataUnits, which resolves input staging and locality hints.
+
+namespace hoh::pilot {
+
+class DataUnitManager;
+
+/// Description of a storage placeholder.
+struct PilotDataDescription {
+  std::string machine;  // registered machine name
+  cluster::StorageBackend backend = cluster::StorageBackend::kSharedFs;
+  common::Bytes capacity = 100 * common::kGiB;
+};
+
+/// One logical file inside a DataUnit.
+struct DataFile {
+  std::string name;
+  common::Bytes size = 0;
+};
+
+enum class DataUnitState { kNew, kPending, kReplicating, kReady, kFailed };
+
+std::string to_string(DataUnitState state);
+
+/// Handle to a storage placeholder.
+class PilotData {
+ public:
+  const std::string& id() const { return id_; }
+  const PilotDataDescription& description() const { return description_; }
+  common::Bytes used() const { return used_; }
+  common::Bytes free() const { return description_.capacity - used_; }
+
+ private:
+  friend class DataUnitManager;
+  PilotData(std::string id, PilotDataDescription description)
+      : id_(std::move(id)), description_(std::move(description)) {}
+
+  std::string id_;
+  PilotDataDescription description_;
+  common::Bytes used_ = 0;
+};
+
+/// Handle to a data unit.
+class DataUnit {
+ public:
+  const std::string& id() const { return id_; }
+  DataUnitState state() const { return state_; }
+  const std::vector<DataFile>& files() const { return files_; }
+  common::Bytes total_bytes() const;
+
+  /// Pilot-data placeholders currently holding a full replica.
+  std::vector<std::string> locations() const { return locations_; }
+
+ private:
+  friend class DataUnitManager;
+  DataUnit(std::string id, std::vector<DataFile> files)
+      : id_(std::move(id)), files_(std::move(files)) {}
+
+  std::string id_;
+  std::vector<DataFile> files_;
+  DataUnitState state_ = DataUnitState::kNew;
+  std::vector<std::string> locations_;
+};
+
+/// Manages PilotData placeholders and DataUnits across them.
+class DataUnitManager {
+ public:
+  explicit DataUnitManager(Session& session) : session_(session) {}
+
+  DataUnitManager(const DataUnitManager&) = delete;
+  DataUnitManager& operator=(const DataUnitManager&) = delete;
+
+  /// Creates a storage placeholder; the machine must be registered.
+  std::shared_ptr<PilotData> create_pilot_data(
+      const PilotDataDescription& description);
+
+  /// Registers a data unit into \p pilot_data. The import transfer is
+  /// simulated (source assumed remote at WAN speed); the unit becomes
+  /// kReady when it lands.
+  std::shared_ptr<DataUnit> submit_data_unit(
+      std::vector<DataFile> files, const std::shared_ptr<PilotData>& target);
+
+  /// Replicates \p unit into \p target (inter-placeholder transfer);
+  /// the unit is kReplicating until the copy completes, then kReady with
+  /// both locations. Throws if the unit is not kReady or capacity lacks.
+  void replicate(const std::shared_ptr<DataUnit>& unit,
+                 const std::shared_ptr<PilotData>& target);
+
+  /// The placeholder on \p machine holding the unit (locality query for
+  /// compute/data co-placement); empty string when none.
+  std::string location_on(const DataUnit& unit,
+                          const std::string& machine) const;
+
+  /// Estimated staging time of \p unit's bytes into node-local scratch on
+  /// \p machine, given current placements (0 cost if a replica already
+  /// resides on that machine's preferred backend).
+  common::Seconds staging_cost(const DataUnit& unit,
+                               const std::string& machine) const;
+
+ private:
+  std::shared_ptr<PilotData> find_pd(const std::string& id) const;
+
+  Session& session_;
+  std::map<std::string, std::shared_ptr<PilotData>> pilot_datas_;
+  std::vector<std::shared_ptr<DataUnit>> units_;
+  std::uint64_t next_pd_ = 0;
+  std::uint64_t next_du_ = 0;
+};
+
+}  // namespace hoh::pilot

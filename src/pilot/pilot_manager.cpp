@@ -1,0 +1,132 @@
+#include "pilot/pilot_manager.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::pilot {
+
+void Pilot::set_state(PilotState state) {
+  if (state_ == state || is_final(state_)) return;
+  state_ = state;
+  manager_->session().trace().record(
+      manager_->session().engine().now(), "pilot", "state",
+      {{"pilot", id_}, {"state", to_string(state)}});
+  for (const auto& cb : callbacks_) cb(state);
+}
+
+std::optional<common::Json> Pilot::heartbeat() const {
+  return manager_->session().store().get("heartbeat", id_);
+}
+
+void Pilot::cancel() {
+  if (is_final(state_)) return;
+  if (agent_) agent_->stop();
+  if (job_ && !saga::is_final(job_->state())) job_->cancel();
+  set_state(PilotState::kCanceled);
+}
+
+PilotManager::~PilotManager() {
+  // Stop agents while the session (engine, store, trace) is still alive;
+  // anything the simulation still references later then finds the agent
+  // already stopped.
+  for (const auto& pilot : pilots_) {
+    if (pilot->agent_ != nullptr) pilot->agent_->stop();
+  }
+}
+
+std::shared_ptr<Pilot> PilotManager::submit_pilot(
+    const PilotDescription& description, AgentConfig agent_config) {
+  if (description.resource.empty()) {
+    throw common::ConfigError("PilotDescription.resource must be set");
+  }
+  const saga::Url url(description.resource);
+  auto& resource = session_.saga().resource(url.host());
+
+  // Mode II needs the dedicated cluster to exist on that host.
+  yarn::YarnCluster* external = nullptr;
+  if (description.backend == AgentBackend::kYarnModeII) {
+    external = session_.dedicated_hadoop(url.host());
+    if (external == nullptr) {
+      throw common::ConfigError(
+          "Mode II requested but no dedicated Hadoop environment exists on " +
+          url.host());
+    }
+  }
+
+  const std::string pilot_id = session_.next_pilot_id();
+  auto pilot = std::shared_ptr<Pilot>(
+      new Pilot(this, pilot_id, description));
+
+  if (description.agent_poll_interval > 0.0) {
+    agent_config.poll_interval = description.agent_poll_interval;
+  }
+
+  saga::JobService& service = job_service(url);
+  saga::JobDescription jd;
+  jd.name = pilot_id;
+  jd.executable = "radical-pilot-agent";
+  jd.total_nodes = description.nodes;
+  jd.wall_time_limit = description.runtime;
+  jd.queue = description.queue;
+  jd.project = description.project;
+
+  // Callbacks capture the pilot weakly: the batch-scheduler keeps its
+  // callbacks alive for the whole session, and a strong capture would
+  // extend agent lifetime past the state store's (teardown ordering).
+  std::weak_ptr<Pilot> weak = pilot;
+  const cluster::MachineProfile& profile = resource.profile;
+  pilot->job_ = service.submit(
+      jd,
+      [this, weak, &profile, agent_config,
+       external](const cluster::Allocation& allocation) {
+        auto pilot = weak.lock();
+        if (pilot == nullptr) return;
+        // P.2: placeholder job started; bring the agent up.
+        pilot->set_state(PilotState::kLaunching);
+        pilot->agent_ = std::make_unique<Agent>(
+            session_.saga(), session_.store(), session_.transfer(),
+            pilot->id_, profile, allocation, pilot->description_.backend,
+            agent_config, external);
+        pilot->agent_->start([weak] {
+          if (auto p = weak.lock()) p->set_state(PilotState::kActive);
+        });
+      });
+
+  pilot->job_->on_state_change([weak](saga::JobState state) {
+    auto pilot = weak.lock();
+    if (pilot == nullptr) return;
+    switch (state) {
+      case saga::JobState::kDone:
+        if (pilot->agent_) pilot->agent_->stop();
+        pilot->set_state(PilotState::kDone);
+        break;
+      case saga::JobState::kFailed:
+        if (pilot->agent_) pilot->agent_->stop();
+        pilot->set_state(PilotState::kFailed);
+        break;
+      case saga::JobState::kCanceled:
+        if (pilot->agent_) pilot->agent_->stop();
+        pilot->set_state(PilotState::kCanceled);
+        break;
+      default:
+        break;
+    }
+  });
+
+  pilot->set_state(PilotState::kPendingLaunch);
+  pilots_.push_back(pilot);
+  return pilot;
+}
+
+saga::JobService& PilotManager::job_service(const saga::Url& url) {
+  auto it = services_.find(url.host());
+  if (it == services_.end()) {
+    it = services_
+             .emplace(url.host(), std::make_unique<saga::JobService>(
+                                      session_.saga(), url))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace hoh::pilot

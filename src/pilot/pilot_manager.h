@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pilot/agent/agent.h"
+#include "pilot/descriptions.h"
+#include "pilot/session.h"
+#include "pilot/states.h"
+#include "saga/job.h"
+
+/// \file pilot_manager.h
+/// The Pilot-Manager: "the central entity responsible for managing the
+/// lifecycle of a set of Pilots" (paper SS-III-B). It submits the
+/// placeholder job that runs the agent via the SAGA job API (steps
+/// P.1-P.7) and tracks pilot states.
+
+namespace hoh::pilot {
+
+class PilotManager;
+
+/// Handle to one pilot. The agent (once running) is reachable for
+/// diagnostics; applications normally interact through the UnitManager.
+class Pilot {
+ public:
+  const std::string& id() const { return id_; }
+  const PilotDescription& description() const { return description_; }
+  PilotState state() const { return state_; }
+
+  /// Agent instance, nullptr until the placeholder job started.
+  Agent* agent() { return agent_.get(); }
+
+  /// Latest heartbeat document the agent wrote to the shared store
+  /// (fields: alive, last_heartbeat, units_*), or nullopt before the
+  /// first heartbeat. Clients use this to detect dead agents.
+  std::optional<common::Json> heartbeat() const;
+
+  void cancel();
+
+  /// Registers a state-change callback.
+  void on_state_change(std::function<void(PilotState)> callback) {
+    callbacks_.push_back(std::move(callback));
+  }
+
+ private:
+  friend class PilotManager;
+  Pilot(PilotManager* manager, std::string id, PilotDescription description)
+      : manager_(manager),
+        id_(std::move(id)),
+        description_(std::move(description)) {}
+
+  void set_state(PilotState state);
+
+  PilotManager* manager_;
+  std::string id_;
+  PilotDescription description_;
+  PilotState state_ = PilotState::kNew;
+  std::shared_ptr<saga::Job> job_;
+  std::unique_ptr<Agent> agent_;
+  std::vector<std::function<void(PilotState)>> callbacks_;
+};
+
+class PilotManager {
+ public:
+  explicit PilotManager(Session& session) : session_(session) {}
+
+  /// Stops all agents (the session must still be alive — construct the
+  /// PilotManager after the Session so destruction order is correct).
+  ~PilotManager();
+
+  PilotManager(const PilotManager&) = delete;
+  PilotManager& operator=(const PilotManager&) = delete;
+
+  /// P.1: submits the placeholder job for \p description. The returned
+  /// pilot transitions New -> PendingLaunch -> Launching -> Active as the
+  /// batch job runs and the agent bootstraps.
+  std::shared_ptr<Pilot> submit_pilot(const PilotDescription& description,
+                                      AgentConfig agent_config = {});
+
+  Session& session() { return session_; }
+
+  std::vector<std::shared_ptr<Pilot>> pilots() const { return pilots_; }
+
+ private:
+  friend class Pilot;
+
+  /// One SAGA JobService per target host, created on demand.
+  saga::JobService& job_service(const saga::Url& url);
+
+  Session& session_;
+  std::map<std::string, std::unique_ptr<saga::JobService>> services_;
+  std::vector<std::shared_ptr<Pilot>> pilots_;
+};
+
+}  // namespace hoh::pilot

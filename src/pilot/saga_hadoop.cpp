@@ -1,0 +1,168 @@
+#include "pilot/saga_hadoop.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::pilot {
+
+std::string to_string(HadoopFramework framework) {
+  switch (framework) {
+    case HadoopFramework::kYarn:
+      return "yarn";
+    case HadoopFramework::kSpark:
+      return "spark";
+  }
+  return "?";
+}
+
+std::string to_string(HadoopClusterState state) {
+  switch (state) {
+    case HadoopClusterState::kPending:
+      return "Pending";
+    case HadoopClusterState::kStarting:
+      return "Starting";
+    case HadoopClusterState::kRunning:
+      return "Running";
+    case HadoopClusterState::kStopped:
+      return "Stopped";
+    case HadoopClusterState::kFailed:
+      return "Failed";
+  }
+  return "?";
+}
+
+std::string SagaHadoop::start_cluster(const std::string& resource_url,
+                                      int nodes, HadoopFramework framework,
+                                      common::Seconds walltime,
+                                      std::function<void()> on_ready) {
+  const saga::Url url(resource_url);
+  const std::string cluster_id = common::strformat(
+      "hadoop-cluster.%03llu",
+      static_cast<unsigned long long>(next_cluster_++));
+
+  auto service_it = services_.find(url.host());
+  if (service_it == services_.end()) {
+    service_it = services_
+                     .emplace(url.host(), std::make_unique<saga::JobService>(
+                                              session_.saga(), url))
+                     .first;
+  }
+  saga::JobService& service = *service_it->second;
+  const cluster::MachineProfile& machine = service.profile();
+
+  ClusterRec rec;
+  rec.framework = framework;
+  rec.machine = &machine;
+
+  saga::JobDescription jd;
+  jd.name = cluster_id;
+  jd.executable = "saga-hadoop-bootstrap";
+  jd.total_nodes = nodes;
+  jd.wall_time_limit = walltime;
+
+  rec.job = service.submit(jd, [this, cluster_id, framework, &machine,
+                                ready = std::move(on_ready)](
+                                   const cluster::Allocation& allocation) {
+    ClusterRec& c = find(cluster_id);
+    c.state = HadoopClusterState::kStarting;
+    const int n = static_cast<int>(allocation.size());
+    const common::Seconds boot =
+        framework == HadoopFramework::kYarn
+            ? machine.bootstrap.yarn_bootstrap_time(n)
+            : machine.bootstrap.spark_bootstrap_time(n);
+    session_.engine().schedule(boot, [this, cluster_id, framework, &machine,
+                                      allocation, ready] {
+      ClusterRec& c2 = find(cluster_id);
+      if (c2.state != HadoopClusterState::kStarting) return;  // stopped
+      if (framework == HadoopFramework::kYarn) {
+        c2.yarn = std::make_unique<yarn::YarnCluster>(
+            session_.engine(), machine, allocation);
+      } else {
+        c2.spark = std::make_unique<spark::SparkStandaloneCluster>(
+            session_.engine(), machine, allocation);
+      }
+      c2.state = HadoopClusterState::kRunning;
+      session_.trace().record(session_.engine().now(), "saga-hadoop",
+                              "cluster_running",
+                              {{"cluster", cluster_id},
+                               {"framework", to_string(framework)}});
+      if (ready) ready();
+    });
+  });
+
+  rec.job->on_state_change([this, cluster_id](saga::JobState s) {
+    if (s == saga::JobState::kFailed) {
+      ClusterRec& c = find(cluster_id);
+      if (c.state != HadoopClusterState::kStopped) {
+        c.state = HadoopClusterState::kFailed;
+      }
+    }
+  });
+
+  clusters_.emplace(cluster_id, std::move(rec));
+  return cluster_id;
+}
+
+SagaHadoop::ClusterRec& SagaHadoop::find(const std::string& cluster_id) {
+  auto it = clusters_.find(cluster_id);
+  if (it == clusters_.end()) {
+    throw common::NotFoundError("SAGA-Hadoop: unknown cluster " + cluster_id);
+  }
+  return it->second;
+}
+
+const SagaHadoop::ClusterRec& SagaHadoop::find(
+    const std::string& cluster_id) const {
+  auto it = clusters_.find(cluster_id);
+  if (it == clusters_.end()) {
+    throw common::NotFoundError("SAGA-Hadoop: unknown cluster " + cluster_id);
+  }
+  return it->second;
+}
+
+HadoopClusterState SagaHadoop::state(const std::string& cluster_id) const {
+  return find(cluster_id).state;
+}
+
+yarn::YarnCluster* SagaHadoop::yarn(const std::string& cluster_id) {
+  return find(cluster_id).yarn.get();
+}
+
+spark::SparkStandaloneCluster* SagaHadoop::spark(
+    const std::string& cluster_id) {
+  return find(cluster_id).spark.get();
+}
+
+std::string SagaHadoop::submit_yarn_app(const std::string& cluster_id,
+                                        yarn::AppDescriptor descriptor) {
+  ClusterRec& c = find(cluster_id);
+  if (c.state != HadoopClusterState::kRunning || c.yarn == nullptr) {
+    throw common::StateError("cluster " + cluster_id +
+                             " is not a running YARN cluster");
+  }
+  return c.yarn->resource_manager().submit_application(std::move(descriptor));
+}
+
+std::string SagaHadoop::submit_spark_app(
+    const std::string& cluster_id, const spark::SparkAppDescriptor& descriptor,
+    std::function<void()> on_ready) {
+  ClusterRec& c = find(cluster_id);
+  if (c.state != HadoopClusterState::kRunning || c.spark == nullptr) {
+    throw common::StateError("cluster " + cluster_id +
+                             " is not a running Spark cluster");
+  }
+  return c.spark->submit_application(descriptor, std::move(on_ready));
+}
+
+void SagaHadoop::stop_cluster(const std::string& cluster_id) {
+  ClusterRec& c = find(cluster_id);
+  if (c.state == HadoopClusterState::kStopped) return;
+  if (c.yarn != nullptr) c.yarn->shutdown();
+  if (c.spark != nullptr) c.spark->shutdown();
+  if (c.job && !saga::is_final(c.job->state())) c.job->complete();
+  c.state = HadoopClusterState::kStopped;
+  session_.trace().record(session_.engine().now(), "saga-hadoop",
+                          "cluster_stopped", {{"cluster", cluster_id}});
+}
+
+}  // namespace hoh::pilot

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "pilot/session.h"
+#include "saga/job.h"
+#include "spark/standalone.h"
+#include "yarn/yarn_cluster.h"
+
+/// \file saga_hadoop.h
+/// SAGA-Hadoop (paper SS-III-A, Fig. 2): a light-weight standalone tool —
+/// independent of the Pilot machinery — that spawns and controls Hadoop
+/// or Spark clusters inside an allocation obtained from an HPC scheduler.
+/// The four interactions of Fig. 2 map to: start_cluster (1),
+/// submit_yarn_app / submit_spark_app (2), application status via the
+/// framework handles (3), stop_cluster (4). Framework specifics live in
+/// plugins, mirroring the paper's adaptor design.
+
+namespace hoh::pilot {
+
+enum class HadoopFramework { kYarn, kSpark };
+
+std::string to_string(HadoopFramework framework);
+
+enum class HadoopClusterState {
+  kPending,   // batch job queued
+  kStarting,  // allocation granted, daemons coming up
+  kRunning,
+  kStopped,
+  kFailed,
+};
+
+std::string to_string(HadoopClusterState state);
+
+class SagaHadoop {
+ public:
+  explicit SagaHadoop(Session& session) : session_(session) {}
+
+  SagaHadoop(const SagaHadoop&) = delete;
+  SagaHadoop& operator=(const SagaHadoop&) = delete;
+
+  /// Step 1: start a cluster on \p resource_url (e.g. "slurm://stampede/")
+  /// spanning \p nodes nodes. \p on_ready fires when the daemons are up.
+  std::string start_cluster(const std::string& resource_url, int nodes,
+                            HadoopFramework framework,
+                            common::Seconds walltime = 3600.0,
+                            std::function<void()> on_ready = nullptr);
+
+  HadoopClusterState state(const std::string& cluster_id) const;
+
+  /// Framework handles (step 2/3); nullptr until running or wrong kind.
+  yarn::YarnCluster* yarn(const std::string& cluster_id);
+  spark::SparkStandaloneCluster* spark(const std::string& cluster_id);
+
+  /// Step 2 conveniences.
+  std::string submit_yarn_app(const std::string& cluster_id,
+                              yarn::AppDescriptor descriptor);
+  std::string submit_spark_app(const std::string& cluster_id,
+                               const spark::SparkAppDescriptor& descriptor,
+                               std::function<void()> on_ready = nullptr);
+
+  /// Step 4: stop daemons and release the allocation.
+  void stop_cluster(const std::string& cluster_id);
+
+ private:
+  struct ClusterRec {
+    HadoopFramework framework = HadoopFramework::kYarn;
+    HadoopClusterState state = HadoopClusterState::kPending;
+    std::shared_ptr<saga::Job> job;
+    std::unique_ptr<yarn::YarnCluster> yarn;
+    std::unique_ptr<spark::SparkStandaloneCluster> spark;
+    const cluster::MachineProfile* machine = nullptr;
+  };
+
+  ClusterRec& find(const std::string& cluster_id);
+  const ClusterRec& find(const std::string& cluster_id) const;
+
+  Session& session_;
+  std::map<std::string, ClusterRec> clusters_;
+  std::map<std::string, std::unique_ptr<saga::JobService>> services_;
+  std::uint64_t next_cluster_ = 0;
+};
+
+}  // namespace hoh::pilot

@@ -1,0 +1,32 @@
+#include "pilot/session.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::pilot {
+
+yarn::YarnCluster& Session::create_dedicated_hadoop(
+    const std::string& host, int nodes, yarn::YarnClusterConfig config) {
+  if (dedicated_.count(host) > 0) {
+    throw common::StateError("dedicated Hadoop already exists on " + host);
+  }
+  const auto& profile = saga_.resource(host).profile;
+  std::vector<std::shared_ptr<cluster::Node>> ded_nodes;
+  for (int i = 0; i < nodes; ++i) {
+    ded_nodes.push_back(std::make_shared<cluster::Node>(
+        common::strformat("%s-hadoop-%02d", host.c_str(), i), profile.node));
+  }
+  DedicatedEnv env;
+  env.allocation = cluster::Allocation(std::move(ded_nodes));
+  env.cluster = std::make_unique<yarn::YarnCluster>(
+      saga_.engine(), profile, env.allocation, std::move(config));
+  auto [it, inserted] = dedicated_.emplace(host, std::move(env));
+  return *it->second.cluster;
+}
+
+yarn::YarnCluster* Session::dedicated_hadoop(const std::string& host) {
+  auto it = dedicated_.find(host);
+  return it == dedicated_.end() ? nullptr : it->second.cluster.get();
+}
+
+}  // namespace hoh::pilot

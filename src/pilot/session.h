@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/id.h"
+#include "pilot/state_store.h"
+#include "saga/context.h"
+#include "saga/file_transfer.h"
+#include "yarn/yarn_cluster.h"
+
+/// \file session.h
+/// A Session bundles everything one Pilot-API experiment shares: the
+/// simulation engine and trace (via the SagaContext), the state store
+/// (the "MongoDB"), the file-transfer service, and any dedicated Hadoop
+/// environments (Wrangler's data-portal reservation, used by Mode II).
+
+namespace hoh::pilot {
+
+class Session {
+ public:
+  Session() : store_(saga_.engine()), transfer_(saga_) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  saga::SagaContext& saga() { return saga_; }
+  sim::Engine& engine() { return saga_.engine(); }
+  sim::Trace& trace() { return saga_.trace(); }
+  StateStore& store() { return store_; }
+  saga::FileTransferService& transfer() { return transfer_; }
+
+  /// Registers a machine (forwarded to the SagaContext).
+  saga::ResourceEntry& register_machine(
+      const cluster::MachineProfile& profile, hpc::SchedulerKind kind,
+      int managed_nodes = 0) {
+    return saga_.register_machine(profile, kind, managed_nodes);
+  }
+
+  /// Brings up a *dedicated* Hadoop environment on \p host, on nodes
+  /// outside the batch pool (the way Wrangler's reservation provides
+  /// "dedicated Hadoop environments ... via the data portal"). Mode-II
+  /// pilots on that host connect to it.
+  yarn::YarnCluster& create_dedicated_hadoop(
+      const std::string& host, int nodes,
+      yarn::YarnClusterConfig config = {});
+
+  /// The dedicated cluster of \p host, or nullptr.
+  yarn::YarnCluster* dedicated_hadoop(const std::string& host);
+
+  /// Session-wide unique ids: every PilotManager/UnitManager in the
+  /// session draws from the same counters, so store documents never
+  /// collide.
+  std::string next_pilot_id() { return pilot_ids_.next(); }
+  std::string next_unit_id() { return unit_ids_.next(); }
+
+ private:
+  struct DedicatedEnv {
+    cluster::Allocation allocation;
+    std::unique_ptr<yarn::YarnCluster> cluster;
+  };
+
+  saga::SagaContext saga_;
+  StateStore store_;
+  saga::FileTransferService transfer_;
+  std::map<std::string, DedicatedEnv> dedicated_;
+  common::IdGenerator pilot_ids_{"pilot"};
+  common::IdGenerator unit_ids_{"unit"};
+};
+
+}  // namespace hoh::pilot

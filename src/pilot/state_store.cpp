@@ -1,0 +1,65 @@
+#include "pilot/state_store.h"
+
+#include "common/error.h"
+
+namespace hoh::pilot {
+
+void StateStore::put(const std::string& collection, const std::string& id,
+                     common::Json document) {
+  ++ops_;
+  collections_[collection][id] = std::move(document);
+}
+
+std::optional<common::Json> StateStore::get(const std::string& collection,
+                                            const std::string& id) const {
+  ++ops_;
+  auto cit = collections_.find(collection);
+  if (cit == collections_.end()) return std::nullopt;
+  auto dit = cit->second.find(id);
+  if (dit == cit->second.end()) return std::nullopt;
+  return dit->second;
+}
+
+void StateStore::update(const std::string& collection, const std::string& id,
+                        const common::JsonObject& fields) {
+  ++ops_;
+  auto cit = collections_.find(collection);
+  if (cit == collections_.end() || cit->second.count(id) == 0) {
+    throw common::NotFoundError("StateStore: no document " + collection +
+                                "/" + id);
+  }
+  common::Json& doc = cit->second.at(id);
+  for (const auto& [k, v] : fields) doc[k] = v;
+}
+
+std::vector<std::pair<std::string, common::Json>> StateStore::find_all(
+    const std::string& collection) const {
+  ++ops_;
+  std::vector<std::pair<std::string, common::Json>> out;
+  auto cit = collections_.find(collection);
+  if (cit == collections_.end()) return out;
+  out.assign(cit->second.begin(), cit->second.end());
+  return out;
+}
+
+void StateStore::queue_push(const std::string& queue, const std::string& id) {
+  ++ops_;
+  queues_[queue].push_back(id);
+}
+
+std::vector<std::string> StateStore::queue_pop_all(const std::string& queue) {
+  ++ops_;
+  std::vector<std::string> out;
+  auto it = queues_.find(queue);
+  if (it == queues_.end()) return out;
+  out.assign(it->second.begin(), it->second.end());
+  it->second.clear();
+  return out;
+}
+
+std::size_t StateStore::queue_depth(const std::string& queue) const {
+  auto it = queues_.find(queue);
+  return it == queues_.end() ? 0 : it->second.size();
+}
+
+}  // namespace hoh::pilot

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/engine.h"
+
+/// \file state_store.h
+/// The shared document store the Unit-Manager and the agents communicate
+/// through — the paper's MongoDB instance ("The Unit-Manager queues new
+/// Compute-Units using a shared MongoDB instance (step U.2). The
+/// RADICAL-Pilot-Agent periodically checks for new Compute-Units (U.3)").
+/// Documents are JSON; named queues provide the U.2/U.3 handoff. Every
+/// operation pays a configurable round-trip latency, which is how the
+/// store's share of Compute-Unit startup latency enters the simulation.
+
+namespace hoh::pilot {
+
+/// In-memory document store with named FIFO queues.
+class StateStore {
+ public:
+  explicit StateStore(sim::Engine& engine, common::Seconds op_latency = 0.05)
+      : engine_(engine), op_latency_(op_latency) {}
+
+  common::Seconds op_latency() const { return op_latency_; }
+
+  /// Inserts or replaces a document.
+  void put(const std::string& collection, const std::string& id,
+           common::Json document);
+
+  /// Reads a document; nullopt when absent.
+  std::optional<common::Json> get(const std::string& collection,
+                                  const std::string& id) const;
+
+  /// Merges \p fields into an existing document (top-level keys).
+  void update(const std::string& collection, const std::string& id,
+              const common::JsonObject& fields);
+
+  /// All documents of a collection (id order).
+  std::vector<std::pair<std::string, common::Json>> find_all(
+      const std::string& collection) const;
+
+  /// Appends an id to a named queue.
+  void queue_push(const std::string& queue, const std::string& id);
+
+  /// Drains the queue (agent poll). Returns ids in FIFO order.
+  std::vector<std::string> queue_pop_all(const std::string& queue);
+
+  std::size_t queue_depth(const std::string& queue) const;
+
+  /// Total simulated operations performed (for overhead accounting).
+  std::uint64_t op_count() const { return ops_; }
+
+ private:
+  sim::Engine& engine_;
+  common::Seconds op_latency_;
+  mutable std::uint64_t ops_ = 0;
+  std::map<std::string, std::map<std::string, common::Json>> collections_;
+  std::map<std::string, std::deque<std::string>> queues_;
+};
+
+}  // namespace hoh::pilot

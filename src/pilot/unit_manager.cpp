@@ -1,0 +1,232 @@
+#include "pilot/unit_manager.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "pilot/agent/agent.h"
+
+namespace hoh::pilot {
+
+UnitState ComputeUnit::state() const {
+  const auto doc = manager_->session().store().get("unit", id_);
+  if (!doc.has_value()) return UnitState::kNew;
+  const std::string s = doc->at("state").as_string();
+  // Reverse mapping of to_string(UnitState).
+  static const std::map<std::string, UnitState> kNames = {
+      {"New", UnitState::kNew},
+      {"UmgrScheduling", UnitState::kUmgrScheduling},
+      {"PendingAgent", UnitState::kPendingAgent},
+      {"AgentScheduling", UnitState::kAgentScheduling},
+      {"StagingInput", UnitState::kStagingInput},
+      {"Executing", UnitState::kExecuting},
+      {"StagingOutput", UnitState::kStagingOutput},
+      {"Done", UnitState::kDone},
+      {"Canceled", UnitState::kCanceled},
+      {"Failed", UnitState::kFailed},
+  };
+  auto it = kNames.find(s);
+  if (it == kNames.end()) {
+    throw common::StateError("unknown unit state in store: " + s);
+  }
+  return it->second;
+}
+
+void UnitManager::add_pilot(std::shared_ptr<Pilot> pilot) {
+  if (pilot == nullptr) {
+    throw common::ConfigError("UnitManager::add_pilot: null pilot");
+  }
+  bound_counts_.emplace(pilot->id(), 0);
+  backlog_seconds_.emplace(pilot->id(), 0.0);
+  pilot_cores_.emplace(pilot->id(),
+                       std::max(1, pilot->description().nodes));
+  pilots_.push_back(std::move(pilot));
+}
+
+std::string UnitManager::pick_pilot(const ComputeUnitDescription& /*desc*/) {
+  if (pilots_.empty()) {
+    throw common::StateError("UnitManager has no pilots");
+  }
+  switch (policy_) {
+    case UnitSchedulingPolicy::kRoundRobin: {
+      const auto& pilot = pilots_[rr_next_ % pilots_.size()];
+      ++rr_next_;
+      return pilot->id();
+    }
+    case UnitSchedulingPolicy::kLeastLoaded: {
+      std::string best;
+      std::size_t best_count = SIZE_MAX;
+      for (const auto& pilot : pilots_) {
+        const std::size_t count = bound_counts_.at(pilot->id());
+        if (count < best_count) {
+          best = pilot->id();
+          best_count = count;
+        }
+      }
+      return best;
+    }
+    case UnitSchedulingPolicy::kPredictive: {
+      // Least predicted outstanding seconds, normalized by pilot size
+      // (nodes requested) so bigger pilots absorb more work.
+      reconcile();
+      std::string best;
+      double best_backlog = 1e300;
+      for (const auto& pilot : pilots_) {
+        const double normalized =
+            backlog_seconds_.at(pilot->id()) /
+            static_cast<double>(pilot_cores_.at(pilot->id()));
+        if (normalized < best_backlog) {
+          best = pilot->id();
+          best_backlog = normalized;
+        }
+      }
+      return best;
+    }
+  }
+  throw common::ConfigError("unknown scheduling policy");
+}
+
+void UnitManager::reconcile() {
+  for (const auto& unit : units_) {
+    if (unit_reconciled_.count(unit->id()) > 0) continue;
+    const UnitState state = unit->state();
+    if (!is_final(state)) continue;
+    unit_reconciled_[unit->id()] = true;
+    auto pred = unit_predictions_.find(unit->id());
+    if (pred != unit_predictions_.end()) {
+      backlog_seconds_[unit->pilot_id()] -= pred->second;
+    }
+    if (state != UnitState::kDone) continue;
+    // Observed runtime: Executing -> Done from the trace.
+    double exec_at = -1.0;
+    double done_at = -1.0;
+    for (const auto& e : session_.trace().find("unit")) {
+      if (e.attrs.count("unit") == 0 || e.attrs.at("unit") != unit->id()) {
+        continue;
+      }
+      if (e.name == "Executing") exec_at = e.time;
+      if (e.name == "Done") done_at = e.time;
+    }
+    if (exec_at >= 0.0 && done_at >= exec_at) {
+      estimator_->observe(unit->description(), done_at - exec_at);
+    }
+  }
+}
+
+std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit(
+    const std::vector<ComputeUnitDescription>& descriptions) {
+  std::vector<std::shared_ptr<ComputeUnit>> out;
+  out.reserve(descriptions.size());
+  for (const auto& desc : descriptions) {
+    if (desc.cores < 1) {
+      throw common::ConfigError("ComputeUnitDescription.cores must be >= 1");
+    }
+    const std::string unit_id = session_.next_unit_id();
+    const std::string pilot_id = pick_pilot(desc);  // U.1
+    bound_counts_[pilot_id] += 1;
+    const double predicted = estimator_->predict(desc);
+    backlog_seconds_[pilot_id] += predicted;
+    unit_predictions_[unit_id] = predicted;
+
+    session_.trace().record(session_.engine().now(), "unit", "Submitted",
+                            {{"unit", unit_id}, {"pilot", pilot_id}});
+    session_.trace().begin_span(session_.engine().now(), "unit", "startup",
+                                unit_id);
+
+    if (desc.depends_on.empty()) {
+      dispatch_to_agent(unit_id, pilot_id, desc);
+    } else {
+      // Held back: document exists (state New) so handles can query it.
+      common::Json doc;
+      doc["description"] = unit_to_json(desc);
+      doc["state"] = to_string(UnitState::kNew);
+      doc["pilot"] = pilot_id;
+      session_.store().put("unit", unit_id, std::move(doc));
+      held_.push_back(HeldUnit{unit_id, pilot_id, desc});
+      if (!dependency_check_.valid()) {
+        dependency_check_ = session_.engine().schedule_periodic(
+            1.0, [this] { check_dependencies(); });
+      }
+    }
+
+    auto handle = std::shared_ptr<ComputeUnit>(
+        new ComputeUnit(this, unit_id, pilot_id, desc));
+    by_id_[unit_id] = handle;
+    out.push_back(std::move(handle));
+  }
+  units_.insert(units_.end(), out.begin(), out.end());
+  return out;
+}
+
+void UnitManager::dispatch_to_agent(const std::string& unit_id,
+                                    const std::string& pilot_id,
+                                    const ComputeUnitDescription& desc) {
+  common::Json doc;
+  doc["description"] = unit_to_json(desc);
+  doc["state"] = to_string(UnitState::kPendingAgent);
+  doc["pilot"] = pilot_id;
+  session_.store().put("unit", unit_id, std::move(doc));     // U.2
+  session_.store().queue_push("agent." + pilot_id, unit_id); // U.2
+}
+
+void UnitManager::check_dependencies() {
+  std::vector<HeldUnit> still_held;
+  for (auto& held : held_) {
+    bool ready = true;
+    bool doomed = false;
+    for (const auto& dep_id : held.desc.depends_on) {
+      auto dep = by_id_.find(dep_id);
+      if (dep == by_id_.end()) {
+        doomed = true;  // unknown dependency can never resolve
+        break;
+      }
+      const UnitState dep_state = dep->second->state();
+      if (dep_state == UnitState::kFailed ||
+          dep_state == UnitState::kCanceled) {
+        doomed = true;
+        break;
+      }
+      if (dep_state != UnitState::kDone) ready = false;
+    }
+    if (doomed) {
+      session_.store().update(
+          "unit", held.unit_id,
+          {{"state", common::Json(to_string(UnitState::kCanceled))}});
+      session_.trace().record(session_.engine().now(), "unit", "Canceled",
+                              {{"unit", held.unit_id},
+                               {"reason", "dependency-failed"}});
+      continue;
+    }
+    if (!ready) {
+      still_held.push_back(std::move(held));
+      continue;
+    }
+    dispatch_to_agent(held.unit_id, held.pilot_id, held.desc);
+  }
+  held_ = std::move(still_held);
+  if (held_.empty() && dependency_check_.valid()) {
+    session_.engine().cancel(dependency_check_);
+    dependency_check_ = sim::EventHandle{};
+  }
+}
+
+std::shared_ptr<ComputeUnit> UnitManager::submit(
+    const ComputeUnitDescription& description) {
+  return submit(std::vector<ComputeUnitDescription>{description}).front();
+}
+
+bool UnitManager::all_done() {
+  reconcile();
+  return std::all_of(units_.begin(), units_.end(), [](const auto& u) {
+    return is_final(u->state());
+  });
+}
+
+std::size_t UnitManager::done_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(units_.begin(), units_.end(), [](const auto& u) {
+        return u->state() == UnitState::kDone;
+      }));
+}
+
+}  // namespace hoh::pilot

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pilot/descriptions.h"
+#include "pilot/estimator.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/session.h"
+#include "pilot/states.h"
+
+/// \file unit_manager.h
+/// The Unit-Manager: accepts Compute-Unit descriptions, binds them to
+/// pilots (U.1), and queues them in the shared state store for the
+/// agents to pull (U.2). State queries read the unit documents the
+/// agents write back.
+
+namespace hoh::pilot {
+
+class UnitManager;
+
+/// Handle to one submitted Compute-Unit.
+class ComputeUnit {
+ public:
+  const std::string& id() const { return id_; }
+  const ComputeUnitDescription& description() const { return description_; }
+
+  /// Current state, read from the shared store document.
+  UnitState state() const;
+
+  /// Pilot this unit was bound to.
+  const std::string& pilot_id() const { return pilot_id_; }
+
+ private:
+  friend class UnitManager;
+  ComputeUnit(UnitManager* manager, std::string id, std::string pilot_id,
+              ComputeUnitDescription description)
+      : manager_(manager),
+        id_(std::move(id)),
+        pilot_id_(std::move(pilot_id)),
+        description_(std::move(description)) {}
+
+  UnitManager* manager_;
+  std::string id_;
+  std::string pilot_id_;
+  ComputeUnitDescription description_;
+};
+
+/// Unit scheduling policy across pilots.
+enum class UnitSchedulingPolicy {
+  kRoundRobin,   // cycle through pilots
+  kLeastLoaded,  // pilot with fewest units bound so far
+  kPredictive,   // pilot with least predicted outstanding work per core
+                 // (paper SS-V "predictive scheduling" extension)
+};
+
+class UnitManager {
+ public:
+  /// \p estimator is used by kPredictive (a MovingAverageEstimator is
+  /// created when none is supplied).
+  explicit UnitManager(Session& session,
+                       UnitSchedulingPolicy policy =
+                           UnitSchedulingPolicy::kRoundRobin,
+                       std::shared_ptr<RuntimeEstimator> estimator = nullptr)
+      : session_(session),
+        policy_(policy),
+        estimator_(estimator != nullptr
+                       ? std::move(estimator)
+                       : std::make_shared<MovingAverageEstimator>()) {}
+
+  UnitManager(const UnitManager&) = delete;
+  UnitManager& operator=(const UnitManager&) = delete;
+
+  /// Registers a pilot as a unit target.
+  void add_pilot(std::shared_ptr<Pilot> pilot);
+
+  /// Submits units (U.1/U.2). Returns handles in input order. Units with
+  /// depends_on are held client-side until every dependency is Done
+  /// (released by a periodic dependency check), and canceled if a
+  /// dependency fails or is canceled. Dependencies may reference units
+  /// submitted earlier or in the same batch.
+  std::vector<std::shared_ptr<ComputeUnit>> submit(
+      const std::vector<ComputeUnitDescription>& descriptions);
+
+  /// Single-unit convenience.
+  std::shared_ptr<ComputeUnit> submit(
+      const ComputeUnitDescription& description);
+
+  /// True when every submitted unit reached a final state. Also folds
+  /// finished units into the estimator (see reconcile()).
+  bool all_done();
+
+  std::size_t submitted() const { return units_.size(); }
+  std::size_t done_count() const;
+
+  /// Folds finished units back into the estimator and the per-pilot
+  /// backlog accounting. Called implicitly by all_done()/done_count().
+  void reconcile();
+
+  RuntimeEstimator& estimator() { return *estimator_; }
+
+  Session& session() { return session_; }
+
+ private:
+  friend class ComputeUnit;
+
+  std::string pick_pilot(const ComputeUnitDescription& desc);
+  void dispatch_to_agent(const std::string& unit_id,
+                         const std::string& pilot_id,
+                         const ComputeUnitDescription& desc);
+  void check_dependencies();
+
+  Session& session_;
+  UnitSchedulingPolicy policy_;
+  std::shared_ptr<RuntimeEstimator> estimator_;
+  std::map<std::string, double> backlog_seconds_;    // pilot -> predicted
+  std::map<std::string, int> pilot_cores_;           // pilot -> total cores
+  std::map<std::string, double> unit_predictions_;   // unit -> predicted
+  std::map<std::string, bool> unit_reconciled_;      // unit -> folded back
+
+  /// Units held back by dependencies: (unit id, pilot id, description).
+  struct HeldUnit {
+    std::string unit_id;
+    std::string pilot_id;
+    ComputeUnitDescription desc;
+  };
+  std::vector<HeldUnit> held_;
+  std::map<std::string, std::shared_ptr<ComputeUnit>> by_id_;
+  sim::EventHandle dependency_check_;
+  std::vector<std::shared_ptr<Pilot>> pilots_;
+  std::map<std::string, std::size_t> bound_counts_;  // pilot -> units
+  std::vector<std::shared_ptr<ComputeUnit>> units_;
+  std::size_t rr_next_ = 0;
+};
+
+}  // namespace hoh::pilot

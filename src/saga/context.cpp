@@ -1,0 +1,42 @@
+#include "saga/context.h"
+
+#include "common/error.h"
+
+namespace hoh::saga {
+
+ResourceEntry& SagaContext::register_machine(
+    const cluster::MachineProfile& profile, hpc::SchedulerKind kind,
+    int managed_nodes) {
+  ResourceEntry entry;
+  entry.profile = profile;
+  entry.scheduler = std::make_unique<hpc::BatchScheduler>(engine_, profile,
+                                                          managed_nodes);
+  entry.frontend = hpc::make_frontend(kind, *entry.scheduler);
+  auto [it, inserted] = resources_.emplace(profile.name, std::move(entry));
+  if (!inserted) {
+    throw common::ConfigError("machine already registered: " + profile.name);
+  }
+  return it->second;
+}
+
+ResourceEntry& SagaContext::resource(const std::string& host) {
+  auto it = resources_.find(host);
+  if (it == resources_.end()) {
+    throw common::NotFoundError("no machine registered for host: " + host);
+  }
+  return it->second;
+}
+
+const ResourceEntry& SagaContext::resource(const std::string& host) const {
+  auto it = resources_.find(host);
+  if (it == resources_.end()) {
+    throw common::NotFoundError("no machine registered for host: " + host);
+  }
+  return it->second;
+}
+
+bool SagaContext::has_resource(const std::string& host) const {
+  return resources_.count(host) > 0;
+}
+
+}  // namespace hoh::saga

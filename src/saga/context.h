@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hpc/batch_scheduler.h"
+#include "hpc/frontends.h"
+#include "sim/engine.h"
+#include "sim/trace.h"
+
+/// \file context.h
+/// SagaContext is the in-process stand-in for "the grid": it owns the
+/// simulation engine, the trace, and a registry mapping host names to the
+/// simulated machines and their batch-scheduler front-ends. All SAGA
+/// services (jobs, file transfer) and the pilot framework resolve
+/// resources through one context, so an experiment is one context + one
+/// deterministic engine.
+
+namespace hoh::saga {
+
+/// One registered machine: profile + scheduler + front-end.
+struct ResourceEntry {
+  cluster::MachineProfile profile;
+  std::unique_ptr<hpc::BatchScheduler> scheduler;
+  std::unique_ptr<hpc::SchedulerFrontend> frontend;
+};
+
+/// Execution context shared by all services of one experiment.
+class SagaContext {
+ public:
+  SagaContext() = default;
+  SagaContext(const SagaContext&) = delete;
+  SagaContext& operator=(const SagaContext&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  sim::Trace& trace() { return trace_; }
+
+  /// Registers a machine under its profile name with the given scheduler
+  /// kind and simulated pool size (0 = profile.total_nodes). Returns the
+  /// entry for direct access.
+  ResourceEntry& register_machine(const cluster::MachineProfile& profile,
+                                  hpc::SchedulerKind kind,
+                                  int managed_nodes = 0);
+
+  /// Looks up a registered machine; throws NotFoundError if absent.
+  ResourceEntry& resource(const std::string& host);
+  const ResourceEntry& resource(const std::string& host) const;
+
+  bool has_resource(const std::string& host) const;
+
+ private:
+  sim::Engine engine_;
+  sim::Trace trace_;
+  std::map<std::string, ResourceEntry> resources_;
+};
+
+}  // namespace hoh::saga

@@ -1,0 +1,49 @@
+#include "saga/file_transfer.h"
+
+#include <algorithm>
+
+#include "cluster/network.h"
+#include "common/error.h"
+
+namespace hoh::saga {
+
+cluster::StorageBackend FileTransferService::backend_for_scheme(
+    const std::string& scheme) {
+  if (scheme == "file") return cluster::StorageBackend::kSharedFs;
+  if (scheme == "local") return cluster::StorageBackend::kLocalDisk;
+  if (scheme == "hdfs") return cluster::StorageBackend::kLocalDisk;
+  if (scheme == "mem") return cluster::StorageBackend::kMemory;
+  throw common::ConfigError("unsupported file scheme: " + scheme);
+}
+
+common::Seconds FileTransferService::transfer(const Url& src, const Url& dst,
+                                              common::Bytes bytes,
+                                              std::function<void()> on_done) {
+  const auto& src_machine = context_.resource(src.host()).profile;
+  const auto& dst_machine = context_.resource(dst.host()).profile;
+
+  const common::Seconds read_time = src_machine.storage_transfer_time(
+      backend_for_scheme(src.scheme()), bytes, 1);
+  const common::Seconds write_time = dst_machine.storage_transfer_time(
+      backend_for_scheme(dst.scheme()), bytes, 1);
+
+  common::Seconds duration = std::max(read_time, write_time);
+  if (src.host() != dst.host()) {
+    duration += cluster::NetworkModel::wan_transfer_time(bytes, wan_bandwidth_);
+  }
+
+  context_.trace().record(context_.engine().now(), "saga", "transfer_started",
+                          {{"src", src.str()},
+                           {"dst", dst.str()},
+                           {"bytes", std::to_string(bytes)}});
+  context_.engine().schedule(duration, [this, src, dst,
+                                        done = std::move(on_done)] {
+    context_.trace().record(context_.engine().now(), "saga",
+                            "transfer_done",
+                            {{"src", src.str()}, {"dst", dst.str()}});
+    if (done) done();
+  });
+  return duration;
+}
+
+}  // namespace hoh::saga

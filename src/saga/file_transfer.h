@@ -1,0 +1,49 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "saga/context.h"
+#include "saga/url.h"
+
+/// \file file_transfer.h
+/// SAGA file-transfer service used for Compute-Unit stage-in/stage-out.
+/// Transfers are simulated: duration is derived from the endpoint
+/// machines' storage/network models and advances virtual time.
+
+namespace hoh::saga {
+
+/// One logical file with a size; the simulation tracks metadata only.
+struct FileInfo {
+  Url url;
+  common::Bytes size = 0;
+};
+
+/// Asynchronous file mover between registered resources.
+class FileTransferService {
+ public:
+  explicit FileTransferService(SagaContext& context) : context_(context) {}
+
+  /// Transfers \p bytes from \p src to \p dst; \p on_done fires on the
+  /// engine when the copy completes. Returns the estimated duration.
+  ///
+  /// Cost model: intra-machine copies pay the slower of the two storage
+  /// backends; cross-machine copies additionally pay a WAN hop at
+  /// \p wan_bandwidth.
+  common::Seconds transfer(const Url& src, const Url& dst, common::Bytes bytes,
+                           std::function<void()> on_done = nullptr);
+
+  /// Bandwidth used for inter-machine (wide-area) hops.
+  void set_wan_bandwidth(common::BytesPerSec bw) { wan_bandwidth_ = bw; }
+
+  /// Maps a URL scheme to the storage backend used for the endpoint cost:
+  /// "file" -> shared filesystem, "local" -> node-local disk, "hdfs" ->
+  /// node-local disk (HDFS stores on local disks), "mem" -> memory.
+  static cluster::StorageBackend backend_for_scheme(const std::string& scheme);
+
+ private:
+  SagaContext& context_;
+  common::BytesPerSec wan_bandwidth_ = 50.0e6;
+};
+
+}  // namespace hoh::saga

@@ -1,0 +1,149 @@
+#include "saga/job.h"
+
+#include "common/error.h"
+
+namespace hoh::saga {
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::kNew:
+      return "New";
+    case JobState::kPending:
+      return "Pending";
+    case JobState::kRunning:
+      return "Running";
+    case JobState::kDone:
+      return "Done";
+    case JobState::kFailed:
+      return "Failed";
+    case JobState::kCanceled:
+      return "Canceled";
+  }
+  return "?";
+}
+
+namespace {
+
+JobState map_state(hpc::BatchJobState s) {
+  switch (s) {
+    case hpc::BatchJobState::kPending:
+      return JobState::kPending;
+    case hpc::BatchJobState::kRunning:
+      return JobState::kRunning;
+    case hpc::BatchJobState::kCompleted:
+      return JobState::kDone;
+    case hpc::BatchJobState::kCancelled:
+      return JobState::kCanceled;
+    case hpc::BatchJobState::kFailed:
+    case hpc::BatchJobState::kTimedOut:
+      return JobState::kFailed;
+  }
+  return JobState::kFailed;
+}
+
+hpc::SchedulerKind scheme_to_kind(const std::string& scheme) {
+  if (scheme == "slurm") return hpc::SchedulerKind::kSlurm;
+  if (scheme == "pbs" || scheme == "torque") return hpc::SchedulerKind::kPbs;
+  if (scheme == "sge") return hpc::SchedulerKind::kSge;
+  throw common::ConfigError("unsupported SAGA job scheme: " + scheme);
+}
+
+}  // namespace
+
+JobService::JobService(SagaContext& context, const Url& url)
+    : context_(context), url_(url), resource_(&context.resource(url.host())) {
+  if (url.scheme() != "batch" &&
+      scheme_to_kind(url.scheme()) != resource_->frontend->kind()) {
+    throw common::ConfigError(
+        "URL scheme '" + url.scheme() + "' does not match the scheduler of " +
+        url.host() + " (" + hpc::to_string(resource_->frontend->kind()) + ")");
+  }
+}
+
+const cluster::MachineProfile& JobService::profile() const {
+  return resource_->profile;
+}
+
+std::shared_ptr<Job> JobService::submit(const JobDescription& description,
+                                        SagaStartCallback on_start) {
+  if (description.executable.empty()) {
+    throw common::ConfigError("JobDescription.executable must be set");
+  }
+  hpc::BatchJobRequest request;
+  request.name = description.name;
+  request.nodes = description.total_nodes;
+  request.walltime = description.wall_time_limit;
+  request.queue = description.queue;
+  request.project = description.project;
+
+  const std::string id = resource_->frontend->submit(
+      request,
+      [this, on_start](const std::string& job_id,
+                       const cluster::Allocation& allocation) {
+        auto it = jobs_.find(job_id);
+        if (it == jobs_.end()) return;
+        it->second.allocation = allocation;
+        set_state(job_id, JobState::kRunning);
+        if (on_start) on_start(allocation);
+      },
+      [this](const std::string& job_id, hpc::BatchJobState final_state) {
+        auto it = jobs_.find(job_id);
+        if (it == jobs_.end()) return;
+        it->second.allocation = cluster::Allocation{};
+        set_state(job_id, map_state(final_state));
+      });
+
+  JobRecord rec;
+  rec.description = description;
+  rec.state = JobState::kPending;
+  jobs_.emplace(id, std::move(rec));
+
+  context_.trace().record(context_.engine().now(), "saga", "job_submitted",
+                          {{"job", id}, {"host", url_.host()}});
+  return std::shared_ptr<Job>(new Job(this, id));
+}
+
+void JobService::set_state(const std::string& id, JobState state) {
+  JobRecord& rec = record(id);
+  if (rec.state == state || is_final(rec.state)) return;
+  rec.state = state;
+  context_.trace().record(context_.engine().now(), "saga",
+                          "job_state", {{"job", id}, {"state", to_string(state)}});
+  for (const auto& cb : rec.callbacks) cb(state);
+}
+
+JobService::JobRecord& JobService::record(const std::string& id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw common::NotFoundError("JobService: unknown job " + id);
+  }
+  return it->second;
+}
+
+const JobService::JobRecord& JobService::record(const std::string& id) const {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw common::NotFoundError("JobService: unknown job " + id);
+  }
+  return it->second;
+}
+
+JobState Job::state() const { return service_->record(id_).state; }
+
+cluster::Allocation Job::allocation() const {
+  return service_->record(id_).allocation;
+}
+
+std::map<std::string, std::string> Job::attributes() const {
+  return service_->resource_->frontend->environment(id_);
+}
+
+void Job::cancel() { service_->resource_->frontend->cancel(id_); }
+
+void Job::complete() { service_->resource_->frontend->complete(id_); }
+
+void Job::on_state_change(std::function<void(JobState)> callback) {
+  service_->record(id_).callbacks.push_back(std::move(callback));
+}
+
+}  // namespace hoh::saga

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "saga/context.h"
+#include "saga/url.h"
+
+/// \file job.h
+/// The SAGA job API: a standards-based, scheduler-agnostic way to submit
+/// and control jobs (paper SS-II: "SAGA is a lightweight interface that
+/// provides standards-based interoperable capabilities ... for accessing
+/// the resource management system"). JobService maps a URL scheme
+/// ("slurm://", "pbs://", "sge://") onto the matching front-end adaptor;
+/// callers never see scheduler specifics.
+
+namespace hoh::saga {
+
+/// SAGA job states (SAGA spec GFD.90 state model).
+enum class JobState { kNew, kPending, kRunning, kDone, kFailed, kCanceled };
+
+std::string to_string(JobState state);
+
+constexpr bool is_final(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCanceled;
+}
+
+/// SAGA job description (subset of GFD.90 attributes that the pilot
+/// framework uses).
+struct JobDescription {
+  std::string executable;
+  std::vector<std::string> arguments;
+  std::map<std::string, std::string> environment;
+  int total_nodes = 1;
+  common::Seconds wall_time_limit = 3600.0;
+  std::string queue = "normal";
+  std::string project;
+  std::string name = "saga-job";
+};
+
+class JobService;
+
+/// Handle to a submitted job. Handles are shared; state lives in the
+/// service.
+class Job {
+ public:
+  const std::string& id() const { return id_; }
+  JobState state() const;
+
+  /// Node allocation while running (empty otherwise). The payload-side
+  /// environment is available through attributes().
+  cluster::Allocation allocation() const;
+
+  /// Batch-system environment exported into the running job.
+  std::map<std::string, std::string> attributes() const;
+
+  void cancel();
+
+  /// Payload signals natural completion (used by simulated payloads).
+  void complete();
+
+  /// Registers a callback fired on every state transition.
+  void on_state_change(std::function<void(JobState)> callback);
+
+ private:
+  friend class JobService;
+  Job(JobService* service, std::string id)
+      : service_(service), id_(std::move(id)) {}
+
+  JobService* service_;
+  std::string id_;
+};
+
+/// Callback fired when the job starts running; the allocation is the node
+/// set granted by the batch system.
+using SagaStartCallback = std::function<void(const cluster::Allocation&)>;
+
+/// Factory for jobs on one resource (one URL). Mirrors saga::job::Service.
+class JobService {
+ public:
+  /// \p url like "slurm://stampede/"; the scheme must match the
+  /// registered front-end kind for that host, or be "batch" to accept any.
+  JobService(SagaContext& context, const Url& url);
+
+  /// Submits a job. \p on_start fires when the payload may begin.
+  std::shared_ptr<Job> submit(const JobDescription& description,
+                              SagaStartCallback on_start = nullptr);
+
+  const Url& url() const { return url_; }
+  SagaContext& context() { return context_; }
+
+  /// Machine profile behind this service.
+  const cluster::MachineProfile& profile() const;
+
+ private:
+  friend class Job;
+  struct JobRecord {
+    JobDescription description;
+    JobState state = JobState::kNew;
+    std::vector<std::function<void(JobState)>> callbacks;
+    cluster::Allocation allocation;
+  };
+
+  void set_state(const std::string& id, JobState state);
+  JobRecord& record(const std::string& id);
+  const JobRecord& record(const std::string& id) const;
+
+  SagaContext& context_;
+  Url url_;
+  ResourceEntry* resource_;
+  std::map<std::string, JobRecord> jobs_;
+};
+
+}  // namespace hoh::saga

@@ -1,0 +1,29 @@
+#include "saga/url.h"
+
+#include "common/error.h"
+
+namespace hoh::saga {
+
+Url::Url(const std::string& url) {
+  const auto sep = url.find("://");
+  if (sep == std::string::npos || sep == 0) {
+    throw common::ConfigError("malformed SAGA URL (missing scheme): " + url);
+  }
+  scheme_ = url.substr(0, sep);
+  const auto rest = url.substr(sep + 3);
+  const auto slash = rest.find('/');
+  if (slash == std::string::npos) {
+    host_ = rest;
+    path_.assign(1, '/');  // (assign form avoids a GCC -Wrestrict false positive)
+  } else {
+    host_ = rest.substr(0, slash);
+    path_ = rest.substr(slash);
+  }
+  if (host_.empty()) {
+    throw common::ConfigError("malformed SAGA URL (missing host): " + url);
+  }
+}
+
+std::string Url::str() const { return scheme_ + "://" + host_ + path_; }
+
+}  // namespace hoh::saga

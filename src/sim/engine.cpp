@@ -1,0 +1,106 @@
+#include "sim/engine.h"
+
+#include "common/error.h"
+
+namespace hoh::sim {
+
+EventHandle Engine::schedule(Seconds delay, Callback fn) {
+  if (delay < 0.0) {
+    throw common::ConfigError("Engine::schedule: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_at(Seconds at, Callback fn) {
+  if (at < now_) {
+    throw common::ConfigError("Engine::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  callbacks_.emplace(id, std::move(fn));
+  queue_.push(Entry{at, next_seq_++, id});
+  return EventHandle(id);
+}
+
+EventHandle Engine::schedule_periodic(Seconds period, Callback fn) {
+  if (period <= 0.0) {
+    throw common::ConfigError("Engine::schedule_periodic: period must be > 0");
+  }
+  const std::uint64_t id = next_id_++;
+  periodics_.emplace(id, Periodic{period, std::move(fn)});
+  // The periodic's queue entries reuse the same id; firing re-schedules.
+  callbacks_.emplace(id, [this, id] {
+    auto it = periodics_.find(id);
+    if (it == periodics_.end()) return;
+    // Re-arm first so the callback can cancel its own series.
+    queue_.push(Entry{now_ + it->second.period, next_seq_++, id});
+    // Note: callbacks_[id] entry is re-inserted by pop_and_run for
+    // periodics; see below.
+    it->second.fn();
+  });
+  queue_.push(Entry{now_ + period, next_seq_++, id});
+  return EventHandle(id);
+}
+
+bool Engine::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  bool erased = false;
+  if (callbacks_.erase(handle.id_) > 0) {
+    ++cancelled_pending_;
+    erased = true;
+  }
+  if (periodics_.erase(handle.id_) > 0) erased = true;
+  return erased;
+}
+
+bool Engine::pop_and_run() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      if (cancelled_pending_ > 0) --cancelled_pending_;
+      continue;  // cancelled
+    }
+    now_ = e.at;
+    const bool periodic = periodics_.count(e.id) > 0;
+    Callback fn;
+    if (periodic) {
+      fn = it->second;  // keep registered for the next firing
+    } else {
+      fn = std::move(it->second);
+      callbacks_.erase(it);
+    }
+    ++executed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && pop_and_run()) ++n;
+  return n;
+}
+
+std::size_t Engine::run_until(Seconds until) {
+  std::size_t n = 0;
+  for (;;) {
+    // Peek for the next live event.
+    while (!queue_.empty() && callbacks_.count(queue_.top().id) == 0) {
+      queue_.pop();
+      if (cancelled_pending_ > 0) --cancelled_pending_;
+    }
+    if (queue_.empty() || queue_.top().at > until) break;
+    if (!pop_and_run()) break;
+    ++n;
+  }
+  if (now_ < until && (queue_.empty() || queue_.top().at > until)) {
+    now_ = until;
+  }
+  return n;
+}
+
+bool Engine::step() { return pop_and_run(); }
+
+}  // namespace hoh::sim

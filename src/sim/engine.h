@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+/// \file engine.h
+/// Deterministic discrete-event simulation kernel. All simulated
+/// middleware components (batch schedulers, YARN, HDFS, the pilot agent)
+/// are actors that schedule callbacks on one Engine; time is virtual and
+/// advances only between events. Events scheduled for the same instant
+/// fire in submission order, which makes whole-system runs bit-for-bit
+/// reproducible.
+
+namespace hoh::sim {
+
+using common::Seconds;
+
+/// Handle for a scheduled event; usable to cancel it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Engine;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// Single-threaded discrete-event engine.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time in seconds.
+  Seconds now() const { return now_; }
+
+  /// Schedules \p fn to run \p delay seconds from now (>= 0).
+  EventHandle schedule(Seconds delay, Callback fn);
+
+  /// Schedules \p fn at absolute time \p at (>= now()).
+  EventHandle schedule_at(Seconds at, Callback fn);
+
+  /// Schedules \p fn every \p period seconds starting after \p period.
+  /// The returned handle cancels the whole series.
+  EventHandle schedule_periodic(Seconds period, Callback fn);
+
+  /// Cancels a pending event; returns false if it already fired or was
+  /// cancelled.
+  bool cancel(EventHandle handle);
+
+  /// Runs until the event queue is empty or \p max_events fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  /// Runs events with timestamp <= until; afterwards now() == until if the
+  /// queue outlived the horizon (or the last event time otherwise).
+  std::size_t run_until(Seconds until);
+
+  /// Executes exactly one event if any is pending; returns whether one ran.
+  bool step();
+
+  /// Number of events currently pending (cancelled events are purged
+  /// lazily and may still be counted).
+  std::size_t pending() const { return queue_.size() - cancelled_pending_; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Seconds at;
+    std::uint64_t seq;  // tie-break: FIFO for equal timestamps
+    std::uint64_t id;
+  };
+  struct EntryCompare {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on time
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Periodic {
+    Seconds period;
+    Callback fn;
+  };
+
+  bool pop_and_run();
+
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
+  std::map<std::uint64_t, Callback> callbacks_;
+  std::map<std::uint64_t, Periodic> periodics_;
+};
+
+}  // namespace hoh::sim

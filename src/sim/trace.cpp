@@ -1,0 +1,94 @@
+#include "sim/trace.h"
+
+namespace hoh::sim {
+namespace {
+
+std::string span_key(const std::string& category, const std::string& name,
+                     const std::string& key) {
+  return category + "\x1f" + name + "\x1f" + key;
+}
+
+}  // namespace
+
+void Trace::record(common::Seconds time, std::string category,
+                   std::string name,
+                   std::map<std::string, std::string> attrs) {
+  events_.push_back(
+      TraceEvent{time, std::move(category), std::move(name), std::move(attrs)});
+}
+
+void Trace::begin_span(common::Seconds time, const std::string& category,
+                       const std::string& name, const std::string& key) {
+  open_spans_[span_key(category, name, key)] = time;
+}
+
+void Trace::end_span(common::Seconds time, const std::string& category,
+                     const std::string& name, const std::string& key) {
+  auto it = open_spans_.find(span_key(category, name, key));
+  if (it == open_spans_.end()) return;
+  spans_.push_back(TraceSpan{it->second, time, category, name, key});
+  open_spans_.erase(it);
+}
+
+std::vector<TraceEvent> Trace::find(const std::string& category,
+                                    const std::string& name) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.category == category && (name.empty() || e.name == name)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+std::optional<TraceEvent> Trace::first(const std::string& category,
+                                       const std::string& name) const {
+  for (const auto& e : events_) {
+    if (e.category == category && (name.empty() || e.name == name)) return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<TraceEvent> Trace::last(const std::string& category,
+                                      const std::string& name) const {
+  for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
+    if (it->category == category && (name.empty() || it->name == name)) {
+      return *it;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<TraceSpan> Trace::find_spans(const std::string& category,
+                                         const std::string& name) const {
+  std::vector<TraceSpan> out;
+  for (const auto& s : spans_) {
+    if (s.category == category && (name.empty() || s.name == name)) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+common::Json Trace::to_json() const {
+  common::JsonArray arr;
+  for (const auto& e : events_) {
+    common::JsonObject obj;
+    obj["t"] = e.time;
+    obj["category"] = e.category;
+    obj["name"] = e.name;
+    common::JsonObject attrs;
+    for (const auto& [k, v] : e.attrs) attrs[k] = v;
+    obj["attrs"] = std::move(attrs);
+    arr.emplace_back(std::move(obj));
+  }
+  return common::Json(std::move(arr));
+}
+
+void Trace::clear() {
+  events_.clear();
+  spans_.clear();
+  open_spans_.clear();
+}
+
+}  // namespace hoh::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/units.h"
+
+/// \file trace.h
+/// Event trace recorder. Simulated components emit (time, category, name,
+/// attributes) records; benches and tests query them to compute derived
+/// metrics like "agent start -> first unit executing" without coupling to
+/// component internals. Also supports open/close spans for durations.
+
+namespace hoh::sim {
+
+/// One trace record.
+struct TraceEvent {
+  common::Seconds time = 0.0;
+  std::string category;  // e.g. "pilot", "yarn", "unit"
+  std::string name;      // e.g. "agent_active", "container_allocated"
+  std::map<std::string, std::string> attrs;
+};
+
+/// A completed duration span.
+struct TraceSpan {
+  common::Seconds begin = 0.0;
+  common::Seconds end = 0.0;
+  std::string category;
+  std::string name;
+  std::string key;  // entity id the span belongs to
+
+  common::Seconds duration() const { return end - begin; }
+};
+
+/// Append-only trace store.
+class Trace {
+ public:
+  void record(common::Seconds time, std::string category, std::string name,
+              std::map<std::string, std::string> attrs = {});
+
+  /// Opens a span keyed by (category, name, key); closing a span that was
+  /// never opened is ignored, re-opening overwrites the begin time.
+  void begin_span(common::Seconds time, const std::string& category,
+                  const std::string& name, const std::string& key);
+  void end_span(common::Seconds time, const std::string& category,
+                const std::string& name, const std::string& key);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+  /// All events matching category (and name, when non-empty).
+  std::vector<TraceEvent> find(const std::string& category,
+                               const std::string& name = "") const;
+
+  /// First event matching; nullopt when absent.
+  std::optional<TraceEvent> first(const std::string& category,
+                                  const std::string& name = "") const;
+  std::optional<TraceEvent> last(const std::string& category,
+                                 const std::string& name = "") const;
+
+  /// Completed spans matching category/name (name empty = all).
+  std::vector<TraceSpan> find_spans(const std::string& category,
+                                    const std::string& name = "") const;
+
+  /// Serializes all events to a JSON array (for offline inspection).
+  common::Json to_json() const;
+
+  void clear();
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::vector<TraceSpan> spans_;
+  std::map<std::string, common::Seconds> open_spans_;
+};
+
+}  // namespace hoh::sim

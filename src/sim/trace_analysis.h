@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+/// \file trace_analysis.h
+/// Post-run analysis over a Trace: span concurrency profiles, busy-time
+/// utilization, and CSV export for offline plotting. Benches use these to
+/// report derived metrics (e.g. how many units actually ran in parallel)
+/// without instrumenting components further.
+
+namespace hoh::sim {
+
+/// One step of a concurrency timeline: \p concurrent spans were open
+/// from \p time until the next step.
+struct ConcurrencyStep {
+  common::Seconds time = 0.0;
+  int concurrent = 0;
+};
+
+/// Timeline of how many matching spans were simultaneously open.
+std::vector<ConcurrencyStep> concurrency_profile(
+    const std::vector<TraceSpan>& spans);
+
+/// Maximum simultaneous open spans.
+int peak_concurrency(const std::vector<TraceSpan>& spans);
+
+/// Integral of concurrency over [t0, t1] divided by capacity x (t1-t0):
+/// the utilization of a resource with \p capacity slots. Returns 0 for an
+/// empty window or capacity <= 0.
+double utilization(const std::vector<TraceSpan>& spans, int capacity,
+                   common::Seconds t0, common::Seconds t1);
+
+/// Events as "time,category,name,key=value;..." CSV lines (with header).
+std::string to_csv(const Trace& trace);
+
+}  // namespace hoh::sim

@@ -1,0 +1,87 @@
+#include "spark/dag_scheduler.h"
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::spark {
+
+std::string DagScheduler::submit(const SparkJobSpec& spec,
+                                 std::function<void()> on_done) {
+  if (spec.stages.empty()) {
+    throw common::ConfigError("SparkJobSpec: needs at least one stage");
+  }
+  for (std::size_t i = 0; i < spec.stages.size(); ++i) {
+    for (int parent : spec.stages[i].parents) {
+      if (parent < 0 || parent >= static_cast<int>(i)) {
+        throw common::ConfigError(common::strformat(
+            "SparkJobSpec: stage %zu has invalid parent %d (parents must "
+            "precede children)",
+            i, parent));
+      }
+    }
+    if (spec.stages[i].tasks < 1) {
+      throw common::ConfigError("SparkJobSpec: stage needs >= 1 task");
+    }
+  }
+  const std::string job_id = common::strformat(
+      "job-%03llu", static_cast<unsigned long long>(next_job_++));
+  JobRec rec;
+  rec.spec = spec;
+  rec.progress.stages_total = static_cast<int>(spec.stages.size());
+  rec.waiting_on.reserve(spec.stages.size());
+  for (const auto& stage : spec.stages) {
+    rec.waiting_on.push_back(static_cast<int>(stage.parents.size()));
+  }
+  rec.submitted.assign(spec.stages.size(), false);
+  rec.on_done = std::move(on_done);
+  jobs_.emplace(job_id, std::move(rec));
+  submit_ready_stages(job_id);
+  return job_id;
+}
+
+void DagScheduler::submit_ready_stages(const std::string& job_id) {
+  JobRec& job = jobs_.at(job_id);
+  for (std::size_t i = 0; i < job.spec.stages.size(); ++i) {
+    if (job.submitted[i] || job.waiting_on[i] > 0) continue;
+    job.submitted[i] = true;
+    const auto& stage = job.spec.stages[i];
+    cluster_.run_stage(app_id_, stage.tasks,
+                       [seconds = stage.task_seconds](int) {
+                         return seconds;
+                       },
+                       [this, job_id, index = static_cast<int>(i)] {
+                         on_stage_done(job_id, index);
+                       });
+  }
+}
+
+void DagScheduler::on_stage_done(const std::string& job_id,
+                                 int stage_index) {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) return;
+  JobRec& job = it->second;
+  job.progress.stages_done += 1;
+  job.progress.completion_order.push_back(stage_index);
+  // Unblock children.
+  for (std::size_t i = 0; i < job.spec.stages.size(); ++i) {
+    for (int parent : job.spec.stages[i].parents) {
+      if (parent == stage_index) job.waiting_on[i] -= 1;
+    }
+  }
+  if (job.progress.stages_done == job.progress.stages_total) {
+    job.progress.finished = true;
+    if (job.on_done) job.on_done();
+    return;
+  }
+  submit_ready_stages(job_id);
+}
+
+SparkJobStatus DagScheduler::status(const std::string& job_id) const {
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    throw common::NotFoundError("DagScheduler: unknown job " + job_id);
+  }
+  return it->second.progress;
+}
+
+}  // namespace hoh::spark

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spark/standalone.h"
+
+/// \file dag_scheduler.h
+/// Spark's DAG scheduler in miniature: a job is a DAG of stages (wide
+/// dependencies = stage boundaries); a stage becomes runnable once every
+/// parent finished, and its tasks then occupy the application's executor
+/// slots. This models how "Spark ... can retain resources across multiple
+/// task generations" (paper SS-II): one long-lived executor set serves
+/// all stages of all jobs.
+
+namespace hoh::spark {
+
+/// One stage of a job.
+struct StageSpec {
+  std::string name = "stage";
+  int tasks = 1;
+  common::Seconds task_seconds = 1.0;
+  /// Indices of parent stages within the job (must be < this index).
+  std::vector<int> parents;
+};
+
+/// A job: stages in topological-friendly index order.
+struct SparkJobSpec {
+  std::string name = "job";
+  std::vector<StageSpec> stages;
+};
+
+/// Progress snapshot of a job.
+struct SparkJobStatus {
+  int stages_done = 0;
+  int stages_total = 0;
+  bool finished = false;
+  /// Completion order (stage indices), for schedule verification.
+  std::vector<int> completion_order;
+};
+
+/// Schedules stage DAGs onto one Spark application.
+class DagScheduler {
+ public:
+  /// \p app_id must identify a submitted application on \p cluster.
+  DagScheduler(SparkStandaloneCluster& cluster, std::string app_id)
+      : cluster_(cluster), app_id_(std::move(app_id)) {}
+
+  DagScheduler(const DagScheduler&) = delete;
+  DagScheduler& operator=(const DagScheduler&) = delete;
+
+  /// Validates the DAG (parent indices in range, acyclic by construction
+  /// since parents must precede children) and starts it. Returns a job id.
+  std::string submit(const SparkJobSpec& spec,
+                     std::function<void()> on_done = nullptr);
+
+  SparkJobStatus status(const std::string& job_id) const;
+
+ private:
+  struct JobRec {
+    SparkJobSpec spec;
+    SparkJobStatus progress;
+    std::vector<int> waiting_on;  // unfinished parents per stage
+    std::vector<bool> submitted;
+    std::function<void()> on_done;
+  };
+
+  void submit_ready_stages(const std::string& job_id);
+  void on_stage_done(const std::string& job_id, int stage_index);
+
+  SparkStandaloneCluster& cluster_;
+  std::string app_id_;
+  std::map<std::string, JobRec> jobs_;
+  std::uint64_t next_job_ = 0;
+};
+
+}  // namespace hoh::spark

@@ -1,0 +1,471 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+/// \file rdd.h
+/// A real, in-process mini-RDD engine: lazy, lineage-based, partitioned
+/// collections evaluated in parallel on a thread pool. This is the
+/// "memory-centric processing engine [that] can retain resources across
+/// multiple task generations" (paper SS-II) in miniature — enough to run
+/// genuine Spark-style analytics (including the K-Means example) against
+/// the middleware. Transformations are lazy; actions evaluate the
+/// lineage; cache() pins the materialized partitions.
+
+namespace hoh::spark {
+
+/// Shared execution environment: one thread pool + default parallelism.
+class SparkEnv {
+ public:
+  explicit SparkEnv(std::size_t threads = 0)
+      : pool_(std::make_shared<common::ThreadPool>(threads)) {}
+
+  common::ThreadPool& pool() { return *pool_; }
+  std::shared_ptr<common::ThreadPool> pool_ptr() const { return pool_; }
+  std::size_t default_parallelism() const { return pool_->size(); }
+
+ private:
+  std::shared_ptr<common::ThreadPool> pool_;
+};
+
+template <typename T>
+class Rdd {
+ public:
+  using Partitions = std::vector<std::vector<T>>;
+
+  /// Distributes \p data over \p partitions partitions (0 = pool size).
+  static Rdd parallelize(SparkEnv& env, std::vector<T> data,
+                         std::size_t partitions = 0) {
+    if (partitions == 0) partitions = env.default_parallelism();
+    partitions = std::max<std::size_t>(1, partitions);
+    auto parts = std::make_shared<Partitions>();
+    parts->resize(partitions);
+    const std::size_t n = data.size();
+    const std::size_t chunk = (n + partitions - 1) / std::max<std::size_t>(partitions, 1);
+    for (std::size_t p = 0; p < partitions; ++p) {
+      const std::size_t lo = p * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo < hi) {
+        (*parts)[p].assign(std::make_move_iterator(data.begin() + static_cast<std::ptrdiff_t>(lo)),
+                           std::make_move_iterator(data.begin() + static_cast<std::ptrdiff_t>(hi)));
+      }
+    }
+    return Rdd(env.pool_ptr(), [parts] { return *parts; });
+  }
+
+  /// Lazy element-wise transformation.
+  template <typename F>
+  auto map(F f) const -> Rdd<std::invoke_result_t<F, const T&>> {
+    using U = std::invoke_result_t<F, const T&>;
+    auto self = *this;
+    return Rdd<U>(pool_, [self, f] {
+      Partitions input = self.materialize();
+      typename Rdd<U>::Partitions out(input.size());
+      self.for_each_partition(input.size(), [&](std::size_t p) {
+        out[p].reserve(input[p].size());
+        for (const auto& x : input[p]) out[p].push_back(f(x));
+      });
+      return out;
+    });
+  }
+
+  /// Lazy filter.
+  template <typename F>
+  Rdd filter(F pred) const {
+    auto self = *this;
+    return Rdd(pool_, [self, pred] {
+      Partitions input = self.materialize();
+      Partitions out(input.size());
+      self.for_each_partition(input.size(), [&](std::size_t p) {
+        for (const auto& x : input[p]) {
+          if (pred(x)) out[p].push_back(x);
+        }
+      });
+      return out;
+    });
+  }
+
+  /// Lazy flat-map.
+  template <typename F>
+  auto flat_map(F f) const
+      -> Rdd<typename std::invoke_result_t<F, const T&>::value_type> {
+    using U = typename std::invoke_result_t<F, const T&>::value_type;
+    auto self = *this;
+    return Rdd<U>(pool_, [self, f] {
+      Partitions input = self.materialize();
+      typename Rdd<U>::Partitions out(input.size());
+      self.for_each_partition(input.size(), [&](std::size_t p) {
+        for (const auto& x : input[p]) {
+          auto ys = f(x);
+          out[p].insert(out[p].end(), std::make_move_iterator(ys.begin()),
+                        std::make_move_iterator(ys.end()));
+        }
+      });
+      return out;
+    });
+  }
+
+  /// Lazy per-partition transformation (mapPartitions).
+  template <typename F>
+  auto map_partitions(F f) const
+      -> Rdd<typename std::invoke_result_t<F, const std::vector<T>&>::value_type> {
+    using U = typename std::invoke_result_t<F, const std::vector<T>&>::value_type;
+    auto self = *this;
+    return Rdd<U>(pool_, [self, f] {
+      Partitions input = self.materialize();
+      typename Rdd<U>::Partitions out(input.size());
+      self.for_each_partition(input.size(),
+                              [&](std::size_t p) { out[p] = f(input[p]); });
+      return out;
+    });
+  }
+
+  /// Marks this RDD cached: the first evaluation memoizes partitions.
+  Rdd cache() const {
+    Rdd out = *this;
+    out.cache_ = std::make_shared<CacheSlot>();
+    return out;
+  }
+
+  /// Lazy union: this RDD's partitions followed by \p other's.
+  Rdd union_with(const Rdd& other) const {
+    auto self = *this;
+    return Rdd(pool_, [self, other] {
+      Partitions a = self.materialize();
+      Partitions b = other.materialize();
+      a.insert(a.end(), std::make_move_iterator(b.begin()),
+               std::make_move_iterator(b.end()));
+      return a;
+    });
+  }
+
+  /// Lazy de-duplication (requires operator< on T); result is sorted
+  /// within one output partition.
+  Rdd distinct() const {
+    auto self = *this;
+    return Rdd(pool_, [self] {
+      std::set<T> seen;
+      for (const auto& part : self.materialize()) {
+        seen.insert(part.begin(), part.end());
+      }
+      Partitions out(1);
+      out[0].assign(seen.begin(), seen.end());
+      return out;
+    });
+  }
+
+  /// Lazy Bernoulli sample (deterministic for a fixed seed).
+  Rdd sample(double fraction, std::uint64_t seed = 42) const {
+    auto self = *this;
+    return Rdd(pool_, [self, fraction, seed] {
+      Partitions input = self.materialize();
+      Partitions out(input.size());
+      for (std::size_t p = 0; p < input.size(); ++p) {
+        // Per-partition RNG keyed by seed+index keeps evaluation
+        // order-independent.
+        common::Rng rng(seed + p);
+        for (const auto& x : input[p]) {
+          if (rng.bernoulli(fraction)) out[p].push_back(x);
+        }
+      }
+      return out;
+    });
+  }
+
+  /// Lazy (element, global index) pairing, indices in partition order.
+  Rdd<std::pair<T, std::size_t>> zip_with_index() const {
+    auto self = *this;
+    return Rdd<std::pair<T, std::size_t>>(pool_, [self] {
+      Partitions input = self.materialize();
+      typename Rdd<std::pair<T, std::size_t>>::Partitions out(input.size());
+      std::size_t index = 0;
+      for (std::size_t p = 0; p < input.size(); ++p) {
+        out[p].reserve(input[p].size());
+        for (const auto& x : input[p]) {
+          out[p].emplace_back(x, index++);
+        }
+      }
+      return out;
+    });
+  }
+
+  /// First n elements in partition order (eager).
+  std::vector<T> take(std::size_t n) const {
+    std::vector<T> out;
+    for (const auto& part : materialize()) {
+      for (const auto& x : part) {
+        if (out.size() >= n) return out;
+        out.push_back(x);
+      }
+    }
+    return out;
+  }
+
+  /// First element; throws StateError on an empty RDD (eager).
+  T first() const {
+    auto head = take(1);
+    if (head.empty()) throw common::StateError("first() on empty RDD");
+    return head.front();
+  }
+
+  // ---- actions (eager) ----
+
+  std::vector<T> collect() const {
+    Partitions parts = materialize();
+    std::vector<T> out;
+    for (auto& p : parts) {
+      out.insert(out.end(), std::make_move_iterator(p.begin()),
+                 std::make_move_iterator(p.end()));
+    }
+    return out;
+  }
+
+  std::size_t count() const {
+    Partitions parts = materialize();
+    std::size_t n = 0;
+    for (const auto& p : parts) n += p.size();
+    return n;
+  }
+
+  /// Tree reduction; throws StateError on an empty RDD.
+  template <typename F>
+  T reduce(F f) const {
+    Partitions parts = materialize();
+    std::vector<T> partials;
+    std::mutex mu;
+    for_each_partition(parts.size(), [&](std::size_t p) {
+      if (parts[p].empty()) return;
+      T acc = parts[p].front();
+      for (std::size_t i = 1; i < parts[p].size(); ++i) {
+        acc = f(acc, parts[p][i]);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      partials.push_back(std::move(acc));
+    });
+    if (partials.empty()) {
+      throw common::StateError("reduce() on empty RDD");
+    }
+    T acc = partials.front();
+    for (std::size_t i = 1; i < partials.size(); ++i) {
+      acc = f(acc, partials[i]);
+    }
+    return acc;
+  }
+
+  /// fold with a zero value (safe on empty RDDs).
+  template <typename F>
+  T fold(T zero, F f) const {
+    Partitions parts = materialize();
+    T acc = zero;
+    for (const auto& part : parts) {
+      for (const auto& x : part) acc = f(acc, x);
+    }
+    return acc;
+  }
+
+  std::size_t num_partitions() const { return materialize().size(); }
+
+  // ---- internal plumbing (public for cross-type access from free
+  // functions like reduce_by_key) ----
+
+  Rdd(std::shared_ptr<common::ThreadPool> pool,
+      std::function<Partitions()> compute)
+      : pool_(std::move(pool)), compute_(std::move(compute)) {}
+
+  Partitions materialize() const {
+    if (cache_) {
+      std::lock_guard<std::mutex> lock(cache_->mu);
+      if (!cache_->value) {
+        cache_->value = std::make_shared<Partitions>(compute_());
+      }
+      return *cache_->value;
+    }
+    return compute_();
+  }
+
+  void for_each_partition(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) const {
+    pool_->parallel_for(n, fn);
+  }
+
+  std::shared_ptr<common::ThreadPool> pool() const { return pool_; }
+
+ private:
+  template <typename U>
+  friend class Rdd;
+
+  struct CacheSlot {
+    std::mutex mu;
+    std::shared_ptr<Partitions> value;
+  };
+
+  std::shared_ptr<common::ThreadPool> pool_;
+  std::function<Partitions()> compute_;
+  std::shared_ptr<CacheSlot> cache_;
+};
+
+/// reduceByKey for pair RDDs: per-partition combine, hash-partitioned
+/// merge into \p out_partitions output partitions (0 = input count).
+template <typename K, typename V, typename F>
+Rdd<std::pair<K, V>> reduce_by_key(const Rdd<std::pair<K, V>>& rdd, F f,
+                                   std::size_t out_partitions = 0) {
+  auto pool = rdd.pool();
+  return Rdd<std::pair<K, V>>(pool, [rdd, f, out_partitions, pool] {
+    auto input = rdd.materialize();
+    const std::size_t out_n =
+        out_partitions > 0 ? out_partitions : std::max<std::size_t>(1, input.size());
+    // Map side: per-partition combine into per-reducer buckets.
+    std::vector<std::vector<std::map<K, V>>> buckets(input.size());
+    pool->parallel_for(input.size(), [&](std::size_t p) {
+      buckets[p].resize(out_n);
+      std::hash<K> hasher;
+      for (const auto& [k, v] : input[p]) {
+        auto& bucket = buckets[p][hasher(k) % out_n];
+        auto it = bucket.find(k);
+        if (it == bucket.end()) {
+          bucket.emplace(k, v);
+        } else {
+          it->second = f(it->second, v);
+        }
+      }
+    });
+    // Reduce side: merge bucket r from every map partition.
+    typename Rdd<std::pair<K, V>>::Partitions out(out_n);
+    pool->parallel_for(out_n, [&](std::size_t r) {
+      std::map<K, V> merged;
+      for (std::size_t p = 0; p < buckets.size(); ++p) {
+        for (const auto& [k, v] : buckets[p][r]) {
+          auto it = merged.find(k);
+          if (it == merged.end()) {
+            merged.emplace(k, v);
+          } else {
+            it->second = f(it->second, v);
+          }
+        }
+      }
+      out[r].assign(merged.begin(), merged.end());
+    });
+    return out;
+  });
+}
+
+/// collect_as_map action for pair RDDs.
+template <typename K, typename V>
+std::map<K, V> collect_as_map(const Rdd<std::pair<K, V>>& rdd) {
+  std::map<K, V> out;
+  for (auto& [k, v] : rdd.collect()) out[k] = v;
+  return out;
+}
+
+/// groupByKey: all values per key gathered into one vector (one output
+/// partition per hash bucket, like reduce_by_key).
+template <typename K, typename V>
+Rdd<std::pair<K, std::vector<V>>> group_by_key(
+    const Rdd<std::pair<K, V>>& rdd, std::size_t out_partitions = 0) {
+  auto pool = rdd.pool();
+  return Rdd<std::pair<K, std::vector<V>>>(pool, [rdd, out_partitions] {
+    auto input = rdd.materialize();
+    const std::size_t out_n = out_partitions > 0
+                                  ? out_partitions
+                                  : std::max<std::size_t>(1, input.size());
+    std::vector<std::map<K, std::vector<V>>> buckets(out_n);
+    std::hash<K> hasher;
+    for (const auto& part : input) {
+      for (const auto& [k, v] : part) {
+        buckets[hasher(k) % out_n][k].push_back(v);
+      }
+    }
+    typename Rdd<std::pair<K, std::vector<V>>>::Partitions out(out_n);
+    for (std::size_t r = 0; r < out_n; ++r) {
+      out[r].assign(std::make_move_iterator(buckets[r].begin()),
+                    std::make_move_iterator(buckets[r].end()));
+    }
+    return out;
+  });
+}
+
+/// map_values: transform V while keeping the key.
+template <typename K, typename V, typename F>
+auto map_values(const Rdd<std::pair<K, V>>& rdd, F f)
+    -> Rdd<std::pair<K, std::invoke_result_t<F, const V&>>> {
+  using W = std::invoke_result_t<F, const V&>;
+  return rdd.map([f](const std::pair<K, V>& kv) {
+    return std::pair<K, W>(kv.first, f(kv.second));
+  });
+}
+
+/// Inner hash join: one output pair per matching (left, right) value
+/// combination.
+template <typename K, typename V, typename W>
+Rdd<std::pair<K, std::pair<V, W>>> join(const Rdd<std::pair<K, V>>& left,
+                                        const Rdd<std::pair<K, W>>& right,
+                                        std::size_t out_partitions = 0) {
+  auto pool = left.pool();
+  return Rdd<std::pair<K, std::pair<V, W>>>(
+      pool, [left, right, out_partitions] {
+        auto grouped_left = group_by_key(left, out_partitions).materialize();
+        auto grouped_right =
+            group_by_key(right, out_partitions).materialize();
+        // Build a lookup of the right side.
+        std::map<K, std::vector<W>> rhs;
+        for (const auto& part : grouped_right) {
+          for (const auto& [k, vs] : part) rhs[k] = vs;
+        }
+        typename Rdd<std::pair<K, std::pair<V, W>>>::Partitions out(
+            grouped_left.size());
+        for (std::size_t p = 0; p < grouped_left.size(); ++p) {
+          for (const auto& [k, vs] : grouped_left[p]) {
+            auto it = rhs.find(k);
+            if (it == rhs.end()) continue;
+            for (const auto& v : vs) {
+              for (const auto& w : it->second) {
+                out[p].emplace_back(k, std::pair<V, W>(v, w));
+              }
+            }
+          }
+        }
+        return out;
+      });
+}
+
+/// cogroup: per key, the value lists of both sides (keys present on
+/// either side appear).
+template <typename K, typename V, typename W>
+Rdd<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> cogroup(
+    const Rdd<std::pair<K, V>>& left, const Rdd<std::pair<K, W>>& right) {
+  using Out = std::pair<K, std::pair<std::vector<V>, std::vector<W>>>;
+  auto pool = left.pool();
+  return Rdd<Out>(pool, [left, right] {
+    std::map<K, std::pair<std::vector<V>, std::vector<W>>> merged;
+    for (const auto& part : left.materialize()) {
+      for (const auto& [k, v] : part) merged[k].first.push_back(v);
+    }
+    for (const auto& part : right.materialize()) {
+      for (const auto& [k, w] : part) merged[k].second.push_back(w);
+    }
+    typename Rdd<Out>::Partitions out(1);
+    out[0].assign(merged.begin(), merged.end());
+    return out;
+  });
+}
+
+/// count_by_key action.
+template <typename K, typename V>
+std::map<K, std::size_t> count_by_key(const Rdd<std::pair<K, V>>& rdd) {
+  std::map<K, std::size_t> out;
+  for (const auto& part : rdd.materialize()) {
+    for (const auto& [k, v] : part) out[k] += 1;
+  }
+  return out;
+}
+
+}  // namespace hoh::spark

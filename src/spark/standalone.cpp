@@ -1,0 +1,381 @@
+#include "spark/standalone.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+
+namespace hoh::spark {
+
+std::string to_string(SparkAppState state) {
+  switch (state) {
+    case SparkAppState::kWaiting:
+      return "WAITING";
+    case SparkAppState::kRunning:
+      return "RUNNING";
+    case SparkAppState::kFinished:
+      return "FINISHED";
+    case SparkAppState::kKilled:
+      return "KILLED";
+  }
+  return "?";
+}
+
+SparkStandaloneCluster::SparkStandaloneCluster(
+    sim::Engine& engine, const cluster::MachineProfile& machine,
+    const cluster::Allocation& allocation, SparkConfig config)
+    : engine_(engine), config_(config) {
+  if (allocation.empty()) {
+    throw common::ConfigError("SparkStandaloneCluster: empty allocation");
+  }
+  master_node_ = allocation.nodes().front()->name();
+  for (const auto& node : allocation.nodes()) {
+    Worker w;
+    w.node = node;
+    w.free_cores =
+        config_.worker_cores > 0 ? config_.worker_cores : node->spec().cores;
+    w.free_memory_mb = config_.worker_memory_mb > 0
+                           ? config_.worker_memory_mb
+                           : node->spec().memory_mb - 1024;
+    workers_.push_back(std::move(w));
+  }
+  (void)machine;
+  schedule_event_ = engine_.schedule_periodic(
+      config_.master_schedule_interval, [this] { schedule_pass(); });
+}
+
+SparkStandaloneCluster::~SparkStandaloneCluster() { shutdown(); }
+
+void SparkStandaloneCluster::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  engine_.cancel(schedule_event_);
+  for (auto& [id, app] : apps_) {
+    if (app.state == SparkAppState::kWaiting ||
+        app.state == SparkAppState::kRunning) {
+      app.state = SparkAppState::kKilled;
+    }
+  }
+}
+
+std::string SparkStandaloneCluster::submit_application(
+    const SparkAppDescriptor& descriptor, std::function<void()> on_ready) {
+  if (shut_down_) {
+    throw common::StateError("Spark master is down");
+  }
+  if (descriptor.executor_cores <= 0) {
+    throw common::ConfigError("executor_cores must be >= 1");
+  }
+  const std::string app_id = common::strformat(
+      "app-%04llu", static_cast<unsigned long long>(next_app_++));
+  App app;
+  app.descriptor = descriptor;
+  int total_cores = 0;
+  for (const auto& w : workers_) total_cores += w.free_cores;
+  app.max_cores_cap = descriptor.max_cores > 0
+                          ? std::min(descriptor.max_cores, total_cores)
+                          : total_cores;
+  if (config_.dynamic_allocation) {
+    // Start small; schedule_pass grows the target while tasks queue.
+    app.wanted_cores = std::min(
+        app.max_cores_cap,
+        std::max(1, descriptor.min_executors) * descriptor.executor_cores);
+  } else {
+    app.wanted_cores = app.max_cores_cap;
+  }
+  app.on_ready = std::move(on_ready);
+  apps_.emplace(app_id, std::move(app));
+  return app_id;
+}
+
+SparkStandaloneCluster::App& SparkStandaloneCluster::find(
+    const std::string& app_id) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    throw common::NotFoundError("Spark: unknown app " + app_id);
+  }
+  return it->second;
+}
+
+const SparkStandaloneCluster::App& SparkStandaloneCluster::find(
+    const std::string& app_id) const {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    throw common::NotFoundError("Spark: unknown app " + app_id);
+  }
+  return it->second;
+}
+
+SparkAppState SparkStandaloneCluster::app_state(
+    const std::string& app_id) const {
+  return find(app_id).state;
+}
+
+std::vector<ExecutorInfo> SparkStandaloneCluster::executors(
+    const std::string& app_id) const {
+  return find(app_id).executors;
+}
+
+int SparkStandaloneCluster::task_slots(const std::string& app_id) const {
+  const App& app = find(app_id);
+  int slots = 0;
+  for (const auto& e : app.executors) slots += e.cores;
+  return slots;
+}
+
+void SparkStandaloneCluster::schedule_pass() {
+  if (shut_down_) return;
+  for (auto& [app_id, app] : apps_) {
+    if (app.state != SparkAppState::kWaiting &&
+        app.state != SparkAppState::kRunning) {
+      continue;
+    }
+    if (config_.dynamic_allocation) {
+      adjust_dynamic_target(app_id, app);
+    }
+    int granted = 0;
+    for (const auto& e : app.executors) granted += e.cores;
+
+    // Grant executors until wanted_cores is covered. spreadOut: walk
+    // workers round-robin; otherwise fill one worker before the next.
+    bool progress = true;
+    while (granted < app.wanted_cores && progress) {
+      progress = false;
+      // Order candidate workers by free cores (desc) for spread-out, or
+      // ascending index for consolidate.
+      std::vector<std::size_t> order(workers_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      if (config_.spread_out) {
+        std::stable_sort(order.begin(), order.end(),
+                         [this](std::size_t a, std::size_t b) {
+                           return workers_[a].free_cores >
+                                  workers_[b].free_cores;
+                         });
+      }
+      for (std::size_t wi : order) {
+        Worker& w = workers_[wi];
+        if (!w.alive) continue;
+        const int cores = app.descriptor.executor_cores;
+        const common::MemoryMb mem = app.descriptor.executor_memory_mb;
+        if (w.free_cores < cores || w.free_memory_mb < mem) continue;
+        if (!w.node->allocate(cluster::ResourceRequest{cores, mem})) continue;
+        // One grant per placement round: the next round re-evaluates the
+        // worker order (spreadOut re-sorts by free cores; consolidate
+        // restarts from the first worker and packs it until full).
+        w.free_cores -= cores;
+        w.free_memory_mb -= mem;
+        ExecutorInfo exec;
+        exec.id = common::strformat(
+            "exec-%llu", static_cast<unsigned long long>(next_executor_++));
+        exec.worker_node = w.node->name();
+        exec.cores = cores;
+        exec.memory_mb = mem;
+        app.executors.push_back(exec);
+        granted += cores;
+        progress = true;
+        // Executor JVM comes up after the launch latency.
+        engine_.schedule(config_.executor_launch_time, [this, app_id] {
+          auto it = apps_.find(app_id);
+          if (it == apps_.end()) return;
+          App& a = it->second;
+          a.ready_executors += 1;
+          a.free_slots += a.descriptor.executor_cores;
+          if (a.state == SparkAppState::kWaiting &&
+              a.ready_executors == static_cast<int>(a.executors.size())) {
+            a.state = SparkAppState::kRunning;
+            if (a.on_ready) a.on_ready();
+          }
+          pump_tasks(app_id);
+        });
+        break;
+      }
+    }
+  }
+}
+
+void SparkStandaloneCluster::run_stage(
+    const std::string& app_id, int num_tasks,
+    std::function<common::Seconds(int)> duration,
+    std::function<void()> on_done) {
+  App& app = find(app_id);
+  if (app.state == SparkAppState::kFinished ||
+      app.state == SparkAppState::kKilled) {
+    throw common::StateError("Spark app " + app_id + " is finished");
+  }
+  Stage stage;
+  for (int i = 0; i < num_tasks; ++i) {
+    stage.pending.push_back(Task{duration ? duration(i) : 0.0});
+  }
+  stage.on_done = std::move(on_done);
+  app.stages.push_back(std::move(stage));
+  pump_tasks(app_id);
+}
+
+void SparkStandaloneCluster::pump_tasks(const std::string& app_id) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) return;
+  App& app = it->second;
+  if (app.stages.empty()) return;
+  Stage& stage = app.stages.front();
+  while (app.free_slots > 0 && !stage.pending.empty()) {
+    const Task task = stage.pending.front();
+    stage.pending.pop_front();
+    app.free_slots -= 1;
+    stage.running += 1;
+    engine_.schedule(task.duration, [this, app_id] {
+      auto ait = apps_.find(app_id);
+      if (ait == apps_.end()) return;
+      App& a = ait->second;
+      a.free_slots += 1;
+      if (a.stages.empty()) return;
+      Stage& s = a.stages.front();
+      s.running -= 1;
+      if (s.pending.empty() && s.running == 0) {
+        auto done = std::move(s.on_done);
+        a.stages.pop_front();
+        if (done) done();
+        pump_tasks(app_id);  // next stage may start
+      } else {
+        pump_tasks(app_id);
+      }
+    });
+  }
+}
+
+void SparkStandaloneCluster::finish_application(const std::string& app_id,
+                                                bool success) {
+  App& app = find(app_id);
+  if (app.state == SparkAppState::kFinished ||
+      app.state == SparkAppState::kKilled) {
+    return;
+  }
+  app.state = success ? SparkAppState::kFinished : SparkAppState::kKilled;
+  // Release executor resources back to workers and node ledgers.
+  for (const auto& exec : app.executors) {
+    for (auto& w : workers_) {
+      if (w.node->name() == exec.worker_node) {
+        w.free_cores += exec.cores;
+        w.free_memory_mb += exec.memory_mb;
+        w.node->release(
+            cluster::ResourceRequest{exec.cores, exec.memory_mb});
+        break;
+      }
+    }
+  }
+  app.executors.clear();
+  app.free_slots = 0;
+  app.stages.clear();
+}
+
+void SparkStandaloneCluster::adjust_dynamic_target(
+    const std::string& app_id, App& app) {
+  (void)app_id;
+  // Pending tasks beyond the current slots? Ask for one more executor.
+  int backlog = 0;
+  if (!app.stages.empty()) {
+    backlog = static_cast<int>(app.stages.front().pending.size());
+  }
+  if (backlog > app.free_slots) {
+    app.wanted_cores = std::min(
+        app.max_cores_cap,
+        app.wanted_cores + app.descriptor.executor_cores);
+    app.idle_since = -1.0;
+    return;
+  }
+  // Fully idle (no stages at all): shed executors above the minimum once
+  // the idle timeout elapses.
+  const bool idle = app.stages.empty();
+  if (!idle) {
+    app.idle_since = -1.0;
+    return;
+  }
+  if (app.idle_since < 0.0) {
+    app.idle_since = engine_.now();
+    return;
+  }
+  if (engine_.now() - app.idle_since < config_.executor_idle_timeout) {
+    return;
+  }
+  const int min_cores =
+      std::max(1, app.descriptor.min_executors) *
+      app.descriptor.executor_cores;
+  while (static_cast<int>(app.executors.size()) *
+                 app.descriptor.executor_cores >
+             min_cores &&
+         app.free_slots >= app.descriptor.executor_cores) {
+    // Release the most recently granted executor.
+    const ExecutorInfo exec = app.executors.back();
+    app.executors.pop_back();
+    app.ready_executors =
+        app.ready_executors > 0 ? app.ready_executors - 1 : 0;
+    app.free_slots -= exec.cores;
+    app.wanted_cores = std::max(min_cores, app.wanted_cores - exec.cores);
+    for (auto& w : workers_) {
+      if (w.node->name() == exec.worker_node) {
+        w.free_cores += exec.cores;
+        w.free_memory_mb += exec.memory_mb;
+        w.node->release(
+            cluster::ResourceRequest{exec.cores, exec.memory_mb});
+        break;
+      }
+    }
+  }
+}
+
+void SparkStandaloneCluster::fail_worker(const std::string& node) {
+  for (auto& w : workers_) {
+    if (w.node->name() != node || !w.alive) continue;
+    w.alive = false;
+    // Withdraw this worker's executors from every app.
+    for (auto& [app_id, app] : apps_) {
+      std::vector<ExecutorInfo> kept;
+      for (const auto& exec : app.executors) {
+        if (exec.worker_node != node) {
+          kept.push_back(exec);
+          continue;
+        }
+        // Release the node ledger and withdraw idle slots.
+        w.node->release(
+            cluster::ResourceRequest{exec.cores, exec.memory_mb});
+        w.free_cores += exec.cores;
+        w.free_memory_mb += exec.memory_mb;
+        app.ready_executors =
+            app.ready_executors > 0 ? app.ready_executors - 1 : 0;
+        app.free_slots = std::max(0, app.free_slots - exec.cores);
+      }
+      app.executors = std::move(kept);
+    }
+    return;
+  }
+  throw common::NotFoundError("Spark: unknown worker " + node);
+}
+
+std::size_t SparkStandaloneCluster::live_worker_count() const {
+  std::size_t n = 0;
+  for (const auto& w : workers_) {
+    if (w.alive) ++n;
+  }
+  return n;
+}
+
+common::Json SparkStandaloneCluster::status() const {
+  common::Json j;
+  j["master"] = master_node_;
+  common::JsonArray worker_rows;
+  for (const auto& w : workers_) {
+    common::Json row;
+    row["node"] = w.node->name();
+    row["freeCores"] = static_cast<std::int64_t>(w.free_cores);
+    row["freeMemoryMB"] = w.free_memory_mb;
+    worker_rows.push_back(std::move(row));
+  }
+  j["workers"] = std::move(worker_rows);
+  std::int64_t running = 0;
+  for (const auto& [id, app] : apps_) {
+    if (app.state == SparkAppState::kRunning) ++running;
+  }
+  j["runningApps"] = running;
+  return j;
+}
+
+}  // namespace hoh::spark

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/json.h"
+#include "sim/engine.h"
+
+/// \file standalone.h
+/// Spark standalone cluster simulator (paper SS-III-D: RADICAL-Pilot
+/// integrates Spark "via the standalone deployment mode" because a
+/// single-user pilot gains nothing from YARN multi-tenancy). One Master,
+/// one Worker per node; applications get executors; tasks occupy executor
+/// cores for simulated durations.
+
+namespace hoh::spark {
+
+/// spark-env.sh equivalents.
+struct SparkConfig {
+  int worker_cores = 0;                   // 0 = node cores
+  common::MemoryMb worker_memory_mb = 0;  // 0 = node memory - 1 GiB
+  common::Seconds executor_launch_time = 4.0;  // JVM spin-up
+  common::Seconds master_schedule_interval = 0.5;
+  /// spark.deploy.spreadOut: spread executors across workers (true) or
+  /// consolidate onto few (false).
+  bool spread_out = true;
+
+  /// spark.dynamicAllocation.enabled: applications grow their executor
+  /// set while tasks queue and shed idle executors after the timeout.
+  bool dynamic_allocation = false;
+  common::Seconds executor_idle_timeout = 60.0;
+};
+
+/// What an application asks for.
+struct SparkAppDescriptor {
+  std::string name = "spark-app";
+  int executor_cores = 1;
+  common::MemoryMb executor_memory_mb = 1024;
+  /// Total cores wanted across executors (spark.cores.max); 0 = all.
+  /// Under dynamic allocation this instead caps growth; the app starts
+  /// from min_executors.
+  int max_cores = 0;
+
+  /// spark.dynamicAllocation.minExecutors (dynamic allocation only).
+  int min_executors = 1;
+};
+
+enum class SparkAppState { kWaiting, kRunning, kFinished, kKilled };
+
+std::string to_string(SparkAppState state);
+
+struct ExecutorInfo {
+  std::string id;
+  std::string worker_node;
+  int cores = 0;
+  common::MemoryMb memory_mb = 0;
+};
+
+/// Master + workers over an allocation.
+class SparkStandaloneCluster {
+ public:
+  SparkStandaloneCluster(sim::Engine& engine,
+                         const cluster::MachineProfile& machine,
+                         const cluster::Allocation& allocation,
+                         SparkConfig config = {});
+  ~SparkStandaloneCluster();
+
+  SparkStandaloneCluster(const SparkStandaloneCluster&) = delete;
+  SparkStandaloneCluster& operator=(const SparkStandaloneCluster&) = delete;
+
+  /// Registers an application; executors are granted on scheduler passes.
+  /// \p on_ready fires when all executors are up.
+  std::string submit_application(const SparkAppDescriptor& descriptor,
+                                 std::function<void()> on_ready = nullptr);
+
+  SparkAppState app_state(const std::string& app_id) const;
+  std::vector<ExecutorInfo> executors(const std::string& app_id) const;
+
+  /// Total task slots (cores across ready executors) of an app.
+  int task_slots(const std::string& app_id) const;
+
+  /// Runs a stage of \p num_tasks tasks; task i takes duration(i)
+  /// simulated seconds on one core. \p on_done fires when every task
+  /// finished. Tasks beyond the slot count queue (wave scheduling).
+  void run_stage(const std::string& app_id, int num_tasks,
+                 std::function<common::Seconds(int)> duration,
+                 std::function<void()> on_done);
+
+  /// Finishes an application, releasing its executors.
+  void finish_application(const std::string& app_id,
+                          bool success = true);
+
+  /// Simulates loss of a worker: its executors disappear from every
+  /// application (idle slots are withdrawn; tasks already running are
+  /// assumed to sit on surviving executors and finish) and applications
+  /// reacquire executors on surviving workers up to their core target on
+  /// subsequent master passes.
+  void fail_worker(const std::string& node);
+
+  std::size_t live_worker_count() const;
+
+  /// Master web-UI style JSON.
+  common::Json status() const;
+
+  const std::string& master_node() const { return master_node_; }
+
+  void shutdown();  // sbin/stop-all.sh
+
+ private:
+  struct Worker {
+    std::shared_ptr<cluster::Node> node;
+    int free_cores = 0;
+    common::MemoryMb free_memory_mb = 0;
+    bool alive = true;
+  };
+
+  struct Task {
+    common::Seconds duration = 0.0;
+  };
+
+  struct Stage {
+    std::deque<Task> pending;
+    int running = 0;
+    std::function<void()> on_done;
+  };
+
+  struct App {
+    SparkAppDescriptor descriptor;
+    SparkAppState state = SparkAppState::kWaiting;
+    std::vector<ExecutorInfo> executors;
+    int ready_executors = 0;
+    int wanted_cores = 0;
+    int max_cores_cap = 0;  // ceiling for dynamic growth
+    std::function<void()> on_ready;
+    int free_slots = 0;  // idle executor cores
+    std::deque<Stage> stages;
+    common::Seconds idle_since = -1.0;  // no pending work since then
+  };
+
+  App& find(const std::string& app_id);
+  const App& find(const std::string& app_id) const;
+
+  void schedule_pass();
+  void adjust_dynamic_target(const std::string& app_id, App& app);
+  void pump_tasks(const std::string& app_id);
+
+  sim::Engine& engine_;
+  SparkConfig config_;
+  std::string master_node_;
+  std::vector<Worker> workers_;
+  std::map<std::string, App> apps_;
+  sim::EventHandle schedule_event_;
+  bool shut_down_ = false;
+  std::uint64_t next_app_ = 1;
+  std::uint64_t next_executor_ = 0;
+};
+
+}  // namespace hoh::spark

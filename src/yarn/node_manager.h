@@ -1,0 +1,90 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+#include <string>
+
+#include "cluster/node.h"
+#include "sim/engine.h"
+#include "yarn/types.h"
+
+/// \file node_manager.h
+/// One YARN NodeManager: owns the container table of one node, enforces
+/// the advertised (memory, vcores) capacity against the shared
+/// cluster::Node ledger, and models container-launch latency
+/// (localization + JVM start).
+
+namespace hoh::yarn {
+
+/// Container record kept by its NodeManager.
+struct Container {
+  std::string id;
+  std::string app_id;
+  std::string node;
+  Resource resource;
+  ContainerState state = ContainerState::kAllocated;
+  bool is_am = false;
+};
+
+class NodeManager {
+ public:
+  NodeManager(sim::Engine& engine, const YarnConfig& config,
+              std::shared_ptr<cluster::Node> node);
+
+  const std::string& node_name() const { return node_->name(); }
+
+  /// Advertised capacity (yarn.nodemanager.resource.*).
+  const Resource& capacity() const { return capacity_; }
+  Resource available() const;
+  Resource allocated() const;
+
+  bool can_fit(const Resource& resource) const;
+
+  /// Reserves resources and creates a container in kAllocated state.
+  /// Returns false if it does not fit.
+  bool allocate(const Container& container);
+
+  /// Starts an allocated container; \p on_running fires after the launch
+  /// latency (AM containers take longer).
+  void launch(const std::string& container_id,
+              std::function<void()> on_running);
+
+  /// Marks a running/launching container completed (or killed /
+  /// preempted) and releases its resources.
+  void release(const std::string& container_id, ContainerState final_state);
+
+  bool has_container(const std::string& container_id) const;
+  const Container& container(const std::string& container_id) const;
+
+  /// Containers currently tracked (any state); completed ones are
+  /// retained for queries.
+  std::size_t live_count() const;
+
+  /// Live container ids (for failure propagation).
+  std::vector<std::string> live_container_ids() const;
+
+  bool alive() const { return alive_; }
+
+  /// Simulates NM loss (node crash / heartbeat timeout): every live
+  /// container is released as KILLED and no further allocations fit.
+  void fail();
+
+  /// Rejoins a failed NM (recommissioning); capacity becomes usable on
+  /// the next scheduler pass.
+  void recover() { alive_ = true; }
+
+ private:
+  Container& find(const std::string& container_id);
+
+  sim::Engine& engine_;
+  const YarnConfig& config_;
+  std::shared_ptr<cluster::Node> node_;
+  Resource capacity_;
+  Resource in_use_{0, 0};
+  bool alive_ = true;
+  std::map<std::string, Container> containers_;
+};
+
+}  // namespace hoh::yarn

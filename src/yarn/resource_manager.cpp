@@ -1,0 +1,560 @@
+#include "yarn/resource_manager.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "yarn/application_master.h"
+
+namespace hoh::yarn {
+
+ResourceManager::ResourceManager(sim::Engine& engine,
+                                 const cluster::Allocation& allocation,
+                                 YarnConfig config,
+                                 std::vector<QueueConfig> queues)
+    : engine_(engine), config_(config), queues_(std::move(queues)) {
+  if (allocation.empty()) {
+    throw common::ConfigError("ResourceManager: empty allocation");
+  }
+  if (queues_.empty()) {
+    throw common::ConfigError("ResourceManager: needs at least one queue");
+  }
+  double total_capacity = 0.0;
+  for (const auto& q : queues_) {
+    total_capacity += q.capacity;
+    pending_.emplace(q.name, std::deque<PendingAsk>{});
+  }
+  if (total_capacity > 1.0 + 1e-9) {
+    throw common::ConfigError(
+        "ResourceManager: queue capacities exceed 100%");
+  }
+  for (const auto& node : allocation.nodes()) {
+    node_managers_.push_back(
+        std::make_unique<NodeManager>(engine_, config_, node));
+  }
+  scheduler_event_ = engine_.schedule_periodic(
+      config_.scheduler_interval, [this] { scheduler_pass(); });
+}
+
+ResourceManager::~ResourceManager() { shutdown(); }
+
+void ResourceManager::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  engine_.cancel(scheduler_event_);
+  // Kill everything still running.
+  std::vector<std::string> live;
+  for (const auto& [id, app] : apps_) {
+    if (!is_final(app.report.state)) live.push_back(id);
+  }
+  for (const auto& id : live) finish_application(id, AppState::kKilled);
+}
+
+std::string ResourceManager::submit_application(AppDescriptor descriptor) {
+  if (shut_down_) {
+    throw common::StateError("ResourceManager is shut down");
+  }
+  if (pending_.count(descriptor.queue) == 0) {
+    throw common::ConfigError("unknown queue: " + descriptor.queue);
+  }
+  const std::string app_id = common::strformat(
+      "application_%llu_%04llu",
+      static_cast<unsigned long long>(cluster_timestamp_),
+      static_cast<unsigned long long>(next_app_number_++));
+
+  AppRecord record;
+  record.descriptor = std::move(descriptor);
+  record.report.id = app_id;
+  record.report.name = record.descriptor.name;
+  record.report.queue = record.descriptor.queue;
+  record.report.state = AppState::kSubmitted;
+  record.report.submit_time = engine_.now();
+  record.am = std::make_unique<ApplicationMaster>(*this, app_id);
+
+  PendingAsk ask;
+  ask.app_id = app_id;
+  ask.request.resource = config_.normalize(record.descriptor.am_resource);
+  ask.is_am = true;
+  ask.seq = next_ask_seq_++;
+  pending_.at(record.descriptor.queue).push_back(std::move(ask));
+
+  apps_.emplace(app_id, std::move(record));
+  return app_id;
+}
+
+ResourceManager::AppRecord& ResourceManager::find_app(
+    const std::string& app_id) {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    throw common::NotFoundError("RM: unknown application " + app_id);
+  }
+  return it->second;
+}
+
+const ResourceManager::AppRecord& ResourceManager::find_app(
+    const std::string& app_id) const {
+  auto it = apps_.find(app_id);
+  if (it == apps_.end()) {
+    throw common::NotFoundError("RM: unknown application " + app_id);
+  }
+  return it->second;
+}
+
+AppReport ResourceManager::application(const std::string& app_id) const {
+  return find_app(app_id).report;
+}
+
+std::vector<AppReport> ResourceManager::applications() const {
+  std::vector<AppReport> out;
+  out.reserve(apps_.size());
+  for (const auto& [id, app] : apps_) out.push_back(app.report);
+  return out;
+}
+
+ApplicationMaster& ResourceManager::application_master(
+    const std::string& app_id) {
+  return *find_app(app_id).am;
+}
+
+NodeManager& ResourceManager::node_manager(const std::string& node) {
+  for (auto& nm : node_managers_) {
+    if (nm->node_name() == node) return *nm;
+  }
+  throw common::NotFoundError("RM: unknown NodeManager " + node);
+}
+
+std::size_t ResourceManager::live_node_count() const {
+  std::size_t n = 0;
+  for (const auto& nm : node_managers_) {
+    if (nm->alive()) ++n;
+  }
+  return n;
+}
+
+void ResourceManager::fail_node(const std::string& node) {
+  NodeManager& nm = node_manager(node);
+  if (!nm.alive()) return;
+  const auto lost = nm.live_container_ids();
+  nm.fail();  // releases the containers as KILLED
+
+  for (const auto& cid : lost) {
+    const Container& c = nm.container(cid);
+    auto it = apps_.find(c.app_id);
+    if (it == apps_.end() || is_final(it->second.report.state)) continue;
+    AppRecord& app = it->second;
+    if (cid == app.am_container_id) {
+      // AM lost: new attempt or app failure.
+      if (app.attempt >= config_.am_max_attempts) {
+        finish_application(c.app_id, AppState::kFailed);
+        continue;
+      }
+      app.attempt += 1;
+      app.am_container_id.clear();
+      // Lost task containers of this app die with the attempt.
+      for (const auto& tid : app.container_ids) {
+        if (NodeManager* host = nm_hosting(tid)) {
+          host->release(tid, ContainerState::kKilled);
+        }
+      }
+      app.container_ids.clear();
+      app.report.state = AppState::kSubmitted;
+      PendingAsk ask;
+      ask.app_id = c.app_id;
+      ask.request.resource = config_.normalize(app.descriptor.am_resource);
+      ask.is_am = true;
+      ask.seq = next_ask_seq_++;
+      pending_.at(app.report.queue).push_back(std::move(ask));
+    } else {
+      // Task container lost: tell the AM.
+      std::erase(app.container_ids, cid);
+      if (app.am->preempted_callback_) app.am->preempted_callback_(c);
+    }
+  }
+}
+
+void ResourceManager::recover_node(const std::string& node) {
+  NodeManager& nm = node_manager(node);
+  nm.recover();
+}
+
+common::Json ResourceManager::apps_json() const {
+  common::JsonArray rows;
+  for (const auto& report : applications()) {
+    common::Json row;
+    row["id"] = report.id;
+    row["name"] = report.name;
+    row["queue"] = report.queue;
+    row["state"] = to_string(report.state);
+    row["amNode"] = report.am_node;
+    row["submitTime"] = report.submit_time;
+    row["startTime"] = report.start_time;
+    row["finishTime"] = report.finish_time;
+    rows.push_back(std::move(row));
+  }
+  common::Json out;
+  out["apps"]["app"] = std::move(rows);
+  return out;
+}
+
+NodeManager* ResourceManager::nm_hosting(const std::string& container_id) {
+  for (auto& nm : node_managers_) {
+    if (nm->has_container(container_id)) return nm.get();
+  }
+  return nullptr;
+}
+
+NodeManager* ResourceManager::try_place(const PendingAsk& ask,
+                                        Container& out) {
+  out.id = common::strformat(
+      "container_%llu_%06llu",
+      static_cast<unsigned long long>(cluster_timestamp_),
+      static_cast<unsigned long long>(next_container_number_));
+  out.app_id = ask.app_id;
+  out.resource = ask.request.resource;
+  out.is_am = ask.is_am;
+
+  // Preferred nodes first (data locality), then any if relaxed.
+  for (const auto& name : ask.request.preferred_nodes) {
+    for (auto& nm : node_managers_) {
+      if (nm->node_name() == name && nm->allocate(out)) {
+        out.node = nm->node_name();
+        ++next_container_number_;
+        return nm.get();
+      }
+    }
+  }
+  if (!ask.request.preferred_nodes.empty() && !ask.request.relax_locality) {
+    return nullptr;
+  }
+  // Least-loaded placement by free memory.
+  std::vector<NodeManager*> order;
+  for (auto& nm : node_managers_) order.push_back(nm.get());
+  std::stable_sort(order.begin(), order.end(),
+                   [](const NodeManager* a, const NodeManager* b) {
+                     return a->available().memory_mb > b->available().memory_mb;
+                   });
+  for (auto* nm : order) {
+    if (nm->allocate(out)) {
+      out.node = nm->node_name();
+      ++next_container_number_;
+      return nm;
+    }
+  }
+  return nullptr;
+}
+
+common::MemoryMb ResourceManager::queue_used_mb(
+    const std::string& queue) const {
+  common::MemoryMb used = 0;
+  for (const auto& [id, app] : apps_) {
+    if (app.report.queue != queue || is_final(app.report.state)) continue;
+    for (const auto& nm : node_managers_) {
+      // Sum this app's live containers on each NM.
+      // (Scan is fine at simulation scale.)
+      for (const auto& cid : app.container_ids) {
+        if (nm->has_container(cid)) {
+          const auto& c = nm->container(cid);
+          if (c.state == ContainerState::kAllocated ||
+              c.state == ContainerState::kLaunching ||
+              c.state == ContainerState::kRunning) {
+            used += c.resource.memory_mb;
+          }
+        }
+      }
+      if (!app.am_container_id.empty() &&
+          nm->has_container(app.am_container_id)) {
+        const auto& c = nm->container(app.am_container_id);
+        if (c.state != ContainerState::kCompleted &&
+            c.state != ContainerState::kKilled &&
+            c.state != ContainerState::kPreempted) {
+          used += c.resource.memory_mb;
+        }
+      }
+    }
+  }
+  return used;
+}
+
+double ResourceManager::queue_usage_ratio(const std::string& queue) const {
+  double capacity_fraction = 0.0;
+  for (const auto& q : queues_) {
+    if (q.name == queue) capacity_fraction = q.capacity;
+  }
+  const common::MemoryMb total = total_capacity().memory_mb;
+  if (capacity_fraction <= 0.0 || total <= 0) return 1e18;
+  const double share =
+      static_cast<double>(total) * capacity_fraction;
+  return static_cast<double>(queue_used_mb(queue)) / share;
+}
+
+void ResourceManager::scheduler_pass() {
+  if (shut_down_) return;
+  if (config_.preemption_enabled) preemption_pass();
+
+  // Capacity: queues in increasing usage ratio (most-starved first).
+  // FIFO: queue declaration order; within a queue asks are FIFO anyway,
+  // and with the default single queue this is strict submission order.
+  std::vector<const QueueConfig*> order;
+  for (const auto& q : queues_) order.push_back(&q);
+  if (config_.scheduler_policy == SchedulerPolicy::kCapacity) {
+    std::stable_sort(order.begin(), order.end(),
+                     [this](const QueueConfig* a, const QueueConfig* b) {
+                       return queue_usage_ratio(a->name) <
+                              queue_usage_ratio(b->name);
+                     });
+  }
+
+  for (const auto* q : order) {
+    auto& asks = pending_.at(q->name);
+    std::deque<PendingAsk> remaining;
+    while (!asks.empty()) {
+      PendingAsk ask = std::move(asks.front());
+      asks.pop_front();
+      auto app_it = apps_.find(ask.app_id);
+      if (app_it == apps_.end() || is_final(app_it->second.report.state)) {
+        continue;  // app died while queued
+      }
+      Container placed;
+      NodeManager* nm = try_place(ask, placed);
+      if (nm == nullptr) {
+        remaining.push_back(std::move(ask));
+        continue;
+      }
+      AppRecord& app = app_it->second;
+      if (ask.is_am) {
+        app.am_container_id = placed.id;
+        app.report.state = AppState::kAmLaunching;
+        app.report.am_node = nm->node_name();
+        const std::string app_id = ask.app_id;
+        nm->launch(placed.id,
+                   [this, app_id] { on_am_container_running(app_id); });
+      } else {
+        app.container_ids.push_back(placed.id);
+        if (ask.on_allocated) ask.on_allocated(placed);
+      }
+    }
+    asks = std::move(remaining);
+  }
+}
+
+void ResourceManager::preemption_pass() {
+  // Find a starved queue (pending asks, usage below capacity).
+  const QueueConfig* starved = nullptr;
+  for (const auto& q : queues_) {
+    if (!pending_.at(q.name).empty() && queue_usage_ratio(q.name) < 1.0) {
+      starved = &q;
+      break;
+    }
+  }
+  if (starved == nullptr) return;
+  // Find the most over-capacity queue.
+  const QueueConfig* over = nullptr;
+  double worst = 1.0 + 1e-9;
+  for (const auto& q : queues_) {
+    const double ratio = queue_usage_ratio(q.name);
+    if (ratio > worst) {
+      worst = ratio;
+      over = &q;
+    }
+  }
+  if (over == nullptr) return;
+  // Preempt the newest non-AM container of the newest app in that queue.
+  for (auto it = apps_.rbegin(); it != apps_.rend(); ++it) {
+    AppRecord& app = it->second;
+    if (app.report.queue != over->name || is_final(app.report.state)) {
+      continue;
+    }
+    for (auto cit = app.container_ids.rbegin();
+         cit != app.container_ids.rend(); ++cit) {
+      NodeManager* nm = nm_hosting(*cit);
+      if (nm == nullptr) continue;
+      const Container& c = nm->container(*cit);
+      if (c.state == ContainerState::kRunning ||
+          c.state == ContainerState::kAllocated ||
+          c.state == ContainerState::kLaunching) {
+        Container copy = c;
+        nm->release(*cit, ContainerState::kPreempted);
+        if (app.am->preempted_callback_) app.am->preempted_callback_(copy);
+        return;  // one preemption per pass
+      }
+    }
+  }
+}
+
+void ResourceManager::on_am_container_running(const std::string& app_id) {
+  // AM process is up; registration handshake follows.
+  engine_.schedule(config_.am_register_time, [this, app_id] {
+    auto it = apps_.find(app_id);
+    if (it == apps_.end() || is_final(it->second.report.state)) return;
+    AppRecord& app = it->second;
+    app.report.state = AppState::kRunning;
+    app.report.start_time = engine_.now();
+    if (app.descriptor.on_am_start) app.descriptor.on_am_start(*app.am);
+  });
+}
+
+void ResourceManager::finish_application(const std::string& app_id,
+                                         AppState final_state) {
+  AppRecord& app = find_app(app_id);
+  if (is_final(app.report.state)) return;
+  app.report.state = final_state;
+  app.report.finish_time = engine_.now();
+  // Release all live containers including the AM's.
+  const ContainerState container_final = final_state == AppState::kFinished
+                                             ? ContainerState::kCompleted
+                                             : ContainerState::kKilled;
+  for (const auto& cid : app.container_ids) {
+    if (NodeManager* nm = nm_hosting(cid)) nm->release(cid, container_final);
+  }
+  if (!app.am_container_id.empty()) {
+    if (NodeManager* nm = nm_hosting(app.am_container_id)) {
+      nm->release(app.am_container_id, container_final);
+    }
+  }
+  // Drop this app's pending asks.
+  for (auto& [queue, asks] : pending_) {
+    std::erase_if(asks,
+                  [&app_id](const PendingAsk& a) { return a.app_id == app_id; });
+  }
+}
+
+void ResourceManager::kill_application(const std::string& app_id) {
+  finish_application(app_id, AppState::kKilled);
+}
+
+void ResourceManager::am_request_containers(
+    const std::string& app_id, int count, const ContainerRequest& request,
+    std::function<void(const Container&)> cb) {
+  AppRecord& app = find_app(app_id);
+  if (app.report.state != AppState::kRunning) {
+    throw common::StateError("AM of " + app_id +
+                             " requested containers while not RUNNING");
+  }
+  for (int i = 0; i < count; ++i) {
+    PendingAsk ask;
+    ask.app_id = app_id;
+    ask.request = request;
+    ask.request.resource = config_.normalize(request.resource);
+    ask.is_am = false;
+    ask.on_allocated = cb;
+    ask.seq = next_ask_seq_++;
+    pending_.at(app.report.queue).push_back(std::move(ask));
+  }
+}
+
+void ResourceManager::am_launch_container(const std::string& app_id,
+                                          const std::string& container_id,
+                                          std::function<void()> on_running) {
+  find_app(app_id);  // validates
+  NodeManager* nm = nm_hosting(container_id);
+  if (nm == nullptr) {
+    throw common::NotFoundError("no NM hosts container " + container_id);
+  }
+  nm->launch(container_id, std::move(on_running));
+}
+
+void ResourceManager::am_release_container(const std::string& app_id,
+                                           const std::string& container_id,
+                                           ContainerState final_state) {
+  find_app(app_id);
+  if (NodeManager* nm = nm_hosting(container_id)) {
+    nm->release(container_id, final_state);
+  }
+}
+
+void ResourceManager::am_unregister(const std::string& app_id, bool success) {
+  finish_application(app_id,
+                     success ? AppState::kFinished : AppState::kFailed);
+}
+
+Resource ResourceManager::total_capacity() const {
+  Resource total{0, 0};
+  for (const auto& nm : node_managers_) {
+    total.memory_mb += nm->capacity().memory_mb;
+    total.vcores += nm->capacity().vcores;
+  }
+  return total;
+}
+
+Resource ResourceManager::total_allocated() const {
+  Resource total{0, 0};
+  for (const auto& nm : node_managers_) {
+    total.memory_mb += nm->allocated().memory_mb;
+    total.vcores += nm->allocated().vcores;
+  }
+  return total;
+}
+
+common::Json ResourceManager::cluster_metrics() const {
+  const Resource cap = total_capacity();
+  const Resource used = total_allocated();
+  std::int64_t running = 0;
+  std::int64_t submitted = 0;
+  std::int64_t completed = 0;
+  for (const auto& [id, app] : apps_) {
+    ++submitted;
+    if (app.report.state == AppState::kRunning) ++running;
+    if (is_final(app.report.state)) ++completed;
+  }
+  common::Json metrics;
+  auto& m = metrics["clusterMetrics"];
+  m["appsSubmitted"] = submitted;
+  m["appsRunning"] = running;
+  m["appsCompleted"] = completed;
+  m["totalMB"] = cap.memory_mb;
+  m["totalVirtualCores"] = static_cast<std::int64_t>(cap.vcores);
+  m["allocatedMB"] = used.memory_mb;
+  m["allocatedVirtualCores"] = static_cast<std::int64_t>(used.vcores);
+  m["availableMB"] = cap.memory_mb - used.memory_mb;
+  m["availableVirtualCores"] =
+      static_cast<std::int64_t>(cap.vcores - used.vcores);
+  m["activeNodes"] = static_cast<std::int64_t>(live_node_count());
+  m["lostNodes"] =
+      static_cast<std::int64_t>(node_managers_.size() - live_node_count());
+  return metrics;
+}
+
+common::Json ResourceManager::scheduler_info() const {
+  common::JsonArray queue_rows;
+  for (const auto& q : queues_) {
+    common::Json row;
+    row["queueName"] = q.name;
+    row["capacity"] = q.capacity * 100.0;
+    row["usedMB"] = queue_used_mb(q.name);
+    row["pendingContainers"] =
+        static_cast<std::int64_t>(pending_.at(q.name).size());
+    queue_rows.push_back(std::move(row));
+  }
+  common::Json info;
+  info["scheduler"]["type"] = "capacityScheduler";
+  info["scheduler"]["queues"] = std::move(queue_rows);
+  return info;
+}
+
+// --- ApplicationMaster methods (need the full RM type) ---
+
+void ApplicationMaster::request_containers(
+    int count, const ContainerRequest& request,
+    std::function<void(const Container&)> on_allocated) {
+  rm_.am_request_containers(app_id_, count, request, std::move(on_allocated));
+}
+
+void ApplicationMaster::launch(const std::string& container_id,
+                               std::function<void()> on_running) {
+  rm_.am_launch_container(app_id_, container_id, std::move(on_running));
+}
+
+void ApplicationMaster::complete_container(const std::string& container_id) {
+  rm_.am_release_container(app_id_, container_id,
+                           ContainerState::kCompleted);
+}
+
+void ApplicationMaster::kill_container(const std::string& container_id) {
+  rm_.am_release_container(app_id_, container_id, ContainerState::kKilled);
+}
+
+void ApplicationMaster::unregister(bool success) {
+  rm_.am_unregister(app_id_, success);
+}
+
+}  // namespace hoh::yarn

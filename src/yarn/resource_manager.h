@@ -1,0 +1,175 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/machine.h"
+#include "common/json.h"
+#include "sim/engine.h"
+#include "yarn/node_manager.h"
+#include "yarn/types.h"
+
+/// \file resource_manager.h
+/// The YARN ResourceManager: application lifecycle (including the
+/// two-stage AM-then-task-container allocation the paper identifies as
+/// the Compute-Unit startup bottleneck, Fig. 5 inset), a capacity
+/// scheduler over (memory, vcores), optional preemption, and REST-style
+/// cluster metrics (the paper's agent scheduler consumes exactly these:
+/// "updated cluster state information ... obtained via the Resource
+/// Manager's REST API").
+
+namespace hoh::yarn {
+
+class ApplicationMaster;
+
+/// What a client submits. \p on_am_start is the Application Master's
+/// main(): it runs once the AM container is up and registered.
+struct AppDescriptor {
+  std::string name = "app";
+  std::string queue = "default";
+  Resource am_resource{1024, 1};
+  std::function<void(ApplicationMaster&)> on_am_start;
+};
+
+/// RM-side application record.
+struct AppReport {
+  std::string id;
+  std::string name;
+  std::string queue;
+  AppState state = AppState::kSubmitted;
+  common::Seconds submit_time = 0.0;
+  common::Seconds start_time = 0.0;   // AM registered
+  common::Seconds finish_time = 0.0;
+  std::string am_node;
+};
+
+class ResourceManager {
+ public:
+  /// Brings up one NodeManager per allocation node. The RM starts its
+  /// scheduler loop immediately.
+  ResourceManager(sim::Engine& engine, const cluster::Allocation& allocation,
+                  YarnConfig config = {},
+                  std::vector<QueueConfig> queues = {{"default", 1.0}});
+  ~ResourceManager();
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  const YarnConfig& config() const { return config_; }
+
+  /// Submits an application; returns the application id. The AM container
+  /// request enters the target queue immediately; allocation happens on a
+  /// scheduler pass.
+  std::string submit_application(AppDescriptor descriptor);
+
+  /// Kills an application: AM and all its containers are released.
+  void kill_application(const std::string& app_id);
+
+  AppReport application(const std::string& app_id) const;
+  std::vector<AppReport> applications() const;
+
+  /// The AM handle of a running application (for in-process callers).
+  ApplicationMaster& application_master(const std::string& app_id);
+
+  /// REST GET /ws/v1/cluster/metrics equivalent.
+  common::Json cluster_metrics() const;
+
+  /// REST GET /ws/v1/cluster/scheduler equivalent (per-queue usage).
+  common::Json scheduler_info() const;
+
+  Resource total_capacity() const;
+  Resource total_allocated() const;
+
+  std::size_t node_count() const { return node_managers_.size(); }
+  std::size_t live_node_count() const;
+  NodeManager& node_manager(const std::string& node);
+
+  /// Returns a failed node to service (recommissioning).
+  void recover_node(const std::string& node);
+
+  /// REST GET /ws/v1/cluster/apps equivalent.
+  common::Json apps_json() const;
+
+  /// Simulates loss of a node: its containers die; applications whose
+  /// task containers were lost are notified via the AM's preemption/loss
+  /// callback; applications whose *AM* was lost get a new attempt (up to
+  /// config().am_max_attempts) or fail.
+  void fail_node(const std::string& node);
+
+  /// Stops the scheduler loop (cluster teardown).
+  void shutdown();
+
+  /// The simulation engine this RM runs on (for payload drivers that
+  /// schedule task durations, e.g. the MR-over-YARN driver).
+  sim::Engine& engine() { return engine_; }
+
+ private:
+  friend class ApplicationMaster;
+
+  struct PendingAsk {
+    std::string app_id;
+    ContainerRequest request;
+    bool is_am = false;
+    std::function<void(const Container&)> on_allocated;  // task asks only
+    std::uint64_t seq = 0;
+  };
+
+  struct AppRecord {
+    AppDescriptor descriptor;
+    AppReport report;
+    std::unique_ptr<ApplicationMaster> am;
+    std::string am_container_id;
+    std::vector<std::string> container_ids;  // task containers
+    int attempt = 1;                         // AM attempt number
+  };
+
+  AppRecord& find_app(const std::string& app_id);
+  const AppRecord& find_app(const std::string& app_id) const;
+
+  /// One allocation pass of the capacity scheduler.
+  void scheduler_pass();
+  void preemption_pass();
+
+  /// Attempts to place one ask; returns the hosting NM or nullptr.
+  NodeManager* try_place(const PendingAsk& ask, Container& out);
+
+  /// Queue usage as a fraction of its capacity share (memory-dominant).
+  double queue_usage_ratio(const std::string& queue) const;
+  common::MemoryMb queue_used_mb(const std::string& queue) const;
+
+  void on_am_container_running(const std::string& app_id);
+  void finish_application(const std::string& app_id, AppState final_state);
+
+  // --- ApplicationMaster backend (called via friend) ---
+  void am_request_containers(const std::string& app_id, int count,
+                             const ContainerRequest& request,
+                             std::function<void(const Container&)> cb);
+  void am_launch_container(const std::string& app_id,
+                           const std::string& container_id,
+                           std::function<void()> on_running);
+  void am_release_container(const std::string& app_id,
+                            const std::string& container_id,
+                            ContainerState final_state);
+  void am_unregister(const std::string& app_id, bool success);
+
+  NodeManager* nm_hosting(const std::string& container_id);
+
+  sim::Engine& engine_;
+  YarnConfig config_;
+  std::vector<QueueConfig> queues_;
+  std::vector<std::unique_ptr<NodeManager>> node_managers_;
+  std::map<std::string, AppRecord> apps_;
+  std::map<std::string, std::deque<PendingAsk>> pending_;  // per queue
+  sim::EventHandle scheduler_event_;
+  bool shut_down_ = false;
+  std::uint64_t next_app_number_ = 1;
+  std::uint64_t next_container_number_ = 1;
+  std::uint64_t next_ask_seq_ = 1;
+  std::uint64_t cluster_timestamp_ = 1454300000;  // fixed epoch for ids
+};
+
+}  // namespace hoh::yarn

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "yarn/resource_manager.h"
+
+/// \file yarn_client.h
+/// The `yarn` command-line facade the paper's Launch Method shells out to
+/// ("the usage of the yarn command line tool for submitting and
+/// monitoring applications"): submit (`yarn jar`), list
+/// (`yarn application -list`), status, kill, and the per-application log
+/// the Task Spawner polls ("For YARN the application log file is used for
+/// this purpose").
+
+namespace hoh::yarn {
+
+class YarnClient {
+ public:
+  explicit YarnClient(ResourceManager& rm) : rm_(rm) {}
+
+  /// `yarn jar <app>` — submits and returns the application id.
+  std::string submit(AppDescriptor descriptor) {
+    const auto id = rm_.submit_application(std::move(descriptor));
+    log_lines_[id].push_back("submitted " + id);
+    return id;
+  }
+
+  /// `yarn application -status <id>`.
+  AppReport status(const std::string& app_id) const {
+    return rm_.application(app_id);
+  }
+
+  /// `yarn application -list [-appStates <state>]`.
+  std::vector<AppReport> list(
+      std::optional<AppState> state_filter = std::nullopt) const {
+    std::vector<AppReport> out;
+    for (const auto& report : rm_.applications()) {
+      if (!state_filter.has_value() || report.state == *state_filter) {
+        out.push_back(report);
+      }
+    }
+    return out;
+  }
+
+  /// `yarn application -kill <id>`.
+  void kill(const std::string& app_id) { rm_.kill_application(app_id); }
+
+  /// Appends a line to the application's log (AMs and payloads use this;
+  /// the Task Spawner tails it).
+  void append_log(const std::string& app_id, const std::string& line) {
+    log_lines_[app_id].push_back(line);
+  }
+
+  /// `yarn logs -applicationId <id>` — one string per line.
+  const std::vector<std::string>& logs(const std::string& app_id) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = log_lines_.find(app_id);
+    return it == log_lines_.end() ? kEmpty : it->second;
+  }
+
+ private:
+  ResourceManager& rm_;
+  std::map<std::string, std::vector<std::string>> log_lines_;
+};
+
+}  // namespace hoh::yarn

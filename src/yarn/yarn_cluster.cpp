@@ -1,0 +1,18 @@
+#include "yarn/yarn_cluster.h"
+
+namespace hoh::yarn {
+
+YarnCluster::YarnCluster(sim::Engine& engine,
+                         const cluster::MachineProfile& machine,
+                         const cluster::Allocation& allocation,
+                         YarnClusterConfig config)
+    : machine_(machine), allocation_(allocation) {
+  hdfs_ = std::make_unique<hdfs::HdfsCluster>(
+      engine, machine, allocation.node_names(), config.hdfs);
+  rm_ = std::make_unique<ResourceManager>(engine, allocation, config.yarn,
+                                          config.queues);
+}
+
+void YarnCluster::shutdown() { rm_->shutdown(); }
+
+}  // namespace hoh::yarn

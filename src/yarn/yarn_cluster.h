@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+
+#include "cluster/machine.h"
+#include "hdfs/hdfs_cluster.h"
+#include "sim/engine.h"
+#include "yarn/resource_manager.h"
+
+/// \file yarn_cluster.h
+/// A full Hadoop deployment over one allocation: HDFS + YARN RM/NMs.
+/// This is exactly what the Mode-I LRM brings up on its nodes ("the node
+/// that is running the Agent [is] assigned to run the master daemons: the
+/// HDFS Namenode and the YARN Resource Manager").
+
+namespace hoh::yarn {
+
+struct YarnClusterConfig {
+  YarnConfig yarn;
+  hdfs::HdfsConfig hdfs;
+  std::vector<QueueConfig> queues{{"default", 1.0}};
+};
+
+/// Owns the HDFS ensemble and the ResourceManager for one node set.
+class YarnCluster {
+ public:
+  YarnCluster(sim::Engine& engine, const cluster::MachineProfile& machine,
+              const cluster::Allocation& allocation,
+              YarnClusterConfig config = {});
+
+  ResourceManager& resource_manager() { return *rm_; }
+  hdfs::HdfsCluster& hdfs() { return *hdfs_; }
+  const cluster::Allocation& allocation() const { return allocation_; }
+  const cluster::MachineProfile& machine() const { return machine_; }
+
+  /// Stops all daemons (Mode-I teardown before agent exit).
+  void shutdown();
+
+ private:
+  const cluster::MachineProfile& machine_;
+  cluster::Allocation allocation_;
+  std::unique_ptr<hdfs::HdfsCluster> hdfs_;
+  std::unique_ptr<ResourceManager> rm_;
+};
+
+}  // namespace hoh::yarn

@@ -1,0 +1,120 @@
+#include "analytics/experiment_config.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::analytics {
+namespace {
+
+TEST(ExperimentConfigTest, DefaultsApplied) {
+  const auto cfg = kmeans_config_from_json(common::Json::parse("{}"));
+  EXPECT_EQ(cfg.machine.name, "stampede");
+  EXPECT_EQ(cfg.scenario.points, 1'000'000);
+  EXPECT_FALSE(cfg.yarn_stack);
+  EXPECT_EQ(cfg.nodes, 1);
+  EXPECT_EQ(cfg.tasks, 8);
+}
+
+TEST(ExperimentConfigTest, FullObjectParsed) {
+  const auto cfg = kmeans_config_from_json(common::Json::parse(R"({
+    "machine": "wrangler", "nodes": 3, "tasks": 32,
+    "stack": "rp-yarn", "scenario": "100k",
+    "op_cost": 1e-5, "shuffle_amplification": 2.0,
+    "reuse_yarn_app": true
+  })"));
+  EXPECT_EQ(cfg.machine.name, "wrangler");
+  EXPECT_EQ(cfg.scheduler, hpc::SchedulerKind::kSge);
+  EXPECT_EQ(cfg.nodes, 3);
+  EXPECT_EQ(cfg.tasks, 32);
+  EXPECT_TRUE(cfg.yarn_stack);
+  EXPECT_EQ(cfg.scenario.points, 100'000);
+  EXPECT_DOUBLE_EQ(cfg.op_cost, 1e-5);
+  EXPECT_DOUBLE_EQ(cfg.shuffle_amplification, 2.0);
+  EXPECT_TRUE(cfg.reuse_yarn_app);
+}
+
+TEST(ExperimentConfigTest, CustomScenarioObject) {
+  const auto cfg = kmeans_config_from_json(common::Json::parse(R"({
+    "scenario": {"points": 250000, "clusters": 200, "iterations": 4}
+  })"));
+  EXPECT_EQ(cfg.scenario.points, 250'000);
+  EXPECT_EQ(cfg.scenario.clusters, 200);
+  EXPECT_EQ(cfg.scenario.iterations, 4);
+  EXPECT_NE(cfg.scenario.label.find("250000"), std::string::npos);
+}
+
+TEST(ExperimentConfigTest, RejectsBadValues) {
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"machine": "mars"})")),
+               common::ConfigError);
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"stack": "mesos"})")),
+               common::ConfigError);
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"scenario": "5k"})")),
+               common::ConfigError);
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"scenario": 7})")),
+               common::ConfigError);
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"nodes": 0})")),
+               common::ConfigError);
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"scenario": {"points": 0,
+                                          "clusters": 5}})")),
+               common::ConfigError);
+  EXPECT_THROW(kmeans_config_from_json(common::Json::parse("[1,2]")),
+               common::ConfigError);
+}
+
+TEST(ExperimentConfigTest, PlanParsing) {
+  const auto plan = experiment_plan_from_json(common::Json::parse(R"({
+    "experiments": [
+      {"machine": "stampede", "tasks": 8},
+      {"machine": "wrangler", "tasks": 16}
+    ]
+  })"));
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].machine.name, "stampede");
+  EXPECT_EQ(plan[1].tasks, 16);
+
+  EXPECT_THROW(experiment_plan_from_json(common::Json::parse("{}")),
+               common::ConfigError);
+  EXPECT_THROW(experiment_plan_from_json(
+                   common::Json::parse(R"({"experiments": []})")),
+               common::ConfigError);
+}
+
+TEST(ExperimentConfigTest, ResultRoundTripsThroughJsonText) {
+  KmeansExperimentConfig cfg;
+  cfg.machine = cluster::stampede_profile();
+  cfg.scenario = scenario_10k_points();
+  cfg.nodes = 2;
+  cfg.tasks = 16;
+  cfg.yarn_stack = true;
+  KmeansExperimentResult result;
+  result.ok = true;
+  result.time_to_completion = 987.5;
+  result.units_completed = 64;
+  const auto parsed =
+      common::Json::parse(result_to_json(cfg, result).dump());
+  EXPECT_EQ(parsed.at("machine").as_string(), "stampede");
+  EXPECT_EQ(parsed.at("stack").as_string(), "rp-yarn");
+  EXPECT_TRUE(parsed.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(parsed.at("time_to_completion_s").as_number(), 987.5);
+  EXPECT_EQ(parsed.at("units_completed").as_int(), 64);
+}
+
+TEST(ExperimentConfigTest, ParsedConfigRunsEndToEnd) {
+  const auto cfg = kmeans_config_from_json(common::Json::parse(R"({
+    "machine": "generic", "nodes": 2, "tasks": 8,
+    "scenario": {"points": 10000, "clusters": 10}
+  })"));
+  const auto result = run_kmeans_experiment(cfg);
+  EXPECT_TRUE(result.ok);
+  EXPECT_GT(result.time_to_completion, 0.0);
+}
+
+}  // namespace
+}  // namespace hoh::analytics

@@ -1,0 +1,146 @@
+#include "analytics/kmeans_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::analytics {
+namespace {
+
+class KmeansCostTest : public ::testing::Test {
+ protected:
+  KmeansCostTest()
+      : stampede_(cluster::stampede_profile()),
+        wrangler_(cluster::wrangler_profile()) {}
+
+  KmeansRunConfig config(const cluster::MachineProfile& m, int nodes,
+                         int tasks, bool yarn) const {
+    KmeansRunConfig c;
+    c.machine = &m;
+    c.nodes = nodes;
+    c.tasks = tasks;
+    c.yarn_stack = yarn;
+    return c;
+  }
+
+  cluster::MachineProfile stampede_;
+  cluster::MachineProfile wrangler_;
+};
+
+TEST_F(KmeansCostTest, PaperScenarios) {
+  const auto scenarios = paper_scenarios();
+  ASSERT_EQ(scenarios.size(), 3u);
+  // points x clusters constant at 5e7 (the paper's constant-compute
+  // design).
+  for (const auto& s : scenarios) {
+    EXPECT_EQ(s.points * s.clusters, 50'000'000);
+    EXPECT_EQ(s.dim, 3);
+    EXPECT_EQ(s.iterations, 2);
+  }
+}
+
+TEST_F(KmeansCostTest, ComputeConstantAcrossScenarios) {
+  const auto cfg = config(stampede_, 1, 8, false);
+  const auto c10k = kmeans_phase_durations(scenario_10k_points(), cfg);
+  const auto c1m = kmeans_phase_durations(scenario_1m_points(), cfg);
+  EXPECT_NEAR(c10k.map_cost.compute, c1m.map_cost.compute, 1e-9);
+}
+
+TEST_F(KmeansCostTest, ShuffleGrowsWithPoints) {
+  const auto cfg = config(stampede_, 3, 32, false);
+  const auto c10k = kmeans_phase_durations(scenario_10k_points(), cfg);
+  const auto c1m = kmeans_phase_durations(scenario_1m_points(), cfg);
+  EXPECT_GT(c1m.map_cost.shuffle + c1m.reduce_cost.shuffle,
+            c10k.map_cost.shuffle + c10k.reduce_cost.shuffle);
+}
+
+TEST_F(KmeansCostTest, RuntimeDecreasesWithTasks) {
+  for (const auto& scenario : paper_scenarios()) {
+    const auto t8 =
+        kmeans_phase_durations(scenario, config(stampede_, 1, 8, false));
+    const auto t16 =
+        kmeans_phase_durations(scenario, config(stampede_, 2, 16, false));
+    const auto t32 =
+        kmeans_phase_durations(scenario, config(stampede_, 3, 32, false));
+    EXPECT_GT(t8.iteration_seconds(), t16.iteration_seconds())
+        << scenario.label;
+    EXPECT_GT(t16.iteration_seconds(), t32.iteration_seconds())
+        << scenario.label;
+  }
+}
+
+TEST_F(KmeansCostTest, WranglerFasterThanStampede) {
+  for (const auto& scenario : paper_scenarios()) {
+    const auto s =
+        kmeans_phase_durations(scenario, config(stampede_, 2, 16, false));
+    const auto w =
+        kmeans_phase_durations(scenario, config(wrangler_, 2, 16, false));
+    EXPECT_LT(w.iteration_seconds(), s.iteration_seconds())
+        << scenario.label;
+  }
+}
+
+TEST_F(KmeansCostTest, EnvLoadOnlyOnMatchingPath) {
+  const auto rp =
+      kmeans_phase_durations(scenario_1m_points(), config(stampede_, 3, 32, false));
+  EXPECT_GT(rp.env_load_per_task, 0.0);
+  EXPECT_EQ(rp.wrapper_per_node, 0.0);
+
+  const auto yarn =
+      kmeans_phase_durations(scenario_1m_points(), config(stampede_, 3, 32, true));
+  EXPECT_GT(yarn.wrapper_per_node, 0.0);
+  EXPECT_EQ(yarn.env_load_per_task, 0.0);
+  // YARN's per-node localization is far cheaper than RP's per-task
+  // shared-filesystem load.
+  EXPECT_LT(yarn.wrapper_per_node, rp.env_load_per_task);
+}
+
+TEST_F(KmeansCostTest, YarnIoFasterAtScaleOnStampede) {
+  // The Fig. 6 claim isolated to I/O: at 32 tasks the local-disk stack
+  // moves shuffle+input faster than the busy Lustre stack.
+  const auto scenario = scenario_1m_points();
+  const auto rp =
+      kmeans_phase_durations(scenario, config(stampede_, 3, 32, false));
+  const auto yarn =
+      kmeans_phase_durations(scenario, config(stampede_, 3, 32, true));
+  const double rp_io = rp.map_cost.input_read + rp.map_cost.shuffle +
+                       rp.reduce_cost.shuffle;
+  const double yarn_io = yarn.map_cost.input_read + yarn.map_cost.shuffle +
+                         yarn.reduce_cost.shuffle;
+  EXPECT_LT(yarn_io, rp_io);
+}
+
+TEST_F(KmeansCostTest, SpeedupDeclinesWithPointsOnStampede) {
+  // Paper SS-IV-B: "On Stampede the speedup is highest for the 10,000
+  // points scenario ... and decreases to 2.4 for 1,000,000 points."
+  auto speedup = [&](const KmeansScenario& s, bool yarn) {
+    const auto t8 = kmeans_phase_durations(s, config(stampede_, 1, 8, yarn));
+    const auto t32 =
+        kmeans_phase_durations(s, config(stampede_, 3, 32, yarn));
+    return t8.iteration_seconds() / t32.iteration_seconds();
+  };
+  EXPECT_GT(speedup(scenario_10k_points(), false),
+            speedup(scenario_1m_points(), false));
+}
+
+TEST_F(KmeansCostTest, NoSpeedupDeclineOnWrangler) {
+  // "Interestingly, we do not see the effect on Wrangler".
+  auto speedup = [&](const KmeansScenario& s) {
+    const auto t8 = kmeans_phase_durations(s, config(wrangler_, 1, 8, false));
+    const auto t32 =
+        kmeans_phase_durations(s, config(wrangler_, 3, 32, false));
+    return t8.iteration_seconds() / t32.iteration_seconds();
+  };
+  const double decline =
+      speedup(scenario_10k_points()) - speedup(scenario_1m_points());
+  EXPECT_LT(decline, 0.3);  // essentially flat
+}
+
+TEST_F(KmeansCostTest, MissingMachineThrows) {
+  KmeansRunConfig bad;
+  EXPECT_THROW(kmeans_phase_durations(scenario_10k_points(), bad),
+               common::ConfigError);
+}
+
+}  // namespace
+}  // namespace hoh::analytics

@@ -1,0 +1,150 @@
+#include "analytics/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace hoh::analytics {
+namespace {
+
+TEST(GraphTest, FromEdgesDedupAndNoSelfLoops) {
+  const auto g = graph_from_edges(
+      4, {{0, 1}, {1, 0}, {1, 1}, {2, 3}, {2, 3}});
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 2u);  // 0-1 and 2-3
+  EXPECT_EQ(g.adjacency[1], (std::vector<std::uint32_t>{0}));
+}
+
+TEST(GraphTest, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(graph_from_edges(2, {{0, 5}}), common::ConfigError);
+}
+
+TEST(GraphTest, CompleteGraphShape) {
+  const auto g = complete_graph(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  for (const auto& nbrs : g.adjacency) EXPECT_EQ(nbrs.size(), 5u);
+}
+
+TEST(TriangleTest, CompleteGraphGroundTruth) {
+  common::ThreadPool pool(4);
+  // K_n has C(n,3) triangles.
+  EXPECT_EQ(count_triangles(pool, complete_graph(3)), 1u);
+  EXPECT_EQ(count_triangles(pool, complete_graph(6)), 20u);
+  EXPECT_EQ(count_triangles(pool, complete_graph(10)), 120u);
+}
+
+TEST(TriangleTest, TriangleFreeGraphs) {
+  common::ThreadPool pool(4);
+  // Star graph: hub 0 connected to everything, no triangles.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> star;
+  for (std::uint32_t v = 1; v < 20; ++v) star.emplace_back(0, v);
+  EXPECT_EQ(count_triangles(pool, graph_from_edges(20, star)), 0u);
+  // Even cycle: no triangles either.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cycle;
+  for (std::uint32_t v = 0; v < 8; ++v) cycle.emplace_back(v, (v + 1) % 8);
+  EXPECT_EQ(count_triangles(pool, graph_from_edges(8, cycle)), 0u);
+}
+
+TEST(TriangleTest, ErdosRenyiMatchesExpectation) {
+  common::ThreadPool pool(4);
+  // E[triangles] = C(n,3) p^3; for n=200, p=0.1: ~1313.
+  const auto g = random_graph(200, 0.1, 9);
+  const auto triangles = count_triangles(pool, g);
+  EXPECT_GT(triangles, 800u);
+  EXPECT_LT(triangles, 1900u);
+}
+
+TEST(TriangleTest, ClusteringCoefficient) {
+  common::ThreadPool pool(4);
+  // Complete graph: every wedge is closed -> coefficient 1.
+  EXPECT_DOUBLE_EQ(clustering_coefficient(pool, complete_graph(8)), 1.0);
+  // Star: wedges but no triangles -> 0.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> star;
+  for (std::uint32_t v = 1; v < 10; ++v) star.emplace_back(0, v);
+  EXPECT_DOUBLE_EQ(
+      clustering_coefficient(pool, graph_from_edges(10, star)), 0.0);
+  // Empty graph: no wedges -> defined as 0.
+  Graph empty;
+  empty.adjacency.resize(5);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(pool, empty), 0.0);
+}
+
+TEST(GraphGenTest, PreferentialAttachmentProperties) {
+  const auto g = preferential_attachment_graph(500, 3, 11);
+  EXPECT_EQ(g.vertex_count(), 500u);
+  // m edges per new vertex + seed clique.
+  EXPECT_GE(g.edge_count(), (500u - 4u) * 3u);
+  // Heavy-tailed degrees: the max degree far exceeds the mean.
+  std::size_t max_degree = 0;
+  std::size_t degree_sum = 0;
+  for (const auto& nbrs : g.adjacency) {
+    max_degree = std::max(max_degree, nbrs.size());
+    degree_sum += nbrs.size();
+  }
+  const double mean = static_cast<double>(degree_sum) / 500.0;
+  EXPECT_GT(static_cast<double>(max_degree), 4.0 * mean);
+  // Deterministic.
+  const auto g2 = preferential_attachment_graph(500, 3, 11);
+  EXPECT_EQ(g.adjacency, g2.adjacency);
+  EXPECT_THROW(preferential_attachment_graph(3, 3, 1),
+               common::ConfigError);
+}
+
+TEST(PageRankTest, UniformOnRegularGraphs) {
+  common::ThreadPool pool(4);
+  // On a cycle (2-regular), PageRank is uniform.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cycle;
+  for (std::uint32_t v = 0; v < 10; ++v) cycle.emplace_back(v, (v + 1) % 10);
+  const auto ranks = pagerank(pool, graph_from_edges(10, cycle), 30);
+  for (const auto r : ranks) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+TEST(PageRankTest, SumsToOneAndHubsWin) {
+  common::ThreadPool pool(4);
+  const auto g = preferential_attachment_graph(300, 2, 5);
+  const auto ranks = pagerank(pool, g, 30);
+  EXPECT_NEAR(std::accumulate(ranks.begin(), ranks.end(), 0.0), 1.0, 1e-9);
+  // The max-degree vertex outranks the min-degree vertex.
+  std::size_t hub = 0;
+  std::size_t leaf = 0;
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    if (g.adjacency[v].size() > g.adjacency[hub].size()) hub = v;
+    if (g.adjacency[v].size() < g.adjacency[leaf].size()) leaf = v;
+  }
+  EXPECT_GT(ranks[hub], 2.0 * ranks[leaf]);
+}
+
+TEST(PageRankTest, DanglingMassRedistributed) {
+  common::ThreadPool pool(4);
+  // Vertex 2 is isolated; total rank still sums to 1.
+  const auto g = graph_from_edges(3, {{0, 1}});
+  const auto ranks = pagerank(pool, g, 25);
+  EXPECT_NEAR(std::accumulate(ranks.begin(), ranks.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(ranks[0], ranks[2]);  // connected beats isolated
+}
+
+TEST(PageRankTest, RddMatchesThreaded) {
+  common::ThreadPool pool(4);
+  spark::SparkEnv env(4);
+  const auto g = preferential_attachment_graph(120, 2, 21);
+  const auto threaded = pagerank(pool, g, 15);
+  const auto via_rdd = pagerank_rdd(env, g, 15);
+  ASSERT_EQ(threaded.size(), via_rdd.size());
+  for (std::size_t v = 0; v < threaded.size(); ++v) {
+    EXPECT_NEAR(threaded[v], via_rdd[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  common::ThreadPool pool(2);
+  spark::SparkEnv env(2);
+  Graph empty;
+  EXPECT_TRUE(pagerank(pool, empty).empty());
+  EXPECT_TRUE(pagerank_rdd(env, empty).empty());
+}
+
+}  // namespace
+}  // namespace hoh::analytics

@@ -1,0 +1,144 @@
+#include "analytics/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hoh::analytics {
+namespace {
+
+bool centroids_close(const std::vector<Point3>& a,
+                     const std::vector<Point3>& b, double tol = 1e-9) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::sqrt(distance2(a[i], b[i])) > tol) return false;
+  }
+  return true;
+}
+
+TEST(DatasetTest, GaussianBlobsDeterministic) {
+  auto a = gaussian_blobs(100, 4, 7);
+  auto b = gaussian_blobs(100, 4, 7);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a, b);
+  auto c = gaussian_blobs(100, 4, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(DatasetTest, BlobsClusterAroundCenters) {
+  std::vector<Point3> centers;
+  auto points = gaussian_blobs(1000, 5, 42, 100.0, 1.0, &centers);
+  ASSERT_EQ(centers.size(), 5u);
+  // Every point lies near its generating center (i % k assignment).
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d = std::sqrt(distance2(points[i], centers[i % 5]));
+    EXPECT_LT(d, 10.0);  // ~10 sigma
+  }
+}
+
+TEST(DatasetTest, UniformPointsWithinRange) {
+  auto points = uniform_points(500, 3, 50.0);
+  for (const auto& p : points) {
+    for (double v : p) {
+      EXPECT_GE(v, -50.0);
+      EXPECT_LE(v, 50.0);
+    }
+  }
+}
+
+TEST(KmeansTest, ValidatesInput) {
+  auto points = uniform_points(10, 1);
+  EXPECT_THROW(kmeans_serial(points, 0, 1), common::ConfigError);
+  EXPECT_THROW(kmeans_serial(points, 11, 1), common::ConfigError);
+  EXPECT_THROW(kmeans_serial(points, 2, 0), common::ConfigError);
+}
+
+TEST(KmeansTest, SerialRecoversBlobCenters) {
+  std::vector<Point3> centers;
+  auto points = gaussian_blobs(3000, 3, 11, 100.0, 0.5, &centers);
+  auto result = kmeans_serial(points, 3, 20);
+  // Each true center must be close to some recovered centroid.
+  for (const auto& c : centers) {
+    double best = 1e18;
+    for (const auto& r : result.centroids) {
+      best = std::min(best, std::sqrt(distance2(c, r)));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST(KmeansTest, InertiaNonIncreasingOverIterations) {
+  auto points = gaussian_blobs(2000, 8, 5);
+  double prev = 1e300;
+  for (int iters = 1; iters <= 6; ++iters) {
+    const double inertia = kmeans_serial(points, 8, iters).inertia;
+    EXPECT_LE(inertia, prev + 1e-6);
+    prev = inertia;
+  }
+}
+
+TEST(KmeansTest, ThreadedMatchesSerial) {
+  common::ThreadPool pool(4);
+  auto points = gaussian_blobs(5000, 10, 21);
+  auto serial = kmeans_serial(points, 10, 4);
+  auto threaded = kmeans_threaded(pool, points, 10, 4);
+  EXPECT_TRUE(centroids_close(serial.centroids, threaded.centroids));
+  EXPECT_NEAR(serial.inertia, threaded.inertia, 1e-6);
+}
+
+TEST(KmeansTest, MapReduceMatchesSerial) {
+  common::ThreadPool pool(4);
+  auto points = gaussian_blobs(5000, 10, 22);
+  auto serial = kmeans_serial(points, 10, 3);
+  auto mr = kmeans_mapreduce(pool, points, 10, 3, 8, 4);
+  EXPECT_TRUE(centroids_close(serial.centroids, mr.centroids, 1e-7));
+  EXPECT_NEAR(serial.inertia, mr.inertia, 1e-4);
+}
+
+TEST(KmeansTest, RddMatchesSerial) {
+  spark::SparkEnv env(4);
+  auto points = gaussian_blobs(5000, 10, 23);
+  auto serial = kmeans_serial(points, 10, 3);
+  auto rdd = kmeans_rdd(env, points, 10, 3, 16);
+  EXPECT_TRUE(centroids_close(serial.centroids, rdd.centroids, 1e-7));
+  EXPECT_NEAR(serial.inertia, rdd.inertia, 1e-4);
+}
+
+class KmeansBackendSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KmeansBackendSweep, AllBackendsAgreeAcrossTaskCounts) {
+  const std::size_t tasks = GetParam();
+  common::ThreadPool pool(4);
+  spark::SparkEnv env(4);
+  auto points = gaussian_blobs(2000, 5, 31);
+  auto serial = kmeans_serial(points, 5, 2);
+  auto mr = kmeans_mapreduce(pool, points, 5, 2, tasks, tasks);
+  auto rdd = kmeans_rdd(env, points, 5, 2, tasks);
+  EXPECT_TRUE(centroids_close(serial.centroids, mr.centroids, 1e-7));
+  EXPECT_TRUE(centroids_close(serial.centroids, rdd.centroids, 1e-7));
+}
+
+INSTANTIATE_TEST_SUITE_P(TaskCounts, KmeansBackendSweep,
+                         ::testing::Values(1u, 2u, 8u, 16u, 32u));
+
+TEST(KmeansTest, EmptyClusterKeepsCentroid) {
+  // Two far blobs, k=3 with stride init: one centroid may end up empty;
+  // the algorithm must not produce NaNs.
+  std::vector<Point3> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({0.0 + i * 1e-3, 0.0, 0.0});
+  }
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({100.0 + i * 1e-3, 0.0, 0.0});
+  }
+  auto result = kmeans_serial(points, 3, 5);
+  for (const auto& c : result.centroids) {
+    for (double v : c) EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+}  // namespace
+}  // namespace hoh::analytics

@@ -1,0 +1,117 @@
+#include "analytics/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hoh::analytics {
+namespace {
+
+TEST(TrajectoryTest, GenerationShapeAndDeterminism) {
+  auto t = generate_trajectory(50, 20, 9);
+  EXPECT_EQ(t.atoms, 50u);
+  EXPECT_EQ(t.frame_count(), 20u);
+  for (const auto& f : t.frames) EXPECT_EQ(f.size(), 50u);
+  auto t2 = generate_trajectory(50, 20, 9);
+  EXPECT_EQ(t.frames, t2.frames);
+}
+
+TEST(TrajectoryTest, InvalidShapesThrow) {
+  EXPECT_THROW(generate_trajectory(0, 10, 1), common::ConfigError);
+  EXPECT_THROW(generate_trajectory(10, 0, 1), common::ConfigError);
+}
+
+TEST(TrajectoryTest, BytesEstimate) {
+  EXPECT_EQ(trajectory_bytes(100, 10), 10 * (100 * 12 + 100));
+  EXPECT_GT(trajectory_bytes(1000, 1000), trajectory_bytes(100, 100));
+}
+
+TEST(TrajectoryTest, CenterOfMass) {
+  std::vector<Point3> frame = {{0, 0, 0}, {2, 4, 6}};
+  const Point3 com = center_of_mass(frame);
+  EXPECT_DOUBLE_EQ(com[0], 1.0);
+  EXPECT_DOUBLE_EQ(com[1], 2.0);
+  EXPECT_DOUBLE_EQ(com[2], 3.0);
+}
+
+TEST(TrajectoryTest, RadiusOfGyrationKnownValue) {
+  // Two points 2 apart: COM in the middle, every point 1 away -> Rg = 1.
+  std::vector<Point3> frame = {{-1, 0, 0}, {1, 0, 0}};
+  EXPECT_DOUBLE_EQ(radius_of_gyration(frame), 1.0);
+}
+
+TEST(TrajectoryTest, RmsdProperties) {
+  auto t = generate_trajectory(30, 5, 3);
+  EXPECT_DOUBLE_EQ(rmsd(t.frames[0], t.frames[0]), 0.0);
+  EXPECT_GT(rmsd(t.frames[0], t.frames[4]), 0.0);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(rmsd(t.frames[1], t.frames[3]),
+                   rmsd(t.frames[3], t.frames[1]));
+  std::vector<Point3> short_frame = {{0, 0, 0}};
+  EXPECT_THROW(rmsd(t.frames[0], short_frame), common::ConfigError);
+}
+
+TEST(TrajectoryTest, RmsdGrowsWithLag) {
+  // Random-walk trajectories drift: RMSD to frame 0 trends upward.
+  common::ThreadPool pool(4);
+  auto t = generate_trajectory(200, 100, 17, 0.1);
+  auto series = rmsd_series(pool, t);
+  ASSERT_EQ(series.size(), 100u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+  EXPECT_GT(series[99], series[10]);
+}
+
+TEST(TrajectoryTest, RgSeriesParallelMatchesDirect) {
+  common::ThreadPool pool(4);
+  auto t = generate_trajectory(100, 40, 23);
+  auto series = rg_series(pool, t);
+  ASSERT_EQ(series.size(), 40u);
+  for (std::size_t f = 0; f < 40; ++f) {
+    EXPECT_DOUBLE_EQ(series[f], radius_of_gyration(t.frames[f]));
+  }
+}
+
+TEST(TrajectoryTest, PcaEigenvaluesOfKnownMotion) {
+  // A trajectory whose COM moves only along x: first eigenvalue carries
+  // all the variance, the others vanish.
+  Trajectory t;
+  t.atoms = 2;
+  for (int f = 0; f < 50; ++f) {
+    const double x = static_cast<double>(f);
+    t.frames.push_back({{x - 1.0, 0.0, 0.0}, {x + 1.0, 0.0, 0.0}});
+  }
+  const auto eig = com_pca_eigenvalues(t);
+  EXPECT_GT(eig[0], 100.0);
+  EXPECT_NEAR(eig[1], 0.0, 1e-9);
+  EXPECT_NEAR(eig[2], 0.0, 1e-9);
+}
+
+TEST(TrajectoryTest, PcaEigenvaluesSortedAndNonNegative) {
+  auto t = generate_trajectory(100, 200, 31, 0.2);
+  const auto eig = com_pca_eigenvalues(t);
+  EXPECT_GE(eig[0], eig[1]);
+  EXPECT_GE(eig[1], eig[2]);
+  EXPECT_GE(eig[2], -1e-12);
+}
+
+TEST(TrajectoryTest, PcaTraceEqualsTotalVariance) {
+  // Jacobi rotations preserve the trace: sum of eigenvalues equals the
+  // total COM variance.
+  auto t = generate_trajectory(50, 100, 13, 0.3);
+  std::vector<Point3> coms;
+  for (const auto& f : t.frames) coms.push_back(center_of_mass(f));
+  Point3 mean{0, 0, 0};
+  for (const auto& c : coms) mean = mean + c;
+  mean = mean * (1.0 / static_cast<double>(coms.size()));
+  double total_var = 0.0;
+  for (const auto& c : coms) total_var += distance2(c, mean);
+  total_var /= static_cast<double>(coms.size());
+
+  const auto eig = com_pca_eigenvalues(t);
+  EXPECT_NEAR(eig[0] + eig[1] + eig[2], total_var, 1e-9);
+}
+
+}  // namespace
+}  // namespace hoh::analytics

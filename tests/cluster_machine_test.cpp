@@ -1,0 +1,108 @@
+#include "cluster/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.h"
+
+namespace hoh::cluster {
+namespace {
+
+TEST(MachineProfileTest, StampedeMatchesPaper) {
+  const MachineProfile m = stampede_profile();
+  EXPECT_EQ(m.name, "stampede");
+  EXPECT_EQ(m.node.cores, 16);          // paper SS-IV
+  EXPECT_EQ(m.node.memory_mb, 32 * 1024);
+  EXPECT_FALSE(m.has_dedicated_hadoop);
+  EXPECT_EQ(m.node.local_ssd_bw, 0.0);
+}
+
+TEST(MachineProfileTest, WranglerMatchesPaper) {
+  const MachineProfile m = wrangler_profile();
+  EXPECT_EQ(m.node.cores, 48);          // paper SS-IV
+  EXPECT_EQ(m.node.memory_mb, 128 * 1024);
+  EXPECT_TRUE(m.has_dedicated_hadoop);  // data-portal reservation (Mode II)
+  EXPECT_GT(m.node.compute_rate, stampede_profile().node.compute_rate);
+}
+
+TEST(MachineProfileTest, WranglerLocalStorageFaster) {
+  EXPECT_GT(wrangler_profile().node.local_disk_bw,
+            stampede_profile().node.local_disk_bw);
+}
+
+TEST(BootstrapModelTest, YarnBootstrapInPaperRange) {
+  // Paper SS-IV-A: "For a single node YARN environment, the overhead for
+  // Mode I (Hadoop on HPC) is between 50-85 sec depending upon the
+  // resource selected."
+  const double stampede =
+      stampede_profile().bootstrap.yarn_bootstrap_time(1);
+  const double wrangler =
+      wrangler_profile().bootstrap.yarn_bootstrap_time(1);
+  EXPECT_GE(stampede, 50.0);
+  EXPECT_LE(stampede, 95.0);
+  EXPECT_GE(wrangler, 40.0);
+  EXPECT_LE(wrangler, 60.0);
+  EXPECT_LT(wrangler, stampede);
+}
+
+TEST(BootstrapModelTest, BootstrapGrowsWithNodes) {
+  const auto& b = stampede_profile().bootstrap;
+  EXPECT_GT(b.yarn_bootstrap_time(8), b.yarn_bootstrap_time(1));
+  EXPECT_NEAR(b.yarn_bootstrap_time(4) - b.yarn_bootstrap_time(3),
+              b.worker_daemon_start, 1e-9);
+}
+
+TEST(BootstrapModelTest, SparkCheaperThanYarn) {
+  const auto& b = stampede_profile().bootstrap;
+  EXPECT_LT(b.spark_bootstrap_time(3), b.yarn_bootstrap_time(3));
+}
+
+TEST(MachineProfileTest, StorageDispatch) {
+  const MachineProfile m = wrangler_profile();
+  const common::Bytes bytes = 64 * common::kMiB;
+  EXPECT_GT(m.storage_transfer_time(StorageBackend::kSharedFs, bytes, 1), 0.0);
+  EXPECT_GT(m.storage_transfer_time(StorageBackend::kLocalDisk, bytes, 1), 0.0);
+  EXPECT_GT(m.storage_transfer_time(StorageBackend::kLocalSsd, bytes, 1), 0.0);
+  EXPECT_LT(m.storage_transfer_time(StorageBackend::kMemory, bytes, 1),
+            m.storage_transfer_time(StorageBackend::kLocalDisk, bytes, 1));
+}
+
+TEST(MachineProfileTest, SsdUnavailableOnStampede) {
+  const MachineProfile m = stampede_profile();
+  EXPECT_THROW(
+      m.storage_transfer_time(StorageBackend::kLocalSsd, 1024, 1),
+      common::ResourceError);
+}
+
+TEST(AllocationTest, Totals) {
+  NodeSpec spec;
+  spec.cores = 16;
+  spec.memory_mb = 32 * 1024;
+  std::vector<std::shared_ptr<Node>> nodes;
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(std::make_shared<Node>("n" + std::to_string(i), spec));
+  }
+  Allocation alloc(nodes);
+  EXPECT_EQ(alloc.size(), 3u);
+  EXPECT_EQ(alloc.total_cores(), 48);
+  EXPECT_EQ(alloc.total_memory_mb(), 3 * 32 * 1024);
+  EXPECT_EQ(alloc.node_names(),
+            (std::vector<std::string>{"n0", "n1", "n2"}));
+}
+
+TEST(AllocationTest, EmptyAllocation) {
+  Allocation alloc;
+  EXPECT_TRUE(alloc.empty());
+  EXPECT_EQ(alloc.total_cores(), 0);
+}
+
+TEST(GenericProfileTest, Parameterized) {
+  const MachineProfile m = generic_profile(4, 12, 24 * 1024);
+  EXPECT_EQ(m.total_nodes, 4);
+  EXPECT_EQ(m.node.cores, 12);
+  EXPECT_EQ(m.node.memory_mb, 24 * 1024);
+}
+
+}  // namespace
+}  // namespace hoh::cluster

@@ -1,0 +1,74 @@
+#include "cluster/node.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::cluster {
+namespace {
+
+NodeSpec small_spec() {
+  NodeSpec s;
+  s.cores = 4;
+  s.memory_mb = 8192;
+  return s;
+}
+
+TEST(NodeTest, StartsFullyFree) {
+  Node n("n0", small_spec());
+  EXPECT_EQ(n.free_cores(), 4);
+  EXPECT_EQ(n.free_memory_mb(), 8192);
+  EXPECT_EQ(n.used_cores(), 0);
+}
+
+TEST(NodeTest, AllocateAndRelease) {
+  Node n("n0", small_spec());
+  ResourceRequest req{2, 4096};
+  ASSERT_TRUE(n.allocate(req));
+  EXPECT_EQ(n.free_cores(), 2);
+  EXPECT_EQ(n.free_memory_mb(), 4096);
+  EXPECT_EQ(n.used_memory_mb(), 4096);
+  n.release(req);
+  EXPECT_EQ(n.free_cores(), 4);
+  EXPECT_EQ(n.free_memory_mb(), 8192);
+}
+
+TEST(NodeTest, RejectsOverCommitCores) {
+  Node n("n0", small_spec());
+  EXPECT_FALSE(n.allocate(ResourceRequest{5, 10}));
+  EXPECT_EQ(n.free_cores(), 4);  // unchanged on failure
+}
+
+TEST(NodeTest, RejectsOverCommitMemory) {
+  Node n("n0", small_spec());
+  // Enough cores but too much memory — the case the paper's YARN-aware
+  // scheduler exists for.
+  EXPECT_FALSE(n.allocate(ResourceRequest{1, 16384}));
+}
+
+TEST(NodeTest, MemoryExhaustionBeforeCores) {
+  Node n("n0", small_spec());
+  EXPECT_TRUE(n.allocate(ResourceRequest{1, 8192}));
+  EXPECT_EQ(n.free_cores(), 3);
+  EXPECT_FALSE(n.fits(ResourceRequest{1, 1}));
+}
+
+TEST(NodeTest, OverReleaseThrows) {
+  Node n("n0", small_spec());
+  EXPECT_THROW(n.release(ResourceRequest{1, 0}), common::StateError);
+  ASSERT_TRUE(n.allocate(ResourceRequest{2, 100}));
+  EXPECT_THROW(n.release(ResourceRequest{3, 100}), common::StateError);
+}
+
+TEST(NodeTest, FillCompletely) {
+  Node n("n0", small_spec());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(n.allocate(ResourceRequest{1, 2048}));
+  }
+  EXPECT_EQ(n.free_cores(), 0);
+  EXPECT_EQ(n.free_memory_mb(), 0);
+  EXPECT_FALSE(n.fits(ResourceRequest{1, 1}));
+}
+
+}  // namespace
+}  // namespace hoh::cluster

@@ -1,0 +1,130 @@
+#include "cluster/storage.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/network.h"
+#include "common/units.h"
+
+namespace hoh::cluster {
+namespace {
+
+using common::operator""_MiB;
+using common::operator""_GiB;
+
+TEST(LocalStorageTest, SingleStreamTime) {
+  LocalStorageModel disk;
+  disk.bandwidth = 100.0e6;
+  disk.op_latency = 0.0;
+  EXPECT_NEAR(disk.transfer_time(100 * 1000 * 1000), 1.0, 1e-9);
+}
+
+TEST(LocalStorageTest, ContentionScalesLinearly) {
+  LocalStorageModel disk;
+  disk.op_latency = 0.0;
+  const double one = disk.transfer_time(1_GiB, 1);
+  const double four = disk.transfer_time(1_GiB, 4);
+  EXPECT_NEAR(four, 4.0 * one, 1e-9);
+}
+
+TEST(LocalStorageTest, LatencyAddsPerOp) {
+  LocalStorageModel disk;
+  disk.op_latency = 0.01;
+  EXPECT_NEAR(disk.transfer_time(0), 0.01, 1e-12);
+}
+
+TEST(SharedFsTest, PerClientCapDominatesAtLowConcurrency) {
+  SharedFsModel fs;
+  fs.aggregate_bandwidth = 10.0e9;
+  fs.per_client_cap = 100.0e6;
+  fs.metadata_latency = 0.0;
+  // One stream: capped at 100 MB/s even though aggregate is 10 GB/s.
+  EXPECT_NEAR(fs.transfer_time(100 * 1000 * 1000, 1), 1.0, 1e-9);
+}
+
+TEST(SharedFsTest, AggregateDividesUnderContention) {
+  SharedFsModel fs;
+  fs.aggregate_bandwidth = 1.0e9;
+  fs.per_client_cap = 1.0e9;
+  fs.metadata_latency = 0.0;
+  const double t32 = fs.transfer_time(1_GiB, 32);
+  const double t1 = fs.transfer_time(1_GiB, 1);
+  EXPECT_NEAR(t32, 32.0 * t1, 1e-6);
+}
+
+TEST(SharedFsTest, MetadataLatencyHurtsSmallFiles) {
+  SharedFsModel fs;
+  fs.metadata_latency = 0.03;
+  LocalStorageModel disk;
+  disk.op_latency = 0.005;
+  // A tiny file is latency-bound: local wins despite lower bandwidth.
+  // (This is the paper's "many small files" discussion in SS-II.)
+  EXPECT_GT(fs.transfer_time(1024, 1), disk.transfer_time(1024, 1));
+}
+
+TEST(SharedFsTest, BackgroundStreamsReduceShare) {
+  SharedFsModel fs;
+  fs.aggregate_bandwidth = 1.0e9;
+  fs.per_client_cap = 1.0e9;
+  fs.metadata_latency = 0.0;
+  const double quiet = fs.transfer_time(1_GiB, 1);
+  fs.background_streams = 9;
+  const double busy = fs.transfer_time(1_GiB, 1);
+  EXPECT_NEAR(busy, 10.0 * quiet, 1e-6);
+}
+
+TEST(StorageCrossoverTest, LocalBeatsSharedAtHighTaskCounts) {
+  // The Fig. 6 mechanism: on a busy production machine, 32 concurrent
+  // tasks through Lustre share the aggregate bandwidth with background
+  // load from every other job on the system; the same tasks spread over
+  // 3 nodes' local disks only share each disk among ~11 local streams.
+  SharedFsModel lustre;
+  lustre.aggregate_bandwidth = 1.2e9;
+  lustre.per_client_cap = 250.0e6;
+  lustre.background_streams = 120;
+  LocalStorageModel local;
+  local.bandwidth = 90.0e6;
+
+  const common::Bytes chunk = 64_MiB;
+  const double shared_32 = lustre.transfer_time(chunk, 32);
+  const double local_11 = local.transfer_time(chunk, 11);
+  EXPECT_GT(shared_32, local_11);
+}
+
+TEST(MemoryStorageTest, FastestTier) {
+  MemoryStorageModel mem;
+  LocalStorageModel disk;
+  EXPECT_LT(mem.transfer_time(1_GiB), disk.transfer_time(1_GiB, 1));
+}
+
+TEST(NetworkModelTest, SingleFlowUsesLinkBandwidth) {
+  NetworkModel net;
+  net.link_bandwidth = 1.0e9;
+  net.bisection_bandwidth = 100.0e9;
+  net.latency = 0.0;
+  EXPECT_NEAR(net.transfer_time(1000 * 1000 * 1000, 1), 1.0, 1e-9);
+}
+
+TEST(NetworkModelTest, ManyFlowsShareBisection) {
+  NetworkModel net;
+  net.link_bandwidth = 10.0e9;
+  net.bisection_bandwidth = 40.0e9;
+  net.latency = 0.0;
+  // 8 flows: 5 GB/s each (bisection-bound), below the 10 GB/s link cap.
+  EXPECT_NEAR(net.transfer_time(5LL * 1000 * 1000 * 1000, 8), 1.0, 1e-9);
+}
+
+TEST(NetworkModelTest, WanTransfer) {
+  const double t =
+      NetworkModel::wan_transfer_time(300 * 1000 * 1000, 5.0e6, 0.05);
+  EXPECT_NEAR(t, 60.05, 1e-9);
+}
+
+TEST(StorageBackendTest, Names) {
+  EXPECT_EQ(to_string(StorageBackend::kLocalDisk), "local-disk");
+  EXPECT_EQ(to_string(StorageBackend::kSharedFs), "shared-fs");
+  EXPECT_EQ(to_string(StorageBackend::kLocalSsd), "local-ssd");
+  EXPECT_EQ(to_string(StorageBackend::kMemory), "memory");
+}
+
+}  // namespace
+}  // namespace hoh::cluster

@@ -1,0 +1,110 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::common {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+}
+
+TEST(JsonTest, ScalarRoundTrip) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(JsonTest, FloatingPointDump) {
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  EXPECT_EQ(Json(3.0).dump(), "3");  // integral doubles render as integers
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Json("line\nbreak").dump(), "\"line\\nbreak\"");
+  EXPECT_EQ(Json("tab\there").dump(), "\"tab\\there\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+}
+
+TEST(JsonTest, ObjectAccess) {
+  Json j;
+  j["b"] = 2;
+  j["a"] = "x";
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("a").as_string(), "x");
+  EXPECT_EQ(j.at("b").as_int(), 2);
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zz"));
+  EXPECT_THROW(j.at("zz"), NotFoundError);
+  // Deterministic (sorted) key order.
+  EXPECT_EQ(j.dump(), "{\"a\":\"x\",\"b\":2}");
+}
+
+TEST(JsonTest, NestedStructure) {
+  Json j;
+  j["metrics"]["cores"] = 16;
+  j["nodes"] = JsonArray{Json("n0"), Json("n1")};
+  EXPECT_EQ(j.at("metrics").at("cores").as_int(), 16);
+  EXPECT_EQ(j.at("nodes").as_array().size(), 2u);
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-12.5").as_number(), -12.5);
+  EXPECT_EQ(Json::parse("\"s\"").as_string(), "s");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const std::string doc =
+      R"({"clusterMetrics":{"availableMB":28672,"availableVirtualCores":14},)"
+      R"("nodes":["n0","n1"],"active":true})";
+  Json j = Json::parse(doc);
+  EXPECT_EQ(j.at("clusterMetrics").at("availableMB").as_int(), 28672);
+  EXPECT_EQ(j.at("nodes").as_array()[1].as_string(), "n1");
+  EXPECT_TRUE(j.at("active").as_bool());
+  // dump -> parse -> dump is a fixed point.
+  EXPECT_EQ(Json::parse(j.dump()).dump(), j.dump());
+}
+
+TEST(JsonTest, ParseEscapes) {
+  Json j = Json::parse(R"("a\nb\t\"c\"A")");
+  EXPECT_EQ(j.as_string(), "a\nb\t\"c\"A");
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  Json j = Json::parse("  { \"a\" : [ 1 , 2 ] }  ");
+  EXPECT_EQ(j.at("a").as_array().size(), 2u);
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_THROW(Json::parse(""), ConfigError);
+  EXPECT_THROW(Json::parse("{"), ConfigError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), ConfigError);
+  EXPECT_THROW(Json::parse("[1,]"), ConfigError);
+  EXPECT_THROW(Json::parse("tru"), ConfigError);
+  EXPECT_THROW(Json::parse("1 2"), ConfigError);
+}
+
+TEST(JsonTest, PrettyPrint) {
+  Json j;
+  j["a"] = 1;
+  const std::string pretty = j.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(JsonTest, Equality) {
+  Json a = Json::parse(R"({"x":[1,2]})");
+  Json b = Json::parse(R"({ "x" : [1, 2] })");
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace hoh::common

@@ -1,0 +1,82 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hoh::common {
+namespace {
+
+/// RAII guard restoring global logging state after each test.
+class LoggingGuard {
+ public:
+  LoggingGuard() = default;
+  ~LoggingGuard() {
+    Logging::set_sink(nullptr);
+    Logging::set_time_provider(nullptr);
+    Logging::set_level(LogLevel::kWarn);
+  }
+};
+
+struct Captured {
+  LogLevel level;
+  std::string tag;
+  std::string message;
+};
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(LoggingTest, SinkReceivesFilteredMessages) {
+  LoggingGuard guard;
+  std::vector<Captured> captured;
+  Logging::set_sink([&](LogLevel level, std::string_view tag,
+                        std::string_view message) {
+    captured.push_back(
+        {level, std::string(tag), std::string(message)});
+  });
+  Logging::set_level(LogLevel::kInfo);
+
+  Logger logger("yarn.rm");
+  logger.debug("below threshold");
+  logger.info("container allocated");
+  logger.error("node lost");
+
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].tag, "yarn.rm");
+  EXPECT_EQ(captured[0].message, "container allocated");
+  EXPECT_EQ(captured[1].level, LogLevel::kError);
+}
+
+TEST(LoggingTest, OffSilencesEverything) {
+  LoggingGuard guard;
+  int count = 0;
+  Logging::set_sink([&](LogLevel, std::string_view, std::string_view) {
+    ++count;
+  });
+  Logging::set_level(LogLevel::kOff);
+  Logger logger("x");
+  logger.error("even errors");
+  EXPECT_EQ(count, 0);
+}
+
+TEST(LoggingTest, LoggerKeepsTag) {
+  Logger logger("pilot.agent");
+  EXPECT_EQ(logger.tag(), "pilot.agent");
+  Logger copy = logger;  // cheap to copy
+  EXPECT_EQ(copy.tag(), "pilot.agent");
+}
+
+TEST(LoggingTest, DefaultLevelIsWarn) {
+  LoggingGuard guard;
+  // The guard of the previous test restored kWarn.
+  EXPECT_EQ(Logging::level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace hoh::common

@@ -1,0 +1,121 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace hoh::common {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138089935299395, 1e-12);  // sample stddev
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(PercentileTest, Interpolation) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.9), 9.0);
+}
+
+TEST(PercentileTest, EmptyAndClamped) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 2.0), 2.0);
+}
+
+TEST(SummarizeTest, Format) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const std::string line = summarize(s);
+  EXPECT_NE(line.find("n=2"), std::string::npos);
+  EXPECT_NE(line.find("mean=2.000"), std::string::npos);
+}
+
+class RngDistributionTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngDistributionTest, UniformBoundsAndMean) {
+  Rng rng(GetParam());
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(2.0, 6.0);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LT(x, 6.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST_P(RngDistributionTest, NormalAtLeastRespectsFloor) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(rng.normal_at_least(1.0, 5.0, 0.25), 0.25);
+  }
+}
+
+TEST_P(RngDistributionTest, Determinism) {
+  Rng a(GetParam());
+  Rng b(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDistributionTest,
+                         ::testing::Values(1u, 42u, 12345u));
+
+}  // namespace
+}  // namespace hoh::common

@@ -1,0 +1,72 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hoh::common {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZero) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ParallelForSum) {
+  ThreadPool pool;
+  std::vector<long> vals(10000);
+  pool.parallel_for(vals.size(),
+                    [&vals](std::size_t i) { vals[i] = static_cast<long>(i); });
+  const long sum = std::accumulate(vals.begin(), vals.end(), 0L);
+  EXPECT_EQ(sum, 10000L * 9999L / 2);
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 5; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 6);
+}
+
+}  // namespace
+}  // namespace hoh::common

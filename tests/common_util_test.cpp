@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/error.h"
+#include "common/id.h"
+#include "common/string_util.h"
+#include "common/units.h"
+
+namespace hoh::common {
+namespace {
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("trailing,", ','),
+            (std::vector<std::string>{"trailing", ""}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string s = "n0,n1,n2";
+  EXPECT_EQ(join(split(s, ','), ","), s);
+}
+
+TEST(StringUtilTest, StartsWithAndTrim) {
+  EXPECT_TRUE(starts_with("slurm://host", "slurm://"));
+  EXPECT_FALSE(starts_with("slu", "slurm"));
+  EXPECT_EQ(trim("  x y \n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtilTest, Format) {
+  EXPECT_EQ(strformat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.5 KiB");
+  EXPECT_EQ(format_bytes(3 * kGiB), "3.0 GiB");
+  EXPECT_EQ(format_seconds(12.34), "12.3s");
+  EXPECT_EQ(format_seconds(125.0), "2m05.0s");
+  EXPECT_EQ(format_seconds(3700.0), "1h01m40s");
+}
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(4_KiB, 4096);
+  EXPECT_EQ(1_MiB, 1048576);
+  EXPECT_EQ(bytes_to_mb(5_MiB), 5);
+  EXPECT_EQ(mb_to_bytes(2), 2_MiB);
+}
+
+TEST(IdGeneratorTest, MonotonicAndPrefixed) {
+  IdGenerator gen("unit");
+  EXPECT_EQ(gen.next(), "unit.0000");
+  EXPECT_EQ(gen.next(), "unit.0001");
+  EXPECT_EQ(gen.issued(), 2u);
+}
+
+TEST(ConfigTest, TypedAccess) {
+  Config c;
+  c.set("yarn.nodemanager.resource.memory-mb", "28672");
+  c.set_int("cores", 16);
+  c.set_bool("enabled", true);
+  c.set_double("rate", 1.5);
+  EXPECT_EQ(c.get_int("yarn.nodemanager.resource.memory-mb"), 28672);
+  EXPECT_EQ(c.get_int("cores"), 16);
+  EXPECT_TRUE(c.get_bool("enabled"));
+  EXPECT_DOUBLE_EQ(c.get_double("rate"), 1.5);
+  EXPECT_EQ(c.get("missing", "def"), "def");
+  EXPECT_EQ(c.get_int("missing", 9), 9);
+}
+
+TEST(ConfigTest, MalformedValuesThrow) {
+  Config c;
+  c.set("n", "not-a-number");
+  EXPECT_THROW(c.get_int("n"), ConfigError);
+  EXPECT_THROW(c.get_double("n"), ConfigError);
+  EXPECT_THROW(c.get_bool("n"), ConfigError);
+}
+
+TEST(ConfigTest, MergeOtherWins) {
+  Config a;
+  a.set("k", "old");
+  a.set("only_a", "1");
+  Config b;
+  b.set("k", "new");
+  a.merge(b);
+  EXPECT_EQ(a.get("k"), "new");
+  EXPECT_EQ(a.get("only_a"), "1");
+}
+
+TEST(ConfigTest, XmlRendering) {
+  Config c;
+  c.set("fs.defaultFS", "hdfs://n0:9000");
+  const std::string xml = c.to_xml();
+  EXPECT_NE(xml.find("<name>fs.defaultFS</name>"), std::string::npos);
+  EXPECT_NE(xml.find("<value>hdfs://n0:9000</value>"), std::string::npos);
+  EXPECT_NE(xml.find("<configuration>"), std::string::npos);
+}
+
+TEST(ConfigTest, PropertiesRendering) {
+  Config c;
+  c.set("SPARK_WORKER_CORES", "48");
+  EXPECT_EQ(c.to_properties(), "SPARK_WORKER_CORES=48\n");
+}
+
+}  // namespace
+}  // namespace hoh::common

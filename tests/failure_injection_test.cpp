@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "hdfs/hdfs_cluster.h"
+#include "hpc/batch_scheduler.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+#include "spark/standalone.h"
+#include "yarn/application_master.h"
+#include "yarn/resource_manager.h"
+
+namespace hoh {
+namespace {
+
+// ---------------------------------------------------------------- HPC ---
+
+class HpcFailureTest : public ::testing::Test {
+ protected:
+  HpcFailureTest()
+      : profile_(cluster::generic_profile(4, 8, 16 * 1024)),
+        sched_(engine_, profile_, 4) {}
+  sim::Engine engine_;
+  cluster::MachineProfile profile_;
+  hpc::BatchScheduler sched_;
+};
+
+TEST_F(HpcFailureTest, NodeFailureKillsRunningJob) {
+  std::string job_node;
+  const auto id = sched_.submit(
+      hpc::BatchJobRequest{"j", 2, 600.0, "q", "", 0},
+      [&](const std::string&, const cluster::Allocation& alloc) {
+        job_node = alloc.node_names().front();
+      });
+  engine_.run_until(30.0);
+  ASSERT_EQ(sched_.state(id), hpc::BatchJobState::kRunning);
+  sched_.fail_node(job_node);
+  EXPECT_EQ(sched_.state(id), hpc::BatchJobState::kFailed);
+  // Dead node out of the pool; the other allocated node returned.
+  EXPECT_EQ(sched_.live_node_count(), 3);
+  EXPECT_EQ(sched_.free_nodes(), 3);
+}
+
+TEST_F(HpcFailureTest, FailedNodeNotReallocatedUntilRepair) {
+  const auto probe = sched_.submit(
+      hpc::BatchJobRequest{"probe", 1, 60.0, "q", "", 0}, nullptr);
+  engine_.run_until(20.0);
+  sched_.complete(probe);
+  sched_.fail_node(profile_.name + "-n0000");
+  // 4-node job cannot start with only 3 live nodes.
+  const auto big = sched_.submit(
+      hpc::BatchJobRequest{"big", 4, 600.0, "q", "", 0}, nullptr);
+  engine_.run_until(engine_.now() + 60.0);
+  EXPECT_EQ(sched_.state(big), hpc::BatchJobState::kPending);
+  sched_.repair_node(profile_.name + "-n0000");
+  engine_.run_until(engine_.now() + 60.0);
+  EXPECT_EQ(sched_.state(big), hpc::BatchJobState::kRunning);
+}
+
+TEST_F(HpcFailureTest, HigherPriorityJumpsQueue) {
+  // Occupy the whole machine, then queue a low- and a high-priority job.
+  const auto hog = sched_.submit(
+      hpc::BatchJobRequest{"hog", 4, 600.0, "q", "", 0}, nullptr);
+  engine_.run_until(20.0);
+  ASSERT_EQ(sched_.state(hog), hpc::BatchJobState::kRunning);
+  const auto low = sched_.submit(
+      hpc::BatchJobRequest{"low", 4, 100.0, "q", "", 0}, nullptr);
+  const auto high = sched_.submit(
+      hpc::BatchJobRequest{"high", 4, 100.0, "q", "", 5}, nullptr);
+  engine_.run_until(engine_.now() + 30.0);
+  sched_.complete(hog);
+  engine_.run_until(engine_.now() + 30.0);
+  EXPECT_EQ(sched_.state(high), hpc::BatchJobState::kRunning);
+  EXPECT_EQ(sched_.state(low), hpc::BatchJobState::kPending);
+}
+
+TEST_F(HpcFailureTest, UnknownNodeThrows) {
+  EXPECT_THROW(sched_.fail_node("nope"), common::NotFoundError);
+  EXPECT_THROW(sched_.repair_node("nope"), common::NotFoundError);
+}
+
+// --------------------------------------------------------------- YARN ---
+
+class YarnFailureTest : public ::testing::Test {
+ protected:
+  YarnFailureTest() : machine_(cluster::generic_profile(3, 8, 16 * 1024)) {
+    std::vector<std::shared_ptr<cluster::Node>> nodes;
+    for (int i = 0; i < 3; ++i) {
+      nodes.push_back(std::make_shared<cluster::Node>(
+          "n" + std::to_string(i), machine_.node));
+    }
+    allocation_ = cluster::Allocation(nodes);
+  }
+  sim::Engine engine_;
+  cluster::MachineProfile machine_;
+  cluster::Allocation allocation_;
+};
+
+TEST_F(YarnFailureTest, LostTaskContainerNotifiesAm) {
+  yarn::ResourceManager rm(engine_, allocation_);
+  std::string task_node;
+  bool lost = false;
+  yarn::AppDescriptor app;
+  app.on_am_start = [&](yarn::ApplicationMaster& am) {
+    am.on_preempted([&](const yarn::Container&) { lost = true; });
+    yarn::ContainerRequest req;
+    am.request_containers(1, req, [&](const yarn::Container& c) {
+      task_node = c.node;
+      am.launch(c.id, [] {});
+    });
+  };
+  const auto app_id = rm.submit_application(std::move(app));
+  engine_.run_until(120.0);
+  ASSERT_FALSE(task_node.empty());
+  // Fail the task's node — unless the AM shares it (then this tests AM
+  // restart instead, covered below); pick a different scenario by
+  // re-checking.
+  const auto am_node = rm.application(app_id).am_node;
+  if (task_node == am_node) {
+    GTEST_SKIP() << "task collocated with AM on this seed";
+  }
+  rm.fail_node(task_node);
+  EXPECT_TRUE(lost);
+  EXPECT_EQ(rm.application(app_id).state, yarn::AppState::kRunning);
+  rm.shutdown();
+}
+
+TEST_F(YarnFailureTest, AmNodeLossTriggersRestartAttempt) {
+  yarn::ResourceManager rm(engine_, allocation_);
+  int am_starts = 0;
+  yarn::AppDescriptor app;
+  app.on_am_start = [&](yarn::ApplicationMaster&) { ++am_starts; };
+  const auto app_id = rm.submit_application(std::move(app));
+  engine_.run_until(60.0);
+  ASSERT_EQ(am_starts, 1);
+  const auto first_node = rm.application(app_id).am_node;
+  rm.fail_node(first_node);
+  EXPECT_EQ(rm.application(app_id).state, yarn::AppState::kSubmitted);
+  engine_.run_until(engine_.now() + 120.0);
+  EXPECT_EQ(am_starts, 2);  // second attempt registered
+  EXPECT_EQ(rm.application(app_id).state, yarn::AppState::kRunning);
+  EXPECT_NE(rm.application(app_id).am_node, first_node);
+  rm.shutdown();
+}
+
+TEST_F(YarnFailureTest, AppFailsAfterMaxAttempts) {
+  yarn::YarnConfig cfg;
+  cfg.am_max_attempts = 2;
+  yarn::ResourceManager rm(engine_, allocation_, cfg);
+  yarn::AppDescriptor app;
+  app.on_am_start = [](yarn::ApplicationMaster&) {};
+  const auto app_id = rm.submit_application(std::move(app));
+  engine_.run_until(60.0);
+  rm.fail_node(rm.application(app_id).am_node);  // attempt 2 scheduled
+  engine_.run_until(engine_.now() + 120.0);
+  ASSERT_EQ(rm.application(app_id).state, yarn::AppState::kRunning);
+  rm.fail_node(rm.application(app_id).am_node);  // out of attempts
+  EXPECT_EQ(rm.application(app_id).state, yarn::AppState::kFailed);
+  rm.shutdown();
+}
+
+TEST_F(YarnFailureTest, MetricsReportLostNodes) {
+  yarn::ResourceManager rm(engine_, allocation_);
+  engine_.run_until(5.0);
+  rm.fail_node("n1");
+  const auto m = rm.cluster_metrics().at("clusterMetrics");
+  EXPECT_EQ(m.at("activeNodes").as_int(), 2);
+  EXPECT_EQ(m.at("lostNodes").as_int(), 1);
+  rm.shutdown();
+}
+
+// -------------------------------------------------------------- Spark ---
+
+TEST(SparkFailureTest, WorkerLossShrinksThenRecoversSlots) {
+  sim::Engine engine;
+  auto machine = cluster::generic_profile(3, 8, 16 * 1024);
+  std::vector<std::shared_ptr<cluster::Node>> nodes;
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back(std::make_shared<cluster::Node>(
+        "n" + std::to_string(i), machine.node));
+  }
+  cluster::Allocation allocation(nodes);
+  spark::SparkStandaloneCluster spark(engine, machine, allocation);
+
+  spark::SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.executor_memory_mb = 4096;
+  app.max_cores = 8;  // 2 executors
+  const auto id = spark.submit_application(app);
+  engine.run_until(30.0);
+  ASSERT_EQ(spark.task_slots(id), 8);
+
+  // Fail the node hosting the first executor.
+  const auto execs = spark.executors(id);
+  ASSERT_FALSE(execs.empty());
+  spark.fail_worker(execs.front().worker_node);
+  EXPECT_EQ(spark.live_worker_count(), 2u);
+  EXPECT_LT(spark.task_slots(id), 8);
+
+  // The master re-grants on surviving workers.
+  engine.run_until(engine.now() + 30.0);
+  EXPECT_EQ(spark.task_slots(id), 8);
+  for (const auto& e : spark.executors(id)) {
+    EXPECT_NE(e.worker_node, execs.front().worker_node);
+  }
+  EXPECT_THROW(spark.fail_worker("nope"), common::NotFoundError);
+}
+
+// --------------------------------------------------- unit exit codes ---
+
+class UnitFailureTest : public ::testing::Test {
+ protected:
+  UnitFailureTest() {
+    session_.register_machine(cluster::stampede_profile(),
+                              hpc::SchedulerKind::kSlurm, 4);
+  }
+
+  pilot::ComputeUnitDescription failing_unit() {
+    pilot::ComputeUnitDescription cud;
+    cud.duration = 5.0;
+    cud.memory_mb = 1024;
+    cud.exit_code = 1;
+    return cud;
+  }
+
+  void run_mixed(pilot::AgentBackend backend) {
+    pilot::PilotDescription pd;
+    pd.resource = "slurm://stampede/";
+    pd.nodes = 1;
+    pd.runtime = 7200.0;
+    pd.backend = backend;
+    pilot::PilotManager pm(session_);
+    pilot::UnitManager um(session_);
+    auto pilot = pm.submit_pilot(pd);
+    um.add_pilot(pilot);
+    auto bad = um.submit(failing_unit());
+    auto good_desc = failing_unit();
+    good_desc.exit_code = 0;
+    auto good = um.submit(good_desc);
+    while (!um.all_done() && session_.engine().now() < 7200.0) {
+      session_.engine().run_until(session_.engine().now() + 5.0);
+    }
+    EXPECT_EQ(bad->state(), pilot::UnitState::kFailed)
+        << pilot::to_string(backend);
+    EXPECT_EQ(good->state(), pilot::UnitState::kDone)
+        << pilot::to_string(backend);
+    ASSERT_NE(pilot->agent(), nullptr);
+    EXPECT_EQ(pilot->agent()->units_failed(), 1u);
+    EXPECT_EQ(pilot->agent()->units_completed(), 1u);
+  }
+
+  pilot::Session session_;
+};
+
+TEST_F(UnitFailureTest, PlainLaunchMethodReportsExitCode) {
+  run_mixed(pilot::AgentBackend::kPlain);
+}
+
+TEST_F(UnitFailureTest, YarnLaunchMethodReportsExitCode) {
+  run_mixed(pilot::AgentBackend::kYarnModeI);
+}
+
+TEST_F(UnitFailureTest, SparkLaunchMethodReportsExitCode) {
+  run_mixed(pilot::AgentBackend::kSparkModeI);
+}
+
+// --------------------------------------------------------- HDFS racks ---
+
+TEST(HdfsRackTest, SecondReplicaCrossesRacks) {
+  sim::Engine engine;
+  auto machine = cluster::stampede_profile();
+  hdfs::HdfsConfig cfg;
+  cfg.racks = 2;
+  hdfs::HdfsCluster fs(engine, machine, {"n0", "n1", "n2", "n3"}, cfg);
+  EXPECT_EQ(fs.rack_of("n0"), 0);
+  EXPECT_EQ(fs.rack_of("n1"), 1);
+  EXPECT_EQ(fs.rack_of("n2"), 0);
+  EXPECT_EQ(fs.rack_of("n3"), 1);
+
+  for (int i = 0; i < 10; ++i) {
+    const std::string path = "/f" + std::to_string(i);
+    fs.create_file(path, 64 * common::kMiB, "n0", 3);
+    const auto& block = fs.stat(path).blocks[0];
+    ASSERT_EQ(block.replicas.size(), 3u);
+    EXPECT_EQ(block.replicas[0].node, "n0");
+    // Replica 2 on the other rack; replica 3 back on rack of replica 2.
+    EXPECT_NE(fs.rack_of(block.replicas[1].node), 0);
+    EXPECT_EQ(fs.rack_of(block.replicas[2].node),
+              fs.rack_of(block.replicas[1].node));
+  }
+}
+
+TEST(HdfsRackTest, SingleRackUnchangedPolicy) {
+  sim::Engine engine;
+  auto machine = cluster::stampede_profile();
+  hdfs::HdfsCluster fs(engine, machine, {"n0", "n1", "n2"});
+  for (const auto& n : {"n0", "n1", "n2"}) {
+    EXPECT_EQ(fs.rack_of(n), 0);
+  }
+}
+
+}  // namespace
+}  // namespace hoh

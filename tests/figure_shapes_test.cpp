@@ -1,0 +1,121 @@
+/// Regression tests pinning the *shapes* of the reproduced figures, so
+/// refactors cannot silently break the paper's claims. These run the same
+/// end-to-end driver the benches use (virtual time, so they are fast).
+
+#include <gtest/gtest.h>
+
+#include "analytics/kmeans_experiment.h"
+
+namespace hoh::analytics {
+namespace {
+
+class FigureShapeTest : public ::testing::Test {
+ protected:
+  double ttc(const cluster::MachineProfile& machine,
+             hpc::SchedulerKind scheduler, const KmeansScenario& scenario,
+             int nodes, int tasks, bool yarn) {
+    KmeansExperimentConfig cfg;
+    cfg.machine = machine;
+    cfg.scheduler = scheduler;
+    cfg.scenario = scenario;
+    cfg.nodes = nodes;
+    cfg.tasks = tasks;
+    cfg.yarn_stack = yarn;
+    const auto result = run_kmeans_experiment(cfg);
+    EXPECT_TRUE(result.ok);
+    return result.time_to_completion;
+  }
+
+  double stampede(const KmeansScenario& s, int nodes, int tasks, bool yarn) {
+    return ttc(cluster::stampede_profile(), hpc::SchedulerKind::kSlurm, s,
+               nodes, tasks, yarn);
+  }
+  double wrangler(const KmeansScenario& s, int nodes, int tasks, bool yarn) {
+    return ttc(cluster::wrangler_profile(), hpc::SchedulerKind::kSge, s,
+               nodes, tasks, yarn);
+  }
+};
+
+TEST_F(FigureShapeTest, RuntimesFallWithTaskCount) {
+  const auto s = scenario_1m_points();
+  for (bool yarn : {false, true}) {
+    const double t8 = stampede(s, 1, 8, yarn);
+    const double t16 = stampede(s, 2, 16, yarn);
+    const double t32 = stampede(s, 3, 32, yarn);
+    EXPECT_GT(t8, t16) << "yarn=" << yarn;
+    EXPECT_GT(t16, t32) << "yarn=" << yarn;
+  }
+}
+
+TEST_F(FigureShapeTest, YarnWinsAtScaleOnStampede1M) {
+  const auto s = scenario_1m_points();
+  // "for larger number of tasks, we observed on average 13% shorter
+  // runtimes for RADICAL-Pilot-YARN"
+  const double rp = stampede(s, 3, 32, false);
+  const double yarn = stampede(s, 3, 32, true);
+  EXPECT_LT(yarn, rp);
+  EXPECT_GT((rp - yarn) / rp, 0.10);  // double-digit advantage at 1M/32
+}
+
+TEST_F(FigureShapeTest, YarnOverheadVisibleAtEightTasks) {
+  // At 8 tasks the bootstrap is not amortized: YARN must not win big
+  // anywhere, and loses outright on the small-shuffle scenario.
+  const auto small = scenario_10k_points();
+  EXPECT_GT(stampede(small, 1, 8, true), stampede(small, 1, 8, false));
+  const auto big = scenario_1m_points();
+  const double rp = stampede(big, 1, 8, false);
+  const double yarn = stampede(big, 1, 8, true);
+  EXPECT_GT(yarn, 0.9 * rp);  // within 10% — no big win at 8 tasks
+}
+
+TEST_F(FigureShapeTest, WranglerFasterThanStampede) {
+  const auto s = scenario_100k_points();
+  for (bool yarn : {false, true}) {
+    EXPECT_LT(wrangler(s, 2, 16, yarn), stampede(s, 2, 16, yarn));
+  }
+}
+
+TEST_F(FigureShapeTest, SpeedupDeclinesWithPointsOnStampedeRp) {
+  // "On Stampede the speedup is highest for the 10,000 points scenario
+  // ... and decreases ... for 1,000,000 points."
+  auto speedup = [&](const KmeansScenario& s) {
+    return stampede(s, 1, 8, false) / stampede(s, 3, 32, false);
+  };
+  EXPECT_GT(speedup(scenario_10k_points()),
+            speedup(scenario_1m_points()) + 0.15);
+}
+
+TEST_F(FigureShapeTest, NoSpeedupDeclineOnWrangler) {
+  // "we do not see the effect on Wrangler"
+  auto speedup = [&](const KmeansScenario& s) {
+    return wrangler(s, 1, 8, false) / wrangler(s, 3, 32, false);
+  };
+  EXPECT_NEAR(speedup(scenario_10k_points()),
+              speedup(scenario_1m_points()), 0.15);
+}
+
+TEST_F(FigureShapeTest, YarnSpeedupBeatsRpSpeedup) {
+  // Paper: RP-YARN 3.2 vs RP 2.4 on Wrangler/1M.
+  const auto s = scenario_1m_points();
+  const double rp_speedup = wrangler(s, 1, 8, false) / wrangler(s, 3, 32, false);
+  const double yarn_speedup =
+      wrangler(s, 1, 8, true) / wrangler(s, 3, 32, true);
+  EXPECT_GT(yarn_speedup, rp_speedup);
+}
+
+TEST_F(FigureShapeTest, AmReuseNeverHurts) {
+  const auto s = scenario_1m_points();
+  KmeansExperimentConfig cfg;
+  cfg.machine = cluster::stampede_profile();
+  cfg.scenario = s;
+  cfg.nodes = 3;
+  cfg.tasks = 32;
+  cfg.yarn_stack = true;
+  const double without = run_kmeans_experiment(cfg).time_to_completion;
+  cfg.reuse_yarn_app = true;
+  const double with = run_kmeans_experiment(cfg).time_to_completion;
+  EXPECT_LE(with, without + 1e-9);
+}
+
+}  // namespace
+}  // namespace hoh::analytics

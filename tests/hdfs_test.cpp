@@ -1,0 +1,176 @@
+#include "hdfs/hdfs_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::hdfs {
+namespace {
+
+using common::operator""_MiB;
+
+class HdfsTest : public ::testing::Test {
+ protected:
+  HdfsTest() : machine_(cluster::stampede_profile()) {
+    for (int i = 0; i < 4; ++i) nodes_.push_back("n" + std::to_string(i));
+    hdfs_ = std::make_unique<HdfsCluster>(engine_, machine_, nodes_);
+  }
+
+  sim::Engine engine_;
+  cluster::MachineProfile machine_;
+  std::vector<std::string> nodes_;
+  std::unique_ptr<HdfsCluster> hdfs_;
+};
+
+TEST_F(HdfsTest, NamenodeOnFirstNode) {
+  EXPECT_EQ(hdfs_->namenode(), "n0");
+  EXPECT_EQ(hdfs_->datanodes().size(), 4u);
+}
+
+TEST_F(HdfsTest, CreateSplitsIntoBlocks) {
+  hdfs_->create_file("/data/points.txt", 300_MiB, "n1");
+  const FileMeta& meta = hdfs_->stat("/data/points.txt");
+  ASSERT_EQ(meta.blocks.size(), 3u);  // 128 + 128 + 44
+  EXPECT_EQ(meta.blocks[0].size, 128_MiB);
+  EXPECT_EQ(meta.blocks[2].size, 44_MiB);
+  EXPECT_EQ(meta.size, 300_MiB);
+}
+
+TEST_F(HdfsTest, WriterNodeGetsFirstReplica) {
+  hdfs_->create_file("/f", 64_MiB, "n2");
+  const FileMeta& meta = hdfs_->stat("/f");
+  ASSERT_EQ(meta.blocks.size(), 1u);
+  EXPECT_EQ(meta.blocks[0].replicas.at(0).node, "n2");
+  EXPECT_EQ(meta.blocks[0].replicas.size(), 3u);  // default replication
+}
+
+TEST_F(HdfsTest, ReplicasOnDistinctNodes) {
+  hdfs_->create_file("/f", 256_MiB, "n0");
+  for (const auto& block : hdfs_->stat("/f").blocks) {
+    std::set<std::string> nodes;
+    for (const auto& r : block.replicas) nodes.insert(r.node);
+    EXPECT_EQ(nodes.size(), block.replicas.size());
+  }
+}
+
+TEST_F(HdfsTest, ReplicationCappedByLiveNodes) {
+  hdfs_->create_file("/f", 1_MiB, "", 10);
+  EXPECT_EQ(hdfs_->stat("/f").blocks[0].replicas.size(), 4u);
+}
+
+TEST_F(HdfsTest, DuplicateCreateThrows) {
+  hdfs_->create_file("/f", 1_MiB);
+  EXPECT_THROW(hdfs_->create_file("/f", 1_MiB), common::StateError);
+}
+
+TEST_F(HdfsTest, RemoveFreesSpace) {
+  hdfs_->create_file("/f", 100_MiB, "", 2);
+  EXPECT_EQ(hdfs_->used_bytes(), 200_MiB);
+  hdfs_->remove("/f");
+  EXPECT_EQ(hdfs_->used_bytes(), 0);
+  EXPECT_FALSE(hdfs_->exists("/f"));
+  EXPECT_THROW(hdfs_->remove("/f"), common::NotFoundError);
+}
+
+TEST_F(HdfsTest, ListByPrefix) {
+  hdfs_->create_file("/data/a", 1_MiB);
+  hdfs_->create_file("/data/b", 1_MiB);
+  hdfs_->create_file("/tmp/c", 1_MiB);
+  EXPECT_EQ(hdfs_->list("/data/").size(), 2u);
+  EXPECT_EQ(hdfs_->list().size(), 3u);
+}
+
+TEST_F(HdfsTest, LocalityFractions) {
+  hdfs_->create_file("/f", 128_MiB, "n1", 2);  // 1 block: n1 + one other
+  EXPECT_DOUBLE_EQ(hdfs_->locality("/f", "n1"), 1.0);
+  double total = 0.0;
+  for (const auto& n : nodes_) total += hdfs_->locality("/f", n);
+  EXPECT_DOUBLE_EQ(total, 2.0);  // 2 replicas of the single block
+}
+
+TEST_F(HdfsTest, BestNodePrefersReplicaHolder) {
+  hdfs_->create_file("/f", 384_MiB, "n3", 1);
+  EXPECT_EQ(hdfs_->best_node("/f"), "n3");
+}
+
+TEST_F(HdfsTest, LocalReadFasterThanRemote) {
+  hdfs_->create_file("/f", 128_MiB, "n1", 1);  // only replica on n1
+  const double local = hdfs_->read_time("/f", "n1");
+  const double remote = hdfs_->read_time("/f", "n2");
+  EXPECT_LT(local, remote);
+}
+
+TEST_F(HdfsTest, DatanodeFailureTriggersReReplication) {
+  hdfs_->create_file("/f", 128_MiB, "n1", 3);
+  hdfs_->fail_datanode("n1");
+  engine_.run();  // replication monitor fires
+  const FileMeta& meta = hdfs_->stat("/f");
+  ASSERT_EQ(meta.blocks[0].replicas.size(), 3u);
+  for (const auto& r : meta.blocks[0].replicas) {
+    EXPECT_NE(r.node, "n1");
+  }
+  // Failed node excluded from locality.
+  EXPECT_DOUBLE_EQ(hdfs_->locality("/f", "n1"), 0.0);
+}
+
+TEST_F(HdfsTest, UnderReplicationWhenNodesShort) {
+  hdfs_->create_file("/f", 1_MiB, "", 3);
+  hdfs_->fail_datanode("n0");
+  hdfs_->fail_datanode("n1");
+  engine_.run();
+  // Only 2 live nodes: best effort is 2 replicas.
+  EXPECT_EQ(hdfs_->stat("/f").blocks[0].replicas.size(), 2u);
+}
+
+TEST_F(HdfsTest, DatanodeReports) {
+  hdfs_->create_file("/f", 128_MiB, "n0", 2);
+  auto reports = hdfs_->datanode_reports();
+  ASSERT_EQ(reports.size(), 4u);
+  common::Bytes used = 0;
+  std::size_t blocks = 0;
+  for (const auto& r : reports) {
+    used += r.used;
+    blocks += r.block_count;
+    EXPECT_TRUE(r.alive);
+  }
+  EXPECT_EQ(used, 256_MiB);
+  EXPECT_EQ(blocks, 2u);
+}
+
+TEST_F(HdfsTest, StoragePolicySsdOnlyWithHardware) {
+  // Stampede has no SSD: ALL_SSD falls back to disk replicas.
+  hdfs_->create_file("/f", 1_MiB, "n0", 1, StoragePolicy::kAllSsd);
+  EXPECT_FALSE(hdfs_->stat("/f").blocks[0].replicas[0].on_ssd);
+
+  // Wrangler has flash: ALL_SSD marks replicas as SSD.
+  auto wrangler = cluster::wrangler_profile();
+  HdfsCluster whdfs(engine_, wrangler, {"w0", "w1"});
+  whdfs.create_file("/f", 1_MiB, "w0", 1, StoragePolicy::kAllSsd);
+  EXPECT_TRUE(whdfs.stat("/f").blocks[0].replicas[0].on_ssd);
+}
+
+TEST_F(HdfsTest, WritePipelineDurationPositiveAndMonotonic) {
+  const double small = hdfs_->create_file("/small", 16_MiB, "n0");
+  const double large = hdfs_->create_file("/large", 512_MiB, "n0");
+  EXPECT_GT(small, 0.0);
+  EXPECT_GT(large, small);
+}
+
+TEST_F(HdfsTest, SummaryJson) {
+  hdfs_->create_file("/f", 128_MiB);
+  auto j = hdfs_->summary();
+  EXPECT_EQ(j.at("files").as_int(), 1);
+  EXPECT_EQ(j.at("liveDataNodes").as_int(), 4);
+  EXPECT_EQ(j.at("namenode").as_string(), "n0");
+}
+
+TEST_F(HdfsTest, EmptyNodeListThrows) {
+  EXPECT_THROW(HdfsCluster(engine_, machine_, {}), common::ConfigError);
+}
+
+TEST_F(HdfsTest, StatMissingThrows) {
+  EXPECT_THROW(hdfs_->stat("/missing"), common::NotFoundError);
+}
+
+}  // namespace
+}  // namespace hoh::hdfs

@@ -1,0 +1,123 @@
+#include "hpc/frontends.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/string_util.h"
+#include "sim/engine.h"
+
+namespace hoh::hpc {
+namespace {
+
+class FrontendTest : public ::testing::TestWithParam<SchedulerKind> {
+ protected:
+  FrontendTest()
+      : profile_(cluster::generic_profile(4, 8, 16 * 1024)),
+        sched_(engine_, profile_, 4),
+        frontend_(make_frontend(GetParam(), sched_)) {}
+
+  sim::Engine engine_;
+  cluster::MachineProfile profile_;
+  BatchScheduler sched_;
+  std::unique_ptr<SchedulerFrontend> frontend_;
+};
+
+TEST_P(FrontendTest, SubmitQueryCancelLifecycle) {
+  const auto id =
+      frontend_->submit(BatchJobRequest{"agent", 2, 600.0, "normal", ""},
+                        nullptr);
+  EXPECT_EQ(frontend_->state(id), BatchJobState::kPending);
+  engine_.run_until(30.0);
+  EXPECT_EQ(frontend_->state(id), BatchJobState::kRunning);
+  frontend_->cancel(id);
+  EXPECT_EQ(frontend_->state(id), BatchJobState::kCancelled);
+}
+
+TEST_P(FrontendTest, CompleteViaFrontend) {
+  const auto id =
+      frontend_->submit(BatchJobRequest{"agent", 1, 600.0, "normal", ""},
+                        nullptr);
+  engine_.run_until(30.0);
+  frontend_->complete(id);
+  EXPECT_EQ(frontend_->state(id), BatchJobState::kCompleted);
+}
+
+TEST_P(FrontendTest, StartCallbackReceivesFrontendId) {
+  std::string seen_id;
+  const auto id = frontend_->submit(
+      BatchJobRequest{"agent", 1, 600.0, "normal", ""},
+      [&](const std::string& jid, const cluster::Allocation&) {
+        seen_id = jid;
+      });
+  engine_.run_until(30.0);
+  EXPECT_EQ(seen_id, id);
+}
+
+TEST_P(FrontendTest, EnvironmentOnlyWhileRunning) {
+  const auto id =
+      frontend_->submit(BatchJobRequest{"agent", 2, 600.0, "normal", ""},
+                        nullptr);
+  EXPECT_THROW(frontend_->environment(id), common::StateError);
+  engine_.run_until(30.0);
+  EXPECT_FALSE(frontend_->environment(id).empty());
+  frontend_->complete(id);
+  EXPECT_THROW(frontend_->environment(id), common::StateError);
+}
+
+TEST_P(FrontendTest, UnknownIdThrows) {
+  EXPECT_THROW(frontend_->state("does-not-exist"), common::NotFoundError);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, FrontendTest,
+                         ::testing::Values(SchedulerKind::kSlurm,
+                                           SchedulerKind::kPbs,
+                                           SchedulerKind::kSge),
+                         [](const auto& info) {
+                           return to_string(info.param);
+                         });
+
+TEST(SlurmEnvTest, VariablesMatchConvention) {
+  sim::Engine engine;
+  auto profile = cluster::generic_profile(3, 8, 16 * 1024);
+  BatchScheduler sched(engine, profile, 3);
+  SlurmFrontend fe(sched);
+  const auto id = fe.submit(BatchJobRequest{"j", 2, 600.0, "q", ""}, nullptr);
+  engine.run_until(30.0);
+  const auto env = fe.environment(id);
+  EXPECT_EQ(env.at("SLURM_JOB_ID"), id);
+  EXPECT_EQ(env.at("SLURM_NNODES"), "2");
+  EXPECT_EQ(env.at("SLURM_CPUS_ON_NODE"), "8");
+  EXPECT_EQ(common::split(env.at("SLURM_JOB_NODELIST"), ',').size(), 2u);
+}
+
+TEST(PbsEnvTest, NodefileHasOneLinePerCore) {
+  sim::Engine engine;
+  auto profile = cluster::generic_profile(3, 4, 8 * 1024);
+  BatchScheduler sched(engine, profile, 3);
+  PbsFrontend fe(sched);
+  const auto id = fe.submit(BatchJobRequest{"j", 2, 600.0, "q", ""}, nullptr);
+  engine.run_until(30.0);
+  const auto env = fe.environment(id);
+  EXPECT_NE(id.find(".beowulf-pbs-server"), std::string::npos);
+  EXPECT_EQ(env.at("PBS_NP"), "8");
+  const auto lines = common::split(env.at("PBS_NODEFILE_CONTENTS"), '\n');
+  EXPECT_EQ(lines.size(), 8u);  // 2 nodes x 4 cores
+}
+
+TEST(SgeEnvTest, HostfileFormat) {
+  sim::Engine engine;
+  auto profile = cluster::generic_profile(3, 4, 8 * 1024);
+  BatchScheduler sched(engine, profile, 3);
+  SgeFrontend fe(sched);
+  const auto id = fe.submit(BatchJobRequest{"j", 2, 600.0, "q", ""}, nullptr);
+  engine.run_until(30.0);
+  const auto env = fe.environment(id);
+  EXPECT_EQ(env.at("NSLOTS"), "8");
+  EXPECT_EQ(env.at("NHOSTS"), "2");
+  const auto lines = common::split(env.at("PE_HOSTFILE_CONTENTS"), '\n');
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find(" 4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hoh::hpc

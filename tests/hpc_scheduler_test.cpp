@@ -1,0 +1,180 @@
+#include "hpc/batch_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sim/engine.h"
+
+namespace hoh::hpc {
+namespace {
+
+class BatchSchedulerTest : public ::testing::Test {
+ protected:
+  BatchSchedulerTest()
+      : profile_(cluster::generic_profile(4, 8, 16 * 1024)),
+        sched_(engine_, profile_, 4) {}
+
+  sim::Engine engine_;
+  cluster::MachineProfile profile_;
+  BatchScheduler sched_;
+};
+
+TEST_F(BatchSchedulerTest, PoolConstruction) {
+  EXPECT_EQ(sched_.pool_size(), 4);
+  EXPECT_EQ(sched_.free_nodes(), 4);
+}
+
+TEST_F(BatchSchedulerTest, SubmitValidation) {
+  EXPECT_THROW(sched_.submit(BatchJobRequest{"j", 0, 10.0, "q", ""}, nullptr),
+               common::ConfigError);
+  EXPECT_THROW(sched_.submit(BatchJobRequest{"j", 5, 10.0, "q", ""}, nullptr),
+               common::ResourceError);
+}
+
+TEST_F(BatchSchedulerTest, JobStartsAfterSubmitLatencyAndProlog) {
+  double started_at = -1.0;
+  cluster::Allocation got;
+  const auto id = sched_.submit(
+      BatchJobRequest{"pilot", 2, 600.0, "normal", ""},
+      [&](const std::string&, const cluster::Allocation& alloc) {
+        started_at = engine_.now();
+        got = alloc;
+      });
+  EXPECT_EQ(sched_.state(id), BatchJobState::kPending);
+  engine_.run_until(100.0);
+  EXPECT_EQ(sched_.state(id), BatchJobState::kRunning);
+  EXPECT_DOUBLE_EQ(started_at,
+                   profile_.scheduler_submit_latency + profile_.job_prolog_time);
+  EXPECT_EQ(got.size(), 2u);
+  EXPECT_EQ(sched_.free_nodes(), 2);
+}
+
+TEST_F(BatchSchedulerTest, CompleteReleasesNodes) {
+  const auto id = sched_.submit(BatchJobRequest{"j", 3, 600.0, "q", ""},
+                                nullptr);
+  engine_.run_until(50.0);
+  ASSERT_EQ(sched_.state(id), BatchJobState::kRunning);
+  sched_.complete(id);
+  EXPECT_EQ(sched_.state(id), BatchJobState::kCompleted);
+  EXPECT_EQ(sched_.free_nodes(), 4);
+}
+
+TEST_F(BatchSchedulerTest, EndCallbackFires) {
+  BatchJobState final_state = BatchJobState::kPending;
+  const auto id = sched_.submit(
+      BatchJobRequest{"j", 1, 600.0, "q", ""}, nullptr,
+      [&](const std::string&, BatchJobState s) { final_state = s; });
+  engine_.run_until(50.0);
+  sched_.complete(id);
+  EXPECT_EQ(final_state, BatchJobState::kCompleted);
+}
+
+TEST_F(BatchSchedulerTest, WalltimeEnforced) {
+  BatchJobState final_state = BatchJobState::kPending;
+  const auto id = sched_.submit(
+      BatchJobRequest{"j", 1, 60.0, "q", ""}, nullptr,
+      [&](const std::string&, BatchJobState s) { final_state = s; });
+  engine_.run();
+  EXPECT_EQ(sched_.state(id), BatchJobState::kTimedOut);
+  EXPECT_EQ(final_state, BatchJobState::kTimedOut);
+  EXPECT_EQ(sched_.free_nodes(), 4);
+}
+
+TEST_F(BatchSchedulerTest, CancelPendingJob) {
+  // Fill the machine so the next job stays queued.
+  const auto big = sched_.submit(BatchJobRequest{"big", 4, 600.0, "q", ""},
+                                 nullptr);
+  engine_.run_until(20.0);
+  ASSERT_EQ(sched_.state(big), BatchJobState::kRunning);
+  const auto queued = sched_.submit(BatchJobRequest{"q", 1, 600.0, "q", ""},
+                                    nullptr);
+  engine_.run_until(40.0);
+  EXPECT_EQ(sched_.state(queued), BatchJobState::kPending);
+  sched_.cancel(queued);
+  EXPECT_EQ(sched_.state(queued), BatchJobState::kCancelled);
+}
+
+TEST_F(BatchSchedulerTest, CancelRunningJobReleasesNodes) {
+  const auto id = sched_.submit(BatchJobRequest{"j", 2, 600.0, "q", ""},
+                                nullptr);
+  engine_.run_until(20.0);
+  sched_.cancel(id);
+  EXPECT_EQ(sched_.state(id), BatchJobState::kCancelled);
+  EXPECT_EQ(sched_.free_nodes(), 4);
+}
+
+TEST_F(BatchSchedulerTest, FifoQueueing) {
+  const auto a = sched_.submit(BatchJobRequest{"a", 3, 100.0, "q", ""},
+                               nullptr);
+  const auto b = sched_.submit(BatchJobRequest{"b", 3, 100.0, "q", ""},
+                               nullptr);
+  engine_.run_until(20.0);
+  EXPECT_EQ(sched_.state(a), BatchJobState::kRunning);
+  EXPECT_EQ(sched_.state(b), BatchJobState::kPending);
+  sched_.complete(a);
+  engine_.run_until(40.0);
+  EXPECT_EQ(sched_.state(b), BatchJobState::kRunning);
+}
+
+TEST_F(BatchSchedulerTest, FifoHeadOfLineBlocks) {
+  sched_.set_policy(BatchScheduler::Policy::kFifo);
+  const auto a = sched_.submit(BatchJobRequest{"a", 3, 1000.0, "q", ""},
+                               nullptr);
+  const auto big = sched_.submit(BatchJobRequest{"big", 4, 100.0, "q", ""},
+                                 nullptr);
+  const auto small = sched_.submit(BatchJobRequest{"small", 1, 10.0, "q", ""},
+                                   nullptr);
+  engine_.run_until(50.0);
+  EXPECT_EQ(sched_.state(a), BatchJobState::kRunning);
+  // Under strict FIFO the 1-node job may NOT jump the queue.
+  EXPECT_EQ(sched_.state(big), BatchJobState::kPending);
+  EXPECT_EQ(sched_.state(small), BatchJobState::kPending);
+}
+
+TEST_F(BatchSchedulerTest, BackfillLetsShortJobJumpSafely) {
+  sched_.set_policy(BatchScheduler::Policy::kBackfill);
+  const auto a = sched_.submit(BatchJobRequest{"a", 3, 1000.0, "q", ""},
+                               nullptr);
+  const auto big = sched_.submit(BatchJobRequest{"big", 4, 100.0, "q", ""},
+                                 nullptr);
+  // Short job fits in the 1 free node and finishes (walltime 10s) long
+  // before the head job's reservation (~1000s out).
+  const auto small = sched_.submit(BatchJobRequest{"small", 1, 10.0, "q", ""},
+                                   nullptr);
+  engine_.run_until(50.0);
+  EXPECT_EQ(sched_.state(a), BatchJobState::kRunning);
+  EXPECT_EQ(sched_.state(big), BatchJobState::kPending);
+  EXPECT_TRUE(sched_.state(small) == BatchJobState::kRunning ||
+              sched_.state(small) == BatchJobState::kTimedOut);
+}
+
+TEST_F(BatchSchedulerTest, BaseQueueWaitDelaysEligibility) {
+  sched_.set_base_queue_wait(120.0);
+  const auto id = sched_.submit(BatchJobRequest{"j", 1, 600.0, "q", ""},
+                                nullptr);
+  engine_.run_until(60.0);
+  EXPECT_EQ(sched_.state(id), BatchJobState::kPending);
+  engine_.run_until(140.0);
+  EXPECT_EQ(sched_.state(id), BatchJobState::kRunning);
+  EXPECT_GE(sched_.queue_wait(id), 120.0);
+}
+
+TEST_F(BatchSchedulerTest, UnknownJobThrows) {
+  EXPECT_THROW(sched_.state("nope"), common::NotFoundError);
+  EXPECT_THROW(sched_.cancel("nope"), common::NotFoundError);
+}
+
+TEST_F(BatchSchedulerTest, SequentialJobsReuseNodes) {
+  for (int i = 0; i < 3; ++i) {
+    const auto id = sched_.submit(BatchJobRequest{"j", 4, 600.0, "q", ""},
+                                  nullptr);
+    engine_.run_until(engine_.now() + 30.0);
+    ASSERT_EQ(sched_.state(id), BatchJobState::kRunning) << "round " << i;
+    sched_.complete(id);
+    engine_.run_until(engine_.now() + 10.0);
+  }
+  EXPECT_EQ(sched_.free_nodes(), 4);
+}
+
+}  // namespace
+}  // namespace hoh::hpc

@@ -1,0 +1,168 @@
+#include "mapreduce/sim_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::mapreduce {
+namespace {
+
+using common::operator""_MiB;
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelTest()
+      : stampede_(cluster::stampede_profile()),
+        wrangler_(cluster::wrangler_profile()) {}
+
+  PhaseEnv env(const cluster::MachineProfile& m, int nodes, int tasks,
+               cluster::StorageBackend backend) const {
+    PhaseEnv e;
+    e.machine = &m;
+    e.nodes = nodes;
+    e.tasks = tasks;
+    e.io_backend = backend;
+    return e;
+  }
+
+  cluster::MachineProfile stampede_;
+  cluster::MachineProfile wrangler_;
+};
+
+TEST_F(CostModelTest, ComputeScalesWithTasks) {
+  auto e8 = env(stampede_, 1, 8, cluster::StorageBackend::kSharedFs);
+  auto e32 = env(stampede_, 3, 32, cluster::StorageBackend::kSharedFs);
+  const double ops = 5.0e7;
+  EXPECT_NEAR(compute_time(e8, ops) / compute_time(e32, ops), 4.0, 1e-9);
+}
+
+TEST_F(CostModelTest, ComputeCappedByCores) {
+  // 64 tasks on one 16-core Stampede node cannot go faster than 16-way.
+  auto e16 = env(stampede_, 1, 16, cluster::StorageBackend::kSharedFs);
+  auto e64 = env(stampede_, 1, 64, cluster::StorageBackend::kSharedFs);
+  EXPECT_DOUBLE_EQ(compute_time(e16, 1e6), compute_time(e64, 1e6));
+}
+
+TEST_F(CostModelTest, WranglerComputeFasterPerCore) {
+  auto es = env(stampede_, 1, 8, cluster::StorageBackend::kSharedFs);
+  auto ew = env(wrangler_, 1, 8, cluster::StorageBackend::kSharedFs);
+  EXPECT_LT(compute_time(ew, 1e6), compute_time(es, 1e6));
+}
+
+TEST_F(CostModelTest, MemoryPressureOnlyPastThreshold) {
+  auto e = env(stampede_, 1, 8, cluster::StorageBackend::kSharedFs);
+  e.memory_per_task_mb = 1024;  // 8 GB + framework: fine on 32 GB
+  EXPECT_DOUBLE_EQ(memory_pressure_factor(e), 1.0);
+  e.memory_per_task_mb = 4096;  // 32 GB + framework 3 GB > 27.2 GB budget
+  EXPECT_GT(memory_pressure_factor(e), 1.0);
+}
+
+TEST_F(CostModelTest, MemoryPressureGrowsSuperlinearly) {
+  auto e = env(stampede_, 1, 16, cluster::StorageBackend::kSharedFs);
+  e.memory_per_task_mb = 2048;
+  const double f1 = memory_pressure_factor(e);
+  e.memory_per_task_mb = 4096;
+  const double f2 = memory_pressure_factor(e);
+  EXPECT_GT(f2, f1);
+}
+
+TEST_F(CostModelTest, WranglerMemoryNeverPressured) {
+  auto e = env(wrangler_, 3, 32, cluster::StorageBackend::kLocalDisk);
+  e.memory_per_task_mb = 4096;
+  EXPECT_DOUBLE_EQ(memory_pressure_factor(e), 1.0);
+}
+
+TEST_F(CostModelTest, SharedFsMetadataOpsCharged) {
+  const double few_ops = storage_phase_time(
+      stampede_, cluster::StorageBackend::kSharedFs, 1_MiB, 1, 1, 1);
+  const double many_ops = storage_phase_time(
+      stampede_, cluster::StorageBackend::kSharedFs, 1_MiB, 1, 1, 100);
+  EXPECT_NEAR(many_ops - few_ops,
+              99 * stampede_.shared_fs.metadata_latency, 1e-9);
+}
+
+TEST_F(CostModelTest, LocalDiskStreamsShareWithinNodeOnly) {
+  // 32 streams on 1 node vs 32 streams on 4 nodes: the latter has 8
+  // streams per disk, so each stream is 4x faster.
+  const double one_node = storage_phase_time(
+      stampede_, cluster::StorageBackend::kLocalDisk, 64_MiB, 32, 1, 1);
+  const double four_nodes = storage_phase_time(
+      stampede_, cluster::StorageBackend::kLocalDisk, 64_MiB, 32, 4, 1);
+  EXPECT_GT(one_node, 3.5 * four_nodes);
+}
+
+TEST_F(CostModelTest, EnvLoadCachedPerNodeIsCheaper) {
+  PhaseSpec spec;  // pure environment load
+  auto rp = env(stampede_, 3, 32, cluster::StorageBackend::kSharedFs);
+  rp.env_cached_per_node = false;
+  auto yarn = env(stampede_, 3, 32, cluster::StorageBackend::kLocalDisk);
+  yarn.env_cached_per_node = true;
+  const double rp_cost = estimate_phase(spec, rp).env_load;
+  const double yarn_cost = estimate_phase(spec, yarn).env_load;
+  EXPECT_GT(rp_cost, 2.0 * yarn_cost);
+}
+
+TEST_F(CostModelTest, ShuffleSmallFilesHurtSharedFs) {
+  PhaseSpec spec;
+  spec.shuffle_write_bytes = 32_MiB;
+  spec.shuffle_read_bytes = 32_MiB;
+  spec.shuffle_files = 32 * 32;  // M x R
+  auto lustre = env(stampede_, 3, 32, cluster::StorageBackend::kSharedFs);
+  lustre.env_bytes = 0;
+  lustre.env_file_ops = 0;
+  auto local = env(stampede_, 3, 32, cluster::StorageBackend::kLocalDisk);
+  local.env_bytes = 0;
+  local.env_file_ops = 0;
+  EXPECT_GT(estimate_phase(spec, lustre).shuffle,
+            estimate_phase(spec, local).shuffle);
+}
+
+TEST_F(CostModelTest, ShuffleGrowsWithVolume) {
+  auto e = env(stampede_, 3, 32, cluster::StorageBackend::kSharedFs);
+  e.env_bytes = 0;
+  e.env_file_ops = 0;
+  PhaseSpec small;
+  small.shuffle_write_bytes = 1_MiB;
+  small.shuffle_read_bytes = 1_MiB;
+  small.shuffle_files = 1024;
+  PhaseSpec large = small;
+  large.shuffle_write_bytes = 100_MiB;
+  large.shuffle_read_bytes = 100_MiB;
+  EXPECT_GT(estimate_phase(large, e).shuffle,
+            estimate_phase(small, e).shuffle);
+}
+
+TEST_F(CostModelTest, TotalIsSumOfComponents) {
+  PhaseSpec spec;
+  spec.compute_ops = 1e6;
+  spec.input_bytes = 10_MiB;
+  spec.shuffle_write_bytes = 5_MiB;
+  spec.output_bytes = 1_MiB;
+  spec.shuffle_files = 64;
+  auto e = env(stampede_, 1, 8, cluster::StorageBackend::kSharedFs);
+  const PhaseCost cost = estimate_phase(spec, e);
+  EXPECT_NEAR(cost.total(),
+              cost.env_load + cost.input_read + cost.compute + cost.shuffle +
+                  cost.output_write,
+              1e-12);
+  EXPECT_GT(cost.compute, 0.0);
+  EXPECT_GT(cost.input_read, 0.0);
+}
+
+TEST_F(CostModelTest, InvalidEnvThrows) {
+  PhaseSpec spec;
+  PhaseEnv bad;
+  bad.machine = nullptr;
+  EXPECT_THROW(estimate_phase(spec, bad), common::ConfigError);
+  auto e = env(stampede_, 0, 8, cluster::StorageBackend::kSharedFs);
+  EXPECT_THROW(estimate_phase(spec, e), common::ConfigError);
+}
+
+TEST_F(CostModelTest, MemoryBackendIgnoresOps) {
+  const double t = storage_phase_time(
+      wrangler_, cluster::StorageBackend::kMemory, 64_MiB, 32, 3, 1000);
+  EXPECT_LT(t, 0.1);
+}
+
+}  // namespace
+}  // namespace hoh::mapreduce

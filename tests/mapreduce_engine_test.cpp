@@ -1,0 +1,160 @@
+#include "mapreduce/mr_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace hoh::mapreduce {
+namespace {
+
+using WordCountJob = MrJob<std::string, std::string, int, std::pair<std::string, int>>;
+
+WordCountJob word_count_job() {
+  WordCountJob job;
+  job.mapper = [](const std::string& line, Emitter<std::string, int>& out) {
+    std::string cur;
+    for (char c : line) {
+      if (c == ' ') {
+        if (!cur.empty()) out.emit(cur, 1);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) out.emit(cur, 1);
+  };
+  job.reducer = [](const std::string& k, const std::vector<int>& vs) {
+    int sum = 0;
+    for (int v : vs) sum += v;
+    return std::pair<std::string, int>(k, sum);
+  };
+  return job;
+}
+
+TEST(MrEngineTest, WordCount) {
+  common::ThreadPool pool(4);
+  std::vector<std::string> input = {"a b a", "c a", "b"};
+  MrStats stats;
+  auto out = run_mr(pool, input, word_count_job(), &stats);
+  std::map<std::string, int> counts(out.begin(), out.end());
+  EXPECT_EQ(counts.at("a"), 3);
+  EXPECT_EQ(counts.at("b"), 2);
+  EXPECT_EQ(counts.at("c"), 1);
+  EXPECT_EQ(stats.map_input_records, 3u);
+  EXPECT_EQ(stats.map_output_records, 6u);
+  EXPECT_EQ(stats.reduce_input_groups, 3u);
+}
+
+TEST(MrEngineTest, MissingFunctorsThrow) {
+  common::ThreadPool pool(2);
+  WordCountJob job;  // no mapper/reducer
+  EXPECT_THROW(run_mr(pool, std::vector<std::string>{"x"}, job),
+               common::ConfigError);
+}
+
+TEST(MrEngineTest, CombinerReducesShuffleVolume) {
+  common::ThreadPool pool(4);
+  // 1000 copies of the same word in one split.
+  std::vector<std::string> input(1000, "w");
+  auto plain = word_count_job();
+  plain.map_tasks = 4;
+  MrStats no_combine;
+  run_mr(pool, input, plain, &no_combine);
+
+  auto combined = word_count_job();
+  combined.map_tasks = 4;
+  combined.combiner = [](const std::string&, const std::vector<int>& vs) {
+    int sum = 0;
+    for (int v : vs) sum += v;
+    return sum;
+  };
+  MrStats with_combine;
+  auto out = run_mr(pool, input, combined, &with_combine);
+  // Result identical.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 1000);
+  // Shuffle shrank to ~1 value per map task.
+  EXPECT_LT(with_combine.shuffle_bytes, no_combine.shuffle_bytes / 100);
+}
+
+TEST(MrEngineTest, EmptyInput) {
+  common::ThreadPool pool(2);
+  MrStats stats;
+  auto out = run_mr(pool, std::vector<std::string>{}, word_count_job(),
+                    &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.map_input_records, 0u);
+}
+
+TEST(MrEngineTest, DeterministicAcrossRuns) {
+  common::ThreadPool pool(8);
+  std::vector<std::string> input;
+  for (int i = 0; i < 200; ++i) {
+    input.push_back("k" + std::to_string(i % 17) + " k" +
+                    std::to_string(i % 5));
+  }
+  auto job = word_count_job();
+  job.map_tasks = 8;
+  job.reduce_tasks = 4;
+  auto a = run_mr(pool, input, job);
+  auto b = run_mr(pool, input, job);
+  EXPECT_EQ(a, b);
+}
+
+class MrTaskCountSweep
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(MrTaskCountSweep, ResultInvariantUnderParallelism) {
+  common::ThreadPool pool(4);
+  std::vector<std::string> input;
+  for (int i = 0; i < 300; ++i) input.push_back("w" + std::to_string(i % 23));
+  auto job = word_count_job();
+  job.map_tasks = GetParam().first;
+  job.reduce_tasks = GetParam().second;
+  auto out = run_mr(pool, input, job);
+  std::map<std::string, int> counts(out.begin(), out.end());
+  ASSERT_EQ(counts.size(), 23u);
+  int total = 0;
+  for (const auto& [k, v] : counts) total += v;
+  EXPECT_EQ(total, 300);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parallelism, MrTaskCountSweep,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{2, 7},
+                      std::pair<std::size_t, std::size_t>{8, 3},
+                      std::pair<std::size_t, std::size_t>{16, 16},
+                      std::pair<std::size_t, std::size_t>{64, 2}));
+
+// Numeric job with a different type signature: mean per group.
+TEST(MrEngineTest, TypedNumericJob) {
+  common::ThreadPool pool(4);
+  struct Sample {
+    int group;
+    double value;
+  };
+  MrJob<Sample, int, double, std::pair<int, double>> job;
+  job.mapper = [](const Sample& s, Emitter<int, double>& out) {
+    out.emit(s.group, s.value);
+  };
+  job.reducer = [](const int& g, const std::vector<double>& vs) {
+    double sum = 0.0;
+    for (double v : vs) sum += v;
+    return std::pair<int, double>(g, sum / static_cast<double>(vs.size()));
+  };
+  std::vector<Sample> input;
+  for (int i = 0; i < 90; ++i) {
+    input.push_back(Sample{i % 3, static_cast<double>(i % 3) * 10.0});
+  }
+  auto out = run_mr(pool, input, job);
+  std::map<int, double> means(out.begin(), out.end());
+  EXPECT_DOUBLE_EQ(means.at(0), 0.0);
+  EXPECT_DOUBLE_EQ(means.at(1), 10.0);
+  EXPECT_DOUBLE_EQ(means.at(2), 20.0);
+}
+
+}  // namespace
+}  // namespace hoh::mapreduce

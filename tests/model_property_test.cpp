@@ -1,0 +1,156 @@
+/// Parameterized property sweeps over the analytic models: monotonicity
+/// and scaling laws that must hold for any sane calibration, so future
+/// re-calibration cannot silently break the models' physics.
+
+#include <gtest/gtest.h>
+
+#include "analytics/kmeans_cost.h"
+#include "common/string_util.h"
+#include "mapreduce/sim_cost.h"
+
+namespace hoh {
+namespace {
+
+// ------------------------------------------------ storage monotonicity ---
+
+class StorageSweep
+    : public ::testing::TestWithParam<cluster::StorageBackend> {};
+
+TEST_P(StorageSweep, TimeMonotoneInBytes) {
+  const auto machine = cluster::wrangler_profile();  // has every tier
+  double prev = -1.0;
+  for (common::Bytes bytes = 1 * common::kMiB; bytes <= 1024 * common::kMiB;
+       bytes *= 4) {
+    const double t = machine.storage_transfer_time(GetParam(), bytes, 4);
+    EXPECT_GT(t, prev) << common::format_bytes(bytes);
+    prev = t;
+  }
+}
+
+TEST_P(StorageSweep, TimeMonotoneInContention) {
+  const auto machine = cluster::wrangler_profile();
+  double prev = 0.0;
+  for (int streams = 1; streams <= 64; streams *= 2) {
+    const double t = machine.storage_transfer_time(
+        GetParam(), 256 * common::kMiB, streams);
+    EXPECT_GE(t, prev) << streams << " streams";
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, StorageSweep,
+    ::testing::Values(cluster::StorageBackend::kLocalDisk,
+                      cluster::StorageBackend::kLocalSsd,
+                      cluster::StorageBackend::kSharedFs),
+    [](const auto& info) {
+      return info.param == cluster::StorageBackend::kLocalDisk ? "disk"
+             : info.param == cluster::StorageBackend::kLocalSsd
+                 ? "ssd"
+                 : "shared";
+    });
+
+// --------------------------------------------- phase-cost monotonicity ---
+
+class PhaseCostSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseCostSweep, MoreTasksNeverSlowerAtFixedNodes) {
+  // With nodes fixed, adding tasks (up to the core count) must not
+  // increase any component of the phase cost.
+  const auto machine = cluster::stampede_profile();
+  mapreduce::PhaseSpec spec;
+  spec.compute_ops = 1e8;
+  spec.input_bytes = 512 * common::kMiB;
+  mapreduce::PhaseEnv env;
+  env.machine = &machine;
+  env.nodes = GetParam();
+  env.env_bytes = 0;
+  env.env_file_ops = 0;
+  env.memory_per_task_mb = 512;  // stay far from the pressure knee
+
+  double prev_total = 1e300;
+  for (int tasks = 1; tasks <= env.nodes * machine.node.cores; tasks *= 2) {
+    env.tasks = tasks;
+    const double total = mapreduce::estimate_phase(spec, env).total();
+    EXPECT_LE(total, prev_total + 1e-9) << tasks << " tasks";
+    prev_total = total;
+  }
+}
+
+TEST_P(PhaseCostSweep, MoreNodesNeverSlowerAtFixedTasks) {
+  const auto machine = cluster::stampede_profile();
+  mapreduce::PhaseSpec spec;
+  spec.compute_ops = 1e8;
+  spec.input_bytes = 512 * common::kMiB;
+  spec.shuffle_write_bytes = 128 * common::kMiB;
+  spec.shuffle_files = 256;
+  mapreduce::PhaseEnv env;
+  env.machine = &machine;
+  env.tasks = 16 * GetParam();
+  env.io_backend = cluster::StorageBackend::kLocalDisk;
+  env.env_bytes = 0;
+  env.env_file_ops = 0;
+  env.memory_per_task_mb = 256;
+
+  double prev_total = 1e300;
+  for (int nodes = GetParam(); nodes <= 8 * GetParam(); nodes *= 2) {
+    env.nodes = nodes;
+    const double total = mapreduce::estimate_phase(spec, env).total();
+    EXPECT_LE(total, prev_total + 1e-9) << nodes << " nodes";
+    prev_total = total;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, PhaseCostSweep,
+                         ::testing::Values(1, 2, 3));
+
+// -------------------------------------------- K-Means model invariants ---
+
+class KmeansModelSweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(KmeansModelSweep, YarnEnvNeverWorseThanRpEnv) {
+  // YARN's per-node localization must never exceed RP's per-task
+  // shared-filesystem load, at any configuration on either machine.
+  for (const auto& machine :
+       {cluster::stampede_profile(), cluster::wrangler_profile()}) {
+    analytics::KmeansRunConfig rp;
+    rp.machine = &machine;
+    rp.nodes = GetParam().first;
+    rp.tasks = GetParam().second;
+    rp.yarn_stack = false;
+    analytics::KmeansRunConfig yarn = rp;
+    yarn.yarn_stack = true;
+    const auto scenario = analytics::scenario_100k_points();
+    const auto rp_cost = analytics::kmeans_phase_durations(scenario, rp);
+    const auto yarn_cost =
+        analytics::kmeans_phase_durations(scenario, yarn);
+    EXPECT_LE(yarn_cost.wrapper_per_node, rp_cost.env_load_per_task)
+        << machine.name;
+  }
+}
+
+TEST_P(KmeansModelSweep, ShuffleMonotoneInPoints) {
+  const auto machine = cluster::stampede_profile();
+  analytics::KmeansRunConfig cfg;
+  cfg.machine = &machine;
+  cfg.nodes = GetParam().first;
+  cfg.tasks = GetParam().second;
+  double prev = -1.0;
+  for (std::int64_t points : {10'000LL, 100'000LL, 1'000'000LL}) {
+    analytics::KmeansScenario s;
+    s.points = points;
+    s.clusters = 50'000'000 / points;
+    const auto d = analytics::kmeans_phase_durations(s, cfg);
+    const double shuffle = d.map_cost.shuffle + d.reduce_cost.shuffle;
+    EXPECT_GT(shuffle, prev);
+    prev = shuffle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, KmeansModelSweep,
+                         ::testing::Values(std::pair{1, 8}, std::pair{2, 16},
+                                           std::pair{3, 32}));
+
+}  // namespace
+}  // namespace hoh

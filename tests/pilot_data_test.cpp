@@ -1,0 +1,124 @@
+#include "pilot/pilot_data.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::pilot {
+namespace {
+
+class PilotDataTest : public ::testing::Test {
+ protected:
+  PilotDataTest() {
+    session_.register_machine(cluster::stampede_profile(),
+                              hpc::SchedulerKind::kSlurm, 4);
+    session_.register_machine(cluster::wrangler_profile(),
+                              hpc::SchedulerKind::kSge, 4);
+  }
+
+  PilotDataDescription pd_desc(const std::string& machine,
+                               common::Bytes capacity = 10 * common::kGiB) {
+    PilotDataDescription d;
+    d.machine = machine;
+    d.capacity = capacity;
+    return d;
+  }
+
+  std::vector<DataFile> trajectory_files(int n, common::Bytes each) {
+    std::vector<DataFile> files;
+    for (int i = 0; i < n; ++i) {
+      files.push_back(DataFile{"traj-" + std::to_string(i), each});
+    }
+    return files;
+  }
+
+  Session session_;
+  DataUnitManager dum_{session_};
+};
+
+TEST_F(PilotDataTest, CreateRequiresRegisteredMachine) {
+  EXPECT_NO_THROW(dum_.create_pilot_data(pd_desc("stampede")));
+  EXPECT_THROW(dum_.create_pilot_data(pd_desc("mars")),
+               common::NotFoundError);
+}
+
+TEST_F(PilotDataTest, SubmitBecomesReadyAfterTransfer) {
+  auto pd = dum_.create_pilot_data(pd_desc("stampede"));
+  auto du = dum_.submit_data_unit(trajectory_files(4, 256 * common::kMiB),
+                                  pd);
+  EXPECT_EQ(du->state(), DataUnitState::kPending);
+  EXPECT_EQ(du->total_bytes(), 4 * 256 * common::kMiB);
+  EXPECT_EQ(pd->used(), du->total_bytes());  // capacity reserved upfront
+  session_.engine().run();
+  EXPECT_EQ(du->state(), DataUnitState::kReady);
+  ASSERT_EQ(du->locations().size(), 1u);
+  EXPECT_EQ(du->locations()[0], pd->id());
+}
+
+TEST_F(PilotDataTest, CapacityEnforced) {
+  auto pd = dum_.create_pilot_data(pd_desc("stampede", 1 * common::kGiB));
+  EXPECT_THROW(
+      dum_.submit_data_unit(trajectory_files(8, 256 * common::kMiB), pd),
+      common::ResourceError);
+}
+
+TEST_F(PilotDataTest, ReplicateAcrossMachines) {
+  auto src = dum_.create_pilot_data(pd_desc("stampede"));
+  auto dst = dum_.create_pilot_data(pd_desc("wrangler"));
+  auto du = dum_.submit_data_unit(trajectory_files(2, 128 * common::kMiB),
+                                  src);
+  EXPECT_THROW(dum_.replicate(du, dst), common::StateError);  // not ready
+  session_.engine().run();
+  ASSERT_EQ(du->state(), DataUnitState::kReady);
+  dum_.replicate(du, dst);
+  EXPECT_EQ(du->state(), DataUnitState::kReplicating);
+  session_.engine().run();
+  EXPECT_EQ(du->state(), DataUnitState::kReady);
+  EXPECT_EQ(du->locations().size(), 2u);
+  // Locality resolution per machine.
+  EXPECT_EQ(dum_.location_on(*du, "stampede"), src->id());
+  EXPECT_EQ(dum_.location_on(*du, "wrangler"), dst->id());
+  EXPECT_EQ(dum_.location_on(*du, "mars"), "");
+}
+
+TEST_F(PilotDataTest, ReplicateIdempotent) {
+  auto pd = dum_.create_pilot_data(pd_desc("stampede"));
+  auto du = dum_.submit_data_unit(trajectory_files(1, 64 * common::kMiB),
+                                  pd);
+  session_.engine().run();
+  const auto used = pd->used();
+  dum_.replicate(du, pd);  // already there: no-op
+  EXPECT_EQ(pd->used(), used);
+  EXPECT_EQ(du->state(), DataUnitState::kReady);
+}
+
+TEST_F(PilotDataTest, StagingCostPrefersLocalReplica) {
+  // Source on Wrangler's fast shared storage; Stampede has no replica.
+  auto src = dum_.create_pilot_data(pd_desc("wrangler"));
+  auto du = dum_.submit_data_unit(trajectory_files(2, 512 * common::kMiB),
+                                  src);
+  session_.engine().run();
+  const double local = dum_.staging_cost(*du, "wrangler");
+  const double remote = dum_.staging_cost(*du, "stampede");
+  EXPECT_GT(local, 0.0);
+  EXPECT_GT(remote, local);  // WAN pull + busy-Lustre write dominates
+
+  // After replication the WAN hop disappears from the Stampede cost.
+  auto dst = dum_.create_pilot_data(pd_desc("stampede"));
+  dum_.replicate(du, dst);
+  session_.engine().run();
+  EXPECT_LT(dum_.staging_cost(*du, "stampede"), remote);
+}
+
+TEST_F(PilotDataTest, TraceRecordsDataEvents) {
+  auto pd = dum_.create_pilot_data(pd_desc("stampede"));
+  auto du = dum_.submit_data_unit(trajectory_files(1, 1 * common::kMiB), pd);
+  session_.engine().run();
+  EXPECT_TRUE(session_.trace().first("pilot-data", "created").has_value());
+  const auto ready = session_.trace().first("pilot-data", "ready");
+  ASSERT_TRUE(ready.has_value());
+  EXPECT_EQ(ready->attrs.at("du"), du->id());
+}
+
+}  // namespace
+}  // namespace hoh::pilot

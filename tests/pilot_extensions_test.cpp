@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "pilot/config_templates.h"
+#include "pilot/estimator.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+
+namespace hoh::pilot {
+namespace {
+
+// ----------------------------------------------------------- heartbeat ---
+
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  HeartbeatTest() {
+    session_.register_machine(cluster::generic_profile(4, 8, 16 * 1024),
+                              hpc::SchedulerKind::kSlurm, 4);
+  }
+  Session session_;
+  PilotManager pm_{session_};
+};
+
+TEST_F(HeartbeatTest, AgentWritesPeriodicHeartbeats) {
+  PilotDescription pd;
+  pd.resource = "slurm://beowulf/";
+  auto pilot = pm_.submit_pilot(pd);
+  EXPECT_FALSE(pilot->heartbeat().has_value());  // not yet active
+  session_.engine().run_until(60.0);
+  auto hb1 = pilot->heartbeat();
+  ASSERT_TRUE(hb1.has_value());
+  EXPECT_TRUE(hb1->at("alive").as_bool());
+  const double t1 = hb1->at("last_heartbeat").as_number();
+  session_.engine().run_until(120.0);
+  const double t2 = pilot->heartbeat()->at("last_heartbeat").as_number();
+  EXPECT_GT(t2, t1);  // heartbeats keep coming
+}
+
+TEST_F(HeartbeatTest, HeartbeatCountsUnits) {
+  PilotDescription pd;
+  pd.resource = "slurm://beowulf/";
+  auto pilot = pm_.submit_pilot(pd);
+  UnitManager um(session_);
+  um.add_pilot(pilot);
+  ComputeUnitDescription cud;
+  cud.duration = 5.0;
+  cud.memory_mb = 1024;
+  um.submit({cud, cud, cud});
+  session_.engine().run_until(120.0);
+  ASSERT_TRUE(um.all_done());
+  session_.engine().run_until(160.0);  // next heartbeat tick
+  EXPECT_EQ(pilot->heartbeat()->at("units_completed").as_int(), 3);
+}
+
+TEST_F(HeartbeatTest, TombstoneOnCancel) {
+  PilotDescription pd;
+  pd.resource = "slurm://beowulf/";
+  auto pilot = pm_.submit_pilot(pd);
+  session_.engine().run_until(60.0);
+  ASSERT_TRUE(pilot->heartbeat()->at("alive").as_bool());
+  pilot->cancel();
+  EXPECT_FALSE(pilot->heartbeat()->at("alive").as_bool());
+  const double tomb = pilot->heartbeat()->at("last_heartbeat").as_number();
+  session_.engine().run_until(200.0);
+  // No further heartbeats after the tombstone.
+  EXPECT_DOUBLE_EQ(pilot->heartbeat()->at("last_heartbeat").as_number(),
+                   tomb);
+}
+
+// ----------------------------------------------------------- estimator ---
+
+TEST(EstimatorTest, ColdStartUsesDefault) {
+  MovingAverageEstimator est(0.5, 42.0);
+  ComputeUnitDescription cud;
+  cud.executable = "gromacs";
+  EXPECT_DOUBLE_EQ(est.predict(cud), 42.0);
+}
+
+TEST(EstimatorTest, LearnsPerExecutable) {
+  MovingAverageEstimator est(0.5, 10.0);
+  ComputeUnitDescription md;
+  md.executable = "gromacs";
+  ComputeUnitDescription py;
+  py.executable = "python";
+  est.observe(md, 100.0);
+  est.observe(py, 4.0);
+  EXPECT_DOUBLE_EQ(est.predict(md), 100.0);  // first observation taken
+  EXPECT_DOUBLE_EQ(est.predict(py), 4.0);
+  est.observe(md, 200.0);
+  EXPECT_DOUBLE_EQ(est.predict(md), 150.0);  // EMA with alpha 0.5
+  EXPECT_EQ(est.observed_executables(), 2u);
+}
+
+TEST(EstimatorTest, ConvergesToStableRuntime) {
+  MovingAverageEstimator est(0.3, 1.0);
+  ComputeUnitDescription cud;
+  cud.executable = "kmeans";
+  for (int i = 0; i < 40; ++i) est.observe(cud, 60.0);
+  EXPECT_NEAR(est.predict(cud), 60.0, 1e-6);
+}
+
+class PredictivePolicyTest : public ::testing::Test {
+ protected:
+  PredictivePolicyTest() {
+    session_.register_machine(cluster::generic_profile(8, 8, 16 * 1024),
+                              hpc::SchedulerKind::kSlurm, 8);
+  }
+  Session session_;
+  PilotManager pm_{session_};
+};
+
+TEST_F(PredictivePolicyTest, LearnedRuntimesSteerBinding) {
+  PilotDescription pd;
+  pd.resource = "slurm://beowulf/";
+  pd.nodes = 1;
+  auto p0 = pm_.submit_pilot(pd);
+  auto p1 = pm_.submit_pilot(pd);
+
+  auto estimator = std::make_shared<MovingAverageEstimator>(0.5, 10.0);
+  UnitManager um(session_, UnitSchedulingPolicy::kPredictive, estimator);
+  um.add_pilot(p0);
+  um.add_pilot(p1);
+
+  // Teach the estimator: "slow" runs 100x longer than "fast".
+  ComputeUnitDescription slow;
+  slow.executable = "slow";
+  slow.duration = 300.0;
+  slow.memory_mb = 1024;
+  ComputeUnitDescription fast = slow;
+  fast.executable = "fast";
+  fast.duration = 3.0;
+  estimator->observe(slow, 300.0);
+  estimator->observe(fast, 3.0);
+
+  // One slow unit lands somewhere; the following fast units must all be
+  // bound to the *other* pilot (its backlog is predicted tiny).
+  auto slow_unit = um.submit(slow);
+  std::vector<std::shared_ptr<ComputeUnit>> fast_units;
+  for (int i = 0; i < 4; ++i) fast_units.push_back(um.submit(fast));
+  int on_other = 0;
+  for (const auto& u : fast_units) {
+    if (u->pilot_id() != slow_unit->pilot_id()) ++on_other;
+  }
+  EXPECT_GE(on_other, 3);  // backlog steers away from the slow pilot
+
+  session_.engine().run_until(600.0);
+  EXPECT_TRUE(um.all_done());
+}
+
+TEST_F(PredictivePolicyTest, ReconcileFeedsObservationsBack) {
+  PilotDescription pd;
+  pd.resource = "slurm://beowulf/";
+  auto pilot = pm_.submit_pilot(pd);
+  auto estimator = std::make_shared<MovingAverageEstimator>(0.5, 10.0);
+  UnitManager um(session_, UnitSchedulingPolicy::kPredictive, estimator);
+  um.add_pilot(pilot);
+  ComputeUnitDescription cud;
+  cud.executable = "burn";
+  cud.duration = 50.0;
+  cud.memory_mb = 1024;
+  um.submit(cud);
+  session_.engine().run_until(200.0);
+  ASSERT_TRUE(um.all_done());  // triggers reconcile
+  // The estimator learned ~50s (exact: Executing -> Done span).
+  EXPECT_NEAR(estimator->predict(cud), 50.0, 1.0);
+}
+
+// ------------------------------------------------ config templates ---
+
+TEST(ConfigTemplateTest, AgentTuningTracksLocalStorage) {
+  const auto stampede = tuned_agent_config(cluster::stampede_profile());
+  const auto wrangler = tuned_agent_config(cluster::wrangler_profile());
+  // Flash-backed Wrangler localizes containers much faster.
+  EXPECT_LT(wrangler.wrapper_setup_time, stampede.wrapper_setup_time);
+  EXPECT_LT(wrangler.yarn.yarn.container_launch_time,
+            stampede.yarn.yarn.container_launch_time);
+  // NM capacity derived from the node spec.
+  EXPECT_EQ(stampede.yarn.yarn.nm_vcores, 16);
+  EXPECT_EQ(wrangler.yarn.yarn.nm_vcores, 48);
+  EXPECT_EQ(wrangler.yarn.yarn.nm_memory_mb, 128 * 1024 * 7 / 8);
+}
+
+TEST(ConfigTemplateTest, YarnSiteUsesFastTierForShuffle) {
+  const auto stampede = yarn_site_template(cluster::stampede_profile());
+  const auto wrangler = yarn_site_template(cluster::wrangler_profile());
+  EXPECT_EQ(stampede.get("yarn.nodemanager.local-dirs"), "/tmp/yarn/local");
+  EXPECT_EQ(wrangler.get("yarn.nodemanager.local-dirs"),
+            "/flash/yarn/local");
+  EXPECT_EQ(stampede.get_int("yarn.nodemanager.resource.memory-mb"),
+            32 * 1024 * 7 / 8);
+  // Renders to well-formed Hadoop XML.
+  const auto xml = wrangler.to_xml();
+  EXPECT_NE(xml.find("<name>yarn.nodemanager.local-dirs</name>"),
+            std::string::npos);
+}
+
+TEST(ConfigTemplateTest, HdfsSiteCapsReplicationByNodes) {
+  const auto two = hdfs_site_template(cluster::stampede_profile(), 2);
+  EXPECT_EQ(two.get_int("dfs.replication"), 2);
+  const auto many = hdfs_site_template(cluster::stampede_profile(), 16);
+  EXPECT_EQ(many.get_int("dfs.replication"), 3);
+  const auto flash = hdfs_site_template(cluster::wrangler_profile(), 4);
+  EXPECT_EQ(flash.get("dfs.storage.policy"), "ALL_SSD");
+}
+
+TEST(ConfigTemplateTest, SparkEnvRendersProperties) {
+  const auto env = spark_env_template(cluster::wrangler_profile());
+  EXPECT_EQ(env.get_int("SPARK_WORKER_CORES"), 48);
+  EXPECT_EQ(env.get("SPARK_LOCAL_DIRS"), "/flash/spark");
+  const auto props = env.to_properties();
+  EXPECT_NE(props.find("SPARK_WORKER_CORES=48\n"), std::string::npos);
+}
+
+TEST(ConfigTemplateTest, TunedConfigRunsEndToEnd) {
+  // A pilot configured by the template must work like any other.
+  Session session;
+  session.register_machine(cluster::wrangler_profile(),
+                           hpc::SchedulerKind::kSge, 4);
+  PilotManager pm(session);
+  UnitManager um(session);
+  PilotDescription pd;
+  pd.resource = "sge://wrangler/";
+  pd.nodes = 2;
+  pd.backend = AgentBackend::kYarnModeI;
+  auto pilot = pm.submit_pilot(
+      pd, tuned_agent_config(cluster::wrangler_profile()));
+  um.add_pilot(pilot);
+  ComputeUnitDescription cud;
+  cud.duration = 10.0;
+  cud.memory_mb = 2048;
+  um.submit({cud, cud});
+  while (!um.all_done() && session.engine().now() < 7200.0) {
+    session.engine().run_until(session.engine().now() + 5.0);
+  }
+  EXPECT_EQ(um.done_count(), 2u);
+}
+
+}  // namespace
+}  // namespace hoh::pilot

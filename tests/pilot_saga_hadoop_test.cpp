@@ -1,0 +1,116 @@
+#include "pilot/saga_hadoop.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "yarn/application_master.h"
+
+namespace hoh::pilot {
+namespace {
+
+class SagaHadoopTest : public ::testing::Test {
+ protected:
+  SagaHadoopTest() {
+    session_.register_machine(cluster::stampede_profile(),
+                              hpc::SchedulerKind::kSlurm, 8);
+  }
+  Session session_;
+  SagaHadoop tool_{session_};
+};
+
+TEST_F(SagaHadoopTest, YarnClusterLifecycle) {
+  bool ready = false;
+  const auto id = tool_.start_cluster("slurm://stampede/", 3,
+                                      HadoopFramework::kYarn, 3600.0,
+                                      [&] { ready = true; });
+  EXPECT_EQ(tool_.state(id), HadoopClusterState::kPending);
+  session_.engine().run_until(300.0);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(tool_.state(id), HadoopClusterState::kRunning);
+  ASSERT_NE(tool_.yarn(id), nullptr);
+  EXPECT_EQ(tool_.yarn(id)->resource_manager().node_count(), 3u);
+  EXPECT_EQ(tool_.spark(id), nullptr);
+
+  tool_.stop_cluster(id);
+  EXPECT_EQ(tool_.state(id), HadoopClusterState::kStopped);
+  tool_.stop_cluster(id);  // idempotent
+}
+
+TEST_F(SagaHadoopTest, SubmitYarnAppThroughTool) {
+  const auto id = tool_.start_cluster("slurm://stampede/", 2,
+                                      HadoopFramework::kYarn);
+  session_.engine().run_until(300.0);
+  ASSERT_EQ(tool_.state(id), HadoopClusterState::kRunning);
+
+  bool app_ran = false;
+  yarn::AppDescriptor app;
+  app.name = "wordcount";
+  app.on_am_start = [&](yarn::ApplicationMaster& am) {
+    app_ran = true;
+    am.unregister(true);
+  };
+  const auto app_id = tool_.submit_yarn_app(id, std::move(app));
+  session_.engine().run_until(session_.engine().now() + 120.0);
+  EXPECT_TRUE(app_ran);
+  EXPECT_EQ(tool_.yarn(id)->resource_manager().application(app_id).state,
+            yarn::AppState::kFinished);
+}
+
+TEST_F(SagaHadoopTest, SparkClusterLifecycle) {
+  const auto id = tool_.start_cluster("slurm://stampede/", 2,
+                                      HadoopFramework::kSpark);
+  session_.engine().run_until(300.0);
+  EXPECT_EQ(tool_.state(id), HadoopClusterState::kRunning);
+  ASSERT_NE(tool_.spark(id), nullptr);
+  EXPECT_EQ(tool_.yarn(id), nullptr);
+
+  bool ready = false;
+  spark::SparkAppDescriptor app;
+  app.executor_cores = 4;
+  tool_.submit_spark_app(id, app, [&] { ready = true; });
+  session_.engine().run_until(session_.engine().now() + 60.0);
+  EXPECT_TRUE(ready);
+  tool_.stop_cluster(id);
+}
+
+TEST_F(SagaHadoopTest, SparkBootstrapFasterThanYarn) {
+  const auto y = tool_.start_cluster("slurm://stampede/", 2,
+                                     HadoopFramework::kYarn);
+  const auto s = tool_.start_cluster("slurm://stampede/", 2,
+                                     HadoopFramework::kSpark);
+  double yarn_ready = -1.0;
+  double spark_ready = -1.0;
+  // Poll through trace events after the run.
+  session_.engine().run_until(400.0);
+  for (const auto& e :
+       session_.trace().find("saga-hadoop", "cluster_running")) {
+    if (e.attrs.at("cluster") == y) yarn_ready = e.time;
+    if (e.attrs.at("cluster") == s) spark_ready = e.time;
+  }
+  ASSERT_GT(yarn_ready, 0.0);
+  ASSERT_GT(spark_ready, 0.0);
+  EXPECT_LT(spark_ready, yarn_ready);
+}
+
+TEST_F(SagaHadoopTest, SubmitToNonRunningClusterThrows) {
+  const auto id = tool_.start_cluster("slurm://stampede/", 1,
+                                      HadoopFramework::kYarn);
+  EXPECT_THROW(tool_.submit_yarn_app(id, yarn::AppDescriptor{}),
+               common::StateError);
+  EXPECT_THROW(tool_.submit_spark_app(id, spark::SparkAppDescriptor{}),
+               common::StateError);
+}
+
+TEST_F(SagaHadoopTest, WalltimeExpiryFailsCluster) {
+  const auto id = tool_.start_cluster("slurm://stampede/", 1,
+                                      HadoopFramework::kYarn, 30.0);
+  session_.engine().run_until(600.0);
+  EXPECT_EQ(tool_.state(id), HadoopClusterState::kFailed);
+}
+
+TEST_F(SagaHadoopTest, UnknownClusterThrows) {
+  EXPECT_THROW(tool_.state("nope"), common::NotFoundError);
+}
+
+}  // namespace
+}  // namespace hoh::pilot

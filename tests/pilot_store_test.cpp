@@ -1,0 +1,121 @@
+#include "pilot/state_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "pilot/agent/agent.h"
+#include "pilot/descriptions.h"
+
+namespace hoh::pilot {
+namespace {
+
+TEST(StateStoreTest, PutGetRoundTrip) {
+  sim::Engine engine;
+  StateStore store(engine);
+  common::Json doc;
+  doc["state"] = "PendingAgent";
+  store.put("unit", "unit.0", doc);
+  auto got = store.get("unit", "unit.0");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->at("state").as_string(), "PendingAgent");
+  EXPECT_FALSE(store.get("unit", "missing").has_value());
+  EXPECT_FALSE(store.get("nope", "unit.0").has_value());
+}
+
+TEST(StateStoreTest, UpdateMergesFields) {
+  sim::Engine engine;
+  StateStore store(engine);
+  common::Json doc;
+  doc["state"] = "PendingAgent";
+  doc["pilot"] = "pilot.0";
+  store.put("unit", "u", doc);
+  store.update("unit", "u", {{"state", common::Json("Executing")}});
+  auto got = store.get("unit", "u");
+  EXPECT_EQ(got->at("state").as_string(), "Executing");
+  EXPECT_EQ(got->at("pilot").as_string(), "pilot.0");  // untouched
+}
+
+TEST(StateStoreTest, UpdateMissingThrows) {
+  sim::Engine engine;
+  StateStore store(engine);
+  EXPECT_THROW(store.update("unit", "nope", {}), common::NotFoundError);
+}
+
+TEST(StateStoreTest, QueueFifoAndDrain) {
+  sim::Engine engine;
+  StateStore store(engine);
+  store.queue_push("agent.p0", "a");
+  store.queue_push("agent.p0", "b");
+  EXPECT_EQ(store.queue_depth("agent.p0"), 2u);
+  auto drained = store.queue_pop_all("agent.p0");
+  EXPECT_EQ(drained, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(store.queue_depth("agent.p0"), 0u);
+  EXPECT_TRUE(store.queue_pop_all("agent.p0").empty());
+  EXPECT_TRUE(store.queue_pop_all("never-used").empty());
+}
+
+TEST(StateStoreTest, FindAllSorted) {
+  sim::Engine engine;
+  StateStore store(engine);
+  store.put("unit", "b", common::Json(1));
+  store.put("unit", "a", common::Json(2));
+  auto all = store.find_all("unit");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "a");
+}
+
+TEST(StateStoreTest, OpCounting) {
+  sim::Engine engine;
+  StateStore store(engine);
+  const auto before = store.op_count();
+  store.put("c", "x", common::Json(1));
+  store.get("c", "x");
+  store.queue_push("q", "x");
+  store.queue_pop_all("q");
+  EXPECT_EQ(store.op_count(), before + 4);
+}
+
+TEST(UnitJsonTest, RoundTrip) {
+  ComputeUnitDescription desc;
+  desc.name = "kmeans-map-3";
+  desc.executable = "/bin/python";
+  desc.arguments = {"kmeans.py", "--iter", "2"};
+  desc.cores = 4;
+  desc.memory_mb = 3072;
+  desc.duration = 123.5;
+  desc.is_mpi = true;
+  desc.input_staging = {
+      StagedFile{saga::Url("file://stampede/points.csv"), 1024}};
+  desc.output_staging = {
+      StagedFile{saga::Url("file://stampede/out.csv"), 64}};
+  desc.preferred_nodes = {"n1", "n2"};
+
+  const ComputeUnitDescription back = unit_from_json(unit_to_json(desc));
+  EXPECT_EQ(back.name, desc.name);
+  EXPECT_EQ(back.executable, desc.executable);
+  EXPECT_EQ(back.arguments, desc.arguments);
+  EXPECT_EQ(back.cores, desc.cores);
+  EXPECT_EQ(back.memory_mb, desc.memory_mb);
+  EXPECT_DOUBLE_EQ(back.duration, desc.duration);
+  EXPECT_EQ(back.is_mpi, desc.is_mpi);
+  ASSERT_EQ(back.input_staging.size(), 1u);
+  EXPECT_EQ(back.input_staging[0].url.str(), "file://stampede/points.csv");
+  EXPECT_EQ(back.input_staging[0].size, 1024);
+  ASSERT_EQ(back.output_staging.size(), 1u);
+  EXPECT_EQ(back.preferred_nodes, desc.preferred_nodes);
+}
+
+TEST(UnitJsonTest, SerializedThroughTextParser) {
+  // The document survives an actual JSON text round trip (what a real
+  // MongoDB wire encoding would do).
+  ComputeUnitDescription desc;
+  desc.name = "quoted \"name\" with\nnewline";
+  desc.duration = 0.25;
+  const auto text = unit_to_json(desc).dump();
+  const auto back = unit_from_json(common::Json::parse(text));
+  EXPECT_EQ(back.name, desc.name);
+  EXPECT_DOUBLE_EQ(back.duration, 0.25);
+}
+
+}  // namespace
+}  // namespace hoh::pilot

@@ -1,0 +1,231 @@
+/// Property-style fuzz tests: random operation sequences against core
+/// components, checking invariants that must hold for *every* sequence.
+/// Seeds are parameterized so failures are reproducible.
+
+#include <gtest/gtest.h>
+
+#include "cluster/node.h"
+#include "common/random.h"
+#include "hdfs/hdfs_cluster.h"
+#include "sim/engine.h"
+#include "yarn/application_master.h"
+#include "yarn/resource_manager.h"
+
+namespace hoh {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ----------------------------------------------------------- engine ---
+
+TEST_P(FuzzTest, EngineTimeNeverRunsBackwards) {
+  common::Rng rng(GetParam());
+  sim::Engine engine;
+  double last_seen = 0.0;
+  std::size_t fired = 0;
+  // Random event cascade: each event may schedule more.
+  std::function<void(int)> spawn = [&](int depth) {
+    ASSERT_GE(engine.now(), last_seen);
+    last_seen = engine.now();
+    ++fired;
+    if (depth <= 0) return;
+    const int children = static_cast<int>(rng.uniform_int(0, 3));
+    for (int c = 0; c < children; ++c) {
+      engine.schedule(rng.uniform(0.0, 10.0),
+                      [&spawn, depth] { spawn(depth - 1); });
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    engine.schedule(rng.uniform(0.0, 50.0), [&spawn] { spawn(4); });
+  }
+  engine.run();
+  EXPECT_GE(fired, 20u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST_P(FuzzTest, EngineCancellationNeverFires) {
+  common::Rng rng(GetParam());
+  sim::Engine engine;
+  std::vector<sim::EventHandle> handles;
+  std::vector<bool> cancelled;
+  std::vector<bool> fired;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    fired.push_back(false);
+    cancelled.push_back(false);
+  }
+  for (int i = 0; i < n; ++i) {
+    handles.push_back(engine.schedule(
+        rng.uniform(0.0, 100.0),
+        [&fired, i] { fired[static_cast<std::size_t>(i)] = true; }));
+  }
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.5)) {
+      cancelled[static_cast<std::size_t>(i)] = true;
+      engine.cancel(handles[static_cast<std::size_t>(i)]);
+    }
+  }
+  engine.run();
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NE(fired[static_cast<std::size_t>(i)],
+              cancelled[static_cast<std::size_t>(i)])
+        << "event " << i;
+  }
+}
+
+// ------------------------------------------------------------- node ---
+
+TEST_P(FuzzTest, NodeLedgerNeverOverCommitsOrUnderflows) {
+  common::Rng rng(GetParam());
+  cluster::NodeSpec spec;
+  spec.cores = 16;
+  spec.memory_mb = 32 * 1024;
+  cluster::Node node("n0", spec);
+  std::vector<cluster::ResourceRequest> held;
+  for (int step = 0; step < 2000; ++step) {
+    if (rng.bernoulli(0.6) || held.empty()) {
+      const cluster::ResourceRequest req{
+          static_cast<int>(rng.uniform_int(1, 6)),
+          rng.uniform_int(256, 8192)};
+      if (node.allocate(req)) held.push_back(req);
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+      node.release(held[idx]);
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    // Invariants after every step.
+    ASSERT_GE(node.free_cores(), 0);
+    ASSERT_GE(node.free_memory_mb(), 0);
+    ASSERT_LE(node.free_cores(), spec.cores);
+    ASSERT_LE(node.free_memory_mb(), spec.memory_mb);
+  }
+  for (const auto& req : held) node.release(req);
+  EXPECT_EQ(node.free_cores(), spec.cores);
+  EXPECT_EQ(node.free_memory_mb(), spec.memory_mb);
+}
+
+// ------------------------------------------------------------- hdfs ---
+
+TEST_P(FuzzTest, HdfsAccountingConsistentUnderRandomOps) {
+  common::Rng rng(GetParam());
+  sim::Engine engine;
+  const auto machine = cluster::stampede_profile();
+  hdfs::HdfsConfig cfg;
+  cfg.racks = static_cast<int>(rng.uniform_int(1, 3));
+  std::vector<std::string> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back("n" + std::to_string(i));
+  hdfs::HdfsCluster fs(engine, machine, nodes, cfg, GetParam());
+
+  std::vector<std::string> files;
+  int created = 0;
+  for (int step = 0; step < 300; ++step) {
+    const double dice = rng.uniform(0.0, 1.0);
+    if (dice < 0.5) {
+      const std::string path = "/f" + std::to_string(created++);
+      fs.create_file(path, rng.uniform_int(1, 400 * common::kMiB), "",
+                     static_cast<int>(rng.uniform_int(1, 3)));
+      files.push_back(path);
+    } else if (dice < 0.8 && !files.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(files.size()) - 1));
+      fs.remove(files[idx]);
+      files.erase(files.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (!files.empty()) {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(files.size()) - 1));
+      // Locality of every node sums to the replica count per block.
+      const auto& meta = fs.stat(files[idx]);
+      double total = 0.0;
+      for (const auto& n : nodes) total += fs.locality(files[idx], n);
+      double expected = 0.0;
+      for (const auto& block : meta.blocks) {
+        expected += static_cast<double>(block.replicas.size());
+      }
+      ASSERT_NEAR(total * static_cast<double>(meta.blocks.size()), expected,
+                  1e-9);
+    }
+    // Invariant: used bytes equals the sum over files of size x replicas.
+    common::Bytes expected_used = 0;
+    for (const auto& f : files) {
+      for (const auto& block : fs.stat(f).blocks) {
+        expected_used +=
+            block.size * static_cast<common::Bytes>(block.replicas.size());
+      }
+    }
+    ASSERT_EQ(fs.used_bytes(), expected_used) << "step " << step;
+  }
+  // Removing everything returns to zero.
+  for (const auto& f : files) fs.remove(f);
+  EXPECT_EQ(fs.used_bytes(), 0);
+}
+
+// ------------------------------------------------------------- yarn ---
+
+TEST_P(FuzzTest, YarnAllocationNeverExceedsCapacity) {
+  common::Rng rng(GetParam());
+  sim::Engine engine;
+  auto machine = cluster::generic_profile(4, 8, 16 * 1024);
+  std::vector<std::shared_ptr<cluster::Node>> nodes;
+  for (int i = 0; i < 4; ++i) {
+    nodes.push_back(std::make_shared<cluster::Node>(
+        "n" + std::to_string(i), machine.node));
+  }
+  cluster::Allocation allocation(nodes);
+  yarn::ResourceManager rm(engine, allocation);
+  const auto capacity = rm.total_capacity();
+
+  // Random apps, each requesting random containers with random runtimes;
+  // some get killed mid-flight.
+  std::vector<std::string> app_ids;
+  for (int a = 0; a < 12; ++a) {
+    const int containers = static_cast<int>(rng.uniform_int(1, 5));
+    const common::MemoryMb mem = rng.uniform_int(512, 6 * 1024);
+    const double runtime = rng.uniform(5.0, 120.0);
+    yarn::AppDescriptor app;
+    app.on_am_start = [&engine, containers, mem,
+                       runtime](yarn::ApplicationMaster& am) {
+      yarn::ContainerRequest req;
+      req.resource = {mem, 1};
+      auto remaining = std::make_shared<int>(containers);
+      am.request_containers(
+          containers, req,
+          [&engine, runtime, remaining, &am](const yarn::Container& c) {
+            am.launch(c.id, [&engine, runtime, remaining, &am,
+                             id = c.id] {
+              engine.schedule(runtime, [remaining, &am, id] {
+                am.complete_container(id);
+                if (--(*remaining) == 0) am.unregister(true);
+              });
+            });
+          });
+    };
+    app_ids.push_back(rm.submit_application(std::move(app)));
+  }
+  // Drive and check capacity invariants at every step.
+  for (int tick = 0; tick < 400; ++tick) {
+    engine.run_until(engine.now() + 1.0);
+    const auto used = rm.total_allocated();
+    ASSERT_LE(used.memory_mb, capacity.memory_mb) << "tick " << tick;
+    ASSERT_GE(used.memory_mb, 0);
+    if (tick == 50) {
+      // Kill a random app mid-flight.
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(app_ids.size()) - 1));
+      rm.kill_application(app_ids[idx]);
+    }
+  }
+  engine.run_until(engine.now() + 2000.0);
+  // Everything terminal and released.
+  for (const auto& id : app_ids) {
+    EXPECT_TRUE(yarn::is_final(rm.application(id).state)) << id;
+  }
+  EXPECT_EQ(rm.total_allocated().memory_mb, 0);
+  rm.shutdown();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace hoh

@@ -1,0 +1,113 @@
+#include "saga/job.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::saga {
+namespace {
+
+class SagaJobTest : public ::testing::Test {
+ protected:
+  SagaJobTest() {
+    ctx_.register_machine(cluster::generic_profile(4, 8, 16 * 1024),
+                          hpc::SchedulerKind::kSlurm, 4);
+  }
+  SagaContext ctx_;
+};
+
+TEST_F(SagaJobTest, SchemeMustMatchScheduler) {
+  EXPECT_NO_THROW(JobService(ctx_, Url("slurm://beowulf/")));
+  EXPECT_NO_THROW(JobService(ctx_, Url("batch://beowulf/")));
+  EXPECT_THROW(JobService(ctx_, Url("pbs://beowulf/")), common::ConfigError);
+  EXPECT_THROW(JobService(ctx_, Url("xyz://beowulf/")), common::ConfigError);
+}
+
+TEST_F(SagaJobTest, UnknownHostThrows) {
+  EXPECT_THROW(JobService(ctx_, Url("slurm://nonexistent/")),
+               common::NotFoundError);
+}
+
+TEST_F(SagaJobTest, EmptyExecutableRejected) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  JobDescription jd;
+  EXPECT_THROW(service.submit(jd), common::ConfigError);
+}
+
+TEST_F(SagaJobTest, LifecycleToDone) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  JobDescription jd;
+  jd.executable = "/bin/agent";
+  jd.total_nodes = 2;
+
+  std::vector<JobState> transitions;
+  bool started = false;
+  auto job = service.submit(jd, [&](const cluster::Allocation& alloc) {
+    started = true;
+    EXPECT_EQ(alloc.size(), 2u);
+  });
+  job->on_state_change([&](JobState s) { transitions.push_back(s); });
+  EXPECT_EQ(job->state(), JobState::kPending);
+
+  ctx_.engine().run_until(30.0);
+  EXPECT_TRUE(started);
+  EXPECT_EQ(job->state(), JobState::kRunning);
+  EXPECT_EQ(job->allocation().size(), 2u);
+
+  job->complete();
+  EXPECT_EQ(job->state(), JobState::kDone);
+  EXPECT_EQ(transitions,
+            (std::vector<JobState>{JobState::kRunning, JobState::kDone}));
+}
+
+TEST_F(SagaJobTest, CancelYieldsCanceled) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  JobDescription jd;
+  jd.executable = "/bin/agent";
+  auto job = service.submit(jd);
+  ctx_.engine().run_until(30.0);
+  job->cancel();
+  EXPECT_EQ(job->state(), JobState::kCanceled);
+}
+
+TEST_F(SagaJobTest, WalltimeExpiryYieldsFailed) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  JobDescription jd;
+  jd.executable = "/bin/agent";
+  jd.wall_time_limit = 60.0;
+  auto job = service.submit(jd);
+  ctx_.engine().run();
+  EXPECT_EQ(job->state(), JobState::kFailed);
+}
+
+TEST_F(SagaJobTest, AttributesExposeSchedulerEnvironment) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  JobDescription jd;
+  jd.executable = "/bin/agent";
+  jd.total_nodes = 3;
+  auto job = service.submit(jd);
+  ctx_.engine().run_until(30.0);
+  const auto attrs = job->attributes();
+  EXPECT_EQ(attrs.at("SLURM_NNODES"), "3");
+}
+
+TEST_F(SagaJobTest, TraceRecordsSubmissionAndStates) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  JobDescription jd;
+  jd.executable = "/bin/agent";
+  auto job = service.submit(jd);
+  ctx_.engine().run_until(30.0);
+  job->complete();
+  EXPECT_TRUE(ctx_.trace().first("saga", "job_submitted").has_value());
+  const auto states = ctx_.trace().find("saga", "job_state");
+  ASSERT_GE(states.size(), 2u);
+  EXPECT_EQ(states.back().attrs.at("state"), "Done");
+}
+
+TEST_F(SagaJobTest, ProfileAccessor) {
+  JobService service(ctx_, Url("slurm://beowulf/"));
+  EXPECT_EQ(service.profile().name, "beowulf");
+}
+
+}  // namespace
+}  // namespace hoh::saga

@@ -1,0 +1,82 @@
+#include "saga/file_transfer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::saga {
+namespace {
+
+class TransferTest : public ::testing::Test {
+ protected:
+  TransferTest() {
+    ctx_.register_machine(cluster::stampede_profile(),
+                          hpc::SchedulerKind::kSlurm, 4);
+    ctx_.register_machine(cluster::wrangler_profile(),
+                          hpc::SchedulerKind::kSlurm, 4);
+  }
+  SagaContext ctx_;
+  FileTransferService xfer_{ctx_};
+};
+
+TEST_F(TransferTest, IntraMachineUsesStorageModels) {
+  bool done = false;
+  const double est = xfer_.transfer(Url("file://stampede/in.trj"),
+                                    Url("local://stampede/tmp/in.trj"),
+                                    64 * common::kMiB, [&] { done = true; });
+  EXPECT_GT(est, 0.0);
+  ctx_.engine().run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(ctx_.engine().now(), est);
+}
+
+TEST_F(TransferTest, CrossMachinePaysWanHop) {
+  const common::Bytes bytes = 64 * common::kMiB;
+  const double intra = xfer_.transfer(Url("file://stampede/a"),
+                                      Url("local://stampede/a"), bytes);
+  const double inter = xfer_.transfer(Url("file://stampede/a"),
+                                      Url("file://wrangler/a"), bytes);
+  EXPECT_GT(inter, intra);
+}
+
+TEST_F(TransferTest, MemorySchemeIsFastest) {
+  const common::Bytes bytes = 256 * common::kMiB;
+  const double mem = xfer_.transfer(Url("mem://wrangler/x"),
+                                    Url("mem://wrangler/y"), bytes);
+  const double disk = xfer_.transfer(Url("local://wrangler/x"),
+                                     Url("local://wrangler/y"), bytes);
+  EXPECT_LT(mem, disk);
+}
+
+TEST_F(TransferTest, HdfsSchemeMapsToLocalDisk) {
+  EXPECT_EQ(FileTransferService::backend_for_scheme("hdfs"),
+            cluster::StorageBackend::kLocalDisk);
+  EXPECT_EQ(FileTransferService::backend_for_scheme("file"),
+            cluster::StorageBackend::kSharedFs);
+}
+
+TEST_F(TransferTest, UnknownSchemeThrows) {
+  EXPECT_THROW(
+      xfer_.transfer(Url("gopher://stampede/a"), Url("file://stampede/b"), 1),
+      common::ConfigError);
+}
+
+TEST_F(TransferTest, TraceRecordsTransfers) {
+  xfer_.transfer(Url("file://stampede/a"), Url("local://stampede/b"), 1024);
+  ctx_.engine().run();
+  EXPECT_TRUE(ctx_.trace().first("saga", "transfer_started").has_value());
+  EXPECT_TRUE(ctx_.trace().first("saga", "transfer_done").has_value());
+}
+
+TEST_F(TransferTest, WanBandwidthConfigurable) {
+  const common::Bytes bytes = 100 * common::kMiB;
+  const double slow = xfer_.transfer(Url("file://stampede/a"),
+                                     Url("file://wrangler/a"), bytes);
+  xfer_.set_wan_bandwidth(500.0e6);
+  const double fast = xfer_.transfer(Url("file://stampede/a"),
+                                     Url("file://wrangler/a"), bytes);
+  EXPECT_LT(fast, slow);
+}
+
+}  // namespace
+}  // namespace hoh::saga

@@ -1,0 +1,43 @@
+#include "saga/url.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::saga {
+namespace {
+
+TEST(UrlTest, ParseFull) {
+  Url u("slurm://stampede/scratch/user");
+  EXPECT_EQ(u.scheme(), "slurm");
+  EXPECT_EQ(u.host(), "stampede");
+  EXPECT_EQ(u.path(), "/scratch/user");
+  EXPECT_EQ(u.str(), "slurm://stampede/scratch/user");
+}
+
+TEST(UrlTest, ParseNoPath) {
+  Url u("pbs://gordon");
+  EXPECT_EQ(u.scheme(), "pbs");
+  EXPECT_EQ(u.host(), "gordon");
+  EXPECT_EQ(u.path(), "/");
+}
+
+TEST(UrlTest, ParseRootPath) {
+  Url u("file://wrangler/");
+  EXPECT_EQ(u.host(), "wrangler");
+  EXPECT_EQ(u.path(), "/");
+}
+
+TEST(UrlTest, Malformed) {
+  EXPECT_THROW(Url("no-scheme"), common::ConfigError);
+  EXPECT_THROW(Url("://host/"), common::ConfigError);
+  EXPECT_THROW(Url("slurm:///path-only"), common::ConfigError);
+}
+
+TEST(UrlTest, Equality) {
+  EXPECT_EQ(Url("sge://m/p"), Url("sge://m/p"));
+  EXPECT_NE(Url("sge://m/p"), Url("sge://m/q"));
+}
+
+}  // namespace
+}  // namespace hoh::saga

@@ -1,0 +1,70 @@
+#include "sim/trace_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace hoh::sim {
+namespace {
+
+TraceSpan span(double b, double e) {
+  return TraceSpan{b, e, "unit", "exec", "k"};
+}
+
+TEST(ConcurrencyProfileTest, EmptyInput) {
+  EXPECT_TRUE(concurrency_profile({}).empty());
+  EXPECT_EQ(peak_concurrency({}), 0);
+}
+
+TEST(ConcurrencyProfileTest, NonOverlappingSpans) {
+  const std::vector<TraceSpan> spans = {span(0, 1), span(2, 3)};
+  EXPECT_EQ(peak_concurrency(spans), 1);
+}
+
+TEST(ConcurrencyProfileTest, OverlapCounts) {
+  const std::vector<TraceSpan> spans = {span(0, 10), span(2, 8), span(4, 6)};
+  EXPECT_EQ(peak_concurrency(spans), 3);
+  const auto profile = concurrency_profile(spans);
+  // Ends at zero.
+  EXPECT_EQ(profile.back().concurrent, 0);
+}
+
+TEST(ConcurrencyProfileTest, TouchingSpansDontInflatePeak) {
+  // One ends exactly when the next begins: peak stays 1.
+  const std::vector<TraceSpan> spans = {span(0, 5), span(5, 10)};
+  EXPECT_EQ(peak_concurrency(spans), 1);
+}
+
+TEST(UtilizationTest, FullWindowSingleSlot) {
+  const std::vector<TraceSpan> spans = {span(0, 10)};
+  EXPECT_DOUBLE_EQ(utilization(spans, 1, 0.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(utilization(spans, 2, 0.0, 10.0), 0.5);
+}
+
+TEST(UtilizationTest, ClipsToWindow) {
+  const std::vector<TraceSpan> spans = {span(-5, 5), span(5, 15)};
+  // Inside [0, 10] each contributes 5 seconds.
+  EXPECT_DOUBLE_EQ(utilization(spans, 1, 0.0, 10.0), 1.0);
+}
+
+TEST(UtilizationTest, DegenerateInputs) {
+  const std::vector<TraceSpan> spans = {span(0, 10)};
+  EXPECT_DOUBLE_EQ(utilization(spans, 0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(utilization(spans, 1, 10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(utilization({}, 4, 0.0, 10.0), 0.0);
+}
+
+TEST(TraceCsvTest, ExportFormat) {
+  Trace t;
+  t.record(1.5, "unit", "Executing", {{"unit", "u0"}, {"pilot", "p0"}});
+  const std::string csv = to_csv(t);
+  EXPECT_NE(csv.find("time,category,name,attrs\n"), std::string::npos);
+  EXPECT_NE(csv.find("1.500000,unit,Executing,pilot=p0;unit=u0"),
+            std::string::npos);
+}
+
+TEST(TraceCsvTest, EmptyTraceHasHeaderOnly) {
+  Trace t;
+  EXPECT_EQ(to_csv(t), "time,category,name,attrs\n");
+}
+
+}  // namespace
+}  // namespace hoh::sim

@@ -1,0 +1,164 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+
+namespace hoh::sim {
+namespace {
+
+TEST(EngineTest, StartsAtZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(3.0, [&] { order.push_back(3); });
+  e.schedule(1.0, [&] { order.push_back(1); });
+  e.schedule(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(EngineTest, SameTimestampFifo) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EngineTest, NestedScheduling) {
+  Engine e;
+  double inner_time = -1.0;
+  e.schedule(1.0, [&] {
+    e.schedule(2.5, [&] { inner_time = e.now(); });
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(inner_time, 3.5);
+}
+
+TEST(EngineTest, NegativeDelayThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule(-1.0, [] {}), common::ConfigError);
+}
+
+TEST(EngineTest, ScheduleAtPastThrows) {
+  Engine e;
+  e.schedule(5.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), common::ConfigError);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine e;
+  bool fired = false;
+  auto h = e.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(h));
+  EXPECT_FALSE(e.cancel(h));  // second cancel is a no-op
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, RunUntilStopsAtHorizon) {
+  Engine e;
+  int count = 0;
+  e.schedule(1.0, [&] { ++count; });
+  e.schedule(2.0, [&] { ++count; });
+  e.schedule(10.0, [&] { ++count; });
+  const std::size_t ran = e.run_until(5.0);
+  EXPECT_EQ(ran, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);  // clock advanced to the horizon
+  e.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(EngineTest, RunUntilInclusiveOfBoundary) {
+  Engine e;
+  bool fired = false;
+  e.schedule(5.0, [&] { fired = true; });
+  e.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, StepExecutesOne) {
+  Engine e;
+  int count = 0;
+  e.schedule(1.0, [&] { ++count; });
+  e.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(EngineTest, MaxEventsBound) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) e.schedule(1.0, [&] { ++count; });
+  EXPECT_EQ(e.run(4), 4u);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(EngineTest, PeriodicFiresRepeatedly) {
+  Engine e;
+  int fires = 0;
+  EventHandle h;
+  h = e.schedule_periodic(1.0, [&] {
+    ++fires;
+    if (fires == 5) e.cancel(h);
+  });
+  e.run();
+  EXPECT_EQ(fires, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(EngineTest, PeriodicCancelFromOutside) {
+  Engine e;
+  int fires = 0;
+  auto h = e.schedule_periodic(1.0, [&] { ++fires; });
+  e.schedule(3.5, [&] { e.cancel(h); });
+  e.run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EngineTest, PeriodicZeroPeriodThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_periodic(0.0, [] {}), common::ConfigError);
+}
+
+TEST(EngineTest, ExecutedCounter) {
+  Engine e;
+  e.schedule(1.0, [] {});
+  e.schedule(2.0, [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 2u);
+}
+
+TEST(EngineTest, DeterministicReplay) {
+  auto run_once = [] {
+    Engine e;
+    std::vector<double> times;
+    for (int i = 0; i < 50; ++i) {
+      e.schedule(static_cast<double>((i * 7) % 13), [&times, &e] {
+        times.push_back(e.now());
+      });
+    }
+    e.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace hoh::sim

@@ -1,0 +1,81 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace hoh::sim {
+namespace {
+
+TEST(TraceTest, RecordAndFind) {
+  Trace t;
+  t.record(1.0, "pilot", "launched", {{"pilot", "p0"}});
+  t.record(2.0, "pilot", "active", {{"pilot", "p0"}});
+  t.record(3.0, "unit", "done", {{"unit", "u0"}});
+
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.find("pilot").size(), 2u);
+  EXPECT_EQ(t.find("pilot", "active").size(), 1u);
+  EXPECT_TRUE(t.find("yarn").empty());
+}
+
+TEST(TraceTest, FirstAndLast) {
+  Trace t;
+  t.record(1.0, "unit", "state", {{"s", "a"}});
+  t.record(5.0, "unit", "state", {{"s", "b"}});
+  ASSERT_TRUE(t.first("unit", "state").has_value());
+  EXPECT_EQ(t.first("unit", "state")->attrs.at("s"), "a");
+  EXPECT_EQ(t.last("unit", "state")->attrs.at("s"), "b");
+  EXPECT_FALSE(t.first("nope").has_value());
+  EXPECT_FALSE(t.last("nope").has_value());
+}
+
+TEST(TraceTest, SpansComputeDurations) {
+  Trace t;
+  t.begin_span(10.0, "yarn", "am_alloc", "cu.0");
+  t.begin_span(11.0, "yarn", "am_alloc", "cu.1");
+  t.end_span(14.0, "yarn", "am_alloc", "cu.0");
+  t.end_span(18.0, "yarn", "am_alloc", "cu.1");
+
+  auto spans = t.find_spans("yarn", "am_alloc");
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_DOUBLE_EQ(spans[0].duration(), 4.0);
+  EXPECT_DOUBLE_EQ(spans[1].duration(), 7.0);
+}
+
+TEST(TraceTest, EndWithoutBeginIgnored) {
+  Trace t;
+  t.end_span(5.0, "x", "y", "k");
+  EXPECT_TRUE(t.spans().empty());
+}
+
+TEST(TraceTest, ReopenOverwritesBegin) {
+  Trace t;
+  t.begin_span(1.0, "x", "y", "k");
+  t.begin_span(3.0, "x", "y", "k");
+  t.end_span(4.0, "x", "y", "k");
+  ASSERT_EQ(t.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.spans()[0].duration(), 1.0);
+}
+
+TEST(TraceTest, JsonExport) {
+  Trace t;
+  t.record(2.5, "saga", "job_submitted", {{"job", "42"}});
+  auto j = t.to_json();
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.as_array().size(), 1u);
+  const auto& e = j.as_array()[0];
+  EXPECT_DOUBLE_EQ(e.at("t").as_number(), 2.5);
+  EXPECT_EQ(e.at("attrs").at("job").as_string(), "42");
+}
+
+TEST(TraceTest, Clear) {
+  Trace t;
+  t.record(1.0, "a", "b");
+  t.begin_span(1.0, "a", "s", "k");
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  t.end_span(2.0, "a", "s", "k");  // open span was cleared too
+  EXPECT_TRUE(t.spans().empty());
+}
+
+}  // namespace
+}  // namespace hoh::sim

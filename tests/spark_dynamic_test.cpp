@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "spark/standalone.h"
+
+namespace hoh::spark {
+namespace {
+
+class DynamicAllocationTest : public ::testing::Test {
+ protected:
+  DynamicAllocationTest()
+      : machine_(cluster::generic_profile(4, 8, 16 * 1024)) {
+    std::vector<std::shared_ptr<cluster::Node>> nodes;
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(std::make_shared<cluster::Node>(
+          "n" + std::to_string(i), machine_.node));
+    }
+    allocation_ = cluster::Allocation(nodes);
+    SparkConfig cfg;
+    cfg.dynamic_allocation = true;
+    cfg.executor_idle_timeout = 30.0;
+    spark_ = std::make_unique<SparkStandaloneCluster>(engine_, machine_,
+                                                      allocation_, cfg);
+  }
+
+  sim::Engine engine_;
+  cluster::MachineProfile machine_;
+  cluster::Allocation allocation_;
+  std::unique_ptr<SparkStandaloneCluster> spark_;
+};
+
+TEST_F(DynamicAllocationTest, StartsAtMinExecutors) {
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.min_executors = 1;
+  const auto id = spark_->submit_application(app);
+  engine_.run_until(30.0);
+  EXPECT_EQ(spark_->executors(id).size(), 1u);
+  EXPECT_EQ(spark_->task_slots(id), 4);
+}
+
+TEST_F(DynamicAllocationTest, GrowsUnderBacklogAndFinishesSooner) {
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.min_executors = 1;
+  const auto id = spark_->submit_application(app);
+  engine_.run_until(30.0);
+  ASSERT_EQ(spark_->task_slots(id), 4);
+
+  // 32 tasks x 60 s: with 4 static slots this is 8 waves (480 s); under
+  // dynamic allocation the executor set grows toward 32 cores.
+  bool done = false;
+  double done_at = -1.0;
+  const double t0 = engine_.now();
+  spark_->run_stage(id, 32, [](int) { return 60.0; }, [&] {
+    done = true;
+    done_at = engine_.now();
+  });
+  engine_.run_until(t0 + 50.0);
+  EXPECT_GT(spark_->executors(id).size(), 1u);  // grew mid-run
+  engine_.run_until(t0 + 2000.0);
+  ASSERT_TRUE(done);
+  // Clearly better than the 8-wave static floor.
+  EXPECT_LT(done_at - t0, 420.0);
+}
+
+TEST_F(DynamicAllocationTest, ShedsIdleExecutorsAfterTimeout) {
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.min_executors = 1;
+  const auto id = spark_->submit_application(app);
+  engine_.run_until(30.0);
+  bool done = false;
+  const double t0 = engine_.now();
+  spark_->run_stage(id, 24, [](int) { return 30.0; }, [&] { done = true; });
+  engine_.run_until(t0 + 60.0);
+  const auto grown = spark_->executors(id).size();
+  ASSERT_GT(grown, 1u);  // grew while the backlog was live
+  engine_.run_until(t0 + 1000.0);
+  ASSERT_TRUE(done);
+  // After the idle timeout the app shrank back to min_executors.
+  EXPECT_EQ(spark_->executors(id).size(), 1u);
+  // Worker capacity returned (a second app can take the whole cluster
+  // minus the retained executor).
+  SparkAppDescriptor other;
+  other.executor_cores = 4;
+  other.min_executors = 1;
+  other.max_cores = 28;
+  const auto id2 = spark_->submit_application(other);
+  engine_.run_until(engine_.now() + 600.0);
+  bool done2 = false;
+  spark_->run_stage(id2, 28, [](int) { return 10.0; }, [&] { done2 = true; });
+  engine_.run_until(engine_.now() + 600.0);
+  EXPECT_TRUE(done2);
+}
+
+TEST_F(DynamicAllocationTest, StaticModeUnchanged) {
+  SparkConfig cfg;  // dynamic_allocation off
+  SparkStandaloneCluster static_spark(engine_, machine_, allocation_, cfg);
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.max_cores = 16;
+  const auto id = static_spark.submit_application(app);
+  engine_.run_until(engine_.now() + 30.0);
+  EXPECT_EQ(static_spark.task_slots(id), 16);  // full grant up front
+}
+
+}  // namespace
+}  // namespace hoh::spark

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "common/error.h"
+#include "spark/rdd.h"
+
+namespace hoh::spark {
+namespace {
+
+std::vector<int> iota(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(RddOpsTest, UnionConcatenates) {
+  SparkEnv env(2);
+  auto a = Rdd<int>::parallelize(env, {1, 2, 3}, 2);
+  auto b = Rdd<int>::parallelize(env, {4, 5}, 1);
+  auto u = a.union_with(b);
+  EXPECT_EQ(u.count(), 5u);
+  EXPECT_EQ(u.num_partitions(), 3u);
+  EXPECT_EQ(u.fold(0, [](int x, int y) { return x + y; }), 15);
+}
+
+TEST(RddOpsTest, DistinctRemovesDuplicates) {
+  SparkEnv env(2);
+  auto rdd = Rdd<int>::parallelize(env, {3, 1, 3, 2, 1, 1}, 3).distinct();
+  EXPECT_EQ(rdd.collect(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RddOpsTest, SampleDeterministicAndProportional) {
+  SparkEnv env(4);
+  auto rdd = Rdd<int>::parallelize(env, iota(10000), 8);
+  auto s1 = rdd.sample(0.3, 7).count();
+  auto s2 = rdd.sample(0.3, 7).count();
+  EXPECT_EQ(s1, s2);
+  EXPECT_NEAR(static_cast<double>(s1), 3000.0, 200.0);
+  EXPECT_EQ(rdd.sample(0.0).count(), 0u);
+  EXPECT_EQ(rdd.sample(1.0).count(), 10000u);
+}
+
+TEST(RddOpsTest, ZipWithIndexIsGloballySequential) {
+  SparkEnv env(2);
+  auto zipped =
+      Rdd<std::string>::parallelize(env, {"a", "b", "c", "d"}, 3)
+          .zip_with_index()
+          .collect();
+  ASSERT_EQ(zipped.size(), 4u);
+  for (std::size_t i = 0; i < zipped.size(); ++i) {
+    EXPECT_EQ(zipped[i].second, i);
+  }
+  EXPECT_EQ(zipped[2].first, "c");
+}
+
+TEST(RddOpsTest, TakeAndFirst) {
+  SparkEnv env(2);
+  auto rdd = Rdd<int>::parallelize(env, iota(100), 7);
+  EXPECT_EQ(rdd.take(3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(rdd.take(1000).size(), 100u);
+  EXPECT_EQ(rdd.first(), 0);
+  auto empty = Rdd<int>::parallelize(env, {}, 2);
+  EXPECT_TRUE(empty.take(5).empty());
+  EXPECT_THROW(empty.first(), common::StateError);
+}
+
+TEST(RddOpsTest, GroupByKeyGathersValues) {
+  SparkEnv env(2);
+  auto rdd = Rdd<std::pair<std::string, int>>::parallelize(
+      env, {{"a", 1}, {"b", 2}, {"a", 3}}, 2);
+  auto grouped = collect_as_map(group_by_key(rdd));
+  ASSERT_EQ(grouped.size(), 2u);
+  EXPECT_EQ(grouped.at("a"), (std::vector<int>{1, 3}));
+  EXPECT_EQ(grouped.at("b"), (std::vector<int>{2}));
+}
+
+TEST(RddOpsTest, MapValuesKeepsKeys) {
+  SparkEnv env(2);
+  auto rdd = Rdd<std::pair<std::string, int>>::parallelize(
+      env, {{"x", 2}, {"y", 5}}, 2);
+  auto doubled = collect_as_map(
+      map_values(rdd, [](const int& v) { return v * 10; }));
+  EXPECT_EQ(doubled.at("x"), 20);
+  EXPECT_EQ(doubled.at("y"), 50);
+}
+
+TEST(RddOpsTest, InnerJoinMatchesKeys) {
+  SparkEnv env(2);
+  auto users = Rdd<std::pair<int, std::string>>::parallelize(
+      env, {{1, "ada"}, {2, "bob"}, {3, "eve"}}, 2);
+  auto scores = Rdd<std::pair<int, double>>::parallelize(
+      env, {{1, 9.5}, {3, 7.0}, {4, 1.0}}, 2);
+  auto joined = join(users, scores).collect();
+  std::map<int, std::pair<std::string, double>> by_key;
+  for (const auto& [k, vw] : joined) by_key[k] = vw;
+  ASSERT_EQ(by_key.size(), 2u);  // keys 2 and 4 have no partner
+  EXPECT_EQ(by_key.at(1).first, "ada");
+  EXPECT_DOUBLE_EQ(by_key.at(1).second, 9.5);
+  EXPECT_EQ(by_key.at(3).first, "eve");
+}
+
+TEST(RddOpsTest, JoinProducesCrossProductPerKey) {
+  SparkEnv env(2);
+  auto left = Rdd<std::pair<int, int>>::parallelize(
+      env, {{1, 10}, {1, 20}}, 1);
+  auto right = Rdd<std::pair<int, int>>::parallelize(
+      env, {{1, 100}, {1, 200}, {1, 300}}, 1);
+  EXPECT_EQ(join(left, right).count(), 6u);  // 2 x 3
+}
+
+TEST(RddOpsTest, CogroupIncludesOneSidedKeys) {
+  SparkEnv env(2);
+  auto left = Rdd<std::pair<std::string, int>>::parallelize(
+      env, {{"a", 1}, {"b", 2}}, 1);
+  auto right = Rdd<std::pair<std::string, int>>::parallelize(
+      env, {{"b", 20}, {"c", 30}}, 1);
+  auto groups = collect_as_map(cogroup(left, right));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups.at("a").first.size(), 1u);
+  EXPECT_TRUE(groups.at("a").second.empty());
+  EXPECT_EQ(groups.at("b").first.size(), 1u);
+  EXPECT_EQ(groups.at("b").second.size(), 1u);
+  EXPECT_TRUE(groups.at("c").first.empty());
+  EXPECT_EQ(groups.at("c").second.size(), 1u);
+}
+
+TEST(RddOpsTest, CountByKey) {
+  SparkEnv env(2);
+  std::vector<std::pair<std::string, int>> pairs;
+  for (int i = 0; i < 30; ++i) pairs.push_back({i % 2 ? "odd" : "even", i});
+  auto counts = count_by_key(
+      Rdd<std::pair<std::string, int>>::parallelize(env, pairs, 4));
+  EXPECT_EQ(counts.at("even"), 15u);
+  EXPECT_EQ(counts.at("odd"), 15u);
+}
+
+TEST(RddOpsTest, ChainedRelationalPipeline) {
+  // A small "log analysis": parse -> filter -> join with a lookup ->
+  // aggregate. Exercises many ops composed.
+  SparkEnv env(4);
+  std::vector<std::string> log_lines;
+  for (int i = 0; i < 200; ++i) {
+    log_lines.push_back("host" + std::to_string(i % 5) + " " +
+                        std::to_string(i % 7 == 0 ? 500 : 200));
+  }
+  auto events =
+      Rdd<std::string>::parallelize(env, log_lines, 8)
+          .map([](const std::string& line) {
+            const auto space = line.find(' ');
+            return std::pair<std::string, int>(
+                line.substr(0, space),
+                std::stoi(line.substr(space + 1)));
+          })
+          .filter([](const std::pair<std::string, int>& kv) {
+            return kv.second >= 500;  // errors only
+          });
+  auto owners = Rdd<std::pair<std::string, std::string>>::parallelize(
+      env,
+      {{"host0", "team-a"}, {"host1", "team-a"}, {"host2", "team-b"},
+       {"host3", "team-b"}, {"host4", "team-c"}},
+      2);
+  // join: (host, (code, team)) -> (team, 1) -> counts per team.
+  auto errors_per_team = collect_as_map(reduce_by_key(
+      join(events, owners)
+          .map([](const std::pair<std::string,
+                                  std::pair<int, std::string>>& row) {
+            return std::pair<std::string, int>(row.second.second, 1);
+          }),
+      [](int a, int b) { return a + b; }));
+  std::size_t total_errors = 0;
+  for (const auto& [team, n] : errors_per_team) {
+    total_errors += static_cast<std::size_t>(n);
+  }
+  // i % 7 == 0 for i in [0, 200): 29 error lines.
+  EXPECT_EQ(total_errors, 29u);
+  EXPECT_EQ(errors_per_team.size(), 3u);  // all three teams saw errors
+  // Cross-check against the per-host counts.
+  auto per_host = count_by_key(events);
+  std::size_t total = 0;
+  for (const auto& [host, n] : per_host) total += n;
+  EXPECT_EQ(total, 29u);
+}
+
+}  // namespace
+}  // namespace hoh::spark

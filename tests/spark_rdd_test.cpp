@@ -1,0 +1,210 @@
+#include "spark/rdd.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+
+#include "common/error.h"
+
+namespace hoh::spark {
+namespace {
+
+std::vector<int> iota(int n) {
+  std::vector<int> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+TEST(RddTest, ParallelizeAndCollectPreservesData) {
+  SparkEnv env(4);
+  auto rdd = Rdd<int>::parallelize(env, iota(100), 7);
+  auto out = rdd.collect();
+  EXPECT_EQ(out, iota(100));
+  EXPECT_EQ(rdd.count(), 100u);
+  EXPECT_EQ(rdd.num_partitions(), 7u);
+}
+
+TEST(RddTest, MapTransformsLazily) {
+  SparkEnv env(4);
+  std::atomic<int> calls{0};
+  auto rdd = Rdd<int>::parallelize(env, iota(10), 2).map([&calls](const int& x) {
+    calls.fetch_add(1);
+    return x * 2;
+  });
+  EXPECT_EQ(calls.load(), 0);  // lazy until action
+  auto out = rdd.collect();
+  EXPECT_EQ(calls.load(), 10);
+  EXPECT_EQ(out[3], 6);
+}
+
+TEST(RddTest, FilterKeepsMatching) {
+  SparkEnv env(2);
+  auto evens = Rdd<int>::parallelize(env, iota(20), 3)
+                   .filter([](const int& x) { return x % 2 == 0; });
+  EXPECT_EQ(evens.count(), 10u);
+}
+
+TEST(RddTest, FlatMapExpands) {
+  SparkEnv env(2);
+  auto words = Rdd<std::string>::parallelize(
+      env, {"a b", "c d e"}, 2);
+  auto split = words.flat_map([](const std::string& s) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+      if (c == ' ') {
+        out.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+  });
+  EXPECT_EQ(split.count(), 5u);
+}
+
+TEST(RddTest, MapPartitionsSeesWholePartition) {
+  SparkEnv env(2);
+  auto sums = Rdd<int>::parallelize(env, iota(10), 2)
+                  .map_partitions([](const std::vector<int>& part) {
+                    return std::vector<int>{
+                        std::accumulate(part.begin(), part.end(), 0)};
+                  });
+  auto out = sums.collect();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0] + out[1], 45);
+}
+
+TEST(RddTest, ReduceComputesAggregate) {
+  SparkEnv env(4);
+  auto rdd = Rdd<int>::parallelize(env, iota(101), 8);
+  EXPECT_EQ(rdd.reduce([](int a, int b) { return a + b; }), 5050);
+}
+
+TEST(RddTest, ReduceEmptyThrows) {
+  SparkEnv env(2);
+  auto rdd = Rdd<int>::parallelize(env, {}, 2);
+  EXPECT_THROW(rdd.reduce([](int a, int b) { return a + b; }),
+               common::StateError);
+}
+
+TEST(RddTest, FoldSafeOnEmpty) {
+  SparkEnv env(2);
+  auto rdd = Rdd<int>::parallelize(env, {}, 2);
+  EXPECT_EQ(rdd.fold(7, [](int a, int b) { return a + b; }), 7);
+}
+
+TEST(RddTest, ChainedPipeline) {
+  SparkEnv env(4);
+  const int result = Rdd<int>::parallelize(env, iota(1000), 16)
+                         .map([](const int& x) { return x + 1; })
+                         .filter([](const int& x) { return x % 3 == 0; })
+                         .map([](const int& x) { return x * x; })
+                         .fold(0, [](int a, int b) { return a + b; });
+  int expected = 0;
+  for (int x = 0; x < 1000; ++x) {
+    const int y = x + 1;
+    if (y % 3 == 0) expected += y * y;
+  }
+  EXPECT_EQ(result, expected);
+}
+
+TEST(RddTest, CacheEvaluatesOnce) {
+  SparkEnv env(2);
+  std::atomic<int> calls{0};
+  auto rdd = Rdd<int>::parallelize(env, iota(10), 2)
+                 .map([&calls](const int& x) {
+                   calls.fetch_add(1);
+                   return x;
+                 })
+                 .cache();
+  rdd.count();
+  rdd.count();
+  rdd.collect();
+  EXPECT_EQ(calls.load(), 10);  // map ran exactly once
+}
+
+TEST(RddTest, WithoutCacheRecomputes) {
+  SparkEnv env(2);
+  std::atomic<int> calls{0};
+  auto rdd = Rdd<int>::parallelize(env, iota(10), 2)
+                 .map([&calls](const int& x) {
+                   calls.fetch_add(1);
+                   return x;
+                 });
+  rdd.count();
+  rdd.count();
+  EXPECT_EQ(calls.load(), 20);
+}
+
+TEST(RddTest, ReduceByKeyAggregatesPerKey) {
+  SparkEnv env(4);
+  std::vector<std::pair<int, double>> pairs;
+  for (int i = 0; i < 100; ++i) {
+    pairs.emplace_back(i % 5, 1.0);
+  }
+  auto rdd = Rdd<std::pair<int, double>>::parallelize(env, pairs, 8);
+  auto counts = collect_as_map(
+      reduce_by_key(rdd, [](double a, double b) { return a + b; }, 4));
+  ASSERT_EQ(counts.size(), 5u);
+  for (const auto& [k, v] : counts) EXPECT_DOUBLE_EQ(v, 20.0);
+}
+
+TEST(RddTest, ReduceByKeyStringKeys) {
+  SparkEnv env(2);
+  auto rdd = Rdd<std::pair<std::string, int>>::parallelize(
+      env, {{"a", 1}, {"b", 2}, {"a", 3}, {"b", 4}, {"c", 5}}, 3);
+  auto m = collect_as_map(
+      reduce_by_key(rdd, [](int a, int b) { return a + b; }));
+  EXPECT_EQ(m.at("a"), 4);
+  EXPECT_EQ(m.at("b"), 6);
+  EXPECT_EQ(m.at("c"), 5);
+}
+
+TEST(RddTest, WordCountEndToEnd) {
+  SparkEnv env(4);
+  std::vector<std::string> lines = {"the quick brown fox", "the lazy dog",
+                                    "the fox"};
+  auto words = Rdd<std::string>::parallelize(env, lines, 2)
+                   .flat_map([](const std::string& line) {
+                     std::vector<std::string> out;
+                     std::string cur;
+                     for (char c : line) {
+                       if (c == ' ') {
+                         if (!cur.empty()) out.push_back(cur);
+                         cur.clear();
+                       } else {
+                         cur.push_back(c);
+                       }
+                     }
+                     if (!cur.empty()) out.push_back(cur);
+                     return out;
+                   })
+                   .map([](const std::string& w) {
+                     return std::pair<std::string, int>(w, 1);
+                   });
+  auto counts =
+      collect_as_map(reduce_by_key(words, [](int a, int b) { return a + b; }));
+  EXPECT_EQ(counts.at("the"), 3);
+  EXPECT_EQ(counts.at("fox"), 2);
+  EXPECT_EQ(counts.at("dog"), 1);
+}
+
+class RddPartitionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RddPartitionSweep, SumInvariantUnderPartitioning) {
+  SparkEnv env(4);
+  auto rdd = Rdd<int>::parallelize(env, iota(500), GetParam());
+  EXPECT_EQ(rdd.fold(0, [](int a, int b) { return a + b; }), 124750);
+  EXPECT_EQ(rdd.count(), 500u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, RddPartitionSweep,
+                         ::testing::Values(1u, 2u, 3u, 8u, 64u, 500u, 1000u));
+
+}  // namespace
+}  // namespace hoh::spark

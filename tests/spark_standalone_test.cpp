@@ -1,0 +1,160 @@
+#include "spark/standalone.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace hoh::spark {
+namespace {
+
+class SparkStandaloneTest : public ::testing::Test {
+ protected:
+  SparkStandaloneTest() : machine_(cluster::generic_profile(3, 8, 16 * 1024)) {
+    std::vector<std::shared_ptr<cluster::Node>> nodes;
+    for (int i = 0; i < 3; ++i) {
+      nodes.push_back(std::make_shared<cluster::Node>(
+          "n" + std::to_string(i), machine_.node));
+    }
+    allocation_ = cluster::Allocation(nodes);
+  }
+
+  sim::Engine engine_;
+  cluster::MachineProfile machine_;
+  cluster::Allocation allocation_;
+};
+
+TEST_F(SparkStandaloneTest, MasterOnFirstNode) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  EXPECT_EQ(spark.master_node(), "n0");
+}
+
+TEST_F(SparkStandaloneTest, ExecutorsGrantedAndReady) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  bool ready = false;
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.executor_memory_mb = 4096;
+  app.max_cores = 12;
+  const auto id = spark.submit_application(app, [&] { ready = true; });
+  EXPECT_EQ(spark.app_state(id), SparkAppState::kWaiting);
+  engine_.run_until(30.0);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(spark.app_state(id), SparkAppState::kRunning);
+  EXPECT_EQ(spark.task_slots(id), 12);
+  EXPECT_EQ(spark.executors(id).size(), 3u);
+}
+
+TEST_F(SparkStandaloneTest, SpreadOutPlacesAcrossWorkers) {
+  SparkConfig cfg;
+  cfg.spread_out = true;
+  SparkStandaloneCluster spark(engine_, machine_, allocation_, cfg);
+  SparkAppDescriptor app;
+  app.executor_cores = 2;
+  app.max_cores = 6;
+  const auto id = spark.submit_application(app);
+  engine_.run_until(30.0);
+  std::set<std::string> nodes;
+  for (const auto& e : spark.executors(id)) nodes.insert(e.worker_node);
+  EXPECT_EQ(nodes.size(), 3u);
+}
+
+TEST_F(SparkStandaloneTest, ConsolidatePacksOneWorker) {
+  SparkConfig cfg;
+  cfg.spread_out = false;
+  SparkStandaloneCluster spark(engine_, machine_, allocation_, cfg);
+  SparkAppDescriptor app;
+  app.executor_cores = 2;
+  app.executor_memory_mb = 1024;
+  app.max_cores = 6;
+  const auto id = spark.submit_application(app);
+  engine_.run_until(30.0);
+  std::set<std::string> nodes;
+  for (const auto& e : spark.executors(id)) nodes.insert(e.worker_node);
+  EXPECT_EQ(nodes.size(), 1u);
+}
+
+TEST_F(SparkStandaloneTest, StageRunsAllTasksInWaves) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.max_cores = 8;  // 8 slots
+  const auto id = spark.submit_application(app);
+  engine_.run_until(30.0);
+  ASSERT_EQ(spark.task_slots(id), 8);
+
+  double done_at = -1.0;
+  const double t0 = engine_.now();
+  // 16 tasks x 10 s on 8 slots => 2 waves => 20 s.
+  spark.run_stage(id, 16, [](int) { return 10.0; },
+                  [&] { done_at = engine_.now(); });
+  engine_.run_until(t0 + 100.0);
+  ASSERT_GT(done_at, 0.0);
+  EXPECT_NEAR(done_at - t0, 20.0, 1e-6);
+}
+
+TEST_F(SparkStandaloneTest, StagesRunSequentially) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  SparkAppDescriptor app;
+  app.executor_cores = 8;
+  app.max_cores = 8;
+  const auto id = spark.submit_application(app);
+  engine_.run_until(30.0);
+  std::vector<int> order;
+  spark.run_stage(id, 8, [](int) { return 5.0; }, [&] { order.push_back(1); });
+  spark.run_stage(id, 8, [](int) { return 5.0; }, [&] { order.push_back(2); });
+  engine_.run_until(engine_.now() + 60.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SparkStandaloneTest, FinishReleasesExecutors) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  SparkAppDescriptor app;
+  app.executor_cores = 8;
+  app.executor_memory_mb = 8192;
+  const auto id = spark.submit_application(app);
+  engine_.run_until(30.0);
+  ASSERT_GT(spark.task_slots(id), 0);
+  spark.finish_application(id);
+  EXPECT_EQ(spark.app_state(id), SparkAppState::kFinished);
+  EXPECT_EQ(spark.task_slots(id), 0);
+  // Node ledgers returned to full capacity.
+  for (const auto& node : allocation_.nodes()) {
+    EXPECT_EQ(node->free_cores(), node->spec().cores);
+  }
+}
+
+TEST_F(SparkStandaloneTest, TwoAppsShareTheCluster) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  SparkAppDescriptor app;
+  app.executor_cores = 4;
+  app.executor_memory_mb = 4096;
+  app.max_cores = 12;
+  const auto a = spark.submit_application(app);
+  const auto b = spark.submit_application(app);
+  engine_.run_until(30.0);
+  EXPECT_EQ(spark.task_slots(a) + spark.task_slots(b), 24);
+}
+
+TEST_F(SparkStandaloneTest, StatusJson) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  auto j = spark.status();
+  EXPECT_EQ(j.at("master").as_string(), "n0");
+  EXPECT_EQ(j.at("workers").as_array().size(), 3u);
+}
+
+TEST_F(SparkStandaloneTest, SubmitAfterShutdownThrows) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  spark.shutdown();
+  EXPECT_THROW(spark.submit_application(SparkAppDescriptor{}),
+               common::StateError);
+}
+
+TEST_F(SparkStandaloneTest, InvalidDescriptorRejected) {
+  SparkStandaloneCluster spark(engine_, machine_, allocation_);
+  SparkAppDescriptor app;
+  app.executor_cores = 0;
+  EXPECT_THROW(spark.submit_application(app), common::ConfigError);
+}
+
+}  // namespace
+}  // namespace hoh::spark

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "hdfs/hdfs_cluster.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+#include "sim/trace_analysis.h"
+#include "yarn/application_master.h"
+#include "yarn/resource_manager.h"
+
+namespace hoh {
+namespace {
+
+// -------------------------------------------------------- HDFS balancer ---
+
+class BalancerTest : public ::testing::Test {
+ protected:
+  BalancerTest() : machine_(cluster::stampede_profile()) {
+    for (int i = 0; i < 4; ++i) nodes_.push_back("n" + std::to_string(i));
+    fs_ = std::make_unique<hdfs::HdfsCluster>(engine_, machine_, nodes_);
+  }
+
+  double usage_spread() const {
+    common::Bytes lo = INT64_MAX;
+    common::Bytes hi = 0;
+    for (const auto& r : fs_->datanode_reports()) {
+      lo = std::min(lo, r.used);
+      hi = std::max(hi, r.used);
+    }
+    return static_cast<double>(hi - lo);
+  }
+
+  sim::Engine engine_;
+  cluster::MachineProfile machine_;
+  std::vector<std::string> nodes_;
+  std::unique_ptr<hdfs::HdfsCluster> fs_;
+};
+
+TEST_F(BalancerTest, EvensOutSkewedPlacement) {
+  // Pile single-replica files onto n0 via the writer-affinity rule.
+  for (int i = 0; i < 12; ++i) {
+    fs_->create_file("/skew" + std::to_string(i), 64 * common::kMiB, "n0",
+                     1);
+  }
+  const auto before = usage_spread();
+  const auto used_before = fs_->used_bytes();
+  const auto moves = fs_->balance(0.1);
+  EXPECT_GT(moves, 0u);
+  EXPECT_LT(usage_spread(), before);
+  EXPECT_EQ(fs_->used_bytes(), used_before);  // moves, not copies
+  // Replicas still on distinct nodes per block.
+  for (const auto& path : fs_->list()) {
+    for (const auto& block : fs_->stat(path).blocks) {
+      std::set<std::string> holders;
+      for (const auto& r : block.replicas) holders.insert(r.node);
+      EXPECT_EQ(holders.size(), block.replicas.size());
+    }
+  }
+}
+
+TEST_F(BalancerTest, BalancedClusterNeedsNoMoves) {
+  for (int i = 0; i < 4; ++i) {
+    fs_->create_file("/even" + std::to_string(i), 64 * common::kMiB,
+                     "n" + std::to_string(i), 1);
+  }
+  EXPECT_EQ(fs_->balance(0.1), 0u);
+}
+
+TEST_F(BalancerTest, EmptyClusterNoMoves) {
+  EXPECT_EQ(fs_->balance(), 0u);
+}
+
+TEST_F(BalancerTest, FullReplicationLeavesNoLegalMoves) {
+  // Replication 4 on 4 nodes: every node holds every block; the balancer
+  // must recognize there is nowhere to move anything.
+  fs_->create_file("/full", 256 * common::kMiB, "n0", 4);
+  EXPECT_EQ(fs_->balance(0.0), 0u);
+}
+
+// --------------------------------------------------- YARN FIFO policy ---
+
+class YarnPolicyTest : public ::testing::Test {
+ protected:
+  YarnPolicyTest() : machine_(cluster::generic_profile(2, 8, 16 * 1024)) {
+    std::vector<std::shared_ptr<cluster::Node>> nodes;
+    for (int i = 0; i < 2; ++i) {
+      nodes.push_back(std::make_shared<cluster::Node>(
+          "n" + std::to_string(i), machine_.node));
+    }
+    allocation_ = cluster::Allocation(nodes);
+  }
+  sim::Engine engine_;
+  cluster::MachineProfile machine_;
+  cluster::Allocation allocation_;
+};
+
+TEST_F(YarnPolicyTest, FifoRunsAppsInSubmissionOrder) {
+  yarn::YarnConfig cfg;
+  cfg.scheduler_policy = yarn::SchedulerPolicy::kFifo;
+  cfg.nm_memory_mb = 4096;  // tiny NMs: one 4 GB app at a time
+  yarn::ResourceManager rm(engine_, allocation_, cfg);
+  std::vector<int> start_order;
+  auto make_app = [&](int index) {
+    yarn::AppDescriptor app;
+    app.am_resource = {4096, 1};
+    app.on_am_start = [&, index](yarn::ApplicationMaster& am) {
+      start_order.push_back(index);
+      engine_.schedule(30.0, [&am] { am.unregister(true); });
+    };
+    return app;
+  };
+  for (int i = 0; i < 4; ++i) rm.submit_application(make_app(i));
+  engine_.run_until(600.0);
+  EXPECT_EQ(start_order, (std::vector<int>{0, 1, 2, 3}));
+  rm.shutdown();
+}
+
+TEST_F(YarnPolicyTest, RecoveredNodeServesAgain) {
+  yarn::ResourceManager rm(engine_, allocation_);
+  engine_.run_until(5.0);
+  rm.fail_node("n0");
+  EXPECT_EQ(rm.live_node_count(), 1u);
+  rm.recover_node("n0");
+  EXPECT_EQ(rm.live_node_count(), 2u);
+  // New work lands on the recovered node when preferred.
+  std::string placed;
+  yarn::AppDescriptor app;
+  app.on_am_start = [&](yarn::ApplicationMaster& am) {
+    yarn::ContainerRequest req;
+    req.preferred_nodes = {"n0"};
+    am.request_containers(1, req, [&](const yarn::Container& c) {
+      placed = c.node;
+    });
+  };
+  rm.submit_application(std::move(app));
+  engine_.run_until(120.0);
+  EXPECT_EQ(placed, "n0");
+  rm.shutdown();
+}
+
+TEST_F(YarnPolicyTest, AppsJsonListsApplications) {
+  yarn::ResourceManager rm(engine_, allocation_);
+  yarn::AppDescriptor app;
+  app.name = "wordcount";
+  app.on_am_start = [](yarn::ApplicationMaster& am) { am.unregister(true); };
+  const auto id = rm.submit_application(std::move(app));
+  engine_.run_until(60.0);
+  const auto apps = rm.apps_json().at("apps").at("app").as_array();
+  ASSERT_EQ(apps.size(), 1u);
+  EXPECT_EQ(apps[0].at("id").as_string(), id);
+  EXPECT_EQ(apps[0].at("name").as_string(), "wordcount");
+  EXPECT_EQ(apps[0].at("state").as_string(), "FINISHED");
+  rm.shutdown();
+}
+
+// -------------------------------------------- bounded staging workers ---
+
+TEST(StagingWorkerTest, ConcurrentTransfersCappedAtConfig) {
+  pilot::Session session;
+  session.register_machine(cluster::stampede_profile(),
+                           hpc::SchedulerKind::kSlurm, 4);
+  pilot::PilotDescription pd;
+  pd.resource = "slurm://stampede/";
+  pd.nodes = 2;
+  pilot::AgentConfig cfg;
+  cfg.max_concurrent_staging = 2;
+  pilot::PilotManager pm(session);
+  pilot::UnitManager um(session);
+  auto pilot = pm.submit_pilot(pd, cfg);
+  um.add_pilot(pilot);
+
+  // 12 units each staging one 512 MiB input: with 2 staging slots the
+  // transfers serialize into waves.
+  std::vector<pilot::ComputeUnitDescription> cuds;
+  for (int i = 0; i < 12; ++i) {
+    pilot::ComputeUnitDescription cud;
+    cud.duration = 1.0;
+    cud.memory_mb = 1024;
+    cud.input_staging = {{saga::Url("file://stampede/in-" +
+                                    std::to_string(i) + ".dat"),
+                          512 * common::kMiB}};
+    cuds.push_back(cud);
+  }
+  um.submit(cuds);
+  while (!um.all_done() && session.engine().now() < 7 * 24 * 3600.0) {
+    session.engine().run_until(session.engine().now() + 10.0);
+  }
+  ASSERT_TRUE(um.all_done());
+  // Count the peak of concurrent transfers from the SAGA trace.
+  std::vector<sim::TraceSpan> transfers;
+  std::map<std::string, double> starts;
+  for (const auto& e : session.trace().find("saga")) {
+    if (e.name == "transfer_started") {
+      starts[e.attrs.at("src")] = e.time;
+    } else if (e.name == "transfer_done") {
+      auto it = starts.find(e.attrs.at("src"));
+      if (it != starts.end()) {
+        transfers.push_back(
+            sim::TraceSpan{it->second, e.time, "saga", "xfer", ""});
+        starts.erase(it);
+      }
+    }
+  }
+  EXPECT_LE(sim::peak_concurrency(transfers), 2);
+  EXPECT_GE(transfers.size(), 12u);
+}
+
+}  // namespace
+}  // namespace hoh

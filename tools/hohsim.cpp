@@ -1,0 +1,99 @@
+/// hohsim — run K-Means middleware experiments from a JSON plan.
+///
+/// Usage:
+///   hohsim <plan.json>         run every experiment in the plan
+///   hohsim --demo              run a built-in two-cell demo plan
+///   hohsim --json <plan.json>  emit machine-readable JSON results
+///
+/// Plan format (see src/analytics/experiment_config.h):
+///   {"experiments": [{"machine": "stampede", "nodes": 3, "tasks": 32,
+///                     "stack": "rp-yarn", "scenario": "1m"}, ...]}
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analytics/experiment_config.h"
+#include "common/error.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw hoh::common::NotFoundError("cannot open plan file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const char* kDemoPlan = R"({
+  "experiments": [
+    {"machine": "stampede", "nodes": 3, "tasks": 32,
+     "stack": "rp", "scenario": "1m"},
+    {"machine": "stampede", "nodes": 3, "tasks": 32,
+     "stack": "rp-yarn", "scenario": "1m"}
+  ]
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hoh;
+  using namespace hoh::analytics;
+
+  bool json_output = false;
+  std::string plan_text;
+  try {
+    if (argc >= 2 && std::string(argv[1]) == "--demo") {
+      plan_text = kDemoPlan;
+    } else if (argc >= 3 && std::string(argv[1]) == "--json") {
+      json_output = true;
+      plan_text = read_file(argv[2]);
+    } else if (argc >= 2) {
+      plan_text = read_file(argv[1]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s <plan.json> | --json <plan.json> | --demo\n",
+                   argv[0]);
+      return 2;
+    }
+
+    const auto plan =
+        experiment_plan_from_json(common::Json::parse(plan_text));
+    common::JsonArray results;
+    if (!json_output) {
+      std::printf("%-10s %-28s %6s %6s %-8s %12s %10s\n", "machine",
+                  "scenario", "nodes", "tasks", "stack", "ttc (s)",
+                  "startup");
+    }
+    for (const auto& cfg : plan) {
+      const auto result = run_kmeans_experiment(cfg);
+      if (json_output) {
+        results.push_back(result_to_json(cfg, result));
+      } else {
+        std::printf("%-10s %-28s %6d %6d %-8s %12.1f %10.1f%s\n",
+                    cfg.machine.name.c_str(), cfg.scenario.label.c_str(),
+                    cfg.nodes, cfg.tasks, cfg.yarn_stack ? "rp-yarn" : "rp",
+                    result.time_to_completion, result.agent_startup,
+                    result.ok ? "" : "  [FAILED]");
+      }
+      if (!result.ok) {
+        std::fprintf(stderr, "experiment failed: %s tasks=%d\n",
+                     cfg.scenario.label.c_str(), cfg.tasks);
+        return 1;
+      }
+    }
+    if (json_output) {
+      common::Json out;
+      out["results"] = std::move(results);
+      std::printf("%s\n", out.dump(2).c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hohsim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
