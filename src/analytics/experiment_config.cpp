@@ -85,6 +85,44 @@ KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
   if (doc.contains("reuse_yarn_app")) {
     cfg.reuse_yarn_app = doc.at("reuse_yarn_app").as_bool();
   }
+  if (doc.contains("elastic")) {
+    const common::Json& e = doc.at("elastic");
+    if (!e.is_object()) {
+      throw common::ConfigError("\"elastic\" must be an object");
+    }
+    cfg.elastic = true;
+    cfg.elastic_config.min_nodes = cfg.nodes;
+    cfg.elastic_config.max_nodes = cfg.nodes;
+    if (e.contains("policy")) {
+      cfg.elastic_policy.name = e.at("policy").as_string();
+    }
+    if (e.contains("params")) {
+      for (const auto& [key, value] : e.at("params").as_object()) {
+        cfg.elastic_policy.params[key] = value.as_number();
+      }
+    }
+    if (e.contains("sample_interval")) {
+      cfg.elastic_config.sample_interval =
+          e.at("sample_interval").as_number();
+    }
+    if (e.contains("max_nodes")) {
+      cfg.elastic_config.max_nodes =
+          static_cast<int>(e.at("max_nodes").as_int());
+    }
+    if (e.contains("min_nodes")) {
+      cfg.elastic_config.min_nodes =
+          static_cast<int>(e.at("min_nodes").as_int());
+    }
+    if (e.contains("drain_timeout")) {
+      cfg.elastic_config.drain_timeout = e.at("drain_timeout").as_number();
+    }
+    if (cfg.elastic_config.max_nodes < cfg.nodes) {
+      throw common::ConfigError("elastic.max_nodes must be >= nodes");
+    }
+    // Fail fast on a bad policy name or parameter, before any run time
+    // is spent.
+    elastic::make_policy(cfg.elastic_policy);
+  }
   return cfg;
 }
 
@@ -117,6 +155,13 @@ common::Json result_to_json(const KmeansExperimentConfig& config,
   j["agent_startup_s"] = result.agent_startup;
   j["mean_unit_startup_s"] = result.mean_unit_startup;
   j["units_completed"] = static_cast<std::int64_t>(result.units_completed);
+  if (config.elastic) {
+    j["elastic"] = common::Json(common::JsonObject{
+        {"policy", config.elastic_policy.name},
+        {"maxNodes", config.elastic_config.max_nodes},
+        {"peakNodes", result.peak_nodes},
+        {"counters", result.elastic_counters.to_json()}});
+  }
   return j;
 }
 

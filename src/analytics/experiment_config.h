@@ -24,8 +24,11 @@ namespace hoh::analytics {
 /// ("stampede" | "wrangler" | "generic"), nodes, tasks, stack ("rp" |
 /// "rp-yarn"), scenario ("10k" | "100k" | "1m" or an object with points/
 /// clusters and optional iterations), op_cost, shuffle_amplification,
-/// reuse_yarn_app. Missing fields keep defaults; unknown machine/stack/
-/// scenario values throw ConfigError.
+/// reuse_yarn_app, and an optional "elastic" object {policy, params,
+/// sample_interval, min_nodes, max_nodes, drain_timeout} that enables an
+/// ElasticController over the cell (min/max default to nodes; max_nodes
+/// below nodes throws). Missing fields keep defaults; unknown machine/
+/// stack/scenario/policy values throw ConfigError.
 KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc);
 
 /// Parses {"experiments": [...]} into a plan.

@@ -1,5 +1,8 @@
 #include "analytics/kmeans_experiment.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "common/error.h"
 #include "common/statistics.h"
 #include "common/string_util.h"
@@ -11,7 +14,10 @@ namespace hoh::analytics {
 KmeansExperimentResult run_kmeans_experiment(
     const KmeansExperimentConfig& config) {
   pilot::Session session;
-  session.register_machine(config.machine, config.scheduler, config.nodes);
+  const int pool_nodes =
+      config.elastic ? std::max(config.nodes, config.elastic_config.max_nodes)
+                     : config.nodes;
+  session.register_machine(config.machine, config.scheduler, pool_nodes);
 
   // Workload cost model for this cell.
   KmeansRunConfig run;
@@ -58,6 +64,15 @@ KmeansExperimentResult run_kmeans_experiment(
   KmeansExperimentResult result;
   if (pilot_handle->state() != pilot::PilotState::kActive) return result;
 
+  std::unique_ptr<elastic::ElasticController> controller;
+  if (config.elastic) {
+    controller = std::make_unique<elastic::ElasticController>(
+        pm, pilot_handle, elastic::make_policy(config.elastic_policy),
+        config.elastic_config, um.estimator_ptr());
+    controller->start();
+  }
+  result.peak_nodes = pilot_handle->live_nodes();
+
   // YARN-path units use 1 GiB containers (+1 GiB AM each) so a full
   // 32-task wave fits the 3-node cluster without a second wave; the
   // *memory pressure* of the real JVM footprint is modelled in the cost
@@ -84,6 +99,8 @@ KmeansExperimentResult run_kmeans_experiment(
     // Barrier: the paper's benchmark synchronizes between phases.
     while (!um.all_done() && session.engine().now() < kMaxSimTime) {
       session.engine().run_until(session.engine().now() + 5.0);
+      result.peak_nodes =
+          std::max(result.peak_nodes, pilot_handle->live_nodes());
     }
   };
 
@@ -92,6 +109,11 @@ KmeansExperimentResult run_kmeans_experiment(
               durations.map_task_seconds);
     run_phase(common::strformat("reduce-%d", iter),
               durations.reduce_task_seconds);
+  }
+
+  if (controller != nullptr) {
+    result.elastic_counters = controller->counters();
+    controller->stop();
   }
 
   // --- metrics from the trace ---

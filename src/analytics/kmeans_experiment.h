@@ -3,6 +3,7 @@
 #include <string>
 
 #include "analytics/kmeans_cost.h"
+#include "elastic/elastic_controller.h"
 #include "hpc/frontends.h"
 #include "pilot/descriptions.h"
 
@@ -42,6 +43,14 @@ struct KmeansExperimentConfig {
 
   /// Container memory for YARN-path units.
   common::MemoryMb unit_memory_mb = 0;  // 0 = stack default
+
+  /// Elasticity (plan "elastic" section): when enabled the pilot starts
+  /// at `nodes` and an ElasticController resizes it up to
+  /// `elastic.max_nodes` under the named policy. The machine pool is
+  /// sized to max_nodes so growth has somewhere to go.
+  bool elastic = false;
+  elastic::ElasticPolicySpec elastic_policy;
+  elastic::ElasticControllerConfig elastic_config;
 };
 
 struct KmeansExperimentResult {
@@ -58,6 +67,10 @@ struct KmeansExperimentResult {
 
   std::size_t units_completed = 0;
   bool ok = false;
+
+  /// Controller counters (all zeros when elasticity was disabled).
+  elastic::ElasticCounters elastic_counters;
+  int peak_nodes = 0;  // largest allocation the pilot held
 };
 
 KmeansExperimentResult run_kmeans_experiment(

@@ -161,4 +161,18 @@ std::vector<std::string> Allocation::node_names() const {
   return names;
 }
 
+void Allocation::add(std::shared_ptr<Node> node) {
+  nodes_.push_back(std::move(node));
+}
+
+bool Allocation::remove(const std::string& name) {
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if ((*it)->name() == name) {
+      nodes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace hoh::cluster

@@ -103,6 +103,13 @@ class Allocation {
   /// $PBS_NODEFILE contents the LRM parses).
   std::vector<std::string> node_names() const;
 
+  /// Elastic pilots append nodes granted by incremental batch jobs.
+  void add(std::shared_ptr<Node> node);
+
+  /// Removes the named node (a drained node being returned to the batch
+  /// system); returns false when no node of that name is held.
+  bool remove(const std::string& name);
+
  private:
   std::vector<std::shared_ptr<Node>> nodes_;
 };

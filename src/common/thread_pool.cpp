@@ -43,9 +43,20 @@ void ThreadPool::worker_loop() {
       }
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    idle_cv_.notify_all();
   }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
 void ThreadPool::parallel_for(std::size_t n,

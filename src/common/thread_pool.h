@@ -46,6 +46,11 @@ class ThreadPool {
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Blocks until the queue is empty and no worker is running a task.
+  /// Quiesce point for drain paths and tests; the pool stays usable.
+  /// Note: tasks submitted *while* waiting extend the wait.
+  void wait_idle();
+
  private:
   void enqueue(std::function<void()> job);
   void worker_loop();
@@ -54,6 +59,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
   bool stopping_ = false;
 };
 

@@ -1,0 +1,159 @@
+#include "elastic/policy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hoh::elastic {
+
+std::string to_string(ElasticAction action) {
+  switch (action) {
+    case ElasticAction::kHold:
+      return "hold";
+    case ElasticAction::kGrow:
+      return "grow";
+    case ElasticAction::kShrink:
+      return "shrink";
+  }
+  return "?";
+}
+
+namespace {
+
+int nodes_for_cores(int cores, int cores_per_node) {
+  const int per = std::max(1, cores_per_node);
+  return (std::max(1, cores) + per - 1) / per;
+}
+
+}  // namespace
+
+ElasticDecision BacklogPolicy::decide(const PilotSample& sample) {
+  if (sample.queued_cores > 0) {
+    const int idle = sample.idle_cores();
+    const bool starved =
+        idle == 0 ||
+        static_cast<double>(sample.queued_cores) / idle >
+            config_.grow_queued_per_idle;
+    if (!starved) return {ElasticAction::kHold, 0, "backlog within slots"};
+    const int deficit = std::max(sample.queued_cores - idle, 1);
+    const int step = std::min(config_.grow_step_max,
+                              nodes_for_cores(deficit, sample.cores_per_node));
+    return {ElasticAction::kGrow, step,
+            "queued " + std::to_string(sample.queued_cores) +
+                " cores vs " + std::to_string(idle) + " idle"};
+  }
+  // Queue empty: shed idle whole nodes beyond the spare headroom.
+  const int idle_nodes = sample.idle_cores() / std::max(1, sample.cores_per_node);
+  const int excess = idle_nodes - config_.shrink_spare_nodes;
+  if (excess > 0) {
+    return {ElasticAction::kShrink, excess,
+            std::to_string(idle_nodes) + " idle nodes, queue empty"};
+  }
+  return {ElasticAction::kHold, 0, "no excess capacity"};
+}
+
+ElasticDecision UtilizationPolicy::decide(const PilotSample& sample) {
+  if (sample.time - last_resize_ < config_.cooldown) {
+    return {ElasticAction::kHold, 0, "cooldown"};
+  }
+  const double u = sample.utilization();
+  const bool starved = sample.queued_units > 0 && sample.idle_cores() == 0;
+  if (u > config_.high_watermark || starved) {
+    last_resize_ = sample.time;
+    return {ElasticAction::kGrow, config_.grow_step,
+            "utilization " + std::to_string(u) + " above high watermark"};
+  }
+  if (u < config_.low_watermark && sample.queued_units == 0) {
+    last_resize_ = sample.time;
+    return {ElasticAction::kShrink, config_.shrink_step,
+            "utilization " + std::to_string(u) + " below low watermark"};
+  }
+  return {ElasticAction::kHold, 0, "utilization in band"};
+}
+
+ElasticDecision DeadlinePolicy::decide(const PilotSample& sample) {
+  const double work = sample.predicted_backlog_seconds * config_.safety;
+  if (config_.deadline > 0.0 && sample.time < config_.deadline &&
+      work > 0.0 && sample.total_cores > 0) {
+    const double remaining = config_.deadline - sample.time;
+    const double projected = work / sample.total_cores;
+    if (projected > remaining) {
+      // Cores needed to land the backlog exactly at the deadline.
+      const int needed =
+          static_cast<int>(std::ceil(work / remaining));
+      const int deficit = needed - sample.total_cores;
+      const int step =
+          std::min(config_.grow_step_max,
+                   nodes_for_cores(deficit, sample.cores_per_node));
+      return {ElasticAction::kGrow, step,
+              "projected finish overshoots deadline by " +
+                  std::to_string(projected - remaining) + "s"};
+    }
+  }
+  if (sample.queued_units == 0 &&
+      sample.utilization() < config_.shrink_utilization) {
+    return {ElasticAction::kShrink, 1, "deadline slack, queue empty"};
+  }
+  return {ElasticAction::kHold, 0, "on track"};
+}
+
+std::unique_ptr<ElasticPolicy> make_policy(const ElasticPolicySpec& spec) {
+  auto require_known = [&spec](std::initializer_list<const char*> known) {
+    for (const auto& [key, value] : spec.params) {
+      (void)value;
+      bool found = false;
+      for (const char* k : known) {
+        if (key == k) found = true;
+      }
+      if (!found) {
+        throw common::ConfigError("elastic policy '" + spec.name +
+                                  "': unknown parameter '" + key + "'");
+      }
+    }
+  };
+  auto get = [&spec](const char* key, double fallback) {
+    auto it = spec.params.find(key);
+    return it == spec.params.end() ? fallback : it->second;
+  };
+
+  if (spec.name == "backlog") {
+    require_known({"grow_queued_per_idle", "grow_step_max",
+                   "shrink_spare_nodes"});
+    BacklogPolicyConfig config;
+    config.grow_queued_per_idle =
+        get("grow_queued_per_idle", config.grow_queued_per_idle);
+    config.grow_step_max =
+        static_cast<int>(get("grow_step_max", config.grow_step_max));
+    config.shrink_spare_nodes =
+        static_cast<int>(get("shrink_spare_nodes", config.shrink_spare_nodes));
+    return std::make_unique<BacklogPolicy>(config);
+  }
+  if (spec.name == "utilization") {
+    require_known({"high_watermark", "low_watermark", "cooldown",
+                   "grow_step", "shrink_step"});
+    UtilizationPolicyConfig config;
+    config.high_watermark = get("high_watermark", config.high_watermark);
+    config.low_watermark = get("low_watermark", config.low_watermark);
+    config.cooldown = get("cooldown", config.cooldown);
+    config.grow_step = static_cast<int>(get("grow_step", config.grow_step));
+    config.shrink_step =
+        static_cast<int>(get("shrink_step", config.shrink_step));
+    return std::make_unique<UtilizationPolicy>(config);
+  }
+  if (spec.name == "deadline") {
+    require_known({"deadline", "safety", "grow_step_max",
+                   "shrink_utilization"});
+    DeadlinePolicyConfig config;
+    config.deadline = get("deadline", config.deadline);
+    config.safety = get("safety", config.safety);
+    config.grow_step_max =
+        static_cast<int>(get("grow_step_max", config.grow_step_max));
+    config.shrink_utilization =
+        get("shrink_utilization", config.shrink_utilization);
+    return std::make_unique<DeadlinePolicy>(config);
+  }
+  throw common::ConfigError("unknown elastic policy '" + spec.name +
+                            "' (expected backlog|utilization|deadline)");
+}
+
+}  // namespace hoh::elastic

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+
+/// \file policy.h
+/// Elastic scaling policies. The paper's core argument (SS-III-B, SS-V)
+/// is that pilot-based dynamic resource management lets Hadoop/Spark
+/// clusters on HPC grow and shrink with the workload instead of holding a
+/// static allocation. A policy looks at one PilotSample — the live state
+/// an ElasticController collects every sample interval — and answers
+/// grow / shrink / hold. Policies are deliberately pure decision
+/// functions: all actuation (batch jobs, bootstrap, drain) lives in the
+/// controller and the pilot layer.
+
+namespace hoh::elastic {
+
+/// Live snapshot of one pilot, collected by the controller.
+struct PilotSample {
+  common::Seconds time = 0.0;
+  int nodes = 0;             // usable (non-draining) nodes
+  int draining_nodes = 0;    // held but leaving
+  int pending_grow_nodes = 0;  // requested, still in the batch queue
+  int cores_per_node = 1;
+  int total_cores = 0;       // across usable nodes
+  int used_cores = 0;
+  std::size_t queued_units = 0;   // agent backlog (not yet dispatched)
+  int queued_cores = 0;           // cores those units ask for
+  std::size_t running_units = 0;
+  /// Core-seconds of predicted work in the backlog (estimator prediction
+  /// x cores per unit, summed).
+  double predicted_backlog_seconds = 0.0;
+
+  int idle_cores() const { return std::max(0, total_cores - used_cores); }
+  double utilization() const {
+    return total_cores > 0
+               ? static_cast<double>(used_cores) / total_cores
+               : 0.0;
+  }
+};
+
+enum class ElasticAction { kHold, kGrow, kShrink };
+
+std::string to_string(ElasticAction action);
+
+struct ElasticDecision {
+  ElasticAction action = ElasticAction::kHold;
+  int nodes = 0;       // node delta for grow/shrink, 0 for hold
+  std::string reason;  // human-readable, lands in the trace
+};
+
+class ElasticPolicy {
+ public:
+  virtual ~ElasticPolicy() = default;
+  virtual const std::string& name() const = 0;
+  virtual ElasticDecision decide(const PilotSample& sample) = 0;
+};
+
+/// Backlog-driven: grow when the queue holds more core-demand than the
+/// idle slots can absorb; shrink idle whole nodes (beyond a configured
+/// spare) once the queue is empty.
+struct BacklogPolicyConfig {
+  /// Grow when queued cores exceed this many per idle core (or when no
+  /// core is idle at all while units queue).
+  double grow_queued_per_idle = 2.0;
+  int grow_step_max = 4;    // nodes per decision
+  int shrink_spare_nodes = 1;  // idle nodes to keep as headroom
+};
+
+class BacklogPolicy : public ElasticPolicy {
+ public:
+  explicit BacklogPolicy(BacklogPolicyConfig config = {})
+      : config_(config) {}
+  const std::string& name() const override { return name_; }
+  ElasticDecision decide(const PilotSample& sample) override;
+
+ private:
+  BacklogPolicyConfig config_;
+  std::string name_ = "backlog";
+};
+
+/// Utilization-driven with a hysteresis band and a cooldown, so
+/// oscillating load inside the band never causes resize flapping.
+struct UtilizationPolicyConfig {
+  double high_watermark = 0.85;  // grow above this
+  double low_watermark = 0.25;   // shrink below this (queue empty)
+  common::Seconds cooldown = 120.0;  // min time between resizes
+  int grow_step = 2;
+  int shrink_step = 1;
+};
+
+class UtilizationPolicy : public ElasticPolicy {
+ public:
+  explicit UtilizationPolicy(UtilizationPolicyConfig config = {})
+      : config_(config) {}
+  const std::string& name() const override { return name_; }
+  ElasticDecision decide(const PilotSample& sample) override;
+
+ private:
+  UtilizationPolicyConfig config_;
+  std::string name_ = "utilization";
+  common::Seconds last_resize_ = -1e18;
+};
+
+/// Deadline-driven: projects the backlog's completion from the
+/// estimator's predicted core-seconds and grows when the projection
+/// misses the deadline; sheds capacity once the queue is drained and
+/// utilization is low.
+struct DeadlinePolicyConfig {
+  common::Seconds deadline = 0.0;  // absolute sim time; 0 = no deadline
+  double safety = 1.2;             // inflate predicted work by this
+  int grow_step_max = 4;
+  double shrink_utilization = 0.2;  // shrink below this (queue empty)
+};
+
+class DeadlinePolicy : public ElasticPolicy {
+ public:
+  explicit DeadlinePolicy(DeadlinePolicyConfig config = {})
+      : config_(config) {}
+  const std::string& name() const override { return name_; }
+  ElasticDecision decide(const PilotSample& sample) override;
+
+ private:
+  DeadlinePolicyConfig config_;
+  std::string name_ = "deadline";
+};
+
+/// Named policy + numeric parameter overrides — the form experiment
+/// plans (and the hohsim "elastic" section) configure policies in.
+/// Unknown parameter keys throw ConfigError.
+struct ElasticPolicySpec {
+  std::string name = "backlog";  // backlog | utilization | deadline
+  std::map<std::string, double> params;
+};
+
+std::unique_ptr<ElasticPolicy> make_policy(const ElasticPolicySpec& spec);
+
+}  // namespace hoh::elastic

@@ -71,7 +71,7 @@ std::vector<std::string> HdfsCluster::place_replicas(
     int count, const std::string& first) {
   std::vector<std::string> live;
   for (const auto& [name, dn] : datanodes_) {
-    if (dn.alive) live.push_back(name);
+    if (eligible(dn)) live.push_back(name);
   }
   if (static_cast<int>(live.size()) < count) {
     throw common::ResourceError(common::strformat(
@@ -131,11 +131,8 @@ common::Seconds HdfsCluster::create_file(const std::string& path,
     throw common::StateError("HDFS: file exists: " + path);
   }
   if (size < 0) throw common::ConfigError("HDFS: negative file size");
-  const int repl = std::min(
-      replication.value_or(config_.default_replication),
-      static_cast<int>(std::count_if(
-          datanodes_.begin(), datanodes_.end(),
-          [](const auto& kv) { return kv.second.alive; })));
+  const int repl = std::min(replication.value_or(config_.default_replication),
+                            eligible_count());
   if (repl < 1) throw common::ResourceError("HDFS: no live DataNodes");
 
   FileMeta meta;
@@ -305,6 +302,145 @@ void HdfsCluster::fail_datanode(const std::string& node) {
                    [this] { re_replicate(); });
 }
 
+int HdfsCluster::eligible_count() const {
+  return static_cast<int>(
+      std::count_if(datanodes_.begin(), datanodes_.end(),
+                    [](const auto& kv) { return eligible(kv.second); }));
+}
+
+void HdfsCluster::add_datanode(const std::string& node) {
+  if (datanodes_.count(node) > 0) {
+    throw common::StateError("HDFS: DataNode already registered: " + node);
+  }
+  const bool ssd = machine_.node.local_ssd_bw > 0.0;
+  const int racks = std::max(1, config_.racks);
+  const int rack = static_cast<int>(datanode_names_.size()) % racks;
+  datanode_names_.push_back(node);
+  datanodes_.emplace(node, DataNode{node, config_.datanode_capacity, 0, true,
+                                    0, ssd, rack, false});
+}
+
+void HdfsCluster::decommission_datanode(const std::string& node) {
+  DataNode& dn = datanode(node);
+  if (!dn.alive || dn.decommissioning) return;
+  dn.decommissioning = true;
+  if (!decommission_monitor_running_) {
+    decommission_monitor_running_ = true;
+    engine_.schedule(config_.replication_monitor_interval,
+                     [this] { decommission_monitor(); });
+  }
+}
+
+bool HdfsCluster::decommission_complete(const std::string& node) const {
+  const DataNode& dn = datanode(node);
+  if (!dn.alive) return true;
+  for (const auto& [path, meta] : files_) {
+    for (const auto& block : meta.blocks) {
+      const bool hosted = std::any_of(
+          block.replicas.begin(), block.replicas.end(),
+          [&](const Replica& r) { return r.node == node; });
+      if (!hosted) continue;
+      const int safe = static_cast<int>(std::count_if(
+          block.replicas.begin(), block.replicas.end(), [&](const Replica& r) {
+            return eligible(datanodes_.at(r.node));
+          }));
+      if (safe < std::min(meta.replication, eligible_count())) return false;
+    }
+  }
+  return true;
+}
+
+void HdfsCluster::remove_datanode(const std::string& node) {
+  datanode(node);  // throws when unknown
+  if (node == namenode_) {
+    throw common::StateError("HDFS: cannot remove the NameNode host");
+  }
+  for (auto& [path, meta] : files_) {
+    for (auto& block : meta.blocks) {
+      std::erase_if(block.replicas,
+                    [&](const Replica& r) { return r.node == node; });
+    }
+  }
+  datanodes_.erase(node);
+  std::erase(datanode_names_, node);
+}
+
+bool HdfsCluster::all_blocks_replicated() const {
+  const int cap = eligible_count();
+  for (const auto& [path, meta] : files_) {
+    for (const auto& block : meta.blocks) {
+      const int safe = static_cast<int>(std::count_if(
+          block.replicas.begin(), block.replicas.end(), [&](const Replica& r) {
+            return eligible(datanodes_.at(r.node));
+          }));
+      if (safe < std::min(meta.replication, cap)) return false;
+    }
+  }
+  return true;
+}
+
+void HdfsCluster::decommission_monitor() {
+  // Copy replicas off decommissioning nodes onto eligible targets, up to
+  // the per-round budget, keeping the originals in place until the drain
+  // completes (the node is removed only by remove_datanode).
+  int budget = std::max(1, config_.decommission_blocks_per_round);
+  bool pending = false;
+  for (auto& [path, meta] : files_) {
+    for (auto& block : meta.blocks) {
+      const bool leaving = std::any_of(
+          block.replicas.begin(), block.replicas.end(), [&](const Replica& r) {
+            const DataNode& dn = datanodes_.at(r.node);
+            return dn.alive && dn.decommissioning;
+          });
+      if (!leaving) continue;
+      const int safe = static_cast<int>(std::count_if(
+          block.replicas.begin(), block.replicas.end(), [&](const Replica& r) {
+            return eligible(datanodes_.at(r.node));
+          }));
+      int need = std::min(meta.replication, eligible_count()) - safe;
+      while (need > 0 && budget > 0) {
+        std::vector<std::string> candidates;
+        for (const auto& [name, dn] : datanodes_) {
+          const bool holds = std::any_of(
+              block.replicas.begin(), block.replicas.end(),
+              [&](const Replica& r) { return r.node == name; });
+          if (eligible(dn) && !holds) candidates.push_back(name);
+        }
+        if (candidates.empty()) break;
+        rng_.shuffle(candidates);
+        std::stable_sort(candidates.begin(), candidates.end(),
+                         [this](const std::string& a, const std::string& b) {
+                           return datanodes_.at(a).used < datanodes_.at(b).used;
+                         });
+        DataNode& target = datanode(candidates.front());
+        target.used += block.size;
+        target.block_count += 1;
+        block.replicas.push_back(Replica{target.name, false});
+        --need;
+        --budget;
+      }
+      if (need > 0) pending = true;
+      if (budget == 0) pending = true;
+    }
+  }
+  // Keep running while any decommissioning node still hosts blocks that
+  // are not yet safe elsewhere.
+  if (!pending) {
+    for (const auto& [name, dn] : datanodes_) {
+      if (dn.alive && dn.decommissioning && !decommission_complete(name)) {
+        pending = true;
+        break;
+      }
+    }
+  }
+  if (pending) {
+    engine_.schedule(config_.replication_monitor_interval,
+                     [this] { decommission_monitor(); });
+  } else {
+    decommission_monitor_running_ = false;
+  }
+}
+
 void HdfsCluster::re_replicate() {
   for (auto& [path, meta] : files_) {
     for (auto& block : meta.blocks) {
@@ -319,7 +455,7 @@ void HdfsCluster::re_replicate() {
         // Pick a live node not already holding this block.
         std::vector<std::string> candidates;
         for (const auto& [name, dn] : datanodes_) {
-          if (dn.alive &&
+          if (eligible(dn) &&
               std::find(holders.begin(), holders.end(), name) ==
                   holders.end()) {
             candidates.push_back(name);
@@ -342,8 +478,8 @@ std::vector<DataNodeReport> HdfsCluster::datanode_reports() const {
   std::vector<DataNodeReport> out;
   for (const auto& name : datanode_names_) {
     const DataNode& dn = datanodes_.at(name);
-    out.push_back(
-        DataNodeReport{dn.name, dn.capacity, dn.used, dn.alive, dn.block_count});
+    out.push_back(DataNodeReport{dn.name, dn.capacity, dn.used, dn.alive,
+                                 dn.block_count, dn.decommissioning});
   }
   return out;
 }
@@ -355,7 +491,7 @@ std::size_t HdfsCluster::balance(double threshold_fraction) {
     std::vector<DataNode*> live;
     common::Bytes total = 0;
     for (auto& [name, dn] : datanodes_) {
-      if (dn.alive) {
+      if (eligible(dn)) {
         live.push_back(&dn);
         total += dn.used;
       }

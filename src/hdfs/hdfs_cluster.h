@@ -30,6 +30,12 @@ struct HdfsConfig {
   common::Bytes datanode_capacity = 200 * common::kGiB;
   common::Seconds replication_monitor_interval = 3.0;
 
+  /// Replicas copied off decommissioning DataNodes per monitor round
+  /// (dfs.namenode.replication.max-streams equivalent) — bounds how fast
+  /// a drain can proceed, making "shrink waits for re-replication"
+  /// observable in simulated time.
+  int decommission_blocks_per_round = 50;
+
   /// Number of racks the nodes are spread across (round-robin by node
   /// index). With > 1 rack, placement follows the classic HDFS policy:
   /// replica 1 on the writer, replica 2 on a different rack, replica 3
@@ -44,6 +50,7 @@ struct DataNodeReport {
   common::Bytes used = 0;
   bool alive = true;
   std::size_t block_count = 0;
+  bool decommissioning = false;
 };
 
 /// One NameNode + DataNode ensemble over an allocation.
@@ -97,6 +104,34 @@ class HdfsCluster {
   /// injection for tests).
   void fail_datanode(const std::string& node);
 
+  /// Registers a new DataNode (an elastic pilot growing: the LRM starts a
+  /// DataNode daemon on a freshly added allocation node). The node starts
+  /// empty; `balance()` or new writes spread data onto it.
+  void add_datanode(const std::string& node);
+
+  /// Begins *graceful* decommission: the node stops receiving new blocks
+  /// and a periodic monitor copies its replicas onto eligible DataNodes
+  /// (bounded by `decommission_blocks_per_round` per monitor interval)
+  /// WITHOUT dropping the originals — no window of under-replication,
+  /// unlike `fail_datanode`.
+  void decommission_datanode(const std::string& node);
+
+  /// True once every block hosted by \p node has at least its target
+  /// replication on live, non-decommissioning DataNodes (the drain
+  /// invariant the shrink path waits on). Dead nodes report true.
+  bool decommission_complete(const std::string& node) const;
+
+  /// Deregisters a DataNode (drained or dead) — the elastic shrink path's
+  /// final step before the allocation node is returned. Remaining replica
+  /// pointers to it are dropped; callers should only remove after
+  /// `decommission_complete()` to preserve replication.
+  void remove_datanode(const std::string& node);
+
+  /// True when every block of every file has its target replication on
+  /// live, non-decommissioning DataNodes (clamped to the number of such
+  /// nodes). The zero-block-loss property tests assert this.
+  bool all_blocks_replicated() const;
+
   std::vector<DataNodeReport> datanode_reports() const;
 
   /// dfs balancer: moves replicas from over-utilized to under-utilized
@@ -121,16 +156,25 @@ class HdfsCluster {
     std::size_t block_count = 0;
     bool has_ssd = false;
     int rack = 0;
+    bool decommissioning = false;
   };
 
   DataNode& datanode(const std::string& node);
   const DataNode& datanode(const std::string& node) const;
+
+  /// Eligible to receive new replicas: alive and not decommissioning.
+  static bool eligible(const DataNode& dn) {
+    return dn.alive && !dn.decommissioning;
+  }
+
+  int eligible_count() const;
 
   /// Picks a placement of \p count distinct live DataNodes, preferring
   /// \p first if valid. Throws ResourceError when fewer live nodes exist.
   std::vector<std::string> place_replicas(int count, const std::string& first);
 
   void re_replicate();
+  void decommission_monitor();
 
   sim::Engine& engine_;
   const cluster::MachineProfile& machine_;
@@ -142,6 +186,7 @@ class HdfsCluster {
   std::map<std::string, DataNode> datanodes_;
   std::map<std::string, FileMeta> files_;
   std::uint64_t next_block_id_ = 1;
+  bool decommission_monitor_running_ = false;
 };
 
 }  // namespace hoh::hdfs

@@ -265,6 +265,8 @@ void Agent::stop() {
   active_ = false;
   saga_.engine().cancel(poll_event_);
   saga_.engine().cancel(heartbeat_event_);
+  saga_.engine().cancel(drain_poll_event_);
+  drain_callback_ = nullptr;
   if (was_active) write_heartbeat();  // final tombstone (alive=false)
   // Cancel everything still queued.
   for (auto& unit : queue_) {
@@ -347,6 +349,7 @@ bool Agent::dispatch(const std::shared_ptr<UnitRec>& unit) {
       const cluster::ResourceRequest req{unit->desc.cores,
                                          unit->desc.memory_mb};
       for (const auto& node : allocation_.nodes()) {
+        if (node_draining(node->name())) continue;
         if (node->allocate(req)) {
           unit->node = node.get();
           saga_.trace().record(saga_.engine().now(), "unit", "placed",
@@ -488,6 +491,7 @@ bool Agent::try_gang_allocate(UnitRec& unit) {
   std::vector<std::pair<cluster::Node*, cluster::ResourceRequest>> taken;
   for (const auto& node : allocation_.nodes()) {
     if (remaining <= 0) break;
+    if (node_draining(node->name())) continue;
     const int cores = std::min(remaining, node->free_cores());
     if (cores <= 0) continue;
     const common::MemoryMb memory =
@@ -520,6 +524,9 @@ void Agent::finish_unit(std::shared_ptr<UnitRec> unit,
     yarn_inflight_mb_ -= unit->yarn_reserved_mb;
     unit->yarn_reserved_mb = 0;
   }
+  unit->exec_event = sim::EventHandle{};
+  unit->am = nullptr;
+  running_units_.erase(unit->id);
   running_ = running_ > 0 ? running_ - 1 : 0;
   set_unit_state(*unit, final_state);
   if (final_state == UnitState::kDone) {
@@ -542,6 +549,7 @@ common::Seconds Agent::wrapper_time_for(const std::string& node) {
 
 void Agent::exec_plain(std::shared_ptr<UnitRec> unit) {
   running_ += 1;
+  running_units_[unit->id] = unit;
   stage_in(unit, [this, unit] {
     const common::Seconds launch_latency =
         unit->desc.is_mpi ? config_.mpiexec_latency : config_.spawn_latency;
@@ -555,8 +563,10 @@ void Agent::exec_plain(std::shared_ptr<UnitRec> unit) {
     saga_.engine().schedule(delay, [this, unit] {
           if (stopped_) return;
           set_unit_state(*unit, UnitState::kExecuting);
-          saga_.engine().schedule(unit->desc.duration, [this, unit] {
+          unit->exec_event =
+              saga_.engine().schedule(unit->desc.duration, [this, unit] {
             if (stopped_) return;
+            unit->exec_event = sim::EventHandle{};
             // The Task Spawner "collects the exit code" (paper SS-III-B).
             if (unit->desc.exit_code != 0) {
               finish_unit(unit, UnitState::kFailed);
@@ -572,6 +582,7 @@ void Agent::exec_plain(std::shared_ptr<UnitRec> unit) {
 
 void Agent::exec_yarn(std::shared_ptr<UnitRec> unit) {
   running_ += 1;
+  running_units_[unit->id] = unit;
   yarn::ResourceManager& rm = yarn_cluster()->resource_manager();
   saga_.trace().begin_span(saga_.engine().now(), "unit", "yarn_submit",
                            unit->id);
@@ -648,6 +659,10 @@ void Agent::exec_yarn_in_container(std::shared_ptr<UnitRec> unit,
                                    bool dedicated_app) {
   const std::string container_id = container.id;
   const std::string node = container.node;
+  unit->am = &am;
+  unit->container_id = container_id;
+  unit->exec_node = node;
+  unit->dedicated_app = dedicated_app;
   saga_.trace().record(saga_.engine().now(), "unit", "placed",
                        {{"unit", unit->id}, {"node", node}});
   am.launch(container_id, [this, unit, &am, container_id, node,
@@ -659,13 +674,17 @@ void Agent::exec_yarn_in_container(std::shared_ptr<UnitRec> unit,
                                                      container_id,
                                                      dedicated_app] {
       if (stopped_) return;
+      if (unit->container_id != container_id) return;  // preempted
       set_unit_state(*unit, UnitState::kExecuting);
       saga_.trace().end_span(saga_.engine().now(), "unit", "yarn_submit",
                              unit->id);
-      saga_.engine().schedule(unit->desc.duration, [this, unit, &am,
-                                                    container_id,
-                                                    dedicated_app] {
+      unit->exec_event =
+          saga_.engine().schedule(unit->desc.duration, [this, unit, &am,
+                                                        container_id,
+                                                        dedicated_app] {
         if (stopped_) return;
+        unit->exec_event = sim::EventHandle{};
+        unit->am = nullptr;
         if (unit->desc.exit_code != 0) {
           am.kill_container(container_id);
           if (dedicated_app) am.unregister(false);
@@ -682,8 +701,265 @@ void Agent::exec_yarn_in_container(std::shared_ptr<UnitRec> unit,
   });
 }
 
+// --------------------------------------------------------- elasticity ---
+
+AgentCapacity Agent::capacity() {
+  AgentCapacity cap;
+  for (const auto& node : allocation_.nodes()) {
+    if (node_draining(node->name())) {
+      cap.draining_nodes += 1;
+      continue;
+    }
+    cap.nodes += 1;
+    cap.total_cores += node->spec().cores;
+    cap.used_cores += node->used_cores();
+    cap.total_memory_mb += node->spec().memory_mb;
+    cap.used_memory_mb += node->used_memory_mb();
+  }
+  if (yarn::YarnCluster* yc = yarn_cluster()) {
+    // Memory-only scheduling leaves node core ledgers untouched; the RM
+    // ledger is the authority for YARN usage.
+    const yarn::Resource used = yc->resource_manager().total_allocated();
+    cap.used_cores = used.vcores;
+    cap.used_memory_mb = used.memory_mb;
+  }
+  return cap;
+}
+
+std::vector<ComputeUnitDescription> Agent::queued_descriptions() const {
+  std::vector<ComputeUnitDescription> out;
+  out.reserve(queue_.size());
+  for (const auto& unit : queue_) out.push_back(unit->desc);
+  return out;
+}
+
+void Agent::add_nodes(std::vector<std::shared_ptr<cluster::Node>> nodes) {
+  if (backend_ == AgentBackend::kYarnModeII) {
+    throw common::StateError(
+        "Agent: Mode II pilots cannot grow — the external cluster is not "
+        "ours to resize");
+  }
+  if (nodes.empty() || stopped_) return;
+  if (!active_) {
+    // Bootstrap has not finished; the LRM picks the nodes up when it
+    // builds the backend cluster from the (now larger) allocation.
+    for (auto& node : nodes) allocation_.add(std::move(node));
+    return;
+  }
+  // Per-node worker-daemon start before the capacity becomes usable.
+  common::Seconds dt = machine_.bootstrap.configure_time;
+  if (backend_ == AgentBackend::kYarnModeI) {
+    dt += machine_.bootstrap.worker_daemon_start *
+          static_cast<double>(nodes.size());
+  } else if (backend_ == AgentBackend::kSparkModeI) {
+    dt += machine_.bootstrap.spark_worker_start *
+          static_cast<double>(nodes.size());
+  }
+  saga_.engine().schedule(dt, [this, nodes = std::move(nodes)] {
+    if (stopped_) return;
+    for (const auto& node : nodes) {
+      if (owned_yarn_ != nullptr) owned_yarn_->add_nodes({node});
+      if (spark_ != nullptr) spark_->add_worker(node);
+      allocation_.add(node);
+    }
+    saga_.trace().record(
+        saga_.engine().now(), "pilot", "resize",
+        {{"pilot", pilot_id_},
+         {"action", "grow"},
+         {"nodes", std::to_string(nodes.size())},
+         {"total", std::to_string(allocation_.size())}});
+    schedule_queued();
+  });
+}
+
+void Agent::decommission_nodes(std::vector<std::string> names,
+                               common::Seconds drain_timeout,
+                               std::function<void(bool)> on_released) {
+  if (names.empty()) {
+    if (on_released) on_released(true);
+    return;
+  }
+  if (!drain_names_.empty()) {
+    throw common::StateError("Agent: a drain is already in progress");
+  }
+  const std::string head = allocation_.nodes().front()->name();
+  for (const auto& name : names) {
+    if (name == head) {
+      throw common::ConfigError(
+          "Agent: cannot decommission the head node (hosts the agent and "
+          "master daemons)");
+    }
+    const bool held = std::any_of(
+        allocation_.nodes().begin(), allocation_.nodes().end(),
+        [&](const std::shared_ptr<cluster::Node>& n) {
+          return n->name() == name;
+        });
+    if (!held) {
+      throw common::NotFoundError("Agent: node " + name +
+                                  " is not part of the allocation");
+    }
+  }
+  drain_names_ = names;
+  drain_deadline_ = saga_.engine().now() + drain_timeout;
+  drain_escalated_ = false;
+  drain_callback_ = std::move(on_released);
+  for (const auto& name : names) draining_.insert(name);
+  saga_.trace().record(saga_.engine().now(), "pilot", "drain_started",
+                       {{"pilot", pilot_id_},
+                        {"nodes", std::to_string(names.size())}});
+  if (owned_yarn_ != nullptr) owned_yarn_->decommission_nodes(names);
+  if (spark_ != nullptr) {
+    for (const auto& name : names) spark_->decommission_worker(name);
+  }
+  drain_poll_event_ = saga_.engine().schedule_periodic(
+      config_.poll_interval, [this] { drain_poll(); });
+}
+
+void Agent::drain_poll() {
+  if (stopped_) return;
+  // Compute drained: no unit resources left on any leaving node.
+  bool compute_drained = true;
+  for (const auto& node : allocation_.nodes()) {
+    if (!node_draining(node->name())) continue;
+    if (node->used_cores() > 0 || node->used_memory_mb() > 0) {
+      compute_drained = false;
+      break;
+    }
+  }
+  if (compute_drained && owned_yarn_ != nullptr) {
+    for (const auto& name : drain_names_) {
+      yarn::NodeManager& nm =
+          owned_yarn_->resource_manager().node_manager(name);
+      if (nm.alive() && nm.live_count() > 0) {
+        compute_drained = false;
+        break;
+      }
+    }
+  }
+  if (compute_drained && spark_ != nullptr) {
+    for (const auto& name : drain_names_) {
+      if (!spark_->worker_drained(name)) {
+        compute_drained = false;
+        break;
+      }
+    }
+  }
+  if (!compute_drained) {
+    if (!drain_escalated_ && saga_.engine().now() >= drain_deadline_) {
+      drain_escalate();
+    }
+    return;
+  }
+  // Data drained: blocks re-replicated off leaving DataNodes. This
+  // barrier is never skipped — a drain timeout may preempt compute, but
+  // releasing a node before its blocks are safe would lose data.
+  if (owned_yarn_ != nullptr &&
+      !owned_yarn_->decommission_complete(drain_names_)) {
+    return;
+  }
+  drain_finish();
+}
+
+void Agent::drain_escalate() {
+  drain_escalated_ = true;
+  drain_timeouts_ += 1;
+  saga_.trace().record(saga_.engine().now(), "pilot", "drain_timeout",
+                       {{"pilot", pilot_id_},
+                        {"nodes", std::to_string(drain_names_.size())}});
+  // Preempt executing units on the leaving nodes; requeue_unit puts them
+  // back on the agent queue, so they re-run elsewhere — escalation costs
+  // wasted work, never lost units.
+  std::vector<std::shared_ptr<UnitRec>> victims;
+  for (const auto& [id, unit] : running_units_) {
+    bool on_leaving = false;
+    // A YARN unit is preemptible as soon as it holds a container on a
+    // leaving node, even before it reaches Executing — fail_node below
+    // would otherwise kill the container with no one requeueing the unit.
+    if (unit->am != nullptr && node_draining(unit->exec_node)) {
+      on_leaving = true;
+    }
+    if (unit->state == UnitState::kExecuting && unit->exec_event.valid()) {
+      if (unit->node != nullptr && node_draining(unit->node->name())) {
+        on_leaving = true;
+      }
+      for (const auto& [node, piece] : unit->pieces) {
+        if (node_draining(node->name())) on_leaving = true;
+      }
+    }
+    if (on_leaving) victims.push_back(unit);
+  }
+  for (const auto& unit : victims) requeue_unit(unit);
+  // Anything still pinning a leaving NM (e.g. an Application Master
+  // container) is evicted through the RM's node-loss path; the DataNode
+  // stays alive, so no block is lost.
+  if (owned_yarn_ != nullptr) {
+    yarn::ResourceManager& rm = owned_yarn_->resource_manager();
+    for (const auto& name : drain_names_) {
+      yarn::NodeManager& nm = rm.node_manager(name);
+      if (nm.alive() && nm.live_count() > 0) rm.fail_node(name);
+    }
+  }
+  schedule_queued();
+}
+
+void Agent::drain_finish() {
+  saga_.engine().cancel(drain_poll_event_);
+  drain_poll_event_ = sim::EventHandle{};
+  if (owned_yarn_ != nullptr) owned_yarn_->remove_nodes(drain_names_);
+  for (const auto& name : drain_names_) {
+    if (spark_ != nullptr) spark_->remove_worker(name);
+    allocation_.remove(name);
+    draining_.erase(name);
+    wrapper_cache_.erase(name);
+  }
+  saga_.trace().record(
+      saga_.engine().now(), "pilot", "resize",
+      {{"pilot", pilot_id_},
+       {"action", "shrink"},
+       {"nodes", std::to_string(drain_names_.size())},
+       {"total", std::to_string(allocation_.size())},
+       {"clean", drain_escalated_ ? "false" : "true"}});
+  const bool clean = !drain_escalated_;
+  drain_names_.clear();
+  auto cb = std::move(drain_callback_);
+  drain_callback_ = nullptr;
+  if (cb) cb(clean);
+}
+
+void Agent::requeue_unit(const std::shared_ptr<UnitRec>& unit) {
+  saga_.engine().cancel(unit->exec_event);
+  unit->exec_event = sim::EventHandle{};
+  if (unit->node != nullptr) {
+    unit->node->release(cluster::ResourceRequest{unit->desc.cores,
+                                                 unit->desc.memory_mb});
+    unit->node = nullptr;
+  }
+  for (const auto& [node, piece] : unit->pieces) node->release(piece);
+  unit->pieces.clear();
+  if (unit->am != nullptr) {
+    unit->am->kill_container(unit->container_id);
+    if (unit->dedicated_app) unit->am->unregister(false);
+    unit->am = nullptr;
+    unit->container_id.clear();
+    unit->exec_node.clear();
+    unit->dedicated_app = false;
+  }
+  if (unit->yarn_reserved_mb > 0) {
+    yarn_inflight_mb_ -= unit->yarn_reserved_mb;
+    unit->yarn_reserved_mb = 0;
+  }
+  running_units_.erase(unit->id);
+  running_ = running_ > 0 ? running_ - 1 : 0;
+  saga_.trace().end_span(saga_.engine().now(), "unit", "exec", unit->id);
+  saga_.trace().record(saga_.engine().now(), "unit", "preempted",
+                       {{"unit", unit->id}, {"pilot", pilot_id_}});
+  set_unit_state(*unit, UnitState::kAgentScheduling);
+  queue_.push_back(unit);
+}
+
 void Agent::exec_spark(std::shared_ptr<UnitRec> unit) {
   running_ += 1;
+  running_units_[unit->id] = unit;
   stage_in(unit, [this, unit] {
     set_unit_state(*unit, UnitState::kExecuting);
     spark_->run_stage(spark_app_id_, unit->desc.cores,

@@ -4,7 +4,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "cluster/machine.h"
 #include "pilot/agent/agent_config.h"
@@ -27,6 +29,20 @@
 /// and the stage-in/stage-out workers.
 
 namespace hoh::pilot {
+
+/// Live capacity snapshot of one agent's node set — the single query
+/// elastic controllers and schedulers use instead of startup-cached
+/// totals, so accounting stays consistent as nodes join and leave.
+struct AgentCapacity {
+  int nodes = 0;            // usable (non-draining) nodes
+  int draining_nodes = 0;   // marked decommissioning, still held
+  int total_cores = 0;
+  int used_cores = 0;
+  common::MemoryMb total_memory_mb = 0;
+  common::MemoryMb used_memory_mb = 0;
+
+  int idle_cores() const { return total_cores - used_cores; }
+};
 
 class Agent {
  public:
@@ -69,6 +85,38 @@ class Agent {
   std::size_t units_queued() const { return queue_.size(); }
   std::size_t units_running() const { return running_; }
 
+  // --- Elasticity (runtime resize of the node set) ---
+
+  /// Live totals over the current allocation, excluding draining nodes.
+  /// For YARN backends usage comes from the RM ledger (memory-only
+  /// scheduling leaves node core ledgers untouched).
+  AgentCapacity capacity();
+
+  /// Mode-I incremental bootstrap of freshly granted nodes: after the
+  /// per-node daemon start latency they register with the backend
+  /// cluster (NM + DataNode for YARN, worker for Spark) and join the
+  /// agent scheduler's allocation. Throws StateError for Mode II (the
+  /// external cluster is not ours to grow).
+  void add_nodes(std::vector<std::shared_ptr<cluster::Node>> nodes);
+
+  /// Graceful drain-then-release. The named nodes are marked
+  /// decommissioning (no new placements anywhere in the stack), running
+  /// work is allowed to finish, HDFS re-replicates blocks off leaving
+  /// DataNodes, then the nodes leave the allocation and \p on_released
+  /// fires (clean=true). Past \p drain_timeout, executing units on the
+  /// leaving nodes are preempted and requeued (clean=false) — the HDFS
+  /// replication barrier is never skipped. The head node cannot leave.
+  void decommission_nodes(std::vector<std::string> names,
+                          common::Seconds drain_timeout,
+                          std::function<void(bool clean)> on_released);
+
+  bool draining() const { return !drain_names_.empty(); }
+  std::size_t drain_timeouts() const { return drain_timeouts_; }
+
+  /// Copies of the queued (not yet dispatched) unit descriptions — the
+  /// backlog an elastic policy sizes against.
+  std::vector<ComputeUnitDescription> queued_descriptions() const;
+
  private:
   struct UnitRec {
     std::string id;
@@ -79,6 +127,15 @@ class Agent {
     /// share of (cores, memory), released together on completion.
     std::vector<std::pair<cluster::Node*, cluster::ResourceRequest>> pieces;
     common::MemoryMb yarn_reserved_mb = 0;  // in-flight YARN gate share
+
+    /// Preemption handle: the payload-duration event plus enough context
+    /// to withdraw a YARN container, so a drain timeout can requeue the
+    /// unit instead of losing it.
+    sim::EventHandle exec_event;
+    yarn::ApplicationMaster* am = nullptr;
+    std::string container_id;
+    std::string exec_node;
+    bool dedicated_app = false;
   };
 
   // --- Local Resource Manager ---
@@ -116,6 +173,15 @@ class Agent {
   void exec_spark(std::shared_ptr<UnitRec> unit);
   void finish_unit(std::shared_ptr<UnitRec> unit, UnitState final_state);
 
+  // --- drain machinery ---
+  void drain_poll();
+  void drain_escalate();
+  void drain_finish();
+  void requeue_unit(const std::shared_ptr<UnitRec>& unit);
+  bool node_draining(const std::string& name) const {
+    return draining_.count(name) > 0;
+  }
+
   common::Seconds wrapper_time_for(const std::string& node);
 
   saga::SagaContext& saga_;
@@ -138,6 +204,14 @@ class Agent {
   std::deque<std::shared_ptr<UnitRec>> waiting_for_shared_am_;
 
   std::deque<std::shared_ptr<UnitRec>> queue_;  // agent scheduler queue
+  std::map<std::string, std::shared_ptr<UnitRec>> running_units_;
+  std::set<std::string> draining_;              // nodes being drained
+  std::vector<std::string> drain_names_;        // active drain, in order
+  common::Seconds drain_deadline_ = 0.0;
+  bool drain_escalated_ = false;
+  std::function<void(bool)> drain_callback_;
+  sim::EventHandle drain_poll_event_;
+  std::size_t drain_timeouts_ = 0;
   std::map<std::string, bool> wrapper_cache_;   // node -> env localized
   common::MemoryMb yarn_inflight_mb_ = 0;       // dispatched, not finished
   common::Seconds spawner_free_at_ = 0.0;       // Task Spawner serialization

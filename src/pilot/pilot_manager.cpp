@@ -1,5 +1,7 @@
 #include "pilot/pilot_manager.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/string_util.h"
 
@@ -18,9 +20,27 @@ std::optional<common::Json> Pilot::heartbeat() const {
   return manager_->session().store().get("heartbeat", id_);
 }
 
+int Pilot::live_nodes() const {
+  if (agent_ == nullptr) return 0;
+  return static_cast<int>(agent_->allocation().nodes().size());
+}
+
+void Pilot::release_grow_segments() {
+  // Grow segments die with the pilot: their batch jobs have no payload
+  // of their own, so cancel whatever is still pending or running.
+  for (auto& segment : grow_segments_) {
+    if (segment.released) continue;
+    segment.released = true;
+    if (segment.job && !saga::is_final(segment.job->state())) {
+      segment.job->cancel();
+    }
+  }
+}
+
 void Pilot::cancel() {
   if (is_final(state_)) return;
   if (agent_) agent_->stop();
+  release_grow_segments();
   if (job_ && !saga::is_final(job_->state())) job_->cancel();
   set_state(PilotState::kCanceled);
 }
@@ -98,14 +118,17 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
     switch (state) {
       case saga::JobState::kDone:
         if (pilot->agent_) pilot->agent_->stop();
+        pilot->release_grow_segments();
         pilot->set_state(PilotState::kDone);
         break;
       case saga::JobState::kFailed:
         if (pilot->agent_) pilot->agent_->stop();
+        pilot->release_grow_segments();
         pilot->set_state(PilotState::kFailed);
         break;
       case saga::JobState::kCanceled:
         if (pilot->agent_) pilot->agent_->stop();
+        pilot->release_grow_segments();
         pilot->set_state(PilotState::kCanceled);
         break;
       default:
@@ -116,6 +139,136 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
   pilot->set_state(PilotState::kPendingLaunch);
   pilots_.push_back(pilot);
   return pilot;
+}
+
+void PilotManager::grow_pilot(const std::shared_ptr<Pilot>& pilot, int nodes,
+                              std::function<void(int)> on_added) {
+  if (nodes <= 0) {
+    throw common::ConfigError("grow_pilot: nodes must be positive");
+  }
+  if (pilot == nullptr || is_final(pilot->state())) {
+    throw common::StateError("grow_pilot: pilot is not running");
+  }
+  if (pilot->description_.backend == AgentBackend::kYarnModeII) {
+    throw common::StateError(
+        "grow_pilot: Mode II pilots cannot grow — the external cluster is "
+        "not ours to resize");
+  }
+  const saga::Url url(pilot->description_.resource);
+  saga::JobService& service = job_service(url);
+
+  saga::JobDescription jd;
+  jd.name = pilot->id_ + "-grow-" + std::to_string(pilot->next_grow_++);
+  jd.executable = "radical-pilot-agent-grow";
+  jd.total_nodes = nodes;
+  jd.wall_time_limit = pilot->description_.runtime;
+  jd.queue = pilot->description_.queue;
+  jd.project = pilot->description_.project;
+
+  pilot->pending_grow_nodes_ += nodes;
+  session_.trace().record(session_.engine().now(), "pilot", "grow_requested",
+                          {{"pilot", pilot->id_},
+                           {"job", jd.name},
+                           {"nodes", std::to_string(nodes)}});
+
+  // The start callback needs the job handle (to hand nodes straight back
+  // if the pilot died in the queue), but submit() only returns it after
+  // registering the callback — route it through a shared holder.
+  auto holder = std::make_shared<std::shared_ptr<saga::Job>>();
+  auto landed = std::make_shared<bool>(false);
+  std::weak_ptr<Pilot> weak = pilot;
+  auto job = service.submit(
+      jd, [this, weak, holder, landed, nodes,
+           on_added](const cluster::Allocation& allocation) {
+        *landed = true;
+        auto pilot = weak.lock();
+        if (pilot == nullptr || is_final(pilot->state()) ||
+            pilot->agent_ == nullptr) {
+          // Nobody left to take the nodes: return the allocation now.
+          if (*holder != nullptr) (*holder)->complete();
+          if (on_added) on_added(0);
+          return;
+        }
+        pilot->pending_grow_nodes_ -= nodes;
+        Pilot::GrowSegment segment;
+        segment.job = *holder;
+        segment.node_names = allocation.node_names();
+        pilot->grow_segments_.push_back(std::move(segment));
+        pilot->agent_->add_nodes(allocation.nodes());
+        session_.trace().record(
+            session_.engine().now(), "pilot", "grow_started",
+            {{"pilot", pilot->id_},
+             {"nodes", std::to_string(nodes)},
+             {"total", std::to_string(pilot->live_nodes())}});
+        if (on_added) on_added(nodes);
+      });
+  *holder = job;
+
+  job->on_state_change([weak, landed, nodes](saga::JobState state) {
+    // A grow job that dies in the queue must not keep inflating the
+    // pending-grow ledger the elastic controller budgets against.
+    if (!saga::is_final(state) || *landed) return;
+    *landed = true;
+    if (auto pilot = weak.lock()) {
+      pilot->pending_grow_nodes_ =
+          std::max(0, pilot->pending_grow_nodes_ - nodes);
+    }
+  });
+}
+
+void PilotManager::shrink_pilot(const std::shared_ptr<Pilot>& pilot,
+                                int nodes, common::Seconds drain_timeout,
+                                std::function<void(bool)> on_done) {
+  if (nodes <= 0) {
+    throw common::ConfigError("shrink_pilot: nodes must be positive");
+  }
+  if (pilot == nullptr || pilot->agent_ == nullptr) {
+    throw common::StateError("shrink_pilot: pilot has no running agent");
+  }
+  // Whole segments, most recent first — a batch job cannot give back part
+  // of its allocation, and the base placeholder job never shrinks.
+  std::vector<std::size_t> chosen;
+  int covered = 0;
+  for (std::size_t i = pilot->grow_segments_.size(); i-- > 0;) {
+    if (pilot->grow_segments_[i].released) continue;
+    chosen.push_back(i);
+    covered += static_cast<int>(pilot->grow_segments_[i].node_names.size());
+    if (covered >= nodes) break;
+  }
+  if (chosen.empty()) {
+    throw common::StateError(
+        "shrink_pilot: no grow segments to release — the base allocation "
+        "never shrinks");
+  }
+  std::vector<std::string> names;
+  for (const auto i : chosen) {
+    const auto& segment = pilot->grow_segments_[i];
+    names.insert(names.end(), segment.node_names.begin(),
+                 segment.node_names.end());
+  }
+  session_.trace().record(session_.engine().now(), "pilot", "shrink_requested",
+                          {{"pilot", pilot->id_},
+                           {"nodes", std::to_string(names.size())},
+                           {"segments", std::to_string(chosen.size())}});
+  std::weak_ptr<Pilot> weak = pilot;
+  pilot->agent_->decommission_nodes(
+      names, drain_timeout, [this, weak, chosen, on_done](bool clean) {
+        auto pilot = weak.lock();
+        if (pilot == nullptr) return;
+        for (const auto i : chosen) {
+          auto& segment = pilot->grow_segments_[i];
+          segment.released = true;
+          if (segment.job && !saga::is_final(segment.job->state())) {
+            segment.job->complete();
+          }
+        }
+        session_.trace().record(
+            session_.engine().now(), "pilot", "shrink_done",
+            {{"pilot", pilot->id_},
+             {"clean", clean ? "true" : "false"},
+             {"total", std::to_string(pilot->live_nodes())}});
+        if (on_done) on_done(clean);
+      });
 }
 
 saga::JobService& PilotManager::job_service(const saga::Url& url) {

@@ -26,12 +26,32 @@ class PilotManager;
 /// diagnostics; applications normally interact through the UnitManager.
 class Pilot {
  public:
+  /// One elastic grow increment: the incremental batch job plus the node
+  /// names it contributed. Batch jobs release whole allocations only, so
+  /// shrink returns whole segments, most recent first.
+  struct GrowSegment {
+    std::shared_ptr<saga::Job> job;
+    std::vector<std::string> node_names;
+    bool released = false;
+  };
+
   const std::string& id() const { return id_; }
   const PilotDescription& description() const { return description_; }
   PilotState state() const { return state_; }
 
   /// Agent instance, nullptr until the placeholder job started.
   Agent* agent() { return agent_.get(); }
+
+  /// Nodes currently in the agent allocation (base + landed grow
+  /// segments); 0 before the placeholder job started.
+  int live_nodes() const;
+
+  /// Nodes requested by grow jobs still waiting in the batch queue.
+  int pending_grow_nodes() const { return pending_grow_nodes_; }
+
+  const std::vector<GrowSegment>& grow_segments() const {
+    return grow_segments_;
+  }
 
   /// Latest heartbeat document the agent wrote to the shared store
   /// (fields: alive, last_heartbeat, units_*), or nullopt before the
@@ -53,6 +73,7 @@ class Pilot {
         description_(std::move(description)) {}
 
   void set_state(PilotState state);
+  void release_grow_segments();
 
   PilotManager* manager_;
   std::string id_;
@@ -61,6 +82,9 @@ class Pilot {
   std::shared_ptr<saga::Job> job_;
   std::unique_ptr<Agent> agent_;
   std::vector<std::function<void(PilotState)>> callbacks_;
+  std::vector<GrowSegment> grow_segments_;
+  int pending_grow_nodes_ = 0;
+  int next_grow_ = 1;
 };
 
 class PilotManager {
@@ -79,6 +103,26 @@ class PilotManager {
   /// batch job runs and the agent bootstraps.
   std::shared_ptr<Pilot> submit_pilot(const PilotDescription& description,
                                       AgentConfig agent_config = {});
+
+  /// Elastic grow: submits an incremental placeholder job for \p nodes
+  /// additional nodes through the same job service, so the request pays
+  /// real queue wait under the active batch policy. When the job starts,
+  /// the agent bootstraps the new nodes (Mode-I NM/DataNode/worker
+  /// registration) and \p on_added fires with the count actually added —
+  /// 0 if the pilot was gone by then and the nodes went straight back.
+  void grow_pilot(const std::shared_ptr<Pilot>& pilot, int nodes,
+                  std::function<void(int added)> on_added = nullptr);
+
+  /// Elastic shrink: picks unreleased grow segments most-recent-first
+  /// until at least \p nodes are covered, gracefully drains them through
+  /// the agent (see Agent::decommission_nodes) and completes each
+  /// segment's batch job once its nodes left the allocation. The base
+  /// allocation never shrinks. \p on_done fires with clean=false when the
+  /// drain timed out and preempted (units requeued, never lost). Throws
+  /// StateError when no segment is available or a drain is in progress.
+  void shrink_pilot(const std::shared_ptr<Pilot>& pilot, int nodes,
+                    common::Seconds drain_timeout,
+                    std::function<void(bool clean)> on_done = nullptr);
 
   Session& session() { return session_; }
 

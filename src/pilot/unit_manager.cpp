@@ -38,8 +38,6 @@ void UnitManager::add_pilot(std::shared_ptr<Pilot> pilot) {
   }
   bound_counts_.emplace(pilot->id(), 0);
   backlog_seconds_.emplace(pilot->id(), 0.0);
-  pilot_cores_.emplace(pilot->id(),
-                       std::max(1, pilot->description().nodes));
   pilots_.push_back(std::move(pilot));
 }
 
@@ -66,15 +64,18 @@ std::string UnitManager::pick_pilot(const ComputeUnitDescription& /*desc*/) {
       return best;
     }
     case UnitSchedulingPolicy::kPredictive: {
-      // Least predicted outstanding seconds, normalized by pilot size
-      // (nodes requested) so bigger pilots absorb more work.
+      // Least predicted outstanding seconds, normalized by the pilot's
+      // *live* node count so elastic resizes shift load immediately; the
+      // description size stands in until the placeholder job starts.
       reconcile();
       std::string best;
       double best_backlog = 1e300;
       for (const auto& pilot : pilots_) {
-        const double normalized =
-            backlog_seconds_.at(pilot->id()) /
-            static_cast<double>(pilot_cores_.at(pilot->id()));
+        const int live = pilot->live_nodes() > 0
+                             ? pilot->live_nodes()
+                             : pilot->description().nodes;
+        const double normalized = backlog_seconds_.at(pilot->id()) /
+                                  static_cast<double>(std::max(1, live));
         if (normalized < best_backlog) {
           best = pilot->id();
           best_backlog = normalized;

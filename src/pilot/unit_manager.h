@@ -101,6 +101,7 @@ class UnitManager {
   void reconcile();
 
   RuntimeEstimator& estimator() { return *estimator_; }
+  std::shared_ptr<RuntimeEstimator> estimator_ptr() { return estimator_; }
 
   Session& session() { return session_; }
 
@@ -117,7 +118,6 @@ class UnitManager {
   UnitSchedulingPolicy policy_;
   std::shared_ptr<RuntimeEstimator> estimator_;
   std::map<std::string, double> backlog_seconds_;    // pilot -> predicted
-  std::map<std::string, int> pilot_cores_;           // pilot -> total cores
   std::map<std::string, double> unit_predictions_;   // unit -> predicted
   std::map<std::string, bool> unit_reconciled_;      // unit -> folded back
 

@@ -30,14 +30,7 @@ SparkStandaloneCluster::SparkStandaloneCluster(
   }
   master_node_ = allocation.nodes().front()->name();
   for (const auto& node : allocation.nodes()) {
-    Worker w;
-    w.node = node;
-    w.free_cores =
-        config_.worker_cores > 0 ? config_.worker_cores : node->spec().cores;
-    w.free_memory_mb = config_.worker_memory_mb > 0
-                           ? config_.worker_memory_mb
-                           : node->spec().memory_mb - 1024;
-    workers_.push_back(std::move(w));
+    workers_.push_back(make_worker(node));
   }
   (void)machine;
   schedule_event_ = engine_.schedule_periodic(
@@ -45,6 +38,27 @@ SparkStandaloneCluster::SparkStandaloneCluster(
 }
 
 SparkStandaloneCluster::~SparkStandaloneCluster() { shutdown(); }
+
+SparkStandaloneCluster::Worker SparkStandaloneCluster::make_worker(
+    std::shared_ptr<cluster::Node> node) const {
+  Worker w;
+  w.node = std::move(node);
+  w.free_cores = config_.worker_cores > 0 ? config_.worker_cores
+                                          : w.node->spec().cores;
+  w.free_memory_mb = config_.worker_memory_mb > 0
+                         ? config_.worker_memory_mb
+                         : w.node->spec().memory_mb - 1024;
+  w.total_cores = w.free_cores;
+  return w;
+}
+
+int SparkStandaloneCluster::live_total_cores() const {
+  int total = 0;
+  for (const auto& w : workers_) {
+    if (w.alive && !w.decommissioning) total += w.total_cores;
+  }
+  return total;
+}
 
 void SparkStandaloneCluster::shutdown() {
   if (shut_down_) return;
@@ -70,8 +84,7 @@ std::string SparkStandaloneCluster::submit_application(
       "app-%04llu", static_cast<unsigned long long>(next_app_++));
   App app;
   app.descriptor = descriptor;
-  int total_cores = 0;
-  for (const auto& w : workers_) total_cores += w.free_cores;
+  const int total_cores = live_total_cores();
   app.max_cores_cap = descriptor.max_cores > 0
                           ? std::min(descriptor.max_cores, total_cores)
                           : total_cores;
@@ -125,13 +138,23 @@ int SparkStandaloneCluster::task_slots(const std::string& app_id) const {
 
 void SparkStandaloneCluster::schedule_pass() {
   if (shut_down_) return;
+  const int live_total = live_total_cores();
   for (auto& [app_id, app] : apps_) {
     if (app.state != SparkAppState::kWaiting &&
         app.state != SparkAppState::kRunning) {
       continue;
     }
+    // Re-derive the core ceiling from live capacity each pass so targets
+    // track workers joining and leaving mid-run instead of a value cached
+    // at submit time.
+    app.max_cores_cap = app.descriptor.max_cores > 0
+                            ? std::min(app.descriptor.max_cores, live_total)
+                            : live_total;
     if (config_.dynamic_allocation) {
       adjust_dynamic_target(app_id, app);
+      app.wanted_cores = std::min(app.wanted_cores, app.max_cores_cap);
+    } else {
+      app.wanted_cores = app.max_cores_cap;
     }
     int granted = 0;
     for (const auto& e : app.executors) granted += e.cores;
@@ -154,7 +177,7 @@ void SparkStandaloneCluster::schedule_pass() {
       }
       for (std::size_t wi : order) {
         Worker& w = workers_[wi];
-        if (!w.alive) continue;
+        if (!w.alive || w.decommissioning) continue;
         const int cores = app.descriptor.executor_cores;
         const common::MemoryMb mem = app.descriptor.executor_memory_mb;
         if (w.free_cores < cores || w.free_memory_mb < mem) continue;
@@ -322,32 +345,83 @@ void SparkStandaloneCluster::adjust_dynamic_target(
   }
 }
 
+void SparkStandaloneCluster::withdraw_executors(Worker& w) {
+  const std::string& node = w.node->name();
+  for (auto& [app_id, app] : apps_) {
+    std::vector<ExecutorInfo> kept;
+    for (const auto& exec : app.executors) {
+      if (exec.worker_node != node) {
+        kept.push_back(exec);
+        continue;
+      }
+      // Release the node ledger and withdraw idle slots.
+      w.node->release(cluster::ResourceRequest{exec.cores, exec.memory_mb});
+      w.free_cores += exec.cores;
+      w.free_memory_mb += exec.memory_mb;
+      app.ready_executors =
+          app.ready_executors > 0 ? app.ready_executors - 1 : 0;
+      app.free_slots = std::max(0, app.free_slots - exec.cores);
+    }
+    app.executors = std::move(kept);
+  }
+}
+
 void SparkStandaloneCluster::fail_worker(const std::string& node) {
   for (auto& w : workers_) {
     if (w.node->name() != node || !w.alive) continue;
     w.alive = false;
-    // Withdraw this worker's executors from every app.
-    for (auto& [app_id, app] : apps_) {
-      std::vector<ExecutorInfo> kept;
-      for (const auto& exec : app.executors) {
-        if (exec.worker_node != node) {
-          kept.push_back(exec);
-          continue;
-        }
-        // Release the node ledger and withdraw idle slots.
-        w.node->release(
-            cluster::ResourceRequest{exec.cores, exec.memory_mb});
-        w.free_cores += exec.cores;
-        w.free_memory_mb += exec.memory_mb;
-        app.ready_executors =
-            app.ready_executors > 0 ? app.ready_executors - 1 : 0;
-        app.free_slots = std::max(0, app.free_slots - exec.cores);
-      }
-      app.executors = std::move(kept);
-    }
+    withdraw_executors(w);
     return;
   }
   throw common::NotFoundError("Spark: unknown worker " + node);
+}
+
+void SparkStandaloneCluster::add_worker(std::shared_ptr<cluster::Node> node) {
+  if (shut_down_) {
+    throw common::StateError("Spark master is down");
+  }
+  for (const auto& w : workers_) {
+    if (w.node->name() == node->name()) {
+      throw common::StateError("Spark: worker already registered on " +
+                               node->name());
+    }
+  }
+  workers_.push_back(make_worker(std::move(node)));
+}
+
+void SparkStandaloneCluster::decommission_worker(const std::string& node) {
+  for (auto& w : workers_) {
+    if (w.node->name() != node) continue;
+    if (!w.alive || w.decommissioning) return;
+    w.decommissioning = true;
+    withdraw_executors(w);
+    return;
+  }
+  throw common::NotFoundError("Spark: unknown worker " + node);
+}
+
+bool SparkStandaloneCluster::worker_drained(const std::string& node) const {
+  for (const auto& [id, app] : apps_) {
+    for (const auto& exec : app.executors) {
+      if (exec.worker_node == node) return false;
+    }
+  }
+  return true;
+}
+
+void SparkStandaloneCluster::remove_worker(const std::string& node) {
+  auto it = std::find_if(workers_.begin(), workers_.end(),
+                         [&](const Worker& w) {
+                           return w.node->name() == node;
+                         });
+  if (it == workers_.end()) {
+    throw common::NotFoundError("Spark: unknown worker " + node);
+  }
+  if (!worker_drained(node)) {
+    throw common::StateError("Spark: worker " + node +
+                             " still hosts executors");
+  }
+  workers_.erase(it);
 }
 
 std::size_t SparkStandaloneCluster::live_worker_count() const {

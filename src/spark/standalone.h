@@ -102,6 +102,25 @@ class SparkStandaloneCluster {
   /// subsequent master passes.
   void fail_worker(const std::string& node);
 
+  /// Registers a worker on a freshly granted allocation node (elastic
+  /// grow). Applications below their core target acquire executors on it
+  /// from the next master pass.
+  void add_worker(std::shared_ptr<cluster::Node> node);
+
+  /// Graceful shrink: marks the worker decommissioning and sheds its
+  /// executors through the same withdrawal/reacquisition machinery as
+  /// `fail_worker` — idle slots are withdrawn, running tasks finish on
+  /// the app's remaining slots, and the master re-grants on other
+  /// workers. No task is lost.
+  void decommission_worker(const std::string& node);
+
+  /// True when no application holds an executor on the worker.
+  bool worker_drained(const std::string& node) const;
+
+  /// Deregisters a drained (or dead) worker — final step of a shrink.
+  /// Throws StateError while executors remain.
+  void remove_worker(const std::string& node);
+
   std::size_t live_worker_count() const;
 
   /// Master web-UI style JSON.
@@ -116,7 +135,9 @@ class SparkStandaloneCluster {
     std::shared_ptr<cluster::Node> node;
     int free_cores = 0;
     common::MemoryMb free_memory_mb = 0;
+    int total_cores = 0;  // configured capacity (for live-total queries)
     bool alive = true;
+    bool decommissioning = false;
   };
 
   struct Task {
@@ -144,6 +165,14 @@ class SparkStandaloneCluster {
 
   App& find(const std::string& app_id);
   const App& find(const std::string& app_id) const;
+
+  Worker make_worker(std::shared_ptr<cluster::Node> node) const;
+  void withdraw_executors(Worker& w);
+
+  /// Total configured cores across alive, non-decommissioning workers —
+  /// the live ceiling application core targets track as the cluster
+  /// grows and shrinks.
+  int live_total_cores() const;
 
   void schedule_pass();
   void adjust_dynamic_target(const std::string& app_id, App& app);

@@ -74,7 +74,7 @@ Resource NodeManager::available() const {
 Resource NodeManager::allocated() const { return in_use_; }
 
 bool NodeManager::can_fit(const Resource& resource) const {
-  if (!alive_) return false;
+  if (!alive_ || decommissioning_) return false;
   const int cores = config_.memory_only_scheduling ? 0 : resource.vcores;
   const Resource avail = available();
   if (resource.memory_mb > avail.memory_mb) return false;

@@ -72,8 +72,16 @@ class NodeManager {
   void fail();
 
   /// Rejoins a failed NM (recommissioning); capacity becomes usable on
-  /// the next scheduler pass.
-  void recover() { alive_ = true; }
+  /// the next scheduler pass. Also clears a decommission mark.
+  void recover() {
+    alive_ = true;
+    decommissioning_ = false;
+  }
+
+  /// Graceful-decommission mark: the scheduler stops placing new
+  /// containers here while running ones finish undisturbed.
+  void start_decommission() { decommissioning_ = true; }
+  bool decommissioning() const { return decommissioning_; }
 
  private:
   Container& find(const std::string& container_id);
@@ -84,6 +92,7 @@ class NodeManager {
   Resource capacity_;
   Resource in_use_{0, 0};
   bool alive_ = true;
+  bool decommissioning_ = false;
   std::map<std::string, Container> containers_;
 };
 

@@ -177,6 +177,40 @@ void ResourceManager::recover_node(const std::string& node) {
   nm.recover();
 }
 
+void ResourceManager::add_node(std::shared_ptr<cluster::Node> node) {
+  if (shut_down_) {
+    throw common::StateError("ResourceManager is shut down");
+  }
+  for (const auto& nm : node_managers_) {
+    if (nm->node_name() == node->name()) {
+      throw common::StateError("RM: NodeManager already registered on " +
+                               node->name());
+    }
+  }
+  node_managers_.push_back(
+      std::make_unique<NodeManager>(engine_, config_, std::move(node)));
+}
+
+void ResourceManager::decommission_node(const std::string& node) {
+  node_manager(node).start_decommission();
+}
+
+void ResourceManager::remove_node(const std::string& node) {
+  auto it = std::find_if(
+      node_managers_.begin(), node_managers_.end(),
+      [&](const std::unique_ptr<NodeManager>& nm) {
+        return nm->node_name() == node;
+      });
+  if (it == node_managers_.end()) {
+    throw common::NotFoundError("RM: unknown NodeManager " + node);
+  }
+  if ((*it)->alive() && (*it)->live_count() > 0) {
+    throw common::StateError("RM: NodeManager " + node +
+                             " still hosts live containers");
+  }
+  node_managers_.erase(it);
+}
+
 common::Json ResourceManager::apps_json() const {
   common::JsonArray rows;
   for (const auto& report : applications()) {
@@ -470,6 +504,7 @@ void ResourceManager::am_unregister(const std::string& app_id, bool success) {
 Resource ResourceManager::total_capacity() const {
   Resource total{0, 0};
   for (const auto& nm : node_managers_) {
+    if (!nm->alive() || nm->decommissioning()) continue;
     total.memory_mb += nm->capacity().memory_mb;
     total.vcores += nm->capacity().vcores;
   }

@@ -81,6 +81,9 @@ class ResourceManager {
   /// REST GET /ws/v1/cluster/scheduler equivalent (per-queue usage).
   common::Json scheduler_info() const;
 
+  /// Live capacity: sums NMs that are alive and not decommissioning —
+  /// the single capacity query schedulers and agent backpressure use, so
+  /// totals stay consistent as nodes join and leave mid-run.
   Resource total_capacity() const;
   Resource total_allocated() const;
 
@@ -90,6 +93,18 @@ class ResourceManager {
 
   /// Returns a failed node to service (recommissioning).
   void recover_node(const std::string& node);
+
+  /// Registers a NodeManager on a freshly granted allocation node (elastic
+  /// grow). Its capacity becomes placeable on the next scheduler pass.
+  void add_node(std::shared_ptr<cluster::Node> node);
+
+  /// Marks a node decommissioning: no new containers are placed there;
+  /// running ones finish undisturbed (graceful shrink).
+  void decommission_node(const std::string& node);
+
+  /// Deregisters a NodeManager (drained or dead) — the final step of a
+  /// shrink. Throws StateError while the NM still hosts live containers.
+  void remove_node(const std::string& node);
 
   /// REST GET /ws/v1/cluster/apps equivalent.
   common::Json apps_json() const;

@@ -15,4 +15,38 @@ YarnCluster::YarnCluster(sim::Engine& engine,
 
 void YarnCluster::shutdown() { rm_->shutdown(); }
 
+void YarnCluster::add_nodes(
+    const std::vector<std::shared_ptr<cluster::Node>>& nodes) {
+  for (const auto& node : nodes) {
+    rm_->add_node(node);
+    hdfs_->add_datanode(node->name());
+    allocation_.add(node);
+  }
+}
+
+void YarnCluster::decommission_nodes(const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    rm_->decommission_node(name);
+    hdfs_->decommission_datanode(name);
+  }
+}
+
+bool YarnCluster::decommission_complete(
+    const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    NodeManager& nm = rm_->node_manager(name);
+    if (nm.alive() && nm.live_count() > 0) return false;
+    if (!hdfs_->decommission_complete(name)) return false;
+  }
+  return true;
+}
+
+void YarnCluster::remove_nodes(const std::vector<std::string>& names) {
+  for (const auto& name : names) {
+    rm_->remove_node(name);
+    hdfs_->remove_datanode(name);
+    allocation_.remove(name);
+  }
+}
+
 }  // namespace hoh::yarn

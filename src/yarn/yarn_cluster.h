@@ -36,6 +36,22 @@ class YarnCluster {
   /// Stops all daemons (Mode-I teardown before agent exit).
   void shutdown();
 
+  /// Elastic grow: registers a NodeManager and a DataNode on each freshly
+  /// granted allocation node (the LRM's incremental bootstrap step).
+  void add_nodes(const std::vector<std::shared_ptr<cluster::Node>>& nodes);
+
+  /// Elastic shrink, step 1: mark nodes decommissioning so YARN stops
+  /// placing containers there and HDFS starts copying blocks off.
+  void decommission_nodes(const std::vector<std::string>& names);
+
+  /// True when every named node has no live containers and all its HDFS
+  /// blocks are safely replicated elsewhere — the drain barrier.
+  bool decommission_complete(const std::vector<std::string>& names);
+
+  /// Elastic shrink, final step: deregister the NM and DataNode of each
+  /// drained node and drop it from the cluster's allocation view.
+  void remove_nodes(const std::vector<std::string>& names);
+
  private:
   const cluster::MachineProfile& machine_;
   cluster::Allocation allocation_;

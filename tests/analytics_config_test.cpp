@@ -68,6 +68,44 @@ TEST(ExperimentConfigTest, RejectsBadValues) {
                common::ConfigError);
 }
 
+TEST(ExperimentConfigTest, ElasticSectionParsed) {
+  const auto cfg = kmeans_config_from_json(common::Json::parse(R"({
+    "nodes": 2, "tasks": 64, "stack": "rp-yarn",
+    "elastic": {"policy": "utilization",
+                "params": {"high_watermark": 0.9, "cooldown": 60},
+                "sample_interval": 15, "max_nodes": 6,
+                "drain_timeout": 120}
+  })"));
+  EXPECT_TRUE(cfg.elastic);
+  EXPECT_EQ(cfg.elastic_policy.name, "utilization");
+  EXPECT_DOUBLE_EQ(cfg.elastic_policy.params.at("high_watermark"), 0.9);
+  EXPECT_DOUBLE_EQ(cfg.elastic_policy.params.at("cooldown"), 60.0);
+  EXPECT_DOUBLE_EQ(cfg.elastic_config.sample_interval, 15.0);
+  EXPECT_EQ(cfg.elastic_config.min_nodes, 2);  // defaults to nodes
+  EXPECT_EQ(cfg.elastic_config.max_nodes, 6);
+  EXPECT_DOUBLE_EQ(cfg.elastic_config.drain_timeout, 120.0);
+}
+
+TEST(ExperimentConfigTest, ElasticSectionRejectsBadValues) {
+  // Unknown policy name.
+  EXPECT_THROW(kmeans_config_from_json(common::Json::parse(
+                   R"({"elastic": {"policy": "oracle"}})")),
+               common::ConfigError);
+  // Unknown policy parameter.
+  EXPECT_THROW(kmeans_config_from_json(common::Json::parse(
+                   R"({"elastic": {"policy": "backlog",
+                       "params": {"warp_factor": 9}}})")),
+               common::ConfigError);
+  // max_nodes below the base allocation.
+  EXPECT_THROW(kmeans_config_from_json(common::Json::parse(
+                   R"({"nodes": 4, "elastic": {"max_nodes": 2}})")),
+               common::ConfigError);
+  // Not an object.
+  EXPECT_THROW(kmeans_config_from_json(
+                   common::Json::parse(R"({"elastic": "yes"})")),
+               common::ConfigError);
+}
+
 TEST(ExperimentConfigTest, PlanParsing) {
   const auto plan = experiment_plan_from_json(common::Json::parse(R"({
     "experiments": [
@@ -104,6 +142,21 @@ TEST(ExperimentConfigTest, ResultRoundTripsThroughJsonText) {
   EXPECT_TRUE(parsed.at("ok").as_bool());
   EXPECT_DOUBLE_EQ(parsed.at("time_to_completion_s").as_number(), 987.5);
   EXPECT_EQ(parsed.at("units_completed").as_int(), 64);
+  EXPECT_FALSE(parsed.contains("elastic"));
+
+  cfg.elastic = true;
+  cfg.elastic_config.max_nodes = 6;
+  result.peak_nodes = 5;
+  result.elastic_counters.grow_decisions = 3;
+  const auto with_elastic =
+      common::Json::parse(result_to_json(cfg, result).dump());
+  EXPECT_EQ(with_elastic.at("elastic").at("policy").as_string(), "backlog");
+  EXPECT_EQ(with_elastic.at("elastic").at("peakNodes").as_int(), 5);
+  EXPECT_EQ(with_elastic.at("elastic")
+                .at("counters")
+                .at("growDecisions")
+                .as_int(),
+            3);
 }
 
 TEST(ExperimentConfigTest, ParsedConfigRunsEndToEnd) {

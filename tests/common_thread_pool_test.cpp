@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace hoh::common {
@@ -57,6 +59,27 @@ TEST(ThreadPoolTest, ParallelForSum) {
 TEST(ThreadPoolTest, DefaultSizeUsesHardware) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPoolTest, WaitIdleSeesEveryQueuedTaskFinished) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      count.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing queued: must not block
+  auto fut = pool.submit([] { return 7; });
+  pool.wait_idle();
+  EXPECT_EQ(fut.get(), 7);
 }
 
 TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlock) {

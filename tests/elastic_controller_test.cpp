@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "elastic/elastic_controller.h"
+#include "elastic/policy.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+
+namespace hoh::elastic {
+namespace {
+
+PilotSample sample_at(common::Seconds time, int nodes, int cores_per_node,
+                      int used_cores, std::size_t queued_units,
+                      int queued_cores) {
+  PilotSample s;
+  s.time = time;
+  s.nodes = nodes;
+  s.cores_per_node = cores_per_node;
+  s.total_cores = nodes * cores_per_node;
+  s.used_cores = used_cores;
+  s.queued_units = queued_units;
+  s.queued_cores = queued_cores;
+  return s;
+}
+
+// --- BacklogPolicy ---
+
+TEST(BacklogPolicyTest, GrowsWhenQueueOutstripsIdleSlots) {
+  BacklogPolicy policy;
+  // 2 nodes x 16 cores fully busy, 40 cores queued: starved.
+  const auto d = policy.decide(sample_at(0.0, 2, 16, 32, 40, 40));
+  EXPECT_EQ(d.action, ElasticAction::kGrow);
+  EXPECT_GT(d.nodes, 0);
+}
+
+TEST(BacklogPolicyTest, GrowStepCoversTheCoreDeficit) {
+  BacklogPolicyConfig config;
+  config.grow_step_max = 8;
+  BacklogPolicy policy(config);
+  // 33 queued cores against 1 idle core: deficit 32 -> 2 nodes of 16.
+  const auto d = policy.decide(sample_at(0.0, 2, 16, 31, 33, 33));
+  EXPECT_EQ(d.action, ElasticAction::kGrow);
+  EXPECT_EQ(d.nodes, 2);
+}
+
+TEST(BacklogPolicyTest, HoldsWhenBacklogFitsIdleSlots) {
+  BacklogPolicy policy;  // grow at > 2 queued cores per idle core
+  const auto d = policy.decide(sample_at(0.0, 2, 16, 8, 10, 10));
+  EXPECT_EQ(d.action, ElasticAction::kHold);
+}
+
+TEST(BacklogPolicyTest, ShrinksIdleNodesKeepingTheSpare) {
+  BacklogPolicy policy;  // shrink_spare_nodes = 1
+  // Queue empty, 3 of 4 nodes fully idle.
+  const auto d = policy.decide(sample_at(0.0, 4, 16, 16, 0, 0));
+  EXPECT_EQ(d.action, ElasticAction::kShrink);
+  EXPECT_EQ(d.nodes, 2);  // 3 idle nodes minus 1 spare
+}
+
+TEST(BacklogPolicyTest, HoldsWhenOnlyTheSpareIsIdle) {
+  BacklogPolicy policy;
+  const auto d = policy.decide(sample_at(0.0, 2, 16, 16, 0, 0));
+  EXPECT_EQ(d.action, ElasticAction::kHold);
+}
+
+// --- UtilizationPolicy ---
+
+TEST(UtilizationPolicyTest, GrowsAboveHighWatermark) {
+  UtilizationPolicy policy;
+  const auto d = policy.decide(sample_at(1000.0, 2, 16, 30, 4, 4));
+  EXPECT_EQ(d.action, ElasticAction::kGrow);
+}
+
+TEST(UtilizationPolicyTest, ShrinksBelowLowWatermarkWithEmptyQueue) {
+  UtilizationPolicy policy;
+  const auto d = policy.decide(sample_at(1000.0, 4, 16, 4, 0, 0));
+  EXPECT_EQ(d.action, ElasticAction::kShrink);
+}
+
+TEST(UtilizationPolicyTest, HoldsLowUtilizationWhileUnitsStillQueue) {
+  UtilizationPolicy policy;
+  // Low utilization but work queued (startup transient): never shrink.
+  const auto d = policy.decide(sample_at(1000.0, 4, 16, 4, 12, 12));
+  EXPECT_EQ(d.action, ElasticAction::kHold);
+}
+
+TEST(UtilizationPolicyTest, CooldownBlocksBackToBackResizes) {
+  UtilizationPolicy policy;  // cooldown 120 s
+  const auto grow = policy.decide(sample_at(0.0, 2, 16, 31, 8, 8));
+  ASSERT_EQ(grow.action, ElasticAction::kGrow);
+  // 30 s later the pilot looks idle — still inside the cooldown.
+  const auto held = policy.decide(sample_at(30.0, 4, 16, 2, 0, 0));
+  EXPECT_EQ(held.action, ElasticAction::kHold);
+  // Past the cooldown the shrink goes through.
+  const auto shrink = policy.decide(sample_at(150.0, 4, 16, 2, 0, 0));
+  EXPECT_EQ(shrink.action, ElasticAction::kShrink);
+}
+
+TEST(UtilizationPolicyTest, NoFlapInsideTheHysteresisBand) {
+  // Property: load oscillating anywhere inside the band produces zero
+  // resize decisions, no matter how long it runs.
+  UtilizationPolicy policy;
+  std::size_t resizes = 0;
+  for (int i = 0; i < 200; ++i) {
+    // Utilization swings between 0.375 and 0.75 every sample.
+    const int used = (i % 2 == 0) ? 12 : 24;
+    const auto d = policy.decide(sample_at(i * 30.0, 2, 16, used, 0, 0));
+    if (d.action != ElasticAction::kHold) resizes += 1;
+  }
+  EXPECT_EQ(resizes, 0u);
+}
+
+TEST(UtilizationPolicyTest, CooldownBoundsResizeRateUnderWildOscillation) {
+  // Even load swinging across BOTH watermarks every sample cannot resize
+  // more often than once per cooldown window.
+  UtilizationPolicy policy;  // cooldown 120 s, samples every 30 s
+  std::size_t resizes = 0;
+  const int samples = 100;
+  for (int i = 0; i < samples; ++i) {
+    const int used = (i % 2 == 0) ? 32 : 0;  // 100% then 0%
+    const auto d = policy.decide(sample_at(i * 30.0, 2, 16, used, 0, 0));
+    if (d.action != ElasticAction::kHold) resizes += 1;
+  }
+  // 100 samples x 30 s = 3000 s of sim time; at most one resize per 120 s.
+  EXPECT_LE(resizes, static_cast<std::size_t>(samples * 30.0 / 120.0) + 1);
+  EXPECT_GT(resizes, 0u);
+}
+
+// --- DeadlinePolicy ---
+
+TEST(DeadlinePolicyTest, GrowsWhenProjectionMissesTheDeadline) {
+  DeadlinePolicyConfig config;
+  config.deadline = 100.0;
+  DeadlinePolicy policy(config);
+  auto s = sample_at(0.0, 1, 16, 16, 50, 50);
+  s.predicted_backlog_seconds = 10000.0;  // 625 s on 16 cores
+  const auto d = policy.decide(s);
+  EXPECT_EQ(d.action, ElasticAction::kGrow);
+  EXPECT_EQ(d.nodes, config.grow_step_max);  // deficit far beyond the cap
+}
+
+TEST(DeadlinePolicyTest, HoldsWhenOnTrack) {
+  DeadlinePolicyConfig config;
+  config.deadline = 1000.0;
+  DeadlinePolicy policy(config);
+  auto s = sample_at(0.0, 2, 16, 20, 4, 4);
+  s.predicted_backlog_seconds = 800.0;  // 25 s on 32 cores
+  EXPECT_EQ(policy.decide(s).action, ElasticAction::kHold);
+}
+
+TEST(DeadlinePolicyTest, ShrinksWithSlackAndEmptyQueue) {
+  DeadlinePolicyConfig config;
+  config.deadline = 10000.0;
+  DeadlinePolicy policy(config);
+  const auto d = policy.decide(sample_at(100.0, 4, 16, 2, 0, 0));
+  EXPECT_EQ(d.action, ElasticAction::kShrink);
+}
+
+// --- make_policy factory ---
+
+TEST(MakePolicyTest, BuildsAllThreePolicies) {
+  EXPECT_EQ(make_policy({"backlog", {}})->name(), "backlog");
+  EXPECT_EQ(make_policy({"utilization", {}})->name(), "utilization");
+  EXPECT_EQ(make_policy({"deadline", {}})->name(), "deadline");
+}
+
+TEST(MakePolicyTest, AppliesParameterOverrides) {
+  auto policy =
+      make_policy({"utilization", {{"high_watermark", 0.5},
+                                   {"cooldown", 0.0}}});
+  // 60% utilization grows only because the watermark was lowered.
+  const auto d = policy->decide(sample_at(0.0, 2, 16, 20, 2, 2));
+  EXPECT_EQ(d.action, ElasticAction::kGrow);
+}
+
+TEST(MakePolicyTest, UnknownPolicyOrParameterThrows) {
+  EXPECT_THROW(make_policy({"magic", {}}), common::ConfigError);
+  EXPECT_THROW(make_policy({"backlog", {{"high_watermark", 0.9}}}),
+               common::ConfigError);
+}
+
+// --- ElasticController against a live simulation ---
+
+class ElasticControllerTest : public ::testing::Test {
+ protected:
+  ElasticControllerTest() {
+    session_.register_machine(cluster::stampede_profile(),
+                              hpc::SchedulerKind::kSlurm, 12);
+  }
+
+  std::shared_ptr<pilot::Pilot> plain_pilot(int nodes) {
+    pilot::PilotDescription pd;
+    pd.resource = "slurm://stampede/";
+    pd.nodes = nodes;
+    pd.runtime = 28800.0;
+    pd.backend = pilot::AgentBackend::kPlain;
+    return pm_.submit_pilot(pd);
+  }
+
+  pilot::ComputeUnitDescription unit(common::Seconds duration) {
+    pilot::ComputeUnitDescription cud;
+    cud.cores = 1;
+    cud.memory_mb = 1024;
+    cud.duration = duration;
+    return cud;
+  }
+
+  pilot::Session session_;
+  pilot::PilotManager pm_{session_};
+  pilot::UnitManager um_{session_};
+};
+
+TEST_F(ElasticControllerTest, GrowsUnderBacklogAndShrinksWhenDrained) {
+  auto pilot = plain_pilot(1);
+  um_.add_pilot(pilot);
+
+  ElasticControllerConfig config;
+  config.sample_interval = 15.0;
+  config.min_nodes = 1;
+  config.max_nodes = 4;
+  config.drain_timeout = 300.0;
+  BacklogPolicyConfig bp;
+  bp.shrink_spare_nodes = 0;
+  ElasticController controller(pm_, pilot,
+                               std::make_unique<BacklogPolicy>(bp), config);
+  controller.start();
+
+  // 64 one-core units of 300 s against 16 base cores: heavy backlog.
+  std::vector<pilot::ComputeUnitDescription> descs(64, unit(300.0));
+  auto units = um_.submit(descs);
+
+  session_.engine().run_until(1500.0);
+  EXPECT_LE(pilot->live_nodes(), 4);
+  EXPECT_GE(controller.counters().grow_decisions, 1u);
+  EXPECT_GE(controller.counters().nodes_added, 1);
+
+  // Let the burst finish and the controller shed the grown capacity.
+  session_.engine().run_until(12000.0);
+  EXPECT_TRUE(um_.all_done());
+  for (const auto& u : units) {
+    EXPECT_EQ(u->state(), pilot::UnitState::kDone);
+  }
+  EXPECT_EQ(pilot->live_nodes(), 1);
+  EXPECT_GE(controller.counters().shrink_decisions, 1u);
+  EXPECT_EQ(controller.counters().nodes_removed,
+            controller.counters().nodes_added);
+  EXPECT_GE(controller.counters().clean_shrinks, 1u);
+  EXPECT_EQ(controller.counters().forced_shrinks, 0u);
+}
+
+TEST_F(ElasticControllerTest, MaxNodesCapsGrowth) {
+  auto pilot = plain_pilot(1);
+  um_.add_pilot(pilot);
+
+  ElasticControllerConfig config;
+  config.sample_interval = 15.0;
+  config.max_nodes = 2;
+  ElasticController controller(pm_, pilot,
+                               std::make_unique<BacklogPolicy>(), config);
+  controller.start();
+
+  std::vector<pilot::ComputeUnitDescription> descs(128, unit(600.0));
+  um_.submit(descs);
+  session_.engine().run_until(2000.0);
+  EXPECT_LE(pilot->live_nodes(), 2);
+  EXPECT_GE(controller.counters().clamped_decisions, 1u);
+}
+
+TEST_F(ElasticControllerTest, DefersWhileResizeInFlight) {
+  auto pilot = plain_pilot(1);
+  um_.add_pilot(pilot);
+
+  ElasticControllerConfig config;
+  // Sample much faster than a grow job clears the batch queue, so ticks
+  // land while the grow is still pending.
+  config.sample_interval = 2.0;
+  config.max_nodes = 8;
+  ElasticController controller(pm_, pilot,
+                               std::make_unique<BacklogPolicy>(), config);
+  controller.start();
+
+  std::vector<pilot::ComputeUnitDescription> descs(64, unit(300.0));
+  um_.submit(descs);
+  session_.engine().run_until(600.0);
+  EXPECT_GE(controller.counters().deferred_decisions, 1u);
+}
+
+TEST_F(ElasticControllerTest, TraceCarriesDecisions) {
+  auto pilot = plain_pilot(1);
+  um_.add_pilot(pilot);
+  ElasticControllerConfig config;
+  config.sample_interval = 15.0;
+  ElasticController controller(pm_, pilot,
+                               std::make_unique<BacklogPolicy>(), config);
+  controller.start();
+  um_.submit(std::vector<pilot::ComputeUnitDescription>(48, unit(300.0)));
+  session_.engine().run_until(400.0);
+  const auto decision = session_.trace().first("elastic", "decision");
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_EQ(decision->attrs.at("policy"), "backlog");
+}
+
+TEST_F(ElasticControllerTest, RejectsBadConfiguration) {
+  auto pilot = plain_pilot(1);
+  EXPECT_THROW(ElasticController(pm_, nullptr,
+                                 std::make_unique<BacklogPolicy>()),
+               common::ConfigError);
+  EXPECT_THROW(ElasticController(pm_, pilot, nullptr), common::ConfigError);
+  ElasticControllerConfig config;
+  config.sample_interval = 0.0;
+  EXPECT_THROW(ElasticController(pm_, pilot,
+                                 std::make_unique<BacklogPolicy>(), config),
+               common::ConfigError);
+}
+
+}  // namespace
+}  // namespace hoh::elastic

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "elastic/elastic_controller.h"
+#include "pilot/pilot_manager.h"
+#include "pilot/unit_manager.h"
+
+/// End-to-end elasticity: grows pay a real batch-queue pass and a Mode-I
+/// bootstrap; shrinks drain gracefully through YARN decommission, HDFS
+/// re-replication and Spark executor withdrawal. The invariants under
+/// test are the paper's ("coupling the Hadoop layer to the dynamic
+/// resource management of the pilot"): grown nodes are *usable* by every
+/// backend, and no compute unit or HDFS block is ever lost to a shrink.
+
+namespace hoh::pilot {
+namespace {
+
+class ElasticIntegrationTest : public ::testing::Test {
+ protected:
+  ElasticIntegrationTest() {
+    session_.register_machine(cluster::stampede_profile(),
+                              hpc::SchedulerKind::kSlurm, 12);
+  }
+
+  std::shared_ptr<Pilot> pilot_with(int nodes, AgentBackend backend,
+                                    AgentConfig agent_config = {}) {
+    PilotDescription pd;
+    pd.resource = "slurm://stampede/";
+    pd.nodes = nodes;
+    pd.runtime = 28800.0;
+    pd.backend = backend;
+    return pm_.submit_pilot(pd, agent_config);
+  }
+
+  ComputeUnitDescription unit(common::Seconds duration,
+                              common::MemoryMb memory_mb = 2048) {
+    ComputeUnitDescription cud;
+    cud.cores = 1;
+    cud.memory_mb = memory_mb;
+    cud.duration = duration;
+    return cud;
+  }
+
+  void run_until_active(const std::shared_ptr<Pilot>& pilot,
+                        common::Seconds deadline = 600.0) {
+    session_.engine().run_until(deadline);
+    ASSERT_EQ(pilot->state(), PilotState::kActive);
+  }
+
+  Session session_;
+  PilotManager pm_{session_};
+  UnitManager um_{session_};
+};
+
+TEST_F(ElasticIntegrationTest, GrowAddsUsableYarnAndHdfsCapacity) {
+  auto pilot = pilot_with(2, AgentBackend::kYarnModeI);
+  um_.add_pilot(pilot);
+  run_until_active(pilot);
+
+  auto* yc = pilot->agent()->yarn_cluster();
+  ASSERT_NE(yc, nullptr);
+  const int vcores_before = yc->resource_manager().total_capacity().vcores;
+  const auto datanodes_before = yc->hdfs().datanodes().size();
+
+  int added = -1;
+  pm_.grow_pilot(pilot, 2, [&added](int n) { added = n; });
+  session_.engine().run_until(session_.engine().now() + 300.0);
+
+  EXPECT_EQ(added, 2);
+  EXPECT_EQ(pilot->live_nodes(), 4);
+  EXPECT_GT(yc->resource_manager().total_capacity().vcores, vcores_before);
+  EXPECT_EQ(yc->hdfs().datanodes().size(), datanodes_before + 2);
+
+  // The grown capacity runs real work: more units than the original two
+  // nodes could hold in memory at once still finish promptly.
+  auto units =
+      um_.submit(std::vector<ComputeUnitDescription>(48, unit(30.0)));
+  session_.engine().run_until(session_.engine().now() + 2500.0);
+  for (const auto& u : units) {
+    EXPECT_EQ(u->state(), UnitState::kDone);
+  }
+}
+
+TEST_F(ElasticIntegrationTest, GrowAddsUsableSparkWorkers) {
+  auto pilot = pilot_with(2, AgentBackend::kSparkModeI);
+  um_.add_pilot(pilot);
+  run_until_active(pilot);
+
+  auto* spark = pilot->agent()->spark_cluster();
+  ASSERT_NE(spark, nullptr);
+  const auto workers_before = spark->live_worker_count();
+
+  pm_.grow_pilot(pilot, 1);
+  session_.engine().run_until(session_.engine().now() + 300.0);
+  EXPECT_EQ(spark->live_worker_count(), workers_before + 1);
+
+  auto units =
+      um_.submit(std::vector<ComputeUnitDescription>(24, unit(20.0)));
+  session_.engine().run_until(session_.engine().now() + 2000.0);
+  for (const auto& u : units) {
+    EXPECT_EQ(u->state(), UnitState::kDone);
+  }
+}
+
+TEST_F(ElasticIntegrationTest, GrowPaysQueueWaitWhenTheMachineIsFull) {
+  // 12-node machine: a 10-node pilot leaves 2 free, so a 4-node grow has
+  // to wait for capacity — elastic growth is not free capacity.
+  auto big = pilot_with(10, AgentBackend::kPlain);
+  run_until_active(big);
+  auto pilot = pilot_with(2, AgentBackend::kPlain);
+  session_.engine().run_until(session_.engine().now() + 120.0);
+  ASSERT_EQ(pilot->state(), PilotState::kActive);
+
+  int added = -1;
+  pm_.grow_pilot(pilot, 4, [&added](int n) { added = n; });
+  session_.engine().run_until(session_.engine().now() + 600.0);
+  EXPECT_EQ(added, -1);  // still queued behind the 10-node pilot
+  EXPECT_EQ(pilot->pending_grow_nodes(), 4);
+
+  big->cancel();
+  session_.engine().run_until(session_.engine().now() + 600.0);
+  EXPECT_EQ(added, 4);
+  EXPECT_EQ(pilot->live_nodes(), 6);
+}
+
+TEST_F(ElasticIntegrationTest, ModeIIPilotsCannotGrow) {
+  session_.register_machine(cluster::wrangler_profile(),
+                            hpc::SchedulerKind::kSge, 8);
+  session_.create_dedicated_hadoop("wrangler", 3);
+  PilotDescription pd;
+  pd.resource = "sge://wrangler/";
+  pd.nodes = 1;
+  pd.backend = AgentBackend::kYarnModeII;
+  auto pilot = pm_.submit_pilot(pd);
+  EXPECT_THROW(pm_.grow_pilot(pilot, 1), common::StateError);
+}
+
+TEST_F(ElasticIntegrationTest, HeadNodeCanNeverBeDecommissioned) {
+  auto pilot = pilot_with(2, AgentBackend::kPlain);
+  run_until_active(pilot);
+  const std::string head =
+      pilot->agent()->allocation().nodes().front()->name();
+  EXPECT_THROW(
+      pilot->agent()->decommission_nodes({head}, 60.0, nullptr),
+      common::ConfigError);
+}
+
+TEST_F(ElasticIntegrationTest, GracefulShrinkLosesNoUnitAndNoBlock) {
+  auto pilot = pilot_with(2, AgentBackend::kYarnModeI);
+  um_.add_pilot(pilot);
+  run_until_active(pilot);
+  auto* yc = pilot->agent()->yarn_cluster();
+  ASSERT_NE(yc, nullptr);
+
+  pm_.grow_pilot(pilot, 2);
+  session_.engine().run_until(session_.engine().now() + 300.0);
+  ASSERT_EQ(pilot->live_nodes(), 4);
+
+  // Put HDFS blocks on the nodes that will leave.
+  const auto& grown = pilot->grow_segments().front().node_names;
+  for (std::size_t i = 0; i < grown.size(); ++i) {
+    yc->hdfs().create_file("/data/part-" + std::to_string(i),
+                           512 * common::kMiB, grown[i]);
+  }
+  ASSERT_TRUE(yc->hdfs().all_blocks_replicated());
+
+  // Keep the cluster busy across the shrink.
+  auto units =
+      um_.submit(std::vector<ComputeUnitDescription>(32, unit(25.0)));
+
+  bool released = false;
+  bool clean = false;
+  pm_.shrink_pilot(pilot, 2, 3600.0, [&](bool c) {
+    released = true;
+    clean = c;
+  });
+  session_.engine().run_until(session_.engine().now() + 3600.0);
+
+  EXPECT_TRUE(released);
+  EXPECT_TRUE(clean);
+  EXPECT_EQ(pilot->live_nodes(), 2);
+  EXPECT_EQ(pilot->agent()->drain_timeouts(), 0u);
+  // Zero CU loss: every unit finished despite the shrink.
+  for (const auto& u : units) {
+    EXPECT_EQ(u->state(), UnitState::kDone);
+  }
+  // Zero block loss: the leaving DataNodes are gone, yet every block
+  // still meets its replication target on the survivors.
+  EXPECT_TRUE(yc->hdfs().all_blocks_replicated());
+  for (const auto& name : grown) {
+    const auto& datanodes = yc->hdfs().datanodes();
+    EXPECT_EQ(std::find(datanodes.begin(), datanodes.end(), name),
+              datanodes.end());
+  }
+  // The batch allocation actually came back: segments are released.
+  for (const auto& segment : pilot->grow_segments()) {
+    EXPECT_TRUE(segment.released);
+  }
+}
+
+TEST_F(ElasticIntegrationTest, ShrinkWaitsForReReplication) {
+  // Throttle the decommission monitor hard, so the drain is bounded by
+  // HDFS re-replication, not by running work.
+  AgentConfig agent_config;
+  agent_config.yarn.hdfs.decommission_blocks_per_round = 2;
+  auto pilot = pilot_with(2, AgentBackend::kYarnModeI, agent_config);
+  run_until_active(pilot);
+  auto* yc = pilot->agent()->yarn_cluster();
+
+  pm_.grow_pilot(pilot, 1);
+  session_.engine().run_until(session_.engine().now() + 300.0);
+  ASSERT_EQ(pilot->live_nodes(), 3);
+
+  // ~40 single-replica blocks living ONLY on the leaving node: at 2
+  // copies per 3-second round the drain needs >= 60 s of re-replication.
+  const std::string leaving = pilot->grow_segments().front().node_names[0];
+  yc->hdfs().create_file("/big", 5 * common::kGiB, leaving, 1);
+
+  const common::Seconds shrink_at = session_.engine().now();
+  common::Seconds released_at = -1.0;
+  pm_.shrink_pilot(pilot, 1, 7200.0, [&](bool clean) {
+    EXPECT_TRUE(clean);
+    released_at = session_.engine().now();
+  });
+  session_.engine().run_until(shrink_at + 3600.0);
+
+  ASSERT_GT(released_at, 0.0);
+  EXPECT_GE(released_at - shrink_at, 50.0);
+  EXPECT_TRUE(yc->hdfs().all_blocks_replicated());
+}
+
+TEST_F(ElasticIntegrationTest, DrainTimeoutPreemptsButLosesNoUnit) {
+  // Property-style: even when the drain escalates and preempts running
+  // units, every unit still reaches Done — preemption costs wasted work,
+  // never lost work.
+  auto pilot = pilot_with(1, AgentBackend::kPlain);
+  um_.add_pilot(pilot);
+  run_until_active(pilot);
+
+  pm_.grow_pilot(pilot, 1);
+  session_.engine().run_until(session_.engine().now() + 120.0);
+  ASSERT_EQ(pilot->live_nodes(), 2);
+
+  // Long units across both nodes, then a drain far shorter than their
+  // runtime: the ones on the leaving node must be preempted.
+  auto units =
+      um_.submit(std::vector<ComputeUnitDescription>(32, unit(500.0)));
+  session_.engine().run_until(session_.engine().now() + 60.0);
+
+  bool released = false;
+  bool clean = true;
+  pm_.shrink_pilot(pilot, 1, 30.0, [&](bool c) {
+    released = true;
+    clean = c;
+  });
+  session_.engine().run_until(session_.engine().now() + 5000.0);
+
+  EXPECT_TRUE(released);
+  EXPECT_FALSE(clean);
+  EXPECT_EQ(pilot->agent()->drain_timeouts(), 1u);
+  EXPECT_EQ(pilot->live_nodes(), 1);
+  EXPECT_TRUE(um_.all_done());
+  for (const auto& u : units) {
+    EXPECT_EQ(u->state(), UnitState::kDone);
+  }
+  EXPECT_TRUE(
+      session_.trace().first("unit", "preempted").has_value());
+}
+
+TEST_F(ElasticIntegrationTest, YarnDrainTimeoutRequeuesContainerUnits) {
+  // Same preemption property on the YARN dispatch path, where requeueing
+  // has to withdraw containers and (for dedicated apps) the AM.
+  auto pilot = pilot_with(2, AgentBackend::kYarnModeI);
+  um_.add_pilot(pilot);
+  run_until_active(pilot);
+
+  pm_.grow_pilot(pilot, 1);
+  session_.engine().run_until(session_.engine().now() + 300.0);
+  ASSERT_EQ(pilot->live_nodes(), 3);
+
+  auto units =
+      um_.submit(std::vector<ComputeUnitDescription>(24, unit(600.0)));
+  session_.engine().run_until(session_.engine().now() + 120.0);
+
+  bool released = false;
+  pm_.shrink_pilot(pilot, 1, 60.0, [&](bool) { released = true; });
+  session_.engine().run_until(session_.engine().now() + 20000.0);
+
+  EXPECT_TRUE(released);
+  EXPECT_EQ(pilot->live_nodes(), 2);
+  EXPECT_TRUE(um_.all_done());
+  for (const auto& u : units) {
+    EXPECT_EQ(u->state(), UnitState::kDone);
+  }
+  auto* yc = pilot->agent()->yarn_cluster();
+  ASSERT_NE(yc, nullptr);
+  EXPECT_TRUE(yc->hdfs().all_blocks_replicated());
+}
+
+TEST_F(ElasticIntegrationTest, ShrinkBelowBaseAllocationThrows) {
+  auto pilot = pilot_with(2, AgentBackend::kPlain);
+  run_until_active(pilot);
+  EXPECT_THROW(pm_.shrink_pilot(pilot, 1, 60.0), common::StateError);
+}
+
+}  // namespace
+}  // namespace hoh::pilot

@@ -8,6 +8,13 @@
 /// Plan format (see src/analytics/experiment_config.h):
 ///   {"experiments": [{"machine": "stampede", "nodes": 3, "tasks": 32,
 ///                     "stack": "rp-yarn", "scenario": "1m"}, ...]}
+///
+/// An experiment may carry an "elastic" section to run the cell under an
+/// ElasticController, e.g.
+///   {"machine": "stampede", "nodes": 2, "tasks": 64, "stack": "rp-yarn",
+///    "scenario": "1m",
+///    "elastic": {"policy": "backlog", "max_nodes": 6,
+///                "sample_interval": 30}}
 
 #include <cstdio>
 #include <fstream>
@@ -79,6 +86,18 @@ int main(int argc, char** argv) {
                     cfg.nodes, cfg.tasks, cfg.yarn_stack ? "rp-yarn" : "rp",
                     result.time_to_completion, result.agent_startup,
                     result.ok ? "" : "  [FAILED]");
+        if (cfg.elastic) {
+          const auto& c = result.elastic_counters;
+          std::printf(
+              "           elastic[%s %d..%d]: peak %d nodes, %zu samples, "
+              "%zu grow / %zu shrink / %zu hold, +%d/-%d nodes, "
+              "%zu clean shrinks, %zu drain timeouts\n",
+              cfg.elastic_policy.name.c_str(), cfg.elastic_config.min_nodes,
+              cfg.elastic_config.max_nodes, result.peak_nodes, c.samples,
+              c.grow_decisions, c.shrink_decisions, c.hold_decisions,
+              c.nodes_added, c.nodes_removed, c.clean_shrinks,
+              c.forced_shrinks);
+        }
       }
       if (!result.ok) {
         std::fprintf(stderr, "experiment failed: %s tasks=%d\n",
