@@ -13,6 +13,11 @@
 /// generator, exact triangle counting (node-iterator, thread-parallel),
 /// and PageRank in two real implementations (threaded and RDD
 /// join-based).
+///
+/// Thread-safety: the parallel kernels share only read-only graph data
+/// across pool workers plus per-worker accumulators combined with
+/// std::atomic (triangle count) or disjoint index ranges (PageRank), so
+/// they need no mutex.
 
 namespace hoh::analytics {
 

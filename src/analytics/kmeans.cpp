@@ -1,7 +1,6 @@
 #include "analytics/kmeans.h"
 
 #include <limits>
-#include <mutex>
 
 #include "common/error.h"
 #include "mapreduce/mr_engine.h"

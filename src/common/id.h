@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 /// \file id.h
@@ -11,10 +12,21 @@
 
 namespace hoh::common {
 
-/// Monotonic per-prefix id generator. Thread-safe.
+/// Monotonic per-prefix id generator.
+///
+/// Thread-safety: the counter is an explicit std::atomic and the prefix
+/// is immutable after construction, so next()/issued() are safe from any
+/// thread without a lock — two threads can never draw the same id
+/// (fetch_add hands out distinct values). Relaxed ordering suffices:
+/// uniqueness needs atomicity of the increment only, and no other memory
+/// is published through the counter. tests/common_id_test.cpp stresses
+/// this with concurrent generators.
 class IdGenerator {
  public:
   explicit IdGenerator(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  IdGenerator(const IdGenerator&) = delete;
+  IdGenerator& operator=(const IdGenerator&) = delete;
 
   /// Returns e.g. "pilot.0000", "pilot.0001", ...
   std::string next() {
@@ -31,7 +43,7 @@ class IdGenerator {
   }
 
  private:
-  std::string prefix_;
+  const std::string prefix_;
   std::atomic<std::uint64_t> counter_{0};
 };
 

@@ -2,35 +2,41 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace hoh::common {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
-  return m;
-}
+/// Global sink + time provider behind one annotated mutex, so the
+/// thread-safety analysis ties every access to the lock (a bare
+/// function-local static cannot carry GUARDED_BY).
+struct SinkRegistry {
+  Mutex mu;
+  Logging::Sink sink HOH_GUARDED_BY(mu);
+  Logging::TimeProvider time HOH_GUARDED_BY(mu);
+};
 
-Logging::Sink& sink_storage() {
-  static Logging::Sink sink;
-  return sink;
-}
-
-Logging::TimeProvider& time_storage() {
-  static Logging::TimeProvider provider;
-  return provider;
+SinkRegistry& registry() {
+  static SinkRegistry r;
+  return r;
 }
 
 void stderr_sink(LogLevel level, std::string_view tag,
                  std::string_view message) {
-  double t = -1.0;
+  // Copy out, then call unlocked: a provider wired to sim::Engine::now
+  // must not run under the logging lock (lock-ordering rule: the logging
+  // mutex is a leaf — never held across user callbacks).
+  Logging::TimeProvider provider;
   {
-    std::lock_guard<std::mutex> lock(sink_mutex());
-    if (time_storage()) t = time_storage()();
+    SinkRegistry& r = registry();
+    MutexLock lock(r.mu);
+    provider = r.time;
   }
+  double t = -1.0;
+  if (provider) t = provider();
   if (t >= 0.0) {
     std::fprintf(stderr, "[%9.3f] %-5s %s: %.*s\n", t,
                  std::string(log_level_name(level)).c_str(),
@@ -69,13 +75,15 @@ void Logging::set_level(LogLevel level) {
 LogLevel Logging::level() { return g_level.load(std::memory_order_relaxed); }
 
 void Logging::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  sink_storage() = std::move(sink);
+  SinkRegistry& r = registry();
+  MutexLock lock(r.mu);
+  r.sink = std::move(sink);
 }
 
 void Logging::set_time_provider(TimeProvider provider) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
-  time_storage() = std::move(provider);
+  SinkRegistry& r = registry();
+  MutexLock lock(r.mu);
+  r.time = std::move(provider);
 }
 
 void Logging::log(LogLevel level, std::string_view tag,
@@ -83,8 +91,9 @@ void Logging::log(LogLevel level, std::string_view tag,
   if (level < g_level.load(std::memory_order_relaxed)) return;
   Sink sink_copy;
   {
-    std::lock_guard<std::mutex> lock(sink_mutex());
-    sink_copy = sink_storage();
+    SinkRegistry& r = registry();
+    MutexLock lock(r.mu);
+    sink_copy = r.sink;
   }
   if (sink_copy) {
     sink_copy(level, tag, message);

@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -25,8 +25,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(job));
+    ++tasks_submitted_;
   }
   cv_.notify_one();
 }
@@ -35,8 +36,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
       if (queue_.empty()) {
         if (stopping_) return;
         continue;
@@ -47,16 +48,32 @@ void ThreadPool::worker_loop() {
     }
     job();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --active_;
+      ++tasks_completed_;
     }
     idle_cv_.notify_all();
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mutex_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
+}
+
+std::size_t ThreadPool::tasks_submitted() const {
+  MutexLock lock(mutex_);
+  return tasks_submitted_;
+}
+
+std::size_t ThreadPool::tasks_completed() const {
+  MutexLock lock(mutex_);
+  return tasks_completed_;
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  MutexLock lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::parallel_for(std::size_t n,

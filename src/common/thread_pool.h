@@ -1,13 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 /// \file thread_pool.h
 /// Fixed-size thread pool used by the *real* execution engines (the
@@ -49,19 +49,33 @@ class ThreadPool {
   /// Blocks until the queue is empty and no worker is running a task.
   /// Quiesce point for drain paths and tests; the pool stays usable.
   /// Note: tasks submitted *while* waiting extend the wait.
-  void wait_idle();
+  void wait_idle() HOH_EXCLUDES(mutex_);
+
+  // --- monitoring counters (all read under the pool mutex; callers on
+  // other threads see a consistent snapshot, not torn values) ---
+
+  /// Tasks handed to the pool so far (including still-queued ones).
+  std::size_t tasks_submitted() const HOH_EXCLUDES(mutex_);
+
+  /// Tasks that finished running (normally or by throwing).
+  std::size_t tasks_completed() const HOH_EXCLUDES(mutex_);
+
+  /// Tasks waiting in the queue right now.
+  std::size_t queue_depth() const HOH_EXCLUDES(mutex_);
 
  private:
-  void enqueue(std::function<void()> job);
+  void enqueue(std::function<void()> job) HOH_EXCLUDES(mutex_);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t active_ = 0;
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ HOH_GUARDED_BY(mutex_);
+  std::size_t active_ HOH_GUARDED_BY(mutex_) = 0;
+  bool stopping_ HOH_GUARDED_BY(mutex_) = false;
+  std::size_t tasks_submitted_ HOH_GUARDED_BY(mutex_) = 0;
+  std::size_t tasks_completed_ HOH_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hoh::common

@@ -72,14 +72,18 @@ void ElasticController::tick() {
   pilot::Agent* agent = pilot_->agent();
   if (agent == nullptr || !agent->active()) return;  // still bootstrapping
 
-  counters_.samples += 1;
   const PilotSample sample = collect_sample(*agent);
-  last_sample_ = sample;
+  {
+    common::MutexLock lock(mu_);
+    counters_.samples += 1;
+    last_sample_ = sample;
+  }
 
   // One resize at a time: a grow job in the batch queue or a running
   // drain means the world is about to change — deciding on a stale
   // sample would double-provision or fight the drain.
   if (agent->draining() || pilot_->pending_grow_nodes() > 0) {
+    common::MutexLock lock(mu_);
     counters_.deferred_decisions += 1;
     return;
   }
@@ -126,23 +130,32 @@ void ElasticController::actuate(const PilotSample& sample,
                                 ElasticDecision decision) {
   const int live = pilot_->live_nodes();
   switch (decision.action) {
-    case ElasticAction::kHold:
+    case ElasticAction::kHold: {
+      common::MutexLock lock(mu_);
       counters_.hold_decisions += 1;
       return;
+    }
     case ElasticAction::kGrow: {
       int step = decision.nodes;
       if (config_.max_nodes > 0) {
         step = std::min(step, config_.max_nodes - live);
       }
       if (step <= 0) {
+        common::MutexLock lock(mu_);
         counters_.clamped_decisions += 1;
         return;
       }
-      counters_.grow_decisions += 1;
-      counters_.nodes_requested += step;
+      {
+        common::MutexLock lock(mu_);
+        counters_.grow_decisions += 1;
+        counters_.nodes_requested += step;
+      }
+      // mu_ is released before grow_pilot: the callback may fire inline
+      // and takes mu_ itself — holding it here would self-deadlock.
       std::weak_ptr<bool> alive = alive_;
       manager_.grow_pilot(pilot_, step, [this, alive](int added) {
         if (auto a = alive.lock(); a == nullptr || !*a) return;
+        common::MutexLock lock(mu_);
         counters_.nodes_added += added;
       });
       return;
@@ -158,16 +171,22 @@ void ElasticController::actuate(const PilotSample& sample,
       int step = std::min({decision.nodes, removable,
                            live - std::max(1, config_.min_nodes)});
       if (step <= 0) {
+        common::MutexLock lock(mu_);
         counters_.clamped_decisions += 1;
         return;
       }
-      counters_.shrink_decisions += 1;
+      {
+        common::MutexLock lock(mu_);
+        counters_.shrink_decisions += 1;
+      }
       std::weak_ptr<bool> alive = alive_;
       manager_.shrink_pilot(
           pilot_, step, config_.drain_timeout,
           [this, alive, before = live](bool clean) {
             if (auto a = alive.lock(); a == nullptr || !*a) return;
-            counters_.nodes_removed += before - pilot_->live_nodes();
+            const int removed = before - pilot_->live_nodes();
+            common::MutexLock lock(mu_);
+            counters_.nodes_removed += removed;
             if (clean) {
               counters_.clean_shrinks += 1;
             } else {
@@ -178,6 +197,16 @@ void ElasticController::actuate(const PilotSample& sample,
     }
   }
   (void)sample;
+}
+
+ElasticCounters ElasticController::counters() const {
+  common::MutexLock lock(mu_);
+  return counters_;
+}
+
+PilotSample ElasticController::last_sample() const {
+  common::MutexLock lock(mu_);
+  return last_sample_;
 }
 
 }  // namespace hoh::elastic

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/json.h"
+#include "common/thread_annotations.h"
 #include "elastic/policy.h"
 #include "pilot/estimator.h"
 #include "pilot/pilot_manager.h"
@@ -77,23 +78,32 @@ class ElasticController {
   /// directly; the periodic loop calls it too).
   void tick();
 
-  const ElasticCounters& counters() const { return counters_; }
+  /// Snapshot of the counters (by value: the resize-completion callbacks
+  /// mutate them, so handing out a reference would publish a data race to
+  /// any observer polling from another thread).
+  ElasticCounters counters() const HOH_EXCLUDES(mu_);
   const std::string& policy_name() const { return policy_->name(); }
 
-  /// The sample the last tick decided on (all zeros before the first).
-  const PilotSample& last_sample() const { return last_sample_; }
+  /// Snapshot of the sample the last tick decided on (all zeros before
+  /// the first).
+  PilotSample last_sample() const HOH_EXCLUDES(mu_);
 
  private:
   PilotSample collect_sample(pilot::Agent& agent) const;
-  void actuate(const PilotSample& sample, ElasticDecision decision);
+  void actuate(const PilotSample& sample, ElasticDecision decision)
+      HOH_EXCLUDES(mu_);
 
   pilot::PilotManager& manager_;
   std::shared_ptr<pilot::Pilot> pilot_;
   std::unique_ptr<ElasticPolicy> policy_;
   ElasticControllerConfig config_;
   std::shared_ptr<pilot::RuntimeEstimator> estimator_;
-  ElasticCounters counters_;
-  PilotSample last_sample_;
+  /// Guards the mutable observables below. Lock-ordering rule: never
+  /// held across manager_ / policy_ / pilot_ calls — those may re-enter
+  /// the controller through resize callbacks.
+  mutable common::Mutex mu_;
+  ElasticCounters counters_ HOH_GUARDED_BY(mu_);
+  PilotSample last_sample_ HOH_GUARDED_BY(mu_);
   sim::EventHandle tick_event_;
   bool running_ = false;
   /// Outlives the controller in resize callbacks, so a late drain or

@@ -20,6 +20,11 @@
 /// machine's storage/network models. This is the filesystem the Mode-I
 /// LRM bootstraps and the YARN Application Master queries for
 /// data-locality-aware container requests.
+///
+/// Thread-confinement: everything in this file runs on the simulation
+/// thread only (all mutation happens inside sim::Engine callbacks, which
+/// the engine runs sequentially). No locks are needed or taken; do not
+/// call into NameNode/DataNode from worker threads.
 
 namespace hoh::hdfs {
 

@@ -3,10 +3,10 @@
 #include <cstddef>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
 
@@ -78,7 +78,7 @@ std::vector<OutputT> run_mr(common::ThreadPool& pool,
   // buckets[map_task][reduce_task] -> key -> values
   std::vector<std::vector<std::map<K, std::vector<V>>>> buckets(m);
   const std::size_t chunk = (input.size() + m - 1) / std::max<std::size_t>(m, 1);
-  std::mutex stats_mu;
+  common::Mutex stats_mu;
   pool.parallel_for(m, [&](std::size_t t) {
     buckets[t].resize(r);
     const std::size_t lo = t * chunk;
@@ -102,7 +102,7 @@ std::vector<OutputT> run_mr(common::ThreadPool& pool,
         }
       }
     }
-    std::lock_guard<std::mutex> lock(stats_mu);
+    common::MutexLock lock(stats_mu);
     local_stats.map_output_records += emitted;
     local_stats.combine_output_records += combined;
   });
@@ -133,7 +133,7 @@ std::vector<OutputT> run_mr(common::ThreadPool& pool,
       outputs[rt].push_back(job.reducer(k, vs));
       ++groups;
     }
-    std::lock_guard<std::mutex> lock(stats_mu);
+    common::MutexLock lock(stats_mu);
     local_stats.reduce_input_groups += groups;
     local_stats.reduce_output_records += groups;
   });

@@ -53,6 +53,43 @@ std::string to_string(UnitState state) {
   return "?";
 }
 
+PilotState pilot_state_from_string(const std::string& name) {
+  static const std::map<std::string, PilotState> kNames = {
+      {"New", PilotState::kNew},
+      {"PendingLaunch", PilotState::kPendingLaunch},
+      {"Launching", PilotState::kLaunching},
+      {"Active", PilotState::kActive},
+      {"Done", PilotState::kDone},
+      {"Canceled", PilotState::kCanceled},
+      {"Failed", PilotState::kFailed},
+  };
+  auto it = kNames.find(name);
+  if (it == kNames.end()) {
+    throw common::StateError("unknown pilot state: " + name);
+  }
+  return it->second;
+}
+
+UnitState unit_state_from_string(const std::string& name) {
+  static const std::map<std::string, UnitState> kNames = {
+      {"New", UnitState::kNew},
+      {"UmgrScheduling", UnitState::kUmgrScheduling},
+      {"PendingAgent", UnitState::kPendingAgent},
+      {"AgentScheduling", UnitState::kAgentScheduling},
+      {"StagingInput", UnitState::kStagingInput},
+      {"Executing", UnitState::kExecuting},
+      {"StagingOutput", UnitState::kStagingOutput},
+      {"Done", UnitState::kDone},
+      {"Canceled", UnitState::kCanceled},
+      {"Failed", UnitState::kFailed},
+  };
+  auto it = kNames.find(name);
+  if (it == kNames.end()) {
+    throw common::StateError("unknown unit state: " + name);
+  }
+  return it->second;
+}
+
 std::string to_string(AgentBackend backend) {
   switch (backend) {
     case AgentBackend::kPlain:

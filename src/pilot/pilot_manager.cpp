@@ -4,11 +4,16 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "pilot/transitions.h"
 
 namespace hoh::pilot {
 
 void Pilot::set_state(PilotState state) {
+  // Re-announcing the current state is a no-op and a transition out of a
+  // final state is silently dropped (a late batch-job callback after
+  // cancel()); everything else must be a legal Fig. 3 edge.
   if (state_ == state || is_final(state_)) return;
+  validate_transition(state_, state, id_);
   state_ = state;
   manager_->session().trace().record(
       manager_->session().engine().now(), "pilot", "state",

@@ -1,17 +1,20 @@
 #include "pilot/state_store.h"
 
 #include "common/error.h"
+#include "pilot/transitions.h"
 
 namespace hoh::pilot {
 
 void StateStore::put(const std::string& collection, const std::string& id,
                      common::Json document) {
+  common::MutexLock lock(mu_);
   ++ops_;
   collections_[collection][id] = std::move(document);
 }
 
 std::optional<common::Json> StateStore::get(const std::string& collection,
                                             const std::string& id) const {
+  common::MutexLock lock(mu_);
   ++ops_;
   auto cit = collections_.find(collection);
   if (cit == collections_.end()) return std::nullopt;
@@ -22,6 +25,7 @@ std::optional<common::Json> StateStore::get(const std::string& collection,
 
 void StateStore::update(const std::string& collection, const std::string& id,
                         const common::JsonObject& fields) {
+  common::MutexLock lock(mu_);
   ++ops_;
   auto cit = collections_.find(collection);
   if (cit == collections_.end() || cit->second.count(id) == 0) {
@@ -29,11 +33,23 @@ void StateStore::update(const std::string& collection, const std::string& id,
                                 "/" + id);
   }
   common::Json& doc = cit->second.at(id);
+  // Lifecycle gate: the store is the single path every unit state write
+  // takes (agent write-back, Unit-Manager cancellation), so an illegal
+  // edge is stopped here no matter which component attempts it.
+  if (collection == "unit") {
+    auto state_field = fields.find("state");
+    if (state_field != fields.end() && doc.contains("state")) {
+      validate_transition(unit_state_from_string(doc.at("state").as_string()),
+                          unit_state_from_string(state_field->second.as_string()),
+                          id);
+    }
+  }
   for (const auto& [k, v] : fields) doc[k] = v;
 }
 
 std::vector<std::pair<std::string, common::Json>> StateStore::find_all(
     const std::string& collection) const {
+  common::MutexLock lock(mu_);
   ++ops_;
   std::vector<std::pair<std::string, common::Json>> out;
   auto cit = collections_.find(collection);
@@ -43,11 +59,13 @@ std::vector<std::pair<std::string, common::Json>> StateStore::find_all(
 }
 
 void StateStore::queue_push(const std::string& queue, const std::string& id) {
+  common::MutexLock lock(mu_);
   ++ops_;
   queues_[queue].push_back(id);
 }
 
 std::vector<std::string> StateStore::queue_pop_all(const std::string& queue) {
+  common::MutexLock lock(mu_);
   ++ops_;
   std::vector<std::string> out;
   auto it = queues_.find(queue);
@@ -58,8 +76,14 @@ std::vector<std::string> StateStore::queue_pop_all(const std::string& queue) {
 }
 
 std::size_t StateStore::queue_depth(const std::string& queue) const {
+  common::MutexLock lock(mu_);
   auto it = queues_.find(queue);
   return it == queues_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t StateStore::op_count() const {
+  common::MutexLock lock(mu_);
+  return ops_;
 }
 
 }  // namespace hoh::pilot

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/thread_annotations.h"
 #include "sim/engine.h"
 
 /// \file state_store.h
@@ -17,6 +19,13 @@
 /// Documents are JSON; named queues provide the U.2/U.3 handoff. Every
 /// operation pays a configurable round-trip latency, which is how the
 /// store's share of Compute-Unit startup latency enters the simulation.
+///
+/// Thread-safety: all operations lock an internal annotated Mutex, like
+/// the real store's server-side concurrency control. The store is also
+/// the single chokepoint every unit state write goes through, so
+/// update() enforces the Fig. 3 lifecycle-transition table (see
+/// pilot/transitions.h): merging an illegal "state" value into a "unit"
+/// document throws StateError instead of corrupting the lifecycle.
 
 namespace hoh::pilot {
 
@@ -30,37 +39,45 @@ class StateStore {
 
   /// Inserts or replaces a document.
   void put(const std::string& collection, const std::string& id,
-           common::Json document);
+           common::Json document) HOH_EXCLUDES(mu_);
 
   /// Reads a document; nullopt when absent.
   std::optional<common::Json> get(const std::string& collection,
-                                  const std::string& id) const;
+                                  const std::string& id) const
+      HOH_EXCLUDES(mu_);
 
-  /// Merges \p fields into an existing document (top-level keys).
+  /// Merges \p fields into an existing document (top-level keys). A
+  /// "state" merge into the "unit" collection is validated against the
+  /// unit lifecycle-transition table and throws StateError on an illegal
+  /// edge (e.g. Done -> Executing after a stale requeue).
   void update(const std::string& collection, const std::string& id,
-              const common::JsonObject& fields);
+              const common::JsonObject& fields) HOH_EXCLUDES(mu_);
 
   /// All documents of a collection (id order).
   std::vector<std::pair<std::string, common::Json>> find_all(
-      const std::string& collection) const;
+      const std::string& collection) const HOH_EXCLUDES(mu_);
 
   /// Appends an id to a named queue.
-  void queue_push(const std::string& queue, const std::string& id);
+  void queue_push(const std::string& queue, const std::string& id)
+      HOH_EXCLUDES(mu_);
 
   /// Drains the queue (agent poll). Returns ids in FIFO order.
-  std::vector<std::string> queue_pop_all(const std::string& queue);
+  std::vector<std::string> queue_pop_all(const std::string& queue)
+      HOH_EXCLUDES(mu_);
 
-  std::size_t queue_depth(const std::string& queue) const;
+  std::size_t queue_depth(const std::string& queue) const HOH_EXCLUDES(mu_);
 
   /// Total simulated operations performed (for overhead accounting).
-  std::uint64_t op_count() const { return ops_; }
+  std::uint64_t op_count() const HOH_EXCLUDES(mu_);
 
  private:
   sim::Engine& engine_;
   common::Seconds op_latency_;
-  mutable std::uint64_t ops_ = 0;
-  std::map<std::string, std::map<std::string, common::Json>> collections_;
-  std::map<std::string, std::deque<std::string>> queues_;
+  mutable common::Mutex mu_;
+  mutable std::uint64_t ops_ HOH_GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::map<std::string, common::Json>> collections_
+      HOH_GUARDED_BY(mu_);
+  std::map<std::string, std::deque<std::string>> queues_ HOH_GUARDED_BY(mu_);
 };
 
 }  // namespace hoh::pilot

@@ -21,6 +21,9 @@ enum class PilotState {
 
 std::string to_string(PilotState state);
 
+/// Inverse of to_string; throws common::StateError on unknown names.
+PilotState pilot_state_from_string(const std::string& name);
+
 constexpr bool is_final(PilotState s) {
   return s == PilotState::kDone || s == PilotState::kCanceled ||
          s == PilotState::kFailed;
@@ -41,6 +44,9 @@ enum class UnitState {
 };
 
 std::string to_string(UnitState state);
+
+/// Inverse of to_string; throws common::StateError on unknown names.
+UnitState unit_state_from_string(const std::string& name);
 
 constexpr bool is_final(UnitState s) {
   return s == UnitState::kDone || s == UnitState::kCanceled ||

@@ -11,25 +11,7 @@ namespace hoh::pilot {
 UnitState ComputeUnit::state() const {
   const auto doc = manager_->session().store().get("unit", id_);
   if (!doc.has_value()) return UnitState::kNew;
-  const std::string s = doc->at("state").as_string();
-  // Reverse mapping of to_string(UnitState).
-  static const std::map<std::string, UnitState> kNames = {
-      {"New", UnitState::kNew},
-      {"UmgrScheduling", UnitState::kUmgrScheduling},
-      {"PendingAgent", UnitState::kPendingAgent},
-      {"AgentScheduling", UnitState::kAgentScheduling},
-      {"StagingInput", UnitState::kStagingInput},
-      {"Executing", UnitState::kExecuting},
-      {"StagingOutput", UnitState::kStagingOutput},
-      {"Done", UnitState::kDone},
-      {"Canceled", UnitState::kCanceled},
-      {"Failed", UnitState::kFailed},
-  };
-  auto it = kNames.find(s);
-  if (it == kNames.end()) {
-    throw common::StateError("unknown unit state in store: " + s);
-  }
-  return it->second;
+  return unit_state_from_string(doc->at("state").as_string());
 }
 
 void UnitManager::add_pilot(std::shared_ptr<Pilot> pilot) {

@@ -4,12 +4,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "common/error.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 /// \file rdd.h
@@ -241,14 +241,14 @@ class Rdd {
   T reduce(F f) const {
     Partitions parts = materialize();
     std::vector<T> partials;
-    std::mutex mu;
+    common::Mutex mu;
     for_each_partition(parts.size(), [&](std::size_t p) {
       if (parts[p].empty()) return;
       T acc = parts[p].front();
       for (std::size_t i = 1; i < parts[p].size(); ++i) {
         acc = f(acc, parts[p][i]);
       }
-      std::lock_guard<std::mutex> lock(mu);
+      common::MutexLock lock(mu);
       partials.push_back(std::move(acc));
     });
     if (partials.empty()) {
@@ -283,7 +283,7 @@ class Rdd {
 
   Partitions materialize() const {
     if (cache_) {
-      std::lock_guard<std::mutex> lock(cache_->mu);
+      common::MutexLock lock(cache_->mu);
       if (!cache_->value) {
         cache_->value = std::make_shared<Partitions>(compute_());
       }
@@ -304,8 +304,8 @@ class Rdd {
   friend class Rdd;
 
   struct CacheSlot {
-    std::mutex mu;
-    std::shared_ptr<Partitions> value;
+    common::Mutex mu;
+    std::shared_ptr<Partitions> value HOH_GUARDED_BY(mu);
   };
 
   std::shared_ptr<common::ThreadPool> pool_;

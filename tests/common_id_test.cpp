@@ -1,0 +1,50 @@
+#include "common/id.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hoh::common {
+namespace {
+
+TEST(IdGeneratorTest, SequentialFormat) {
+  IdGenerator gen("pilot");
+  EXPECT_EQ(gen.next(), "pilot.0000");
+  EXPECT_EQ(gen.next(), "pilot.0001");
+  EXPECT_EQ(gen.issued(), 2u);
+}
+
+TEST(IdGeneratorTest, WideCountersDoNotCollide) {
+  IdGenerator gen("u");
+  for (int i = 0; i < 10000; ++i) gen.next();
+  EXPECT_EQ(gen.next(), "u.10000");  // %04 pads, never truncates
+}
+
+// The satellite stress for the atomic counter: two threads drawing ids
+// concurrently must never collide and must account for every draw.
+TEST(IdGeneratorTest, TwoThreadUniquenessStress) {
+  constexpr int kPerThread = 20000;
+  IdGenerator gen("stress");
+  std::vector<std::string> a, b;
+  a.reserve(kPerThread);
+  b.reserve(kPerThread);
+  std::thread ta([&] {
+    for (int i = 0; i < kPerThread; ++i) a.push_back(gen.next());
+  });
+  std::thread tb([&] {
+    for (int i = 0; i < kPerThread; ++i) b.push_back(gen.next());
+  });
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(gen.issued(), 2u * kPerThread);
+  std::set<std::string> unique(a.begin(), a.end());
+  unique.insert(b.begin(), b.end());
+  EXPECT_EQ(unique.size(), 2u * kPerThread);
+}
+
+}  // namespace
+}  // namespace hoh::common

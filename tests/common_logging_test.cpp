@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 namespace hoh::common {
@@ -70,6 +72,37 @@ TEST(LoggingTest, LoggerKeepsTag) {
   EXPECT_EQ(logger.tag(), "pilot.agent");
   Logger copy = logger;  // cheap to copy
   EXPECT_EQ(copy.tag(), "pilot.agent");
+}
+
+// Regression for the sink data race this PR fixed: the global sink and
+// time provider used to be bare statics, so set_sink() from one thread
+// while workers logged was a race (TSan-visible). Now both live behind
+// the registry mutex; this hammers exactly that interleaving.
+TEST(LoggingTest, ConcurrentLogAndSinkSwapIsRaceFree) {
+  LoggingGuard guard;
+  Logging::set_level(LogLevel::kInfo);
+  std::atomic<int> delivered{0};
+  auto counting_sink = [&delivered](LogLevel, std::string_view,
+                                    std::string_view) {
+    delivered.fetch_add(1, std::memory_order_relaxed);
+  };
+  Logging::set_sink(counting_sink);
+
+  constexpr int kLoggers = 4;
+  constexpr int kMessagesEach = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kLoggers);
+  for (int t = 0; t < kLoggers; ++t) {
+    threads.emplace_back([t] {
+      Logger logger("stress." + std::to_string(t));
+      for (int i = 0; i < kMessagesEach; ++i) logger.info("msg");
+    });
+  }
+  // Swap the sink (to an equivalent one) while the loggers hammer it.
+  for (int i = 0; i < 50; ++i) Logging::set_sink(counting_sink);
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(delivered.load(), kLoggers * kMessagesEach);
 }
 
 TEST(LoggingTest, DefaultLevelIsWarn) {

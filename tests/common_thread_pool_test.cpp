@@ -82,6 +82,40 @@ TEST(ThreadPoolTest, WaitIdleOnIdlePoolReturnsImmediately) {
   EXPECT_EQ(fut.get(), 7);
 }
 
+TEST(ThreadPoolTest, CountersTrackSubmittedAndCompleted) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_submitted(), 0u);
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([] {}));
+  }
+  for (auto& f : futures) f.get();
+  pool.wait_idle();
+  EXPECT_EQ(pool.tasks_submitted(), 50u);
+  EXPECT_EQ(pool.tasks_completed(), 50u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, CountersVisibleWhileTasksInFlight) {
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    }));
+  }
+  // Reading the counters mid-flight from this thread must be safe (they
+  // are GUARDED_BY the pool mutex) and must already see all submissions.
+  EXPECT_EQ(pool.tasks_submitted(), 4u);
+  EXPECT_LE(pool.tasks_completed(), 4u);
+  release.store(true);
+  for (auto& f : futures) f.get();
+  pool.wait_idle();
+  EXPECT_EQ(pool.tasks_completed(), 4u);
+}
+
 TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlock) {
   ThreadPool pool(2);
   auto outer = pool.submit([&pool] {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/error.h"
 #include "elastic/elastic_controller.h"
 #include "elastic/policy.h"
@@ -283,6 +286,45 @@ TEST_F(ElasticControllerTest, DefersWhileResizeInFlight) {
   um_.submit(descs);
   session_.engine().run_until(600.0);
   EXPECT_GE(controller.counters().deferred_decisions, 1u);
+}
+
+// Regression for the publication race this PR fixed: counters() used to
+// hand out a const reference to fields the resize-completion callbacks
+// mutate, so a monitoring thread polling the controller while the engine
+// runs read unsynchronized memory. The accessors now return snapshots
+// taken under the controller mutex; this test does exactly that
+// monitor-while-running pattern so TSan guards the fix.
+TEST_F(ElasticControllerTest, CountersSafeToPollFromMonitorThread) {
+  auto pilot = plain_pilot(1);
+  um_.add_pilot(pilot);
+
+  ElasticControllerConfig config;
+  config.sample_interval = 15.0;
+  config.max_nodes = 4;
+  ElasticController controller(pm_, pilot,
+                               std::make_unique<BacklogPolicy>(), config);
+  controller.start();
+
+  std::vector<pilot::ComputeUnitDescription> descs(64, unit(300.0));
+  um_.submit(descs);
+
+  std::atomic<bool> stop{false};
+  std::size_t observed_samples = 0;
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      const ElasticCounters snapshot = controller.counters();
+      const PilotSample sample = controller.last_sample();
+      observed_samples = std::max(observed_samples, snapshot.samples);
+      (void)sample;
+      std::this_thread::yield();
+    }
+  });
+  session_.engine().run_until(3000.0);
+  stop.store(true);
+  monitor.join();
+
+  EXPECT_GE(controller.counters().samples, observed_samples);
+  EXPECT_GE(controller.counters().grow_decisions, 1u);
 }
 
 TEST_F(ElasticControllerTest, TraceCarriesDecisions) {

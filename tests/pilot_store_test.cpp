@@ -29,10 +29,33 @@ TEST(StateStoreTest, UpdateMergesFields) {
   doc["state"] = "PendingAgent";
   doc["pilot"] = "pilot.0";
   store.put("unit", "u", doc);
-  store.update("unit", "u", {{"state", common::Json("Executing")}});
+  store.update("unit", "u", {{"state", common::Json("AgentScheduling")}});
   auto got = store.get("unit", "u");
-  EXPECT_EQ(got->at("state").as_string(), "Executing");
+  EXPECT_EQ(got->at("state").as_string(), "AgentScheduling");
   EXPECT_EQ(got->at("pilot").as_string(), "pilot.0");  // untouched
+}
+
+TEST(StateStoreTest, UpdateRejectsIllegalUnitTransition) {
+  sim::Engine engine;
+  StateStore store(engine);
+  common::Json doc;
+  doc["state"] = "PendingAgent";
+  store.put("unit", "u", doc);
+  // PendingAgent -> Executing skips AgentScheduling: not a Fig. 3 edge.
+  EXPECT_THROW(store.update("unit", "u", {{"state", common::Json("Executing")}}),
+               common::StateError);
+  // The rejected write must not have leaked into the document.
+  EXPECT_EQ(store.get("unit", "u")->at("state").as_string(), "PendingAgent");
+}
+
+TEST(StateStoreTest, UpdateOnlyGatesUnitCollection) {
+  sim::Engine engine;
+  StateStore store(engine);
+  common::Json doc;
+  doc["state"] = "whatever";  // pilot docs carry their own state strings
+  store.put("pilot", "p", doc);
+  store.update("pilot", "p", {{"state", common::Json("anything")}});
+  EXPECT_EQ(store.get("pilot", "p")->at("state").as_string(), "anything");
 }
 
 TEST(StateStoreTest, UpdateMissingThrows) {

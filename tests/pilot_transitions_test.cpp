@@ -1,0 +1,142 @@
+#include "pilot/transitions.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "pilot/states.h"
+
+namespace hoh::pilot {
+namespace {
+
+const std::vector<PilotState> kAllPilotStates = {
+    PilotState::kNew,    PilotState::kPendingLaunch, PilotState::kLaunching,
+    PilotState::kActive, PilotState::kDone,          PilotState::kCanceled,
+    PilotState::kFailed,
+};
+
+const std::vector<UnitState> kAllUnitStates = {
+    UnitState::kNew,           UnitState::kUmgrScheduling,
+    UnitState::kPendingAgent,  UnitState::kAgentScheduling,
+    UnitState::kStagingInput,  UnitState::kExecuting,
+    UnitState::kStagingOutput, UnitState::kDone,
+    UnitState::kCanceled,      UnitState::kFailed,
+};
+
+TEST(TransitionTableTest, PilotStateStringRoundTrip) {
+  ASSERT_EQ(kAllPilotStates.size(), kPilotStateCount);
+  for (PilotState s : kAllPilotStates) {
+    EXPECT_EQ(pilot_state_from_string(to_string(s)), s) << to_string(s);
+  }
+  EXPECT_THROW(pilot_state_from_string("NotAState"), common::StateError);
+}
+
+TEST(TransitionTableTest, UnitStateStringRoundTrip) {
+  ASSERT_EQ(kAllUnitStates.size(), kUnitStateCount);
+  for (UnitState s : kAllUnitStates) {
+    EXPECT_EQ(unit_state_from_string(to_string(s)), s) << to_string(s);
+  }
+  EXPECT_THROW(unit_state_from_string(""), common::StateError);
+}
+
+// Exhaustive: no edge (including self-loops) leaves a final state.
+TEST(TransitionTableTest, FinalStatesAreSinks) {
+  for (PilotState from : kAllPilotStates) {
+    if (!is_final(from)) continue;
+    for (PilotState to : kAllPilotStates) {
+      EXPECT_FALSE(transition_allowed(from, to))
+          << to_string(from) << " -> " << to_string(to);
+    }
+  }
+  for (UnitState from : kAllUnitStates) {
+    if (!is_final(from)) continue;
+    for (UnitState to : kAllUnitStates) {
+      EXPECT_FALSE(transition_allowed(from, to))
+          << to_string(from) << " -> " << to_string(to);
+    }
+  }
+}
+
+TEST(TransitionTableTest, NonFinalSelfTransitionsAreLegalNoOps) {
+  for (UnitState s : kAllUnitStates) {
+    EXPECT_EQ(transition_allowed(s, s), !is_final(s)) << to_string(s);
+  }
+  for (PilotState s : kAllPilotStates) {
+    EXPECT_EQ(transition_allowed(s, s), !is_final(s)) << to_string(s);
+  }
+}
+
+TEST(TransitionTableTest, HappyPathsAreLegal) {
+  EXPECT_TRUE(transition_allowed(PilotState::kNew, PilotState::kPendingLaunch));
+  EXPECT_TRUE(
+      transition_allowed(PilotState::kPendingLaunch, PilotState::kLaunching));
+  EXPECT_TRUE(transition_allowed(PilotState::kLaunching, PilotState::kActive));
+  EXPECT_TRUE(transition_allowed(PilotState::kActive, PilotState::kDone));
+
+  EXPECT_TRUE(transition_allowed(UnitState::kNew, UnitState::kUmgrScheduling));
+  EXPECT_TRUE(transition_allowed(UnitState::kUmgrScheduling,
+                                 UnitState::kPendingAgent));
+  EXPECT_TRUE(transition_allowed(UnitState::kPendingAgent,
+                                 UnitState::kAgentScheduling));
+  EXPECT_TRUE(transition_allowed(UnitState::kAgentScheduling,
+                                 UnitState::kStagingInput));
+  EXPECT_TRUE(
+      transition_allowed(UnitState::kStagingInput, UnitState::kExecuting));
+  EXPECT_TRUE(
+      transition_allowed(UnitState::kExecuting, UnitState::kStagingOutput));
+  EXPECT_TRUE(transition_allowed(UnitState::kStagingOutput, UnitState::kDone));
+}
+
+// The drain-timeout preempt+requeue sequence from the elasticity
+// subsystem: an Executing unit on a leaving node goes back to
+// AgentScheduling (legal), runs again to Done (legal) — and any late
+// duplicate completion or re-dispatch out of Done must be rejected.
+TEST(TransitionTableTest, DrainTimeoutRequeueSequence) {
+  EXPECT_TRUE(
+      transition_allowed(UnitState::kExecuting, UnitState::kAgentScheduling));
+  EXPECT_TRUE(transition_allowed(UnitState::kStagingInput,
+                                 UnitState::kAgentScheduling));
+  EXPECT_NO_THROW(validate_transition(UnitState::kExecuting,
+                                      UnitState::kAgentScheduling, "unit.0"));
+  EXPECT_NO_THROW(
+      validate_transition(UnitState::kExecuting, UnitState::kDone, "unit.0"));
+
+  // The races the gate exists to catch:
+  EXPECT_THROW(
+      validate_transition(UnitState::kDone, UnitState::kExecuting, "unit.0"),
+      common::StateError);
+  EXPECT_THROW(validate_transition(UnitState::kDone,
+                                   UnitState::kAgentScheduling, "unit.0"),
+               common::StateError);
+  EXPECT_THROW(validate_transition(UnitState::kCanceled, UnitState::kExecuting,
+                                   "unit.0"),
+               common::StateError);
+}
+
+TEST(TransitionTableTest, IllegalSkipsAreRejected) {
+  // Skipping the agent scheduler entirely.
+  EXPECT_FALSE(
+      transition_allowed(UnitState::kPendingAgent, UnitState::kExecuting));
+  // Going backwards up the pipeline.
+  EXPECT_FALSE(
+      transition_allowed(UnitState::kExecuting, UnitState::kPendingAgent));
+  EXPECT_FALSE(transition_allowed(PilotState::kActive, PilotState::kLaunching));
+  // A pilot cannot resurrect.
+  EXPECT_FALSE(transition_allowed(PilotState::kDone, PilotState::kActive));
+}
+
+TEST(TransitionTableTest, ValidateErrorNamesEntityAndStates) {
+  try {
+    validate_transition(UnitState::kDone, UnitState::kExecuting, "unit.0042");
+    FAIL() << "expected StateError";
+  } catch (const common::StateError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("unit.0042"), std::string::npos) << what;
+    EXPECT_NE(what.find("Done"), std::string::npos) << what;
+    EXPECT_NE(what.find("Executing"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace hoh::pilot

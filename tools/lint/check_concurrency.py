@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Concurrency lint for the hadoop-on-hpc tree.
+
+Enforces the project's concurrency conventions (DESIGN.md, "Concurrency
+invariants") over src/ with plain regexes — fast enough for a pre-commit
+hook and dependency-free, unlike the clang-tidy pass it complements:
+
+  1. No naked synchronisation primitives. All locking goes through the
+     annotated hoh::common::Mutex / MutexLock / CondVar wrappers from
+     src/common/thread_annotations.h so Clang's -Wthread-safety analysis
+     sees every acquisition. Rejected: std::mutex, std::recursive_mutex,
+     std::shared_mutex, std::timed_mutex, std::lock_guard,
+     std::unique_lock, std::scoped_lock, std::shared_lock,
+     std::condition_variable, std::condition_variable_any.
+  2. No raw std::thread outside common/thread_pool.* — ad-hoc threads
+     bypass the pool's shutdown/join discipline.
+  3. No .detach() anywhere: a detached thread outlives scope analysis
+     and TSan's happens-before graph, and cannot be joined on shutdown.
+  4. No raw `this` capture in lambdas handed to cross-thread submission
+     points (submit(, enqueue(, parallel_for(): a worker may still hold
+     the callback after the object dies.  Capture the needed members by
+     value, or use a weak alive-token (see ElasticController::actuate).
+
+Usage: tools/lint/check_concurrency.py [root]   (root defaults to src/)
+Exit status: 0 clean, 1 violations found (one "file:line: message" per
+violation on stdout, grep/IDE-clickable).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+# Files allowed to touch the naked primitives: the wrapper itself.
+PRIMITIVE_ALLOWLIST = {"src/common/thread_annotations.h"}
+# Files allowed to construct std::thread: the pool.
+THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cpp"}
+
+SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
+
+NAKED_PRIMITIVE = re.compile(
+    r"std::(?:recursive_|shared_|timed_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+)
+RAW_THREAD = re.compile(r"std::(?:jthread|thread)\b(?!::hardware_concurrency)")
+DETACH = re.compile(r"\.\s*detach\s*\(")
+# A lambda capturing raw `this` on the same line as a cross-thread
+# submission point. Line-based on purpose: cheap, and the codebase style
+# keeps `submit([this...` on one line.
+THIS_CAPTURE = re.compile(
+    r"(?:submit|enqueue|parallel_for)\s*\(\s*\[[^\]]*\bthis\b"
+)
+
+COMMENT = re.compile(r"^\s*(?://|\*|///)")
+
+
+def strip_strings(line: str) -> str:
+    """Blank out string literals so 'std::mutex' in a message can't trip."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+
+
+def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        return [f"{rel}:0: unreadable ({err})"]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        if COMMENT.match(raw):
+            continue
+        line = strip_strings(raw)
+        if rel not in PRIMITIVE_ALLOWLIST and NAKED_PRIMITIVE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: naked synchronisation primitive; use "
+                f"hoh::common::Mutex / MutexLock / CondVar "
+                f"(common/thread_annotations.h)"
+            )
+        if rel not in THREAD_ALLOWLIST and RAW_THREAD.search(line):
+            problems.append(
+                f"{rel}:{lineno}: raw std::thread; run work on "
+                f"common::ThreadPool instead"
+            )
+        if DETACH.search(line):
+            problems.append(
+                f"{rel}:{lineno}: detached thread; detached threads escape "
+                f"join/shutdown and TSan analysis"
+            )
+        if THIS_CAPTURE.search(line):
+            problems.append(
+                f"{rel}:{lineno}: raw `this` captured in a cross-thread "
+                f"callback; capture members by value or use a weak "
+                f"alive-token"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    repo = pathlib.Path(__file__).resolve().parent.parent.parent
+    root = pathlib.Path(argv[1]) if len(argv) > 1 else repo / "src"
+    problems: list[str] = []
+    checked = 0
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in SOURCE_SUFFIXES or not path.is_file():
+            continue
+        checked += 1
+        resolved = path.resolve()
+        try:
+            rel = resolved.relative_to(repo).as_posix()
+        except ValueError:  # linting a tree outside the repo (tests do)
+            rel = resolved.as_posix()
+        problems.extend(lint_file(path, rel))
+    for problem in problems:
+        print(problem)
+    print(
+        f"check_concurrency: {checked} files, {len(problems)} violation(s)",
+        file=sys.stderr,
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
