@@ -2,25 +2,6 @@
 
 namespace hoh::analytics {
 
-Point3 operator+(const Point3& a, const Point3& b) {
-  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
-}
-
-Point3 operator-(const Point3& a, const Point3& b) {
-  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
-}
-
-Point3 operator*(const Point3& a, double s) {
-  return {a[0] * s, a[1] * s, a[2] * s};
-}
-
-double distance2(const Point3& a, const Point3& b) {
-  const double dx = a[0] - b[0];
-  const double dy = a[1] - b[1];
-  const double dz = a[2] - b[2];
-  return dx * dx + dy * dy + dz * dz;
-}
-
 std::vector<Point3> gaussian_blobs(std::size_t n, std::size_t k,
                                    std::uint64_t seed, double range,
                                    double stddev,

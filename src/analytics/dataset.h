@@ -15,12 +15,29 @@ namespace hoh::analytics {
 /// A point in R^3 — the space the paper's benchmark uses.
 using Point3 = std::array<double, 3>;
 
-Point3 operator+(const Point3& a, const Point3& b);
-Point3 operator-(const Point3& a, const Point3& b);
-Point3 operator*(const Point3& a, double s);
+// Point arithmetic is header-inline: distance2 sits in the innermost
+// loop of every K-Means backend (points x centroids evaluations per
+// iteration), and an out-of-line definition would cost a cross-TU call
+// per evaluation.
+inline Point3 operator+(const Point3& a, const Point3& b) {
+  return {a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+}
+
+inline Point3 operator-(const Point3& a, const Point3& b) {
+  return {a[0] - b[0], a[1] - b[1], a[2] - b[2]};
+}
+
+inline Point3 operator*(const Point3& a, double s) {
+  return {a[0] * s, a[1] * s, a[2] * s};
+}
 
 /// Squared Euclidean distance.
-double distance2(const Point3& a, const Point3& b);
+inline double distance2(const Point3& a, const Point3& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
 
 /// Draws \p n points from \p k Gaussian blobs with centers uniform in
 /// [-range, range]^3 and the given per-axis standard deviation.

@@ -40,7 +40,14 @@ double compute_inertia(const std::vector<Point3>& points,
                        const std::vector<Point3>& centroids) {
   double total = 0.0;
   for (const auto& p : points) {
-    total += distance2(p, centroids[nearest_centroid(p, centroids)]);
+    // Track the best distance directly rather than recomputing it from
+    // the index nearest_centroid() returns.
+    double best = std::numeric_limits<double>::max();
+    for (const auto& c : centroids) {
+      const double d = distance2(p, c);
+      if (d < best) best = d;
+    }
+    total += best;
   }
   return total;
 }
@@ -138,9 +145,7 @@ KMeansResult kmeans_mapreduce(common::ThreadPool& pool,
     job.mapper = [&centroids](const Point3& p,
                               mapreduce::Emitter<std::size_t, ClusterAccum>&
                                   out) {
-      ClusterAccum acc;
-      acc.add(p);
-      out.emit(nearest_centroid(p, centroids), acc);
+      out.emplace(nearest_centroid(p, centroids), p, 1);
     };
     job.combiner = [](const std::size_t&,
                       const std::vector<ClusterAccum>& vs) {

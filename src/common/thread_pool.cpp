@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 namespace hoh::common {
 
@@ -79,19 +80,52 @@ std::size_t ThreadPool::queue_depth() const {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, workers_.size());
-  const std::size_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = c * chunk;
-    const std::size_t hi = std::min(n, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
+  // The calling thread is one execution lane and runs the first chunk
+  // itself; the workers take the remaining chunks through a single
+  // stack-allocated latch. Compared to one packaged_task + future per
+  // chunk this does no per-chunk heap allocation and wakes the caller
+  // exactly once.
+  const std::size_t lanes = std::min(n, workers_.size() + 1);
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  struct Latch {
+    Mutex mu;
+    CondVar cv;
+    std::size_t pending HOH_GUARDED_BY(mu) = 0;
+    std::exception_ptr error HOH_GUARDED_BY(mu);
+  } latch;
+  {
+    MutexLock lock(latch.mu);
+    for (std::size_t lo = chunk; lo < n; lo += chunk) ++latch.pending;
   }
-  for (auto& f : futures) f.get();
+  for (std::size_t lo = chunk; lo < n; lo += chunk) {
+    const std::size_t hi = std::min(n, lo + chunk);
+    enqueue([lo, hi, &fn, &latch] {
+      std::exception_ptr err;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      MutexLock lock(latch.mu);
+      if (err && !latch.error) latch.error = err;
+      if (--latch.pending == 0) latch.cv.notify_all();
+    });
+  }
+  std::exception_ptr caller_error;
+  try {
+    const std::size_t hi = std::min(n, chunk);
+    for (std::size_t i = 0; i < hi; ++i) fn(i);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  {
+    // Workers still reference the latch (and fn) until pending drains;
+    // always wait before propagating any exception.
+    MutexLock lock(latch.mu);
+    while (latch.pending != 0) latch.cv.wait(latch.mu);
+    if (!caller_error && latch.error) caller_error = latch.error;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
 }
 
 }  // namespace hoh::common

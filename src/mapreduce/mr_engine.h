@@ -1,12 +1,14 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
-#include <map>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
-#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
 
@@ -15,6 +17,13 @@
 /// shuffle / reduce over a thread pool. Used by the K-Means workload and
 /// the examples to run genuine computation; the cluster-scale analogue is
 /// the analytic cost model in sim_cost.h.
+///
+/// The shuffle is flat and allocation-light (see DESIGN.md, "Engine data
+/// path"): each map task scatters (K, V) pairs straight into one flat,
+/// hash-partitioned run per reduce task; the optional combiner collapses
+/// sorted runs in place; each reduce task groups its runs' values under
+/// dense first-encounter ids and sorts only the distinct keys. No per-key
+/// tree nodes are ever built on either side.
 
 namespace hoh::mapreduce {
 
@@ -29,17 +38,96 @@ struct MrStats {
   common::Bytes shuffle_bytes = 0;
 };
 
-/// Collects (key, value) pairs emitted by one map task.
+/// Collects (key, value) pairs emitted by one map task, scattering each
+/// pair straight into the shuffle run of the reduce task its key hashes
+/// to — there is no staging buffer to re-copy during the shuffle.
 template <typename K, typename V>
 class Emitter {
  public:
-  void emit(K key, V value) {
-    pairs_.emplace_back(std::move(key), std::move(value));
+  /// One shuffle run: keys and values as parallel arrays in emission
+  /// order. Split storage lets a fully-combined run hand its value vector
+  /// to the combiner without gathering a copy first.
+  struct Run {
+    std::vector<K> keys;
+    std::vector<V> values;
+
+    std::size_t size() const { return keys.size(); }
+    bool empty() const { return keys.empty(); }
+  };
+
+  /// Standalone emitter (one run, no partitioning) — handy in tests.
+  Emitter() : runs_(&own_runs_) {
+    own_runs_.resize(1);
+    base_ = own_runs_.data();
+    count_ = 1;
   }
-  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+
+  /// Engine emitter: scatters into \p runs (one per reduce task), which
+  /// must outlive the emitter and not be resized while attached (the run
+  /// array's address and length are latched here so the emit hot path
+  /// never re-reads them through the pointer).
+  explicit Emitter(std::vector<Run>* runs)
+      : runs_(runs),
+        base_(runs->data()),
+        count_(runs->size()),
+        mask_(runs->size() > 1 && (runs->size() & (runs->size() - 1)) == 0
+                  ? runs->size() - 1
+                  : 0) {}
+
+  Emitter(const Emitter&) = delete;
+  Emitter& operator=(const Emitter&) = delete;
+
+  /// Pre-sizes every run for \p n further emits spread evenly (the engine
+  /// seeds this with the split size; mappers that emit more per record
+  /// may top up).
+  void reserve(std::size_t n) {
+    const std::size_t per_run = n / runs_->size() + 1;
+    for (auto& run : *runs_) {
+      run.keys.reserve(run.keys.size() + per_run);
+      run.values.reserve(run.values.size() + per_run);
+    }
+  }
+
+  void emit(K key, V value) {
+    // Power-of-two run counts (the common task-count choice) partition
+    // with a mask; h & (r-1) == h % r, so the placement is identical.
+    const std::size_t part =
+        mask_ != 0 ? hasher_(key) & mask_
+                   : (count_ > 1 ? hasher_(key) % count_ : 0);
+    Run& run = base_[part];
+    run.keys.push_back(std::move(key));
+    run.values.push_back(std::move(value));
+    ++emitted_;
+  }
+
+  /// emit() variant that constructs the value in place in the shuffle run
+  /// — spares hot mappers a temporary-plus-move per record.
+  template <typename... Args>
+  void emplace(K key, Args&&... args) {
+    const std::size_t part =
+        mask_ != 0 ? hasher_(key) & mask_
+                   : (count_ > 1 ? hasher_(key) % count_ : 0);
+    Run& run = base_[part];
+    run.keys.push_back(std::move(key));
+    run.values.emplace_back(std::forward<Args>(args)...);
+    ++emitted_;
+  }
+
+  /// Pairs emitted so far (across all runs).
+  std::size_t emitted() const { return emitted_; }
+
+  /// The sole run of a standalone emitter, in emission order.
+  Run& pairs() { return (*runs_)[0]; }
 
  private:
-  std::vector<std::pair<K, V>> pairs_;
+  std::vector<Run> own_runs_;  // standalone mode only (declared first:
+                               // runs_ points at it)
+  std::vector<Run>* runs_;
+  Run* base_ = nullptr;    // == runs_->data(), latched
+  std::size_t count_ = 0;  // == runs_->size(), latched
+  std::size_t mask_ = 0;   // r-1 when the run count is a power of two
+  std::size_t emitted_ = 0;
+  std::hash<K> hasher_;
 };
 
 /// Typed MapReduce job description.
@@ -57,8 +145,96 @@ struct MrJob {
   std::size_t pair_bytes = sizeof(K) + sizeof(V);
 };
 
+namespace detail {
+
+/// Key equality derived from the ordering the engine already requires,
+/// so K needs nothing beyond operator< and std::hash.
+template <typename K>
+struct KeyEq {
+  bool operator()(const K& a, const K& b) const {
+    return !(a < b) && !(b < a);
+  }
+};
+
+/// Collapses every equal-key group of \p run to the single combiner
+/// output value, leaving the run compact in sorted-key order. Returns the
+/// group count. Each group's values reach the combiner in emission order,
+/// matching what a per-key bucket would have accumulated. \p scratch is
+/// caller-owned so one buffer serves every run of a map task.
+template <typename Run, typename C, typename V>
+std::size_t combine_run_in_place(Run& run, const C& combiner,
+                                 std::vector<V>& scratch) {
+  if (run.empty()) return 0;
+  auto& keys = run.keys;
+  auto& values = run.values;
+  // Runs whose keys all hash-collide into the same reduce partition are
+  // often already key-sorted (one distinct key per run is the K-Means
+  // shape); an O(n) scan over the contiguous keys dodges the sort.
+  if (std::is_sorted(keys.begin(), keys.end())) {
+    if (!(keys.front() < keys.back())) {
+      // Single group: the run's own value vector IS the combiner input —
+      // the dominant case for low-cardinality keys, and it copies nothing.
+      V combined = combiner(keys.front(), values);
+      keys.resize(1);
+      values.clear();
+      values.push_back(std::move(combined));
+      return 1;
+    }
+    std::size_t write = 0;
+    std::size_t i = 0;
+    while (i < keys.size()) {
+      std::size_t j = i + 1;
+      // Sorted, so keys[i] <= keys[j]: equal iff not strictly less.
+      while (j < keys.size() && !(keys[i] < keys[j])) ++j;
+      scratch.clear();
+      scratch.reserve(j - i);
+      for (std::size_t v = i; v < j; ++v) {
+        scratch.push_back(std::move(values[v]));
+      }
+      V combined = combiner(keys[i], scratch);
+      if (write != i) keys[write] = std::move(keys[i]);
+      values[write] = std::move(combined);
+      ++write;
+      i = j;
+    }
+    keys.resize(write);
+    values.resize(write);
+    return write;
+  }
+  // Unsorted: sort a permutation (8-byte indices, not key/value pairs) and
+  // gather each group through it. stable_sort keeps equal keys' values in
+  // emission order.
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(
+      order.begin(), order.end(),
+      [&keys](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  std::decay_t<decltype(run.keys)> out_keys;
+  std::vector<V> out_values;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i + 1;
+    while (j < order.size() && !(keys[order[i]] < keys[order[j]])) ++j;
+    scratch.clear();
+    scratch.reserve(j - i);
+    for (std::size_t v = i; v < j; ++v) {
+      scratch.push_back(std::move(values[order[v]]));
+    }
+    V combined = combiner(keys[order[i]], scratch);
+    out_keys.push_back(std::move(keys[order[i]]));
+    out_values.push_back(std::move(combined));
+    i = j;
+  }
+  keys = std::move(out_keys);
+  values = std::move(out_values);
+  return keys.size();
+}
+
+}  // namespace detail
+
 /// Runs \p job over \p input on \p pool. Output order follows reducer
-/// partition, then key order within each partition (deterministic).
+/// partition, then key order within each partition, with each key's values
+/// ordered by map task then emission order (deterministic).
 template <typename InputT, typename K, typename V, typename OutputT>
 std::vector<OutputT> run_mr(common::ThreadPool& pool,
                             const std::vector<InputT>& input,
@@ -75,70 +251,107 @@ std::vector<OutputT> run_mr(common::ThreadPool& pool,
   local_stats.map_input_records = input.size();
 
   // --- map phase: split input into m contiguous splits ---
-  // buckets[map_task][reduce_task] -> key -> values
-  std::vector<std::vector<std::map<K, std::vector<V>>>> buckets(m);
+  // runs[map_task][reduce_task] -> flat (K, V) run, hash-partitioned.
+  using Run = typename Emitter<K, V>::Run;
+  std::vector<std::vector<Run>> runs(m);
+  // Per-task counters: task t writes only slot t, and the parallel_for
+  // barrier sequences every slot write before the single-threaded fold
+  // below — no lock or atomic needed (DESIGN.md, "Concurrency invariants").
+  struct MapCounters {
+    std::size_t emitted = 0;
+    std::size_t combined = 0;
+  };
+  std::vector<MapCounters> map_counters(m);
   const std::size_t chunk = (input.size() + m - 1) / std::max<std::size_t>(m, 1);
-  common::Mutex stats_mu;
   pool.parallel_for(m, [&](std::size_t t) {
-    buckets[t].resize(r);
-    const std::size_t lo = t * chunk;
+    auto& my_runs = runs[t];
+    my_runs.resize(r);
+    const std::size_t lo = std::min(input.size(), t * chunk);
     const std::size_t hi = std::min(input.size(), lo + chunk);
-    Emitter<K, V> emitter;
+    Emitter<K, V> emitter(&my_runs);
+    emitter.reserve(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) job.mapper(input[i], emitter);
-    std::hash<K> hasher;
-    std::size_t emitted = emitter.pairs().size();
-    for (auto& [k, v] : emitter.pairs()) {
-      buckets[t][hasher(k) % r][k].push_back(std::move(v));
-    }
     // Optional combiner: collapse each key's values map-side.
     std::size_t combined = 0;
     if (job.combiner) {
-      for (auto& bucket : buckets[t]) {
-        for (auto& [k, vs] : bucket) {
-          V c = job.combiner(k, vs);
-          vs.clear();
-          vs.push_back(std::move(c));
-          ++combined;
-        }
+      std::vector<V> scratch;
+      for (auto& run : my_runs) {
+        combined += detail::combine_run_in_place(run, job.combiner, scratch);
       }
     }
-    common::MutexLock lock(stats_mu);
-    local_stats.map_output_records += emitted;
-    local_stats.combine_output_records += combined;
+    map_counters[t] = MapCounters{emitter.emitted(), combined};
   });
-
-  // --- shuffle accounting ---
-  for (const auto& per_map : buckets) {
-    for (const auto& bucket : per_map) {
-      for (const auto& [k, vs] : bucket) {
-        local_stats.shuffle_bytes +=
-            static_cast<common::Bytes>(vs.size() * job.pair_bytes);
-      }
-    }
+  for (const auto& c : map_counters) {
+    local_stats.map_output_records += c.emitted;
+    local_stats.combine_output_records += c.combined;
   }
 
-  // --- reduce phase ---
-  std::vector<std::vector<OutputT>> outputs(r);
-  pool.parallel_for(r, [&](std::size_t rt) {
-    std::map<K, std::vector<V>> merged;
-    for (std::size_t mt = 0; mt < m; ++mt) {
-      for (auto& [k, vs] : buckets[mt][rt]) {
-        auto& dst = merged[k];
-        dst.insert(dst.end(), std::make_move_iterator(vs.begin()),
-                   std::make_move_iterator(vs.end()));
-      }
+  // --- shuffle accounting, straight off the flat runs ---
+  std::size_t shuffled_pairs = 0;
+  for (const auto& per_map : runs) {
+    for (const auto& run : per_map) {
+      shuffled_pairs += run.size();
     }
-    std::size_t groups = 0;
-    for (auto& [k, vs] : merged) {
-      outputs[rt].push_back(job.reducer(k, vs));
-      ++groups;
-    }
-    common::MutexLock lock(stats_mu);
-    local_stats.reduce_input_groups += groups;
-    local_stats.reduce_output_records += groups;
-  });
+  }
+  local_stats.shuffle_bytes =
+      static_cast<common::Bytes>(shuffled_pairs * job.pair_bytes);
 
+  // --- reduce phase: dense-id hash grouping + distinct-key sort ---
+  std::vector<std::vector<OutputT>> outputs(r);
+  // Same disjoint-slot discipline as map_counters above.
+  std::vector<std::size_t> group_counts(r);
+  const auto reduce_task = [&](std::size_t rt) {
+    // Values group under dense first-encounter ids, so each value costs
+    // one hash probe and one push — not a tree insert — while walking the
+    // runs in map-task order keeps every group's values in map-task then
+    // emission order. Only the distinct keys get sorted.
+    std::unordered_map<K, std::size_t, std::hash<K>, detail::KeyEq<K>> ids;
+    std::vector<const K*> keys;             // id -> key (nodes are stable)
+    std::vector<std::vector<V>> groups;     // id -> values
+    for (std::size_t mt = 0; mt < m; ++mt) {
+      auto& run = runs[mt][rt];
+      const std::size_t n = run.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        auto [it, fresh] =
+            ids.try_emplace(std::move(run.keys[i]), keys.size());
+        if (fresh) {
+          keys.push_back(&it->first);
+          groups.emplace_back();
+        }
+        groups[it->second].push_back(std::move(run.values[i]));
+      }
+      run = Run();  // free shuffled-out memory
+    }
+    std::vector<std::size_t> order(keys.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&keys](std::size_t a, std::size_t b) {
+      return *keys[a] < *keys[b];
+    });
+    auto& out = outputs[rt];
+    out.reserve(order.size());
+    for (const std::size_t id : order) {
+      out.push_back(job.reducer(*keys[id], groups[id]));
+    }
+    group_counts[rt] = order.size();
+  };
+  // A well-combined shuffle can be smaller than the cost of waking the
+  // pool; reduce it on the calling thread instead (same algorithm, same
+  // output — the parallel path only changes who runs each task).
+  constexpr std::size_t kInlineReducePairs = 8192;
+  if (shuffled_pairs <= kInlineReducePairs) {
+    for (std::size_t rt = 0; rt < r; ++rt) reduce_task(rt);
+  } else {
+    pool.parallel_for(r, reduce_task);
+  }
+  for (std::size_t rt = 0; rt < r; ++rt) {
+    local_stats.reduce_input_groups += group_counts[rt];
+    local_stats.reduce_output_records += group_counts[rt];
+  }
+
+  std::size_t total_out = 0;
+  for (const auto& part : outputs) total_out += part.size();
   std::vector<OutputT> out;
+  out.reserve(total_out);
   for (auto& part : outputs) {
     out.insert(out.end(), std::make_move_iterator(part.begin()),
                std::make_move_iterator(part.end()));

@@ -5,6 +5,8 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/error.h"
@@ -20,6 +22,14 @@
 /// genuine Spark-style analytics (including the K-Means example) against
 /// the middleware. Transformations are lazy; actions evaluate the
 /// lineage; cache() pins the materialized partitions.
+///
+/// Partitions flow through the lineage as shared_ptr<const Partitions>
+/// (see DESIGN.md, "Engine data path"): materializing a cached or
+/// parallelize()d RDD hands out the pinned partitions without copying
+/// them, transforms read through the pointer, and actions make a single
+/// pass. A thunk whose result is uniquely owned (a fresh, uncached
+/// computation) may be cannibalised move-wise; shared or cached
+/// partitions are immutable by type.
 
 namespace hoh::spark {
 
@@ -41,6 +51,7 @@ template <typename T>
 class Rdd {
  public:
   using Partitions = std::vector<std::vector<T>>;
+  using PartitionsPtr = std::shared_ptr<const Partitions>;
 
   /// Distributes \p data over \p partitions partitions (0 = pool size).
   static Rdd parallelize(SparkEnv& env, std::vector<T> data,
@@ -59,7 +70,9 @@ class Rdd {
                            std::make_move_iterator(data.begin() + static_cast<std::ptrdiff_t>(hi)));
       }
     }
-    return Rdd(env.pool_ptr(), [parts] { return *parts; });
+    PartitionsPtr pinned = std::move(parts);
+    // The thunk hands out the pinned partitions; nothing is ever copied.
+    return Rdd(env.pool_ptr(), [pinned] { return pinned; });
   }
 
   /// Lazy element-wise transformation.
@@ -68,29 +81,40 @@ class Rdd {
     using U = std::invoke_result_t<F, const T&>;
     auto self = *this;
     return Rdd<U>(pool_, [self, f] {
-      Partitions input = self.materialize();
-      typename Rdd<U>::Partitions out(input.size());
-      self.for_each_partition(input.size(), [&](std::size_t p) {
-        out[p].reserve(input[p].size());
-        for (const auto& x : input[p]) out[p].push_back(f(x));
+      auto input = self.materialize();
+      auto out = std::make_shared<typename Rdd<U>::Partitions>(input->size());
+      self.for_each_partition(input->size(), [&](std::size_t p) {
+        const auto& src = (*input)[p];
+        auto& dst = (*out)[p];
+        dst.reserve(src.size());
+        for (const auto& x : src) dst.push_back(f(x));
       });
-      return out;
+      return typename Rdd<U>::PartitionsPtr(std::move(out));
     });
   }
 
-  /// Lazy filter.
+  /// Lazy filter. Moves surviving elements when this evaluation uniquely
+  /// owns its input partitions.
   template <typename F>
   Rdd filter(F pred) const {
     auto self = *this;
     return Rdd(pool_, [self, pred] {
-      Partitions input = self.materialize();
-      Partitions out(input.size());
-      self.for_each_partition(input.size(), [&](std::size_t p) {
-        for (const auto& x : input[p]) {
-          if (pred(x)) out[p].push_back(x);
+      auto input = self.materialize();
+      auto out = std::make_shared<Partitions>(input->size());
+      Partitions* owned = mutable_if_unique(input);
+      self.for_each_partition(input->size(), [&](std::size_t p) {
+        const auto& src = (*input)[p];
+        auto& dst = (*out)[p];
+        for (std::size_t i = 0; i < src.size(); ++i) {
+          if (!pred(src[i])) continue;
+          if (owned != nullptr) {
+            dst.push_back(std::move((*owned)[p][i]));
+          } else {
+            dst.push_back(src[i]);
+          }
         }
       });
-      return out;
+      return PartitionsPtr(std::move(out));
     });
   }
 
@@ -101,16 +125,17 @@ class Rdd {
     using U = typename std::invoke_result_t<F, const T&>::value_type;
     auto self = *this;
     return Rdd<U>(pool_, [self, f] {
-      Partitions input = self.materialize();
-      typename Rdd<U>::Partitions out(input.size());
-      self.for_each_partition(input.size(), [&](std::size_t p) {
-        for (const auto& x : input[p]) {
+      auto input = self.materialize();
+      auto out = std::make_shared<typename Rdd<U>::Partitions>(input->size());
+      self.for_each_partition(input->size(), [&](std::size_t p) {
+        auto& dst = (*out)[p];
+        for (const auto& x : (*input)[p]) {
           auto ys = f(x);
-          out[p].insert(out[p].end(), std::make_move_iterator(ys.begin()),
-                        std::make_move_iterator(ys.end()));
+          dst.insert(dst.end(), std::make_move_iterator(ys.begin()),
+                     std::make_move_iterator(ys.end()));
         }
       });
-      return out;
+      return typename Rdd<U>::PartitionsPtr(std::move(out));
     });
   }
 
@@ -121,11 +146,11 @@ class Rdd {
     using U = typename std::invoke_result_t<F, const std::vector<T>&>::value_type;
     auto self = *this;
     return Rdd<U>(pool_, [self, f] {
-      Partitions input = self.materialize();
-      typename Rdd<U>::Partitions out(input.size());
-      self.for_each_partition(input.size(),
-                              [&](std::size_t p) { out[p] = f(input[p]); });
-      return out;
+      auto input = self.materialize();
+      auto out = std::make_shared<typename Rdd<U>::Partitions>(input->size());
+      self.for_each_partition(input->size(),
+                              [&](std::size_t p) { (*out)[p] = f((*input)[p]); });
+      return typename Rdd<U>::PartitionsPtr(std::move(out));
     });
   }
 
@@ -140,11 +165,13 @@ class Rdd {
   Rdd union_with(const Rdd& other) const {
     auto self = *this;
     return Rdd(pool_, [self, other] {
-      Partitions a = self.materialize();
-      Partitions b = other.materialize();
-      a.insert(a.end(), std::make_move_iterator(b.begin()),
-               std::make_move_iterator(b.end()));
-      return a;
+      auto a = self.materialize();
+      auto b = other.materialize();
+      auto out = std::make_shared<Partitions>();
+      out->reserve(a->size() + b->size());
+      append_partitions(*out, a);
+      append_partitions(*out, b);
+      return PartitionsPtr(std::move(out));
     });
   }
 
@@ -154,12 +181,13 @@ class Rdd {
     auto self = *this;
     return Rdd(pool_, [self] {
       std::set<T> seen;
-      for (const auto& part : self.materialize()) {
+      auto input = self.materialize();
+      for (const auto& part : *input) {
         seen.insert(part.begin(), part.end());
       }
-      Partitions out(1);
-      out[0].assign(seen.begin(), seen.end());
-      return out;
+      auto out = std::make_shared<Partitions>(1);
+      (*out)[0].assign(seen.begin(), seen.end());
+      return PartitionsPtr(std::move(out));
     });
   }
 
@@ -167,17 +195,17 @@ class Rdd {
   Rdd sample(double fraction, std::uint64_t seed = 42) const {
     auto self = *this;
     return Rdd(pool_, [self, fraction, seed] {
-      Partitions input = self.materialize();
-      Partitions out(input.size());
-      for (std::size_t p = 0; p < input.size(); ++p) {
+      auto input = self.materialize();
+      auto out = std::make_shared<Partitions>(input->size());
+      for (std::size_t p = 0; p < input->size(); ++p) {
         // Per-partition RNG keyed by seed+index keeps evaluation
         // order-independent.
         common::Rng rng(seed + p);
-        for (const auto& x : input[p]) {
-          if (rng.bernoulli(fraction)) out[p].push_back(x);
+        for (const auto& x : (*input)[p]) {
+          if (rng.bernoulli(fraction)) (*out)[p].push_back(x);
         }
       }
-      return out;
+      return PartitionsPtr(std::move(out));
     });
   }
 
@@ -185,26 +213,33 @@ class Rdd {
   Rdd<std::pair<T, std::size_t>> zip_with_index() const {
     auto self = *this;
     return Rdd<std::pair<T, std::size_t>>(pool_, [self] {
-      Partitions input = self.materialize();
-      typename Rdd<std::pair<T, std::size_t>>::Partitions out(input.size());
+      auto input = self.materialize();
+      auto out = std::make_shared<
+          typename Rdd<std::pair<T, std::size_t>>::Partitions>(input->size());
       std::size_t index = 0;
-      for (std::size_t p = 0; p < input.size(); ++p) {
-        out[p].reserve(input[p].size());
-        for (const auto& x : input[p]) {
-          out[p].emplace_back(x, index++);
+      for (std::size_t p = 0; p < input->size(); ++p) {
+        (*out)[p].reserve((*input)[p].size());
+        for (const auto& x : (*input)[p]) {
+          (*out)[p].emplace_back(x, index++);
         }
       }
-      return out;
+      return typename Rdd<std::pair<T, std::size_t>>::PartitionsPtr(
+          std::move(out));
     });
   }
 
-  /// First n elements in partition order (eager).
+  /// First n elements in partition order (eager). The lineage still
+  /// evaluates (thunks are whole-lineage), but partition iteration stops
+  /// as soon as n elements are gathered instead of walking — or copying —
+  /// the rest of the dataset.
   std::vector<T> take(std::size_t n) const {
     std::vector<T> out;
-    for (const auto& part : materialize()) {
+    if (n == 0) return out;
+    auto parts = materialize();
+    for (const auto& part : *parts) {
       for (const auto& x : part) {
-        if (out.size() >= n) return out;
         out.push_back(x);
+        if (out.size() == n) return out;
       }
     }
     return out;
@@ -219,34 +254,47 @@ class Rdd {
 
   // ---- actions (eager) ----
 
+  /// Single pass: size the output once, then copy (or move, when this
+  /// evaluation uniquely owns the partitions) every element.
   std::vector<T> collect() const {
-    Partitions parts = materialize();
+    auto parts = materialize();
+    std::size_t total = 0;
+    for (const auto& p : *parts) total += p.size();
     std::vector<T> out;
-    for (auto& p : parts) {
-      out.insert(out.end(), std::make_move_iterator(p.begin()),
-                 std::make_move_iterator(p.end()));
+    out.reserve(total);
+    if (Partitions* owned = mutable_if_unique(parts)) {
+      for (auto& p : *owned) {
+        out.insert(out.end(), std::make_move_iterator(p.begin()),
+                   std::make_move_iterator(p.end()));
+      }
+    } else {
+      for (const auto& p : *parts) {
+        out.insert(out.end(), p.begin(), p.end());
+      }
     }
     return out;
   }
 
+  /// Counts without copying a single element.
   std::size_t count() const {
-    Partitions parts = materialize();
+    auto parts = materialize();
     std::size_t n = 0;
-    for (const auto& p : parts) n += p.size();
+    for (const auto& p : *parts) n += p.size();
     return n;
   }
 
   /// Tree reduction; throws StateError on an empty RDD.
   template <typename F>
   T reduce(F f) const {
-    Partitions parts = materialize();
+    auto parts = materialize();
     std::vector<T> partials;
     common::Mutex mu;
-    for_each_partition(parts.size(), [&](std::size_t p) {
-      if (parts[p].empty()) return;
-      T acc = parts[p].front();
-      for (std::size_t i = 1; i < parts[p].size(); ++i) {
-        acc = f(acc, parts[p][i]);
+    for_each_partition(parts->size(), [&](std::size_t p) {
+      const auto& part = (*parts)[p];
+      if (part.empty()) return;
+      T acc = part.front();
+      for (std::size_t i = 1; i < part.size(); ++i) {
+        acc = f(acc, part[i]);
       }
       common::MutexLock lock(mu);
       partials.push_back(std::move(acc));
@@ -264,32 +312,42 @@ class Rdd {
   /// fold with a zero value (safe on empty RDDs).
   template <typename F>
   T fold(T zero, F f) const {
-    Partitions parts = materialize();
+    auto parts = materialize();
     T acc = zero;
-    for (const auto& part : parts) {
+    for (const auto& part : *parts) {
       for (const auto& x : part) acc = f(acc, x);
     }
     return acc;
   }
 
-  std::size_t num_partitions() const { return materialize().size(); }
+  std::size_t num_partitions() const { return materialize()->size(); }
 
   // ---- internal plumbing (public for cross-type access from free
   // functions like reduce_by_key) ----
 
   Rdd(std::shared_ptr<common::ThreadPool> pool,
-      std::function<Partitions()> compute)
+      std::function<PartitionsPtr()> compute)
       : pool_(std::move(pool)), compute_(std::move(compute)) {}
 
-  Partitions materialize() const {
+  /// Evaluates the lineage (or returns the pinned cache) without copying:
+  /// callers share the partitions through the const pointer.
+  PartitionsPtr materialize() const {
     if (cache_) {
       common::MutexLock lock(cache_->mu);
       if (!cache_->value) {
-        cache_->value = std::make_shared<Partitions>(compute_());
+        cache_->value = compute_();
       }
-      return *cache_->value;
+      return cache_->value;
     }
     return compute_();
+  }
+
+  /// The partitions behind \p parts when this evaluation is their only
+  /// owner (a fresh, uncached computation) — safe to cannibalise by
+  /// moving elements out; nullptr when cached or otherwise shared.
+  static Partitions* mutable_if_unique(const PartitionsPtr& parts) {
+    return parts.use_count() == 1 ? const_cast<Partitions*>(parts.get())
+                                  : nullptr;
   }
 
   void for_each_partition(std::size_t n,
@@ -303,18 +361,32 @@ class Rdd {
   template <typename U>
   friend class Rdd;
 
+  /// Appends \p src's partitions to \p dst, moving them when uniquely
+  /// owned (union_with's fast path).
+  static void append_partitions(Partitions& dst, PartitionsPtr& src) {
+    if (Partitions* owned = mutable_if_unique(src)) {
+      dst.insert(dst.end(), std::make_move_iterator(owned->begin()),
+                 std::make_move_iterator(owned->end()));
+    } else {
+      dst.insert(dst.end(), src->begin(), src->end());
+    }
+  }
+
   struct CacheSlot {
     common::Mutex mu;
-    std::shared_ptr<Partitions> value HOH_GUARDED_BY(mu);
+    PartitionsPtr value HOH_GUARDED_BY(mu);
   };
 
   std::shared_ptr<common::ThreadPool> pool_;
-  std::function<Partitions()> compute_;
+  std::function<PartitionsPtr()> compute_;
   std::shared_ptr<CacheSlot> cache_;
 };
 
-/// reduceByKey for pair RDDs: per-partition combine, hash-partitioned
-/// merge into \p out_partitions output partitions (0 = input count).
+/// reduceByKey for pair RDDs: each input partition folds its pairs into
+/// flat, hash-partitioned runs holding one slot per distinct key, then
+/// each output partition concatenates its runs and sorts only the
+/// distinct keys — the same shuffle shape as the MapReduce engine, with
+/// no per-key tree nodes and no sort over raw pairs.
 template <typename K, typename V, typename F>
 Rdd<std::pair<K, V>> reduce_by_key(const Rdd<std::pair<K, V>>& rdd, F f,
                                    std::size_t out_partitions = 0) {
@@ -322,39 +394,78 @@ Rdd<std::pair<K, V>> reduce_by_key(const Rdd<std::pair<K, V>>& rdd, F f,
   return Rdd<std::pair<K, V>>(pool, [rdd, f, out_partitions, pool] {
     auto input = rdd.materialize();
     const std::size_t out_n =
-        out_partitions > 0 ? out_partitions : std::max<std::size_t>(1, input.size());
-    // Map side: per-partition combine into per-reducer buckets.
-    std::vector<std::vector<std::map<K, V>>> buckets(input.size());
-    pool->parallel_for(input.size(), [&](std::size_t p) {
-      buckets[p].resize(out_n);
+        out_partitions > 0 ? out_partitions
+                           : std::max<std::size_t>(1, input->size());
+    const auto less = [](const std::pair<K, V>& a, const std::pair<K, V>& b) {
+      return a.first < b.first;
+    };
+    // Applies f across each equal-key span of a key-sorted run, in place.
+    const auto combine_sorted = [&f](std::vector<std::pair<K, V>>& run) {
+      std::size_t write = 0;
+      std::size_t i = 0;
+      while (i < run.size()) {
+        std::pair<K, V> acc = std::move(run[i]);
+        std::size_t j = i + 1;
+        while (j < run.size() && !(acc.first < run[j].first)) {
+          acc.second = f(acc.second, run[j].second);
+          ++j;
+        }
+        run[write++] = std::move(acc);
+        i = j;
+      }
+      run.resize(write);
+    };
+    // Map side: fold each input partition into hash-partitioned flat runs
+    // with one slot per distinct key (values combined in encounter order,
+    // as the merged-tree implementation did). Only distinct keys ever get
+    // sorted, so workloads with few keys pay no n·log n over raw pairs.
+    std::vector<std::vector<std::vector<std::pair<K, V>>>> runs(input->size());
+    pool->parallel_for(input->size(), [&](std::size_t p) {
+      struct KeyEq {  // equality induced by operator<, the ordering we sort by
+        bool operator()(const K& a, const K& b) const {
+          return !(a < b) && !(b < a);
+        }
+      };
+      auto& my_runs = runs[p];
+      my_runs.resize(out_n);
+      const auto& src = (*input)[p];
       std::hash<K> hasher;
-      for (const auto& [k, v] : input[p]) {
-        auto& bucket = buckets[p][hasher(k) % out_n];
-        auto it = bucket.find(k);
-        if (it == bucket.end()) {
-          bucket.emplace(k, v);
+      // key -> (run index, slot within run)
+      std::unordered_map<K, std::pair<std::size_t, std::size_t>, std::hash<K>,
+                         KeyEq>
+          slots;
+      for (const auto& kv : src) {
+        auto [it, fresh] =
+            slots.try_emplace(kv.first, hasher(kv.first) % out_n, 0);
+        auto& run = my_runs[it->second.first];
+        if (fresh) {
+          it->second.second = run.size();
+          run.push_back(kv);
         } else {
-          it->second = f(it->second, v);
+          auto& acc = run[it->second.second].second;
+          acc = f(acc, kv.second);
         }
       }
     });
-    // Reduce side: merge bucket r from every map partition.
-    typename Rdd<std::pair<K, V>>::Partitions out(out_n);
+    // Reduce side: concatenate run r from every map partition, one stable
+    // sort, and a final combine scan (keys come out sorted, values folded
+    // in map-partition order — same as the merged-tree implementation).
+    auto out =
+        std::make_shared<typename Rdd<std::pair<K, V>>::Partitions>(out_n);
     pool->parallel_for(out_n, [&](std::size_t r) {
-      std::map<K, V> merged;
-      for (std::size_t p = 0; p < buckets.size(); ++p) {
-        for (const auto& [k, v] : buckets[p][r]) {
-          auto it = merged.find(k);
-          if (it == merged.end()) {
-            merged.emplace(k, v);
-          } else {
-            it->second = f(it->second, v);
-          }
-        }
+      auto& dst = (*out)[r];
+      std::size_t total = 0;
+      for (const auto& per_map : runs) total += per_map[r].size();
+      dst.reserve(total);
+      for (auto& per_map : runs) {
+        auto& run = per_map[r];
+        dst.insert(dst.end(), std::make_move_iterator(run.begin()),
+                   std::make_move_iterator(run.end()));
       }
-      out[r].assign(merged.begin(), merged.end());
+      std::stable_sort(dst.begin(), dst.end(), less);
+      combine_sorted(dst);
     });
-    return out;
+    return typename Rdd<std::pair<K, V>>::PartitionsPtr(std::move(out));
   });
 }
 
@@ -362,7 +473,10 @@ Rdd<std::pair<K, V>> reduce_by_key(const Rdd<std::pair<K, V>>& rdd, F f,
 template <typename K, typename V>
 std::map<K, V> collect_as_map(const Rdd<std::pair<K, V>>& rdd) {
   std::map<K, V> out;
-  for (auto& [k, v] : rdd.collect()) out[k] = v;
+  auto parts = rdd.materialize();
+  for (const auto& part : *parts) {
+    for (const auto& [k, v] : part) out[k] = v;
+  }
   return out;
 }
 
@@ -376,20 +490,22 @@ Rdd<std::pair<K, std::vector<V>>> group_by_key(
     auto input = rdd.materialize();
     const std::size_t out_n = out_partitions > 0
                                   ? out_partitions
-                                  : std::max<std::size_t>(1, input.size());
+                                  : std::max<std::size_t>(1, input->size());
     std::vector<std::map<K, std::vector<V>>> buckets(out_n);
     std::hash<K> hasher;
-    for (const auto& part : input) {
+    for (const auto& part : *input) {
       for (const auto& [k, v] : part) {
         buckets[hasher(k) % out_n][k].push_back(v);
       }
     }
-    typename Rdd<std::pair<K, std::vector<V>>>::Partitions out(out_n);
+    auto out = std::make_shared<
+        typename Rdd<std::pair<K, std::vector<V>>>::Partitions>(out_n);
     for (std::size_t r = 0; r < out_n; ++r) {
-      out[r].assign(std::make_move_iterator(buckets[r].begin()),
-                    std::make_move_iterator(buckets[r].end()));
+      (*out)[r].assign(std::make_move_iterator(buckets[r].begin()),
+                       std::make_move_iterator(buckets[r].end()));
     }
-    return out;
+    return typename Rdd<std::pair<K, std::vector<V>>>::PartitionsPtr(
+        std::move(out));
   });
 }
 
@@ -417,23 +533,25 @@ Rdd<std::pair<K, std::pair<V, W>>> join(const Rdd<std::pair<K, V>>& left,
             group_by_key(right, out_partitions).materialize();
         // Build a lookup of the right side.
         std::map<K, std::vector<W>> rhs;
-        for (const auto& part : grouped_right) {
+        for (const auto& part : *grouped_right) {
           for (const auto& [k, vs] : part) rhs[k] = vs;
         }
-        typename Rdd<std::pair<K, std::pair<V, W>>>::Partitions out(
-            grouped_left.size());
-        for (std::size_t p = 0; p < grouped_left.size(); ++p) {
-          for (const auto& [k, vs] : grouped_left[p]) {
+        auto out = std::make_shared<
+            typename Rdd<std::pair<K, std::pair<V, W>>>::Partitions>(
+            grouped_left->size());
+        for (std::size_t p = 0; p < grouped_left->size(); ++p) {
+          for (const auto& [k, vs] : (*grouped_left)[p]) {
             auto it = rhs.find(k);
             if (it == rhs.end()) continue;
             for (const auto& v : vs) {
               for (const auto& w : it->second) {
-                out[p].emplace_back(k, std::pair<V, W>(v, w));
+                (*out)[p].emplace_back(k, std::pair<V, W>(v, w));
               }
             }
           }
         }
-        return out;
+        return typename Rdd<std::pair<K, std::pair<V, W>>>::PartitionsPtr(
+            std::move(out));
       });
 }
 
@@ -446,15 +564,17 @@ Rdd<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> cogroup(
   auto pool = left.pool();
   return Rdd<Out>(pool, [left, right] {
     std::map<K, std::pair<std::vector<V>, std::vector<W>>> merged;
-    for (const auto& part : left.materialize()) {
+    auto lparts = left.materialize();
+    for (const auto& part : *lparts) {
       for (const auto& [k, v] : part) merged[k].first.push_back(v);
     }
-    for (const auto& part : right.materialize()) {
+    auto rparts = right.materialize();
+    for (const auto& part : *rparts) {
       for (const auto& [k, w] : part) merged[k].second.push_back(w);
     }
-    typename Rdd<Out>::Partitions out(1);
-    out[0].assign(merged.begin(), merged.end());
-    return out;
+    auto out = std::make_shared<typename Rdd<Out>::Partitions>(1);
+    (*out)[0].assign(merged.begin(), merged.end());
+    return typename Rdd<Out>::PartitionsPtr(std::move(out));
   });
 }
 
@@ -462,7 +582,8 @@ Rdd<std::pair<K, std::pair<std::vector<V>, std::vector<W>>>> cogroup(
 template <typename K, typename V>
 std::map<K, std::size_t> count_by_key(const Rdd<std::pair<K, V>>& rdd) {
   std::map<K, std::size_t> out;
-  for (const auto& part : rdd.materialize()) {
+  auto parts = rdd.materialize();
+  for (const auto& part : *parts) {
     for (const auto& [k, v] : part) out[k] += 1;
   }
   return out;

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "mapreduce/mr_engine.h"
+
+/// Property test: run_mr's sort-shuffle data path must be output-identical
+/// — values AND order — to a single-threaded reference that follows the
+/// documented contract directly (reducer-partition order, key order within
+/// a partition, each key's values in map-task then emission order, the
+/// combiner applied per map task per key). Exercised over random jobs with
+/// and without a combiner, reduce counts that do not divide map counts,
+/// empty input, and all-keys-collide distributions.
+
+namespace hoh::mapreduce {
+namespace {
+
+using Key = int;
+// The value carries its provenance so any reordering the engine introduced
+// would change the output, not just the sums.
+using Value = std::string;
+// Output keeps the full value sequence per key: order-sensitive.
+using Output = std::pair<Key, std::vector<Value>>;
+using Job = MrJob<int, Key, Value, Output>;
+
+Job make_job(int emits_per_record, int key_range, bool with_combiner) {
+  Job job;
+  job.mapper = [emits_per_record, key_range](const int& record,
+                                             Emitter<Key, Value>& out) {
+    // Deterministic pseudo-random fan-out per record.
+    std::uint32_t h = static_cast<std::uint32_t>(record) * 2654435761u + 1u;
+    for (int e = 0; e < emits_per_record; ++e) {
+      h = h * 1664525u + 1013904223u;
+      const Key k = static_cast<Key>(h % static_cast<std::uint32_t>(key_range));
+      out.emit(k, std::to_string(record) + ":" + std::to_string(e));
+    }
+  };
+  if (with_combiner) {
+    // Non-commutative fold: the combined value records the exact order
+    // its inputs arrived in.
+    job.combiner = [](const Key&, const std::vector<Value>& vs) {
+      Value folded;
+      for (const auto& v : vs) {
+        if (!folded.empty()) folded += "|";
+        folded += v;
+      }
+      return folded;
+    };
+  }
+  job.reducer = [](const Key& k, const std::vector<Value>& vs) {
+    return Output(k, vs);
+  };
+  return job;
+}
+
+/// Single-threaded reference implementing the contract with the simplest
+/// possible data structures (ordered maps, whole-pair vectors).
+std::vector<Output> reference_mr(const std::vector<int>& input,
+                                 const Job& job, MrStats* stats) {
+  const std::size_t m = job.map_tasks;
+  const std::size_t r = job.reduce_tasks;
+  MrStats s;
+  s.map_input_records = input.size();
+  // rt -> key -> values in map-task then emission order.
+  std::vector<std::map<Key, std::vector<Value>>> shuffled(r);
+  const std::size_t chunk =
+      (input.size() + m - 1) / std::max<std::size_t>(m, 1);
+  std::hash<Key> hasher;
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::size_t lo = std::min(input.size(), t * chunk);
+    const std::size_t hi = std::min(input.size(), lo + chunk);
+    Emitter<Key, Value> emitter;  // standalone: one run, emission order
+    for (std::size_t i = lo; i < hi; ++i) job.mapper(input[i], emitter);
+    s.map_output_records += emitter.emitted();
+    // Group this task's emissions per key, preserving emission order.
+    std::map<Key, std::vector<Value>> grouped;
+    auto& run = emitter.pairs();
+    for (std::size_t i = 0; i < run.size(); ++i) {
+      grouped[run.keys[i]].push_back(run.values[i]);
+    }
+    for (auto& [k, vs] : grouped) {
+      if (job.combiner) {
+        Value combined = job.combiner(k, vs);
+        vs.assign(1, std::move(combined));
+        ++s.combine_output_records;
+      }
+      auto& dst = shuffled[hasher(k) % r][k];
+      dst.insert(dst.end(), vs.begin(), vs.end());
+      s.shuffle_bytes +=
+          static_cast<common::Bytes>(vs.size() * job.pair_bytes);
+    }
+  }
+  std::vector<Output> out;
+  for (std::size_t rt = 0; rt < r; ++rt) {
+    for (const auto& [k, vs] : shuffled[rt]) {
+      out.push_back(job.reducer(k, vs));
+      ++s.reduce_input_groups;
+      ++s.reduce_output_records;
+    }
+  }
+  if (stats != nullptr) *stats = s;
+  return out;
+}
+
+struct Case {
+  std::size_t records;
+  std::size_t map_tasks;
+  std::size_t reduce_tasks;
+  int emits_per_record;
+  int key_range;
+};
+
+class MrPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(MrPropertyTest, OutputIdenticalToReference) {
+  const Case c = GetParam();
+  common::ThreadPool pool(4);
+  std::vector<int> input(c.records);
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<int>(i * 7 + 3);
+  }
+  for (const bool with_combiner : {false, true}) {
+    Job job = make_job(c.emits_per_record, c.key_range, with_combiner);
+    job.map_tasks = c.map_tasks;
+    job.reduce_tasks = c.reduce_tasks;
+    MrStats got_stats;
+    MrStats want_stats;
+    const auto got = run_mr(pool, input, job, &got_stats);
+    const auto want = reference_mr(input, job, &want_stats);
+    ASSERT_EQ(got.size(), want.size())
+        << "combiner=" << with_combiner;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first) << "at " << i;
+      EXPECT_EQ(got[i].second, want[i].second)
+          << "values differ for key " << got[i].first
+          << " (combiner=" << with_combiner << ")";
+    }
+    EXPECT_EQ(got_stats.map_input_records, want_stats.map_input_records);
+    EXPECT_EQ(got_stats.map_output_records, want_stats.map_output_records);
+    EXPECT_EQ(got_stats.combine_output_records,
+              want_stats.combine_output_records);
+    EXPECT_EQ(got_stats.reduce_input_groups, want_stats.reduce_input_groups);
+    EXPECT_EQ(got_stats.reduce_output_records,
+              want_stats.reduce_output_records);
+    EXPECT_EQ(got_stats.shuffle_bytes, want_stats.shuffle_bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomJobs, MrPropertyTest,
+    ::testing::Values(
+        // r divides m and r does not divide m.
+        Case{200, 8, 4, 3, 31}, Case{200, 5, 3, 3, 31},
+        Case{173, 7, 2, 4, 13}, Case{97, 3, 5, 2, 97},
+        // more reduce tasks than keys (empty partitions).
+        Case{64, 4, 16, 1, 3},
+        // all keys collide into one group.
+        Case{150, 6, 4, 2, 1},
+        // single map task, single reduce task.
+        Case{50, 1, 1, 3, 11},
+        // more map tasks than records (empty splits).
+        Case{5, 16, 4, 2, 7},
+        // empty input.
+        Case{0, 4, 4, 3, 17}));
+
+}  // namespace
+}  // namespace hoh::mapreduce

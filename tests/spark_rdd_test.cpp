@@ -128,6 +128,33 @@ TEST(RddTest, CacheEvaluatesOnce) {
   EXPECT_EQ(calls.load(), 10);  // map ran exactly once
 }
 
+TEST(RddTest, CollectDoesNotMutateCachedPartitions) {
+  SparkEnv env(2);
+  auto rdd = Rdd<int>::parallelize(env, iota(100), 4).cache();
+  const auto first = rdd.collect();
+  // Mutating the returned copy must not reach the pinned partitions.
+  auto stolen = rdd.collect();
+  for (auto& x : stolen) x = -1;
+  const auto second = rdd.collect();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(second.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(second[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RddTest, ActionsOnSharedLineageAgree) {
+  SparkEnv env(2);
+  // Two RDD handles over the same cached lineage: actions through either
+  // handle see identical, un-cannibalised partitions.
+  auto base = Rdd<int>::parallelize(env, iota(50), 4).cache();
+  auto view = base;  // shares the cache slot
+  const auto a = view.collect();
+  const long sum = base.reduce([](int x, int y) { return x + y; });
+  const auto b = base.collect();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(sum, 50L * 49L / 2);
+  EXPECT_EQ(base.count(), 50u);
+}
+
 TEST(RddTest, WithoutCacheRecomputes) {
   SparkEnv env(2);
   std::atomic<int> calls{0};

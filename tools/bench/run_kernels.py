@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Run bench/kernels_benchmark and track the results in BENCH_kernels.json.
+
+The committed baseline (BENCH_kernels.json at the repo root) stores, per
+benchmark, the median wall time of the seed engines ("before_ns") and of
+the current engines ("after_ns"). This tool
+
+  * runs the benchmark binary with --benchmark_format=json and N
+    repetitions, normalizing the per-benchmark medians;
+  * with --update {before,after}, writes those medians into the chosen
+    slot of the baseline (creating the file as needed);
+  * with --check, compares the measured medians against the committed
+    "after_ns" entries and fails when any benchmark is slower than
+    tolerance x baseline — the regression gate CI runs.
+
+Wall times on shared or single-CPU runners are noisy, which is why the
+default gate is a generous 2x and why medians (not means) are compared.
+
+Usage:
+  tools/bench/run_kernels.py --binary build-rel/bench/kernels_benchmark
+  tools/bench/run_kernels.py --binary ... --check [--tolerance 2.0]
+  tools/bench/run_kernels.py --binary ... --update after
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernels.json"
+SCHEMA = "hoh-bench-kernels-v1"
+
+
+def find_binary() -> pathlib.Path | None:
+    for build in ("build-rel", "build", "build-release"):
+        cand = REPO_ROOT / build / "bench" / "kernels_benchmark"
+        if cand.is_file():
+            return cand
+    return None
+
+
+def run_benchmark(binary: pathlib.Path, repetitions: int,
+                  raw_out: pathlib.Path | None) -> dict[str, float]:
+    """Runs the binary and returns {benchmark name: median real_time ns}."""
+    cmd = [
+        str(binary),
+        "--benchmark_format=json",
+        f"--benchmark_repetitions={repetitions}",
+        "--benchmark_report_aggregates_only=true",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    data = json.loads(proc.stdout)
+    if raw_out is not None:
+        raw_out.write_text(proc.stdout)
+    medians: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench["name"]
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") != "median":
+                continue
+            name = name[: -len("_median")]
+        # google-benchmark reports real_time in the benchmark's time_unit.
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        medians[name] = float(bench["real_time"]) * scale
+    return medians
+
+
+def load_baseline(path: pathlib.Path) -> dict:
+    if path.is_file():
+        return json.loads(path.read_text())
+    return {"schema": SCHEMA, "source": "bench/kernels_benchmark",
+            "note": ("median wall time over repeated runs; 'before' is the "
+                     "seed engine data path, 'after' the flat-shuffle / "
+                     "shared-partition one"),
+            "benchmarks": {}}
+
+
+def cmd_update(baseline_path: pathlib.Path, slot: str,
+               medians: dict[str, float]) -> int:
+    baseline = load_baseline(baseline_path)
+    benchmarks = baseline.setdefault("benchmarks", {})
+    for name, ns in sorted(medians.items()):
+        benchmarks.setdefault(name, {})[f"{slot}_ns"] = round(ns)
+    baseline["benchmarks"] = dict(sorted(benchmarks.items()))
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {len(medians)} '{slot}' entries to {baseline_path}")
+    return 0
+
+
+def cmd_check(baseline_path: pathlib.Path, medians: dict[str, float],
+              tolerance: float) -> int:
+    baseline = load_baseline(baseline_path)
+    entries = baseline.get("benchmarks", {})
+    failures = []
+    missing = []
+    width = max((len(n) for n in medians), default=10)
+    print(f"{'benchmark':<{width}}  {'measured':>12}  {'baseline':>12}  ratio")
+    for name, ns in sorted(medians.items()):
+        ref = entries.get(name, {}).get("after_ns")
+        if ref is None:
+            missing.append(name)
+            print(f"{name:<{width}}  {ns / 1e6:>10.3f}ms  {'--':>12}  (no baseline)")
+            continue
+        ratio = ns / ref
+        flag = " REGRESSION" if ratio > tolerance else ""
+        print(f"{name:<{width}}  {ns / 1e6:>10.3f}ms  {ref / 1e6:>10.3f}ms  "
+              f"{ratio:5.2f}x{flag}")
+        if ratio > tolerance:
+            failures.append((name, ratio))
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) slower than "
+              f"{tolerance:.1f}x the committed baseline:")
+        for name, ratio in failures:
+            print(f"  {name}: {ratio:.2f}x")
+        return 1
+    if missing:
+        print(f"\nnote: {len(missing)} benchmark(s) have no committed "
+              f"baseline entry yet (run --update after)")
+    print("\nOK: all benchmarks within tolerance")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", type=pathlib.Path, default=None,
+                        help="kernels_benchmark binary (default: search "
+                             "build-rel/, build/)")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=DEFAULT_BASELINE,
+                        help="baseline JSON path (default: BENCH_kernels.json)")
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--raw-out", type=pathlib.Path, default=None,
+                        help="also write the raw google-benchmark JSON here")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed 'after' baseline")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="allowed measured/baseline ratio for --check")
+    parser.add_argument("--update", choices=["before", "after"], default=None,
+                        help="write measured medians into this baseline slot")
+    args = parser.parse_args()
+
+    binary = args.binary or find_binary()
+    if binary is None or not pathlib.Path(binary).is_file():
+        print("error: kernels_benchmark binary not found; pass --binary",
+              file=sys.stderr)
+        return 2
+
+    medians = run_benchmark(pathlib.Path(binary), args.repetitions,
+                            args.raw_out)
+    if not medians:
+        print("error: benchmark produced no results", file=sys.stderr)
+        return 2
+
+    if args.update:
+        return cmd_update(args.baseline, args.update, medians)
+    if args.check:
+        return cmd_check(args.baseline, medians, args.tolerance)
+    # No mode: print the normalized medians.
+    for name, ns in sorted(medians.items()):
+        print(f"{name}  {ns / 1e6:.3f} ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
