@@ -123,6 +123,70 @@ KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
     // is spent.
     elastic::make_policy(cfg.elastic_policy);
   }
+  if (doc.contains("failures")) {
+    const common::Json& f = doc.at("failures");
+    if (!f.is_object()) {
+      throw common::ConfigError("\"failures\" must be an object");
+    }
+    cfg.failures = true;
+    if (f.contains("seed")) {
+      cfg.failure_plan.seed =
+          static_cast<std::uint64_t>(f.at("seed").as_int());
+    }
+    if (f.contains("mean_time_to_crash")) {
+      cfg.failure_plan.mean_time_to_crash =
+          f.at("mean_time_to_crash").as_number();
+    }
+    if (f.contains("mean_time_to_repair")) {
+      cfg.failure_plan.mean_time_to_repair =
+          f.at("mean_time_to_repair").as_number();
+    }
+    if (f.contains("mean_time_to_slow")) {
+      cfg.failure_plan.mean_time_to_slow =
+          f.at("mean_time_to_slow").as_number();
+    }
+    if (f.contains("slow_factor")) {
+      cfg.failure_plan.slow_factor = f.at("slow_factor").as_number();
+    }
+    if (f.contains("slow_duration")) {
+      cfg.failure_plan.slow_duration = f.at("slow_duration").as_number();
+    }
+    if (f.contains("max_crashes")) {
+      cfg.failure_plan.max_crashes =
+          static_cast<int>(f.at("max_crashes").as_int());
+    }
+    if (f.contains("start_after")) {
+      cfg.failure_plan.start_after = f.at("start_after").as_number();
+    }
+    cfg.failure_plan.validate();
+  }
+  if (doc.contains("recovery")) {
+    const common::Json& r = doc.at("recovery");
+    if (!r.is_object()) {
+      throw common::ConfigError("\"recovery\" must be an object");
+    }
+    cfg.recovery = true;
+    if (r.contains("max_attempts")) {
+      cfg.retry_policy.max_attempts =
+          static_cast<int>(r.at("max_attempts").as_int());
+    }
+    if (r.contains("base_backoff")) {
+      cfg.retry_policy.base_backoff = r.at("base_backoff").as_number();
+    }
+    if (r.contains("multiplier")) {
+      cfg.retry_policy.multiplier = r.at("multiplier").as_number();
+    }
+    if (r.contains("max_backoff")) {
+      cfg.retry_policy.max_backoff = r.at("max_backoff").as_number();
+    }
+    if (r.contains("jitter")) {
+      cfg.retry_policy.jitter = r.at("jitter").as_number();
+    }
+    cfg.retry_policy.validate();
+  }
+  if (doc.contains("allow_failure")) {
+    cfg.allow_failure = doc.at("allow_failure").as_bool();
+  }
   return cfg;
 }
 
@@ -161,6 +225,24 @@ common::Json result_to_json(const KmeansExperimentConfig& config,
         {"maxNodes", config.elastic_config.max_nodes},
         {"peakNodes", result.peak_nodes},
         {"counters", result.elastic_counters.to_json()}});
+  }
+  if (config.failures) {
+    j["failures"] = common::Json(common::JsonObject{
+        {"seed", static_cast<std::int64_t>(config.failure_plan.seed)},
+        {"crashes",
+         static_cast<std::int64_t>(result.failure_counters.crashes)},
+        {"repairs",
+         static_cast<std::int64_t>(result.failure_counters.repairs)},
+        {"slowEpisodes",
+         static_cast<std::int64_t>(result.failure_counters.slow_episodes)},
+        {"recovery", config.recovery},
+        {"pilotsResubmitted",
+         static_cast<std::int64_t>(result.pilots_resubmitted)},
+        {"unitsRequeued",
+         static_cast<std::int64_t>(result.units_requeued)},
+        {"unitsAbandoned",
+         static_cast<std::int64_t>(result.units_abandoned)},
+        {"outputChecksum", result.output_checksum}});
   }
   return j;
 }

@@ -27,8 +27,14 @@ namespace hoh::analytics {
 /// reuse_yarn_app, and an optional "elastic" object {policy, params,
 /// sample_interval, min_nodes, max_nodes, drain_timeout} that enables an
 /// ElasticController over the cell (min/max default to nodes; max_nodes
-/// below nodes throws). Missing fields keep defaults; unknown machine/
-/// stack/scenario/policy values throw ConfigError.
+/// below nodes throws). An optional "failures" object {seed,
+/// mean_time_to_crash, mean_time_to_repair, mean_time_to_slow,
+/// slow_factor, slow_duration, max_crashes, start_after} arms a
+/// FailureInjector over the batch pool, and an optional "recovery"
+/// object {max_attempts, base_backoff, multiplier, max_backoff, jitter}
+/// enables pilot resubmission + unit requeue under that retry policy.
+/// Missing fields keep defaults; unknown machine/stack/scenario/policy
+/// values throw ConfigError.
 KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc);
 
 /// Parses {"experiments": [...]} into a plan.

@@ -1,6 +1,7 @@
 #include "analytics/kmeans_experiment.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 
 #include "common/error.h"
@@ -10,6 +11,27 @@
 #include "pilot/unit_manager.h"
 
 namespace hoh::analytics {
+
+namespace {
+
+/// FNV-1a over the sorted, newline-joined names — stable across runs and
+/// platforms, unlike std::hash.
+std::string digest_names(std::vector<std::string> names) {
+  std::sort(names.begin(), names.end());
+  std::uint64_t h = 14695981039346656037ull;
+  for (const auto& name : names) {
+    for (const char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= static_cast<unsigned char>('\n');
+    h *= 1099511628211ull;
+  }
+  return common::strformat("%016llx",
+                           static_cast<unsigned long long>(h));
+}
+
+}  // namespace
 
 KmeansExperimentResult run_kmeans_experiment(
     const KmeansExperimentConfig& config) {
@@ -51,13 +73,50 @@ KmeansExperimentResult run_kmeans_experiment(
 
   pilot::PilotManager pm(session);
   pilot::UnitManager um(session);
+
+  // Fault injection against the batch pool: a crash kills whatever
+  // placeholder job holds the node, exactly like a real HPC node loss.
+  std::unique_ptr<sim::FailureInjector> injector;
+  if (config.failures) {
+    auto& entry = session.saga().resource(config.machine.name);
+    hpc::BatchScheduler* sched = entry.scheduler.get();
+    injector = std::make_unique<sim::FailureInjector>(
+        session.engine(), config.failure_plan, sched->node_names());
+    injector->set_trace(&session.trace());
+    injector->on_crash(
+        [sched](const std::string& n) { sched->fail_node(n); });
+    injector->on_repair(
+        [sched](const std::string& n) { sched->repair_node(n); });
+    injector->on_slow([sched](const std::string& n, double factor) {
+      if (auto* node = sched->node(n)) node->set_speed_factor(factor);
+    });
+    injector->arm();
+  }
+
   auto pilot_handle = pm.submit_pilot(pd, agent);
   um.add_pilot(pilot_handle);
 
-  // Wait until the pilot is active.
+  if (config.recovery) {
+    // Pilot resubmission: rebind the experiment to the replacement so
+    // the elastic controller / metric loops follow it; the UnitManager
+    // learns about it so parked units drain onto it.
+    pm.enable_recovery(
+        config.retry_policy,
+        [&pilot_handle, &um](const std::shared_ptr<pilot::Pilot>& replacement,
+                             const std::shared_ptr<pilot::Pilot>&) {
+          pilot_handle = replacement;
+          um.add_pilot(replacement);
+        },
+        config.failure_plan.seed);
+    um.enable_recovery(config.retry_policy, config.failure_plan.seed + 1);
+  }
+
+  // Wait until the pilot is active. With recovery on, a pilot that dies
+  // here may still be replaced (pilot_handle is rebound by the respawn
+  // callback), so only a final state with recovery off ends the wait.
   const double kMaxSimTime = 14 * 24 * 3600.0;
   while (pilot_handle->state() != pilot::PilotState::kActive &&
-         !pilot::is_final(pilot_handle->state()) &&
+         (config.recovery || !pilot::is_final(pilot_handle->state())) &&
          session.engine().now() < kMaxSimTime) {
     session.engine().run_until(session.engine().now() + 5.0);
   }
@@ -82,6 +141,7 @@ KmeansExperimentResult run_kmeans_experiment(
       config.unit_memory_mb > 0 ? config.unit_memory_mb
                                 : (config.yarn_stack ? 1024 : 2048);
 
+  std::vector<std::string> completed_names;
   auto run_phase = [&](const std::string& name, double duration) {
     std::vector<pilot::ComputeUnitDescription> cuds;
     cuds.reserve(static_cast<std::size_t>(config.tasks));
@@ -96,25 +156,43 @@ KmeansExperimentResult run_kmeans_experiment(
       cuds.push_back(std::move(cud));
     }
     auto units = um.submit(cuds);
-    // Barrier: the paper's benchmark synchronizes between phases.
+    // Barrier: the paper's benchmark synchronizes between phases. With
+    // recovery, all_done() holds the barrier while requeues are in
+    // flight, so a mid-phase pilot loss stalls — not ends — the phase.
     while (!um.all_done() && session.engine().now() < kMaxSimTime) {
       session.engine().run_until(session.engine().now() + 5.0);
       result.peak_nodes =
           std::max(result.peak_nodes, pilot_handle->live_nodes());
+    }
+    for (const auto& unit : units) {
+      if (unit->state() == pilot::UnitState::kDone) {
+        completed_names.push_back(unit->description().name);
+      }
     }
   };
 
   for (int iter = 0; iter < config.scenario.iterations; ++iter) {
     run_phase(common::strformat("map-%d", iter),
               durations.map_task_seconds);
+    // A dead pilot with no replacement fails the job: stop submitting.
+    if (pilot::is_final(pilot_handle->state())) break;
     run_phase(common::strformat("reduce-%d", iter),
               durations.reduce_task_seconds);
+    if (pilot::is_final(pilot_handle->state())) break;
   }
 
   if (controller != nullptr) {
     result.elastic_counters = controller->counters();
     controller->stop();
   }
+  if (injector != nullptr) {
+    result.failure_counters = injector->counters();
+    injector->disarm();
+  }
+  result.pilots_resubmitted = pm.pilots_resubmitted();
+  result.units_requeued = um.units_requeued();
+  result.units_abandoned = um.units_abandoned();
+  result.output_checksum = digest_names(std::move(completed_names));
 
   // --- metrics from the trace ---
   const auto agent_started =

@@ -3,9 +3,11 @@
 #include <string>
 
 #include "analytics/kmeans_cost.h"
+#include "common/retry.h"
 #include "elastic/elastic_controller.h"
 #include "hpc/frontends.h"
 #include "pilot/descriptions.h"
+#include "sim/failure_injector.h"
 
 /// \file kmeans_experiment.h
 /// Turn-key driver for one cell of the paper's Fig. 6: runs the K-Means
@@ -51,6 +53,24 @@ struct KmeansExperimentConfig {
   bool elastic = false;
   elastic::ElasticPolicySpec elastic_policy;
   elastic::ElasticControllerConfig elastic_config;
+
+  /// Fault injection (plan "failures" section): a seeded crash / repair /
+  /// slow-node schedule delivered to the machine's batch pool, so a
+  /// mid-run node loss kills the placeholder job exactly the way a real
+  /// HPC node failure would.
+  bool failures = false;
+  sim::FailurePlan failure_plan;
+
+  /// Recovery (plan "recovery" section): pilot resubmission
+  /// (PilotManager), unit requeue onto survivors (UnitManager), both
+  /// under this retry budget. Off = the ablation baseline where a node
+  /// loss fails the job.
+  bool recovery = false;
+  common::RetryPolicy retry_policy;
+
+  /// Plan "allow_failure": a cell expected to fail (e.g. the recovery-off
+  /// arm of the fault ablation) does not fail the whole hohsim run.
+  bool allow_failure = false;
 };
 
 struct KmeansExperimentResult {
@@ -71,6 +91,17 @@ struct KmeansExperimentResult {
   /// Controller counters (all zeros when elasticity was disabled).
   elastic::ElasticCounters elastic_counters;
   int peak_nodes = 0;  // largest allocation the pilot held
+
+  /// Fault & recovery accounting (all zeros without a failure plan).
+  sim::FailureCounters failure_counters;
+  std::size_t pilots_resubmitted = 0;
+  std::size_t units_requeued = 0;
+  std::size_t units_abandoned = 0;
+
+  /// Deterministic digest (FNV-1a over the sorted names of completed
+  /// units). A recovered run must reproduce the no-failure digest —
+  /// the "byte-identical output" check of the fault ablation.
+  std::string output_checksum;
 };
 
 KmeansExperimentResult run_kmeans_experiment(

@@ -43,11 +43,18 @@ class Node {
   /// Returns a previous allocation. Throws StateError on over-release.
   void release(const ResourceRequest& req);
 
+  /// Compute slowdown multiplier (1.0 = nominal). The FailureInjector's
+  /// slow-node episodes raise this; execution models scale task wall
+  /// times by it.
+  double speed_factor() const { return speed_factor_; }
+  void set_speed_factor(double f) { speed_factor_ = f < 1.0 ? 1.0 : f; }
+
  private:
   std::string name_;
   NodeSpec spec_;
   int free_cores_;
   common::MemoryMb free_memory_mb_;
+  double speed_factor_ = 1.0;
 };
 
 }  // namespace hoh::cluster

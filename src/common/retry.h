@@ -1,0 +1,183 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "common/units.h"
+
+/// \file retry.h
+/// Retry/backoff vocabulary shared by every recovery path in the stack
+/// (task re-execution, unit requeue, pilot resubmission). A RetryPolicy
+/// is the budget — max attempts, exponential backoff with jitter, an
+/// optional per-attempt timeout — and RetryableOp drives one operation
+/// through that budget on a simulation engine, so recovery timing is
+/// part of the deterministic event schedule rather than wall-clock code.
+
+namespace hoh::common {
+
+/// Retry budget: how many attempts, how long to wait between them.
+struct RetryPolicy {
+  /// Total attempts including the first one; 1 = no retries.
+  int max_attempts = 3;
+
+  /// Backoff before retry k (k = 1 after the first failure) is
+  /// base_backoff * multiplier^(k-1), capped at max_backoff, then
+  /// scaled by a uniform jitter factor in [1-jitter, 1+jitter].
+  Seconds base_backoff = 1.0;
+  double multiplier = 2.0;
+  Seconds max_backoff = 120.0;
+  double jitter = 0.1;
+
+  /// Per-attempt timeout; 0 disables it. A RetryableOp attempt that has
+  /// neither succeeded nor failed by then counts as failed.
+  Seconds attempt_timeout = 0.0;
+
+  /// Throws ConfigError on nonsense values.
+  void validate() const {
+    if (max_attempts < 1) {
+      throw ConfigError("RetryPolicy: max_attempts must be >= 1");
+    }
+    if (base_backoff < 0.0 || max_backoff < 0.0 || attempt_timeout < 0.0) {
+      throw ConfigError("RetryPolicy: backoffs/timeout must be >= 0");
+    }
+    if (multiplier < 1.0) {
+      throw ConfigError("RetryPolicy: multiplier must be >= 1");
+    }
+    if (jitter < 0.0 || jitter >= 1.0) {
+      throw ConfigError("RetryPolicy: jitter must be in [0, 1)");
+    }
+  }
+
+  /// True while attempt number \p next_attempt (1-based) is inside the
+  /// budget.
+  bool allows(int next_attempt) const { return next_attempt <= max_attempts; }
+
+  /// Backoff before retry \p retry_number (1-based: the wait after the
+  /// retry_number-th failure). Jitter is drawn from \p rng so replays
+  /// with the same seed produce the same schedule.
+  Seconds backoff_for(int retry_number, Rng& rng) const {
+    const int k = std::max(1, retry_number);
+    Seconds delay =
+        base_backoff * std::pow(multiplier, static_cast<double>(k - 1));
+    delay = std::min(delay, max_backoff);
+    if (jitter > 0.0 && delay > 0.0) {
+      delay *= rng.uniform(1.0 - jitter, 1.0 + jitter);
+    }
+    return delay;
+  }
+};
+
+/// Drives one asynchronous operation through a RetryPolicy on a
+/// sim-style engine (anything with schedule(delay, fn) -> handle and
+/// cancel(handle)). The attempt callback starts the work; the component
+/// reports the outcome back through succeed()/fail(). Failures within
+/// budget schedule the next attempt after the policy backoff; a
+/// per-attempt timeout (when configured) counts as a failure, and a late
+/// succeed()/fail() from a timed-out attempt is ignored.
+template <typename Engine>
+class RetryableOp {
+ public:
+  /// \p attempt receives the 1-based attempt number. \p on_finished
+  /// fires exactly once with (succeeded, attempts_used).
+  RetryableOp(Engine& engine, RetryPolicy policy, Rng& rng,
+              std::function<void(int attempt)> attempt,
+              std::function<void(bool ok, int attempts)> on_finished = nullptr)
+      : engine_(engine),
+        policy_(policy),
+        rng_(rng),
+        attempt_(std::move(attempt)),
+        on_finished_(std::move(on_finished)) {
+    policy_.validate();
+    if (!attempt_) {
+      throw ConfigError("RetryableOp: attempt callback must be set");
+    }
+  }
+
+  ~RetryableOp() { cancel(); }
+
+  RetryableOp(const RetryableOp&) = delete;
+  RetryableOp& operator=(const RetryableOp&) = delete;
+
+  /// Launches attempt 1 immediately (synchronously).
+  void start() {
+    if (started_ || finished_) return;
+    started_ = true;
+    begin_attempt();
+  }
+
+  /// The current attempt succeeded: the op is finished.
+  void succeed() { resolve(true); }
+
+  /// The current attempt failed: back off and retry, or exhaust.
+  void fail() { resolve(false); }
+
+  /// Abandons the op; no further attempts, on_finished never fires.
+  void cancel() {
+    finished_ = true;
+    engine_.cancel(timeout_event_);
+    engine_.cancel(retry_event_);
+  }
+
+  int attempts_started() const { return attempts_; }
+  bool finished() const { return finished_; }
+  bool succeeded() const { return succeeded_; }
+
+ private:
+  void begin_attempt() {
+    ++attempts_;
+    ++epoch_;
+    attempt_open_ = true;
+    if (policy_.attempt_timeout > 0.0) {
+      const int my_epoch = epoch_;
+      timeout_event_ = engine_.schedule(policy_.attempt_timeout, [this,
+                                                                  my_epoch] {
+        if (finished_ || my_epoch != epoch_ || !attempt_open_) return;
+        resolve(false);
+      });
+    }
+    attempt_(attempts_);
+  }
+
+  void resolve(bool ok) {
+    if (finished_ || !attempt_open_) return;  // stale or already settled
+    attempt_open_ = false;
+    engine_.cancel(timeout_event_);
+    if (ok) {
+      finished_ = true;
+      succeeded_ = true;
+      if (on_finished_) on_finished_(true, attempts_);
+      return;
+    }
+    if (!policy_.allows(attempts_ + 1)) {
+      finished_ = true;
+      if (on_finished_) on_finished_(false, attempts_);
+      return;
+    }
+    retry_event_ = engine_.schedule(policy_.backoff_for(attempts_, rng_),
+                                    [this] {
+                                      if (finished_) return;
+                                      begin_attempt();
+                                    });
+  }
+
+  Engine& engine_;
+  RetryPolicy policy_;
+  Rng& rng_;
+  std::function<void(int)> attempt_;
+  std::function<void(bool, int)> on_finished_;
+  decltype(std::declval<Engine&>().schedule(
+      Seconds{}, std::function<void()>{})) timeout_event_{};
+  decltype(std::declval<Engine&>().schedule(
+      Seconds{}, std::function<void()>{})) retry_event_{};
+  int attempts_ = 0;
+  int epoch_ = 0;
+  bool started_ = false;
+  bool attempt_open_ = false;
+  bool finished_ = false;
+  bool succeeded_ = false;
+};
+
+}  // namespace hoh::common

@@ -20,6 +20,7 @@ common::Json ElasticCounters::to_json() const {
   obj["nodesRemoved"] = nodes_removed;
   obj["cleanShrinks"] = static_cast<std::uint64_t>(clean_shrinks);
   obj["forcedShrinks"] = static_cast<std::uint64_t>(forced_shrinks);
+  obj["failureGrows"] = static_cast<std::uint64_t>(failure_grows);
   return common::Json(std::move(obj));
 }
 
@@ -88,7 +89,19 @@ void ElasticController::tick() {
     return;
   }
 
-  ElasticDecision decision = policy_->decide(sample);
+  // Failure-induced capacity loss trumps the policy: when node crashes
+  // dragged the live set below the floor, grow back to it immediately —
+  // a utilization-based policy would read a half-dead pilot as "idle".
+  ElasticDecision decision;
+  if (sample.nodes < config_.min_nodes) {
+    decision.action = ElasticAction::kGrow;
+    decision.nodes = config_.min_nodes - sample.nodes;
+    decision.reason = "failure-induced-capacity-loss";
+    common::MutexLock lock(mu_);
+    counters_.failure_grows += 1;
+  } else {
+    decision = policy_->decide(sample);
+  }
   sim::Trace& trace = manager_.session().trace();
   trace.record(manager_.session().engine().now(), "elastic", "decision",
                {{"pilot", pilot_->id()},

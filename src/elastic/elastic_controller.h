@@ -48,6 +48,9 @@ struct ElasticCounters {
   int nodes_removed = 0;    // nodes drained and released
   std::size_t clean_shrinks = 0;
   std::size_t forced_shrinks = 0;  // drain timed out, units preempted
+  /// Grow decisions forced by failure-induced capacity loss (live nodes
+  /// fell below the configured floor), bypassing the policy.
+  std::size_t failure_grows = 0;
 
   common::Json to_json() const;
 };

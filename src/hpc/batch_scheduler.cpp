@@ -1,6 +1,7 @@
 #include "hpc/batch_scheduler.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
 #include "common/string_util.h"
@@ -135,6 +136,19 @@ int BatchScheduler::live_node_count() const {
       std::count(node_dead_.begin(), node_dead_.end(), false));
 }
 
+std::vector<std::string> BatchScheduler::node_names() const {
+  std::vector<std::string> names;
+  names.reserve(pool_.size());
+  for (const auto& node : pool_) names.push_back(node->name());
+  return names;
+}
+
+cluster::Node* BatchScheduler::node(const std::string& name) {
+  const auto it = node_index_.find(name);
+  if (it == node_index_.end()) return nullptr;
+  return pool_[it->second].get();
+}
+
 void BatchScheduler::fail_node(const std::string& node) {
   auto it = node_index_.find(node);
   if (it == node_index_.end()) {
@@ -209,7 +223,11 @@ common::Seconds BatchScheduler::earliest_free_time(int nodes) const {
     free += n;
     if (free >= nodes) return t;
   }
-  return engine_.now();  // unreachable if request validated against pool
+  // Dead nodes can make a request unsatisfiable even with every running
+  // job drained; returning now() here used to poison the backfill
+  // reservation (everything compared against "free right now") and
+  // starve the queue until repair.
+  return std::numeric_limits<common::Seconds>::infinity();
 }
 
 void BatchScheduler::try_schedule() {
@@ -217,7 +235,11 @@ void BatchScheduler::try_schedule() {
   while (progressed) {
     progressed = false;
     // Head of line = highest priority among eligible pending jobs; ties
-    // break in submission (queue) order.
+    // break in submission (queue) order. Jobs asking for more nodes than
+    // are currently alive are held (skipped): they cannot start until a
+    // repair, and letting one of them be the head would block every job
+    // behind it for as long as the node stays dead.
+    const int live = live_node_count();
     std::string head_id;
     int head_priority = 0;
     for (const auto& id : queue_) {
@@ -225,6 +247,7 @@ void BatchScheduler::try_schedule() {
       if (it == jobs_.end()) continue;
       const JobRecord& job = it->second;
       if (job.state != BatchJobState::kPending || !job.eligible) continue;
+      if (job.request.nodes > live) continue;
       if (head_id.empty() || job.request.priority > head_priority) {
         head_id = id;
         head_priority = job.request.priority;

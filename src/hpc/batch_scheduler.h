@@ -75,6 +75,14 @@ class BatchScheduler {
   int pool_size() const { return static_cast<int>(pool_.size()); }
   int live_node_count() const;
 
+  /// Names of all managed nodes (dead or alive), in pool order. The
+  /// FailureInjector uses this to build its target set.
+  std::vector<std::string> node_names() const;
+
+  /// Node object by name (slow-node injection sets its speed factor);
+  /// nullptr when unknown.
+  cluster::Node* node(const std::string& name);
+
   /// Simulates a node crash: running jobs holding the node fail, the
   /// node leaves the pool until repair() is called.
   void fail_node(const std::string& node);

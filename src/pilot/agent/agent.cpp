@@ -295,7 +295,7 @@ void Agent::lrm_teardown() {
   }
 }
 
-void Agent::stop() {
+void Agent::stop(bool fail_units) {
   if (stopped_) return;
   const bool was_active = active_;
   stopped_ = true;
@@ -305,18 +305,33 @@ void Agent::stop() {
   saga_.engine().cancel(drain_poll_event_);
   drain_callback_ = nullptr;
   if (was_active) write_heartbeat();  // final tombstone (alive=false)
-  // Cancel everything still queued.
+  // A deliberate stop cancels the backlog (sink state); an involuntary
+  // one fails it, which is the only final state the Unit-Manager may
+  // requeue onto a surviving pilot.
+  const UnitState backlog_final =
+      fail_units ? UnitState::kFailed : UnitState::kCanceled;
   for (auto& unit : queue_) {
-    set_unit_state(*unit, UnitState::kCanceled);
+    set_unit_state(*unit, backlog_final);
   }
   queue_.clear();
   for (auto& unit : waiting_for_shared_am_) {
-    set_unit_state(*unit, UnitState::kCanceled);
+    set_unit_state(*unit, backlog_final);
   }
   waiting_for_shared_am_.clear();
+  if (fail_units) {
+    // The allocation died mid-execution: in-flight units are lost too.
+    // finish_unit releases their node/core ledgers so the nodes return
+    // to the batch pool clean for the next (resubmitted) pilot.
+    auto running = running_units_;
+    for (auto& [id, unit] : running) {
+      saga_.engine().cancel(unit->exec_event);
+      finish_unit(unit, UnitState::kFailed);
+    }
+  }
   lrm_teardown();
   saga_.trace().record(saga_.engine().now(), "pilot", "agent_stopped",
-                       {{"pilot", pilot_id_}});
+                       {{"pilot", pilot_id_},
+                        {"failed_units", fail_units ? "true" : "false"}});
 }
 
 void Agent::write_heartbeat() {
@@ -600,8 +615,14 @@ void Agent::exec_plain(std::shared_ptr<UnitRec> unit) {
     saga_.engine().schedule(delay, [this, unit] {
           if (stopped_) return;
           set_unit_state(*unit, UnitState::kExecuting);
+          // A degraded node (FailureInjector slow-node episode) stretches
+          // the payload wall time by its current speed factor.
+          common::Seconds duration = unit->desc.duration;
+          if (unit->node != nullptr) {
+            duration *= unit->node->speed_factor();
+          }
           unit->exec_event =
-              saga_.engine().schedule(unit->desc.duration, [this, unit] {
+              saga_.engine().schedule(duration, [this, unit] {
             if (stopped_) return;
             unit->exec_event = sim::EventHandle{};
             // The Task Spawner "collects the exit code" (paper SS-III-B).

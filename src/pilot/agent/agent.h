@@ -66,7 +66,13 @@ class Agent {
   /// Stops the agent: tears down Mode-I clusters (the LRM "stops the
   /// Hadoop and YARN daemons and removes the associated data files"),
   /// cancels pending units, stops polling.
-  void stop();
+  ///
+  /// \p fail_units distinguishes a deliberate stop (cancel/normal end:
+  /// queued units become kCanceled, a sink) from an involuntary one (the
+  /// placeholder job died under the agent: queued AND running units
+  /// become kFailed, the one final state the Unit-Manager may requeue
+  /// from, with their node/core ledgers released).
+  void stop(bool fail_units = false);
 
   bool active() const { return active_; }
   const std::string& pilot_id() const { return pilot_id_; }

@@ -51,12 +51,58 @@ void Pilot::cancel() {
 }
 
 PilotManager::~PilotManager() {
+  *alive_ = false;  // defuse any pending resubmission lambdas
   // Stop agents while the session (engine, store, trace) is still alive;
   // anything the simulation still references later then finds the agent
   // already stopped.
   for (const auto& pilot : pilots_) {
     if (pilot->agent_ != nullptr) pilot->agent_->stop();
   }
+}
+
+void PilotManager::enable_recovery(common::RetryPolicy policy,
+                                   RespawnHandler on_respawn,
+                                   std::uint64_t seed) {
+  policy.validate();
+  recovery_enabled_ = true;
+  recovery_policy_ = policy;
+  recovery_rng_ = common::Rng(seed);
+  on_respawn_ = std::move(on_respawn);
+}
+
+void PilotManager::maybe_resubmit(const std::shared_ptr<Pilot>& failed) {
+  if (!recovery_enabled_) return;
+  const auto it = chain_attempts_.find(failed->id_);
+  const int attempt = it != chain_attempts_.end() ? it->second : 1;
+  if (!recovery_policy_.allows(attempt + 1)) {
+    session_.trace().record(session_.engine().now(), "recovery",
+                            "pilot_abandoned",
+                            {{"pilot", failed->id_},
+                             {"attempts", std::to_string(attempt)}});
+    return;
+  }
+  const common::Seconds backoff =
+      recovery_policy_.backoff_for(attempt, recovery_rng_);
+  session_.trace().record(session_.engine().now(), "recovery",
+                          "pilot_resubmit_scheduled",
+                          {{"pilot", failed->id_},
+                           {"attempt", std::to_string(attempt + 1)},
+                           {"backoff", std::to_string(backoff)}});
+  std::weak_ptr<bool> alive = alive_;
+  session_.engine().schedule(backoff, [this, alive, failed, attempt] {
+    const auto guard = alive.lock();
+    if (guard == nullptr || !*guard) return;
+    auto replacement =
+        submit_pilot(failed->description_, failed->agent_config_);
+    chain_attempts_[replacement->id_] = attempt + 1;
+    ++pilots_resubmitted_;
+    session_.trace().record(session_.engine().now(), "recovery",
+                            "pilot_resubmitted",
+                            {{"failed", failed->id_},
+                             {"replacement", replacement->id_},
+                             {"attempt", std::to_string(attempt + 1)}});
+    if (on_respawn_) on_respawn_(replacement, failed);
+  });
 }
 
 std::shared_ptr<Pilot> PilotManager::submit_pilot(
@@ -85,6 +131,7 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
   if (description.agent_poll_interval > 0.0) {
     agent_config.poll_interval = description.agent_poll_interval;
   }
+  pilot->agent_config_ = agent_config;
 
   saga::JobService& service = job_service(url);
   saga::JobDescription jd;
@@ -127,9 +174,13 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
         pilot->set_state(PilotState::kDone);
         break;
       case saga::JobState::kFailed:
-        if (pilot->agent_) pilot->agent_->stop();
+        // Involuntary death: units (queued and running) become kFailed so
+        // the Unit-Manager may requeue them, unlike the kDone/kCanceled
+        // paths where the backlog is deliberately canceled.
+        if (pilot->agent_) pilot->agent_->stop(/*fail_units=*/true);
         pilot->release_grow_segments();
         pilot->set_state(PilotState::kFailed);
+        pilot->manager_->maybe_resubmit(pilot);
         break;
       case saga::JobState::kCanceled:
         if (pilot->agent_) pilot->agent_->stop();

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "common/random.h"
+#include "common/retry.h"
 #include "pilot/agent/agent.h"
 #include "pilot/descriptions.h"
 #include "pilot/session.h"
@@ -79,6 +81,7 @@ class Pilot {
   std::string id_;
   PilotDescription description_;
   PilotState state_ = PilotState::kNew;
+  AgentConfig agent_config_;  // kept so a resubmission reuses it verbatim
   std::shared_ptr<saga::Job> job_;
   std::unique_ptr<Agent> agent_;
   std::vector<std::function<void(PilotState)>> callbacks_;
@@ -124,6 +127,25 @@ class PilotManager {
                     common::Seconds drain_timeout,
                     std::function<void(bool clean)> on_done = nullptr);
 
+  /// Fired when a failed pilot's replacement has been submitted, so the
+  /// application can rebind (e.g. UnitManager::add_pilot the replacement).
+  using RespawnHandler = std::function<void(
+      const std::shared_ptr<Pilot>& replacement,
+      const std::shared_ptr<Pilot>& failed)>;
+
+  /// Enables pilot resubmission: when a pilot's placeholder job fails
+  /// (node crash, walltime kill), a fresh pilot with the same description
+  /// and agent config is submitted after the policy backoff. A failure
+  /// *chain* (original + its replacements) is limited to
+  /// policy.max_attempts submissions total; past that the chain is
+  /// abandoned with a trace record.
+  void enable_recovery(common::RetryPolicy policy,
+                       RespawnHandler on_respawn = nullptr,
+                       std::uint64_t seed = 42);
+
+  /// Replacement pilots submitted by the recovery machinery.
+  std::size_t pilots_resubmitted() const { return pilots_resubmitted_; }
+
   Session& session() { return session_; }
 
   std::vector<std::shared_ptr<Pilot>> pilots() const { return pilots_; }
@@ -134,9 +156,24 @@ class PilotManager {
   /// One SAGA JobService per target host, created on demand.
   saga::JobService& job_service(const saga::Url& url);
 
+  /// Called by the failed pilot's job callback; schedules the replacement
+  /// submission (or abandons the chain) per the recovery policy.
+  void maybe_resubmit(const std::shared_ptr<Pilot>& failed);
+
   Session& session_;
   std::map<std::string, std::unique_ptr<saga::JobService>> services_;
   std::vector<std::shared_ptr<Pilot>> pilots_;
+
+  // Fault recovery: opt-in resubmission of failed pilots.
+  bool recovery_enabled_ = false;
+  common::RetryPolicy recovery_policy_;
+  common::Rng recovery_rng_{42};
+  RespawnHandler on_respawn_;
+  std::map<std::string, int> chain_attempts_;  // pilot -> submissions so far
+  std::size_t pilots_resubmitted_ = 0;
+  /// Liveness guard for engine-scheduled resubmission lambdas: they may
+  /// fire after this manager is destroyed (the engine outlives us).
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace hoh::pilot

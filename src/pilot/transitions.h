@@ -53,6 +53,12 @@ inline constexpr bool kPilotTransitions[kPilotStateCount][kPilotStateCount] = {
 /// The AgentScheduling back-edges from StagingInput/Executing are the
 /// drain-timeout preempt: the agent withdraws the unit from a leaving
 /// node and requeues it, so escalation costs wasted work, never units.
+///
+/// The single Failed -> PendingAgent edge is the fault-recovery requeue:
+/// the Unit-Manager re-dispatches a unit that died with its pilot onto a
+/// surviving pilot (within its retry budget). Failed is deliberately the
+/// only final state with an out-edge — Done and Canceled stay sinks, so
+/// finished or user-canceled work can never be re-executed.
 inline constexpr bool kUnitTransitions[kUnitStateCount][kUnitStateCount] = {
     //                 New    Umgr   PendA  AgentS StageI Exec   StageO Done   Cancel Failed
     /* New          */ {false, true,  true,  false, false, false, false, false, true,  true },
@@ -64,7 +70,7 @@ inline constexpr bool kUnitTransitions[kUnitStateCount][kUnitStateCount] = {
     /* StagingOutput*/ {false, false, false, false, false, false, false, true,  true,  true },
     /* Done         */ {false, false, false, false, false, false, false, false, false, false},
     /* Canceled     */ {false, false, false, false, false, false, false, false, false, false},
-    /* Failed       */ {false, false, false, false, false, false, false, false, false, false},
+    /* Failed       */ {false, false, true,  false, false, false, false, false, false, false},
 };
 
 // clang-format on
@@ -113,6 +119,16 @@ constexpr bool row_is_sink(const bool (&adj)[N][N], std::size_t row) {
   return true;
 }
 
+/// Number of out-edges from \p row.
+template <std::size_t N>
+constexpr std::size_t row_degree(const bool (&adj)[N][N], std::size_t row) {
+  std::size_t n = 0;
+  for (std::size_t v = 0; v < N; ++v) {
+    if (adj[row][v]) ++n;
+  }
+  return n;
+}
+
 /// Every non-final state can reach at least one final state directly or
 /// transitively (no livelock corner in the table itself).
 template <std::size_t N>
@@ -150,10 +166,20 @@ static_assert(detail::row_is_sink(kPilotTransitions,
 static_assert(detail::row_is_sink(kUnitTransitions,
                                   state_index(UnitState::kDone)) &&
                   detail::row_is_sink(kUnitTransitions,
-                                      state_index(UnitState::kCanceled)) &&
-                  detail::row_is_sink(kUnitTransitions,
-                                      state_index(UnitState::kFailed)),
-              "final UnitStates must be sinks");
+                                      state_index(UnitState::kCanceled)),
+              "Done/Canceled UnitStates must be sinks");
+static_assert(detail::row_degree(kUnitTransitions,
+                                 state_index(UnitState::kFailed)) == 1 &&
+                  transition_allowed(UnitState::kFailed,
+                                     UnitState::kPendingAgent),
+              "kFailed's only out-edge must be the recovery requeue "
+              "(Failed -> PendingAgent)");
+static_assert(!transition_allowed(UnitState::kDone,
+                                  UnitState::kPendingAgent) &&
+                  !transition_allowed(UnitState::kCanceled,
+                                      UnitState::kPendingAgent),
+              "only failed units may be requeued — never finished or "
+              "user-canceled ones");
 
 static_assert(detail::can_reach(kUnitTransitions,
                                 state_index(UnitState::kNew),

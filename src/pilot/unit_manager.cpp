@@ -20,23 +20,39 @@ void UnitManager::add_pilot(std::shared_ptr<Pilot> pilot) {
   }
   bound_counts_.emplace(pilot->id(), 0);
   backlog_seconds_.emplace(pilot->id(), 0.0);
-  pilots_.push_back(std::move(pilot));
+  pilots_.push_back(pilot);
+  if (recovery_enabled_) {
+    watch_pilot_for_recovery(pilot);
+    // A replacement pilot may be exactly what stranded units wait for.
+    drain_pending_requeues();
+  }
 }
 
 std::string UnitManager::pick_pilot(const ComputeUnitDescription& /*desc*/) {
   if (pilots_.empty()) {
     throw common::StateError("UnitManager has no pilots");
   }
+  // Dead pilots are never targets; fall back to any pilot only when all
+  // are final (the submit still records the binding and the unit fails
+  // with that pilot's queue).
+  const auto usable = [this](const std::shared_ptr<Pilot>& p) {
+    return !is_final(p->state());
+  };
+  const bool any_live = std::any_of(pilots_.begin(), pilots_.end(), usable);
   switch (policy_) {
     case UnitSchedulingPolicy::kRoundRobin: {
-      const auto& pilot = pilots_[rr_next_ % pilots_.size()];
-      ++rr_next_;
-      return pilot->id();
+      for (std::size_t i = 0; i < pilots_.size(); ++i) {
+        const auto& pilot = pilots_[rr_next_ % pilots_.size()];
+        ++rr_next_;
+        if (!any_live || usable(pilot)) return pilot->id();
+      }
+      return pilots_[rr_next_ % pilots_.size()]->id();
     }
     case UnitSchedulingPolicy::kLeastLoaded: {
       std::string best;
       std::size_t best_count = SIZE_MAX;
       for (const auto& pilot : pilots_) {
+        if (any_live && !usable(pilot)) continue;
         const std::size_t count = bound_counts_.at(pilot->id());
         if (count < best_count) {
           best = pilot->id();
@@ -53,6 +69,7 @@ std::string UnitManager::pick_pilot(const ComputeUnitDescription& /*desc*/) {
       std::string best;
       double best_backlog = 1e300;
       for (const auto& pilot : pilots_) {
+        if (any_live && !usable(pilot)) continue;
         const int live = pilot->live_nodes() > 0
                              ? pilot->live_nodes()
                              : pilot->description().nodes;
@@ -67,6 +84,129 @@ std::string UnitManager::pick_pilot(const ComputeUnitDescription& /*desc*/) {
     }
   }
   throw common::ConfigError("unknown scheduling policy");
+}
+
+void UnitManager::enable_recovery(common::RetryPolicy policy,
+                                  std::uint64_t seed) {
+  policy.validate();
+  recovery_policy_ = policy;
+  recovery_rng_ = common::Rng(seed);
+  if (recovery_enabled_) return;
+  recovery_enabled_ = true;
+  for (const auto& pilot : pilots_) watch_pilot_for_recovery(pilot);
+}
+
+void UnitManager::watch_pilot_for_recovery(
+    const std::shared_ptr<Pilot>& pilot) {
+  const std::string pilot_id = pilot->id();
+  pilot->on_state_change([this, pilot_id](PilotState state) {
+    if (state != PilotState::kFailed) return;
+    // Decouple from the failure callback stack (the agent is mid-
+    // teardown when the pilot announces kFailed).
+    session_.engine().schedule(
+        0.0, [this, pilot_id] { handle_pilot_failure(pilot_id); });
+  });
+}
+
+void UnitManager::handle_pilot_failure(const std::string& pilot_id) {
+  if (!recovery_enabled_) return;
+  for (const auto& unit : units_) {
+    if (unit->pilot_id() != pilot_id) continue;
+    if (unit->state() != UnitState::kFailed) continue;
+    const std::string unit_id = unit->id();
+    const int requeues = requeue_counts_[unit_id];
+    if (requeues < 0) continue;  // already abandoned
+    // Total executions = 1 original + requeues; one more must fit the
+    // budget.
+    if (!recovery_policy_.allows(requeues + 2)) {
+      ++units_abandoned_;
+      requeue_counts_[unit_id] = -1;  // mark: budget gone, stop counting
+      session_.trace().record(session_.engine().now(), "recovery",
+                              "unit_abandoned",
+                              {{"unit", unit_id},
+                               {"pilot", pilot_id},
+                               {"requeues", std::to_string(requeues)}});
+      continue;
+    }
+    session_.trace().begin_span(session_.engine().now(), "recovery",
+                                "unit_outage", unit_id);
+    limbo_.insert(unit_id);
+    const common::Seconds backoff =
+        recovery_policy_.backoff_for(requeues + 1, recovery_rng_);
+    session_.engine().schedule(backoff,
+                               [this, unit_id] { try_requeue(unit_id); });
+  }
+}
+
+Pilot* UnitManager::find_live_pilot() {
+  for (const auto& pilot : pilots_) {
+    if (!is_final(pilot->state())) return pilot.get();
+  }
+  return nullptr;
+}
+
+void UnitManager::try_requeue(const std::string& unit_id) {
+  auto it = by_id_.find(unit_id);
+  if (it == by_id_.end()) {
+    limbo_.erase(unit_id);
+    return;
+  }
+  auto& unit = it->second;
+  if (unit->state() != UnitState::kFailed) {  // raced with something
+    limbo_.erase(unit_id);
+    return;
+  }
+  Pilot* target = find_live_pilot();
+  if (target == nullptr) {
+    // No live pilot yet: park until add_pilot delivers a replacement.
+    pending_requeue_.push_back(unit_id);
+    return;
+  }
+  const std::string from = unit->pilot_id();
+  const std::string to = target->id();
+
+  // Rebind accounting: the unit now counts against the new pilot.
+  if (bound_counts_.count(from) > 0 && bound_counts_[from] > 0) {
+    bound_counts_[from] -= 1;
+  }
+  bound_counts_[to] += 1;
+  auto pred = unit_predictions_.find(unit_id);
+  const double predicted =
+      pred != unit_predictions_.end() ? pred->second : 0.0;
+  if (unit_reconciled_.count(unit_id) == 0) {
+    // Not folded back yet: the old pilot's backlog still carries it.
+    backlog_seconds_[from] -= predicted;
+  }
+  backlog_seconds_[to] += predicted;
+  unit_reconciled_.erase(unit_id);
+  unit->pilot_id_ = to;
+  requeue_counts_[unit_id] += 1;
+  ++units_requeued_;
+
+  // kFailed -> kPendingAgent is the one legal edge out of a final state
+  // (see transitions.h); then back onto a live agent queue (U.2 again).
+  session_.store().update(
+      "unit", unit_id,
+      {{"state", common::Json(to_string(UnitState::kPendingAgent))},
+       {"pilot", common::Json(to)}});
+  session_.store().queue_push("agent." + to, unit_id);
+  session_.trace().record(session_.engine().now(), "recovery",
+                          "unit_requeued",
+                          {{"unit", unit_id},
+                           {"from", from},
+                           {"to", to},
+                           {"attempt",
+                            std::to_string(requeue_counts_[unit_id] + 1)}});
+  session_.trace().end_span(session_.engine().now(), "recovery",
+                            "unit_outage", unit_id);
+  limbo_.erase(unit_id);
+}
+
+void UnitManager::drain_pending_requeues() {
+  if (pending_requeue_.empty()) return;
+  std::vector<std::string> waiting;
+  waiting.swap(pending_requeue_);
+  for (const auto& unit_id : waiting) try_requeue(unit_id);
 }
 
 void UnitManager::reconcile() {
@@ -200,8 +340,30 @@ std::shared_ptr<ComputeUnit> UnitManager::submit(
 
 bool UnitManager::all_done() {
   reconcile();
-  return std::all_of(units_.begin(), units_.end(), [](const auto& u) {
-    return is_final(u->state());
+  return std::all_of(units_.begin(), units_.end(), [this](const auto& u) {
+    const UnitState state = u->state();
+    if (state == UnitState::kFailed && recovery_enabled_) {
+      if (limbo_.count(u->id()) > 0) {
+        return false;  // requeue in flight: not settled yet
+      }
+      // A unit that died with its pilot but has not been triaged yet
+      // (the zero-delay handle_pilot_failure event is still queued) is
+      // equally in flight: without this, a barrier polling at the exact
+      // crash instant concludes the run finished. Abandoned units
+      // (budget gone, marked -1) are settled.
+      const auto budget = requeue_counts_.find(u->id());
+      const bool abandoned =
+          budget != requeue_counts_.end() && budget->second < 0;
+      if (!abandoned) {
+        for (const auto& pilot : pilots_) {
+          if (pilot->id() == u->pilot_id() &&
+              pilot->state() == PilotState::kFailed) {
+            return false;
+          }
+        }
+      }
+    }
+    return is_final(state);
   });
 }
 

@@ -3,9 +3,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/retry.h"
 #include "pilot/descriptions.h"
 #include "pilot/estimator.h"
 #include "pilot/pilot_manager.h"
@@ -74,8 +76,22 @@ class UnitManager {
   UnitManager(const UnitManager&) = delete;
   UnitManager& operator=(const UnitManager&) = delete;
 
-  /// Registers a pilot as a unit target.
+  /// Registers a pilot as a unit target. With recovery enabled, a pilot
+  /// added later (e.g. a resubmitted replacement) immediately absorbs
+  /// units waiting for a live target.
   void add_pilot(std::shared_ptr<Pilot> pilot);
+
+  /// Enables requeue-on-pilot-failure: units that die with their pilot
+  /// (state kFailed) are re-dispatched onto a surviving pilot after the
+  /// policy backoff, up to policy.max_attempts total executions each.
+  /// Units whose budget is exhausted stay kFailed. Call before or after
+  /// add_pilot — existing pilots are wired up too.
+  void enable_recovery(common::RetryPolicy policy, std::uint64_t seed = 42);
+
+  /// Units re-dispatched after pilot failure (recovery counter).
+  std::size_t units_requeued() const { return units_requeued_; }
+  /// Units that exhausted their retry budget and stayed kFailed.
+  std::size_t units_abandoned() const { return units_abandoned_; }
 
   /// Submits units (U.1/U.2). Returns handles in input order. Units with
   /// depends_on are held client-side until every dependency is Done
@@ -89,7 +105,10 @@ class UnitManager {
   std::shared_ptr<ComputeUnit> submit(
       const ComputeUnitDescription& description);
 
-  /// True when every submitted unit reached a final state. Also folds
+  /// True when every submitted unit reached a *settled* final state.
+  /// With recovery enabled, a kFailed unit whose requeue is still
+  /// scheduled or waiting for a live pilot counts as in flight, so
+  /// barrier loops don't conclude a phase mid-recovery. Also folds
   /// finished units into the estimator (see reconcile()).
   bool all_done();
 
@@ -114,6 +133,14 @@ class UnitManager {
                          const ComputeUnitDescription& desc);
   void check_dependencies();
 
+  // --- fault recovery (requeue units off a dead pilot) ---
+  void watch_pilot_for_recovery(const std::shared_ptr<Pilot>& pilot);
+  void handle_pilot_failure(const std::string& pilot_id);
+  void try_requeue(const std::string& unit_id);
+  void drain_pending_requeues();
+  /// Any registered pilot not in a final state; nullptr when none.
+  Pilot* find_live_pilot();
+
   Session& session_;
   UnitSchedulingPolicy policy_;
   std::shared_ptr<RuntimeEstimator> estimator_;
@@ -134,6 +161,16 @@ class UnitManager {
   std::map<std::string, std::size_t> bound_counts_;  // pilot -> units
   std::vector<std::shared_ptr<ComputeUnit>> units_;
   std::size_t rr_next_ = 0;
+
+  // Fault recovery: opt-in unit requeue off failed pilots.
+  bool recovery_enabled_ = false;
+  common::RetryPolicy recovery_policy_;
+  common::Rng recovery_rng_{42};
+  std::map<std::string, int> requeue_counts_;   // unit -> requeues done
+  std::vector<std::string> pending_requeue_;    // waiting for a live pilot
+  std::set<std::string> limbo_;  // kFailed but a requeue is in flight
+  std::size_t units_requeued_ = 0;
+  std::size_t units_abandoned_ = 0;
 };
 
 }  // namespace hoh::pilot

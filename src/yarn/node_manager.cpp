@@ -74,7 +74,7 @@ Resource NodeManager::available() const {
 Resource NodeManager::allocated() const { return in_use_; }
 
 bool NodeManager::can_fit(const Resource& resource) const {
-  if (!alive_ || decommissioning_) return false;
+  if (!alive_ || crashed_ || decommissioning_) return false;
   const int cores = config_.memory_only_scheduling ? 0 : resource.vcores;
   const Resource avail = available();
   if (resource.memory_mb > avail.memory_mb) return false;
@@ -182,6 +182,16 @@ void NodeManager::fail() {
   if (!alive_) return;
   alive_ = false;
   for (const auto& id : live_container_ids()) {
+    release(id, ContainerState::kKilled);
+  }
+}
+
+void NodeManager::crash() {
+  if (crashed_ || !alive_) return;
+  crashed_ = true;
+  crash_time_ = engine_.now();
+  lost_on_crash_ = live_container_ids();
+  for (const auto& id : lost_on_crash_) {
     release(id, ContainerState::kKilled);
   }
 }

@@ -71,11 +71,34 @@ class NodeManager {
   /// container is released as KILLED and no further allocations fit.
   void fail();
 
+  /// Silent node crash: the machine drops off the network. Containers
+  /// die (resources return to the ledger) and heartbeats stop, but
+  /// nobody is notified — the RM only learns of it when its liveness
+  /// monitor notices the missing heartbeats and calls fail_node. The
+  /// containers lost at the instant of the crash are retained for that
+  /// later propagation (lost_on_crash()).
+  void crash();
+
+  bool crashed() const { return crashed_; }
+
+  /// Time of the last heartbeat the RM would have seen: now() while the
+  /// NM is healthy, frozen at the crash instant afterwards.
+  common::Seconds last_heartbeat() const {
+    return crashed_ ? crash_time_ : engine_.now();
+  }
+
+  /// Container ids that were live when crash() hit (empty otherwise).
+  const std::vector<std::string>& lost_on_crash() const {
+    return lost_on_crash_;
+  }
+
   /// Rejoins a failed NM (recommissioning); capacity becomes usable on
   /// the next scheduler pass. Also clears a decommission mark.
   void recover() {
     alive_ = true;
     decommissioning_ = false;
+    crashed_ = false;
+    lost_on_crash_.clear();
   }
 
   /// Graceful-decommission mark: the scheduler stops placing new
@@ -93,6 +116,9 @@ class NodeManager {
   Resource in_use_{0, 0};
   bool alive_ = true;
   bool decommissioning_ = false;
+  bool crashed_ = false;
+  common::Seconds crash_time_ = 0.0;
+  std::vector<std::string> lost_on_crash_;
   std::map<std::string, Container> containers_;
 };
 

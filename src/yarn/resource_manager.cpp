@@ -134,8 +134,14 @@ std::size_t ResourceManager::live_node_count() const {
 void ResourceManager::fail_node(const std::string& node) {
   NodeManager& nm = node_manager(node);
   if (!nm.alive()) return;
-  const auto lost = nm.live_container_ids();
+  // A silently crashed NM already lost its containers at the crash
+  // instant; propagate those. A direct fail_node kills them now.
+  const auto lost =
+      nm.crashed() ? nm.lost_on_crash() : nm.live_container_ids();
   nm.fail();  // releases the containers as KILLED
+  trace_event("nm_lost",
+              {{"node", node},
+               {"lost_containers", std::to_string(lost.size())}});
 
   for (const auto& cid : lost) {
     const Container& c = nm.container(cid);
@@ -145,10 +151,17 @@ void ResourceManager::fail_node(const std::string& node) {
     if (cid == app.am_container_id) {
       // AM lost: new attempt or app failure.
       if (app.attempt >= config_.am_max_attempts) {
+        trace_event("app_failed",
+                    {{"app", c.app_id},
+                     {"reason", "am_max_attempts"},
+                     {"attempt", std::to_string(app.attempt)}});
         finish_application(c.app_id, AppState::kFailed);
         continue;
       }
       app.attempt += 1;
+      trace_event("am_restart", {{"app", c.app_id},
+                                 {"node", node},
+                                 {"attempt", std::to_string(app.attempt)}});
       app.am_container_id.clear();
       // Lost task containers of this app die with the attempt.
       for (const auto& tid : app.container_ids) {
@@ -166,10 +179,40 @@ void ResourceManager::fail_node(const std::string& node) {
       pending_.at(app.report.queue).push_back(std::move(ask));
     } else {
       // Task container lost: tell the AM.
+      trace_event("task_container_lost",
+                  {{"app", c.app_id}, {"container", cid}, {"node", node}});
       std::erase(app.container_ids, cid);
       if (app.am->preempted_callback_) app.am->preempted_callback_(c);
     }
   }
+}
+
+void ResourceManager::liveness_pass() {
+  if (config_.nm_liveness_timeout <= 0.0) return;
+  std::vector<std::string> expired;
+  for (const auto& nm : node_managers_) {
+    if (!nm->alive()) continue;
+    if (engine_.now() - nm->last_heartbeat() >= config_.nm_liveness_timeout) {
+      expired.push_back(nm->node_name());
+    }
+  }
+  for (const auto& node : expired) fail_node(node);
+}
+
+std::optional<ContainerState> ResourceManager::container_state(
+    const std::string& container_id) const {
+  for (const auto& nm : node_managers_) {
+    if (nm->has_container(container_id)) {
+      return nm->container(container_id).state;
+    }
+  }
+  return std::nullopt;
+}
+
+void ResourceManager::trace_event(const std::string& name,
+                                  std::map<std::string, std::string> attrs) {
+  if (!trace_) return;
+  trace_->record(engine_.now(), "yarn", name, std::move(attrs));
 }
 
 void ResourceManager::recover_node(const std::string& node) {
@@ -323,6 +366,7 @@ double ResourceManager::queue_usage_ratio(const std::string& queue) const {
 
 void ResourceManager::scheduler_pass() {
   if (shut_down_) return;
+  liveness_pass();
   if (config_.preemption_enabled) preemption_pass();
 
   // Capacity: queues in increasing usage ratio (most-starved first).

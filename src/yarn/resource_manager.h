@@ -4,12 +4,14 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/machine.h"
 #include "common/json.h"
 #include "sim/engine.h"
+#include "sim/trace.h"
 #include "yarn/node_manager.h"
 #include "yarn/types.h"
 
@@ -112,8 +114,20 @@ class ResourceManager {
   /// Simulates loss of a node: its containers die; applications whose
   /// task containers were lost are notified via the AM's preemption/loss
   /// callback; applications whose *AM* was lost get a new attempt (up to
-  /// config().am_max_attempts) or fail.
+  /// config().am_max_attempts) or fail. Also the recovery path the
+  /// liveness monitor takes when a silently crashed NM times out.
   void fail_node(const std::string& node);
+
+  /// Optional trace sink: detection and recovery decisions are recorded
+  /// under category "yarn" (nm_lost, am_restart, app_failed,
+  /// task_container_lost).
+  void set_trace(sim::Trace* trace) { trace_ = trace; }
+
+  /// State of a container anywhere in the cluster; nullopt once its NM
+  /// is gone or the id was never allocated. Drivers use this to tell a
+  /// live task from one whose container died without a callback.
+  std::optional<ContainerState> container_state(
+      const std::string& container_id) const;
 
   /// Stops the scheduler loop (cluster teardown).
   void shutdown();
@@ -149,6 +163,11 @@ class ResourceManager {
   void scheduler_pass();
   void preemption_pass();
 
+  /// Expires NMs whose heartbeats stopped nm_liveness_timeout ago.
+  void liveness_pass();
+  void trace_event(const std::string& name,
+                   std::map<std::string, std::string> attrs);
+
   /// Attempts to place one ask; returns the hosting NM or nullptr.
   NodeManager* try_place(const PendingAsk& ask, Container& out);
 
@@ -175,6 +194,7 @@ class ResourceManager {
 
   sim::Engine& engine_;
   YarnConfig config_;
+  sim::Trace* trace_ = nullptr;
   std::vector<QueueConfig> queues_;
   std::vector<std::unique_ptr<NodeManager>> node_managers_;
   std::map<std::string, AppRecord> apps_;

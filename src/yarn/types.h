@@ -99,6 +99,12 @@ struct YarnConfig {
   /// restarts an application's AM after node loss before failing the app.
   int am_max_attempts = 2;
 
+  /// yarn.nm.liveness-monitor.expiry-interval: how long the RM waits
+  /// without a heartbeat before declaring an NM lost and killing its
+  /// containers. 0 disables liveness monitoring (crashes must then be
+  /// reported out of band via ResourceManager::fail_node).
+  common::Seconds nm_liveness_timeout = 0.0;
+
   /// Hadoop's DefaultResourceCalculator schedules on memory only and
   /// oversubscribes vcores (AMs are mostly idle); set false for the
   /// DominantResourceCalculator behaviour that enforces both dimensions.

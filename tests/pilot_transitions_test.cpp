@@ -40,8 +40,10 @@ TEST(TransitionTableTest, UnitStateStringRoundTrip) {
   EXPECT_THROW(unit_state_from_string(""), common::StateError);
 }
 
-// Exhaustive: no edge (including self-loops) leaves a final state.
-TEST(TransitionTableTest, FinalStatesAreSinks) {
+// Exhaustive: no edge (including self-loops) leaves a final state —
+// except the one fault-recovery requeue edge, unit kFailed ->
+// kPendingAgent, which is asserted to be the *only* exception.
+TEST(TransitionTableTest, FinalStatesAreSinksExceptRecoveryRequeue) {
   for (PilotState from : kAllPilotStates) {
     if (!is_final(from)) continue;
     for (PilotState to : kAllPilotStates) {
@@ -52,7 +54,9 @@ TEST(TransitionTableTest, FinalStatesAreSinks) {
   for (UnitState from : kAllUnitStates) {
     if (!is_final(from)) continue;
     for (UnitState to : kAllUnitStates) {
-      EXPECT_FALSE(transition_allowed(from, to))
+      const bool requeue_edge =
+          from == UnitState::kFailed && to == UnitState::kPendingAgent;
+      EXPECT_EQ(transition_allowed(from, to), requeue_edge)
           << to_string(from) << " -> " << to_string(to);
     }
   }

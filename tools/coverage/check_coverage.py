@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for src/ and gate it against a floor.
+
+Runs plain `gcov --json-format` over every .gcda in a coverage build tree
+(CMake preset `coverage`), merges the per-TU reports (a header line is
+covered if any TU covered it), and prints per-file plus total line
+coverage for files under src/. With --fail-under, exits non-zero when
+total line coverage drops below the floor — the CI coverage job's gate.
+
+Usage:
+  python3 tools/coverage/check_coverage.py --build-dir build-cov
+  python3 tools/coverage/check_coverage.py --build-dir build-cov \
+      --fail-under 80.0
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for name in files:
+            if name.endswith(".gcda"):
+                yield os.path.join(root, name)
+
+
+def gcov_json(gcda_path):
+    """One gcov JSON report per translation unit, parsed from stdout."""
+    out = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.basename(gcda_path)],
+        cwd=os.path.dirname(gcda_path),
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if out.returncode != 0 or not out.stdout.strip():
+        return None
+    # gcov emits one JSON document per input file; we pass exactly one.
+    return json.loads(out.stdout.splitlines()[0])
+
+
+def repo_relative(path, repo_root):
+    absolute = os.path.normpath(
+        path if os.path.isabs(path) else os.path.join(repo_root, path)
+    )
+    try:
+        return os.path.relpath(absolute, repo_root)
+    except ValueError:
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build-cov")
+    parser.add_argument(
+        "--source-prefix",
+        default="src",
+        help="only files under this repo-relative prefix count (default: src)",
+    )
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=None,
+        help="exit 1 when total line coverage (percent) is below this",
+    )
+    args = parser.parse_args()
+
+    repo_root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..")
+    )
+    build_dir = os.path.abspath(args.build_dir)
+    prefix = args.source_prefix.rstrip("/") + "/"
+
+    # (file -> line -> max execution count across TUs)
+    lines = {}
+    reports = 0
+    for gcda in find_gcda(build_dir):
+        report = gcov_json(gcda)
+        if report is None:
+            continue
+        reports += 1
+        for entry in report.get("files", []):
+            rel = repo_relative(entry.get("file", ""), repo_root)
+            if rel is None or not rel.startswith(prefix):
+                continue
+            per_file = lines.setdefault(rel, {})
+            for line in entry.get("lines", []):
+                number = line.get("line_number")
+                count = line.get("count", 0)
+                if number is None:
+                    continue
+                per_file[number] = max(per_file.get(number, 0), count)
+
+    if not lines:
+        print(
+            f"check_coverage: no gcov data for {prefix}* under {build_dir} "
+            "(build with the 'coverage' preset and run ctest first)",
+            file=sys.stderr,
+        )
+        return 2
+
+    total_lines = 0
+    total_covered = 0
+    print(f"{'file':<52} {'lines':>7} {'covered':>8} {'pct':>7}")
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        if not per_file:  # declaration-only file: nothing instrumented
+            continue
+        covered = sum(1 for count in per_file.values() if count > 0)
+        total_lines += len(per_file)
+        total_covered += covered
+        pct = 100.0 * covered / len(per_file)
+        print(f"{rel:<52} {len(per_file):>7} {covered:>8} {pct:>6.1f}%")
+
+    total_pct = 100.0 * total_covered / total_lines
+    print(
+        f"\nTOTAL ({reports} translation units): "
+        f"{total_covered}/{total_lines} lines = {total_pct:.2f}%"
+    )
+    if args.fail_under is not None and total_pct < args.fail_under:
+        print(
+            f"check_coverage: {total_pct:.2f}% is below the "
+            f"{args.fail_under:.2f}% floor",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
