@@ -1,0 +1,143 @@
+/// Ablation: control plane — executed engine events and host wall time,
+/// poll vs watch (DESIGN.md §10). The poll plane burns a periodic event
+/// budget proportional to simulated time (RM scheduler passes, agent
+/// store polls, heartbeats) whether or not anything changed; the watch
+/// plane wakes only on store mutations, lease renewals and a slow
+/// quiescent fallback. Two cells bracket the spectrum:
+///
+///  - idle-heavy: the RP-YARN stack on long tasks — lots of simulated
+///    time, very few state changes. This is where polling hurts and the
+///    issue's >= 10x event-reduction criterion is checked.
+///  - 4k-unit:    the plain stack on 4,000 tiny units — event count is
+///    dominated by real work, so the two planes should be close.
+///
+/// Both modes must complete the identical unit set (same output
+/// checksum); the digest is order-insensitive so the check is exact.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace hoh;
+using analytics::KmeansExperimentConfig;
+using analytics::KmeansExperimentResult;
+
+struct CellOutcome {
+  KmeansExperimentResult result;
+  double wall_ms = 0.0;
+};
+
+CellOutcome run_cell(KmeansExperimentConfig cfg, common::ControlPlane plane) {
+  cfg.control_plane = plane;
+  CellOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.result = analytics::run_kmeans_experiment(cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return out;
+}
+
+/// Idle-heavy: RP-YARN on the 1M-point scenario — long map/reduce tasks,
+/// so simulated time dwarfs the number of state changes.
+KmeansExperimentConfig idle_heavy_config() {
+  KmeansExperimentConfig cfg;
+  cfg.machine = cluster::stampede_profile();
+  cfg.scheduler = hpc::SchedulerKind::kSlurm;
+  cfg.scenario = analytics::scenario_1m_points();
+  cfg.nodes = 3;
+  cfg.tasks = 4;
+  cfg.yarn_stack = true;
+  return cfg;
+}
+
+/// 4k units: plain stack, 1000 tasks x 2 phases x 2 iterations of tiny
+/// work — the event count is dominated by the units themselves. (Larger
+/// unit counts hit the scheduler's quadratic host-time scan and push the
+/// pilot past its walltime; 4k keeps the run complete and quick.)
+KmeansExperimentConfig four_k_unit_config() {
+  KmeansExperimentConfig cfg;
+  cfg.machine = cluster::stampede_profile();
+  cfg.scheduler = hpc::SchedulerKind::kSlurm;
+  cfg.scenario = analytics::scenario_10k_points();
+  cfg.scenario.iterations = 2;
+  cfg.nodes = 8;
+  cfg.tasks = 1000;
+  cfg.yarn_stack = false;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::print_header(
+      "Ablation: control plane — executed engine events, poll vs watch",
+      "control-plane refactor (DESIGN.md §10): periodic polling vs "
+      "watch/notify state store with event-driven wakeups");
+
+  struct Cell {
+    const char* name;
+    KmeansExperimentConfig cfg;
+  };
+  const Cell cells[] = {
+      {"idle-heavy", idle_heavy_config()},
+      {"4k-unit", four_k_unit_config()},
+  };
+
+  std::string json = "{\n  \"cells\": [\n";
+  bool first_cell = true;
+  std::printf("%-12s %-6s %14s %12s %8s %10s %s\n", "cell", "mode",
+              "engine events", "ttc (s)", "units", "wall (ms)", "checksum");
+  for (const Cell& cell : cells) {
+    const CellOutcome poll = run_cell(cell.cfg, common::ControlPlane::kPoll);
+    const CellOutcome watch =
+        run_cell(cell.cfg, common::ControlPlane::kWatch);
+    for (const auto* o : {&poll, &watch}) {
+      const bool is_poll = o == &poll;
+      std::printf("%-12s %-6s %14llu %12.1f %8zu %10.1f %s\n", cell.name,
+                  is_poll ? "poll" : "watch",
+                  static_cast<unsigned long long>(o->result.engine_events),
+                  o->result.time_to_completion, o->result.units_completed,
+                  o->wall_ms, o->result.output_checksum.c_str());
+      if (!first_cell) json += ",\n";
+      first_cell = false;
+      json += "    {\"cell\": \"" + std::string(cell.name) +
+              "\", \"mode\": \"" + (is_poll ? "poll" : "watch") +
+              "\", \"engine_events\": " +
+              std::to_string(o->result.engine_events) +
+              ", \"time_to_completion_s\": " +
+              std::to_string(o->result.time_to_completion) +
+              ", \"units_completed\": " +
+              std::to_string(o->result.units_completed) +
+              ", \"wall_ms\": " + std::to_string(o->wall_ms) +
+              ", \"ok\": " + (o->result.ok ? "true" : "false") +
+              ", \"output_checksum\": \"" + o->result.output_checksum +
+              "\"}";
+    }
+    const double reduction =
+        watch.result.engine_events > 0
+            ? static_cast<double>(poll.result.engine_events) /
+                  static_cast<double>(watch.result.engine_events)
+            : 0.0;
+    const bool identical =
+        poll.result.ok && watch.result.ok &&
+        poll.result.output_checksum == watch.result.output_checksum;
+    std::printf("%-12s        event reduction %.1fx, outputs %s\n\n",
+                cell.name, reduction,
+                identical ? "identical" : "DIFFER [FAILED]");
+    if (!identical) return 1;
+  }
+  json += "\n  ]\n}\n";
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json;
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}

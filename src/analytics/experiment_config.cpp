@@ -85,6 +85,10 @@ KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
   if (doc.contains("reuse_yarn_app")) {
     cfg.reuse_yarn_app = doc.at("reuse_yarn_app").as_bool();
   }
+  if (doc.contains("control_plane")) {
+    cfg.control_plane =
+        common::control_plane_from_string(doc.at("control_plane").as_string());
+  }
   if (doc.contains("elastic")) {
     const common::Json& e = doc.at("elastic");
     if (!e.is_object()) {
@@ -214,11 +218,13 @@ common::Json result_to_json(const KmeansExperimentConfig& config,
   j["nodes"] = static_cast<std::int64_t>(config.nodes);
   j["tasks"] = static_cast<std::int64_t>(config.tasks);
   j["stack"] = config.yarn_stack ? "rp-yarn" : "rp";
+  j["control_plane"] = common::to_string(config.control_plane);
   j["ok"] = result.ok;
   j["time_to_completion_s"] = result.time_to_completion;
   j["agent_startup_s"] = result.agent_startup;
   j["mean_unit_startup_s"] = result.mean_unit_startup;
   j["units_completed"] = static_cast<std::int64_t>(result.units_completed);
+  j["engine_events"] = static_cast<std::int64_t>(result.engine_events);
   if (config.elastic) {
     j["elastic"] = common::Json(common::JsonObject{
         {"policy", config.elastic_policy.name},

@@ -60,6 +60,8 @@ KmeansExperimentResult run_kmeans_experiment(
   agent.wrapper_setup_time = durations.wrapper_per_node;
   agent.wrapper_cached_time = 1.0;
   agent.reuse_yarn_app = config.reuse_yarn_app;
+  agent.control_plane = config.control_plane;
+  agent.yarn.yarn.control_plane = config.control_plane;
   agent.yarn.yarn.am_launch_time = 10.0;
   agent.yarn.yarn.container_launch_time = 4.0;
 
@@ -73,6 +75,7 @@ KmeansExperimentResult run_kmeans_experiment(
 
   pilot::PilotManager pm(session);
   pilot::UnitManager um(session);
+  um.set_control_plane(config.control_plane);
 
   // Fault injection against the batch pool: a crash kills whatever
   // placeholder job holds the node, exactly like a real HPC node loss.
@@ -121,13 +124,18 @@ KmeansExperimentResult run_kmeans_experiment(
     session.engine().run_until(session.engine().now() + 5.0);
   }
   KmeansExperimentResult result;
-  if (pilot_handle->state() != pilot::PilotState::kActive) return result;
+  if (pilot_handle->state() != pilot::PilotState::kActive) {
+    result.engine_events = session.engine().executed();
+    return result;
+  }
 
   std::unique_ptr<elastic::ElasticController> controller;
   if (config.elastic) {
+    elastic::ElasticControllerConfig elastic_config = config.elastic_config;
+    elastic_config.control_plane = config.control_plane;
     controller = std::make_unique<elastic::ElasticController>(
         pm, pilot_handle, elastic::make_policy(config.elastic_policy),
-        config.elastic_config, um.estimator_ptr());
+        elastic_config, um.estimator_ptr());
     controller->start();
   }
   result.peak_nodes = pilot_handle->live_nodes();
@@ -193,6 +201,7 @@ KmeansExperimentResult run_kmeans_experiment(
   result.units_requeued = um.units_requeued();
   result.units_abandoned = um.units_abandoned();
   result.output_checksum = digest_names(std::move(completed_names));
+  result.engine_events = session.engine().executed();
 
   // --- metrics from the trace ---
   const auto agent_started =

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+/// \file control_plane.h
+/// Control-plane mode shared by the pilot, YARN and elastic layers (see
+/// DESIGN.md §10). kPoll is the paper-faithful periodic-polling plane
+/// (agent store polls, RM scheduler loop, dependency sweeps); kWatch is
+/// the event-driven plane (store watches, lease timers, demand-driven
+/// scheduler passes) whose executed-event count grows with work instead
+/// of with virtual time. Both planes must complete the same unit set —
+/// the keystone plans assert byte-identical output digests across modes.
+
+namespace hoh::common {
+
+enum class ControlPlane {
+  kPoll,   // legacy: fixed-cadence schedule_periodic everywhere
+  kWatch,  // event-driven: store watch/notify + DeadlineTimer leases
+};
+
+inline std::string to_string(ControlPlane plane) {
+  return plane == ControlPlane::kWatch ? "watch" : "poll";
+}
+
+inline ControlPlane control_plane_from_string(const std::string& s) {
+  if (s == "poll") return ControlPlane::kPoll;
+  if (s == "watch") return ControlPlane::kWatch;
+  throw ConfigError("unknown control_plane \"" + s +
+                    "\" (expected \"poll\" or \"watch\")");
+}
+
+}  // namespace hoh::common

@@ -21,6 +21,7 @@ common::Json ElasticCounters::to_json() const {
   obj["cleanShrinks"] = static_cast<std::uint64_t>(clean_shrinks);
   obj["forcedShrinks"] = static_cast<std::uint64_t>(forced_shrinks);
   obj["failureGrows"] = static_cast<std::uint64_t>(failure_grows);
+  obj["eventTicks"] = static_cast<std::uint64_t>(event_ticks);
   return common::Json(std::move(obj));
 }
 
@@ -54,6 +55,13 @@ ElasticController::~ElasticController() {
 void ElasticController::start() {
   if (running_) return;
   running_ = true;
+  if (pilot::Agent* agent = pilot_->agent();
+      agent != nullptr && agent->active()) {
+    maybe_subscribe(*agent);
+  }
+  // Sampling cadence is kept even on the watch plane: resize decisions
+  // want a stable rhythm, and the periodic also covers quiescence
+  // (allowlisted in tools/lint/check_concurrency.py).
   tick_event_ = manager_.session().engine().schedule_periodic(
       config_.sample_interval, [this] { tick(); });
 }
@@ -72,6 +80,7 @@ void ElasticController::tick() {
   }
   pilot::Agent* agent = pilot_->agent();
   if (agent == nullptr || !agent->active()) return;  // still bootstrapping
+  maybe_subscribe(*agent);
 
   const PilotSample sample = collect_sample(*agent);
   {
@@ -112,6 +121,34 @@ void ElasticController::tick() {
                 {"queued", std::to_string(sample.queued_units)},
                 {"utilization", std::to_string(sample.utilization())}});
   actuate(sample, std::move(decision));
+}
+
+void ElasticController::maybe_subscribe(pilot::Agent& agent) {
+  if (subscribed_ || config_.control_plane != common::ControlPlane::kWatch) {
+    return;
+  }
+  subscribed_ = true;
+  std::weak_ptr<bool> alive = alive_;
+  agent.on_capacity_event([this, alive] {
+    if (auto a = alive.lock(); a == nullptr || !*a) return;
+    request_event_tick();
+  });
+}
+
+void ElasticController::request_event_tick() {
+  if (!running_ || event_tick_pending_) return;
+  event_tick_pending_ = true;
+  std::weak_ptr<bool> alive = alive_;
+  manager_.session().engine().schedule(0.0, [this, alive] {
+    if (auto a = alive.lock(); a == nullptr || !*a) return;
+    event_tick_pending_ = false;
+    if (!running_) return;
+    {
+      common::MutexLock lock(mu_);
+      counters_.event_ticks += 1;
+    }
+    tick();
+  });
 }
 
 PilotSample ElasticController::collect_sample(pilot::Agent& agent) const {

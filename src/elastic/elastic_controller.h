@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/control_plane.h"
 #include "common/json.h"
 #include "common/thread_annotations.h"
 #include "elastic/policy.h"
@@ -24,6 +25,14 @@
 namespace hoh::elastic {
 
 struct ElasticControllerConfig {
+  /// Control-plane mode (DESIGN.md §10). Sampling cadence is kept in both
+  /// modes (resize decisions want a stable rhythm); kWatch additionally
+  /// subscribes to the agent's capacity-change events (units arriving or
+  /// finishing, nodes landing or leaving) and runs an extra deduplicated
+  /// tick one event-turn later, so backlog spikes are acted on without
+  /// waiting out the interval.
+  common::ControlPlane control_plane = common::ControlPlane::kPoll;
+
   common::Seconds sample_interval = 30.0;
   /// Node floor. The base allocation can never shrink anyway; a higher
   /// floor keeps grown capacity around.
@@ -51,6 +60,9 @@ struct ElasticCounters {
   /// Grow decisions forced by failure-induced capacity loss (live nodes
   /// fell below the configured floor), bypassing the policy.
   std::size_t failure_grows = 0;
+  /// Watch plane: ticks triggered by agent capacity events (on top of the
+  /// periodic samples).
+  std::size_t event_ticks = 0;
 
   common::Json to_json() const;
 };
@@ -96,6 +108,12 @@ class ElasticController {
   void actuate(const PilotSample& sample, ElasticDecision decision)
       HOH_EXCLUDES(mu_);
 
+  /// Watch plane: one-time subscription to the agent's capacity events
+  /// (lazy — the agent may not exist until the placeholder job starts).
+  void maybe_subscribe(pilot::Agent& agent);
+  /// Watch plane: schedule a deduplicated tick one event-turn from now.
+  void request_event_tick();
+
   pilot::PilotManager& manager_;
   std::shared_ptr<pilot::Pilot> pilot_;
   std::unique_ptr<ElasticPolicy> policy_;
@@ -109,6 +127,8 @@ class ElasticController {
   PilotSample last_sample_ HOH_GUARDED_BY(mu_);
   sim::EventHandle tick_event_;
   bool running_ = false;
+  bool subscribed_ = false;          // capacity-event hook installed
+  bool event_tick_pending_ = false;  // dedup for event-triggered ticks
   /// Outlives the controller in resize callbacks, so a late drain or
   /// grow completion on a destroyed controller is a no-op.
   std::shared_ptr<bool> alive_;

@@ -24,6 +24,18 @@ std::string YarnMrDriver::submit(const YarnMrJobSpec& spec,
   app.on_am_start = [this, shared_id](yarn::ApplicationMaster& am) {
     run_attempt(*shared_id, am);
   };
+  app.on_finished = [this, shared_id](const yarn::AppReport& report) {
+    // The RM pushes the final outcome (e.g. AM attempts exhausted) — the
+    // driver's record is updated eagerly instead of lazily in status().
+    auto it = jobs_.find(*shared_id);
+    if (it == jobs_.end()) return;
+    JobRec& job = it->second;
+    if (job.progress.finished || job.progress.failed) return;
+    if (report.state == yarn::AppState::kFailed ||
+        report.state == yarn::AppState::kKilled) {
+      job.progress.failed = true;
+    }
+  };
   const std::string app_id = rm_.submit_application(std::move(app));
   *shared_id = app_id;
   JobRec rec;

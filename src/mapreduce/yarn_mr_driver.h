@@ -75,8 +75,10 @@ class YarnMrDriver {
   void set_trace(sim::Trace* trace) { trace_ = trace; }
 
   /// Submits the job; \p on_done fires when the reduce phase finished
-  /// and the application unregistered (success only — poll status() for
-  /// failure). Returns the application id.
+  /// and the application unregistered (success only). Failure is pushed
+  /// into the driver's record via the RM's completion notification the
+  /// moment the application reaches a final state — status() reflects it
+  /// without polling. Returns the application id.
   std::string submit(const YarnMrJobSpec& spec,
                      std::function<void()> on_done = nullptr);
 

@@ -211,11 +211,32 @@ void Agent::start(std::function<void()> on_active) {
       active_ = true;
       saga_.trace().record(saga_.engine().now(), "pilot", "agent_active",
                            {{"pilot", pilot_id_}});
-      poll_event_ = saga_.engine().schedule_periodic(
-          config_.poll_interval, [this] { poll_store(); });
-      write_heartbeat();
-      heartbeat_event_ = saga_.engine().schedule_periodic(
-          config_.heartbeat_interval, [this] { write_heartbeat(); });
+      if (config_.control_plane == common::ControlPlane::kWatch) {
+        // Watch plane: the Unit-Manager's queue_push wakes us through a
+        // store watch; the fallback sweep only covers lost wakeups
+        // (notifications consumed before activation). The heartbeat is a
+        // lease timer — write_heartbeat() re-arms it, and activity
+        // renews it early (renew_heartbeat_lease).
+        unit_watch_ = store_.watch(
+            "agent." + pilot_id_, "", [this](const WatchEvent&) {
+              if (active_) poll_store();
+            });
+        fallback_timer_.bind(saga_.engine(), [this] {
+          if (!active_) return;
+          poll_store();
+          fallback_timer_.arm(config_.watch_fallback_interval);
+        });
+        fallback_timer_.arm(config_.watch_fallback_interval);
+        heartbeat_lease_.bind(saga_.engine(), [this] { write_heartbeat(); });
+        write_heartbeat();
+        poll_store();  // drain anything queued before activation
+      } else {
+        poll_event_ = saga_.engine().schedule_periodic(
+            config_.poll_interval, [this] { poll_store(); });
+        write_heartbeat();
+        heartbeat_event_ = saga_.engine().schedule_periodic(
+            config_.heartbeat_interval, [this] { write_heartbeat(); });
+      }
       if (cb) cb();
     });
   });
@@ -303,6 +324,14 @@ void Agent::stop(bool fail_units) {
   saga_.engine().cancel(poll_event_);
   saga_.engine().cancel(heartbeat_event_);
   saga_.engine().cancel(drain_poll_event_);
+  if (unit_watch_.valid()) {
+    store_.unwatch(unit_watch_);
+    unit_watch_ = WatchHandle{};
+  }
+  fallback_timer_.cancel();
+  heartbeat_lease_.cancel();
+  drain_recheck_.cancel();
+  capacity_listeners_.clear();
   drain_callback_ = nullptr;
   if (was_active) write_heartbeat();  // final tombstone (alive=false)
   // A deliberate stop cancels the backlog (sink state); an involuntary
@@ -343,6 +372,29 @@ void Agent::write_heartbeat() {
   doc["units_failed"] = static_cast<std::int64_t>(units_failed_);
   doc["units_running"] = static_cast<std::int64_t>(running_);
   store_.put("heartbeat", pilot_id_, std::move(doc));
+  last_heartbeat_at_ = saga_.engine().now();
+  if (config_.control_plane == common::ControlPlane::kWatch && !stopped_) {
+    heartbeat_lease_.arm(config_.heartbeat_interval);
+  }
+}
+
+void Agent::renew_heartbeat_lease() {
+  if (config_.control_plane != common::ControlPlane::kWatch || !active_) {
+    return;
+  }
+  if (saga_.engine().now() - last_heartbeat_at_ <
+      config_.heartbeat_interval * 0.5) {
+    return;
+  }
+  write_heartbeat();  // re-arms the lease, pushing the next write out
+}
+
+void Agent::on_capacity_event(std::function<void()> cb) {
+  capacity_listeners_.push_back(std::move(cb));
+}
+
+void Agent::notify_capacity_event() {
+  for (const auto& fn : capacity_listeners_) fn();
 }
 
 void Agent::poll_store() {
@@ -358,6 +410,10 @@ void Agent::poll_store() {
     queue_.push_back(std::move(unit));
   }
   schedule_queued();
+  if (!ids.empty()) {
+    renew_heartbeat_lease();
+    notify_capacity_event();  // backlog grew
+  }
 }
 
 void Agent::set_unit_state(UnitRec& unit, UnitState state) {
@@ -588,6 +644,8 @@ void Agent::finish_unit(std::shared_ptr<UnitRec> unit,
   }
   // Capacity freed: try to dispatch more queued units.
   if (active_) schedule_queued();
+  renew_heartbeat_lease();
+  notify_capacity_event();
 }
 
 common::Seconds Agent::wrapper_time_for(const std::string& node) {
@@ -827,6 +885,7 @@ void Agent::add_nodes(std::vector<std::shared_ptr<cluster::Node>> nodes) {
          {"nodes", std::to_string(nodes.size())},
          {"total", std::to_string(allocation_.size())}});
     schedule_queued();
+    notify_capacity_event();  // capacity grew
   });
 }
 
@@ -869,8 +928,23 @@ void Agent::decommission_nodes(std::vector<std::string> names,
   if (spark_ != nullptr) {
     for (const auto& name : names) spark_->decommission_worker(name);
   }
-  drain_poll_event_ = saga_.engine().schedule_periodic(
-      config_.poll_interval, [this] { drain_poll(); });
+  if (config_.control_plane == common::ControlPlane::kWatch) {
+    // Drain progress has no single push source (NM container exits, HDFS
+    // re-replication), so watch mode re-checks on a self re-arming timer
+    // at the poll cadence — bounded to the drain window, not the whole
+    // pilot lifetime.
+    drain_recheck_.bind(saga_.engine(), [this] {
+      if (stopped_ || drain_names_.empty()) return;
+      drain_poll();
+      if (!stopped_ && !drain_names_.empty()) {
+        drain_recheck_.arm(config_.poll_interval);
+      }
+    });
+    drain_recheck_.arm(config_.poll_interval);
+  } else {
+    drain_poll_event_ = saga_.engine().schedule_periodic(
+        config_.poll_interval, [this] { drain_poll(); });
+  }
 }
 
 void Agent::drain_poll() {
@@ -958,11 +1032,13 @@ void Agent::drain_escalate() {
     }
   }
   schedule_queued();
+  notify_capacity_event();  // preempted units re-entered the backlog
 }
 
 void Agent::drain_finish() {
   saga_.engine().cancel(drain_poll_event_);
   drain_poll_event_ = sim::EventHandle{};
+  drain_recheck_.cancel();
   if (owned_yarn_ != nullptr) owned_yarn_->remove_nodes(drain_names_);
   for (const auto& name : drain_names_) {
     if (spark_ != nullptr) spark_->remove_worker(name);
@@ -982,6 +1058,7 @@ void Agent::drain_finish() {
   auto cb = std::move(drain_callback_);
   drain_callback_ = nullptr;
   if (cb) cb(clean);
+  notify_capacity_event();  // capacity shrank
 }
 
 void Agent::requeue_unit(const std::shared_ptr<UnitRec>& unit) {

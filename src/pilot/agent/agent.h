@@ -123,6 +123,13 @@ class Agent {
   /// backlog an elastic policy sizes against.
   std::vector<ComputeUnitDescription> queued_descriptions() const;
 
+  /// Watch-plane capacity/backlog signal: \p cb fires whenever the
+  /// agent's capacity or backlog changed (unit finished, new units
+  /// arrived, nodes joined or left). Subscribers (ElasticController)
+  /// must guard their own lifetime (weak alive token) — the agent calls
+  /// straight through. Cleared on stop().
+  void on_capacity_event(std::function<void()> cb);
+
  private:
   struct UnitRec {
     std::string id;
@@ -151,6 +158,10 @@ class Agent {
   // --- store interaction (U.3 / state write-back) ---
   void poll_store();
   void write_heartbeat();
+  /// Watch mode: activity renews the heartbeat lease early (rate-limited
+  /// to half the heartbeat interval) instead of waiting for the timer.
+  void renew_heartbeat_lease();
+  void notify_capacity_event();
   void set_unit_state(UnitRec& unit, UnitState state);
 
   // --- Scheduler (U.4/U.5) ---
@@ -225,6 +236,16 @@ class Agent {
   std::deque<std::function<void()>> staging_backlog_;
   sim::EventHandle poll_event_;
   sim::EventHandle heartbeat_event_;
+  // Watch-plane state (control_plane == kWatch): the store pushes queue
+  // activity; the fallback timer covers lost wakeups; the heartbeat is a
+  // lease renewed by activity; drains re-check on a bounded self
+  // re-arming timer instead of a periodic.
+  WatchHandle unit_watch_;
+  sim::DeadlineTimer fallback_timer_;
+  sim::DeadlineTimer heartbeat_lease_;
+  sim::DeadlineTimer drain_recheck_;
+  common::Seconds last_heartbeat_at_ = -1.0e18;
+  std::vector<std::function<void()>> capacity_listeners_;
   bool active_ = false;
   bool stopped_ = false;
   bool saw_first_unit_ = false;

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "common/control_plane.h"
 #include "common/units.h"
 #include "spark/standalone.h"
 #include "yarn/yarn_cluster.h"
@@ -10,8 +11,20 @@
 namespace hoh::pilot {
 
 struct AgentConfig {
+  /// Control-plane mode (DESIGN.md §10). kPoll: U.3 store poll, heartbeat
+  /// and drain checks run on fixed cadences. kWatch: the agent watches
+  /// its store queue, heartbeats become a lease renewed by activity, and
+  /// only a quiescent-fallback sweep remains periodic-ish (a self
+  /// re-arming DeadlineTimer).
+  common::ControlPlane control_plane = common::ControlPlane::kPoll;
+
   /// U.3: cadence at which the agent polls the state store for new units.
   common::Seconds poll_interval = 1.0;
+
+  /// Watch mode: safety-net sweep interval. If no watch event arrives
+  /// (e.g. a notification was consumed while the agent was inactive),
+  /// the agent still re-checks its queue this often.
+  common::Seconds watch_fallback_interval = 60.0;
 
   /// Stage-In/Out workers: how many file transfers the agent's staging
   /// components run concurrently (additional transfers queue).

@@ -58,6 +58,38 @@ PilotManager::~PilotManager() {
   for (const auto& pilot : pilots_) {
     if (pilot->agent_ != nullptr) pilot->agent_->stop();
   }
+  for (auto& [id, lease] : heartbeat_leases_) {
+    if (lease.watch.valid()) session_.store().unwatch(lease.watch);
+  }
+}
+
+void PilotManager::observe_heartbeat_lease(const std::string& pilot_id,
+                                           common::Seconds heartbeat_interval) {
+  auto& lease = heartbeat_leases_[pilot_id];
+  lease.interval = heartbeat_interval;
+  lease.timer = std::make_unique<sim::DeadlineTimer>(
+      session_.engine(), [this, pilot_id] {
+        ++heartbeat_lease_expirations_;
+        session_.trace().record(session_.engine().now(), "pilot",
+                                "heartbeat_lease_expired",
+                                {{"pilot", pilot_id}});
+      });
+  lease.watch = session_.store().watch(
+      "heartbeat", pilot_id, [this, pilot_id](const WatchEvent&) {
+        auto it = heartbeat_leases_.find(pilot_id);
+        if (it == heartbeat_leases_.end()) return;
+        const auto doc = session_.store().get("heartbeat", pilot_id);
+        if (!doc.has_value()) return;
+        if (!doc->at("alive").as_bool()) {
+          // Tombstone: a deliberate stop retires the lease, it does not
+          // expire it.
+          it->second.timer->cancel();
+          session_.store().unwatch(it->second.watch);
+          it->second.watch = WatchHandle{};
+          return;
+        }
+        it->second.timer->arm(kHeartbeatLeaseGrace * it->second.interval);
+      });
 }
 
 void PilotManager::enable_recovery(common::RetryPolicy policy,
@@ -132,6 +164,10 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
     agent_config.poll_interval = description.agent_poll_interval;
   }
   pilot->agent_config_ = agent_config;
+
+  if (agent_config.control_plane == common::ControlPlane::kWatch) {
+    observe_heartbeat_lease(pilot_id, agent_config.heartbeat_interval);
+  }
 
   saga::JobService& service = job_service(url);
   saga::JobDescription jd;

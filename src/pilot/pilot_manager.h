@@ -146,6 +146,14 @@ class PilotManager {
   /// Replacement pilots submitted by the recovery machinery.
   std::size_t pilots_resubmitted() const { return pilots_resubmitted_; }
 
+  /// Watch-plane liveness observation: times a pilot's heartbeat lease
+  /// expired (no heartbeat for kHeartbeatLeaseGrace intervals without a
+  /// tombstone). Observational — actual death handling stays with the
+  /// placeholder-job callbacks.
+  std::size_t heartbeat_lease_expirations() const {
+    return heartbeat_lease_expirations_;
+  }
+
   Session& session() { return session_; }
 
   std::vector<std::shared_ptr<Pilot>> pilots() const { return pilots_; }
@@ -160,6 +168,22 @@ class PilotManager {
   /// submission (or abandons the chain) per the recovery policy.
   void maybe_resubmit(const std::shared_ptr<Pilot>& failed);
 
+  /// Watch plane: subscribe to the pilot's heartbeat documents and keep a
+  /// lease timer pushed out by each one. A tombstone (alive=false)
+  /// retires the lease; silence past the grace window records a
+  /// heartbeat_lease_expired trace event.
+  void observe_heartbeat_lease(const std::string& pilot_id,
+                               common::Seconds heartbeat_interval);
+
+  /// Grace window for the heartbeat lease, in heartbeat intervals.
+  static constexpr double kHeartbeatLeaseGrace = 3.0;
+
+  struct HeartbeatLease {
+    WatchHandle watch;
+    std::unique_ptr<sim::DeadlineTimer> timer;
+    common::Seconds interval = 10.0;
+  };
+
   Session& session_;
   std::map<std::string, std::unique_ptr<saga::JobService>> services_;
   std::vector<std::shared_ptr<Pilot>> pilots_;
@@ -171,6 +195,8 @@ class PilotManager {
   RespawnHandler on_respawn_;
   std::map<std::string, int> chain_attempts_;  // pilot -> submissions so far
   std::size_t pilots_resubmitted_ = 0;
+  std::map<std::string, HeartbeatLease> heartbeat_leases_;  // pilot ->
+  std::size_t heartbeat_lease_expirations_ = 0;
   /// Liveness guard for engine-scheduled resubmission lambdas: they may
   /// fire after this manager is destroyed (the engine outlives us).
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

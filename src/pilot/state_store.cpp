@@ -1,5 +1,7 @@
 #include "pilot/state_store.h"
 
+#include <utility>
+
 #include "common/error.h"
 #include "pilot/transitions.h"
 
@@ -7,9 +9,12 @@ namespace hoh::pilot {
 
 void StateStore::put(const std::string& collection, const std::string& id,
                      common::Json document) {
-  common::MutexLock lock(mu_);
-  ++ops_;
-  collections_[collection][id] = std::move(document);
+  {
+    common::MutexLock lock(mu_);
+    ++ops_;
+    collections_[collection][id] = std::move(document);
+  }
+  notify(WatchEventType::kPut, collection, id);
 }
 
 std::optional<common::Json> StateStore::get(const std::string& collection,
@@ -25,26 +30,31 @@ std::optional<common::Json> StateStore::get(const std::string& collection,
 
 void StateStore::update(const std::string& collection, const std::string& id,
                         const common::JsonObject& fields) {
-  common::MutexLock lock(mu_);
-  ++ops_;
-  auto cit = collections_.find(collection);
-  if (cit == collections_.end() || cit->second.count(id) == 0) {
-    throw common::NotFoundError("StateStore: no document " + collection +
-                                "/" + id);
-  }
-  common::Json& doc = cit->second.at(id);
-  // Lifecycle gate: the store is the single path every unit state write
-  // takes (agent write-back, Unit-Manager cancellation), so an illegal
-  // edge is stopped here no matter which component attempts it.
-  if (collection == "unit") {
-    auto state_field = fields.find("state");
-    if (state_field != fields.end() && doc.contains("state")) {
-      validate_transition(unit_state_from_string(doc.at("state").as_string()),
-                          unit_state_from_string(state_field->second.as_string()),
-                          id);
+  {
+    common::MutexLock lock(mu_);
+    ++ops_;
+    auto cit = collections_.find(collection);
+    if (cit == collections_.end() || cit->second.count(id) == 0) {
+      throw common::NotFoundError("StateStore: no document " + collection +
+                                  "/" + id);
     }
+    common::Json& doc = cit->second.at(id);
+    // Lifecycle gate: the store is the single path every unit state write
+    // takes (agent write-back, Unit-Manager cancellation), so an illegal
+    // edge is stopped here no matter which component attempts it. Watchers
+    // are notified only after the gate passed — they never observe an
+    // illegal write.
+    if (collection == "unit") {
+      auto state_field = fields.find("state");
+      if (state_field != fields.end() && doc.contains("state")) {
+        validate_transition(
+            unit_state_from_string(doc.at("state").as_string()),
+            unit_state_from_string(state_field->second.as_string()), id);
+      }
+    }
+    for (const auto& [k, v] : fields) doc[k] = v;
   }
-  for (const auto& [k, v] : fields) doc[k] = v;
+  notify(WatchEventType::kUpdate, collection, id);
 }
 
 std::vector<std::pair<std::string, common::Json>> StateStore::find_all(
@@ -59,9 +69,12 @@ std::vector<std::pair<std::string, common::Json>> StateStore::find_all(
 }
 
 void StateStore::queue_push(const std::string& queue, const std::string& id) {
-  common::MutexLock lock(mu_);
-  ++ops_;
-  queues_[queue].push_back(id);
+  {
+    common::MutexLock lock(mu_);
+    ++ops_;
+    queues_[queue].push_back(id);
+  }
+  notify(WatchEventType::kQueuePush, queue, id);
 }
 
 std::vector<std::string> StateStore::queue_pop_all(const std::string& queue) {
@@ -84,6 +97,57 @@ std::size_t StateStore::queue_depth(const std::string& queue) const {
 std::uint64_t StateStore::op_count() const {
   common::MutexLock lock(mu_);
   return ops_;
+}
+
+WatchHandle StateStore::watch(const std::string& bucket,
+                              const std::string& key_prefix,
+                              WatchCallback callback) {
+  common::MutexLock lock(mu_);
+  const std::uint64_t id = next_watch_id_++;
+  watchers_.emplace(id, Watcher{bucket, key_prefix, std::move(callback)});
+  return WatchHandle(id);
+}
+
+bool StateStore::unwatch(WatchHandle handle) {
+  if (!handle.valid()) return false;
+  common::MutexLock lock(mu_);
+  return watchers_.erase(handle.id_) > 0;
+}
+
+std::size_t StateStore::watcher_count() const {
+  common::MutexLock lock(mu_);
+  return watchers_.size();
+}
+
+void StateStore::notify(WatchEventType type, const std::string& bucket,
+                        const std::string& key) {
+  // Snapshot the ids of matching watchers; resolve them again at delivery
+  // time so an unwatch between mutation and delivery (or during delivery
+  // of the same mutation to an earlier watcher) suppresses the callback.
+  std::vector<std::uint64_t> targets;
+  {
+    common::MutexLock lock(mu_);
+    for (const auto& [id, w] : watchers_) {
+      if (w.bucket == bucket && key.rfind(w.prefix, 0) == 0) {
+        targets.push_back(id);
+      }
+    }
+  }
+  if (targets.empty()) return;
+  WatchEvent event{type, bucket, key};
+  engine_.schedule(0.0, [this, targets = std::move(targets),
+                         event = std::move(event)] {
+    for (const std::uint64_t id : targets) {
+      WatchCallback fn;
+      {
+        common::MutexLock lock(mu_);
+        auto it = watchers_.find(id);
+        if (it == watchers_.end()) continue;
+        fn = it->second.fn;
+      }
+      fn(event);
+    }
+  });
 }
 
 }  // namespace hoh::pilot

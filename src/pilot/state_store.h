@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -26,12 +27,49 @@
 /// update() enforces the Fig. 3 lifecycle-transition table (see
 /// pilot/transitions.h): merging an illegal "state" value into a "unit"
 /// document throws StateError instead of corrupting the lifecycle.
+///
+/// Watch/notify (etcd/ZooKeeper-style, DESIGN.md §10): watch() registers
+/// a callback on a bucket (collection or queue name) and key prefix;
+/// every put/update/queue_push under that bucket fires the matching
+/// watchers. Delivery goes through the sim engine as one zero-delay
+/// event per mutation, so (a) callbacks never run under the store mutex,
+/// (b) delivery is deterministic — watchers fire in registration order,
+/// mutations in FIFO order with everything else at that instant — and
+/// (c) the transition gate in update() has already validated the write
+/// by the time any watcher sees it.
 
 namespace hoh::pilot {
+
+/// What kind of store mutation fired a watch.
+enum class WatchEventType { kPut, kUpdate, kQueuePush };
+
+/// Delivered to watch callbacks. `bucket` is the collection name for
+/// kPut/kUpdate and the queue name for kQueuePush; `key` is the document
+/// id resp. the pushed queue element.
+struct WatchEvent {
+  WatchEventType type;
+  std::string bucket;
+  std::string key;
+};
+
+/// Handle for a registered watch; usable to unwatch.
+class WatchHandle {
+ public:
+  WatchHandle() = default;
+
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class StateStore;
+  explicit WatchHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
 
 /// In-memory document store with named FIFO queues.
 class StateStore {
  public:
+  using WatchCallback = std::function<void(const WatchEvent&)>;
+
   explicit StateStore(sim::Engine& engine, common::Seconds op_latency = 0.05)
       : engine_(engine), op_latency_(op_latency) {}
 
@@ -70,14 +108,44 @@ class StateStore {
   /// Total simulated operations performed (for overhead accounting).
   std::uint64_t op_count() const HOH_EXCLUDES(mu_);
 
+  /// Registers a watch on \p bucket (a collection or queue name) for keys
+  /// starting with \p key_prefix (empty = every key). The callback fires
+  /// once per matching mutation, delivered through the sim engine at the
+  /// mutation's timestamp (zero-delay event). Watchers registered earlier
+  /// fire earlier for the same mutation.
+  WatchHandle watch(const std::string& bucket, const std::string& key_prefix,
+                    WatchCallback callback) HOH_EXCLUDES(mu_);
+
+  /// Removes a watch. Pending deliveries for it are dropped (the watcher
+  /// set is re-checked at delivery time). Returns false if the handle was
+  /// invalid or already unwatched.
+  bool unwatch(WatchHandle handle) HOH_EXCLUDES(mu_);
+
+  /// Number of registered watchers (teardown hygiene checks).
+  std::size_t watcher_count() const HOH_EXCLUDES(mu_);
+
  private:
+  struct Watcher {
+    std::string bucket;
+    std::string prefix;
+    WatchCallback fn;
+  };
+
+  /// Schedules delivery of one mutation to the watchers matching it.
+  /// Called after the mutating critical section released mu_.
+  void notify(WatchEventType type, const std::string& bucket,
+              const std::string& key) HOH_EXCLUDES(mu_);
+
   sim::Engine& engine_;
   common::Seconds op_latency_;
   mutable common::Mutex mu_;
   mutable std::uint64_t ops_ HOH_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_watch_id_ HOH_GUARDED_BY(mu_) = 1;
   std::map<std::string, std::map<std::string, common::Json>> collections_
       HOH_GUARDED_BY(mu_);
   std::map<std::string, std::deque<std::string>> queues_ HOH_GUARDED_BY(mu_);
+  /// Keyed by watch id; std::map iteration = registration-order delivery.
+  std::map<std::uint64_t, Watcher> watchers_ HOH_GUARDED_BY(mu_);
 };
 
 }  // namespace hoh::pilot

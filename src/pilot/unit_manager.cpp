@@ -14,6 +14,17 @@ UnitState ComputeUnit::state() const {
   return unit_state_from_string(doc->at("state").as_string());
 }
 
+UnitManager::~UnitManager() {
+  if (dependency_check_.valid()) {
+    session_.engine().cancel(dependency_check_);
+    dependency_check_ = sim::EventHandle{};
+  }
+  if (dep_watch_.valid()) {
+    session_.store().unwatch(dep_watch_);
+    dep_watch_ = WatchHandle{};
+  }
+}
+
 void UnitManager::add_pilot(std::shared_ptr<Pilot> pilot) {
   if (pilot == nullptr) {
     throw common::ConfigError("UnitManager::add_pilot: null pilot");
@@ -266,7 +277,18 @@ std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit(
       doc["pilot"] = pilot_id;
       session_.store().put("unit", unit_id, std::move(doc));
       held_.push_back(HeldUnit{unit_id, pilot_id, desc});
-      if (!dependency_check_.valid()) {
+      if (control_plane_ == common::ControlPlane::kWatch) {
+        // Watch plane: any unit-document state write (agent write-back,
+        // cancellation) may resolve a dependency, so re-check on those
+        // instead of sweeping every second.
+        if (!dep_watch_.valid()) {
+          dep_watch_ = session_.store().watch(
+              "unit", "", [this](const WatchEvent& event) {
+                if (event.type != WatchEventType::kUpdate) return;
+                if (!held_.empty()) check_dependencies();
+              });
+        }
+      } else if (!dependency_check_.valid()) {
         dependency_check_ = session_.engine().schedule_periodic(
             1.0, [this] { check_dependencies(); });
       }
@@ -327,9 +349,15 @@ void UnitManager::check_dependencies() {
     dispatch_to_agent(held.unit_id, held.pilot_id, held.desc);
   }
   held_ = std::move(still_held);
-  if (held_.empty() && dependency_check_.valid()) {
-    session_.engine().cancel(dependency_check_);
-    dependency_check_ = sim::EventHandle{};
+  if (held_.empty()) {
+    if (dependency_check_.valid()) {
+      session_.engine().cancel(dependency_check_);
+      dependency_check_ = sim::EventHandle{};
+    }
+    if (dep_watch_.valid()) {
+      session_.store().unwatch(dep_watch_);
+      dep_watch_ = WatchHandle{};
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/control_plane.h"
 #include "common/retry.h"
 #include "pilot/descriptions.h"
 #include "pilot/estimator.h"
@@ -75,6 +76,20 @@ class UnitManager {
 
   UnitManager(const UnitManager&) = delete;
   UnitManager& operator=(const UnitManager&) = delete;
+
+  /// Cancels the dependency sweep / unwatches the dependency watch. The
+  /// engine and store outlive the manager, so leaving either armed would
+  /// dangle `this`.
+  ~UnitManager();
+
+  /// Control-plane mode for dependency resolution (set before the first
+  /// submit). kPoll: held units are re-checked by a 1 s periodic sweep.
+  /// kWatch: a store watch on the "unit" collection re-checks exactly
+  /// when some unit's state changed — dependency release happens at
+  /// event time and costs nothing while nothing changes.
+  void set_control_plane(common::ControlPlane plane) {
+    control_plane_ = plane;
+  }
 
   /// Registers a pilot as a unit target. With recovery enabled, a pilot
   /// added later (e.g. a resubmitted replacement) immediately absorbs
@@ -157,6 +172,8 @@ class UnitManager {
   std::vector<HeldUnit> held_;
   std::map<std::string, std::shared_ptr<ComputeUnit>> by_id_;
   sim::EventHandle dependency_check_;
+  common::ControlPlane control_plane_ = common::ControlPlane::kPoll;
+  WatchHandle dep_watch_;  // watch-mode replacement for dependency_check_
   std::vector<std::shared_ptr<Pilot>> pilots_;
   std::map<std::string, std::size_t> bound_counts_;  // pilot -> units
   std::vector<std::shared_ptr<ComputeUnit>> units_;

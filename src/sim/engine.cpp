@@ -1,8 +1,21 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
 
 namespace hoh::sim {
+
+void Engine::push_entry(Seconds at, std::uint64_t id) {
+  queue_.push_back(Entry{at, next_seq_++, id});
+  std::push_heap(queue_.begin(), queue_.end(), EntryCompare{});
+}
+
+void Engine::pop_entry() {
+  std::pop_heap(queue_.begin(), queue_.end(), EntryCompare{});
+  queue_.pop_back();
+}
 
 EventHandle Engine::schedule(Seconds delay, Callback fn) {
   if (delay < 0.0) {
@@ -17,7 +30,7 @@ EventHandle Engine::schedule_at(Seconds at, Callback fn) {
   }
   const std::uint64_t id = next_id_++;
   callbacks_.emplace(id, std::move(fn));
-  queue_.push(Entry{at, next_seq_++, id});
+  push_entry(at, id);
   return EventHandle(id);
 }
 
@@ -31,13 +44,14 @@ EventHandle Engine::schedule_periodic(Seconds period, Callback fn) {
   callbacks_.emplace(id, [this, id] {
     auto it = periodics_.find(id);
     if (it == periodics_.end()) return;
-    // Re-arm first so the callback can cancel its own series.
-    queue_.push(Entry{now_ + it->second.period, next_seq_++, id});
-    // Note: callbacks_[id] entry is re-inserted by pop_and_run for
-    // periodics; see below.
-    it->second.fn();
+    // Re-arm first so the callback can cancel its own series. Copy the
+    // callback out of the map: cancel() from within the callback erases
+    // the map node, which must not destroy the std::function mid-call.
+    push_entry(now_ + it->second.period, id);
+    Callback user_fn = it->second.fn;
+    user_fn();
   });
-  queue_.push(Entry{now_ + period, next_seq_++, id});
+  push_entry(now_ + period, id);
   return EventHandle(id);
 }
 
@@ -49,13 +63,26 @@ bool Engine::cancel(EventHandle handle) {
     erased = true;
   }
   if (periodics_.erase(handle.id_) > 0) erased = true;
+  // Compact once dead entries dominate, so workloads that arm and
+  // supersede many lease timers keep the heap (and pop cost) bounded by
+  // live work, not by cancellation history.
+  if (cancelled_pending_ * 2 > queue_.size()) compact();
   return erased;
+}
+
+void Engine::compact() {
+  std::erase_if(queue_, [this](const Entry& e) {
+    return callbacks_.find(e.id) == callbacks_.end();
+  });
+  std::make_heap(queue_.begin(), queue_.end(), EntryCompare{});
+  cancelled_pending_ = 0;
+  ++compactions_;
 }
 
 bool Engine::pop_and_run() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
+    Entry e = queue_.front();
+    pop_entry();
     auto it = callbacks_.find(e.id);
     if (it == callbacks_.end()) {
       if (cancelled_pending_ > 0) --cancelled_pending_;
@@ -87,20 +114,61 @@ std::size_t Engine::run_until(Seconds until) {
   std::size_t n = 0;
   for (;;) {
     // Peek for the next live event.
-    while (!queue_.empty() && callbacks_.count(queue_.top().id) == 0) {
-      queue_.pop();
+    while (!queue_.empty() && callbacks_.count(queue_.front().id) == 0) {
+      pop_entry();
       if (cancelled_pending_ > 0) --cancelled_pending_;
     }
-    if (queue_.empty() || queue_.top().at > until) break;
+    if (queue_.empty() || queue_.front().at > until) break;
     if (!pop_and_run()) break;
     ++n;
   }
-  if (now_ < until && (queue_.empty() || queue_.top().at > until)) {
+  if (now_ < until && (queue_.empty() || queue_.front().at > until)) {
     now_ = until;
   }
   return n;
 }
 
 bool Engine::step() { return pop_and_run(); }
+
+DeadlineTimer::DeadlineTimer(Engine& engine, Engine::Callback fn) {
+  bind(engine, std::move(fn));
+}
+
+DeadlineTimer::~DeadlineTimer() { cancel(); }
+
+void DeadlineTimer::bind(Engine& engine, Engine::Callback fn) {
+  cancel();
+  engine_ = &engine;
+  fn_ = std::move(fn);
+}
+
+void DeadlineTimer::arm(Seconds delay) {
+  if (engine_ == nullptr) {
+    throw common::ConfigError("DeadlineTimer::arm: not bound to an engine");
+  }
+  arm_at(engine_->now() + delay);
+}
+
+void DeadlineTimer::arm_at(Seconds at) {
+  if (engine_ == nullptr) {
+    throw common::ConfigError("DeadlineTimer::arm_at: not bound to an engine");
+  }
+  cancel();
+  event_ = engine_->schedule_at(at, [this] {
+    armed_ = false;
+    event_ = EventHandle{};
+    fn_();
+  });
+  deadline_ = at;
+  armed_ = true;
+}
+
+void DeadlineTimer::cancel() {
+  if (armed_ && engine_ != nullptr) {
+    engine_->cancel(event_);
+  }
+  event_ = EventHandle{};
+  armed_ = false;
+}
 
 }  // namespace hoh::sim

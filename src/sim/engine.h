@@ -3,7 +3,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -54,6 +53,10 @@ class Engine {
 
   /// Schedules \p fn every \p period seconds starting after \p period.
   /// The returned handle cancels the whole series.
+  ///
+  /// Periodic polling is the legacy control plane; new code should prefer
+  /// store watches or a DeadlineTimer (see DESIGN.md §10). New call sites
+  /// in src/ must be allowlisted in tools/lint/check_concurrency.py.
   EventHandle schedule_periodic(Seconds period, Callback fn);
 
   /// Cancels a pending event; returns false if it already fired or was
@@ -71,12 +74,15 @@ class Engine {
   /// Executes exactly one event if any is pending; returns whether one ran.
   bool step();
 
-  /// Number of events currently pending (cancelled events are purged
-  /// lazily and may still be counted).
+  /// Number of events currently pending. Exact: lazily-cancelled heap
+  /// entries are tracked by cancelled_pending_ and excluded.
   std::size_t pending() const { return queue_.size() - cancelled_pending_; }
 
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
+
+  /// Times the heap was compacted (cancelled entries purged).
+  std::uint64_t compactions() const { return compactions_; }
 
  private:
   struct Entry {
@@ -97,15 +103,64 @@ class Engine {
   };
 
   bool pop_and_run();
+  void push_entry(Seconds at, std::uint64_t id);
+  void pop_entry();
+  /// Drops every heap entry whose callback is gone. Safe mid-callback:
+  /// the entry being executed was already popped by pop_and_run.
+  void compact();
 
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t cancelled_pending_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, EntryCompare> queue_;
+  std::vector<Entry> queue_;  // heap ordered by EntryCompare
   std::map<std::uint64_t, Callback> callbacks_;
   std::map<std::uint64_t, Periodic> periodics_;
+};
+
+/// One-shot timer whose deadline can be pushed out — the lease/deadline
+/// primitive of the watch-mode control plane (agent heartbeat lease, NM
+/// liveness lease, quiescent-fallback sweeps). Re-arming replaces any
+/// pending firing; the superseded heap entry is lazily cancelled and
+/// reclaimed by Engine::compact(). Safe to re-arm from within its own
+/// callback (self-re-arming timers); must not be destroyed from within
+/// its own callback. The destructor cancels any pending firing.
+class DeadlineTimer {
+ public:
+  DeadlineTimer() = default;
+  DeadlineTimer(Engine& engine, Engine::Callback fn);
+  ~DeadlineTimer();
+
+  DeadlineTimer(const DeadlineTimer&) = delete;
+  DeadlineTimer& operator=(const DeadlineTimer&) = delete;
+
+  /// Late binding for timers that are members of objects constructed
+  /// before the engine (or the callback's captures) are available.
+  /// Cancels any pending firing from a previous binding.
+  void bind(Engine& engine, Engine::Callback fn);
+
+  /// (Re-)arms the timer to fire \p delay seconds from now.
+  void arm(Seconds delay);
+
+  /// (Re-)arms the timer to fire at absolute time \p at (>= now()).
+  void arm_at(Seconds at);
+
+  /// Cancels the pending firing, if any. Idempotent.
+  void cancel();
+
+  bool armed() const { return armed_; }
+
+  /// Absolute fire time of the pending firing (meaningful when armed()).
+  Seconds deadline() const { return deadline_; }
+
+ private:
+  Engine* engine_ = nullptr;
+  Engine::Callback fn_;
+  EventHandle event_;
+  Seconds deadline_ = 0.0;
+  bool armed_ = false;
 };
 
 }  // namespace hoh::sim

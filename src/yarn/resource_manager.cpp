@@ -32,8 +32,16 @@ ResourceManager::ResourceManager(sim::Engine& engine,
     node_managers_.push_back(
         std::make_unique<NodeManager>(engine_, config_, node));
   }
-  scheduler_event_ = engine_.schedule_periodic(
-      config_.scheduler_interval, [this] { scheduler_pass(); });
+  if (config_.control_plane == common::ControlPlane::kWatch) {
+    // Demand-driven plane: passes are requested by the events that create
+    // demand or capacity; NM liveness is a per-NM lease instead of a scan.
+    for (const auto& nm : node_managers_) {
+      arm_liveness_lease(nm->node_name());
+    }
+  } else {
+    scheduler_event_ = engine_.schedule_periodic(
+        config_.scheduler_interval, [this] { scheduler_pass(); });
+  }
 }
 
 ResourceManager::~ResourceManager() { shutdown(); }
@@ -42,12 +50,65 @@ void ResourceManager::shutdown() {
   if (shut_down_) return;
   shut_down_ = true;
   engine_.cancel(scheduler_event_);
+  engine_.cancel(pass_event_);
+  pass_pending_ = false;
+  liveness_leases_.clear();
   // Kill everything still running.
   std::vector<std::string> live;
   for (const auto& [id, app] : apps_) {
     if (!is_final(app.report.state)) live.push_back(id);
   }
   for (const auto& id : live) finish_application(id, AppState::kKilled);
+}
+
+void ResourceManager::request_scheduler_pass() {
+  if (shut_down_ || config_.control_plane != common::ControlPlane::kWatch) {
+    return;
+  }
+  if (pass_pending_) return;  // dedup: one pass covers all queued demand
+  pass_pending_ = true;
+  pass_event_ = engine_.schedule(config_.scheduler_interval, [this] {
+    pass_pending_ = false;
+    pass_event_ = sim::EventHandle{};
+    if (shut_down_) return;
+    scheduler_pass();
+    // Anything still unplaced waits for the next capacity event (a
+    // release, node join/recovery) — those all call back in here.
+  });
+}
+
+NodeManager* ResourceManager::find_nm(const std::string& node) {
+  for (auto& nm : node_managers_) {
+    if (nm->node_name() == node) return nm.get();
+  }
+  return nullptr;
+}
+
+void ResourceManager::arm_liveness_lease(const std::string& node) {
+  if (config_.control_plane != common::ControlPlane::kWatch ||
+      config_.nm_liveness_timeout <= 0.0) {
+    return;
+  }
+  auto& lease = liveness_leases_[node];
+  if (lease == nullptr) {
+    lease = std::make_unique<sim::DeadlineTimer>(
+        engine_, [this, node] { check_liveness_lease(node); });
+  }
+  lease->arm(config_.nm_liveness_timeout);
+}
+
+void ResourceManager::check_liveness_lease(const std::string& node) {
+  if (shut_down_) return;
+  NodeManager* nm = find_nm(node);
+  if (nm == nullptr || !nm->alive()) return;  // re-armed on recovery
+  const common::Seconds expire_at =
+      nm->last_heartbeat() + config_.nm_liveness_timeout;
+  if (engine_.now() < expire_at) {
+    // Heartbeat arrived since the lease was armed; push the deadline out.
+    liveness_leases_.at(node)->arm_at(expire_at);
+    return;
+  }
+  fail_node(node);  // detection at exactly crash + timeout
 }
 
 std::string ResourceManager::submit_application(AppDescriptor descriptor) {
@@ -79,6 +140,7 @@ std::string ResourceManager::submit_application(AppDescriptor descriptor) {
   pending_.at(record.descriptor.queue).push_back(std::move(ask));
 
   apps_.emplace(app_id, std::move(record));
+  request_scheduler_pass();  // demand created
   return app_id;
 }
 
@@ -185,6 +247,7 @@ void ResourceManager::fail_node(const std::string& node) {
       if (app.am->preempted_callback_) app.am->preempted_callback_(c);
     }
   }
+  request_scheduler_pass();  // AM re-asks queued, capacity changed
 }
 
 void ResourceManager::liveness_pass() {
@@ -218,6 +281,8 @@ void ResourceManager::trace_event(const std::string& name,
 void ResourceManager::recover_node(const std::string& node) {
   NodeManager& nm = node_manager(node);
   nm.recover();
+  arm_liveness_lease(node);
+  request_scheduler_pass();  // capacity returned
 }
 
 void ResourceManager::add_node(std::shared_ptr<cluster::Node> node) {
@@ -230,8 +295,11 @@ void ResourceManager::add_node(std::shared_ptr<cluster::Node> node) {
                                node->name());
     }
   }
+  const std::string name = node->name();
   node_managers_.push_back(
       std::make_unique<NodeManager>(engine_, config_, std::move(node)));
+  arm_liveness_lease(name);
+  request_scheduler_pass();  // capacity grew
 }
 
 void ResourceManager::decommission_node(const std::string& node) {
@@ -251,6 +319,7 @@ void ResourceManager::remove_node(const std::string& node) {
     throw common::StateError("RM: NodeManager " + node +
                              " still hosts live containers");
   }
+  liveness_leases_.erase(node);
   node_managers_.erase(it);
 }
 
@@ -366,7 +435,9 @@ double ResourceManager::queue_usage_ratio(const std::string& queue) const {
 
 void ResourceManager::scheduler_pass() {
   if (shut_down_) return;
-  liveness_pass();
+  // Watch plane tracks NM liveness with per-NM leases; only the poll
+  // plane folds the scan into scheduler passes.
+  if (config_.control_plane != common::ControlPlane::kWatch) liveness_pass();
   if (config_.preemption_enabled) preemption_pass();
 
   // Capacity: queues in increasing usage ratio (most-starved first).
@@ -494,6 +565,9 @@ void ResourceManager::finish_application(const std::string& app_id,
     std::erase_if(asks,
                   [&app_id](const PendingAsk& a) { return a.app_id == app_id; });
   }
+  request_scheduler_pass();  // released capacity may satisfy other asks
+  // Push the outcome to the submitter (event notification, not polling).
+  if (app.descriptor.on_finished) app.descriptor.on_finished(app.report);
 }
 
 void ResourceManager::kill_application(const std::string& app_id) {
@@ -518,6 +592,7 @@ void ResourceManager::am_request_containers(
     ask.seq = next_ask_seq_++;
     pending_.at(app.report.queue).push_back(std::move(ask));
   }
+  request_scheduler_pass();  // demand created
 }
 
 void ResourceManager::am_launch_container(const std::string& app_id,
@@ -538,6 +613,7 @@ void ResourceManager::am_release_container(const std::string& app_id,
   if (NodeManager* nm = nm_hosting(container_id)) {
     nm->release(container_id, final_state);
   }
+  request_scheduler_pass();  // capacity freed
 }
 
 void ResourceManager::am_unregister(const std::string& app_id, bool success) {

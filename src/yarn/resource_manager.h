@@ -28,15 +28,6 @@ namespace hoh::yarn {
 
 class ApplicationMaster;
 
-/// What a client submits. \p on_am_start is the Application Master's
-/// main(): it runs once the AM container is up and registered.
-struct AppDescriptor {
-  std::string name = "app";
-  std::string queue = "default";
-  Resource am_resource{1024, 1};
-  std::function<void(ApplicationMaster&)> on_am_start;
-};
-
 /// RM-side application record.
 struct AppReport {
   std::string id;
@@ -47,6 +38,21 @@ struct AppReport {
   common::Seconds start_time = 0.0;   // AM registered
   common::Seconds finish_time = 0.0;
   std::string am_node;
+};
+
+/// What a client submits. \p on_am_start is the Application Master's
+/// main(): it runs once the AM container is up and registered.
+struct AppDescriptor {
+  std::string name = "app";
+  std::string queue = "default";
+  Resource am_resource{1024, 1};
+  std::function<void(ApplicationMaster&)> on_am_start;
+  /// Completion notification: fires exactly once, synchronously, when the
+  /// application reaches a final state (Finished, Failed or Killed) with
+  /// the final report — drivers get pushed the outcome instead of polling
+  /// application(). Fired after the RM's own bookkeeping (containers
+  /// released, pending asks dropped).
+  std::function<void(const AppReport&)> on_finished;
 };
 
 class ResourceManager {
@@ -163,8 +169,20 @@ class ResourceManager {
   void scheduler_pass();
   void preemption_pass();
 
+  /// Watch plane: request a (deduplicated) scheduler pass one
+  /// scheduler_interval from now — the RM's allocation latency. Called on
+  /// every event that changes demand or capacity; a no-op in poll mode.
+  void request_scheduler_pass();
+
   /// Expires NMs whose heartbeats stopped nm_liveness_timeout ago.
   void liveness_pass();
+
+  /// Watch plane: per-NM liveness lease. The timer fires at
+  /// last_heartbeat + nm_liveness_timeout; a fresh heartbeat re-arms it,
+  /// a stale one fails the node — detection at exactly crash + timeout.
+  void arm_liveness_lease(const std::string& node);
+  void check_liveness_lease(const std::string& node);
+  NodeManager* find_nm(const std::string& node);
   void trace_event(const std::string& name,
                    std::map<std::string, std::string> attrs);
 
@@ -200,6 +218,10 @@ class ResourceManager {
   std::map<std::string, AppRecord> apps_;
   std::map<std::string, std::deque<PendingAsk>> pending_;  // per queue
   sim::EventHandle scheduler_event_;
+  // Watch plane: demand-driven pass dedup + per-NM liveness leases.
+  bool pass_pending_ = false;
+  sim::EventHandle pass_event_;
+  std::map<std::string, std::unique_ptr<sim::DeadlineTimer>> liveness_leases_;
   bool shut_down_ = false;
   std::uint64_t next_app_number_ = 1;
   std::uint64_t next_container_number_ = 1;

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "common/control_plane.h"
 #include "common/units.h"
 
 /// \file types.h
@@ -73,6 +74,13 @@ enum class SchedulerPolicy {
 
 /// The subset of yarn-site.xml that drives observable behaviour.
 struct YarnConfig {
+  /// Control-plane mode (DESIGN.md §10). kPoll: the RM runs a periodic
+  /// scheduler loop (scheduler_interval) whose passes also expire NM
+  /// liveness. kWatch: scheduler passes are demand-driven (submission,
+  /// AM asks, releases, capacity changes) and NM liveness is tracked by
+  /// per-NM lease timers.
+  common::ControlPlane control_plane = common::ControlPlane::kPoll;
+
   Resource minimum_allocation{1024, 1};
   Resource maximum_allocation{8192, 8};
 

@@ -160,5 +160,151 @@ TEST(EngineTest, DeterministicReplay) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+TEST(EngineTest, PendingAccurateAcrossCancellation) {
+  Engine e;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 20; ++i) {
+    handles.push_back(e.schedule(static_cast<double>(i + 1), [] {}));
+  }
+  EXPECT_EQ(e.pending(), 20u);
+  for (int i = 0; i < 10; ++i) e.cancel(handles[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(e.pending(), 10u);
+  // Double-cancel must not double-count.
+  for (int i = 0; i < 10; ++i) e.cancel(handles[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(e.pending(), 10u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_EQ(e.executed(), 10u);
+}
+
+TEST(EngineTest, PendingAccurateForCancelledPeriodicSeries) {
+  Engine e;
+  int fires = 0;
+  EventHandle p = e.schedule_periodic(1.0, [&] { ++fires; });
+  EXPECT_EQ(e.pending(), 1u);
+  e.run_until(3.5);
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(e.pending(), 1u);  // the next occurrence
+  e.cancel(p);
+  EXPECT_EQ(e.pending(), 0u);
+  e.run();
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(EngineTest, PeriodicCancelFromWithinOwnCallback) {
+  Engine e;
+  int fires = 0;
+  EventHandle p;
+  p = e.schedule_periodic(1.0, [&] {
+    ++fires;
+    if (fires == 2) e.cancel(p);
+  });
+  e.run_until(10.0);
+  EXPECT_EQ(fires, 2);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(EngineTest, CompactionPurgesLazilyCancelledEntries) {
+  Engine e;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(e.schedule(static_cast<double>(i + 1), [] {}));
+  }
+  EXPECT_EQ(e.compactions(), 0u);
+  // Cancelling more than half the queue must trigger a purge, after
+  // which the cancelled entries are gone from the heap entirely.
+  for (int i = 0; i < 60; ++i) e.cancel(handles[static_cast<std::size_t>(i)]);
+  EXPECT_GE(e.compactions(), 1u);
+  EXPECT_EQ(e.pending(), 40u);
+  e.run();
+  EXPECT_EQ(e.executed(), 40u);
+}
+
+TEST(EngineTest, CompactionPreservesOrderAndFifo) {
+  Engine e;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 50; ++i) {
+    doomed.push_back(e.schedule(1.0, [] {}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(2.0, [&order, i] { order.push_back(i); });
+  }
+  for (auto& h : doomed) e.cancel(h);  // forces a compaction
+  EXPECT_GE(e.compactions(), 1u);
+  e.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(DeadlineTimerTest, FiresAtDeadline) {
+  Engine e;
+  double fired_at = -1.0;
+  DeadlineTimer t(e, [&] { fired_at = e.now(); });
+  EXPECT_FALSE(t.armed());
+  t.arm(5.0);
+  EXPECT_TRUE(t.armed());
+  EXPECT_DOUBLE_EQ(t.deadline(), 5.0);
+  e.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(DeadlineTimerTest, RearmPushesDeadlineOut) {
+  Engine e;
+  int fires = 0;
+  double fired_at = -1.0;
+  DeadlineTimer t(e, [&] { ++fires; fired_at = e.now(); });
+  t.arm(5.0);
+  e.schedule(3.0, [&] { t.arm(5.0); });  // activity at t=3 renews the lease
+  e.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_DOUBLE_EQ(fired_at, 8.0);  // 3.0 + 5.0, not 5.0
+}
+
+TEST(DeadlineTimerTest, CancelPreventsFire) {
+  Engine e;
+  int fires = 0;
+  DeadlineTimer t(e, [&] { ++fires; });
+  t.arm(5.0);
+  t.cancel();
+  t.cancel();  // idempotent
+  EXPECT_FALSE(t.armed());
+  e.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(DeadlineTimerTest, RearmFromOwnCallback) {
+  Engine e;
+  std::vector<double> fires;
+  DeadlineTimer t;
+  t.bind(e, [&] {
+    fires.push_back(e.now());
+    if (fires.size() < 3) t.arm(2.0);
+  });
+  t.arm(2.0);
+  e.run();
+  EXPECT_EQ(fires, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(DeadlineTimerTest, DestructorCancels) {
+  Engine e;
+  int fires = 0;
+  {
+    DeadlineTimer t(e, [&] { ++fires; });
+    t.arm(1.0);
+  }
+  e.run();
+  EXPECT_EQ(fires, 0);
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(DeadlineTimerTest, ArmUnboundThrows) {
+  DeadlineTimer t;
+  EXPECT_THROW(t.arm(1.0), common::ConfigError);
+}
+
 }  // namespace
 }  // namespace hoh::sim

@@ -20,6 +20,16 @@ hook and dependency-free, unlike the clang-tidy pass it complements:
      points (submit(, enqueue(, parallel_for(): a worker may still hold
      the callback after the object dies.  Capture the needed members by
      value, or use a weak alive-token (see ElasticController::actuate).
+  5. No new schedule_periodic call sites (DESIGN.md §10). The control
+     plane is event-driven: components react to StateStore watches,
+     DeadlineTimer leases and completion notifications, not periodic
+     sweeps. The remaining periodic loops are enumerated per file in
+     PERIODIC_BUDGET below (legacy poll plane plus the deliberately
+     periodic elastic sampler); adding one elsewhere — or exceeding a
+     file's budget — is a violation. Prefer a store watch or a
+     sim::DeadlineTimer; if a new periodic loop is genuinely required,
+     extend the budget in the same change that adds it and justify it in
+     DESIGN.md.
 
 Usage: tools/lint/check_concurrency.py [root]   (root defaults to src/)
 Exit status: 0 clean, 1 violations found (one "file:line: message" per
@@ -36,6 +46,20 @@ import sys
 PRIMITIVE_ALLOWLIST = {"src/common/thread_annotations.h"}
 # Files allowed to construct std::thread: the pool.
 THREAD_ALLOWLIST = {"src/common/thread_pool.h", "src/common/thread_pool.cpp"}
+# Per-file budget of schedule_periodic call sites (rule 5). These are the
+# engine's own declaration/definition, the legacy poll control plane
+# (agent store poll + heartbeat + drain sweep, unit-manager dependency
+# sweep, RM scheduler pass, Spark standalone scheduler) and the elastic
+# sampler, which stays periodic by design in both planes.
+PERIODIC_BUDGET = {
+    "src/sim/engine.h": 1,
+    "src/sim/engine.cpp": 1,
+    "src/elastic/elastic_controller.cpp": 1,
+    "src/pilot/unit_manager.cpp": 1,
+    "src/pilot/agent/agent.cpp": 3,
+    "src/yarn/resource_manager.cpp": 1,
+    "src/spark/standalone.cpp": 1,
+}
 
 SOURCE_SUFFIXES = {".h", ".hpp", ".cc", ".cpp", ".cxx"}
 
@@ -53,6 +77,8 @@ THIS_CAPTURE = re.compile(
     r"(?:submit|enqueue|parallel_for)\s*\(\s*\[[^\]]*\bthis\b"
 )
 
+SCHEDULE_PERIODIC = re.compile(r"\bschedule_periodic\s*\(")
+
 COMMENT = re.compile(r"^\s*(?://|\*|///)")
 
 
@@ -63,6 +89,7 @@ def strip_strings(line: str) -> str:
 
 def lint_file(path: pathlib.Path, rel: str) -> list[str]:
     problems: list[str] = []
+    periodic_sites: list[int] = []
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
@@ -93,6 +120,17 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
                 f"callback; capture members by value or use a weak "
                 f"alive-token"
             )
+        if SCHEDULE_PERIODIC.search(line):
+            periodic_sites.append(lineno)
+    budget = PERIODIC_BUDGET.get(rel, 0)
+    for lineno in periodic_sites[budget:]:
+        problems.append(
+            f"{rel}:{lineno}: schedule_periodic call site over budget "
+            f"({len(periodic_sites)} found, {budget} allowed); the control "
+            f"plane is event-driven — use a StateStore watch or "
+            f"sim::DeadlineTimer, or extend PERIODIC_BUDGET with a "
+            f"DESIGN.md justification"
+        )
     return problems
 
 
