@@ -1,9 +1,33 @@
 #include "analytics/experiment_config.h"
 
+#include <initializer_list>
+#include <string>
+
 #include "common/error.h"
+#include "common/logging.h"
 
 namespace hoh::analytics {
 namespace {
+
+/// Unknown keys warn instead of erroring so older binaries keep running
+/// newer plans, but a typo ("tenant" for "tenants") is never silent.
+void warn_unknown_keys(const common::Json& obj,
+                       std::initializer_list<const char*> known,
+                       const std::string& where) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool found = false;
+    for (const char* k : known) {
+      if (key == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      common::Logger("hohsim").warn("ignoring unknown key \"" + key +
+                                    "\" in " + where);
+    }
+  }
+}
 
 cluster::MachineProfile machine_by_name(const std::string& name) {
   if (name == "stampede") return cluster::stampede_profile();
@@ -188,9 +212,86 @@ KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
     }
     cfg.retry_policy.validate();
   }
+  if (doc.contains("tenants")) {
+    const common::Json& t = doc.at("tenants");
+    if (!t.is_object()) {
+      throw common::ConfigError("\"tenants\" must be an object");
+    }
+    warn_unknown_keys(t,
+                      {"policy", "decay_half_life", "dispatch_window",
+                       "preemption", "preempt_ratio", "journal", "list"},
+                      "tenants");
+    cfg.tenants = true;
+    if (t.contains("policy")) {
+      cfg.gateway_config.policy =
+          tenant::scheduling_policy_from_string(t.at("policy").as_string());
+    }
+    if (t.contains("decay_half_life")) {
+      cfg.gateway_config.decay_half_life =
+          t.at("decay_half_life").as_number();
+    }
+    if (t.contains("dispatch_window")) {
+      cfg.gateway_config.dispatch_window =
+          static_cast<int>(t.at("dispatch_window").as_int());
+    }
+    if (t.contains("preemption")) {
+      cfg.gateway_config.preemption = t.at("preemption").as_bool();
+    }
+    if (t.contains("preempt_ratio")) {
+      cfg.gateway_config.preempt_ratio = t.at("preempt_ratio").as_number();
+    }
+    if (t.contains("journal")) {
+      cfg.accounting_journal = t.at("journal").as_string();
+    }
+    if (!t.contains("list") || !t.at("list").is_array()) {
+      throw common::ConfigError("\"tenants\" needs a \"list\" array");
+    }
+    for (const auto& entry : t.at("list").as_array()) {
+      if (!entry.is_object()) {
+        throw common::ConfigError("tenants.list entries must be objects");
+      }
+      warn_unknown_keys(entry,
+                        {"id", "share", "max_in_flight", "max_cores",
+                         "submit_rate", "submit_burst"},
+                        "tenants.list entry");
+      tenant::TenantSpec spec;
+      spec.id = entry.at("id").as_string();
+      if (entry.contains("share")) {
+        spec.share_weight = entry.at("share").as_number();
+      }
+      if (entry.contains("max_in_flight")) {
+        spec.quota.max_in_flight_units =
+            static_cast<int>(entry.at("max_in_flight").as_int());
+      }
+      if (entry.contains("max_cores")) {
+        spec.quota.max_cores =
+            static_cast<int>(entry.at("max_cores").as_int());
+      }
+      if (entry.contains("submit_rate")) {
+        spec.quota.submit_rate = entry.at("submit_rate").as_number();
+      }
+      if (entry.contains("submit_burst")) {
+        spec.quota.submit_burst = entry.at("submit_burst").as_number();
+      }
+      if (spec.share_weight <= 0.0) {
+        throw common::ConfigError("tenant \"" + spec.id +
+                                  "\": share must be > 0");
+      }
+      cfg.tenant_specs.push_back(std::move(spec));
+    }
+    if (cfg.tenant_specs.empty()) {
+      throw common::ConfigError("tenants.list is empty");
+    }
+  }
   if (doc.contains("allow_failure")) {
     cfg.allow_failure = doc.at("allow_failure").as_bool();
   }
+  warn_unknown_keys(doc,
+                    {"machine", "scenario", "nodes", "tasks", "stack",
+                     "op_cost", "shuffle_amplification", "reuse_yarn_app",
+                     "control_plane", "elastic", "failures", "recovery",
+                     "tenants", "allow_failure"},
+                    "experiment");
   return cfg;
 }
 
@@ -200,6 +301,7 @@ std::vector<KmeansExperimentConfig> experiment_plan_from_json(
     throw common::ConfigError(
         "experiment plan needs an \"experiments\" array");
   }
+  warn_unknown_keys(doc, {"experiments"}, "plan");
   std::vector<KmeansExperimentConfig> plan;
   for (const auto& entry : doc.at("experiments").as_array()) {
     plan.push_back(kmeans_config_from_json(entry));
@@ -249,6 +351,16 @@ common::Json result_to_json(const KmeansExperimentConfig& config,
         {"unitsAbandoned",
          static_cast<std::int64_t>(result.units_abandoned)},
         {"outputChecksum", result.output_checksum}});
+  }
+  if (config.tenants) {
+    j["tenants"] = common::Json(common::JsonObject{
+        {"policy", tenant::to_string(config.gateway_config.policy)},
+        {"tenantCount",
+         static_cast<std::int64_t>(config.tenant_specs.size())},
+        {"preemption", config.gateway_config.preemption},
+        {"unitsPreempted",
+         static_cast<std::int64_t>(result.units_preempted)},
+        {"accounting", result.tenant_accounting}});
   }
   return j;
 }

@@ -77,6 +77,19 @@ KmeansExperimentResult run_kmeans_experiment(
   pilot::UnitManager um(session);
   um.set_control_plane(config.control_plane);
 
+  // Multi-tenant front door (plan "tenants" section). Constructed only
+  // when configured, so tenant-less plans run the exact pre-gateway
+  // code path (digest parity by construction).
+  std::unique_ptr<tenant::SubmissionGateway> gateway;
+  if (config.tenants) {
+    if (config.tenant_specs.empty()) {
+      throw common::ConfigError("tenants enabled but tenant list is empty");
+    }
+    gateway = std::make_unique<tenant::SubmissionGateway>(
+        um, config.gateway_config);
+    for (const auto& spec : config.tenant_specs) gateway->add_tenant(spec);
+  }
+
   // Fault injection against the batch pool: a crash kills whatever
   // placeholder job holds the node, exactly like a real HPC node loss.
   std::unique_ptr<sim::FailureInjector> injector;
@@ -163,6 +176,23 @@ KmeansExperimentResult run_kmeans_experiment(
       cud.duration = duration;
       cuds.push_back(std::move(cud));
     }
+    if (gateway != nullptr) {
+      // Tenant path: units enter through admission control, assigned to
+      // the listed tenants round-robin. The barrier additionally waits
+      // for the gateway to drain (queued units are invisible to
+      // um.all_done() until dispatched).
+      for (std::size_t i = 0; i < cuds.size(); ++i) {
+        const auto& spec = config.tenant_specs[i % config.tenant_specs.size()];
+        gateway->submit(spec.id, cuds[i]);
+      }
+      while (!(um.all_done() && gateway->quiescent()) &&
+             session.engine().now() < kMaxSimTime) {
+        session.engine().run_until(session.engine().now() + 5.0);
+        result.peak_nodes =
+            std::max(result.peak_nodes, pilot_handle->live_nodes());
+      }
+      return;  // completed names are collected from the gateway at the end
+    }
     auto units = um.submit(cuds);
     // Barrier: the paper's benchmark synchronizes between phases. With
     // recovery, all_done() holds the barrier while requeues are in
@@ -200,6 +230,15 @@ KmeansExperimentResult run_kmeans_experiment(
   result.pilots_resubmitted = pm.pilots_resubmitted();
   result.units_requeued = um.units_requeued();
   result.units_abandoned = um.units_abandoned();
+  if (gateway != nullptr) {
+    completed_names = gateway->completed_unit_names();
+    result.units_preempted = gateway->units_preempted();
+    result.tenant_accounting =
+        gateway->accounting().to_json(/*include_journal=*/false);
+    if (!config.accounting_journal.empty()) {
+      gateway->accounting().write_json(config.accounting_journal);
+    }
+  }
   result.output_checksum = digest_names(std::move(completed_names));
   result.engine_events = session.engine().executed();
 

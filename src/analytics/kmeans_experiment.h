@@ -11,6 +11,7 @@
 #include "hpc/frontends.h"
 #include "pilot/descriptions.h"
 #include "sim/failure_injector.h"
+#include "tenant/submission_gateway.h"
 
 /// \file kmeans_experiment.h
 /// Turn-key driver for one cell of the paper's Fig. 6: runs the K-Means
@@ -78,6 +79,20 @@ struct KmeansExperimentConfig {
   bool recovery = false;
   common::RetryPolicy retry_policy;
 
+  /// Multi-tenancy (plan "tenants" section): when enabled, unit waves
+  /// are submitted through a SubmissionGateway (units assigned to the
+  /// listed tenants round-robin), so admission control, fair-share
+  /// ordering and per-tenant accounting apply. When disabled — the
+  /// default — no gateway object exists and submission is byte-identical
+  /// to the pre-tenant path (single anonymous submitter).
+  bool tenants = false;
+  tenant::GatewayConfig gateway_config;
+  std::vector<tenant::TenantSpec> tenant_specs;
+
+  /// Plan "tenants.journal": when non-empty, the gateway's accounting
+  /// journal is written to this path at the end of the run.
+  std::string accounting_journal;
+
   /// Plan "allow_failure": a cell expected to fail (e.g. the recovery-off
   /// arm of the fault ablation) does not fail the whole hohsim run.
   bool allow_failure = false;
@@ -116,6 +131,11 @@ struct KmeansExperimentResult {
   /// Engine events executed over the whole run — the control-plane
   /// ablation metric (bench/ablation_control_plane).
   std::uint64_t engine_events = 0;
+
+  /// Multi-tenant accounting (null Json when the cell had no tenants
+  /// section): the gateway's per-tenant aggregates, without the journal.
+  common::Json tenant_accounting;
+  std::size_t units_preempted = 0;
 };
 
 KmeansExperimentResult run_kmeans_experiment(

@@ -1061,6 +1061,64 @@ void Agent::drain_finish() {
   notify_capacity_event();  // capacity shrank
 }
 
+bool Agent::preempt_unit(const std::string& unit_id) {
+  // Still queued: no resources held, just take it off the queue.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if ((*it)->id != unit_id) continue;
+    auto unit = *it;
+    queue_.erase(it);
+    saga_.trace().record(saga_.engine().now(), "unit", "preempted",
+                         {{"unit", unit->id}, {"pilot", pilot_id_}});
+    set_unit_state(*unit, UnitState::kFailed);
+    ++units_preempted_;
+    notify_capacity_event();
+    return true;
+  }
+  auto it = running_units_.find(unit_id);
+  if (it == running_units_.end()) return false;
+  auto unit = it->second;
+  // Only a unit whose payload is actually running is preemptible here
+  // (the drain path's criterion): one mid-staging or waiting on the
+  // serialized Task Spawner holds continuations that must run out.
+  if (unit->state != UnitState::kExecuting ||
+      (!unit->exec_event.valid() && unit->am == nullptr)) {
+    return false;
+  }
+  saga_.engine().cancel(unit->exec_event);
+  unit->exec_event = sim::EventHandle{};
+  if (unit->node != nullptr) {
+    unit->node->release(cluster::ResourceRequest{unit->desc.cores,
+                                                 unit->desc.memory_mb});
+    unit->node = nullptr;
+  }
+  for (const auto& [node, piece] : unit->pieces) node->release(piece);
+  unit->pieces.clear();
+  if (unit->am != nullptr) {
+    unit->am->kill_container(unit->container_id);
+    if (unit->dedicated_app) unit->am->unregister(false);
+    unit->am = nullptr;
+    unit->container_id.clear();
+    unit->exec_node.clear();
+    unit->dedicated_app = false;
+  }
+  if (unit->yarn_reserved_mb > 0) {
+    yarn_inflight_mb_ -= unit->yarn_reserved_mb;
+    unit->yarn_reserved_mb = 0;
+  }
+  running_units_.erase(unit->id);
+  running_ = running_ > 0 ? running_ - 1 : 0;
+  saga_.trace().record(saga_.engine().now(), "unit", "preempted",
+                       {{"unit", unit->id}, {"pilot", pilot_id_}});
+  // kFailed is legal from any non-final state and is the parking state
+  // the caller redispatches from (kFailed -> kPendingAgent).
+  set_unit_state(*unit, UnitState::kFailed);
+  ++units_preempted_;
+  // Capacity freed: the agent's own queued units may fit now.
+  if (active_) schedule_queued();
+  notify_capacity_event();
+  return true;
+}
+
 void Agent::requeue_unit(const std::shared_ptr<UnitRec>& unit) {
   saga_.engine().cancel(unit->exec_event);
   unit->exec_event = sim::EventHandle{};

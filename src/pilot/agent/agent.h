@@ -123,6 +123,18 @@ class Agent {
   /// backlog an elastic policy sizes against.
   std::vector<ComputeUnitDescription> queued_descriptions() const;
 
+  /// Priority preemption (tenant gateway): withdraws one unit from this
+  /// agent and parks it at kFailed — the one final state with a legal
+  /// out-edge (kFailed -> kPendingAgent), so the caller can redispatch
+  /// it later. A queued unit is simply removed; an executing one has
+  /// its payload event canceled and its node/container ledgers
+  /// released. Units mid-staging or waiting on the Task Spawner are
+  /// refused (their continuations must run out) — callers try another
+  /// victim. Returns whether the unit was preempted.
+  bool preempt_unit(const std::string& unit_id);
+
+  std::size_t units_preempted() const { return units_preempted_; }
+
   /// Watch-plane capacity/backlog signal: \p cb fires whenever the
   /// agent's capacity or backlog changed (unit finished, new units
   /// arrived, nodes joined or left). Subscribers (ElasticController)
@@ -251,6 +263,7 @@ class Agent {
   bool saw_first_unit_ = false;
   std::size_t units_completed_ = 0;
   std::size_t units_failed_ = 0;
+  std::size_t units_preempted_ = 0;
   std::size_t running_ = 0;
 };
 

@@ -213,6 +213,57 @@ void UnitManager::try_requeue(const std::string& unit_id) {
   limbo_.erase(unit_id);
 }
 
+std::shared_ptr<ComputeUnit> UnitManager::find_unit(
+    const std::string& unit_id) const {
+  auto it = by_id_.find(unit_id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Pilot> UnitManager::pilot_by_id(
+    const std::string& pilot_id) const {
+  for (const auto& pilot : pilots_) {
+    if (pilot->id() == pilot_id) return pilot;
+  }
+  return nullptr;
+}
+
+bool UnitManager::redispatch_failed(const std::string& unit_id) {
+  auto it = by_id_.find(unit_id);
+  if (it == by_id_.end()) return false;
+  auto& unit = it->second;
+  if (unit->state() != UnitState::kFailed) return false;
+  Pilot* target = find_live_pilot();
+  if (target == nullptr) return false;
+  const std::string from = unit->pilot_id();
+  const std::string to = target->id();
+
+  // Rebind accounting exactly like the recovery requeue: the unit now
+  // counts against the target pilot's bindings and backlog.
+  if (bound_counts_.count(from) > 0 && bound_counts_[from] > 0) {
+    bound_counts_[from] -= 1;
+  }
+  bound_counts_[to] += 1;
+  auto pred = unit_predictions_.find(unit_id);
+  const double predicted =
+      pred != unit_predictions_.end() ? pred->second : 0.0;
+  if (unit_reconciled_.count(unit_id) == 0) {
+    backlog_seconds_[from] -= predicted;
+  }
+  backlog_seconds_[to] += predicted;
+  unit_reconciled_.erase(unit_id);
+  unit->pilot_id_ = to;
+
+  session_.store().update(
+      "unit", unit_id,
+      {{"state", common::Json(to_string(UnitState::kPendingAgent))},
+       {"pilot", common::Json(to)}});
+  session_.store().queue_push("agent." + to, unit_id);
+  session_.trace().record(session_.engine().now(), "tenant",
+                          "unit_redispatched",
+                          {{"unit", unit_id}, {"from", from}, {"to", to}});
+  return true;
+}
+
 void UnitManager::drain_pending_requeues() {
   if (pending_requeue_.empty()) return;
   std::vector<std::string> waiting;

@@ -139,6 +139,21 @@ class UnitManager {
 
   Session& session() { return session_; }
 
+  /// Handle of a submitted unit; nullptr when unknown.
+  std::shared_ptr<ComputeUnit> find_unit(const std::string& unit_id) const;
+
+  /// Registered pilot by id; nullptr when unknown.
+  std::shared_ptr<Pilot> pilot_by_id(const std::string& pilot_id) const;
+
+  /// Gateway preemption path: re-dispatches a unit parked at kFailed
+  /// (e.g. by Agent::preempt_unit) onto a live pilot, crossing the one
+  /// legal out-edge of a final state — kFailed -> kPendingAgent, the
+  /// same edge the fault-recovery requeue uses — and rebinding the
+  /// pilot accounting. Unlike recovery it consumes no retry budget and
+  /// applies no backoff. Returns false when the unit is unknown, not
+  /// kFailed, or no live pilot exists.
+  bool redispatch_failed(const std::string& unit_id);
+
  private:
   friend class ComputeUnit;
 

@@ -75,13 +75,25 @@ class Rdd {
     return Rdd(env.pool_ptr(), [pinned] { return pinned; });
   }
 
-  /// Lazy element-wise transformation.
+  /// Lazy element-wise transformation. A same-type map whose evaluation
+  /// uniquely owns its input rewrites the elements in place, so chained
+  /// stages reuse one buffer instead of allocating per stage.
   template <typename F>
   auto map(F f) const -> Rdd<std::invoke_result_t<F, const T&>> {
     using U = std::invoke_result_t<F, const T&>;
     auto self = *this;
     return Rdd<U>(pool_, [self, f] {
       auto input = self.materialize();
+      if constexpr (std::is_same_v<U, T>) {
+        if (Partitions* owned = mutable_if_unique(input)) {
+          self.for_each_partition(input->size(), [&](std::size_t p) {
+            for (auto& x : (*owned)[p]) {
+              x = f(static_cast<const T&>(x));
+            }
+          });
+          return input;
+        }
+      }
       auto out = std::make_shared<typename Rdd<U>::Partitions>(input->size());
       self.for_each_partition(input->size(), [&](std::size_t p) {
         const auto& src = (*input)[p];
@@ -93,25 +105,34 @@ class Rdd {
     });
   }
 
-  /// Lazy filter. Moves surviving elements when this evaluation uniquely
-  /// owns its input partitions.
+  /// Lazy filter. When this evaluation uniquely owns its input the
+  /// partitions are compacted in place (no new buffers); otherwise
+  /// survivors are copied into right-sized fresh partitions.
   template <typename F>
   Rdd filter(F pred) const {
     auto self = *this;
     return Rdd(pool_, [self, pred] {
       auto input = self.materialize();
+      if (Partitions* owned = mutable_if_unique(input)) {
+        self.for_each_partition(input->size(), [&](std::size_t p) {
+          auto& part = (*owned)[p];
+          std::size_t write = 0;
+          for (std::size_t i = 0; i < part.size(); ++i) {
+            if (!pred(static_cast<const T&>(part[i]))) continue;
+            if (write != i) part[write] = std::move(part[i]);
+            ++write;
+          }
+          part.resize(write);
+        });
+        return input;
+      }
       auto out = std::make_shared<Partitions>(input->size());
-      Partitions* owned = mutable_if_unique(input);
       self.for_each_partition(input->size(), [&](std::size_t p) {
         const auto& src = (*input)[p];
         auto& dst = (*out)[p];
-        for (std::size_t i = 0; i < src.size(); ++i) {
-          if (!pred(src[i])) continue;
-          if (owned != nullptr) {
-            dst.push_back(std::move((*owned)[p][i]));
-          } else {
-            dst.push_back(src[i]);
-          }
+        dst.reserve(src.size());
+        for (const auto& x : src) {
+          if (pred(x)) dst.push_back(x);
         }
       });
       return PartitionsPtr(std::move(out));

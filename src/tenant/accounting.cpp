@@ -1,0 +1,194 @@
+#include "tenant/accounting.h"
+
+#include <fstream>
+
+#include "common/error.h"
+
+namespace hoh::tenant {
+
+const char* const kWaitBucketLabels[kWaitBuckets] = {
+    "lt_1s", "lt_10s", "lt_100s", "lt_1000s", "ge_1000s"};
+
+std::size_t wait_bucket(double wait_seconds) {
+  if (wait_seconds < 1.0) return 0;
+  if (wait_seconds < 10.0) return 1;
+  if (wait_seconds < 100.0) return 2;
+  if (wait_seconds < 1000.0) return 3;
+  return 4;
+}
+
+void AccountingStore::journal_event(common::Seconds now, const char* event,
+                                    const std::string& tenant,
+                                    const std::string& unit,
+                                    common::JsonObject extra) {
+  if (!keep_journal_) return;
+  extra["t"] = now;
+  extra["event"] = event;
+  extra["tenant"] = tenant;
+  extra["unit"] = unit;
+  journal_.push_back(common::Json(std::move(extra)));
+}
+
+void AccountingStore::on_submitted(common::Seconds now,
+                                   const std::string& tenant,
+                                   const std::string& unit) {
+  tenants_[tenant].submitted += 1;
+  journal_event(now, "submitted", tenant, unit);
+}
+
+void AccountingStore::on_admitted(common::Seconds now,
+                                  const std::string& tenant,
+                                  const std::string& unit, bool queued) {
+  tenants_[tenant].admitted += 1;
+  journal_event(now, "admitted", tenant, unit, {{"queued", queued}});
+}
+
+void AccountingStore::on_rejected(common::Seconds now,
+                                  const std::string& tenant,
+                                  const std::string& unit,
+                                  const std::string& reason) {
+  tenants_[tenant].rejected += 1;
+  journal_event(now, "rejected", tenant, unit, {{"reason", reason}});
+}
+
+void AccountingStore::on_dispatched(common::Seconds now,
+                                    const std::string& tenant,
+                                    const std::string& unit) {
+  tenants_[tenant].dispatched += 1;
+  journal_event(now, "dispatched", tenant, unit);
+}
+
+void AccountingStore::on_started(common::Seconds now,
+                                 const std::string& tenant,
+                                 const std::string& unit,
+                                 double wait_seconds) {
+  TenantUsage& usage = tenants_[tenant];
+  usage.started += 1;
+  usage.wait.add(wait_seconds);
+  usage.wait_histogram[wait_bucket(wait_seconds)] += 1;
+  wait_samples_.push_back(wait_seconds);
+  journal_event(now, "started", tenant, unit, {{"wait", wait_seconds}});
+}
+
+void AccountingStore::on_completed(common::Seconds now,
+                                   const std::string& tenant,
+                                   const std::string& unit,
+                                   double core_seconds) {
+  TenantUsage& usage = tenants_[tenant];
+  usage.completed += 1;
+  usage.core_seconds += core_seconds;
+  journal_event(now, "completed", tenant, unit,
+                {{"core_seconds", core_seconds}});
+}
+
+void AccountingStore::on_failed(common::Seconds now,
+                                const std::string& tenant,
+                                const std::string& unit) {
+  tenants_[tenant].failed += 1;
+  journal_event(now, "failed", tenant, unit);
+}
+
+void AccountingStore::on_preempted(common::Seconds now,
+                                   const std::string& tenant,
+                                   const std::string& unit) {
+  tenants_[tenant].preempted += 1;
+  journal_event(now, "preempted", tenant, unit);
+}
+
+const TenantUsage& AccountingStore::usage(const std::string& tenant) const {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    throw common::NotFoundError("AccountingStore: unknown tenant " + tenant);
+  }
+  return it->second;
+}
+
+common::Json AccountingStore::to_json(bool include_journal) const {
+  common::Json doc;
+  doc["schema"] = "hoh-tenant-accounting-v1";
+  common::JsonObject tenants;
+  for (const auto& [id, usage] : tenants_) {
+    common::Json t;
+    t["submitted"] = usage.submitted;
+    t["admitted"] = usage.admitted;
+    t["rejected"] = usage.rejected;
+    t["dispatched"] = usage.dispatched;
+    t["started"] = usage.started;
+    t["completed"] = usage.completed;
+    t["failed"] = usage.failed;
+    t["preempted"] = usage.preempted;
+    t["core_seconds"] = usage.core_seconds;
+    common::Json wait;
+    wait["count"] = usage.wait.count();
+    wait["mean"] = usage.wait.mean();
+    wait["min"] = usage.wait.min();
+    wait["max"] = usage.wait.max();
+    t["wait"] = std::move(wait);
+    common::JsonObject histogram;
+    for (std::size_t b = 0; b < kWaitBuckets; ++b) {
+      histogram[kWaitBucketLabels[b]] = usage.wait_histogram[b];
+    }
+    t["wait_histogram"] = common::Json(std::move(histogram));
+    tenants[id] = std::move(t);
+  }
+  doc["tenants"] = common::Json(std::move(tenants));
+  if (include_journal && keep_journal_) doc["journal"] = journal_;
+  return doc;
+}
+
+AccountingStore AccountingStore::from_json(const common::Json& doc) {
+  if (!doc.contains("journal") || !doc.at("journal").is_array()) {
+    throw common::ConfigError(
+        "AccountingStore::from_json needs a \"journal\" array");
+  }
+  AccountingStore store(/*keep_journal=*/true);
+  for (const auto& entry : doc.at("journal").as_array()) {
+    const double t = entry.at("t").as_number();
+    const std::string& event = entry.at("event").as_string();
+    const std::string& tenant = entry.at("tenant").as_string();
+    const std::string& unit = entry.at("unit").as_string();
+    if (event == "submitted") {
+      store.on_submitted(t, tenant, unit);
+    } else if (event == "admitted") {
+      store.on_admitted(t, tenant, unit, entry.at("queued").as_bool());
+    } else if (event == "rejected") {
+      store.on_rejected(t, tenant, unit, entry.at("reason").as_string());
+    } else if (event == "dispatched") {
+      store.on_dispatched(t, tenant, unit);
+    } else if (event == "started") {
+      store.on_started(t, tenant, unit, entry.at("wait").as_number());
+    } else if (event == "completed") {
+      store.on_completed(t, tenant, unit,
+                         entry.at("core_seconds").as_number());
+    } else if (event == "failed") {
+      store.on_failed(t, tenant, unit);
+    } else if (event == "preempted") {
+      store.on_preempted(t, tenant, unit);
+    } else {
+      throw common::ConfigError("AccountingStore: unknown journal event " +
+                                event);
+    }
+  }
+  return store;
+}
+
+void AccountingStore::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw common::StateError("AccountingStore: cannot write " + path);
+  }
+  out << to_json().dump(2) << "\n";
+}
+
+double jains_index(const std::vector<double>& service) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : service) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (service.empty() || sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(service.size()) * sum_sq);
+}
+
+}  // namespace hoh::tenant

@@ -1,0 +1,103 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/statistics.h"
+#include "common/units.h"
+
+/// \file accounting.h
+/// Durable per-tenant usage accounting for the submission gateway:
+/// counters (submitted/admitted/rejected/dispatched/completed/failed/
+/// preempted), consumed core-seconds, and submission-to-start wait-time
+/// statistics with a log10 histogram. Every event is also appended to a
+/// JSON journal; a store serialized with to_json() round-trips through
+/// from_json() by replaying that journal, which is what makes the
+/// accounting durable rather than merely in-memory.
+
+namespace hoh::tenant {
+
+/// Wait-time histogram buckets (seconds): [0,1) [1,10) [10,100)
+/// [100,1000) [1000,inf).
+constexpr std::size_t kWaitBuckets = 5;
+extern const char* const kWaitBucketLabels[kWaitBuckets];
+std::size_t wait_bucket(double wait_seconds);
+
+struct TenantUsage {
+  std::uint64_t submitted = 0;   // submit() calls seen
+  std::uint64_t admitted = 0;    // passed admission (dispatched or queued)
+  std::uint64_t rejected = 0;    // refused at admission (rate limit)
+  std::uint64_t dispatched = 0;  // handed to the UnitManager
+  std::uint64_t started = 0;     // reached Executing
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;      // failed or canceled
+  std::uint64_t preempted = 0;
+  double core_seconds = 0.0;     // completed units only
+  common::RunningStats wait;     // submission-to-start, seconds
+  std::array<std::uint64_t, kWaitBuckets> wait_histogram{};
+};
+
+class AccountingStore {
+ public:
+  /// \p keep_journal: record every event for durable serialization.
+  /// Disable only for throughput harnesses that never persist.
+  explicit AccountingStore(bool keep_journal = true)
+      : keep_journal_(keep_journal) {}
+
+  void on_submitted(common::Seconds now, const std::string& tenant,
+                    const std::string& unit);
+  void on_admitted(common::Seconds now, const std::string& tenant,
+                   const std::string& unit, bool queued);
+  void on_rejected(common::Seconds now, const std::string& tenant,
+                   const std::string& unit, const std::string& reason);
+  void on_dispatched(common::Seconds now, const std::string& tenant,
+                     const std::string& unit);
+  void on_started(common::Seconds now, const std::string& tenant,
+                  const std::string& unit, double wait_seconds);
+  void on_completed(common::Seconds now, const std::string& tenant,
+                    const std::string& unit, double core_seconds);
+  void on_failed(common::Seconds now, const std::string& tenant,
+                 const std::string& unit);
+  void on_preempted(common::Seconds now, const std::string& tenant,
+                    const std::string& unit);
+
+  /// Throws NotFoundError for a tenant never seen.
+  const TenantUsage& usage(const std::string& tenant) const;
+  const std::map<std::string, TenantUsage>& tenants() const {
+    return tenants_;
+  }
+
+  /// Every wait sample across tenants, in event order (percentiles).
+  const std::vector<double>& wait_samples() const { return wait_samples_; }
+
+  /// {"schema", "tenants": {...aggregates...}, "journal": [...]}.
+  common::Json to_json(bool include_journal = true) const;
+
+  /// Rebuilds a store by replaying the serialized journal; aggregates
+  /// (including the streaming wait stats) come out identical.
+  static AccountingStore from_json(const common::Json& doc);
+
+  /// Writes to_json() (with journal) to \p path, pretty-printed.
+  void write_json(const std::string& path) const;
+
+ private:
+  void journal_event(common::Seconds now, const char* event,
+                     const std::string& tenant, const std::string& unit,
+                     common::JsonObject extra = {});
+
+  bool keep_journal_;
+  std::map<std::string, TenantUsage> tenants_;
+  common::JsonArray journal_;
+  std::vector<double> wait_samples_;
+};
+
+/// Jain's fairness index over per-tenant service: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly even; 1/n = one tenant got everything. Empty or
+/// all-zero input returns 1.0 (nothing was unfair about serving nobody).
+double jains_index(const std::vector<double>& service);
+
+}  // namespace hoh::tenant

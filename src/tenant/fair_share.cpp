@@ -1,0 +1,99 @@
+#include "tenant/fair_share.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace hoh::tenant {
+
+namespace {
+/// Floor under decayed usage so a fresh tenant's priority is finite and
+/// the weight ordering still holds at zero usage.
+constexpr double kUsageEpsilon = 1e-9;
+}  // namespace
+
+void FairShareScheduler::add_tenant(const std::string& id,
+                                    double share_weight) {
+  if (id.empty()) {
+    throw common::ConfigError("FairShareScheduler: empty tenant id");
+  }
+  if (share_weight <= 0.0) {
+    throw common::ConfigError("FairShareScheduler: share_weight must be > 0");
+  }
+  Assoc assoc;
+  assoc.weight = share_weight;
+  assocs_[id] = assoc;
+}
+
+const FairShareScheduler::Assoc& FairShareScheduler::find(
+    const std::string& id) const {
+  auto it = assocs_.find(id);
+  if (it == assocs_.end()) {
+    throw common::NotFoundError("FairShareScheduler: unknown tenant " + id);
+  }
+  return it->second;
+}
+
+double FairShareScheduler::decay_to(const Assoc& assoc,
+                                    common::Seconds now) const {
+  if (half_life_ <= 0.0 || now <= assoc.stamp) return assoc.usage;
+  return assoc.usage * std::exp2(-(now - assoc.stamp) / half_life_);
+}
+
+void FairShareScheduler::charge(const std::string& id, double usage,
+                                common::Seconds now) {
+  auto it = assocs_.find(id);
+  if (it == assocs_.end()) {
+    throw common::NotFoundError("FairShareScheduler: unknown tenant " + id);
+  }
+  // Clamped below at zero so a preemption refund cannot push usage
+  // negative (the charge decayed since it was made).
+  it->second.usage = std::max(0.0, decay_to(it->second, now) + usage);
+  it->second.stamp = now;
+}
+
+double FairShareScheduler::decayed_usage(const std::string& id,
+                                         common::Seconds now) const {
+  return decay_to(find(id), now);
+}
+
+double FairShareScheduler::effective_priority(const std::string& id,
+                                              common::Seconds now) const {
+  const Assoc& assoc = find(id);
+  return assoc.weight / (decay_to(assoc, now) + kUsageEpsilon);
+}
+
+double FairShareScheduler::share_weight(const std::string& id) const {
+  return find(id).weight;
+}
+
+std::string FairShareScheduler::pick(
+    const std::vector<std::string>& candidates, common::Seconds now) {
+  const Assoc* best = nullptr;
+  const std::string* best_id = nullptr;
+  double best_priority = 0.0;
+  for (const auto& id : candidates) {
+    auto it = assocs_.find(id);
+    if (it == assocs_.end()) {
+      throw common::NotFoundError("FairShareScheduler: unknown tenant " + id);
+    }
+    const double priority = it->second.weight /
+                            (decay_to(it->second, now) + kUsageEpsilon);
+    const bool wins =
+        best == nullptr || priority > best_priority ||
+        (priority == best_priority &&
+         (it->second.last_pick < best->last_pick ||
+          (it->second.last_pick == best->last_pick && id < *best_id)));
+    if (wins) {
+      best = &it->second;
+      best_id = &id;
+      best_priority = priority;
+    }
+  }
+  if (best_id == nullptr) return "";
+  assocs_[*best_id].last_pick = ++pick_seq_;
+  return *best_id;
+}
+
+}  // namespace hoh::tenant

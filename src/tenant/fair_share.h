@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+/// \file fair_share.h
+/// SLURM assoc_mgr-style fair-share scheduler: each tenant carries a
+/// share weight and an exponentially decayed usage accumulator;
+/// effective priority is share_weight / (decayed_usage + epsilon). The
+/// gateway orders its cross-tenant dispatch queue by this priority, so
+/// a tenant that consumed more than its share in the recent past yields
+/// to tenants below theirs, and the half-life controls how fast history
+/// is forgiven.
+
+namespace hoh::tenant {
+
+class FairShareScheduler {
+ public:
+  /// \p half_life: seconds for accumulated usage to decay to half.
+  /// Non-positive disables decay (usage accumulates forever).
+  explicit FairShareScheduler(common::Seconds half_life = 600.0)
+      : half_life_(half_life) {}
+
+  void add_tenant(const std::string& id, double share_weight);
+  bool has_tenant(const std::string& id) const {
+    return assocs_.count(id) > 0;
+  }
+
+  /// Adds \p usage (core-seconds) to the tenant's accumulator at \p now.
+  void charge(const std::string& id, double usage, common::Seconds now);
+
+  /// Usage decayed to \p now (lazy: stored value + stamp, decayed on
+  /// read, so idle tenants cost nothing).
+  double decayed_usage(const std::string& id, common::Seconds now) const;
+
+  /// share_weight / (decayed_usage + epsilon). Higher = served sooner.
+  double effective_priority(const std::string& id,
+                            common::Seconds now) const;
+
+  /// Highest-priority id among \p candidates. Ties break to the least
+  /// recently picked tenant, then lexicographic id — with equal shares
+  /// and equal usage this degenerates to round-robin, which the property
+  /// tests pin down. Empty candidates returns "".
+  std::string pick(const std::vector<std::string>& candidates,
+                   common::Seconds now);
+
+  double share_weight(const std::string& id) const;
+
+ private:
+  struct Assoc {
+    double weight = 1.0;
+    double usage = 0.0;            // decayed to `stamp`
+    common::Seconds stamp = 0.0;   // virtual time of last fold
+    std::uint64_t last_pick = 0;   // pick sequence, for the tie-break
+  };
+
+  double decay_to(const Assoc& assoc, common::Seconds now) const;
+  const Assoc& find(const std::string& id) const;
+
+  common::Seconds half_life_;
+  std::map<std::string, Assoc> assocs_;
+  std::uint64_t pick_seq_ = 0;
+};
+
+}  // namespace hoh::tenant

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+
+/// \file tenant.h
+/// Tenant registry types for the multi-tenant submission gateway: who a
+/// tenant is (id + fair-share weight) and what it may consume (quota).
+/// The pilot abstraction multiplexes many applications over one
+/// allocation (Pilot-Abstraction paper, arXiv:1501.05041); the tenant
+/// layer is the front door that makes that sharing bounded and fair.
+
+namespace hoh::tenant {
+
+/// Per-tenant admission limits. A zero limit means "unlimited" for that
+/// dimension, so a default-constructed quota is a no-op.
+struct TenantQuota {
+  /// Max units a tenant may have between dispatch and completion.
+  /// Over-quota submissions are queued gateway-side, not rejected.
+  int max_in_flight_units = 0;
+
+  /// Max cores the tenant's in-flight units may hold together.
+  int max_cores = 0;
+
+  /// Token-bucket submit rate (units per simulated second). Submissions
+  /// that find the bucket empty are *rejected* (the client is expected
+  /// to back off), unlike capacity quotas which queue.
+  double submit_rate = 0.0;
+
+  /// Bucket capacity (burst size) for submit_rate.
+  double submit_burst = 1.0;
+};
+
+/// One registered tenant.
+struct TenantSpec {
+  std::string id;
+
+  /// Fair-share weight (SLURM association share). Relative: a tenant
+  /// with weight 2 is entitled to twice the service of weight 1.
+  double share_weight = 1.0;
+
+  TenantQuota quota;
+};
+
+/// Deterministic token bucket refilled lazily from the virtual clock —
+/// no periodic refill event, so it is free while idle and exact under
+/// the discrete-event engine.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate, double burst)
+      : rate_(rate), burst_(burst < 1.0 ? 1.0 : burst), tokens_(burst_) {}
+
+  /// True (and consumes one token) when a submission fits the rate.
+  /// A zero rate admits everything.
+  bool try_take(common::Seconds now) {
+    if (rate_ <= 0.0) return true;
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  /// Current token count (after lazy refill); diagnostic only.
+  double tokens(common::Seconds now) {
+    refill(now);
+    return rate_ <= 0.0 ? burst_ : tokens_;
+  }
+
+ private:
+  void refill(common::Seconds now) {
+    if (now > stamp_) {
+      tokens_ += (now - stamp_) * rate_;
+      if (tokens_ > burst_) tokens_ = burst_;
+    }
+    stamp_ = now;
+  }
+
+  double rate_ = 0.0;
+  double burst_ = 1.0;
+  double tokens_ = 1.0;
+  common::Seconds stamp_ = 0.0;
+};
+
+}  // namespace hoh::tenant

@@ -523,6 +523,9 @@ void ResourceManager::preemption_pass() {
           c.state == ContainerState::kLaunching) {
         Container copy = c;
         nm->release(*cit, ContainerState::kPreempted);
+        if (preemption_hook_) {
+          preemption_hook_(app.report.id, copy.id, app.report.queue);
+        }
         if (app.am->preempted_callback_) app.am->preempted_callback_(copy);
         return;  // one preemption per pass
       }

@@ -135,6 +135,18 @@ class ResourceManager {
   std::optional<ContainerState> container_state(
       const std::string& container_id) const;
 
+  /// Observer for capacity-scheduler preemption decisions: fires once
+  /// per preempted container, after the NM released it and before the
+  /// AM's preempted callback ran, with (app_id, container_id, queue).
+  /// Cross-layer accountants (the tenant gateway's usage ledger, drain
+  /// diagnostics) subscribe here instead of wrapping every AM callback.
+  using PreemptionHook = std::function<void(
+      const std::string& app_id, const std::string& container_id,
+      const std::string& queue)>;
+  void set_preemption_hook(PreemptionHook hook) {
+    preemption_hook_ = std::move(hook);
+  }
+
   /// Stops the scheduler loop (cluster teardown).
   void shutdown();
 
@@ -213,6 +225,7 @@ class ResourceManager {
   sim::Engine& engine_;
   YarnConfig config_;
   sim::Trace* trace_ = nullptr;
+  PreemptionHook preemption_hook_;
   std::vector<QueueConfig> queues_;
   std::vector<std::unique_ptr<NodeManager>> node_managers_;
   std::map<std::string, AppRecord> apps_;

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/random.h"
+#include "tenant/accounting.h"
+#include "tenant/fair_share.h"
+#include "tenant/tenant.h"
+
+namespace hoh::tenant {
+namespace {
+
+// ---- FairShareScheduler properties ----
+
+TEST(FairShare, EqualSharesAndUsageDegeneratesToRoundRobin) {
+  // With equal weights and equal per-pick charges, the tie-break (least
+  // recently picked, then id) must cycle through every tenant before
+  // repeating one — for any pick cadence.
+  const std::vector<std::string> ids = {"a", "b", "c", "d"};
+  for (const double dt : {0.0, 1.0, 17.5}) {
+    FairShareScheduler fs(600.0);
+    for (const auto& id : ids) fs.add_tenant(id, 1.0);
+    double now = 0.0;
+    std::vector<std::string> picks;
+    for (int i = 0; i < 40; ++i) {
+      const std::string winner = fs.pick(ids, now);
+      ASSERT_FALSE(winner.empty());
+      fs.charge(winner, 1.0, now);
+      picks.push_back(winner);
+      now += dt;
+    }
+    for (std::size_t w = 0; w + ids.size() <= picks.size();
+         w += ids.size()) {
+      std::set<std::string> window(picks.begin() + w,
+                                   picks.begin() + w + ids.size());
+      EXPECT_EQ(window.size(), ids.size())
+          << "window at " << w << " (dt " << dt << ") repeats a tenant";
+    }
+  }
+}
+
+TEST(FairShare, PickSequenceIsDeterministic) {
+  auto run = [] {
+    FairShareScheduler fs(300.0);
+    fs.add_tenant("x", 1.0);
+    fs.add_tenant("y", 2.0);
+    fs.add_tenant("z", 1.5);
+    std::vector<std::string> picks;
+    for (int i = 0; i < 30; ++i) {
+      const std::string winner =
+          fs.pick({"x", "y", "z"}, static_cast<double>(i));
+      fs.charge(winner, 2.0, static_cast<double>(i));
+      picks.push_back(winner);
+    }
+    return picks;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FairShare, UsageDecayHalvesOverOneHalfLife) {
+  FairShareScheduler fs(100.0);
+  fs.add_tenant("t", 1.0);
+  fs.charge("t", 80.0, 0.0);
+  EXPECT_NEAR(fs.decayed_usage("t", 0.0), 80.0, 1e-9);
+  EXPECT_NEAR(fs.decayed_usage("t", 100.0), 40.0, 1e-9);
+  EXPECT_NEAR(fs.decayed_usage("t", 200.0), 20.0, 1e-9);
+}
+
+TEST(FairShare, ServiceConvergesToShareWeights) {
+  // Closed loop: every step serves the highest-priority tenant and
+  // charges one unit of usage. In steady state decay balances inflow,
+  // so pick rates converge to the share ratio 1:2:4.
+  FairShareScheduler fs(100.0);
+  fs.add_tenant("small", 1.0);
+  fs.add_tenant("mid", 2.0);
+  fs.add_tenant("big", 4.0);
+  const std::vector<std::string> ids = {"small", "mid", "big"};
+  std::map<std::string, int> counts;
+  const int steps = 2000;
+  for (int i = 0; i < steps; ++i) {
+    const double now = static_cast<double>(i);
+    const std::string winner = fs.pick(ids, now);
+    fs.charge(winner, 1.0, now);
+    if (i >= steps / 2) counts[winner] += 1;  // measure after warm-up
+  }
+  const double total = steps / 2.0;
+  EXPECT_NEAR(counts["small"] / total, 1.0 / 7.0, 0.03);
+  EXPECT_NEAR(counts["mid"] / total, 2.0 / 7.0, 0.03);
+  EXPECT_NEAR(counts["big"] / total, 4.0 / 7.0, 0.03);
+}
+
+TEST(FairShare, RefundNeverDrivesUsageNegative) {
+  FairShareScheduler fs(600.0);
+  fs.add_tenant("t", 1.0);
+  fs.charge("t", 10.0, 0.0);
+  // Refund after some decay has eaten part of the original charge.
+  fs.charge("t", -10.0, 600.0);
+  EXPECT_GE(fs.decayed_usage("t", 600.0), 0.0);
+}
+
+TEST(FairShare, UnknownTenantThrows) {
+  FairShareScheduler fs;
+  EXPECT_THROW(fs.charge("ghost", 1.0, 0.0), common::NotFoundError);
+  EXPECT_THROW(fs.decayed_usage("ghost", 0.0), common::NotFoundError);
+  EXPECT_THROW((void)fs.add_tenant("", 1.0), common::ConfigError);
+  EXPECT_THROW((void)fs.add_tenant("t", 0.0), common::ConfigError);
+}
+
+// ---- TokenBucket properties ----
+
+TEST(TokenBucket, NeverExceedsRateTimesWindowAcrossSeeds) {
+  // Property: for any arrival pattern, the number of accepted
+  // submissions by time t never exceeds burst + rate·t.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    common::Rng rng(seed);
+    const double rate = rng.uniform(0.5, 5.0);
+    const double burst = rng.uniform(1.0, 6.0);
+    TokenBucket bucket(rate, burst);
+    double now = 0.0;
+    int accepted = 0;
+    for (int i = 0; i < 2000; ++i) {
+      now += rng.exponential(1.0 / (4.0 * rate));  // ~4x overload
+      if (bucket.try_take(now)) accepted += 1;
+      EXPECT_LE(accepted, burst + rate * now + 1e-9)
+          << "seed " << seed << " at t=" << now;
+    }
+    EXPECT_GT(accepted, 0);
+  }
+}
+
+TEST(TokenBucket, ZeroRateIsUnlimited) {
+  TokenBucket bucket(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.try_take(0.0));
+}
+
+TEST(TokenBucket, RefillsToBurstCapOnly) {
+  TokenBucket bucket(1.0, 3.0);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(bucket.try_take(0.0));
+  EXPECT_FALSE(bucket.try_take(0.0));  // bucket drained
+  EXPECT_NEAR(bucket.tokens(1000.0), 3.0, 1e-9);  // capped at burst
+}
+
+// ---- accounting ----
+
+TEST(Accounting, JournalRoundTripReproducesAggregates) {
+  AccountingStore store;
+  store.on_submitted(0.0, "a", "u1");
+  store.on_admitted(0.0, "a", "u1", false);
+  store.on_dispatched(0.0, "a", "u1");
+  store.on_started(4.0, "a", "u1", 4.0);
+  store.on_completed(64.0, "a", "u1", 60.0);
+  store.on_submitted(1.0, "b", "u2");
+  store.on_rejected(1.0, "b", "u2", "rate-limit");
+  store.on_submitted(2.0, "b", "u3");
+  store.on_admitted(2.0, "b", "u3", true);
+  store.on_dispatched(10.0, "b", "u3");
+  store.on_started(30.0, "b", "u3", 28.0);
+  store.on_preempted(40.0, "b", "u3");
+  store.on_failed(41.0, "b", "u3");
+
+  const AccountingStore replayed =
+      AccountingStore::from_json(store.to_json());
+  ASSERT_EQ(replayed.tenants().size(), 2u);
+  const TenantUsage& a = replayed.usage("a");
+  EXPECT_EQ(a.completed, 1u);
+  EXPECT_DOUBLE_EQ(a.core_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(a.wait.mean(), 4.0);
+  const TenantUsage& b = replayed.usage("b");
+  EXPECT_EQ(b.rejected, 1u);
+  EXPECT_EQ(b.preempted, 1u);
+  EXPECT_EQ(b.failed, 1u);
+  EXPECT_EQ(b.wait_histogram[wait_bucket(28.0)], 1u);
+  EXPECT_EQ(replayed.to_json().dump(), store.to_json().dump());
+}
+
+TEST(Accounting, JainsIndexBounds) {
+  EXPECT_DOUBLE_EQ(jains_index({}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_index({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jains_index({5.0, 5.0, 5.0}), 1.0);
+  EXPECT_NEAR(jains_index({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  const double j = jains_index({1.0, 2.0, 3.0});
+  EXPECT_GT(j, 1.0 / 3.0);
+  EXPECT_LT(j, 1.0);
+}
+
+TEST(Accounting, WaitBucketEdges) {
+  EXPECT_EQ(wait_bucket(0.0), 0u);
+  EXPECT_EQ(wait_bucket(0.999), 0u);
+  EXPECT_EQ(wait_bucket(1.0), 1u);
+  EXPECT_EQ(wait_bucket(99.9), 2u);
+  EXPECT_EQ(wait_bucket(1000.0), 4u);
+}
+
+}  // namespace
+}  // namespace hoh::tenant

@@ -55,6 +55,64 @@ const char* kDemoPlan = R"({
   ]
 })";
 
+const char* kHelp = R"(hohsim - run K-Means middleware experiments from a JSON plan
+
+usage:
+  hohsim <plan.json>         run every experiment in the plan
+  hohsim --json <plan.json>  emit machine-readable JSON results
+  hohsim --demo              run a built-in two-cell demo plan
+  hohsim --help              show this help
+
+A plan is {"experiments": [<experiment>, ...]}. Unknown keys anywhere in
+the plan are warned about and ignored. Each experiment supports:
+
+  core cell (paper Fig. 6):
+    machine   "stampede" | "wrangler" | "generic"    (default stampede)
+    scenario  "10k" | "100k" | "1m" or {points, clusters, iterations}
+    nodes     pilot allocation size                  (default 1)
+    tasks     units per map/reduce wave              (default 8)
+    stack     "rp" (plain pilot) | "rp-yarn" (Mode-I YARN)
+
+  cost model & calibration:
+    op_cost                per-op seconds            (default 4e-5)
+    shuffle_amplification  reduce-phase multiplier   (default 4.0)
+    reuse_yarn_app         one AM for all units      (default false)
+
+  control plane (DESIGN.md s10):
+    control_plane  "poll" | "watch"                  (default poll)
+
+  elastic (DESIGN.md s8) - resize the pilot under a policy:
+    {"policy": "backlog", "max_nodes": 6, "min_nodes": 2,
+     "sample_interval": 30, "drain_timeout": 120, "params": {...}}
+
+  failures (DESIGN.md s9) - seeded fault injection on the batch pool:
+    {"seed": 7, "mean_time_to_crash": 600, "mean_time_to_repair": 300,
+     "mean_time_to_slow": 0, "slow_factor": 0.5, "slow_duration": 60,
+     "max_crashes": 1, "start_after": 300}
+
+  recovery (DESIGN.md s9) - pilot resubmission + unit requeue:
+    {"max_attempts": 3, "base_backoff": 5, "multiplier": 2,
+     "max_backoff": 300, "jitter": 0.1}
+
+  tenants (DESIGN.md s11) - multi-tenant submission gateway; waves are
+  submitted through admission control, ordered fair-share or FIFO,
+  with per-tenant quotas and usage accounting:
+    {"policy": "fair-share" | "fifo",       (default fair-share)
+     "decay_half_life": 600,                usage half-life, seconds
+     "dispatch_window": 0,                  max in-flight units, 0 = off
+     "preemption": false, "preempt_ratio": 4.0,
+     "journal": "accounting.json",          durable journal path
+     "list": [{"id": "alice", "share": 2.0,
+               "max_in_flight": 0, "max_cores": 0,
+               "submit_rate": 0.0, "submit_burst": 1.0}, ...]}
+
+  allow_failure  expected-to-fail cell does not fail the run  (false)
+
+Plans without a tenants section run the single-tenant passthrough path
+(no gateway constructed) and produce byte-identical digests to older
+builds. See plans/ for keystone examples.
+)";
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,7 +122,11 @@ int main(int argc, char** argv) {
   bool json_output = false;
   std::string plan_text;
   try {
-    if (argc >= 2 && std::string(argv[1]) == "--demo") {
+    if (argc >= 2 && (std::string(argv[1]) == "--help" ||
+                      std::string(argv[1]) == "-h")) {
+      std::printf("%s", kHelp);
+      return 0;
+    } else if (argc >= 2 && std::string(argv[1]) == "--demo") {
       plan_text = kDemoPlan;
     } else if (argc >= 3 && std::string(argv[1]) == "--json") {
       json_output = true;
@@ -72,9 +134,10 @@ int main(int argc, char** argv) {
     } else if (argc >= 2) {
       plan_text = read_file(argv[1]);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s <plan.json> | --json <plan.json> | --demo\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s <plan.json> | --json <plan.json> | --demo | --help\n",
+          argv[0]);
       return 2;
     }
 
@@ -119,6 +182,26 @@ int main(int argc, char** argv) {
               cfg.recovery ? "on" : "off", result.pilots_resubmitted,
               result.units_requeued, result.units_abandoned,
               result.output_checksum.c_str());
+        }
+        if (cfg.tenants) {
+          std::printf(
+              "           tenants[%s, %zu tenants]: %zu preempted\n",
+              tenant::to_string(cfg.gateway_config.policy),
+              cfg.tenant_specs.size(), result.units_preempted);
+          if (result.tenant_accounting.is_object() &&
+              result.tenant_accounting.contains("tenants")) {
+            for (const auto& [id, t] :
+                 result.tenant_accounting.at("tenants").as_object()) {
+              std::printf(
+                  "             %-12s completed %6lld  rejected %4lld  "
+                  "core-s %10.1f  mean wait %8.2fs\n",
+                  id.c_str(),
+                  static_cast<long long>(t.at("completed").as_number()),
+                  static_cast<long long>(t.at("rejected").as_number()),
+                  t.at("core_seconds").as_number(),
+                  t.at("wait").at("mean").as_number());
+            }
+          }
         }
       }
       if (!result.ok) {

@@ -30,6 +30,13 @@ hook and dependency-free, unlike the clang-tidy pass it complements:
      sim::DeadlineTimer; if a new periodic loop is genuinely required,
      extend the budget in the same change that adds it and justify it in
      DESIGN.md.
+  6. src/tenant/ stays deterministic engine-driven code (DESIGN.md §11):
+     no std::atomic / semaphore / latch / barrier / promise / future /
+     async at all — the gateway runs entirely on the single-threaded
+     simulation engine and must stay replayable. If a tenant file does
+     declare a common::Mutex, every such declaration must be paired with
+     HOH_GUARDED_BY annotations somewhere in the file so -Wthread-safety
+     covers the data it protects.
 
 Usage: tools/lint/check_concurrency.py [root]   (root defaults to src/)
 Exit status: 0 clean, 1 violations found (one "file:line: message" per
@@ -79,6 +86,15 @@ THIS_CAPTURE = re.compile(
 
 SCHEDULE_PERIODIC = re.compile(r"\bschedule_periodic\s*\(")
 
+# Rule 6: the tenant subsystem is deterministic single-threaded code.
+TENANT_PREFIX = "src/tenant/"
+TENANT_BANNED = re.compile(
+    r"std::(?:atomic\w*|counting_semaphore|binary_semaphore|latch"
+    r"|barrier|promise|future|shared_future|async)\b"
+)
+MUTEX_DECL = re.compile(r"\bcommon::Mutex\b")
+GUARDED_BY = re.compile(r"\bHOH_GUARDED_BY\b")
+
 COMMENT = re.compile(r"^\s*(?://|\*|///)")
 
 
@@ -90,6 +106,8 @@ def strip_strings(line: str) -> str:
 def lint_file(path: pathlib.Path, rel: str) -> list[str]:
     problems: list[str] = []
     periodic_sites: list[int] = []
+    tenant_mutex_lines: list[int] = []
+    tenant_has_guard = False
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as err:
@@ -122,6 +140,26 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
             )
         if SCHEDULE_PERIODIC.search(line):
             periodic_sites.append(lineno)
+        if rel.startswith(TENANT_PREFIX):
+            if TENANT_BANNED.search(line):
+                problems.append(
+                    f"{rel}:{lineno}: threading primitive in src/tenant/; "
+                    f"the gateway is deterministic engine-driven code "
+                    f"(DESIGN.md §11) and must not use atomics, futures "
+                    f"or barriers"
+                )
+            if MUTEX_DECL.search(line) and "MutexLock" not in line:
+                tenant_mutex_lines.append(lineno)
+            if GUARDED_BY.search(line):
+                tenant_has_guard = True
+    if rel.startswith(TENANT_PREFIX) and tenant_mutex_lines \
+            and not tenant_has_guard:
+        for lineno in tenant_mutex_lines:
+            problems.append(
+                f"{rel}:{lineno}: common::Mutex declared in src/tenant/ "
+                f"without any HOH_GUARDED_BY annotation in the file; "
+                f"annotate the data the mutex protects"
+            )
     budget = PERIODIC_BUDGET.get(rel, 0)
     for lineno in periodic_sites[budget:]:
         problems.append(
