@@ -305,6 +305,12 @@ std::vector<OutputT> run_mr(common::ThreadPool& pool,
     // one hash probe and one push — not a tree insert — while walking the
     // runs in map-task order keeps every group's values in map-task then
     // emission order. Only the distinct keys get sorted.
+    //
+    // Determinism audit (hoh_analyze det-unordered-emit): this table is
+    // probed, never iterated — the loops below walk `runs` in map-task
+    // order and the id-indexed vectors, and the distinct keys are sorted
+    // before any output is emitted, so hash-bucket order cannot reach
+    // the job output or the run digest.
     std::unordered_map<K, std::size_t, std::hash<K>, detail::KeyEq<K>> ids;
     std::vector<const K*> keys;             // id -> key (nodes are stable)
     std::vector<std::vector<V>> groups;     // id -> values

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 #include <utility>
@@ -305,11 +306,19 @@ class Rdd {
   }
 
   /// Tree reduction; throws StateError on an empty RDD.
+  ///
+  /// Each partition folds into its own slot (disjoint writes, no lock),
+  /// and the final pass folds the slots in partition order — so the
+  /// association order of \p f is a pure function of the data, never of
+  /// which worker finished first. The previous push_back-under-a-mutex
+  /// version ordered partials by thread completion, which is invisible
+  /// to TSan but breaks run-digest replayability for any \p f that is
+  /// not exactly associative and commutative (floating-point sums
+  /// included).
   template <typename F>
   T reduce(F f) const {
     auto parts = materialize();
-    std::vector<T> partials;
-    common::Mutex mu;
+    std::vector<std::optional<T>> partials(parts->size());
     for_each_partition(parts->size(), [&](std::size_t p) {
       const auto& part = (*parts)[p];
       if (part.empty()) return;
@@ -317,17 +326,18 @@ class Rdd {
       for (std::size_t i = 1; i < part.size(); ++i) {
         acc = f(acc, part[i]);
       }
-      common::MutexLock lock(mu);
-      partials.push_back(std::move(acc));
+      partials[p] = std::move(acc);
     });
-    if (partials.empty()) {
+    std::optional<T> acc;
+    for (auto& partial : partials) {
+      if (!partial.has_value()) continue;
+      acc = acc.has_value() ? f(std::move(*acc), *partial)
+                            : std::move(*partial);
+    }
+    if (!acc.has_value()) {
       throw common::StateError("reduce() on empty RDD");
     }
-    T acc = partials.front();
-    for (std::size_t i = 1; i < partials.size(); ++i) {
-      acc = f(acc, partials[i]);
-    }
-    return acc;
+    return std::move(*acc);
   }
 
   /// fold with a zero value (safe on empty RDDs).
@@ -452,6 +462,12 @@ Rdd<std::pair<K, V>> reduce_by_key(const Rdd<std::pair<K, V>>& rdd, F f,
       const auto& src = (*input)[p];
       std::hash<K> hasher;
       // key -> (run index, slot within run)
+      //
+      // Determinism audit (hoh_analyze det-unordered-emit): `slots` is a
+      // probe-only index — iteration below walks `src` in partition
+      // order and the flat runs it populates, and the reduce side
+      // stable-sorts every run before it becomes output, so hash-bucket
+      // order never reaches collected partitions or run digests.
       std::unordered_map<K, std::pair<std::size_t, std::size_t>, std::hash<K>,
                          KeyEq>
           slots;

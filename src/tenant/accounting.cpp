@@ -26,7 +26,10 @@ void AccountingStore::journal_event(common::Seconds now, const char* event,
   extra["event"] = event;
   extra["tenant"] = tenant;
   extra["unit"] = unit;
-  journal_.push_back(common::Json(std::move(extra)));
+  // emplace_back: constructing the Json in place (not moving a temporary
+  // variant) sidesteps GCC 12's bogus -Wmaybe-uninitialized on the
+  // inlined variant move (same family as bug 105651, see CMakeLists).
+  journal_.emplace_back(std::move(extra));
 }
 
 void AccountingStore::on_submitted(common::Seconds now,

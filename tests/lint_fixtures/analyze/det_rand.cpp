@@ -1,0 +1,25 @@
+// Known-bad fixture for hoh_analyze rules det-rand and det-unseeded-rng.
+#include <cstdlib>
+#include <random>
+
+namespace fixture_rand {
+
+int bad_rand() {
+  std::random_device rd;                            // EXPECT: det-rand
+  std::srand(42);                                   // EXPECT: det-rand
+  (void)rd;
+  return std::rand();                               // EXPECT: det-rand
+}
+
+int bad_unseeded() {
+  std::mt19937 gen;                                 // EXPECT: det-unseeded-rng
+  std::mt19937_64 gen64{};                          // EXPECT: det-unseeded-rng
+  return static_cast<int>(gen() + gen64());
+}
+
+int seeded_ok(unsigned seed) {
+  std::mt19937 gen(seed);  // explicit seed: clean
+  return static_cast<int>(gen());
+}
+
+}  // namespace fixture_rand

@@ -1,0 +1,61 @@
+// Known-bad fixture for hoh_analyze rule det-unordered-emit: iteration
+// over an unordered container whose body reaches an emission path
+// (directly, or transitively through a helper) leaks hash-bucket order
+// into replayable output. Gather-only iteration stays clean, as does an
+// iteration over an ordered std::map.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture_unordered {
+
+struct Trace {
+  void record(int value);
+};
+
+struct Emitter {
+  std::unordered_map<int, int> table_;
+  Trace trace_;
+
+  void helper(int value) { trace_.record(value); }
+
+  void bad_direct() {
+    for (const auto& kv : table_) {                 // EXPECT: det-unordered-emit
+      trace_.record(kv.second);
+    }
+  }
+
+  void bad_transitive() {
+    for (const auto& kv : table_) {                 // EXPECT: det-unordered-emit
+      helper(kv.first);
+    }
+  }
+
+  void good_gather_only() {
+    std::vector<int> keys;
+    for (const auto& kv : table_) {  // gathers into a sortable copy: clean
+      keys.push_back(kv.first);
+    }
+  }
+
+  void suppressed() {
+    // hoh-analyze: allow-next-line(det-unordered-emit) -- fixture: justified suppression is honoured
+    for (const auto& kv : table_) {
+      helper(kv.second);
+    }
+  }
+};
+
+struct OrderedEmitter {
+  std::map<int, int> table_;
+  Trace trace_;
+
+  void fine() {
+    for (const auto& kv : table_) {  // ordered container: clean
+      trace_.record(kv.second);
+    }
+  }
+};
+
+}  // namespace fixture_unordered

@@ -1,0 +1,20 @@
+// Known-bad fixture for hoh_analyze rules guard-missing and
+// guard-local-mutex (annotation-coverage family).
+namespace fixture_guard {
+
+struct Unguarded {
+  mutable common::Mutex mu_;                        // EXPECT: guard-missing
+  int counter_ = 0;
+};
+
+struct Annotated {
+  mutable common::Mutex mu_;  // guards counter_: clean
+  int counter_ HOH_GUARDED_BY(mu_) = 0;
+};
+
+inline void local_mutex_bad() {
+  common::Mutex mu;                                 // EXPECT: guard-local-mutex
+  common::MutexLock lock(mu);
+}
+
+}  // namespace fixture_guard

@@ -1,0 +1,33 @@
+// Known-bad fixture for the interprocedural half of lock-order-cycle:
+// each side holds its own mutex while calling into the other, so the
+// cycle only appears once callee acquisitions are propagated into the
+// nesting graph.
+namespace fixture_ipc {
+
+struct IpcRight;
+
+struct IpcLeft {
+  common::Mutex mu_;
+  int v_ HOH_GUARDED_BY(mu_) = 0;
+  void lock_then_call(IpcRight& r);
+};
+
+struct IpcRight {
+  common::Mutex mu_;
+  int v_ HOH_GUARDED_BY(mu_) = 0;
+  void lock_then_call_back(IpcLeft& l);
+};
+
+void IpcLeft::lock_then_call(IpcRight& r) {
+  common::MutexLock lock(mu_);
+  r.lock_then_call_back(*this);                     // EXPECT: lock-order-cycle
+  ++v_;
+}
+
+void IpcRight::lock_then_call_back(IpcLeft& l) {
+  common::MutexLock lock(mu_);
+  l.lock_then_call(*this);
+  ++v_;
+}
+
+}  // namespace fixture_ipc

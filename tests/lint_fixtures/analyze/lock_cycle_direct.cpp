@@ -1,0 +1,26 @@
+// Known-bad fixture for hoh_analyze rule lock-order-cycle: two mutexes
+// acquired in both nesting orders inside one translation unit.
+namespace fixture_cycle {
+
+struct Pair {
+  common::Mutex a_;
+  common::Mutex b_;
+  int left_ HOH_GUARDED_BY(a_) = 0;
+  int right_ HOH_GUARDED_BY(b_) = 0;
+
+  void forward() {
+    common::MutexLock la(a_);
+    common::MutexLock lb(b_);                       // EXPECT: lock-order-cycle
+    ++left_;
+    ++right_;
+  }
+
+  void backward() {
+    common::MutexLock lb(b_);
+    common::MutexLock la(a_);
+    ++left_;
+    ++right_;
+  }
+};
+
+}  // namespace fixture_cycle

@@ -1,0 +1,18 @@
+// Known-bad fixture for hoh_analyze rule lock-order-self: re-acquiring a
+// held (non-recursive) mutex on the same path.
+namespace fixture_self {
+
+struct Recur {
+  common::Mutex mu_;
+  int v_ HOH_GUARDED_BY(mu_) = 0;
+
+  void outer() {
+    common::MutexLock lock(mu_);
+    {
+      common::MutexLock again(mu_);                 // EXPECT: lock-order-self
+      ++v_;
+    }
+  }
+};
+
+}  // namespace fixture_self

@@ -1,0 +1,17 @@
+// Fixture for the suppression machinery: a justified `allow(...)` hides
+// the finding; an unjustified one (no `--` explanation) hides it but is
+// itself reported as suppression-unjustified.
+#include <cstdlib>
+
+namespace fixture_sup {
+
+inline int justified() {
+  return std::rand();  // hoh-analyze: allow(det-rand) -- fixture: justified suppression is honoured
+}
+
+inline int lazy() {
+  // hoh-analyze: allow-next-line(det-rand)         // EXPECT: suppression-unjustified
+  return std::rand();
+}
+
+}  // namespace fixture_sup

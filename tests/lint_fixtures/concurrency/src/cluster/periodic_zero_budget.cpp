@@ -1,0 +1,11 @@
+// Rule 5 fixture: no PERIODIC_BUDGET entry for this path, so a single
+// schedule_periodic call site is already a violation.
+namespace fixture {
+
+struct Engine2;
+
+inline void wire_zero(Engine2& e) {
+  e.schedule_periodic(1.0, [] {});                  // EXPECT: lint-rule5
+}
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Known-bad fixture for tools/lint/check_concurrency.py rules 1-4.
+// Not compiled — consumed by tools/lint/test_lint_rules.py, which asserts
+// each rule fires exactly on the lines annotated `EXPECT: lint-ruleN`.
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+void bad() {
+  std::mutex m;                                     // EXPECT: lint-rule1
+  std::lock_guard<std::mutex> lock(m);              // EXPECT: lint-rule1
+  std::condition_variable cv;                       // EXPECT: lint-rule1
+  std::thread t([] {});                             // EXPECT: lint-rule2
+  t.detach();                                       // EXPECT: lint-rule3
+}
+
+struct Pool {
+  template <typename F>
+  void submit(F f);
+  void go();
+  void kick() {
+    submit([this] { go(); });                       // EXPECT: lint-rule4
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Negative fixture: this path mirrors the PRIMITIVE_ALLOWLIST entry, so
+// the naked primitive below must NOT be flagged — proving the allowlist
+// is keyed on the fixture-root-relative path.
+namespace fixture {
+
+struct Wrapper {
+  std::mutex mu_;  // allowlisted file: clean
+};
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Rule 5 fixture: this path has a PERIODIC_BUDGET of 1, so the first
+// schedule_periodic site is within budget and the second is over it.
+namespace fixture {
+
+struct Engine;
+
+inline void wire(Engine& e) {
+  e.schedule_periodic(1.0, [] {});  // within budget: clean
+  e.schedule_periodic(2.0, [] {});                  // EXPECT: lint-rule5
+}
+
+}  // namespace fixture

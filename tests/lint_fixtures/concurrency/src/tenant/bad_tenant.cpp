@@ -1,0 +1,16 @@
+// Rule 6 fixture: the tenant subsystem is deterministic engine-driven
+// code — atomics are banned outright, and a common::Mutex declared in a
+// tenant file without any guard annotation in the file is a violation.
+// (The guard macro's name must not appear in any non-comment line here,
+// or the per-file guard detection would see it.)
+#include <atomic>
+
+namespace fixture {
+
+struct Gateway {
+  std::atomic<int> counter_{0};                     // EXPECT: lint-rule6
+  common::Mutex mu_;                                // EXPECT: lint-rule6b
+  int queued_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Rule 6 negative fixture: a tenant-file mutex paired with a guard
+// annotation is fine.
+namespace fixture {
+
+struct GatewayOk {
+  common::Mutex mu_;
+  int queued_ HOH_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -103,7 +103,12 @@ def strip_strings(line: str) -> str:
     return re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
 
 
-def lint_file(path: pathlib.Path, rel: str) -> list[str]:
+def lint_file(path: pathlib.Path, rel: str,
+              rule_rel: str | None = None) -> list[str]:
+    # `rel` is the reported (clickable) path; `rule_rel` is the path the
+    # path-keyed rules match against (differs only for fixture trees).
+    if rule_rel is None:
+        rule_rel = rel
     problems: list[str] = []
     periodic_sites: list[int] = []
     tenant_mutex_lines: list[int] = []
@@ -116,13 +121,13 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
         if COMMENT.match(raw):
             continue
         line = strip_strings(raw)
-        if rel not in PRIMITIVE_ALLOWLIST and NAKED_PRIMITIVE.search(line):
+        if rule_rel not in PRIMITIVE_ALLOWLIST and NAKED_PRIMITIVE.search(line):
             problems.append(
                 f"{rel}:{lineno}: naked synchronisation primitive; use "
                 f"hoh::common::Mutex / MutexLock / CondVar "
                 f"(common/thread_annotations.h)"
             )
-        if rel not in THREAD_ALLOWLIST and RAW_THREAD.search(line):
+        if rule_rel not in THREAD_ALLOWLIST and RAW_THREAD.search(line):
             problems.append(
                 f"{rel}:{lineno}: raw std::thread; run work on "
                 f"common::ThreadPool instead"
@@ -140,7 +145,7 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
             )
         if SCHEDULE_PERIODIC.search(line):
             periodic_sites.append(lineno)
-        if rel.startswith(TENANT_PREFIX):
+        if rule_rel.startswith(TENANT_PREFIX):
             if TENANT_BANNED.search(line):
                 problems.append(
                     f"{rel}:{lineno}: threading primitive in src/tenant/; "
@@ -152,7 +157,7 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
                 tenant_mutex_lines.append(lineno)
             if GUARDED_BY.search(line):
                 tenant_has_guard = True
-    if rel.startswith(TENANT_PREFIX) and tenant_mutex_lines \
+    if rule_rel.startswith(TENANT_PREFIX) and tenant_mutex_lines \
             and not tenant_has_guard:
         for lineno in tenant_mutex_lines:
             problems.append(
@@ -160,7 +165,7 @@ def lint_file(path: pathlib.Path, rel: str) -> list[str]:
                 f"without any HOH_GUARDED_BY annotation in the file; "
                 f"annotate the data the mutex protects"
             )
-    budget = PERIODIC_BUDGET.get(rel, 0)
+    budget = PERIODIC_BUDGET.get(rule_rel, 0)
     for lineno in periodic_sites[budget:]:
         problems.append(
             f"{rel}:{lineno}: schedule_periodic call site over budget "
@@ -186,7 +191,18 @@ def main(argv: list[str]) -> int:
             rel = resolved.relative_to(repo).as_posix()
         except ValueError:  # linting a tree outside the repo (tests do)
             rel = resolved.as_posix()
-        problems.extend(lint_file(path, rel))
+        # Path-keyed rules (allowlists, TENANT_PREFIX, PERIODIC_BUDGET)
+        # match repo paths. When linting a fixture tree that mirrors the
+        # src/ layout (tests/lint_fixtures does), key the rules on the
+        # root-relative path instead, so `<root>/src/tenant/x.cpp` is
+        # treated exactly like `src/tenant/x.cpp`; reported locations
+        # keep the real path either way.
+        rule_rel = rel
+        if not rel.startswith("src/"):
+            root_rel = resolved.relative_to(root.resolve()).as_posix()
+            if root_rel.startswith("src/"):
+                rule_rel = root_rel
+        problems.extend(lint_file(path, rel, rule_rel))
     for problem in problems:
         print(problem)
     print(
