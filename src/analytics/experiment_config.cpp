@@ -9,8 +9,12 @@
 namespace hoh::analytics {
 namespace {
 
+bool g_strict_plan_parsing = false;
+
 /// Unknown keys warn instead of erroring so older binaries keep running
-/// newer plans, but a typo ("tenant" for "tenants") is never silent.
+/// newer plans, but a typo ("tenant" for "tenants") is never silent. In
+/// strict mode (hohsim --strict, used by every CI invocation) the same
+/// typo is a hard ConfigError.
 void warn_unknown_keys(const common::Json& obj,
                        std::initializer_list<const char*> known,
                        const std::string& where) {
@@ -23,6 +27,10 @@ void warn_unknown_keys(const common::Json& obj,
       }
     }
     if (!found) {
+      if (g_strict_plan_parsing) {
+        throw common::ConfigError("unknown key \"" + key + "\" in " + where +
+                                  " (strict mode)");
+      }
       common::Logger("hohsim").warn("ignoring unknown key \"" + key +
                                     "\" in " + where);
     }
@@ -68,6 +76,10 @@ KmeansScenario scenario_from(const common::Json& value) {
 }
 
 }  // namespace
+
+void set_strict_plan_parsing(bool strict) { g_strict_plan_parsing = strict; }
+
+bool strict_plan_parsing() { return g_strict_plan_parsing; }
 
 KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
   if (!doc.is_object()) {
@@ -286,11 +298,33 @@ KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
   if (doc.contains("allow_failure")) {
     cfg.allow_failure = doc.at("allow_failure").as_bool();
   }
+  if (doc.contains("store_shards")) {
+    cfg.store_shards = static_cast<int>(doc.at("store_shards").as_int());
+    if (cfg.store_shards < 1) {
+      throw common::ConfigError("store_shards must be >= 1");
+    }
+  }
+  if (doc.contains("spawn_latency")) {
+    cfg.spawn_latency = doc.at("spawn_latency").as_number();
+    if (cfg.spawn_latency < 0.0) {
+      throw common::ConfigError("spawn_latency must be >= 0");
+    }
+  }
+  if (doc.contains("trace_rollup")) {
+    cfg.trace_rollup = doc.at("trace_rollup").as_bool();
+  }
+  if (doc.contains("pilot_runtime")) {
+    cfg.pilot_runtime = doc.at("pilot_runtime").as_number();
+    if (cfg.pilot_runtime <= 0.0) {
+      throw common::ConfigError("pilot_runtime must be > 0");
+    }
+  }
   warn_unknown_keys(doc,
                     {"machine", "scenario", "nodes", "tasks", "stack",
                      "op_cost", "shuffle_amplification", "reuse_yarn_app",
                      "control_plane", "elastic", "failures", "recovery",
-                     "tenants", "allow_failure"},
+                     "tenants", "allow_failure", "store_shards",
+                     "spawn_latency", "trace_rollup", "pilot_runtime"},
                     "experiment");
   return cfg;
 }
@@ -327,6 +361,8 @@ common::Json result_to_json(const KmeansExperimentConfig& config,
   j["mean_unit_startup_s"] = result.mean_unit_startup;
   j["units_completed"] = static_cast<std::int64_t>(result.units_completed);
   j["engine_events"] = static_cast<std::int64_t>(result.engine_events);
+  j["store_shards"] = static_cast<std::int64_t>(config.store_shards);
+  j["outputChecksum"] = result.output_checksum;
   if (config.elastic) {
     j["elastic"] = common::Json(common::JsonObject{
         {"policy", config.elastic_policy.name},

@@ -33,9 +33,20 @@ namespace hoh::analytics {
 /// FailureInjector over the batch pool, and an optional "recovery"
 /// object {max_attempts, base_backoff, multiplier, max_backoff, jitter}
 /// enables pilot resubmission + unit requeue under that retry policy.
+/// Scale knobs (DESIGN.md §13): "store_shards" (state-store shard
+/// count, >= 1), "spawn_latency" (agent task-spawner latency override),
+/// "trace_rollup" (fold per-unit trace events into counters),
+/// "pilot_runtime" (pilot walltime request in simulated seconds).
 /// Missing fields keep defaults; unknown machine/stack/scenario/policy
 /// values throw ConfigError.
 KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc);
+
+/// Strict plan parsing (hohsim --strict): unknown plan keys become
+/// ConfigError instead of warnings, so CI catches a typo ("tenant" for
+/// "tenants") as a failed run rather than a silently ignored section.
+/// Process-wide; default off.
+void set_strict_plan_parsing(bool strict);
+bool strict_plan_parsing();
 
 /// Parses {"experiments": [...]} into a plan.
 std::vector<KmeansExperimentConfig> experiment_plan_from_json(

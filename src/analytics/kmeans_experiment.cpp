@@ -36,6 +36,11 @@ std::string digest_names(std::vector<std::string> names) {
 KmeansExperimentResult run_kmeans_experiment(
     const KmeansExperimentConfig& config) {
   pilot::Session session;
+  if (config.store_shards > 1) {
+    session.store().set_shard_count(
+        static_cast<std::size_t>(config.store_shards));
+  }
+  if (config.trace_rollup) session.trace().enable_rollup("unit");
   const int pool_nodes =
       config.elastic ? std::max(config.nodes, config.elastic_config.max_nodes)
                      : config.nodes;
@@ -69,7 +74,7 @@ KmeansExperimentResult run_kmeans_experiment(
   pd.resource = hpc::to_string(config.scheduler) + "://" +
                 config.machine.name + "/";
   pd.nodes = config.nodes;
-  pd.runtime = 48 * 3600.0;
+  pd.runtime = config.pilot_runtime;
   pd.backend = config.yarn_stack ? pilot::AgentBackend::kYarnModeI
                                  : pilot::AgentBackend::kPlain;
 
@@ -259,7 +264,10 @@ KmeansExperimentResult run_kmeans_experiment(
   for (const auto& s : session.trace().find_spans("unit", "startup")) {
     startup.add(s.duration());
   }
-  result.mean_unit_startup = startup.mean();
+  result.mean_unit_startup =
+      config.trace_rollup
+          ? session.trace().span_stats("unit", "startup").mean()
+          : startup.mean();
   result.units_completed = um.done_count();
   result.ok = result.units_completed ==
               static_cast<std::size_t>(config.tasks) * 2 *

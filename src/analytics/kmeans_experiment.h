@@ -96,6 +96,24 @@ struct KmeansExperimentConfig {
   /// Plan "allow_failure": a cell expected to fail (e.g. the recovery-off
   /// arm of the fault ablation) does not fail the whole hohsim run.
   bool allow_failure = false;
+
+  /// Plan "store_shards": StateStore shard count for this cell
+  /// (DESIGN.md §13). Digests are shard-count independent, which the CI
+  /// scale job asserts by running the same cell sharded and unsharded.
+  int store_shards = 1;
+
+  /// Plan "trace_rollup": fold per-unit trace events into O(1) counters
+  /// (DESIGN.md §13). Required at the 1M-unit scale — the raw event list
+  /// would dominate peak RSS. Digests are unaffected (the checksum is
+  /// computed from store documents, not the trace).
+  bool trace_rollup = false;
+
+  /// Plan "pilot_runtime": pilot walltime request in simulated seconds.
+  /// The 48 h default covers every paper-scale cell; the web-scale
+  /// keystone needs ~5 simulated days for 20 iterations of 50k units, so
+  /// its plan raises this — otherwise the batch system walltime-kills
+  /// the pilot mid-trajectory (DESIGN.md §13).
+  common::Seconds pilot_runtime = 48 * 3600.0;
 };
 
 struct KmeansExperimentResult {

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file bitmap.h
+/// Word-packed bitmap for resource accounting (DESIGN.md §13) — the
+/// SLURM job_resources idiom: node availability lives in one bit per
+/// node, so "how many nodes are free" is a popcount sweep and "lowest
+/// free node" is a count-trailing-zeros scan instead of a per-node
+/// linear walk over vector<bool> or shared_ptr tables.
+
+namespace hoh::common {
+
+class Bitmap {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  explicit Bitmap(std::size_t size = 0, bool value = false) {
+    assign(size, value);
+  }
+
+  void assign(std::size_t size, bool value) {
+    size_ = size;
+    words_.assign((size + 63) / 64, value ? ~std::uint64_t{0} : 0);
+    trim();
+  }
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i) { words_[i / 64] |= std::uint64_t{1} << (i % 64); }
+
+  void reset(std::size_t i) {
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
+
+  /// Number of set bits.
+  std::size_t count() const {
+    std::size_t n = 0;
+    for (const std::uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// Index of the first set bit at or after \p from; npos if none.
+  std::size_t find_first(std::size_t from = 0) const {
+    if (from >= size_) return npos;
+    std::size_t word = from / 64;
+    std::uint64_t bits = words_[word] & (~std::uint64_t{0} << (from % 64));
+    for (;;) {
+      if (bits != 0) {
+        return word * 64 + std::countr_zero(bits);
+      }
+      if (++word == words_.size()) return npos;
+      bits = words_[word];
+    }
+  }
+
+ private:
+  /// Clears bits beyond size_ so count()/find_first() never see them.
+  void trim() {
+    if (size_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (std::uint64_t{1} << (size_ % 64)) - 1;
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace hoh::common

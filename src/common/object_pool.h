@@ -1,0 +1,133 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <new>
+#include <vector>
+
+/// \file object_pool.h
+/// Slab-arena allocation for high-churn simulation objects (DESIGN.md
+/// §13). A web-scale run allocates and frees millions of short-lived
+/// records — engine events, Compute-Unit records, queue entries — and
+/// the general-purpose heap dominates the profile long before the model
+/// does. A SlabArena hands out fixed-size blocks carved from large
+/// slabs and recycles them through per-size free lists: steady-state
+/// acquire/release is a pointer pop/push with no malloc traffic.
+///
+/// Single-threaded by design: every user is an actor on the one
+/// simulation engine thread. Do not share an arena across threads.
+
+namespace hoh::common {
+
+/// Bump-pointer slab allocator with per-size-class free lists. Blocks
+/// are recycled, slabs are only released when the arena dies; peak
+/// footprint is the high-water mark of live objects, not the total
+/// number ever allocated.
+class SlabArena {
+ public:
+  explicit SlabArena(std::size_t slab_bytes = 64 * 1024)
+      : slab_bytes_(slab_bytes < 1024 ? 1024 : slab_bytes) {}
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Returns a block of at least \p bytes, recycled if one of this size
+  /// class is free. Blocks larger than a slab fall through to the heap.
+  void* acquire(std::size_t bytes) {
+    const std::size_t size = size_class(bytes);
+    if (size > slab_bytes_) return ::operator new(size);
+    FreeNode*& head = free_[size];
+    if (head != nullptr) {
+      FreeNode* node = head;
+      head = node->next;
+      ++live_;
+      return node;
+    }
+    if (slab_used_ + size > slab_bytes_ || slabs_.empty()) {
+      slabs_.push_back(std::make_unique<std::byte[]>(slab_bytes_));
+      slab_used_ = 0;
+    }
+    void* p = slabs_.back().get() + slab_used_;
+    slab_used_ += size;
+    ++live_;
+    return p;
+  }
+
+  /// Returns a block to its size class's free list. \p bytes must match
+  /// the acquire() request.
+  void release(void* p, std::size_t bytes) {
+    const std::size_t size = size_class(bytes);
+    if (size > slab_bytes_) {
+      ::operator delete(p);
+      return;
+    }
+    FreeNode*& head = free_[size];
+    auto* node = static_cast<FreeNode*>(p);
+    node->next = head;
+    head = node;
+    --live_;
+  }
+
+  /// Blocks currently handed out (slab-backed size classes only).
+  std::size_t live() const { return live_; }
+
+  std::size_t slab_count() const { return slabs_.size(); }
+
+ private:
+  struct FreeNode {
+    FreeNode* next;
+  };
+
+  /// Rounds up so every block can hold a FreeNode and stays max-aligned.
+  static std::size_t size_class(std::size_t bytes) {
+    const std::size_t unit = alignof(std::max_align_t);
+    std::size_t size = bytes < sizeof(FreeNode) ? sizeof(FreeNode) : bytes;
+    return (size + unit - 1) / unit * unit;
+  }
+
+  std::size_t slab_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::size_t slab_used_ = 0;
+  std::size_t live_ = 0;
+  std::map<std::size_t, FreeNode*> free_;  // size class -> recycled blocks
+};
+
+/// std-allocator adapter over a shared SlabArena, usable with
+/// std::allocate_shared so a record and its control block land in one
+/// recycled slab block. Copies share the arena; the shared_ptr keeps the
+/// arena alive until the last block is returned, so pooled objects may
+/// outlive the actor that created them.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(std::shared_ptr<SlabArena> arena)
+      : arena_(std::move(arena)) {}
+
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->acquire(n * sizeof(T)));
+  }
+
+  void deallocate(T* p, std::size_t n) { arena_->release(p, n * sizeof(T)); }
+
+  const std::shared_ptr<SlabArena>& arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  std::shared_ptr<SlabArena> arena_;
+};
+
+}  // namespace hoh::common

@@ -36,16 +36,49 @@ void ThreadPool::enqueue(std::function<void()> job) {
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
+    const std::function<void(std::size_t)>* pf_fn = nullptr;
+    std::size_t pf_lo = 0;
+    std::size_t pf_hi = 0;
     {
       MutexLock lock(mutex_);
-      while (!stopping_ && queue_.empty()) cv_.wait(mutex_);
-      if (queue_.empty()) {
-        if (stopping_) return;
+      while (!stopping_ && queue_.empty() &&
+             !(pf_active_ && pf_next_ < pf_n_)) {
+        cv_.wait(mutex_);
+      }
+      if (pf_active_ && pf_next_ < pf_n_) {
+        // Claim the next chunk of the shared parallel_for job; no queue
+        // entry or closure is ever allocated for it.
+        pf_fn = pf_fn_;
+        pf_lo = pf_next_;
+        pf_hi = std::min(pf_n_, pf_lo + pf_chunk_);
+        pf_next_ = pf_hi;
+        ++pf_running_;
+      } else if (!queue_.empty()) {
+        job = std::move(queue_.front());
+        queue_.pop_front();
+        ++active_;
+      } else if (stopping_) {
+        return;
+      } else {
         continue;
       }
-      job = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+    }
+    if (pf_fn != nullptr) {
+      std::exception_ptr err;
+      try {
+        for (std::size_t i = pf_lo; i < pf_hi; ++i) (*pf_fn)(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      bool done = false;
+      {
+        MutexLock lock(mutex_);
+        if (err && !pf_error_) pf_error_ = err;
+        --pf_running_;
+        done = pf_next_ >= pf_n_ && pf_running_ == 0;
+      }
+      if (done) pf_cv_.notify_all();
+      continue;
     }
     job();
     {
@@ -59,7 +92,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::wait_idle() {
   MutexLock lock(mutex_);
-  while (!queue_.empty() || active_ != 0) idle_cv_.wait(mutex_);
+  while (!queue_.empty() || active_ != 0 || pf_active_) idle_cv_.wait(mutex_);
 }
 
 std::size_t ThreadPool::tasks_submitted() const {
@@ -80,51 +113,68 @@ std::size_t ThreadPool::queue_depth() const {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  // The calling thread is one execution lane and runs the first chunk
-  // itself; the workers take the remaining chunks through a single
-  // stack-allocated latch. Compared to one packaged_task + future per
-  // chunk this does no per-chunk heap allocation and wakes the caller
-  // exactly once.
+  // The pool owns one reusable parallel_for job slot. The caller arms it
+  // and then behaves like a worker: everyone claims contiguous chunks
+  // under the mutex and runs them unlocked. Steady state is zero-alloc —
+  // no queue entries, closures or futures per chunk — which is what the
+  // BM_RddPipeline flat spot came down to.
   const std::size_t lanes = std::min(n, workers_.size() + 1);
   const std::size_t chunk = (n + lanes - 1) / lanes;
-  struct Latch {
-    Mutex mu;
-    CondVar cv;
-    std::size_t pending HOH_GUARDED_BY(mu) = 0;
-    std::exception_ptr error HOH_GUARDED_BY(mu);
-  } latch;
+  bool shared = false;
   {
-    MutexLock lock(latch.mu);
-    for (std::size_t lo = chunk; lo < n; lo += chunk) ++latch.pending;
+    MutexLock lock(mutex_);
+    if (!pf_active_ && chunk < n) {
+      pf_active_ = true;
+      pf_fn_ = &fn;
+      pf_n_ = n;
+      pf_chunk_ = chunk;
+      pf_next_ = 0;
+      pf_running_ = 0;
+      pf_error_ = nullptr;
+      shared = true;
+    }
   }
-  for (std::size_t lo = chunk; lo < n; lo += chunk) {
-    const std::size_t hi = std::min(n, lo + chunk);
-    enqueue([lo, hi, &fn, &latch] {
-      std::exception_ptr err;
-      try {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-      } catch (...) {
-        err = std::current_exception();
-      }
-      MutexLock lock(latch.mu);
-      if (err && !latch.error) latch.error = err;
-      if (--latch.pending == 0) latch.cv.notify_all();
-    });
+  if (!shared) {
+    // Single chunk, or a nested/concurrent parallel_for while the slot
+    // is busy: run sequentially on the caller (exceptions propagate).
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
+  cv_.notify_all();
+  // Claim chunks alongside the workers; the first claim is [0, chunk),
+  // the same leading range the caller always ran.
   std::exception_ptr caller_error;
-  try {
-    const std::size_t hi = std::min(n, chunk);
-    for (std::size_t i = 0; i < hi; ++i) fn(i);
-  } catch (...) {
-    caller_error = std::current_exception();
+  for (;;) {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    {
+      MutexLock lock(mutex_);
+      if (pf_next_ >= pf_n_) break;
+      lo = pf_next_;
+      hi = std::min(pf_n_, lo + pf_chunk_);
+      pf_next_ = hi;
+      ++pf_running_;
+    }
+    try {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    } catch (...) {
+      if (!caller_error) caller_error = std::current_exception();
+    }
+    {
+      MutexLock lock(mutex_);
+      --pf_running_;
+    }
   }
   {
-    // Workers still reference the latch (and fn) until pending drains;
-    // always wait before propagating any exception.
-    MutexLock lock(latch.mu);
-    while (latch.pending != 0) latch.cv.wait(latch.mu);
-    if (!caller_error && latch.error) caller_error = latch.error;
+    // Workers still reference the job slot (and fn) until the claimed
+    // chunks drain; always wait before propagating any exception.
+    MutexLock lock(mutex_);
+    while (pf_running_ != 0) pf_cv_.wait(mutex_);
+    if (!caller_error && pf_error_) caller_error = pf_error_;
+    pf_active_ = false;
+    pf_fn_ = nullptr;
   }
+  idle_cv_.notify_all();
   if (caller_error) std::rethrow_exception(caller_error);
 }
 

@@ -42,7 +42,9 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
-  /// Work is split into contiguous chunks, one per worker.
+  /// Work is split into contiguous chunks claimed from one shared job
+  /// slot (zero-alloc steady state: no per-chunk queue entries or
+  /// closures). Nested or concurrent calls run inline on the caller.
   void parallel_for(std::size_t n,
                     const std::function<void(std::size_t)>& fn);
 
@@ -76,6 +78,21 @@ class ThreadPool {
   bool stopping_ HOH_GUARDED_BY(mutex_) = false;
   std::size_t tasks_submitted_ HOH_GUARDED_BY(mutex_) = 0;
   std::size_t tasks_completed_ HOH_GUARDED_BY(mutex_) = 0;
+
+  // The shared parallel_for job slot (object-pool style: one reusable
+  // record instead of one heap closure per chunk). While pf_active_,
+  // workers and the caller claim [pf_next_, pf_next_ + pf_chunk_) ranges
+  // under the pool mutex and run them unlocked; the caller owns the fn
+  // and blocks until pf_running_ drains, so the pointer stays valid.
+  CondVar pf_cv_;
+  const std::function<void(std::size_t)>* pf_fn_ HOH_GUARDED_BY(mutex_) =
+      nullptr;
+  std::size_t pf_n_ HOH_GUARDED_BY(mutex_) = 0;
+  std::size_t pf_chunk_ HOH_GUARDED_BY(mutex_) = 0;
+  std::size_t pf_next_ HOH_GUARDED_BY(mutex_) = 0;
+  std::size_t pf_running_ HOH_GUARDED_BY(mutex_) = 0;
+  bool pf_active_ HOH_GUARDED_BY(mutex_) = false;
+  std::exception_ptr pf_error_ HOH_GUARDED_BY(mutex_);
 };
 
 }  // namespace hoh::common

@@ -35,8 +35,9 @@ BatchScheduler::BatchScheduler(sim::Engine& engine,
     throw common::ConfigError("BatchScheduler: node pool must be non-empty");
   }
   pool_.reserve(static_cast<std::size_t>(count));
-  node_busy_.assign(static_cast<std::size_t>(count), false);
-  node_dead_.assign(static_cast<std::size_t>(count), false);
+  free_.assign(static_cast<std::size_t>(count), true);
+  dead_.assign(static_cast<std::size_t>(count), false);
+  node_job_.assign(static_cast<std::size_t>(count), std::string{});
   for (int i = 0; i < count; ++i) {
     auto name = common::strformat("%s-n%04d", profile_.name.c_str(), i);
     node_index_[name] = pool_.size();
@@ -67,6 +68,7 @@ std::string BatchScheduler::submit(const BatchJobRequest& request,
   job.on_end = std::move(on_end);
   jobs_.emplace(job_id, std::move(job));
   queue_.push_back(job_id);
+  ++pending_jobs_;
 
   engine_.schedule(profile_.scheduler_submit_latency + base_queue_wait_,
                    [this, job_id] {
@@ -107,33 +109,16 @@ common::Seconds BatchScheduler::queue_wait(const std::string& job_id) const {
   return job.start_time - job.submit_time;
 }
 
-std::size_t BatchScheduler::pending_count() const {
-  std::size_t n = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == BatchJobState::kPending) ++n;
-  }
-  return n;
-}
+std::size_t BatchScheduler::pending_count() const { return pending_jobs_; }
 
-std::size_t BatchScheduler::running_count() const {
-  std::size_t n = 0;
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == BatchJobState::kRunning) ++n;
-  }
-  return n;
-}
+std::size_t BatchScheduler::running_count() const { return running_jobs_; }
 
 int BatchScheduler::free_nodes() const {
-  int n = 0;
-  for (std::size_t i = 0; i < pool_.size(); ++i) {
-    if (!node_busy_[i] && !node_dead_[i]) ++n;
-  }
-  return n;
+  return static_cast<int>(free_.count());
 }
 
 int BatchScheduler::live_node_count() const {
-  return static_cast<int>(
-      std::count(node_dead_.begin(), node_dead_.end(), false));
+  return static_cast<int>(pool_.size() - dead_.count());
 }
 
 std::vector<std::string> BatchScheduler::node_names() const {
@@ -154,20 +139,12 @@ void BatchScheduler::fail_node(const std::string& node) {
   if (it == node_index_.end()) {
     throw common::NotFoundError("BatchScheduler: unknown node " + node);
   }
-  if (node_dead_[it->second]) return;
-  node_dead_[it->second] = true;
-  // A running job holding the node dies with it.
-  std::string victim;
-  for (auto& [id, job] : jobs_) {
-    if (job.state != BatchJobState::kRunning) continue;
-    for (const auto& n : job.allocation.nodes()) {
-      if (n->name() == node) {
-        victim = id;
-        break;
-      }
-    }
-    if (!victim.empty()) break;
-  }
+  const std::size_t index = it->second;
+  if (dead_.test(index)) return;
+  dead_.set(index);
+  free_.reset(index);
+  // A running job holding the node dies with it (O(1) via node_job_).
+  const std::string victim = node_job_[index];
   if (!victim.empty()) {
     finish_job(victim, jobs_.at(victim), BatchJobState::kFailed);
   }
@@ -178,8 +155,11 @@ void BatchScheduler::repair_node(const std::string& node) {
   if (it == node_index_.end()) {
     throw common::NotFoundError("BatchScheduler: unknown node " + node);
   }
-  if (!node_dead_[it->second]) return;
-  node_dead_[it->second] = false;
+  const std::size_t index = it->second;
+  if (!dead_.test(index)) return;
+  dead_.reset(index);
+  // Only returns to the free pool if no (failed) job still holds it.
+  if (node_job_[index].empty()) free_.set(index);
   try_schedule();
 }
 
@@ -187,12 +167,12 @@ std::vector<std::shared_ptr<cluster::Node>> BatchScheduler::take_nodes(
     int count) {
   std::vector<std::shared_ptr<cluster::Node>> taken;
   taken.reserve(static_cast<std::size_t>(count));
-  for (std::size_t i = 0; i < pool_.size() && static_cast<int>(taken.size()) < count;
-       ++i) {
-    if (!node_busy_[i] && !node_dead_[i]) {
-      node_busy_[i] = true;
-      taken.push_back(pool_[i]);
-    }
+  // Lowest free index first, exactly as the old linear scan placed them.
+  for (std::size_t i = free_.find_first();
+       i != common::Bitmap::npos && static_cast<int>(taken.size()) < count;
+       i = free_.find_first(i + 1)) {
+    free_.reset(i);
+    taken.push_back(pool_[i]);
   }
   if (static_cast<int>(taken.size()) != count) {
     throw common::StateError("BatchScheduler: take_nodes underflow");
@@ -203,7 +183,9 @@ std::vector<std::shared_ptr<cluster::Node>> BatchScheduler::take_nodes(
 void BatchScheduler::return_nodes(const cluster::Allocation& allocation) {
   for (const auto& node : allocation.nodes()) {
     auto it = node_index_.find(node->name());
-    if (it != node_index_.end()) node_busy_[it->second] = false;
+    if (it == node_index_.end()) continue;
+    node_job_[it->second].clear();
+    if (!dead_.test(it->second)) free_.set(it->second);
   }
 }
 
@@ -293,6 +275,11 @@ void BatchScheduler::start_job(const std::string& job_id, JobRecord& job) {
   job.state = BatchJobState::kRunning;
   job.start_time = engine_.now();
   job.allocation = cluster::Allocation(take_nodes(job.request.nodes));
+  for (const auto& node : job.allocation.nodes()) {
+    node_job_[node_index_.at(node->name())] = job_id;
+  }
+  --pending_jobs_;
+  ++running_jobs_;
   queue_.erase(std::find(queue_.begin(), queue_.end(), job_id));
 
   // Walltime enforcement.
@@ -320,6 +307,7 @@ void BatchScheduler::finish_job(const std::string& job_id, JobRecord& job,
   engine_.cancel(job.walltime_event);
   job.state = final_state;
   job.end_time = engine_.now();
+  --running_jobs_;
   return_nodes(job.allocation);
   job.allocation = cluster::Allocation{};
   if (job.on_end) job.on_end(job_id, final_state);
@@ -339,6 +327,7 @@ void BatchScheduler::cancel(const std::string& job_id) {
   if (job.state == BatchJobState::kPending) {
     job.state = BatchJobState::kCancelled;
     job.end_time = engine_.now();
+    --pending_jobs_;
     queue_.erase(std::find(queue_.begin(), queue_.end(), job_id));
     if (job.on_end) job.on_end(job_id, BatchJobState::kCancelled);
     return;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/bitmap.h"
 #include "hpc/batch_job.h"
 #include "sim/engine.h"
 
@@ -127,12 +128,20 @@ class BatchScheduler {
   common::Seconds base_queue_wait_ = 0.0;
 
   std::vector<std::shared_ptr<cluster::Node>> pool_;
-  std::vector<bool> node_busy_;
-  std::vector<bool> node_dead_;
+  /// Bitmap resource accounting (DESIGN.md §13): a set bit in free_
+  /// means idle-and-alive, so allocation is a find-first-set scan and
+  /// free_nodes() a popcount — no per-node walk at 10k nodes. A node
+  /// that is neither free nor dead is allocated; node_job_ names the
+  /// running job holding it (O(1) victim lookup on node failure).
+  common::Bitmap free_;
+  common::Bitmap dead_;
+  std::vector<std::string> node_job_;
   std::map<std::string, std::size_t> node_index_;
 
   std::deque<std::string> queue_;  // pending job ids, submission order
   std::map<std::string, JobRecord> jobs_;
+  std::size_t pending_jobs_ = 0;
+  std::size_t running_jobs_ = 0;
   std::uint64_t next_job_number_ = 1;
 };
 

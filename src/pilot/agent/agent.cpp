@@ -403,7 +403,8 @@ void Agent::poll_store() {
   for (const auto& id : ids) {
     auto doc = store_.get("unit", id);
     if (!doc.has_value()) continue;
-    auto unit = std::make_shared<UnitRec>();
+    auto unit = std::allocate_shared<UnitRec>(
+        common::PoolAllocator<UnitRec>(unit_arena_));
     unit->id = id;
     unit->desc = unit_from_json(doc->at("description"));
     set_unit_state(*unit, UnitState::kAgentScheduling);
@@ -442,12 +443,50 @@ void Agent::set_unit_state(UnitRec& unit, UnitState state) {
 void Agent::schedule_queued() {
   if (!active_) return;
   std::deque<std::shared_ptr<UnitRec>> still_waiting;
+  // Monotone-failure cutoff (DESIGN.md §13): within one pass capacity
+  // only shrinks (dispatch allocates; releases arrive as later engine
+  // events), so once an ask has failed, any later non-MPI ask needing at
+  // least as many cores and as much memory must fail too and is skipped
+  // without a node scan or an RM metrics call. MPI units are always
+  // tried: gang allocation can succeed where single-node placement
+  // failed.
+  int failed_cores = -1;
+  common::MemoryMb failed_mb = 0;
   while (!queue_.empty()) {
     auto unit = queue_.front();
     queue_.pop_front();
-    if (!dispatch(unit)) still_waiting.push_back(std::move(unit));
+    const bool dominated = failed_cores >= 0 && !unit->desc.is_mpi &&
+                           unit->desc.cores >= failed_cores &&
+                           unit->desc.memory_mb >= failed_mb;
+    if (dominated) {
+      still_waiting.push_back(std::move(unit));
+      continue;
+    }
+    if (dispatch(unit)) continue;
+    if (!unit->desc.is_mpi &&
+        (failed_cores < 0 || (unit->desc.cores <= failed_cores &&
+                              unit->desc.memory_mb <= failed_mb))) {
+      failed_cores = unit->desc.cores;
+      failed_mb = unit->desc.memory_mb;
+    }
+    still_waiting.push_back(std::move(unit));
   }
   queue_ = std::move(still_waiting);
+}
+
+void Agent::note_node_release(const cluster::Node* node) {
+  if (plain_cursor_ == 0) return;
+  if (node_pos_stale_) {
+    node_pos_.clear();
+    const auto& nodes = allocation_.nodes();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      node_pos_[nodes[i].get()] = i;
+    }
+    node_pos_stale_ = false;
+  }
+  const auto it = node_pos_.find(node);
+  plain_cursor_ =
+      it == node_pos_.end() ? 0 : std::min(plain_cursor_, it->second);
 }
 
 bool Agent::dispatch(const std::shared_ptr<UnitRec>& unit) {
@@ -456,7 +495,19 @@ bool Agent::dispatch(const std::shared_ptr<UnitRec>& unit) {
       // Continuous scheduler: first node with enough free cores+memory.
       const cluster::ResourceRequest req{unit->desc.cores,
                                          unit->desc.memory_mb};
-      for (const auto& node : allocation_.nodes()) {
+      const auto& nodes = allocation_.nodes();
+      // Advance the first-fit cursor past exhausted nodes; every
+      // non-draining node below it has zero free cores and cannot host
+      // any unit that wants a core, so the scan starts at the cursor.
+      if (plain_cursor_ > nodes.size()) plain_cursor_ = 0;
+      while (plain_cursor_ < nodes.size() &&
+             nodes[plain_cursor_]->free_cores() == 0 &&
+             !node_draining(nodes[plain_cursor_]->name())) {
+        ++plain_cursor_;
+      }
+      const std::size_t start = unit->desc.cores > 0 ? plain_cursor_ : 0;
+      for (std::size_t i = start; i < nodes.size(); ++i) {
+        const auto& node = nodes[i];
         if (node_draining(node->name())) continue;
         if (node->allocate(req)) {
           unit->node = node.get();
@@ -622,10 +673,12 @@ void Agent::finish_unit(std::shared_ptr<UnitRec> unit,
   if (unit->node != nullptr) {
     unit->node->release(cluster::ResourceRequest{unit->desc.cores,
                                                  unit->desc.memory_mb});
+    note_node_release(unit->node);
     unit->node = nullptr;
   }
   for (const auto& [node, piece] : unit->pieces) {
     node->release(piece);
+    note_node_release(node);
   }
   unit->pieces.clear();
   if (unit->yarn_reserved_mb > 0) {
@@ -860,6 +913,8 @@ void Agent::add_nodes(std::vector<std::shared_ptr<cluster::Node>> nodes) {
     // Bootstrap has not finished; the LRM picks the nodes up when it
     // builds the backend cluster from the (now larger) allocation.
     for (auto& node : nodes) allocation_.add(std::move(node));
+    plain_cursor_ = 0;
+    node_pos_stale_ = true;
     return;
   }
   // Per-node worker-daemon start before the capacity becomes usable.
@@ -878,6 +933,8 @@ void Agent::add_nodes(std::vector<std::shared_ptr<cluster::Node>> nodes) {
       if (spark_ != nullptr) spark_->add_worker(node);
       allocation_.add(node);
     }
+    plain_cursor_ = 0;
+    node_pos_stale_ = true;
     saga_.trace().record(
         saga_.engine().now(), "pilot", "resize",
         {{"pilot", pilot_id_},
@@ -1046,6 +1103,8 @@ void Agent::drain_finish() {
     draining_.erase(name);
     wrapper_cache_.erase(name);
   }
+  plain_cursor_ = 0;
+  node_pos_stale_ = true;
   saga_.trace().record(
       saga_.engine().now(), "pilot", "resize",
       {{"pilot", pilot_id_},
@@ -1089,9 +1148,13 @@ bool Agent::preempt_unit(const std::string& unit_id) {
   if (unit->node != nullptr) {
     unit->node->release(cluster::ResourceRequest{unit->desc.cores,
                                                  unit->desc.memory_mb});
+    note_node_release(unit->node);
     unit->node = nullptr;
   }
-  for (const auto& [node, piece] : unit->pieces) node->release(piece);
+  for (const auto& [node, piece] : unit->pieces) {
+    node->release(piece);
+    note_node_release(node);
+  }
   unit->pieces.clear();
   if (unit->am != nullptr) {
     unit->am->kill_container(unit->container_id);
@@ -1125,9 +1188,13 @@ void Agent::requeue_unit(const std::shared_ptr<UnitRec>& unit) {
   if (unit->node != nullptr) {
     unit->node->release(cluster::ResourceRequest{unit->desc.cores,
                                                  unit->desc.memory_mb});
+    note_node_release(unit->node);
     unit->node = nullptr;
   }
-  for (const auto& [node, piece] : unit->pieces) node->release(piece);
+  for (const auto& [node, piece] : unit->pieces) {
+    node->release(piece);
+    note_node_release(node);
+  }
   unit->pieces.clear();
   if (unit->am != nullptr) {
     unit->am->kill_container(unit->container_id);

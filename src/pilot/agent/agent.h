@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cluster/machine.h"
+#include "common/object_pool.h"
 #include "pilot/agent/agent_config.h"
 #include "pilot/descriptions.h"
 #include "pilot/state_store.h"
@@ -207,6 +208,10 @@ class Agent {
   void drain_escalate();
   void drain_finish();
   void requeue_unit(const std::shared_ptr<UnitRec>& unit);
+  /// Plain-path first-fit cursor maintenance: a release on \p node may
+  /// re-open capacity below the cursor, so the cursor moves back to its
+  /// index (map rebuilt lazily after topology changes).
+  void note_node_release(const cluster::Node* node);
   bool node_draining(const std::string& name) const {
     return draining_.count(name) > 0;
   }
@@ -234,6 +239,19 @@ class Agent {
 
   std::deque<std::shared_ptr<UnitRec>> queue_;  // agent scheduler queue
   std::map<std::string, std::shared_ptr<UnitRec>> running_units_;
+  /// Unit records churn once per Compute-Unit; at web scale (1M units)
+  /// they come from a slab arena instead of the general-purpose heap.
+  /// The shared_ptr keeps the arena alive past the agent for records
+  /// still referenced by continuations (DESIGN.md §13).
+  std::shared_ptr<common::SlabArena> unit_arena_ =
+      std::make_shared<common::SlabArena>();
+  /// First-fit cursor for the plain scheduler: every non-draining node
+  /// below the cursor has zero free cores, so a dispatch scan starts at
+  /// the cursor — the 10k-node dispatch burst is O(units), not
+  /// O(units * nodes). Releases move it back; topology changes reset it.
+  std::size_t plain_cursor_ = 0;
+  std::map<const cluster::Node*, std::size_t> node_pos_;
+  bool node_pos_stale_ = true;
   std::set<std::string> draining_;              // nodes being drained
   std::vector<std::string> drain_names_;        // active drain, in order
   common::Seconds drain_deadline_ = 0.0;

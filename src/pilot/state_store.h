@@ -4,6 +4,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,7 +22,16 @@
 /// operation pays a configurable round-trip latency, which is how the
 /// store's share of Compute-Unit startup latency enters the simulation.
 ///
-/// Thread-safety: all operations lock an internal annotated Mutex, like
+/// Sharding (DESIGN.md §13): the store is internally split into
+/// set_shard_count() shards, each with its own annotated Mutex. A bucket
+/// (collection or queue name) hashes to exactly one shard, so all
+/// operations, watchers and notifications for one bucket stay on one
+/// lock — per-bucket FIFO and per-shard registration order are preserved
+/// by construction, and two shard locks are never held at once. The
+/// default is one shard, which is byte-for-byte the old single-lock
+/// store; web-scale plans raise it via the "store_shards" plan key.
+///
+/// Thread-safety: all operations lock the owning shard's Mutex, like
 /// the real store's server-side concurrency control. The store is also
 /// the single chokepoint every unit state write goes through, so
 /// update() enforces the Fig. 3 lifecycle-transition table (see
@@ -29,14 +39,16 @@
 /// document throws StateError instead of corrupting the lifecycle.
 ///
 /// Watch/notify (etcd/ZooKeeper-style, DESIGN.md §10): watch() registers
-/// a callback on a bucket (collection or queue name) and key prefix;
-/// every put/update/queue_push under that bucket fires the matching
-/// watchers. Delivery goes through the sim engine as one zero-delay
-/// event per mutation, so (a) callbacks never run under the store mutex,
-/// (b) delivery is deterministic — watchers fire in registration order,
-/// mutations in FIFO order with everything else at that instant — and
-/// (c) the transition gate in update() has already validated the write
-/// by the time any watcher sees it.
+/// a callback on a bucket and key prefix; every put/update/queue_push
+/// under that bucket fires the matching watchers. Delivery goes through
+/// the sim engine as a coalesced zero-delay tick: mutations enqueue onto
+/// one global FIFO and a single drain event delivers every mutation
+/// pending at that instant, so (a) callbacks never run under any store
+/// mutex, (b) delivery is deterministic and independent of the shard
+/// count — mutations in global FIFO order, watchers in registration
+/// order — and (c) the transition gate in update() has already validated
+/// the write by the time any watcher sees it. Mutations performed *by* a
+/// watch callback go to a fresh tick at the same timestamp.
 
 namespace hoh::pilot {
 
@@ -70,59 +82,80 @@ class StateStore {
  public:
   using WatchCallback = std::function<void(const WatchEvent&)>;
 
-  explicit StateStore(sim::Engine& engine, common::Seconds op_latency = 0.05)
-      : engine_(engine), op_latency_(op_latency) {}
+  /// Shard indices are packed into the low bits of watch ids.
+  static constexpr std::size_t kMaxShards = 256;
+
+  explicit StateStore(sim::Engine& engine, common::Seconds op_latency = 0.05);
 
   common::Seconds op_latency() const { return op_latency_; }
 
+  /// Re-partitions the (empty) store into \p count shards. Must be
+  /// called before any document, queue element or watcher exists;
+  /// throws StateError once the store is in use and ConfigError for
+  /// count == 0 or count > kMaxShards.
+  void set_shard_count(std::size_t count);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
   /// Inserts or replaces a document.
   void put(const std::string& collection, const std::string& id,
-           common::Json document) HOH_EXCLUDES(mu_);
+           common::Json document);
 
   /// Reads a document; nullopt when absent.
   std::optional<common::Json> get(const std::string& collection,
-                                  const std::string& id) const
-      HOH_EXCLUDES(mu_);
+                                  const std::string& id) const;
+
+  /// Reads one top-level field of a document; nullopt when the document
+  /// or the field is absent. Same op accounting as get(), but copies one
+  /// value instead of the whole document — the hot path for the
+  /// Unit-Manager's barrier polls, which read only "state" out of a
+  /// million unit documents (DESIGN.md §13).
+  std::optional<common::Json> get_field(const std::string& collection,
+                                        const std::string& id,
+                                        const std::string& field) const;
 
   /// Merges \p fields into an existing document (top-level keys). A
   /// "state" merge into the "unit" collection is validated against the
   /// unit lifecycle-transition table and throws StateError on an illegal
   /// edge (e.g. Done -> Executing after a stale requeue).
   void update(const std::string& collection, const std::string& id,
-              const common::JsonObject& fields) HOH_EXCLUDES(mu_);
+              const common::JsonObject& fields);
 
   /// All documents of a collection (id order).
   std::vector<std::pair<std::string, common::Json>> find_all(
-      const std::string& collection) const HOH_EXCLUDES(mu_);
+      const std::string& collection) const;
 
   /// Appends an id to a named queue.
-  void queue_push(const std::string& queue, const std::string& id)
-      HOH_EXCLUDES(mu_);
+  void queue_push(const std::string& queue, const std::string& id);
 
   /// Drains the queue (agent poll). Returns ids in FIFO order.
-  std::vector<std::string> queue_pop_all(const std::string& queue)
-      HOH_EXCLUDES(mu_);
+  std::vector<std::string> queue_pop_all(const std::string& queue);
 
-  std::size_t queue_depth(const std::string& queue) const HOH_EXCLUDES(mu_);
+  std::size_t queue_depth(const std::string& queue) const;
 
   /// Total simulated operations performed (for overhead accounting).
-  std::uint64_t op_count() const HOH_EXCLUDES(mu_);
+  std::uint64_t op_count() const;
+
+  /// Total *mutations* (put/update/queue push/pop) — reads excluded.
+  /// A poller that saw this unchanged knows no document or queue
+  /// changed, so barrier checks can skip their rescan (DESIGN.md §13).
+  std::uint64_t mutation_count() const;
 
   /// Registers a watch on \p bucket (a collection or queue name) for keys
   /// starting with \p key_prefix (empty = every key). The callback fires
   /// once per matching mutation, delivered through the sim engine at the
-  /// mutation's timestamp (zero-delay event). Watchers registered earlier
-  /// fire earlier for the same mutation.
+  /// mutation's timestamp (coalesced zero-delay tick). Watchers
+  /// registered earlier fire earlier for the same mutation.
   WatchHandle watch(const std::string& bucket, const std::string& key_prefix,
-                    WatchCallback callback) HOH_EXCLUDES(mu_);
+                    WatchCallback callback);
 
   /// Removes a watch. Pending deliveries for it are dropped (the watcher
   /// set is re-checked at delivery time). Returns false if the handle was
   /// invalid or already unwatched.
-  bool unwatch(WatchHandle handle) HOH_EXCLUDES(mu_);
+  bool unwatch(WatchHandle handle);
 
   /// Number of registered watchers (teardown hygiene checks).
-  std::size_t watcher_count() const HOH_EXCLUDES(mu_);
+  std::size_t watcher_count() const;
 
  private:
   struct Watcher {
@@ -131,21 +164,59 @@ class StateStore {
     WatchCallback fn;
   };
 
-  /// Schedules delivery of one mutation to the watchers matching it.
-  /// Called after the mutating critical section released mu_.
+  /// One lock domain: the documents, queues and watchers of every bucket
+  /// hashing here. Watch ids pack (registration counter << 8) | shard
+  /// index, so map order inside a shard is registration order and
+  /// unwatch/delivery recover the shard without a side table.
+  struct Shard {
+    mutable common::Mutex mu;
+    mutable std::uint64_t ops HOH_GUARDED_BY(mu) = 0;
+    std::uint64_t muts HOH_GUARDED_BY(mu) = 0;
+    std::map<std::string, std::map<std::string, common::Json>> collections
+        HOH_GUARDED_BY(mu);
+    std::map<std::string, std::deque<std::string>> queues HOH_GUARDED_BY(mu);
+    /// Keyed by watch id; std::map iteration = registration-order delivery.
+    std::map<std::uint64_t, Watcher> watchers HOH_GUARDED_BY(mu);
+  };
+
+  /// One mutation awaiting watch delivery; targets were matched under
+  /// the bucket's shard lock at mutation time and are re-resolved at
+  /// delivery time.
+  struct PendingDelivery {
+    std::vector<std::uint64_t> targets;
+    WatchEvent event;
+  };
+
+  Shard& shard_for(const std::string& bucket) const;
+
+  /// Enqueues one mutation onto the global delivery FIFO and schedules
+  /// the coalesced drain tick if none is pending. Called after the
+  /// mutating critical section released its shard lock.
   void notify(WatchEventType type, const std::string& bucket,
-              const std::string& key) HOH_EXCLUDES(mu_);
+              const std::string& key);
+
+  /// The drain tick: delivers every mutation queued at this instant.
+  void deliver_pending();
+
+  bool in_use() const;
 
   sim::Engine& engine_;
   common::Seconds op_latency_;
-  mutable common::Mutex mu_;
-  mutable std::uint64_t ops_ HOH_GUARDED_BY(mu_) = 0;
-  std::uint64_t next_watch_id_ HOH_GUARDED_BY(mu_) = 1;
-  std::map<std::string, std::map<std::string, common::Json>> collections_
-      HOH_GUARDED_BY(mu_);
-  std::map<std::string, std::deque<std::string>> queues_ HOH_GUARDED_BY(mu_);
-  /// Keyed by watch id; std::map iteration = registration-order delivery.
-  std::map<std::uint64_t, Watcher> watchers_ HOH_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Watch-id allocation is global so registration order is total across
+  /// shards; ops_base_ carries operation counts across re-sharding.
+  mutable common::Mutex id_mu_;
+  std::uint64_t next_watch_seq_ HOH_GUARDED_BY(id_mu_) = 1;
+  std::uint64_t ops_base_ HOH_GUARDED_BY(id_mu_) = 0;
+  std::uint64_t muts_base_ HOH_GUARDED_BY(id_mu_) = 0;
+
+  /// Global mutation FIFO: delivery order is submission order no matter
+  /// how many shards the buckets hash across.
+  mutable common::Mutex delivery_mu_;
+  std::vector<PendingDelivery> pending_deliveries_
+      HOH_GUARDED_BY(delivery_mu_);
+  bool delivery_scheduled_ HOH_GUARDED_BY(delivery_mu_) = false;
 };
 
 }  // namespace hoh::pilot

@@ -9,9 +9,10 @@
 namespace hoh::pilot {
 
 UnitState ComputeUnit::state() const {
-  const auto doc = manager_->session().store().get("unit", id_);
-  if (!doc.has_value()) return UnitState::kNew;
-  return unit_state_from_string(doc->at("state").as_string());
+  const auto state =
+      manager_->session().store().get_field("unit", id_, "state");
+  if (!state.has_value()) return UnitState::kNew;
+  return unit_state_from_string(state->as_string());
 }
 
 UnitManager::~UnitManager() {
@@ -26,6 +27,7 @@ UnitManager::~UnitManager() {
 }
 
 void UnitManager::add_pilot(std::shared_ptr<Pilot> pilot) {
+  recovery_dirty_ = true;
   if (pilot == nullptr) {
     throw common::ConfigError("UnitManager::add_pilot: null pilot");
   }
@@ -99,6 +101,7 @@ std::string UnitManager::pick_pilot(const ComputeUnitDescription& /*desc*/) {
 
 void UnitManager::enable_recovery(common::RetryPolicy policy,
                                   std::uint64_t seed) {
+  recovery_dirty_ = true;
   policy.validate();
   recovery_policy_ = policy;
   recovery_rng_ = common::Rng(seed);
@@ -120,6 +123,7 @@ void UnitManager::watch_pilot_for_recovery(
 }
 
 void UnitManager::handle_pilot_failure(const std::string& pilot_id) {
+  recovery_dirty_ = true;
   if (!recovery_enabled_) return;
   for (const auto& unit : units_) {
     if (unit->pilot_id() != pilot_id) continue;
@@ -157,6 +161,7 @@ Pilot* UnitManager::find_live_pilot() {
 }
 
 void UnitManager::try_requeue(const std::string& unit_id) {
+  recovery_dirty_ = true;
   auto it = by_id_.find(unit_id);
   if (it == by_id_.end()) {
     limbo_.erase(unit_id);
@@ -187,6 +192,10 @@ void UnitManager::try_requeue(const std::string& unit_id) {
   if (unit_reconciled_.count(unit_id) == 0) {
     // Not folded back yet: the old pilot's backlog still carries it.
     backlog_seconds_[from] -= predicted;
+  } else {
+    // Folded back already: the unit is live again, re-open it so the
+    // next reconcile() folds the new attempt too.
+    open_units_.push_back(unit);
   }
   backlog_seconds_[to] += predicted;
   unit_reconciled_.erase(unit_id);
@@ -228,6 +237,7 @@ std::shared_ptr<Pilot> UnitManager::pilot_by_id(
 }
 
 bool UnitManager::redispatch_failed(const std::string& unit_id) {
+  recovery_dirty_ = true;
   auto it = by_id_.find(unit_id);
   if (it == by_id_.end()) return false;
   auto& unit = it->second;
@@ -248,6 +258,8 @@ bool UnitManager::redispatch_failed(const std::string& unit_id) {
       pred != unit_predictions_.end() ? pred->second : 0.0;
   if (unit_reconciled_.count(unit_id) == 0) {
     backlog_seconds_[from] -= predicted;
+  } else {
+    open_units_.push_back(unit);  // live again: reconcile the new attempt
   }
   backlog_seconds_[to] += predicted;
   unit_reconciled_.erase(unit_id);
@@ -265,6 +277,7 @@ bool UnitManager::redispatch_failed(const std::string& unit_id) {
 }
 
 void UnitManager::drain_pending_requeues() {
+  recovery_dirty_ = true;
   if (pending_requeue_.empty()) return;
   std::vector<std::string> waiting;
   waiting.swap(pending_requeue_);
@@ -272,30 +285,50 @@ void UnitManager::drain_pending_requeues() {
 }
 
 void UnitManager::reconcile() {
-  for (const auto& unit : units_) {
+  // Fold the trace increment into the per-unit time maps: the trace is
+  // append-only, so every event is visited once per run, not once per
+  // finished unit. (With trace rollup enabled, unit events are not
+  // stored and the estimator simply never observes — scale runs use
+  // known durations, not predictions.)
+  const auto& events = session_.trace().events();
+  for (; trace_scan_pos_ < events.size(); ++trace_scan_pos_) {
+    const auto& e = events[trace_scan_pos_];
+    if (e.category != "unit") continue;
+    if (e.name != "Executing" && e.name != "Done") continue;
+    const auto unit_attr = e.attrs.find("unit");
+    if (unit_attr == e.attrs.end()) continue;
+    if (e.name == "Executing") {
+      exec_time_[unit_attr->second] = e.time;
+    } else {
+      done_time_[unit_attr->second] = e.time;
+    }
+  }
+  std::vector<std::shared_ptr<ComputeUnit>> still_open;
+  for (const auto& unit : open_units_) {
     if (unit_reconciled_.count(unit->id()) > 0) continue;
     const UnitState state = unit->state();
-    if (!is_final(state)) continue;
+    if (!is_final(state)) {
+      still_open.push_back(unit);
+      continue;
+    }
     unit_reconciled_[unit->id()] = true;
     auto pred = unit_predictions_.find(unit->id());
     if (pred != unit_predictions_.end()) {
       backlog_seconds_[unit->pilot_id()] -= pred->second;
     }
-    if (state != UnitState::kDone) continue;
-    // Observed runtime: Executing -> Done from the trace.
-    double exec_at = -1.0;
-    double done_at = -1.0;
-    for (const auto& e : session_.trace().find("unit")) {
-      if (e.attrs.count("unit") == 0 || e.attrs.at("unit") != unit->id()) {
-        continue;
-      }
-      if (e.name == "Executing") exec_at = e.time;
-      if (e.name == "Done") done_at = e.time;
+    // Observed runtime: Executing -> Done. Entries are dropped once
+    // consumed; a later requeue re-records them.
+    const auto exec_at = exec_time_.find(unit->id());
+    const auto done_at = done_time_.find(unit->id());
+    if (state == UnitState::kDone && exec_at != exec_time_.end() &&
+        done_at != done_time_.end() && done_at->second >= exec_at->second) {
+      estimator_->observe(unit->description(),
+                          done_at->second - exec_at->second);
     }
-    if (exec_at >= 0.0 && done_at >= exec_at) {
-      estimator_->observe(unit->description(), done_at - exec_at);
-    }
+    if (exec_at != exec_time_.end()) exec_time_.erase(exec_at);
+    if (done_at != done_time_.end()) done_time_.erase(done_at);
   }
+  open_units_ = std::move(still_open);
 }
 
 std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit(
@@ -351,6 +384,8 @@ std::vector<std::shared_ptr<ComputeUnit>> UnitManager::submit(
     out.push_back(std::move(handle));
   }
   units_.insert(units_.end(), out.begin(), out.end());
+  open_units_.insert(open_units_.end(), out.begin(), out.end());
+  unsettled_.insert(unsettled_.end(), out.begin(), out.end());
   return out;
 }
 
@@ -418,9 +453,19 @@ std::shared_ptr<ComputeUnit> UnitManager::submit(
 }
 
 bool UnitManager::all_done() {
+  // Barrier fast path (DESIGN.md §13): unit and pilot states live in the
+  // store, so if nothing was mutated since the last poll — and no
+  // recovery bookkeeping (limbo/abandon triage) moved either — the
+  // answer cannot have changed. Long-running waves poll every few
+  // simulated seconds while nothing happens; this makes those polls
+  // O(1) instead of O(in-flight units).
+  const std::uint64_t muts = session_.store().mutation_count();
+  if (all_done_cached_ && !recovery_dirty_ && muts == all_done_muts_) {
+    return all_done_cache_;
+  }
   reconcile();
-  return std::all_of(units_.begin(), units_.end(), [this](const auto& u) {
-    const UnitState state = u->state();
+  const auto settled_now = [this](const std::shared_ptr<ComputeUnit>& u,
+                                  UnitState state) {
     if (state == UnitState::kFailed && recovery_enabled_) {
       if (limbo_.count(u->id()) > 0) {
         return false;  // requeue in flight: not settled yet
@@ -443,14 +488,35 @@ bool UnitManager::all_done() {
       }
     }
     return is_final(state);
-  });
+  };
+  // Only units whose outcome is not locked in are re-read. kDone and
+  // kCanceled are sinks and leave the working set for good; kFailed
+  // stays (requeue/redispatch may cross its one legal out-edge).
+  bool all = true;
+  std::vector<std::shared_ptr<ComputeUnit>> still_unsettled;
+  for (const auto& u : unsettled_) {
+    const UnitState state = u->state();
+    if (state == UnitState::kDone || state == UnitState::kCanceled) {
+      if (state == UnitState::kDone) ++settled_done_;
+      continue;
+    }
+    still_unsettled.push_back(u);
+    if (!settled_now(u, state)) all = false;
+  }
+  unsettled_ = std::move(still_unsettled);
+  all_done_cached_ = true;
+  all_done_cache_ = all;
+  all_done_muts_ = muts;
+  recovery_dirty_ = false;
+  return all;
 }
 
 std::size_t UnitManager::done_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(units_.begin(), units_.end(), [](const auto& u) {
-        return u->state() == UnitState::kDone;
-      }));
+  std::size_t n = settled_done_;
+  for (const auto& u : unsettled_) {
+    if (u->state() == UnitState::kDone) ++n;
+  }
+  return n;
 }
 
 }  // namespace hoh::pilot

@@ -178,6 +178,30 @@ class UnitManager {
   std::map<std::string, double> unit_predictions_;   // unit -> predicted
   std::map<std::string, bool> unit_reconciled_;      // unit -> folded back
 
+  /// Incremental reconcile/all_done bookkeeping (DESIGN.md §13). The
+  /// trace is append-only, so reconcile() scans it once past
+  /// trace_scan_pos_ into per-unit Executing/Done time maps instead of
+  /// re-walking the whole trace per finished unit; open_units_ holds
+  /// only units not yet folded back, and unsettled_ holds units whose
+  /// terminal outcome is not yet locked in (kDone/kCanceled are sinks
+  /// and leave it; kFailed stays, since requeue/redispatch may revive
+  /// it) — a barrier poll over 1M finished units costs O(1), not
+  /// O(units) store reads.
+  std::size_t trace_scan_pos_ = 0;
+  std::map<std::string, double> exec_time_;          // unit -> Executing at
+  std::map<std::string, double> done_time_;          // unit -> Done at
+  std::vector<std::shared_ptr<ComputeUnit>> open_units_;
+  std::vector<std::shared_ptr<ComputeUnit>> unsettled_;
+  std::size_t settled_done_ = 0;  // kDone units dropped from unsettled_
+
+  /// all_done() memo: valid while the store mutation count is unchanged
+  /// and no recovery bookkeeping (which can move without a store write)
+  /// was touched — see recovery_dirty_ sites.
+  bool all_done_cached_ = false;
+  bool all_done_cache_ = false;
+  bool recovery_dirty_ = false;
+  std::uint64_t all_done_muts_ = 0;
+
   /// Units held back by dependencies: (unit id, pilot id, description).
   struct HeldUnit {
     std::string unit_id;

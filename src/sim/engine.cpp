@@ -24,12 +24,46 @@ EventHandle Engine::schedule(Seconds delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+std::uint64_t Engine::alloc_slot(Callback fn, bool periodic, Seconds period) {
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+  slot.periodic = periodic;
+  slot.period = period;
+  return (static_cast<std::uint64_t>(index) << 32) | slot.gen;
+}
+
+void Engine::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn = nullptr;
+  slot.live = false;
+  slot.periodic = false;
+  ++slot.gen;
+  if (slot.gen == 0) slot.gen = 1;  // keep ids nonzero on wrap
+  free_slots_.push_back(index);
+}
+
+Engine::Slot* Engine::resolve(std::uint64_t id) {
+  const auto index = static_cast<std::uint32_t>(id >> 32);
+  const auto gen = static_cast<std::uint32_t>(id);
+  if (index >= slots_.size()) return nullptr;
+  Slot& slot = slots_[index];
+  return (slot.live && slot.gen == gen) ? &slot : nullptr;
+}
+
 EventHandle Engine::schedule_at(Seconds at, Callback fn) {
   if (at < now_) {
     throw common::ConfigError("Engine::schedule_at: time in the past");
   }
-  const std::uint64_t id = next_id_++;
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint64_t id = alloc_slot(std::move(fn), false, 0.0);
   push_entry(at, id);
   return EventHandle(id);
 }
@@ -38,42 +72,28 @@ EventHandle Engine::schedule_periodic(Seconds period, Callback fn) {
   if (period <= 0.0) {
     throw common::ConfigError("Engine::schedule_periodic: period must be > 0");
   }
-  const std::uint64_t id = next_id_++;
-  periodics_.emplace(id, Periodic{period, std::move(fn)});
   // The periodic's queue entries reuse the same id; firing re-schedules.
-  callbacks_.emplace(id, [this, id] {
-    auto it = periodics_.find(id);
-    if (it == periodics_.end()) return;
-    // Re-arm first so the callback can cancel its own series. Copy the
-    // callback out of the map: cancel() from within the callback erases
-    // the map node, which must not destroy the std::function mid-call.
-    push_entry(now_ + it->second.period, id);
-    Callback user_fn = it->second.fn;
-    user_fn();
-  });
+  const std::uint64_t id = alloc_slot(std::move(fn), true, period);
   push_entry(now_ + period, id);
   return EventHandle(id);
 }
 
 bool Engine::cancel(EventHandle handle) {
   if (!handle.valid()) return false;
-  bool erased = false;
-  if (callbacks_.erase(handle.id_) > 0) {
-    ++cancelled_pending_;
-    erased = true;
-  }
-  if (periodics_.erase(handle.id_) > 0) erased = true;
+  Slot* slot = resolve(handle.id_);
+  if (slot == nullptr) return false;  // already fired or cancelled
+  release_slot(static_cast<std::uint32_t>(handle.id_ >> 32));
+  ++cancelled_pending_;
   // Compact once dead entries dominate, so workloads that arm and
   // supersede many lease timers keep the heap (and pop cost) bounded by
   // live work, not by cancellation history.
   if (cancelled_pending_ * 2 > queue_.size()) compact();
-  return erased;
+  return true;
 }
 
 void Engine::compact() {
-  std::erase_if(queue_, [this](const Entry& e) {
-    return callbacks_.find(e.id) == callbacks_.end();
-  });
+  std::erase_if(queue_,
+                [this](const Entry& e) { return resolve(e.id) == nullptr; });
   std::make_heap(queue_.begin(), queue_.end(), EntryCompare{});
   cancelled_pending_ = 0;
   ++compactions_;
@@ -83,22 +103,26 @@ bool Engine::pop_and_run() {
   while (!queue_.empty()) {
     Entry e = queue_.front();
     pop_entry();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) {
+    Slot* slot = resolve(e.id);
+    if (slot == nullptr) {
       if (cancelled_pending_ > 0) --cancelled_pending_;
       continue;  // cancelled
     }
     now_ = e.at;
-    const bool periodic = periodics_.count(e.id) > 0;
-    Callback fn;
-    if (periodic) {
-      fn = it->second;  // keep registered for the next firing
-    } else {
-      fn = std::move(it->second);
-      callbacks_.erase(it);
-    }
     ++executed_;
-    fn();
+    if (slot->periodic) {
+      // Re-arm first so the callback can cancel its own series. Copy the
+      // callback out of the slot: cancel() from within the callback (or
+      // new events growing the slot vector) must not destroy or move the
+      // std::function mid-call.
+      push_entry(now_ + slot->period, e.id);
+      Callback fn = slot->fn;
+      fn();
+    } else {
+      Callback fn = std::move(slot->fn);
+      release_slot(static_cast<std::uint32_t>(e.id >> 32));
+      fn();
+    }
     return true;
   }
   return false;
@@ -114,7 +138,7 @@ std::size_t Engine::run_until(Seconds until) {
   std::size_t n = 0;
   for (;;) {
     // Peek for the next live event.
-    while (!queue_.empty() && callbacks_.count(queue_.front().id) == 0) {
+    while (!queue_.empty() && resolve(queue_.front().id) == nullptr) {
       pop_entry();
       if (cancelled_pending_ > 0) --cancelled_pending_;
     }

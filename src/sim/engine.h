@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -84,6 +83,10 @@ class Engine {
   /// Times the heap was compacted (cancelled entries purged).
   std::uint64_t compactions() const { return compactions_; }
 
+  /// Callback slots currently allocated (live events + free-list
+  /// capacity); the high-water mark of concurrently pending events.
+  std::size_t slot_capacity() const { return slots_.size(); }
+
  private:
   struct Entry {
     Seconds at;
@@ -97,10 +100,23 @@ class Engine {
     }
   };
 
-  struct Periodic {
-    Seconds period;
+  /// Pooled callback storage (DESIGN.md §13): events live in a slot
+  /// vector recycled through a free list, so scheduling is O(1) with no
+  /// per-event heap allocation beyond the callback's own captures. An
+  /// event id packs (slot index << 32) | generation; the generation
+  /// bumps on every release, so a stale handle (fired or cancelled)
+  /// never resolves even after the slot is reused.
+  struct Slot {
     Callback fn;
+    std::uint32_t gen = 1;
+    bool live = false;
+    bool periodic = false;
+    Seconds period = 0.0;
   };
+
+  std::uint64_t alloc_slot(Callback fn, bool periodic, Seconds period);
+  void release_slot(std::uint32_t index);
+  Slot* resolve(std::uint64_t id);
 
   bool pop_and_run();
   void push_entry(Seconds at, std::uint64_t id);
@@ -111,13 +127,12 @@ class Engine {
 
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t compactions_ = 0;
   std::size_t cancelled_pending_ = 0;
   std::vector<Entry> queue_;  // heap ordered by EntryCompare
-  std::map<std::uint64_t, Callback> callbacks_;
-  std::map<std::uint64_t, Periodic> periodics_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// One-shot timer whose deadline can be pushed out — the lease/deadline

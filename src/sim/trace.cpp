@@ -1,5 +1,7 @@
 #include "sim/trace.h"
 
+#include <algorithm>
+
 namespace hoh::sim {
 namespace {
 
@@ -13,8 +15,31 @@ std::string span_key(const std::string& category, const std::string& name,
 void Trace::record(common::Seconds time, std::string category,
                    std::string name,
                    std::map<std::string, std::string> attrs) {
+  if (rollup_enabled(category)) {
+    TraceRollup& r = rollups_[{std::move(category), std::move(name)}];
+    if (r.count == 0) r.first = time;
+    r.last = time;
+    ++r.count;
+    return;
+  }
   events_.push_back(
       TraceEvent{time, std::move(category), std::move(name), std::move(attrs)});
+}
+
+void Trace::enable_rollup(const std::string& category) {
+  rollup_categories_.insert(category);
+}
+
+TraceRollup Trace::rollup(const std::string& category,
+                          const std::string& name) const {
+  const auto it = rollups_.find({category, name});
+  return it == rollups_.end() ? TraceRollup{} : it->second;
+}
+
+TraceSpanStats Trace::span_stats(const std::string& category,
+                                 const std::string& name) const {
+  const auto it = span_stats_.find({category, name});
+  return it == span_stats_.end() ? TraceSpanStats{} : it->second;
 }
 
 void Trace::begin_span(common::Seconds time, const std::string& category,
@@ -26,6 +51,21 @@ void Trace::end_span(common::Seconds time, const std::string& category,
                      const std::string& name, const std::string& key) {
   auto it = open_spans_.find(span_key(category, name, key));
   if (it == open_spans_.end()) return;
+  if (rollup_enabled(category)) {
+    const common::Seconds duration = time - it->second;
+    TraceSpanStats& s = span_stats_[{category, name}];
+    if (s.count == 0) {
+      s.min = duration;
+      s.max = duration;
+    } else {
+      s.min = std::min(s.min, duration);
+      s.max = std::max(s.max, duration);
+    }
+    s.total += duration;
+    ++s.count;
+    open_spans_.erase(it);
+    return;
+  }
   spans_.push_back(TraceSpan{it->second, time, category, name, key});
   open_spans_.erase(it);
 }
@@ -43,6 +83,21 @@ std::vector<TraceEvent> Trace::find(const std::string& category,
 
 std::optional<TraceEvent> Trace::first(const std::string& category,
                                        const std::string& name) const {
+  if (rollup_enabled(category)) {
+    // Synthesize an attribute-free event from the rollup counters.
+    const TraceRollup* best = nullptr;
+    const std::string* best_name = nullptr;
+    for (const auto& [key, r] : rollups_) {
+      if (key.first != category || r.count == 0) continue;
+      if (!name.empty() && key.second != name) continue;
+      if (best == nullptr || r.first < best->first) {
+        best = &r;
+        best_name = &key.second;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return TraceEvent{best->first, category, *best_name, {}};
+  }
   for (const auto& e : events_) {
     if (e.category == category && (name.empty() || e.name == name)) return e;
   }
@@ -51,6 +106,20 @@ std::optional<TraceEvent> Trace::first(const std::string& category,
 
 std::optional<TraceEvent> Trace::last(const std::string& category,
                                       const std::string& name) const {
+  if (rollup_enabled(category)) {
+    const TraceRollup* best = nullptr;
+    const std::string* best_name = nullptr;
+    for (const auto& [key, r] : rollups_) {
+      if (key.first != category || r.count == 0) continue;
+      if (!name.empty() && key.second != name) continue;
+      if (best == nullptr || r.last > best->last) {
+        best = &r;
+        best_name = &key.second;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return TraceEvent{best->last, category, *best_name, {}};
+  }
   for (auto it = events_.rbegin(); it != events_.rend(); ++it) {
     if (it->category == category && (name.empty() || it->name == name)) {
       return *it;
@@ -89,6 +158,8 @@ void Trace::clear() {
   events_.clear();
   spans_.clear();
   open_spans_.clear();
+  rollups_.clear();
+  span_stats_.clear();
 }
 
 }  // namespace hoh::sim

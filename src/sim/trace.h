@@ -2,7 +2,9 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -35,11 +37,52 @@ struct TraceSpan {
   common::Seconds duration() const { return end - begin; }
 };
 
+/// Aggregate kept instead of per-event storage for a rolled-up
+/// category: occurrence count plus first/last timestamps per name.
+struct TraceRollup {
+  std::size_t count = 0;
+  common::Seconds first = 0.0;
+  common::Seconds last = 0.0;
+};
+
+/// Aggregate duration statistics for spans of a rolled-up category.
+struct TraceSpanStats {
+  std::size_t count = 0;
+  common::Seconds total = 0.0;
+  common::Seconds min = 0.0;
+  common::Seconds max = 0.0;
+
+  common::Seconds mean() const {
+    return count == 0 ? 0.0 : total / static_cast<double>(count);
+  }
+};
+
 /// Append-only trace store.
 class Trace {
  public:
   void record(common::Seconds time, std::string category, std::string name,
               std::map<std::string, std::string> attrs = {});
+
+  /// Rollup mode (DESIGN.md §13): a web-scale run emits millions of
+  /// "unit" records whose per-event storage dominates peak RSS long
+  /// before the model does. A rolled-up category keeps only
+  /// per-(category, name) counters {count, first, last} and per-name
+  /// span duration stats. For such a category find()/find_spans()
+  /// return nothing (attributes are not retained); first()/last()
+  /// synthesize attribute-free events from the counters, so coarse
+  /// metrics (e.g. time of the last "Done") still work.
+  void enable_rollup(const std::string& category);
+  bool rollup_enabled(const std::string& category) const {
+    return rollup_categories_.count(category) > 0;
+  }
+
+  /// Counter for a rolled-up (category, name); count == 0 when absent.
+  TraceRollup rollup(const std::string& category,
+                     const std::string& name) const;
+
+  /// Span duration stats for a rolled-up (category, name).
+  TraceSpanStats span_stats(const std::string& category,
+                            const std::string& name) const;
 
   /// Opens a span keyed by (category, name, key); closing a span that was
   /// never opened is ignored, re-opening overwrites the begin time.
@@ -74,6 +117,9 @@ class Trace {
   std::vector<TraceEvent> events_;
   std::vector<TraceSpan> spans_;
   std::map<std::string, common::Seconds> open_spans_;
+  std::set<std::string> rollup_categories_;
+  std::map<std::pair<std::string, std::string>, TraceRollup> rollups_;
+  std::map<std::pair<std::string, std::string>, TraceSpanStats> span_stats_;
 };
 
 }  // namespace hoh::sim

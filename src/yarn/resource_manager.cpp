@@ -31,6 +31,8 @@ ResourceManager::ResourceManager(sim::Engine& engine,
   for (const auto& node : allocation.nodes()) {
     node_managers_.push_back(
         std::make_unique<NodeManager>(engine_, config_, node));
+    nm_index_[node_managers_.back()->node_name()] =
+        node_managers_.back().get();
   }
   if (config_.control_plane == common::ControlPlane::kWatch) {
     // Demand-driven plane: passes are requested by the events that create
@@ -78,10 +80,8 @@ void ResourceManager::request_scheduler_pass() {
 }
 
 NodeManager* ResourceManager::find_nm(const std::string& node) {
-  for (auto& nm : node_managers_) {
-    if (nm->node_name() == node) return nm.get();
-  }
-  return nullptr;
+  auto it = nm_index_.find(node);
+  return it == nm_index_.end() ? nullptr : it->second;
 }
 
 void ResourceManager::arm_liveness_lease(const std::string& node) {
@@ -179,10 +179,11 @@ ApplicationMaster& ResourceManager::application_master(
 }
 
 NodeManager& ResourceManager::node_manager(const std::string& node) {
-  for (auto& nm : node_managers_) {
-    if (nm->node_name() == node) return *nm;
+  NodeManager* nm = find_nm(node);
+  if (nm == nullptr) {
+    throw common::NotFoundError("RM: unknown NodeManager " + node);
   }
-  throw common::NotFoundError("RM: unknown NodeManager " + node);
+  return *nm;
 }
 
 std::size_t ResourceManager::live_node_count() const {
@@ -264,12 +265,9 @@ void ResourceManager::liveness_pass() {
 
 std::optional<ContainerState> ResourceManager::container_state(
     const std::string& container_id) const {
-  for (const auto& nm : node_managers_) {
-    if (nm->has_container(container_id)) {
-      return nm->container(container_id).state;
-    }
-  }
-  return std::nullopt;
+  auto it = container_host_.find(container_id);
+  if (it == container_host_.end()) return std::nullopt;
+  return it->second->container(container_id).state;
 }
 
 void ResourceManager::trace_event(const std::string& name,
@@ -289,15 +287,14 @@ void ResourceManager::add_node(std::shared_ptr<cluster::Node> node) {
   if (shut_down_) {
     throw common::StateError("ResourceManager is shut down");
   }
-  for (const auto& nm : node_managers_) {
-    if (nm->node_name() == node->name()) {
-      throw common::StateError("RM: NodeManager already registered on " +
-                               node->name());
-    }
+  if (nm_index_.count(node->name()) > 0) {
+    throw common::StateError("RM: NodeManager already registered on " +
+                             node->name());
   }
   const std::string name = node->name();
   node_managers_.push_back(
       std::make_unique<NodeManager>(engine_, config_, std::move(node)));
+  nm_index_[name] = node_managers_.back().get();
   arm_liveness_lease(name);
   request_scheduler_pass();  // capacity grew
 }
@@ -320,6 +317,11 @@ void ResourceManager::remove_node(const std::string& node) {
                              " still hosts live containers");
   }
   liveness_leases_.erase(node);
+  NodeManager* removed = it->get();
+  std::erase_if(container_host_, [removed](const auto& entry) {
+    return entry.second == removed;
+  });
+  nm_index_.erase(node);
   node_managers_.erase(it);
 }
 
@@ -343,10 +345,8 @@ common::Json ResourceManager::apps_json() const {
 }
 
 NodeManager* ResourceManager::nm_hosting(const std::string& container_id) {
-  for (auto& nm : node_managers_) {
-    if (nm->has_container(container_id)) return nm.get();
-  }
-  return nullptr;
+  auto it = container_host_.find(container_id);
+  return it == container_host_.end() ? nullptr : it->second;
 }
 
 NodeManager* ResourceManager::try_place(const PendingAsk& ask,
@@ -361,61 +361,54 @@ NodeManager* ResourceManager::try_place(const PendingAsk& ask,
 
   // Preferred nodes first (data locality), then any if relaxed.
   for (const auto& name : ask.request.preferred_nodes) {
-    for (auto& nm : node_managers_) {
-      if (nm->node_name() == name && nm->allocate(out)) {
-        out.node = nm->node_name();
-        ++next_container_number_;
-        return nm.get();
-      }
+    NodeManager* nm = find_nm(name);
+    if (nm != nullptr && nm->allocate(out)) {
+      out.node = nm->node_name();
+      container_host_[out.id] = nm;
+      ++next_container_number_;
+      return nm;
     }
   }
   if (!ask.request.preferred_nodes.empty() && !ask.request.relax_locality) {
     return nullptr;
   }
-  // Least-loaded placement by free memory.
-  std::vector<NodeManager*> order;
-  for (auto& nm : node_managers_) order.push_back(nm.get());
-  std::stable_sort(order.begin(), order.end(),
-                   [](const NodeManager* a, const NodeManager* b) {
-                     return a->available().memory_mb > b->available().memory_mb;
-                   });
-  for (auto* nm : order) {
-    if (nm->allocate(out)) {
-      out.node = nm->node_name();
-      ++next_container_number_;
-      return nm;
+  // Least-loaded placement by free memory: one allocation-free argmax
+  // scan over the NMs that can host the ask. Picking the max-available
+  // NM (first wins on ties) selects exactly the NM the old
+  // stable_sort-then-first-fit walk found, without building and sorting
+  // a candidate vector per ask.
+  NodeManager* best = nullptr;
+  common::MemoryMb best_available = -1;
+  for (auto& nm : node_managers_) {
+    if (!nm->can_fit(out.resource)) continue;
+    const common::MemoryMb available = nm->available().memory_mb;
+    if (available > best_available) {
+      best = nm.get();
+      best_available = available;
     }
+  }
+  if (best != nullptr && best->allocate(out)) {
+    out.node = best->node_name();
+    container_host_[out.id] = best;
+    ++next_container_number_;
+    return best;
   }
   return nullptr;
 }
 
 common::MemoryMb ResourceManager::queue_used_mb(
     const std::string& queue) const {
+  // Walk live containers (AM and task alike) and credit their app's
+  // queue — O(live containers) instead of the old apps x NMs x
+  // containers triple scan, and the same sum: a live container's app is
+  // never final, and a non-final app lists exactly its live containers.
   common::MemoryMb used = 0;
-  for (const auto& [id, app] : apps_) {
-    if (app.report.queue != queue || is_final(app.report.state)) continue;
-    for (const auto& nm : node_managers_) {
-      // Sum this app's live containers on each NM.
-      // (Scan is fine at simulation scale.)
-      for (const auto& cid : app.container_ids) {
-        if (nm->has_container(cid)) {
-          const auto& c = nm->container(cid);
-          if (c.state == ContainerState::kAllocated ||
-              c.state == ContainerState::kLaunching ||
-              c.state == ContainerState::kRunning) {
-            used += c.resource.memory_mb;
-          }
-        }
-      }
-      if (!app.am_container_id.empty() &&
-          nm->has_container(app.am_container_id)) {
-        const auto& c = nm->container(app.am_container_id);
-        if (c.state != ContainerState::kCompleted &&
-            c.state != ContainerState::kKilled &&
-            c.state != ContainerState::kPreempted) {
-          used += c.resource.memory_mb;
-        }
-      }
+  for (const auto& nm : node_managers_) {
+    for (const auto& cid : nm->live_container_ids()) {
+      const Container& c = nm->container(cid);
+      auto it = apps_.find(c.app_id);
+      if (it == apps_.end() || is_final(it->second.report.state)) continue;
+      if (it->second.report.queue == queue) used += c.resource.memory_mb;
     }
   }
   return used;
@@ -456,6 +449,13 @@ void ResourceManager::scheduler_pass() {
   for (const auto* q : order) {
     auto& asks = pending_.at(q->name);
     std::deque<PendingAsk> remaining;
+    // Monotone-failure cutoff: capacity only shrinks during a pass, so
+    // once an unconstrained ask of size (m, v) fails to place, any later
+    // ask needing at least that much fails too and is requeued without
+    // another placement scan. Node-constrained (preferred, strict
+    // locality) asks fail for node-local reasons and never arm the cut.
+    common::MemoryMb failed_mb = -1;
+    int failed_vcores = -1;
     while (!asks.empty()) {
       PendingAsk ask = std::move(asks.front());
       asks.pop_front();
@@ -463,9 +463,21 @@ void ResourceManager::scheduler_pass() {
       if (app_it == apps_.end() || is_final(app_it->second.report.state)) {
         continue;  // app died while queued
       }
+      const Resource& need = ask.request.resource;
+      if (failed_mb >= 0 && need.memory_mb >= failed_mb &&
+          need.vcores >= failed_vcores &&
+          ask.request.preferred_nodes.empty()) {
+        remaining.push_back(std::move(ask));
+        continue;
+      }
       Container placed;
       NodeManager* nm = try_place(ask, placed);
       if (nm == nullptr) {
+        if (ask.request.preferred_nodes.empty() &&
+            (failed_mb < 0 || need.memory_mb <= failed_mb)) {
+          failed_mb = need.memory_mb;
+          failed_vcores = need.vcores;
+        }
         remaining.push_back(std::move(ask));
         continue;
       }

@@ -228,6 +228,11 @@ class ResourceManager {
   PreemptionHook preemption_hook_;
   std::vector<QueueConfig> queues_;
   std::vector<std::unique_ptr<NodeManager>> node_managers_;
+  /// Free-list style indexes (DESIGN.md §13): NM by node name and
+  /// hosting NM by container id, so placement, liveness and release
+  /// paths stop walking every NodeManager per lookup at 10k nodes.
+  std::map<std::string, NodeManager*> nm_index_;
+  std::map<std::string, NodeManager*> container_host_;
   std::map<std::string, AppRecord> apps_;
   std::map<std::string, std::deque<PendingAsk>> pending_;  // per queue
   sim::EventHandle scheduler_event_;

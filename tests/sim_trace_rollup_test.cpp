@@ -1,0 +1,90 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+/// Trace rollup (DESIGN.md §13): per-event storage for a category is
+/// replaced by O(1) counters so a 1M-unit run doesn't hold millions of
+/// TraceEvents; first()/last() keep working off the counters.
+
+namespace hoh::sim {
+namespace {
+
+TEST(TraceRollupTest, RecordFoldsIntoCounters) {
+  Trace trace;
+  trace.enable_rollup("unit");
+  trace.record(1.0, "unit", "Executing", {{"unit", "u.0"}});
+  trace.record(2.0, "unit", "Executing", {{"unit", "u.1"}});
+  trace.record(5.0, "unit", "Done", {{"unit", "u.0"}});
+  // No per-event storage for the rolled category...
+  EXPECT_TRUE(trace.find("unit").empty());
+  // ...but the counters carry count / first / last.
+  const auto exec = trace.rollup("unit", "Executing");
+  EXPECT_EQ(exec.count, 2u);
+  EXPECT_DOUBLE_EQ(exec.first, 1.0);
+  EXPECT_DOUBLE_EQ(exec.last, 2.0);
+  EXPECT_EQ(trace.rollup("unit", "Done").count, 1u);
+  EXPECT_EQ(trace.rollup("unit", "Missing").count, 0u);
+}
+
+TEST(TraceRollupTest, OtherCategoriesStillRecordEvents) {
+  Trace trace;
+  trace.enable_rollup("unit");
+  trace.record(1.0, "pilot", "agent_started", {});
+  trace.record(2.0, "unit", "Done", {});
+  EXPECT_EQ(trace.find("pilot").size(), 1u);
+  EXPECT_TRUE(trace.find("unit").empty());
+}
+
+TEST(TraceRollupTest, FirstAndLastSynthesizeFromCounters) {
+  Trace trace;
+  trace.enable_rollup("unit");
+  trace.record(3.0, "unit", "Done", {});
+  trace.record(9.0, "unit", "Done", {});
+  trace.record(1.0, "unit", "Executing", {});
+  const auto first_done = trace.first("unit", "Done");
+  ASSERT_TRUE(first_done.has_value());
+  EXPECT_DOUBLE_EQ(first_done->time, 3.0);
+  EXPECT_EQ(first_done->name, "Done");
+  const auto last_done = trace.last("unit", "Done");
+  ASSERT_TRUE(last_done.has_value());
+  EXPECT_DOUBLE_EQ(last_done->time, 9.0);
+  // Name-free queries pick the earliest / latest across names.
+  EXPECT_DOUBLE_EQ(trace.first("unit", "")->time, 1.0);
+  EXPECT_DOUBLE_EQ(trace.last("unit", "")->time, 9.0);
+  EXPECT_FALSE(trace.first("unit", "Nope").has_value());
+}
+
+TEST(TraceRollupTest, SpansFoldIntoStats) {
+  Trace trace;
+  trace.enable_rollup("unit");
+  trace.begin_span(0.0, "unit", "startup", "u.0");
+  trace.end_span(2.0, "unit", "startup", "u.0");
+  trace.begin_span(1.0, "unit", "startup", "u.1");
+  trace.end_span(7.0, "unit", "startup", "u.1");
+  EXPECT_TRUE(trace.find_spans("unit", "startup").empty());
+  const auto stats = trace.span_stats("unit", "startup");
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 6.0);
+  EXPECT_DOUBLE_EQ(stats.total, 8.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+  EXPECT_EQ(trace.span_stats("unit", "other").count, 0u);
+}
+
+TEST(TraceRollupTest, ClearResetsRollups) {
+  Trace trace;
+  trace.enable_rollup("unit");
+  trace.record(1.0, "unit", "Done", {});
+  trace.begin_span(0.0, "unit", "startup", "k");
+  trace.end_span(1.0, "unit", "startup", "k");
+  trace.clear();
+  EXPECT_EQ(trace.rollup("unit", "Done").count, 0u);
+  EXPECT_EQ(trace.span_stats("unit", "startup").count, 0u);
+  // Rollup stays enabled for the category after clear().
+  trace.record(4.0, "unit", "Done", {});
+  EXPECT_TRUE(trace.find("unit").empty());
+  EXPECT_EQ(trace.rollup("unit", "Done").count, 1u);
+}
+
+}  // namespace
+}  // namespace hoh::sim

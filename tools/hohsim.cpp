@@ -4,6 +4,7 @@
 ///   hohsim <plan.json>         run every experiment in the plan
 ///   hohsim --demo              run a built-in two-cell demo plan
 ///   hohsim --json <plan.json>  emit machine-readable JSON results
+///   hohsim --strict ...        unknown plan keys abort instead of warn
 ///
 /// Plan format (see src/analytics/experiment_config.h):
 ///   {"experiments": [{"machine": "stampede", "nodes": 3, "tasks": 32,
@@ -60,11 +61,13 @@ const char* kHelp = R"(hohsim - run K-Means middleware experiments from a JSON p
 usage:
   hohsim <plan.json>         run every experiment in the plan
   hohsim --json <plan.json>  emit machine-readable JSON results
+  hohsim --strict ...        unknown plan keys are errors, not warnings
   hohsim --demo              run a built-in two-cell demo plan
   hohsim --help              show this help
 
 A plan is {"experiments": [<experiment>, ...]}. Unknown keys anywhere in
-the plan are warned about and ignored. Each experiment supports:
+the plan are warned about and ignored; under --strict (used by every CI
+invocation) they abort the run instead. Each experiment supports:
 
   core cell (paper Fig. 6):
     machine   "stampede" | "wrangler" | "generic"    (default stampede)
@@ -108,6 +111,12 @@ the plan are warned about and ignored. Each experiment supports:
 
   allow_failure  expected-to-fail cell does not fail the run  (false)
 
+  scale knobs (DESIGN.md s13):
+    store_shards   state-store shard count, >= 1       (default 1)
+    spawn_latency  agent task-spawner seconds          (default 1.2)
+    trace_rollup   fold unit trace events to counters  (default false)
+    pilot_runtime  pilot walltime request, sim seconds (default 172800)
+
 Plans without a tenants section run the single-tenant passthrough path
 (no gateway constructed) and produce byte-identical digests to older
 builds. See plans/ for keystone examples.
@@ -120,24 +129,37 @@ int main(int argc, char** argv) {
   using namespace hoh::analytics;
 
   bool json_output = false;
-  std::string plan_text;
+  bool demo = false;
+  std::string plan_path;
   try {
-    if (argc >= 2 && (std::string(argv[1]) == "--help" ||
-                      std::string(argv[1]) == "-h")) {
-      std::printf("%s", kHelp);
-      return 0;
-    } else if (argc >= 2 && std::string(argv[1]) == "--demo") {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") {
+        std::printf("%s", kHelp);
+        return 0;
+      } else if (arg == "--json") {
+        json_output = true;
+      } else if (arg == "--strict") {
+        set_strict_plan_parsing(true);
+      } else if (arg == "--demo") {
+        demo = true;
+      } else if (!arg.empty() && arg[0] == '-') {
+        std::fprintf(stderr, "hohsim: unknown flag %s\n", arg.c_str());
+        return 2;
+      } else {
+        plan_path = arg;
+      }
+    }
+    std::string plan_text;
+    if (demo) {
       plan_text = kDemoPlan;
-    } else if (argc >= 3 && std::string(argv[1]) == "--json") {
-      json_output = true;
-      plan_text = read_file(argv[2]);
-    } else if (argc >= 2) {
-      plan_text = read_file(argv[1]);
+    } else if (!plan_path.empty()) {
+      plan_text = read_file(plan_path);
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s <plan.json> | --json <plan.json> | --demo | --help\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--json] [--strict] <plan.json> | --demo | "
+                   "--help\n",
+                   argv[0]);
       return 2;
     }
 
