@@ -319,12 +319,54 @@ KmeansExperimentConfig kmeans_config_from_json(const common::Json& doc) {
       throw common::ConfigError("pilot_runtime must be > 0");
     }
   }
+  if (doc.contains("transport")) {
+    cfg.transport = doc.at("transport").as_string();
+    if (cfg.transport != "inprocess" && cfg.transport != "socket") {
+      throw common::ConfigError("unknown transport: " + cfg.transport +
+                                " (expected \"inprocess\" or \"socket\")");
+    }
+  }
+  if (doc.contains("net")) {
+    const common::Json& n = doc.at("net");
+    if (n.contains("host")) {
+      cfg.net.host = n.at("host").as_string();
+    }
+    if (n.contains("port")) {
+      const std::int64_t port = n.at("port").as_int();
+      if (port < 0 || port > 65535) {
+        throw common::ConfigError("net.port must be in [0, 65535]");
+      }
+      cfg.net.port = static_cast<std::uint16_t>(port);
+    }
+    if (n.contains("reconnect_attempts")) {
+      cfg.net.reconnect.max_attempts =
+          static_cast<int>(n.at("reconnect_attempts").as_int());
+      if (cfg.net.reconnect.max_attempts < 1) {
+        throw common::ConfigError("net.reconnect_attempts must be >= 1");
+      }
+    }
+    if (n.contains("reconnect_backoff")) {
+      cfg.net.reconnect.base_backoff = n.at("reconnect_backoff").as_number();
+      if (cfg.net.reconnect.base_backoff < 0.0) {
+        throw common::ConfigError("net.reconnect_backoff must be >= 0");
+      }
+    }
+    if (n.contains("reconnect_seed")) {
+      cfg.net.reconnect_seed =
+          static_cast<std::uint64_t>(n.at("reconnect_seed").as_int());
+    }
+    warn_unknown_keys(n,
+                      {"host", "port", "reconnect_attempts",
+                       "reconnect_backoff", "reconnect_seed"},
+                      "experiment.net");
+  }
   warn_unknown_keys(doc,
                     {"machine", "scenario", "nodes", "tasks", "stack",
                      "op_cost", "shuffle_amplification", "reuse_yarn_app",
                      "control_plane", "elastic", "failures", "recovery",
                      "tenants", "allow_failure", "store_shards",
-                     "spawn_latency", "trace_rollup", "pilot_runtime"},
+                     "spawn_latency", "trace_rollup", "pilot_runtime",
+                     "transport", "net"},
                     "experiment");
   return cfg;
 }
@@ -362,6 +404,7 @@ common::Json result_to_json(const KmeansExperimentConfig& config,
   j["units_completed"] = static_cast<std::int64_t>(result.units_completed);
   j["engine_events"] = static_cast<std::int64_t>(result.engine_events);
   j["store_shards"] = static_cast<std::int64_t>(config.store_shards);
+  j["transport"] = config.transport;
   j["outputChecksum"] = result.output_checksum;
   if (config.elastic) {
     j["elastic"] = common::Json(common::JsonObject{

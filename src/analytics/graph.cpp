@@ -94,21 +94,54 @@ Graph random_graph(std::size_t vertices, double edge_probability,
   return graph_from_edges(vertices, edges);
 }
 
+CsrAdjacency CsrAdjacency::build(const Graph& graph) {
+  CsrAdjacency csr;
+  const std::size_t n = graph.vertex_count();
+  csr.offsets.resize(n + 1);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    csr.offsets[v] = static_cast<std::uint32_t>(total);
+    total += graph.adjacency[v].size();
+  }
+  csr.offsets[n] = static_cast<std::uint32_t>(total);
+  csr.targets.resize(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    std::copy(graph.adjacency[v].begin(), graph.adjacency[v].end(),
+              csr.targets.begin() + csr.offsets[v]);
+  }
+  return csr;
+}
+
 std::uint64_t count_triangles(common::ThreadPool& pool, const Graph& graph) {
   // Node-iterator with ordering: count each triangle at its smallest
-  // vertex by intersecting higher-numbered neighbor lists.
+  // vertex. For every neighbor v > u, merge-intersect the tails of the
+  // two sorted rows above v — linear in d(u)+d(v) per edge, against the
+  // binary-search formulation's d(u) log d(v) per candidate pair, and
+  // every access streams the flat CSR rows.
+  const CsrAdjacency csr = CsrAdjacency::build(graph);
   std::atomic<std::uint64_t> total{0};
-  pool.parallel_for(graph.vertex_count(), [&](std::size_t u) {
-    const auto& nbrs = graph.adjacency[u];
+  pool.parallel_for(csr.vertex_count(), [&](std::size_t u) {
+    const std::uint32_t* u_begin = csr.begin(u);
+    const std::uint32_t* u_end = csr.end(u);
     std::uint64_t local = 0;
-    for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      const auto v = nbrs[i];
+    for (const std::uint32_t* vi = u_begin; vi != u_end; ++vi) {
+      const std::uint32_t v = *vi;
       if (v <= u) continue;
-      const auto& v_nbrs = graph.adjacency[v];
-      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
-        const auto w = nbrs[j];
-        if (w <= v) continue;
-        if (std::binary_search(v_nbrs.begin(), v_nbrs.end(), w)) ++local;
+      // Tails strictly above v in both rows; rows are sorted.
+      const std::uint32_t* a = vi + 1;
+      const std::uint32_t* b =
+          std::upper_bound(csr.begin(v), csr.end(v), v);
+      const std::uint32_t* b_end = csr.end(v);
+      while (a != u_end && b != b_end) {
+        if (*a < *b) {
+          ++a;
+        } else if (*b < *a) {
+          ++b;
+        } else {
+          ++local;
+          ++a;
+          ++b;
+        }
       }
     }
     total.fetch_add(local, std::memory_order_relaxed);
@@ -132,27 +165,35 @@ std::vector<double> pagerank(common::ThreadPool& pool, const Graph& graph,
                              int iterations, double damping) {
   const std::size_t n = graph.vertex_count();
   if (n == 0) return {};
+  const CsrAdjacency csr = CsrAdjacency::build(graph);
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
+  // Our adjacency is undirected, so each edge carries rank both ways
+  // and in-neighbors equal out-neighbors: the update can be a *pull*
+  // (gather) over each vertex's own CSR row, which parallelizes with
+  // no write contention — unlike the push/scatter form, whose
+  // next[v] += share writes race across rows. Summation order per
+  // vertex (ascending neighbor id) matches the scatter form exactly,
+  // so the scores are bit-identical.
+  std::vector<double> share(n, 0.0);
   for (int it = 0; it < iterations; ++it) {
-    std::fill(next.begin(), next.end(), 0.0);
     double dangling = 0.0;
-    // Contributions: our adjacency is undirected, so each edge carries
-    // rank both ways (rank[u]/deg(u) to each neighbor).
     for (std::size_t u = 0; u < n; ++u) {
-      if (graph.adjacency[u].empty()) {
-        dangling += rank[u];
-        continue;
-      }
-      const double share =
-          rank[u] / static_cast<double>(graph.adjacency[u].size());
-      for (const auto v : graph.adjacency[u]) next[v] += share;
+      const std::uint32_t d = csr.degree(u);
+      share[u] = d == 0 ? 0.0 : rank[u] / static_cast<double>(d);
+      if (d == 0) dangling += rank[u];
     }
     const double teleport =
         (1.0 - damping) / static_cast<double>(n) +
         damping * dangling / static_cast<double>(n);
     pool.parallel_for(n, [&](std::size_t v) {
-      next[v] = teleport + damping * next[v];
+      double sum = 0.0;
+      const std::uint32_t* b = csr.begin(v);
+      const std::uint32_t* e = csr.end(v);
+      for (const std::uint32_t* it2 = b; it2 != e; ++it2) {
+        sum += share[*it2];
+      }
+      next[v] = teleport + damping * sum;
     });
     rank.swap(next);
   }

@@ -30,6 +30,31 @@ struct Graph {
   std::size_t edge_count() const;
 };
 
+/// Structure-of-arrays (CSR) view of a Graph: all neighbor lists
+/// concatenated into one flat array with per-vertex offsets. The
+/// parallel kernels build this once per call and walk contiguous
+/// slices, so the inner loops stream cache lines instead of chasing a
+/// pointer per vertex through vector-of-vectors storage.
+struct CsrAdjacency {
+  std::vector<std::uint32_t> offsets;  // size vertex_count()+1
+  std::vector<std::uint32_t> targets;  // size 2*edge_count(), sorted per row
+
+  static CsrAdjacency build(const Graph& graph);
+
+  std::size_t vertex_count() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::uint32_t degree(std::size_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+  const std::uint32_t* begin(std::size_t v) const {
+    return targets.data() + offsets[v];
+  }
+  const std::uint32_t* end(std::size_t v) const {
+    return targets.data() + offsets[v + 1];
+  }
+};
+
 /// Builds a graph from an edge list (self-loops and duplicates dropped).
 Graph graph_from_edges(
     std::size_t vertices,

@@ -36,6 +36,13 @@ std::string digest_names(std::vector<std::string> names) {
 KmeansExperimentResult run_kmeans_experiment(
     const KmeansExperimentConfig& config) {
   pilot::Session session;
+  // Socket mode (plan "transport": "socket"): swap the message boundary
+  // onto loopback TCP before any component registers an endpoint. The
+  // synchronous-at-call-site contract keeps the simulation digest
+  // byte-identical to in-process mode (DESIGN.md §14).
+  if (config.transport == "socket") {
+    session.set_transport(std::make_unique<net::SocketTransport>(config.net));
+  }
   if (config.store_shards > 1) {
     session.store().set_shard_count(
         static_cast<std::size_t>(config.store_shards));

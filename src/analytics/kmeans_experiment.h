@@ -9,6 +9,7 @@
 #include "common/retry.h"
 #include "elastic/elastic_controller.h"
 #include "hpc/frontends.h"
+#include "net/socket_transport.h"
 #include "pilot/descriptions.h"
 #include "sim/failure_injector.h"
 #include "tenant/submission_gateway.h"
@@ -107,6 +108,17 @@ struct KmeansExperimentConfig {
   /// would dominate peak RSS. Digests are unaffected (the checksum is
   /// computed from store documents, not the trace).
   bool trace_rollup = false;
+
+  /// Plan "transport": "inprocess" (default) | "socket" (DESIGN.md §14).
+  /// socket swaps the session's message boundary onto a loopback-TCP
+  /// SocketTransport (epoll reactor) before any endpoint registers.
+  /// Digests must be byte-identical across the two modes — the CI
+  /// socket-parity job's gate.
+  std::string transport = "inprocess";
+
+  /// Plan "net" section: socket-transport knobs (bind host/port, the
+  /// reconnect RetryPolicy and its seed). Ignored for "inprocess".
+  net::SocketTransportConfig net;
 
   /// Plan "pilot_runtime": pilot walltime request in simulated seconds.
   /// The 48 h default covers every paper-scale cell; the web-scale

@@ -1,0 +1,87 @@
+#include "net/json_codec.h"
+
+namespace hoh::net {
+
+namespace {
+
+enum Tag : std::uint8_t {
+  kNull = 0,
+  kFalse = 1,
+  kTrue = 2,
+  kNumber = 3,
+  kString = 4,
+  kArray = 5,
+  kObject = 6,
+};
+
+common::Json unpack_json_depth(Unpacker& u, int depth) {
+  if (depth > 64) {
+    throw CodecError("json: nesting exceeds 64 levels");
+  }
+  const std::uint8_t tag = u.u8();
+  switch (tag) {
+    case kNull:
+      return common::Json();
+    case kFalse:
+      return common::Json(false);
+    case kTrue:
+      return common::Json(true);
+    case kNumber:
+      return common::Json(u.f64());
+    case kString:
+      return common::Json(u.str());
+    case kArray: {
+      const std::uint32_t n = u.u32();
+      common::JsonArray arr;
+      arr.reserve(std::min<std::uint32_t>(n, 4096));
+      for (std::uint32_t i = 0; i < n; ++i) {
+        arr.push_back(unpack_json_depth(u, depth + 1));
+      }
+      return common::Json(std::move(arr));
+    }
+    case kObject: {
+      const std::uint32_t n = u.u32();
+      common::JsonObject obj;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key = u.str();
+        obj.emplace(std::move(key), unpack_json_depth(u, depth + 1));
+      }
+      return common::Json(std::move(obj));
+    }
+    default:
+      throw CodecError("json: unknown tag " + std::to_string(tag));
+  }
+}
+
+}  // namespace
+
+void pack_json(Packer& p, const common::Json& doc) {
+  if (doc.is_null()) {
+    p.u8(kNull);
+  } else if (doc.is_bool()) {
+    p.u8(doc.as_bool() ? kTrue : kFalse);
+  } else if (doc.is_number()) {
+    p.u8(kNumber);
+    p.f64(doc.as_number());
+  } else if (doc.is_string()) {
+    p.u8(kString);
+    p.str(doc.as_string());
+  } else if (doc.is_array()) {
+    p.u8(kArray);
+    const auto& arr = doc.as_array();
+    p.u32(static_cast<std::uint32_t>(arr.size()));
+    for (const auto& v : arr) pack_json(p, v);
+  } else {
+    p.u8(kObject);
+    const auto& obj = doc.as_object();
+    p.u32(static_cast<std::uint32_t>(obj.size()));
+    for (const auto& [key, value] : obj) {
+      p.str(key);
+      pack_json(p, value);
+    }
+  }
+}
+
+common::Json unpack_json(Unpacker& u) { return unpack_json_depth(u, 0); }
+
+}  // namespace hoh::net

@@ -1,0 +1,61 @@
+#include "net/transport.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace hoh::net {
+
+void InProcessTransport::register_endpoint(const std::string& endpoint,
+                                           Handler handler) {
+  common::MutexLock lock(mu_);
+  endpoints_[endpoint] = std::move(handler);
+}
+
+void InProcessTransport::unregister_endpoint(const std::string& endpoint) {
+  common::MutexLock lock(mu_);
+  endpoints_.erase(endpoint);
+}
+
+bool InProcessTransport::has_endpoint(const std::string& endpoint) const {
+  common::MutexLock lock(mu_);
+  return endpoints_.count(endpoint) != 0;
+}
+
+Transport::Handler InProcessTransport::resolve(
+    const std::string& endpoint) const {
+  common::MutexLock lock(mu_);
+  auto it = endpoints_.find(endpoint);
+  if (it == endpoints_.end()) {
+    throw common::NotFoundError("transport: no endpoint \"" + endpoint +
+                                "\"");
+  }
+  return it->second;
+}
+
+Envelope InProcessTransport::call(const std::string& endpoint,
+                                  const Envelope& request) {
+  Handler handler = resolve(endpoint);
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.calls;
+  }
+  return handler(request);
+}
+
+void InProcessTransport::send(const std::string& endpoint,
+                              const Envelope& message) {
+  Handler handler = resolve(endpoint);
+  {
+    common::MutexLock lock(mu_);
+    ++stats_.sends;
+  }
+  handler(message);
+}
+
+TransportStats InProcessTransport::stats() const {
+  common::MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace hoh::net

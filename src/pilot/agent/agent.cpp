@@ -191,9 +191,38 @@ Agent::Agent(saga::SagaContext& saga, StateStore& store,
     throw common::ConfigError(
         "Agent: Mode II requires an existing YARN cluster");
   }
+  if (config_.transport != nullptr) {
+    // Message boundary (DESIGN.md §14): PilotManager commands arrive as
+    // AgentCommand messages on the agent's control endpoint.
+    ctrl_endpoint_ = "agent." + pilot_id_ + ".ctrl";
+    config_.transport->register_endpoint(
+        ctrl_endpoint_, [this](const net::Envelope& env) {
+          const auto msg = net::open_envelope<net::AgentCommand>(env);
+          switch (msg.op) {
+            case net::AgentCommand::kStart:
+              start();
+              break;
+            case net::AgentCommand::kStop:
+              stop();
+              break;
+            case net::AgentCommand::kStopFailUnits:
+              stop(/*fail_units=*/true);
+              break;
+            default:
+              throw common::StateError("Agent: unknown AgentCommand op " +
+                                       std::to_string(msg.op));
+          }
+          return net::make_envelope(net::Ack{});
+        });
+  }
 }
 
-Agent::~Agent() { stop(); }
+Agent::~Agent() {
+  stop();
+  if (!ctrl_endpoint_.empty()) {
+    config_.transport->unregister_endpoint(ctrl_endpoint_);
+  }
+}
 
 void Agent::start(std::function<void()> on_active) {
   saga_.trace().record(saga_.engine().now(), "pilot", "agent_started",
@@ -238,6 +267,11 @@ void Agent::start(std::function<void()> on_active) {
             config_.heartbeat_interval, [this] { write_heartbeat(); });
       }
       if (cb) cb();
+      if (config_.transport != nullptr && !config_.event_endpoint.empty()) {
+        // Activation crosses the boundary as a one-way lifecycle event.
+        net::send(*config_.transport, config_.event_endpoint,
+                  net::AgentEvent{pilot_id_, net::AgentEvent::kActive});
+      }
     });
   });
 }

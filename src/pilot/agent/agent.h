@@ -227,6 +227,10 @@ class Agent {
   AgentBackend backend_;
   AgentConfig config_;
 
+  /// Control endpoint registered on config_.transport (empty when the
+  /// agent runs without a message boundary).
+  std::string ctrl_endpoint_;
+
   yarn::YarnCluster* external_yarn_ = nullptr;
   std::unique_ptr<yarn::YarnCluster> owned_yarn_;
   std::unique_ptr<spark::SparkStandaloneCluster> spark_;

@@ -1,7 +1,10 @@
 #pragma once
 
+#include <string>
+
 #include "common/control_plane.h"
 #include "common/units.h"
+#include "net/transport.h"
 #include "spark/standalone.h"
 #include "yarn/yarn_cluster.h"
 
@@ -65,6 +68,17 @@ struct AgentConfig {
   /// Extension: derive preferred nodes for units from HDFS block
   /// locations of their staged inputs.
   bool data_aware_scheduling = false;
+
+  /// Message boundary (DESIGN.md §14): when set, the agent registers
+  /// its control endpoint "agent.<pilot_id>.ctrl" (start/stop commands)
+  /// on this transport and reports lifecycle events (activation) to
+  /// \ref event_endpoint as AgentEvent messages. Must outlive the agent.
+  /// nullptr keeps direct calls (standalone agents in unit tests).
+  net::Transport* transport = nullptr;
+
+  /// Where lifecycle AgentEvents go (the PilotManager registers
+  /// "pilot.<pilot_id>.lifecycle" here). Empty = no events sent.
+  std::string event_endpoint;
 
   /// Backend cluster configurations for Mode I bootstraps.
   yarn::YarnClusterConfig yarn;

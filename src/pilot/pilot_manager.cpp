@@ -4,6 +4,8 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "net/message.h"
+#include "net/transport.h"
 #include "pilot/transitions.h"
 
 namespace hoh::pilot {
@@ -42,9 +44,23 @@ void Pilot::release_grow_segments() {
   }
 }
 
+void Pilot::stop_agent(bool fail_units) {
+  if (agent_ == nullptr) return;
+  net::Transport& transport = manager_->session().transport();
+  const std::string endpoint = "agent." + id_ + ".ctrl";
+  if (transport.has_endpoint(endpoint)) {
+    net::call<net::Ack>(
+        transport, endpoint,
+        net::AgentCommand{id_, fail_units ? net::AgentCommand::kStopFailUnits
+                                          : net::AgentCommand::kStop});
+  } else {
+    agent_->stop(fail_units);
+  }
+}
+
 void Pilot::cancel() {
   if (is_final(state_)) return;
-  if (agent_) agent_->stop();
+  stop_agent();
   release_grow_segments();
   if (job_ && !saga::is_final(job_->state())) job_->cancel();
   set_state(PilotState::kCanceled);
@@ -56,7 +72,9 @@ PilotManager::~PilotManager() {
   // anything the simulation still references later then finds the agent
   // already stopped.
   for (const auto& pilot : pilots_) {
-    if (pilot->agent_ != nullptr) pilot->agent_->stop();
+    pilot->stop_agent();
+    session_.transport().unregister_endpoint("pilot." + pilot->id_ +
+                                             ".lifecycle");
   }
   for (auto& [id, lease] : heartbeat_leases_) {
     if (lease.watch.valid()) session_.store().unwatch(lease.watch);
@@ -163,6 +181,12 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
   if (description.agent_poll_interval > 0.0) {
     agent_config.poll_interval = description.agent_poll_interval;
   }
+  // Message boundary (DESIGN.md §14): the agent joins the session
+  // transport — control commands in, lifecycle events out — and any
+  // Mode-I cluster it bootstraps wires its RM onto the same transport.
+  agent_config.transport = &session_.transport();
+  agent_config.event_endpoint = "pilot." + pilot_id + ".lifecycle";
+  agent_config.yarn.yarn.transport = &session_.transport();
   pilot->agent_config_ = agent_config;
 
   if (agent_config.control_plane == common::ControlPlane::kWatch) {
@@ -182,11 +206,19 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
   // callbacks alive for the whole session, and a strong capture would
   // extend agent lifetime past the state store's (teardown ordering).
   std::weak_ptr<Pilot> weak = pilot;
+  // Lifecycle endpoint: the agent's activation event lands here.
+  session_.transport().register_endpoint(
+      "pilot." + pilot_id + ".lifecycle", [weak](const net::Envelope& env) {
+        const auto msg = net::open_envelope<net::AgentEvent>(env);
+        if (msg.kind == net::AgentEvent::kActive) {
+          if (auto p = weak.lock()) p->set_state(PilotState::kActive);
+        }
+        return net::make_envelope(net::Ack{});
+      });
   const cluster::MachineProfile& profile = resource.profile;
   pilot->job_ = service.submit(
       jd,
-      [this, weak, &profile, agent_config,
-       external](const cluster::Allocation& allocation) {
+      [this, weak, &profile, external](const cluster::Allocation& allocation) {
         auto pilot = weak.lock();
         if (pilot == nullptr) return;
         // P.2: placeholder job started; bring the agent up.
@@ -194,10 +226,13 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
         pilot->agent_ = std::make_unique<Agent>(
             session_.saga(), session_.store(), session_.transfer(),
             pilot->id_, profile, allocation, pilot->description_.backend,
-            agent_config, external);
-        pilot->agent_->start([weak] {
-          if (auto p = weak.lock()) p->set_state(PilotState::kActive);
-        });
+            pilot->agent_config_, external);
+        // P.2 over the boundary: the start command crosses as a message;
+        // activation comes back as an AgentEvent on the lifecycle
+        // endpoint registered above.
+        net::call<net::Ack>(
+            session_.transport(), "agent." + pilot->id_ + ".ctrl",
+            net::AgentCommand{pilot->id_, net::AgentCommand::kStart});
       });
 
   pilot->job_->on_state_change([weak](saga::JobState state) {
@@ -205,7 +240,7 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
     if (pilot == nullptr) return;
     switch (state) {
       case saga::JobState::kDone:
-        if (pilot->agent_) pilot->agent_->stop();
+        pilot->stop_agent();
         pilot->release_grow_segments();
         pilot->set_state(PilotState::kDone);
         break;
@@ -213,13 +248,13 @@ std::shared_ptr<Pilot> PilotManager::submit_pilot(
         // Involuntary death: units (queued and running) become kFailed so
         // the Unit-Manager may requeue them, unlike the kDone/kCanceled
         // paths where the backlog is deliberately canceled.
-        if (pilot->agent_) pilot->agent_->stop(/*fail_units=*/true);
+        pilot->stop_agent(/*fail_units=*/true);
         pilot->release_grow_segments();
         pilot->set_state(PilotState::kFailed);
         pilot->manager_->maybe_resubmit(pilot);
         break;
       case saga::JobState::kCanceled:
-        if (pilot->agent_) pilot->agent_->stop();
+        pilot->stop_agent();
         pilot->release_grow_segments();
         pilot->set_state(PilotState::kCanceled);
         break;

@@ -77,6 +77,10 @@ class Pilot {
   void set_state(PilotState state);
   void release_grow_segments();
 
+  /// Routes a stop to the agent over the session transport as an
+  /// AgentCommand (direct call fallback for agents without a boundary).
+  void stop_agent(bool fail_units = false);
+
   PilotManager* manager_;
   std::string id_;
   PilotDescription description_;

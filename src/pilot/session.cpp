@@ -18,6 +18,9 @@ yarn::YarnCluster& Session::create_dedicated_hadoop(
   }
   DedicatedEnv env;
   env.allocation = cluster::Allocation(std::move(ded_nodes));
+  // Dedicated clusters live inside the session: their RM joins the
+  // session's message boundary (DESIGN.md §14).
+  config.yarn.transport = transport_.get();
   env.cluster = std::make_unique<yarn::YarnCluster>(
       saga_.engine(), profile, env.allocation, std::move(config));
   auto [it, inserted] = dedicated_.emplace(host, std::move(env));

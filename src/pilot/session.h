@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/id.h"
+#include "net/transport.h"
 #include "pilot/state_store.h"
 #include "saga/context.h"
 #include "saga/file_transfer.h"
@@ -20,7 +21,12 @@ namespace hoh::pilot {
 
 class Session {
  public:
-  Session() : store_(saga_.engine()), transfer_(saga_) {}
+  Session()
+      : transport_(std::make_unique<net::InProcessTransport>()),
+        store_(saga_.engine()),
+        transfer_(saga_) {
+    store_.set_transport(transport_.get());
+  }
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -30,6 +36,21 @@ class Session {
   sim::Trace& trace() { return saga_.trace(); }
   StateStore& store() { return store_; }
   saga::FileTransferService& transfer() { return transfer_; }
+
+  /// The session's message boundary (DESIGN.md §14): every
+  /// cross-component interaction routes through this transport.
+  /// Defaults to InProcessTransport.
+  net::Transport& transport() { return *transport_; }
+
+  /// Swaps the transport implementation (plan key "transport":
+  /// "socket"). Must happen before any manager or agent registered an
+  /// endpoint; the store's endpoints are re-registered on the new
+  /// transport here.
+  void set_transport(std::unique_ptr<net::Transport> transport) {
+    store_.set_transport(nullptr);
+    transport_ = std::move(transport);
+    store_.set_transport(transport_.get());
+  }
 
   /// Registers a machine (forwarded to the SagaContext).
   saga::ResourceEntry& register_machine(
@@ -62,6 +83,7 @@ class Session {
   };
 
   saga::SagaContext saga_;
+  std::unique_ptr<net::Transport> transport_;
   StateStore store_;
   saga::FileTransferService transfer_;
   std::map<std::string, DedicatedEnv> dedicated_;

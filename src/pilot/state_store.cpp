@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "net/json_codec.h"
 #include "pilot/transitions.h"
 
 namespace hoh::pilot {
@@ -286,17 +287,58 @@ void StateStore::deliver_pending() {
   }
   for (const PendingDelivery& delivery : batch) {
     for (const std::uint64_t id : delivery.targets) {
-      Shard& shard = *shards_[(id & 0xff) % shards_.size()];
-      WatchCallback fn;
-      {
-        common::MutexLock lock(shard.mu);
-        auto it = shard.watchers.find(id);
-        if (it == shard.watchers.end()) continue;
-        fn = it->second.fn;
+      if (transport_ != nullptr) {
+        // Message boundary (DESIGN.md §14): the fan-out crosses the
+        // transport as one WatchNotify per target; the store.notify
+        // endpoint re-resolves the watcher and runs the callback, so
+        // delivery semantics are identical in both modes.
+        net::send(*transport_, "store.notify",
+                  net::WatchNotify{
+                      id, static_cast<std::uint8_t>(delivery.event.type),
+                      delivery.event.bucket, delivery.event.key});
+      } else {
+        deliver_one(id, delivery.event);
       }
-      fn(delivery.event);
     }
   }
+}
+
+void StateStore::deliver_one(std::uint64_t watcher_id,
+                             const WatchEvent& event) {
+  Shard& shard = *shards_[(watcher_id & 0xff) % shards_.size()];
+  WatchCallback fn;
+  {
+    common::MutexLock lock(shard.mu);
+    auto it = shard.watchers.find(watcher_id);
+    if (it == shard.watchers.end()) return;
+    fn = it->second.fn;
+  }
+  fn(event);
+}
+
+void StateStore::set_transport(net::Transport* transport) {
+  if (transport_ != nullptr) {
+    transport_->unregister_endpoint("store.notify");
+    transport_->unregister_endpoint("store.ingest");
+  }
+  transport_ = transport;
+  if (transport_ == nullptr) return;
+  transport_->register_endpoint(
+      "store.notify", [this](const net::Envelope& env) {
+        const auto msg = net::open_envelope<net::WatchNotify>(env);
+        deliver_one(msg.watcher_id,
+                    WatchEvent{static_cast<WatchEventType>(msg.event_type),
+                               msg.bucket, msg.key});
+        return net::make_envelope(net::Ack{});
+      });
+  transport_->register_endpoint(
+      "store.ingest", [this](const net::Envelope& env) {
+        const auto msg = net::open_envelope<net::StoreIngest>(env);
+        net::Unpacker u(msg.document);
+        put(msg.collection, msg.unit_id, net::unpack_json(u));
+        if (!msg.queue.empty()) queue_push(msg.queue, msg.unit_id);
+        return net::make_envelope(net::Ack{});
+      });
 }
 
 }  // namespace hoh::pilot

@@ -11,6 +11,7 @@
 
 #include "common/json.h"
 #include "common/thread_annotations.h"
+#include "net/transport.h"
 #include "sim/engine.h"
 
 /// \file state_store.h
@@ -87,6 +88,8 @@ class StateStore {
 
   explicit StateStore(sim::Engine& engine, common::Seconds op_latency = 0.05);
 
+  ~StateStore() { set_transport(nullptr); }  // drop transport endpoints
+
   common::Seconds op_latency() const { return op_latency_; }
 
   /// Re-partitions the (empty) store into \p count shards. Must be
@@ -157,6 +160,17 @@ class StateStore {
   /// Number of registered watchers (teardown hygiene checks).
   std::size_t watcher_count() const;
 
+  /// Attaches the store to the session's message boundary (DESIGN.md
+  /// §14): registers the "store.notify" endpoint (watch fan-out) and
+  /// the "store.ingest" endpoint (the U.2 document put + queue push as
+  /// one message), and routes every watch delivery through
+  /// transport->send as a WatchNotify. A Session always wires this; a
+  /// store constructed standalone (unit tests) keeps the direct
+  /// delivery path. Passing nullptr detaches.
+  void set_transport(net::Transport* transport);
+
+  net::Transport* transport() const { return transport_; }
+
  private:
   struct Watcher {
     std::string bucket;
@@ -198,10 +212,15 @@ class StateStore {
   /// The drain tick: delivers every mutation queued at this instant.
   void deliver_pending();
 
+  /// Resolves one watcher id and runs its callback (the delivery step
+  /// shared by the transport endpoint and the standalone path).
+  void deliver_one(std::uint64_t watcher_id, const WatchEvent& event);
+
   bool in_use() const;
 
   sim::Engine& engine_;
   common::Seconds op_latency_;
+  net::Transport* transport_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Watch-id allocation is global so registration order is total across

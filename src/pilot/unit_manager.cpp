@@ -4,9 +4,35 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "net/json_codec.h"
+#include "net/message.h"
+#include "net/transport.h"
 #include "pilot/agent/agent.h"
 
 namespace hoh::pilot {
+
+namespace {
+
+/// Session-unique submit-endpoint prefix per manager (engine-thread
+/// only; the names never enter digests).
+std::string next_um_prefix() {
+  static std::uint64_t counter = 0;
+  return "um" + std::to_string(counter++);
+}
+
+}  // namespace
+
+void UnitManager::register_submit_endpoint() {
+  submit_endpoint_ = next_um_prefix() + ".submit";
+  session_.transport().register_endpoint(
+      submit_endpoint_, [this](const net::Envelope& env) {
+        const auto msg = net::open_envelope<net::SubmitRequest>(env);
+        net::Unpacker u(msg.description);
+        const ComputeUnitDescription desc = unit_from_json(net::unpack_json(u));
+        u.expect_done();
+        return net::make_envelope(net::SubmitReply{submit(desc)->id()});
+      });
+}
 
 UnitState ComputeUnit::state() const {
   const auto state =
@@ -16,6 +42,7 @@ UnitState ComputeUnit::state() const {
 }
 
 UnitManager::~UnitManager() {
+  session_.transport().unregister_endpoint(submit_endpoint_);
   if (dependency_check_.valid()) {
     session_.engine().cancel(dependency_check_);
     dependency_check_ = sim::EventHandle{};
@@ -396,8 +423,14 @@ void UnitManager::dispatch_to_agent(const std::string& unit_id,
   doc["description"] = unit_to_json(desc);
   doc["state"] = to_string(UnitState::kPendingAgent);
   doc["pilot"] = pilot_id;
-  session_.store().put("unit", unit_id, std::move(doc));     // U.2
-  session_.store().queue_push("agent." + pilot_id, unit_id); // U.2
+  // U.2 over the message boundary: document put + agent queue push as
+  // one StoreIngest through the session transport (DESIGN.md §14). The
+  // document crosses as packed binary Json, bit-exact.
+  net::Packer packer;
+  net::pack_json(packer, doc);
+  net::call<net::Ack>(
+      session_.transport(), "store.ingest",
+      net::StoreIngest{"unit", unit_id, "agent." + pilot_id, packer.take()});
 }
 
 void UnitManager::check_dependencies() {

@@ -72,7 +72,9 @@ class UnitManager {
         policy_(policy),
         estimator_(estimator != nullptr
                        ? std::move(estimator)
-                       : std::make_shared<MovingAverageEstimator>()) {}
+                       : std::make_shared<MovingAverageEstimator>()) {
+    register_submit_endpoint();
+  }
 
   UnitManager(const UnitManager&) = delete;
   UnitManager& operator=(const UnitManager&) = delete;
@@ -139,6 +141,11 @@ class UnitManager {
 
   Session& session() { return session_; }
 
+  /// Message boundary (DESIGN.md §14): the endpoint clients (the tenant
+  /// gateway) submit SubmitRequest messages to. Unique per manager, so
+  /// several managers can share one session transport.
+  const std::string& submit_endpoint() const { return submit_endpoint_; }
+
   /// Handle of a submitted unit; nullptr when unknown.
   std::shared_ptr<ComputeUnit> find_unit(const std::string& unit_id) const;
 
@@ -158,6 +165,9 @@ class UnitManager {
   friend class ComputeUnit;
 
   std::string pick_pilot(const ComputeUnitDescription& desc);
+  /// Registers submit_endpoint_ ("um<N>.submit") on the session
+  /// transport; its handler unpacks the description and runs submit().
+  void register_submit_endpoint();
   void dispatch_to_agent(const std::string& unit_id,
                          const std::string& pilot_id,
                          const ComputeUnitDescription& desc);
@@ -173,6 +183,7 @@ class UnitManager {
 
   Session& session_;
   UnitSchedulingPolicy policy_;
+  std::string submit_endpoint_;
   std::shared_ptr<RuntimeEstimator> estimator_;
   std::map<std::string, double> backlog_seconds_;    // pilot -> predicted
   std::map<std::string, double> unit_predictions_;   // unit -> predicted

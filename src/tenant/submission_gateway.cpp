@@ -4,6 +4,9 @@
 #include <limits>
 
 #include "common/error.h"
+#include "net/json_codec.h"
+#include "net/message.h"
+#include "net/transport.h"
 #include "pilot/agent/agent.h"
 #include "pilot/transitions.h"
 
@@ -175,8 +178,16 @@ void SubmissionGateway::dispatch_head(TenantRec& tenant) {
   if (unit.unit_id.empty()) {
     // First dispatch: the unit enters the StateStore here (U.1/U.2) —
     // and only here, which is the admission-before-insert invariant.
-    flight.handle = um_.submit(unit.desc);
-    unit.unit_id = flight.handle->id();
+    // The submission crosses the message boundary (DESIGN.md §14): the
+    // description travels as packed binary Json in a SubmitRequest and
+    // the Unit-Manager answers with the assigned unit id.
+    net::Packer packer;
+    net::pack_json(packer, pilot::unit_to_json(unit.desc));
+    const auto reply = net::call<net::SubmitReply>(
+        um_.session().transport(), um_.submit_endpoint(),
+        net::SubmitRequest{tenant.spec.id, packer.take()});
+    unit.unit_id = reply.unit_id;
+    flight.handle = um_.find_unit(unit.unit_id);
   } else {
     // Parked preempted unit: cross the legal kFailed -> kPendingAgent
     // edge back onto a live pilot.

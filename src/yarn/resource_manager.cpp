@@ -4,9 +4,22 @@
 
 #include "common/error.h"
 #include "common/string_util.h"
+#include "net/message.h"
 #include "yarn/application_master.h"
 
 namespace hoh::yarn {
+
+namespace {
+
+/// Session-unique endpoint prefix per RM instance, so several RMs (a
+/// dedicated Hadoop environment plus Mode-I pilot clusters) can share
+/// one transport. Engine-thread only; the names never enter digests.
+std::string next_rm_prefix() {
+  static std::uint64_t counter = 0;
+  return "rm" + std::to_string(counter++);
+}
+
+}  // namespace
 
 ResourceManager::ResourceManager(sim::Engine& engine,
                                  const cluster::Allocation& allocation,
@@ -28,6 +41,13 @@ ResourceManager::ResourceManager(sim::Engine& engine,
     throw common::ConfigError(
         "ResourceManager: queue capacities exceed 100%");
   }
+  if (config_.transport != nullptr) {
+    transport_ = config_.transport;
+  } else {
+    owned_transport_ = std::make_unique<net::InProcessTransport>();
+    transport_ = owned_transport_.get();
+  }
+  register_endpoints();
   for (const auto& node : allocation.nodes()) {
     node_managers_.push_back(
         std::make_unique<NodeManager>(engine_, config_, node));
@@ -46,7 +66,112 @@ ResourceManager::ResourceManager(sim::Engine& engine,
   }
 }
 
-ResourceManager::~ResourceManager() { shutdown(); }
+ResourceManager::~ResourceManager() {
+  shutdown();
+  transport_->unregister_endpoint(nm_endpoint_);
+  transport_->unregister_endpoint(rm_endpoint_);
+}
+
+void ResourceManager::register_endpoints() {
+  const std::string prefix = next_rm_prefix();
+  nm_endpoint_ = prefix + ".nm";
+  rm_endpoint_ = prefix + ".rm";
+  transport_->register_endpoint(
+      nm_endpoint_,
+      [this](const net::Envelope& env) { return handle_nm_message(env); });
+  transport_->register_endpoint(
+      rm_endpoint_, [this](const net::Envelope& env) {
+        const auto msg = net::open_envelope<net::ContainerRunning>(env);
+        auto it = pending_running_.find(msg.correlation);
+        if (it != pending_running_.end()) {
+          auto cb = std::move(it->second);
+          pending_running_.erase(it);
+          if (cb) cb();
+        }
+        return net::make_envelope(net::Ack{});
+      });
+}
+
+net::Envelope ResourceManager::handle_nm_message(const net::Envelope& env) {
+  switch (env.type) {
+    case net::MsgType::kAllocateRequest: {
+      const auto msg = net::open_envelope<net::AllocateRequest>(env);
+      NodeManager* nm = find_nm(msg.node);
+      Container c;
+      c.id = msg.container_id;
+      c.app_id = msg.app_id;
+      c.resource = Resource{msg.memory_mb, static_cast<int>(msg.vcores)};
+      c.is_am = msg.is_am;
+      const bool ok = nm != nullptr && nm->allocate(c);
+      return net::make_envelope(
+          net::AllocateReply{ok, ok ? nm->node_name() : std::string{}});
+    }
+    case net::MsgType::kLaunchRequest: {
+      const auto msg = net::open_envelope<net::LaunchRequest>(env);
+      const std::string cid = msg.container_id;
+      const std::uint64_t correlation = msg.correlation;
+      node_manager(msg.node).launch(cid, [this, cid, correlation] {
+        // Completion crosses back as a correlated one-way message; the
+        // NM already filtered killed-while-launching containers.
+        if (shut_down_) return;
+        net::send(*transport_, rm_endpoint_,
+                  net::ContainerRunning{cid, correlation});
+      });
+      return net::make_envelope(net::Ack{});
+    }
+    case net::MsgType::kReleaseRequest: {
+      const auto msg = net::open_envelope<net::ReleaseRequest>(env);
+      node_manager(msg.node).release(
+          msg.container_id, static_cast<ContainerState>(msg.final_state));
+      return net::make_envelope(net::Ack{});
+    }
+    case net::MsgType::kNodeProbe: {
+      const auto msg = net::open_envelope<net::NodeProbe>(env);
+      NodeManager& nm = node_manager(msg.node);
+      return net::make_envelope(
+          net::NodeStatus{msg.node, nm.last_heartbeat(), nm.alive()});
+    }
+    default:
+      throw common::StateError(std::string("RM: unexpected message on NM "
+                                           "plane: ") +
+                               net::to_string(env.type));
+  }
+}
+
+bool ResourceManager::transport_allocate(NodeManager& nm,
+                                         const Container& container) {
+  return net::call<net::AllocateReply>(
+             *transport_, nm_endpoint_,
+             net::AllocateRequest{container.id, container.app_id,
+                                  nm.node_name(), container.resource.memory_mb,
+                                  container.resource.vcores, container.is_am})
+      .ok;
+}
+
+void ResourceManager::transport_launch(const std::string& node,
+                                       const std::string& container_id,
+                                       std::function<void()> on_running) {
+  const std::uint64_t correlation = next_correlation_++;
+  pending_running_.emplace(correlation, std::move(on_running));
+  net::call<net::Ack>(*transport_, nm_endpoint_,
+                      net::LaunchRequest{node, container_id, correlation});
+}
+
+void ResourceManager::transport_release(NodeManager& nm,
+                                        const std::string& container_id,
+                                        ContainerState final_state) {
+  net::call<net::Ack>(
+      *transport_, nm_endpoint_,
+      net::ReleaseRequest{nm.node_name(), container_id,
+                          static_cast<std::uint8_t>(final_state)});
+}
+
+common::Seconds ResourceManager::transport_last_heartbeat(
+    const std::string& node) {
+  return net::call<net::NodeStatus>(*transport_, nm_endpoint_,
+                                    net::NodeProbe{node})
+      .last_heartbeat;
+}
 
 void ResourceManager::shutdown() {
   if (shut_down_) return;
@@ -101,8 +226,10 @@ void ResourceManager::check_liveness_lease(const std::string& node) {
   if (shut_down_) return;
   NodeManager* nm = find_nm(node);
   if (nm == nullptr || !nm->alive()) return;  // re-armed on recovery
+  // Watch-plane liveness check is a real probe: NodeProbe/NodeStatus
+  // over the transport (poll mode keeps its direct ledger scan).
   const common::Seconds expire_at =
-      nm->last_heartbeat() + config_.nm_liveness_timeout;
+      transport_last_heartbeat(node) + config_.nm_liveness_timeout;
   if (engine_.now() < expire_at) {
     // Heartbeat arrived since the lease was armed; push the deadline out.
     liveness_leases_.at(node)->arm_at(expire_at);
@@ -229,7 +356,7 @@ void ResourceManager::fail_node(const std::string& node) {
       // Lost task containers of this app die with the attempt.
       for (const auto& tid : app.container_ids) {
         if (NodeManager* host = nm_hosting(tid)) {
-          host->release(tid, ContainerState::kKilled);
+          transport_release(*host, tid, ContainerState::kKilled);
         }
       }
       app.container_ids.clear();
@@ -362,7 +489,7 @@ NodeManager* ResourceManager::try_place(const PendingAsk& ask,
   // Preferred nodes first (data locality), then any if relaxed.
   for (const auto& name : ask.request.preferred_nodes) {
     NodeManager* nm = find_nm(name);
-    if (nm != nullptr && nm->allocate(out)) {
+    if (nm != nullptr && transport_allocate(*nm, out)) {
       out.node = nm->node_name();
       container_host_[out.id] = nm;
       ++next_container_number_;
@@ -387,7 +514,7 @@ NodeManager* ResourceManager::try_place(const PendingAsk& ask,
       best_available = available;
     }
   }
-  if (best != nullptr && best->allocate(out)) {
+  if (best != nullptr && transport_allocate(*best, out)) {
     out.node = best->node_name();
     container_host_[out.id] = best;
     ++next_container_number_;
@@ -487,8 +614,8 @@ void ResourceManager::scheduler_pass() {
         app.report.state = AppState::kAmLaunching;
         app.report.am_node = nm->node_name();
         const std::string app_id = ask.app_id;
-        nm->launch(placed.id,
-                   [this, app_id] { on_am_container_running(app_id); });
+        transport_launch(nm->node_name(), placed.id,
+                         [this, app_id] { on_am_container_running(app_id); });
       } else {
         app.container_ids.push_back(placed.id);
         if (ask.on_allocated) ask.on_allocated(placed);
@@ -534,7 +661,7 @@ void ResourceManager::preemption_pass() {
           c.state == ContainerState::kAllocated ||
           c.state == ContainerState::kLaunching) {
         Container copy = c;
-        nm->release(*cit, ContainerState::kPreempted);
+        transport_release(*nm, *cit, ContainerState::kPreempted);
         if (preemption_hook_) {
           preemption_hook_(app.report.id, copy.id, app.report.queue);
         }
@@ -568,11 +695,13 @@ void ResourceManager::finish_application(const std::string& app_id,
                                              ? ContainerState::kCompleted
                                              : ContainerState::kKilled;
   for (const auto& cid : app.container_ids) {
-    if (NodeManager* nm = nm_hosting(cid)) nm->release(cid, container_final);
+    if (NodeManager* nm = nm_hosting(cid)) {
+      transport_release(*nm, cid, container_final);
+    }
   }
   if (!app.am_container_id.empty()) {
     if (NodeManager* nm = nm_hosting(app.am_container_id)) {
-      nm->release(app.am_container_id, container_final);
+      transport_release(*nm, app.am_container_id, container_final);
     }
   }
   // Drop this app's pending asks.
@@ -618,7 +747,7 @@ void ResourceManager::am_launch_container(const std::string& app_id,
   if (nm == nullptr) {
     throw common::NotFoundError("no NM hosts container " + container_id);
   }
-  nm->launch(container_id, std::move(on_running));
+  transport_launch(nm->node_name(), container_id, std::move(on_running));
 }
 
 void ResourceManager::am_release_container(const std::string& app_id,
@@ -626,7 +755,7 @@ void ResourceManager::am_release_container(const std::string& app_id,
                                            ContainerState final_state) {
   find_app(app_id);
   if (NodeManager* nm = nm_hosting(container_id)) {
-    nm->release(container_id, final_state);
+    transport_release(*nm, container_id, final_state);
   }
   request_scheduler_pass();  // capacity freed
 }

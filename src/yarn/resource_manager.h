@@ -10,6 +10,7 @@
 
 #include "cluster/machine.h"
 #include "common/json.h"
+#include "net/transport.h"
 #include "sim/engine.h"
 #include "sim/trace.h"
 #include "yarn/node_manager.h"
@@ -208,6 +209,27 @@ class ResourceManager {
   void on_am_container_running(const std::string& app_id);
   void finish_application(const std::string& app_id, AppState final_state);
 
+  // --- Message boundary (DESIGN.md §14) ---
+  // The RM↔NM control plane crosses the session transport as typed
+  // messages: AllocateRequest/-Reply, LaunchRequest (completion comes
+  // back as a correlated ContainerRunning), ReleaseRequest and the
+  // watch-plane liveness NodeProbe/NodeStatus. Scheduler *reads*
+  // (can_fit/available/capacity and the poll-mode liveness scan) stay
+  // direct: they model the RM's heartbeat-fed local ledger, exactly as
+  // in real YARN, and stay O(1) per lookup at 10k nodes.
+
+  /// Registers "<prefix>.nm" (NM-facing plane) and "<prefix>.rm"
+  /// (launch completions) on the active transport.
+  void register_endpoints();
+  net::Envelope handle_nm_message(const net::Envelope& request);
+  bool transport_allocate(NodeManager& nm, const Container& container);
+  void transport_launch(const std::string& node,
+                        const std::string& container_id,
+                        std::function<void()> on_running);
+  void transport_release(NodeManager& nm, const std::string& container_id,
+                         ContainerState final_state);
+  common::Seconds transport_last_heartbeat(const std::string& node);
+
   // --- ApplicationMaster backend (called via friend) ---
   void am_request_containers(const std::string& app_id, int count,
                              const ContainerRequest& request,
@@ -224,6 +246,16 @@ class ResourceManager {
 
   sim::Engine& engine_;
   YarnConfig config_;
+  /// Active transport: config().transport, or owned_transport_ when the
+  /// RM runs standalone.
+  net::Transport* transport_ = nullptr;
+  std::unique_ptr<net::Transport> owned_transport_;
+  std::string nm_endpoint_;
+  std::string rm_endpoint_;
+  /// Launch-completion correlation: LaunchRequest carries an id; the NM's
+  /// completion crosses back as ContainerRunning{id} and resolves here.
+  std::map<std::uint64_t, std::function<void()>> pending_running_;
+  std::uint64_t next_correlation_ = 1;
   sim::Trace* trace_ = nullptr;
   PreemptionHook preemption_hook_;
   std::vector<QueueConfig> queues_;

@@ -11,6 +11,10 @@
 /// yarn-site.xml style configuration knobs that matter for the paper's
 /// measurements.
 
+namespace hoh::net {
+class Transport;
+}  // namespace hoh::net
+
 namespace hoh::yarn {
 
 /// A YARN resource vector. The paper's agent scheduler "specifically
@@ -117,6 +121,13 @@ struct YarnConfig {
   /// oversubscribes vcores (AMs are mostly idle); set false for the
   /// DominantResourceCalculator behaviour that enforces both dimensions.
   bool memory_only_scheduling = true;
+
+  /// Message boundary (DESIGN.md §14): the transport the RM routes its
+  /// NM-facing control traffic (allocate / launch / release / liveness
+  /// probe) through. Must outlive the ResourceManager. nullptr (the
+  /// default) makes the RM own a private InProcessTransport — identical
+  /// behaviour, no external wiring needed.
+  net::Transport* transport = nullptr;
 
   /// Rounds a request up to the minimum-allocation multiple the way the
   /// capacity scheduler normalizes asks.

@@ -1,0 +1,28 @@
+// Fixture for the wire-encoding rule: ad-hoc serialization outside
+// src/net/. Every wire image must come from the net::Packer codec —
+// pointer reinterpretation, struct memcpy and naked byte-order
+// intrinsics are host-dependent and invisible to the codec fuzz tests.
+#include <cstdint>
+#include <cstring>
+
+struct Header {
+  std::uint32_t magic;
+  std::uint16_t port;
+};
+
+void serialize_struct(const Header& h, unsigned char* out) {
+  std::memcpy(out, &h, sizeof(h));                  // EXPECT: wire-encoding
+}
+
+const Header* deserialize_struct(const unsigned char* in) {
+  return reinterpret_cast<const Header*>(in);       // EXPECT: wire-encoding
+}
+
+void shift_bytes(unsigned char* buf, std::size_t n) {
+  std::memmove(buf, buf + 4, n - 4);                // EXPECT: wire-encoding
+}
+
+unsigned short naked_byteorder(const Header& h) {
+  const unsigned long be = htonl(h.magic);          // EXPECT: wire-encoding
+  return htons(h.port) + static_cast<unsigned short>(be);  // EXPECT: wire-encoding
+}

@@ -50,6 +50,15 @@ tier-1 preset compiles (compile_commands.json), with four rule families:
                         mutex into a struct with annotated members (see
                         ThreadPool::parallel_for's Latch).
 
+  wire-encoding
+    wire-encoding       reinterpret_cast, memcpy/memmove, or a byte-order
+                        intrinsic (htons/htonl/ntohs/ntohl/htobe*/be*toh)
+                        outside src/net/ — every wire image is produced by
+                        the net::Packer codec (DESIGN.md §14); ad-hoc
+                        struct-memcpy or endian fiddling elsewhere would
+                        be host-order-dependent and invisible to the codec
+                        fuzz tests.
+
 Frontends
   The analyzer is frontend-agnostic over a small file IR. `--frontend
   libclang` uses clang.cindex when the Python bindings and a libclang
@@ -108,8 +117,19 @@ RULES = (
     "state-write",
     "guard-missing",
     "guard-local-mutex",
+    "wire-encoding",
     "suppression-unjustified",
 )
+
+# The codec / transport layer is the one place allowed to touch raw
+# bytes and byte order (wire-encoding rule).
+WIRE_DIR_PREFIX = "src/net/"
+WIRE_BYTEORDER_IDENTS = {
+    "htons", "htonl", "ntohs", "ntohl",
+    "htobe16", "htobe32", "htobe64", "be16toh", "be32toh", "be64toh",
+    "htole16", "htole32", "htole64", "le16toh", "le32toh", "le64toh",
+}
+WIRE_MEM_CALLEES = {"memcpy", "memmove"}
 
 # The seeded RNG wrapper is the one place allowed to hold a raw engine.
 DET_FILE_ALLOWLIST = {
@@ -1004,10 +1024,35 @@ class InternalFrontend:
     def _token_scan(self, toks, rel, ir: FileIR) -> None:
         if rel in DET_FILE_ALLOWLIST:
             return
+        wire_exempt = rel.startswith(WIRE_DIR_PREFIX)
         n = len(toks)
         for i, t in enumerate(toks):
             if not t.is_ident:
                 continue
+            if not wire_exempt:
+                if t.text == "reinterpret_cast":
+                    ir.token_findings.append(Finding(
+                        rel, t.line, "wire-encoding",
+                        "reinterpret_cast outside src/net/; wire images "
+                        "come from the net::Packer codec (DESIGN.md "
+                        "§14), not pointer reinterpretation"))
+                    continue
+                if t.text in WIRE_BYTEORDER_IDENTS and i + 1 < n \
+                        and toks[i + 1].text == "(":
+                    ir.token_findings.append(Finding(
+                        rel, t.line, "wire-encoding",
+                        f"byte-order intrinsic `{t.text}()` outside "
+                        f"src/net/; endianness is the codec's concern "
+                        f"(net::Packer, DESIGN.md §14)"))
+                    continue
+                if t.text in WIRE_MEM_CALLEES and i + 1 < n \
+                        and toks[i + 1].text == "(":
+                    ir.token_findings.append(Finding(
+                        rel, t.line, "wire-encoding",
+                        f"`{t.text}()` outside src/net/; raw-memory "
+                        f"serialization bypasses the bounds-checked "
+                        f"net::Packer codec (DESIGN.md §14)"))
+                    continue
             if t.text in WALLCLOCK_IDENTS:
                 ir.token_findings.append(Finding(
                     rel, t.line, "det-wallclock",

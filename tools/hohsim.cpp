@@ -117,6 +117,16 @@ invocation) they abort the run instead. Each experiment supports:
     trace_rollup   fold unit trace events to counters  (default false)
     pilot_runtime  pilot walltime request, sim seconds (default 172800)
 
+  transport (DESIGN.md s14) - data-plane message boundary:
+    transport  "inprocess" | "socket"                  (default inprocess)
+               socket routes every RM<->NM / agent / store / submit
+               message over loopback TCP (epoll reactor); digests are
+               byte-identical to inprocess (CI socket-parity gate)
+    net        socket knobs, ignored for inprocess:
+               {"host": "127.0.0.1", "port": 0,        0 = ephemeral
+                "reconnect_attempts": 8, "reconnect_backoff": 0.01,
+                "reconnect_seed": 1}
+
 Plans without a tenants section run the single-tenant passthrough path
 (no gateway constructed) and produce byte-identical digests to older
 builds. See plans/ for keystone examples.

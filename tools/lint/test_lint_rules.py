@@ -140,7 +140,8 @@ class AnalyzerFixtures(unittest.TestCase):
         for family in ("det-wallclock", "det-rand", "det-unseeded-rng",
                        "det-unordered-emit", "lock-order-cycle",
                        "lock-order-self", "state-write", "guard-missing",
-                       "guard-local-mutex", "suppression-unjustified"):
+                       "guard-local-mutex", "wire-encoding",
+                       "suppression-unjustified"):
             self.assertIn(family, rules,
                           f"no fixture exercises {family}")
 
